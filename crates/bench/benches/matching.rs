@@ -1,0 +1,96 @@
+//! `recycleEntry` overhead: the cost of the matching probe per interpreted
+//! instruction — the quantity the paper keeps "well below one microsecond"
+//! (§2.2/§3.4), measured against growing pool sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbat::{Catalog, LogicalType, TableBuilder, Value};
+use recycler::{RecycleMark, Recycler, RecyclerConfig};
+use rmal::{Engine, Program, ProgramBuilder, P};
+
+fn catalog(rows: i64) -> Catalog {
+    let mut cat = Catalog::new();
+    let mut tb = TableBuilder::new("t").column("x", LogicalType::Int);
+    for i in 0..rows {
+        tb.push_row(&[Value::Int((i * 31) % rows)]);
+    }
+    cat.add_table(tb.finish());
+    cat
+}
+
+fn template() -> Program {
+    let mut b = ProgramBuilder::new("probe", 2);
+    let col = b.bind("t", "x");
+    let sel = b.select_closed(col, P(0), P(1));
+    let n = b.count(sel);
+    b.export("n", n);
+    b.finish()
+}
+
+/// Fill the pool with `entries` distinct select intermediates.
+fn filled_engine(entries: usize) -> (Engine<Recycler>, Program) {
+    let mut engine = Engine::with_hook(
+        catalog(10_000),
+        Recycler::new(RecyclerConfig::default()),
+    );
+    engine.add_pass(Box::new(RecycleMark));
+    let mut t = template();
+    engine.optimize(&mut t);
+    for i in 0..entries as i64 {
+        engine
+            .run(&t, &[Value::Int(i), Value::Int(i)])
+            .expect("fill query");
+    }
+    (engine, t)
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recycle_entry_probe");
+    for pool_size in [10usize, 100, 1000] {
+        let (mut engine, t) = filled_engine(pool_size);
+        // hit probe: re-run an instance that is in the pool
+        g.bench_with_input(
+            BenchmarkId::new("hit", pool_size),
+            &pool_size,
+            |bench, _| {
+                bench.iter(|| {
+                    engine
+                        .run(black_box(&t), &[Value::Int(1), Value::Int(1)])
+                        .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_overhead_vs_naive(c: &mut Criterion) {
+    // the end-to-end price of monitoring when nothing is ever reused:
+    // distinct parameters each run, recycler vs naive
+    let mut g = c.benchmark_group("monitoring_overhead");
+    let mut naive = Engine::new(catalog(10_000));
+    let mut nt = template();
+    naive.optimize(&mut nt);
+    let mut i = 0i64;
+    g.bench_function("naive", |bench| {
+        bench.iter(|| {
+            i += 1;
+            naive
+                .run(black_box(&nt), &[Value::Int(i % 5000), Value::Int(i % 5000 + 10)])
+                .unwrap()
+        })
+    });
+    let (mut engine, t) = filled_engine(0);
+    let mut j = 0i64;
+    g.bench_function("recycled_all_misses", |bench| {
+        bench.iter(|| {
+            j += 1;
+            engine
+                .run(black_box(&t), &[Value::Int(j % 5000), Value::Int(j % 5000 + 10)])
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_probe, bench_overhead_vs_naive);
+criterion_main!(benches);

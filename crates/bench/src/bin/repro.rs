@@ -1,0 +1,52 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all                 # everything
+//! repro table2 fig4 fig15   # selected experiments
+//! ```
+//!
+//! Environment: `REPRO_SF` (TPC-H scale factor, default 0.01),
+//! `REPRO_SKY` (sky objects, default 40000), `REPRO_SEED`.
+
+use rcy_bench::experiments::{self, ExpEnv};
+
+fn main() {
+    let env = ExpEnv::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10", "fig12", "fig13",
+            "table3", "fig14", "fig15", "ablation",
+        ]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    eprintln!(
+        "# repro: sf={} sky={} seed={} — experiments: {wanted:?}",
+        env.sf, env.sky_objects, env.seed
+    );
+    for exp in wanted {
+        let started = std::time::Instant::now();
+        let output = match exp {
+            "table2" => experiments::table2(&env),
+            "fig4" => experiments::fig4(&env),
+            "fig5" => experiments::fig5(&env),
+            "fig6" => experiments::fig6(&env),
+            "fig7" => experiments::fig7(&env),
+            "fig8" | "fig9" | "fig8_9" => experiments::fig8_9(&env),
+            "fig10" | "fig11" | "fig10_11" => experiments::fig10_11(&env),
+            "fig12" => experiments::fig12_13(&env, 20),
+            "fig13" => experiments::fig12_13(&env, 1),
+            "table3" => experiments::table3(&env),
+            "fig14" => experiments::fig14(&env),
+            "fig15" => experiments::fig15(&env),
+            "ablation" => experiments::ablation(&env),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                continue;
+            }
+        };
+        println!("\n=== {exp} ===\n{output}");
+        eprintln!("# {exp} took {:.1}s", started.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,110 @@
+//! Minimal aligned-column text tables for experiment output.
+
+use std::fmt::Write as _;
+
+/// A text table with a header row and aligned columns.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with the given column headers.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", c, w = widths[i]);
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        let _ = writeln!(out, "{}", "-".repeat(total.max(ncols)));
+        for r in &self.rows {
+            line(r, &mut out);
+        }
+        out
+    }
+}
+
+/// Format a duration in adaptive units (the paper mixes ms and s).
+pub fn fmt_dur(d: std::time::Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}us")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.3}s", us as f64 / 1_000_000.0)
+    }
+}
+
+/// Format bytes in adaptive units.
+pub fn fmt_bytes(b: usize) -> String {
+    if b < 1024 {
+        format!("{b}B")
+    } else if b < 1024 * 1024 {
+        format!("{:.1}KB", b as f64 / 1024.0)
+    } else {
+        format!("{:.1}MB", b as f64 / (1024.0 * 1024.0))
+    }
+}
+
+/// Format a ratio with 3 decimals.
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(&["Q", "time"]);
+        t.row(vec!["Q1".into(), "5.72".into()]);
+        t.row(vec!["Q22".into(), "0.65".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('Q') && lines[0].contains("time"));
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(fmt_dur(Duration::from_micros(12)), "12us");
+        assert_eq!(fmt_dur(Duration::from_millis(12)), "12.00ms");
+        assert_eq!(fmt_dur(Duration::from_secs(2)), "2.000s");
+    }
+
+    #[test]
+    fn byte_units() {
+        assert_eq!(fmt_bytes(100), "100B");
+        assert_eq!(fmt_bytes(2048), "2.0KB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0MB");
+    }
+}

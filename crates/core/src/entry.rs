@@ -1,0 +1,167 @@
+//! Pool entries: a cached instruction instance with lineage and statistics.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use rbat::{BatId, Value};
+
+use crate::signature::Sig;
+
+/// Identifier of a pool entry.
+pub type EntryId = u64;
+
+/// Identity of the *source instruction* in its query template:
+/// `(template id, program counter)`. Stable across invocations — the unit
+/// the CREDIT policy accounts against (paper §4.2).
+pub type InstrKey = (u64, usize);
+
+/// A recycled intermediate: the instruction as executed, its materialised
+/// result, lineage links and the execution/reuse statistics that drive the
+/// admission and eviction policies.
+#[derive(Debug, Clone)]
+pub struct PoolEntry {
+    /// Pool-unique id.
+    pub id: EntryId,
+    /// Matching signature (opcode + argument values/identities).
+    pub sig: Sig,
+    /// The evaluated argument values as executed — kept for delta
+    /// propagation, which must re-run operators over update deltas (§6.3).
+    pub args: Vec<Value>,
+    /// The materialised result (BAT or scalar).
+    pub result: Value,
+    /// Identity of the result BAT, when the result is one.
+    pub result_id: Option<BatId>,
+    /// Resident bytes charged against the pool's memory budget.
+    pub bytes: usize,
+    /// Measured CPU cost of computing the result — `Cost(I)` in eq. (1).
+    pub cpu: Duration,
+    /// Coarse instruction family (Table III breakdown).
+    pub family: &'static str,
+    /// Pool entries whose results feed this instruction.
+    pub parents: Vec<EntryId>,
+    /// Persistent `(table, column)` pairs this intermediate (transitively)
+    /// derives from — the invalidation key on updates (§6.4). Join indices
+    /// contribute both endpoints.
+    pub base_columns: BTreeSet<(String, String)>,
+    /// Logical admission tick (for the HISTORY policy's ageing).
+    pub admitted_tick: u64,
+    /// Last computation-or-reuse tick (LRU ordering).
+    pub last_used: u64,
+    /// Invocation counter value when admitted — distinguishes local from
+    /// global reuse.
+    pub admitted_invocation: u64,
+    /// Reuses within the admitting invocation.
+    pub local_reuses: u64,
+    /// Reuses from other invocations.
+    pub global_reuses: u64,
+    /// Times this entry served as a subsumption source (§5).
+    pub subsumption_uses: u64,
+    /// Source instruction identity (for credit returns).
+    pub creator: InstrKey,
+    /// Cumulative execution time avoided through exact-match reuse.
+    pub time_saved: Duration,
+    /// Has the admission credit already been returned to the creator
+    /// (first local reuse returns it immediately; a globally reused entry
+    /// returns it at eviction — never both, paper §4.2)?
+    pub credit_returned: bool,
+}
+
+impl PoolEntry {
+    /// Total references: the initial computation plus every reuse —
+    /// `k` in the paper's weight function (eq. 2).
+    pub fn k(&self) -> u64 {
+        1 + self.local_reuses + self.global_reuses
+    }
+
+    /// Weight function of eq. (2): entries with demonstrated *global*
+    /// reuse weigh `k − 1`; entries never reused, or reused only locally,
+    /// get the minimal weight 0.1 (no incentive to keep them beyond the
+    /// query scope).
+    pub fn weight(&self) -> f64 {
+        if self.global_reuses > 0 {
+            (self.k() - 1) as f64
+        } else {
+            0.1
+        }
+    }
+
+    /// Benefit of eq. (1): `B(I) = Cost(I) · Weight(I)`.
+    pub fn benefit(&self) -> f64 {
+        self.cpu.as_secs_f64() * self.weight()
+    }
+
+    /// History-policy benefit of eq. (3): benefit per tick of residence.
+    pub fn history_benefit(&self, now_tick: u64) -> f64 {
+        let age = now_tick.saturating_sub(self.admitted_tick).max(1);
+        self.benefit() / age as f64
+    }
+
+    /// Was this entry ever reused (locally or globally)?
+    pub fn reused(&self) -> bool {
+        self.local_reuses + self.global_reuses > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmal::Opcode;
+
+    fn entry() -> PoolEntry {
+        PoolEntry {
+            id: 1,
+            sig: Sig::of(Opcode::Select, &[Value::Int(1)]),
+            args: vec![Value::Int(1)],
+            result: Value::Int(7),
+            result_id: None,
+            bytes: 64,
+            cpu: Duration::from_millis(100),
+            family: "select",
+            parents: vec![],
+            base_columns: BTreeSet::new(),
+            admitted_tick: 10,
+            last_used: 10,
+            admitted_invocation: 1,
+            local_reuses: 0,
+            global_reuses: 0,
+            subsumption_uses: 0,
+            creator: (1, 0),
+            time_saved: Duration::ZERO,
+            credit_returned: false,
+        }
+    }
+
+    #[test]
+    fn weight_never_reused_is_minimal() {
+        let e = entry();
+        assert_eq!(e.k(), 1);
+        assert!((e.weight() - 0.1).abs() < 1e-12);
+        assert!((e.benefit() - 0.01).abs() < 1e-9); // 0.1s * 0.1
+    }
+
+    #[test]
+    fn weight_local_only_stays_minimal() {
+        let mut e = entry();
+        e.local_reuses = 5;
+        assert!((e.weight() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_global_reuse_counts_references() {
+        let mut e = entry();
+        e.global_reuses = 2;
+        e.local_reuses = 1;
+        assert_eq!(e.k(), 4);
+        assert!((e.weight() - 3.0).abs() < 1e-12);
+        assert!((e.benefit() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn history_benefit_ages() {
+        let mut e = entry();
+        e.global_reuses = 1;
+        let fresh = e.history_benefit(11);
+        let old = e.history_benefit(1010);
+        assert!(fresh > old);
+    }
+}

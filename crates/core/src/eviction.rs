@@ -1,0 +1,368 @@
+//! Eviction: choosing leaf entries to drop under resource pressure.
+//!
+//! Implements paper §4.3: all policies operate on the set of *leaf*
+//! instructions (no dependents in the pool), protect the current query's
+//! instructions, and exist in per-entry and per-memory variants. The
+//! memory variants solve the complementary binary-knapsack problem with the
+//! classic greedy 2-approximation [Martello & Toth 1990].
+
+use rbat::hash::FxHashSet;
+
+use crate::config::EvictionPolicy;
+use crate::entry::{EntryId, PoolEntry};
+use crate::pool::RecyclePool;
+
+/// What triggered eviction: an entry-count ceiling or a memory ceiling.
+#[derive(Debug, Clone, Copy)]
+pub enum EvictTrigger {
+    /// Free this many entry slots.
+    Entries(usize),
+    /// Free at least this many bytes.
+    Memory(usize),
+}
+
+fn policy_key(policy: EvictionPolicy, e: &PoolEntry, now_tick: u64) -> f64 {
+    match policy {
+        // smaller = evicted first
+        EvictionPolicy::Lru => e.last_used as f64,
+        EvictionPolicy::Benefit => e.benefit(),
+        EvictionPolicy::History => e.history_benefit(now_tick),
+    }
+}
+
+/// Evict per `policy` until the trigger is satisfied; returns the evicted
+/// entries (the caller settles credit returns and statistics). May return
+/// fewer than requested when the pool runs out of evictable entries.
+pub fn evict(
+    pool: &mut RecyclePool,
+    policy: EvictionPolicy,
+    trigger: EvictTrigger,
+    protected: &FxHashSet<EntryId>,
+    now_tick: u64,
+) -> Vec<PoolEntry> {
+    match trigger {
+        EvictTrigger::Entries(need) => evict_entries(pool, policy, need, protected, now_tick),
+        EvictTrigger::Memory(need) => evict_memory(pool, policy, need, protected, now_tick),
+    }
+}
+
+/// Per-entry variant (BPent / HPent / plain LRU): repeatedly pick the leaf
+/// with the smallest policy key.
+fn evict_entries(
+    pool: &mut RecyclePool,
+    policy: EvictionPolicy,
+    need: usize,
+    protected: &FxHashSet<EntryId>,
+    now_tick: u64,
+) -> Vec<PoolEntry> {
+    let mut evicted = Vec::new();
+    while evicted.len() < need {
+        let leaves = pool.leaves(protected);
+        let victim = leaves
+            .iter()
+            .filter_map(|id| pool.get(*id))
+            .min_by(|a, b| {
+                policy_key(policy, a, now_tick)
+                    .partial_cmp(&policy_key(policy, b, now_tick))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|e| e.id);
+        match victim {
+            Some(id) => {
+                if let Some(e) = pool.remove(id) {
+                    evicted.push(e);
+                }
+            }
+            None => break,
+        }
+    }
+    evicted
+}
+
+/// Memory variant. For LRU: evict oldest leaves until enough bytes are
+/// free. For BP/HP: greedy knapsack over the leaves — keep the maximal
+/// total benefit that fits within `total_leaf_bytes − need`, evict the
+/// rest; the greedy order is profit density `B(I)/M(I)` and the solution
+/// is compared against the single item of maximum profit (worst case at
+/// most 2× off optimal). If the leaves do not release enough space, all of
+/// them go and another iteration starts (paper §4.3).
+fn evict_memory(
+    pool: &mut RecyclePool,
+    policy: EvictionPolicy,
+    need: usize,
+    protected: &FxHashSet<EntryId>,
+    now_tick: u64,
+) -> Vec<PoolEntry> {
+    let mut evicted = Vec::new();
+    let mut freed = 0usize;
+    while freed < need {
+        let leaves = pool.leaves(protected);
+        if leaves.is_empty() {
+            break;
+        }
+        let leaf_bytes: usize = leaves
+            .iter()
+            .filter_map(|id| pool.get(*id))
+            .map(|e| e.bytes)
+            .sum();
+        let remaining_need = need - freed;
+        if leaf_bytes <= remaining_need {
+            // Not enough in this layer: evict all leaves, iterate.
+            for id in leaves {
+                if let Some(e) = pool.remove(id) {
+                    freed += e.bytes;
+                    evicted.push(e);
+                }
+            }
+            continue;
+        }
+        let victims: Vec<EntryId> = match policy {
+            EvictionPolicy::Lru => {
+                let mut ordered: Vec<(u64, usize, EntryId)> = leaves
+                    .iter()
+                    .filter_map(|id| pool.get(*id))
+                    .map(|e| (e.last_used, e.bytes, e.id))
+                    .collect();
+                ordered.sort_unstable();
+                let mut take = Vec::new();
+                let mut sum = 0usize;
+                for (_, bytes, id) in ordered {
+                    if sum >= remaining_need {
+                        break;
+                    }
+                    sum += bytes;
+                    take.push(id);
+                }
+                take
+            }
+            EvictionPolicy::Benefit | EvictionPolicy::History => {
+                knapsack_victims(pool, &leaves, leaf_bytes - remaining_need, policy, now_tick)
+            }
+        };
+        if victims.is_empty() {
+            break;
+        }
+        for id in victims {
+            if let Some(e) = pool.remove(id) {
+                freed += e.bytes;
+                evicted.push(e);
+            }
+        }
+    }
+    evicted
+}
+
+/// Solve the *complementary* knapsack: keep the best leaves within
+/// `capacity` bytes, return the ones to evict.
+fn knapsack_victims(
+    pool: &RecyclePool,
+    leaves: &[EntryId],
+    capacity: usize,
+    policy: EvictionPolicy,
+    now_tick: u64,
+) -> Vec<EntryId> {
+    struct Item {
+        id: EntryId,
+        bytes: usize,
+        benefit: f64,
+    }
+    let items: Vec<Item> = leaves
+        .iter()
+        .filter_map(|id| pool.get(*id))
+        .map(|e| Item {
+            id: e.id,
+            bytes: e.bytes,
+            benefit: policy_key(policy, e, now_tick),
+        })
+        .collect();
+
+    // Greedy by profit density.
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| {
+        let da = items[a].benefit / items[a].bytes.max(1) as f64;
+        let db = items[b].benefit / items[b].bytes.max(1) as f64;
+        db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut kept: FxHashSet<EntryId> = FxHashSet::default();
+    let mut used = 0usize;
+    let mut greedy_benefit = 0.0;
+    for &i in &order {
+        if used + items[i].bytes <= capacity {
+            used += items[i].bytes;
+            greedy_benefit += items[i].benefit;
+            kept.insert(items[i].id);
+        }
+    }
+    // 2-approximation guard: compare with keeping only the max-profit item.
+    if let Some(best) = items
+        .iter()
+        .filter(|it| it.bytes <= capacity)
+        .max_by(|a, b| {
+            a.benefit
+                .partial_cmp(&b.benefit)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    {
+        if best.benefit > greedy_benefit {
+            kept.clear();
+            kept.insert(best.id);
+        }
+    }
+    items
+        .iter()
+        .filter(|it| !kept.contains(&it.id))
+        .map(|it| it.id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::Sig;
+    use rbat::Value;
+    use rmal::Opcode;
+    use std::collections::BTreeSet;
+    use std::time::Duration;
+
+    fn put(
+        pool: &mut RecyclePool,
+        tag: i64,
+        bytes: usize,
+        cpu_ms: u64,
+        global_reuses: u64,
+        last_used: u64,
+    ) -> EntryId {
+        let e = PoolEntry {
+            id: pool.next_id(),
+            sig: Sig::of(Opcode::Select, &[Value::Int(tag)]),
+            args: vec![Value::Int(tag)],
+            result: Value::Int(tag),
+            result_id: None,
+            bytes,
+            cpu: Duration::from_millis(cpu_ms),
+            family: "select",
+            parents: vec![],
+            base_columns: BTreeSet::new(),
+            admitted_tick: 0,
+            last_used,
+            admitted_invocation: 0,
+            local_reuses: 0,
+            global_reuses,
+            subsumption_uses: 0,
+            creator: (0, 0),
+            time_saved: Duration::ZERO,
+            credit_returned: false,
+        };
+        pool.insert(e)
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut pool = RecyclePool::new();
+        let old = put(&mut pool, 1, 100, 10, 0, 1);
+        let newer = put(&mut pool, 2, 100, 10, 0, 5);
+        let ev = evict(
+            &mut pool,
+            EvictionPolicy::Lru,
+            EvictTrigger::Entries(1),
+            &FxHashSet::default(),
+            10,
+        );
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].id, old);
+        assert!(pool.get(newer).is_some());
+    }
+
+    #[test]
+    fn benefit_keeps_reused_expensive() {
+        let mut pool = RecyclePool::new();
+        let cheap = put(&mut pool, 1, 100, 1, 0, 9); // tiny benefit
+        let valuable = put(&mut pool, 2, 100, 1000, 3, 1); // reused, expensive
+        let ev = evict(
+            &mut pool,
+            EvictionPolicy::Benefit,
+            EvictTrigger::Entries(1),
+            &FxHashSet::default(),
+            10,
+        );
+        assert_eq!(ev[0].id, cheap, "LRU would have taken the valuable one");
+        assert!(pool.get(valuable).is_some());
+    }
+
+    #[test]
+    fn memory_eviction_frees_enough() {
+        let mut pool = RecyclePool::new();
+        for i in 0..10 {
+            put(&mut pool, i, 1000, 10, (i % 3) as u64, i as u64);
+        }
+        let before = pool.bytes();
+        let ev = evict(
+            &mut pool,
+            EvictionPolicy::Benefit,
+            EvictTrigger::Memory(2500),
+            &FxHashSet::default(),
+            100,
+        );
+        let freed: usize = ev.iter().map(|e| e.bytes).sum();
+        assert!(freed >= 2500, "freed only {freed}");
+        assert_eq!(pool.bytes(), before - freed);
+        pool.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn protected_entries_survive() {
+        let mut pool = RecyclePool::new();
+        let a = put(&mut pool, 1, 100, 10, 0, 1);
+        let b = put(&mut pool, 2, 100, 10, 0, 2);
+        let mut prot = FxHashSet::default();
+        prot.insert(a);
+        let ev = evict(
+            &mut pool,
+            EvictionPolicy::Lru,
+            EvictTrigger::Entries(1),
+            &prot,
+            10,
+        );
+        assert_eq!(ev[0].id, b, "the older entry was protected");
+        assert!(pool.get(a).is_some());
+    }
+
+    #[test]
+    fn dependency_layers_peel() {
+        // parent <- child: child must go before parent can.
+        let mut pool = RecyclePool::new();
+        let parent = put(&mut pool, 1, 1000, 10, 5, 1);
+        let child = PoolEntry {
+            id: pool.next_id(),
+            sig: Sig::of(Opcode::Reverse, &[Value::Int(99)]),
+            args: vec![],
+            result: Value::Int(0),
+            result_id: None,
+            bytes: 1000,
+            cpu: Duration::from_millis(1),
+            family: "view",
+            parents: vec![parent],
+            base_columns: BTreeSet::new(),
+            admitted_tick: 0,
+            last_used: 9,
+            admitted_invocation: 0,
+            local_reuses: 0,
+            global_reuses: 0,
+            subsumption_uses: 0,
+            creator: (0, 1),
+            time_saved: Duration::ZERO,
+            credit_returned: false,
+        };
+        pool.insert(child);
+        let ev = evict(
+            &mut pool,
+            EvictionPolicy::Lru,
+            EvictTrigger::Memory(1500),
+            &FxHashSet::default(),
+            10,
+        );
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].family, "view", "leaf (child) must be evicted first");
+        pool.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,79 @@
+//! # recycler — recycling intermediates in a column-store
+//!
+//! This crate is the primary contribution of Ivanova, Kersten, Nes &
+//! Gonçalves, *"An Architecture for Recycling Intermediates in a
+//! Column-store"* (SIGMOD 2009), rebuilt in Rust on top of the `rbat`
+//! column engine and the `rmal` abstract machine.
+//!
+//! The architecture has two halves:
+//!
+//! * **The recycler optimiser** ([`RecycleMark`]) — an optimiser-pipeline
+//!   pass that inspects a MAL program and marks the instructions worth
+//!   monitoring: an instruction qualifies when its opcode is eligible and
+//!   all its arguments are constants, template parameters or results of
+//!   already-marked instructions (paper §3.1). The net effect is that
+//!   operator threads rooted at `sql.bind` are marked as far up the plan as
+//!   possible.
+//!
+//! * **The run-time support** ([`Recycler`]) — an
+//!   [`rmal::ExecHook`] implementing the paper's Algorithm 1. Before a
+//!   marked instruction executes, `recycleEntry` searches the
+//!   [`RecyclePool`] for an exact match (bottom-up sequence matching,
+//!   §3.4 alternative 1) or a *subsuming* intermediate (§5); after an
+//!   execution, `recycleExit` decides admission via the configured
+//!   [`AdmissionPolicy`] and makes room via the [`EvictionPolicy`], both of
+//!   which respect instruction lineage (§4).
+//!
+//! Updates are handled per §6: the default is immediate column-level
+//! invalidation of affected intermediates; an opt-in delta-propagation mode
+//! refreshes select/projection/view/join chains instead of dropping them.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rbat::{Catalog, TableBuilder, LogicalType, Value};
+//! use rmal::{Engine, ProgramBuilder, P};
+//! use recycler::{Recycler, RecyclerConfig, RecycleMark};
+//!
+//! let mut cat = Catalog::new();
+//! let mut tb = TableBuilder::new("t").column("x", LogicalType::Int);
+//! for i in 0..1000 { tb.push_row(&[Value::Int(i)]); }
+//! cat.add_table(tb.finish());
+//!
+//! let mut engine = Engine::with_hook(cat, Recycler::new(RecyclerConfig::default()));
+//! engine.add_pass(Box::new(RecycleMark));
+//!
+//! let mut b = ProgramBuilder::new("count_range", 2);
+//! let col = b.bind("t", "x");
+//! let sel = b.select_half_open(col, P(0), P(1));
+//! let n = b.count(sel);
+//! b.export("n", n);
+//! let mut tmpl = b.finish();
+//! engine.optimize(&mut tmpl);
+//!
+//! let p = [Value::Int(10), Value::Int(500)];
+//! let first = engine.run(&tmpl, &p).unwrap();
+//! let second = engine.run(&tmpl, &p).unwrap();
+//! assert_eq!(first.export("n"), second.export("n"));
+//! assert!(second.stats.reused > 0, "second run reuses intermediates");
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod entry;
+pub mod eviction;
+pub mod mark;
+pub mod pool;
+pub mod propagate;
+pub mod runtime;
+pub mod signature;
+pub mod stats;
+pub mod subsume;
+
+pub use config::{AdmissionPolicy, EvictionPolicy, RecyclerConfig, UpdateMode};
+pub use entry::{EntryId, PoolEntry};
+pub use mark::RecycleMark;
+pub use pool::RecyclePool;
+pub use runtime::Recycler;
+pub use stats::{FamilyRow, PoolSnapshot, QueryRecord, RecyclerStats};

@@ -1,0 +1,118 @@
+//! The recycler optimiser: marking instructions for run-time monitoring.
+
+use rbat::Catalog;
+use rmal::optimizer::OptPass;
+use rmal::{Arg, Program};
+
+/// The marking pass of paper §3.1. An instruction becomes subject to
+/// recycler monitoring iff its opcode is eligible (no updates, no cheap
+/// scalar expressions, no exports) and *all* its arguments are constants,
+/// template parameters, or results of instructions already designated as
+/// recycling candidates. Threads of operators rooted at `sql.bind` are
+/// thereby marked as far through the plan as possible (the shaded nodes of
+/// paper Figure 2); parameter-dependent instructions are marked too — they
+/// are reused when parameter values match or allow subsumption.
+///
+/// Position in the pipeline matters: run this *after* constant folding and
+/// dead-code elimination (`Engine::add_pass` appends, so the default
+/// ordering is correct).
+pub struct RecycleMark;
+
+impl OptPass for RecycleMark {
+    fn name(&self) -> &'static str {
+        "recycler"
+    }
+
+    fn run(&self, program: &mut Program, _catalog: &Catalog) {
+        let mut candidate = vec![false; program.nvars as usize];
+        for instr in &mut program.instrs {
+            let args_ok = instr.args.iter().all(|a| match a {
+                Arg::Const(_) | Arg::Param(_) => true,
+                Arg::Var(v) => candidate[v.index()],
+            });
+            if !args_ok {
+                continue;
+            }
+            if instr.op.recyclable() {
+                instr.recycle = true;
+                candidate[instr.result.index()] = true;
+            } else if instr.op.pure_scalar() {
+                // not monitored itself (too cheap), but its result is a
+                // deterministic function of parameters — consumers can
+                // still match by value at run time
+                candidate[instr.result.index()] = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmal::{ProgramBuilder, P};
+
+    #[test]
+    fn marks_threads_from_binds() {
+        let mut b = ProgramBuilder::new("t", 1);
+        let col = b.bind("orders", "o_orderdate");
+        let sel = b.select_half_open(col, P(0), Value::date("1996-10-01"));
+        let n = b.count(sel);
+        b.export("n", n);
+        let mut p = b.finish();
+        RecycleMark.run(&mut p, &Catalog::new());
+        let marked: Vec<bool> = p.instrs.iter().map(|i| i.recycle).collect();
+        // bind, select, count marked; export not
+        assert_eq!(marked, vec![true, true, true, false]);
+    }
+
+    use rbat::Value;
+
+    #[test]
+    fn pure_scalars_propagate_candidacy() {
+        let mut b = ProgramBuilder::new("t", 2);
+        let d = b.add_months_arg(P(0), P(1)); // not recyclable
+        let col = b.bind("orders", "o_orderdate");
+        let sel = b.select_half_open(col, P(0), d);
+        b.export("r", sel);
+        let mut p = b.finish();
+        RecycleMark.run(&mut p, &Catalog::new());
+        assert!(!p.instrs[0].recycle, "addmonths is never monitored");
+        assert!(p.instrs[1].recycle, "bind is monitored");
+        assert!(
+            p.instrs[2].recycle,
+            "a select fed by a pure scalar of parameters IS monitorable \
+             (its argument resolves to a deterministic value, Fig. 2 X25/X26)"
+        );
+    }
+
+    #[test]
+    fn constant_folding_then_marking_recovers_thread() {
+        // After ConstFold replaces addmonths with a constant, the select's
+        // arguments are all constants/candidates and the whole thread marks.
+        use rmal::optimizer::{ConstFold, DeadCode};
+        let cat = Catalog::new();
+        let mut b = ProgramBuilder::new("t", 0);
+        let d = b.add_months(Value::date("1996-07-01"), 3);
+        let col = b.bind("orders", "o_orderdate");
+        let sel = b.select_half_open(col, Value::date("1996-07-01"), d);
+        b.export("r", sel);
+        let mut p = b.finish();
+        ConstFold.run(&mut p, &cat);
+        DeadCode.run(&mut p, &cat);
+        RecycleMark.run(&mut p, &cat);
+        assert_eq!(p.marked_count(), 2, "bind + select after folding");
+    }
+
+    #[test]
+    fn marks_join_threads() {
+        let mut b = ProgramBuilder::new("t", 0);
+        let l = b.bind("lineitem", "l_orderkey");
+        let r = b.bind("orders", "o_orderkey");
+        let rr = b.reverse(r);
+        let j = b.join(l, rr);
+        b.export("j", j);
+        let mut p = b.finish();
+        RecycleMark.run(&mut p, &Catalog::new());
+        assert_eq!(p.marked_count(), 4);
+    }
+}

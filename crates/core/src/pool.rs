@@ -1,0 +1,479 @@
+//! The recycle pool: storage, indexes and lineage bookkeeping.
+
+use std::collections::HashMap;
+
+use rbat::hash::{FxHashMap, FxHashSet};
+use rbat::BatId;
+use rmal::Opcode;
+
+use crate::entry::{EntryId, PoolEntry};
+use crate::signature::{ArgSig, Sig};
+
+/// The recycler's resource pool of intermediates (paper §3.2). Besides the
+/// entry store it maintains:
+///
+/// * an exact-match index `signature → entry`,
+/// * a result index `BatId → entry` (parent resolution, admission coherence),
+/// * child edges (dependents) so eviction can restrict itself to *leaf*
+///   instructions (paper §4.3),
+/// * a per-`(opcode, first argument)` index feeding subsumption candidate
+///   search (§5),
+/// * a subset relation over result BATs (`result ⊆ operand`) supporting
+///   semijoin subsumption (§5.1).
+#[derive(Debug, Default)]
+pub struct RecyclePool {
+    entries: FxHashMap<EntryId, PoolEntry>,
+    by_sig: HashMap<Sig, EntryId>,
+    by_result: FxHashMap<BatId, EntryId>,
+    children: FxHashMap<EntryId, FxHashSet<EntryId>>,
+    by_op_arg0: HashMap<(Opcode, ArgSig), Vec<EntryId>>,
+    /// `bat → direct supersets`: filled by the set-semantics of admitted
+    /// operators (select result ⊆ its operand, semijoin result ⊆ left
+    /// operand, ...).
+    supersets: FxHashMap<BatId, Vec<BatId>>,
+    bytes: usize,
+    next_id: EntryId,
+}
+
+impl RecyclePool {
+    /// Empty pool.
+    pub fn new() -> RecyclePool {
+        RecyclePool::default()
+    }
+
+    /// Number of entries ("cache lines").
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the pool empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total resident bytes of stored intermediates.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Allocate the next entry id.
+    pub fn next_id(&mut self) -> EntryId {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Exact-match lookup.
+    pub fn lookup(&self, sig: &Sig) -> Option<EntryId> {
+        self.by_sig.get(sig).copied()
+    }
+
+    /// Borrow an entry.
+    pub fn get(&self, id: EntryId) -> Option<&PoolEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Borrow an entry mutably (statistics updates).
+    pub fn get_mut(&mut self, id: EntryId) -> Option<&mut PoolEntry> {
+        self.entries.get_mut(&id)
+    }
+
+    /// The entry owning a result BAT, if any.
+    pub fn entry_of_result(&self, bat: BatId) -> Option<EntryId> {
+        self.by_result.get(&bat).copied()
+    }
+
+    /// Iterate over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = &PoolEntry> {
+        self.entries.values()
+    }
+
+    /// Candidate entries with the given opcode and first-argument
+    /// signature — the subsumption search space for "same column operand".
+    pub fn candidates(&self, op: Opcode, arg0: &ArgSig) -> &[EntryId] {
+        self.by_op_arg0
+            .get(&(op, arg0.clone()))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Record that `sub` is a subset (by tuple content) of `sup`.
+    pub fn add_subset_edge(&mut self, sub: BatId, sup: BatId) {
+        self.supersets.entry(sub).or_default().push(sup);
+    }
+
+    /// Is `sub ⊆ sup` derivable from the recorded subset edges
+    /// (reflexive-transitive closure)?
+    pub fn is_subset(&self, sub: BatId, sup: BatId) -> bool {
+        if sub == sup {
+            return true;
+        }
+        let mut visited: FxHashSet<BatId> = FxHashSet::default();
+        let mut stack = vec![sub];
+        while let Some(b) = stack.pop() {
+            if b == sup {
+                return true;
+            }
+            if !visited.insert(b) {
+                continue;
+            }
+            if let Some(sups) = self.supersets.get(&b) {
+                stack.extend(sups.iter().copied());
+            }
+        }
+        false
+    }
+
+    /// Insert a fully constructed entry, wiring all indexes. If an entry
+    /// with the same signature already exists the new one is dropped and
+    /// the existing id returned (single-threaded execution makes this a
+    /// benign no-op path).
+    pub fn insert(&mut self, entry: PoolEntry) -> EntryId {
+        if let Some(&existing) = self.by_sig.get(&entry.sig) {
+            return existing;
+        }
+        let id = entry.id;
+        self.by_sig.insert(entry.sig.clone(), id);
+        if let Some(rb) = entry.result_id {
+            self.by_result.insert(rb, id);
+        }
+        if let Some(arg0) = entry.sig.first_arg() {
+            self.by_op_arg0
+                .entry((entry.sig.op, arg0.clone()))
+                .or_default()
+                .push(id);
+        }
+        for p in &entry.parents {
+            self.children.entry(*p).or_default().insert(id);
+        }
+        self.bytes += entry.bytes;
+        self.entries.insert(id, entry);
+        id
+    }
+
+    /// Remove one entry, unwiring all indexes; returns it.
+    pub fn remove(&mut self, id: EntryId) -> Option<PoolEntry> {
+        let entry = self.entries.remove(&id)?;
+        self.by_sig.remove(&entry.sig);
+        if let Some(rb) = entry.result_id {
+            self.by_result.remove(&rb);
+            self.supersets.remove(&rb);
+        }
+        if let Some(arg0) = entry.sig.first_arg() {
+            if let Some(v) = self.by_op_arg0.get_mut(&(entry.sig.op, arg0.clone())) {
+                v.retain(|e| *e != id);
+                if v.is_empty() {
+                    self.by_op_arg0.remove(&(entry.sig.op, arg0.clone()));
+                }
+            }
+        }
+        for p in &entry.parents {
+            if let Some(c) = self.children.get_mut(p) {
+                c.remove(&id);
+                if c.is_empty() {
+                    self.children.remove(p);
+                }
+            }
+        }
+        self.children.remove(&id);
+        self.bytes -= entry.bytes;
+        Some(entry)
+    }
+
+    /// Does this entry have dependents in the pool?
+    pub fn has_children(&self, id: EntryId) -> bool {
+        self.children.get(&id).is_some_and(|c| !c.is_empty())
+    }
+
+    /// The *leaf* entries — no dependents in the pool — excluding the
+    /// `protected` set (the current query's instructions, paper §4.3).
+    /// When protection would leave no candidates at all, the protected
+    /// leaves are returned instead (paper footnote 3: a single query
+    /// filling the whole pool must not deadlock eviction).
+    pub fn leaves(&self, protected: &FxHashSet<EntryId>) -> Vec<EntryId> {
+        let unprotected: Vec<EntryId> = self
+            .entries
+            .keys()
+            .filter(|id| !self.has_children(**id) && !protected.contains(id))
+            .copied()
+            .collect();
+        if !unprotected.is_empty() {
+            return unprotected;
+        }
+        self.entries
+            .keys()
+            .filter(|id| !self.has_children(**id))
+            .copied()
+            .collect()
+    }
+
+    /// Remove `root` and every transitive dependent (update invalidation,
+    /// §6.4). Returns the removed entries.
+    pub fn remove_subtree(&mut self, root: EntryId) -> Vec<PoolEntry> {
+        let mut order: Vec<EntryId> = Vec::new();
+        let mut stack = vec![root];
+        let mut seen: FxHashSet<EntryId> = FxHashSet::default();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            order.push(id);
+            if let Some(c) = self.children.get(&id) {
+                stack.extend(c.iter().copied());
+            }
+        }
+        let mut removed = Vec::with_capacity(order.len());
+        for id in order {
+            if let Some(e) = self.remove(id) {
+                removed.push(e);
+            }
+        }
+        removed
+    }
+
+    /// Dependents of an entry (direct children).
+    pub fn children_of(&self, id: EntryId) -> Vec<EntryId> {
+        self.children
+            .get(&id)
+            .map(|c| c.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Re-key an entry's signature and result identity after delta
+    /// propagation replaced its result BAT (§6.3). The caller updates the
+    /// entry fields; this fixes the indexes.
+    pub fn rekey(&mut self, id: EntryId, old_sig: &Sig, old_result: Option<BatId>) {
+        let Some(entry) = self.entries.get(&id) else {
+            return;
+        };
+        let new_sig = entry.sig.clone();
+        let new_result = entry.result_id;
+        let new_bytes = entry.bytes;
+        if *old_sig != new_sig {
+            self.by_sig.remove(old_sig);
+            self.by_sig.insert(new_sig.clone(), id);
+            if let Some(arg0) = old_sig.first_arg() {
+                if let Some(v) = self.by_op_arg0.get_mut(&(old_sig.op, arg0.clone())) {
+                    v.retain(|e| *e != id);
+                }
+            }
+            if let Some(arg0) = new_sig.first_arg() {
+                self.by_op_arg0
+                    .entry((new_sig.op, arg0.clone()))
+                    .or_default()
+                    .push(id);
+            }
+        }
+        if old_result != new_result {
+            if let Some(o) = old_result {
+                self.by_result.remove(&o);
+                self.supersets.remove(&o);
+            }
+            if let Some(n) = new_result {
+                self.by_result.insert(n, id);
+            }
+        }
+        // bytes may have changed with the new result
+        let old_entry_bytes = self
+            .entries
+            .get(&id)
+            .map(|e| e.bytes)
+            .unwrap_or(new_bytes);
+        debug_assert_eq!(old_entry_bytes, new_bytes);
+    }
+
+    /// Recompute the total byte counter after in-place entry mutation.
+    pub fn refresh_bytes(&mut self) {
+        self.bytes = self.entries.values().map(|e| e.bytes).sum();
+    }
+
+    /// Render the pool as a MAL-like program block with its symbol table —
+    /// the paper's Table I view ("the recycle pool is internally
+    /// represented as a MAL program block, which simplifies its
+    /// management, inspection and debugging", §3.2).
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut ids: Vec<EntryId> = self.entries.keys().copied().collect();
+        ids.sort_unstable();
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "# recycle pool: {} entries, {} bytes",
+            self.len(),
+            self.bytes()
+        );
+        let _ = writeln!(
+            s,
+            "{:<6} {:<58} {:>8} {:>10} {:>7} {:>7}",
+            "entry", "instruction", "tuples", "bytes", "local", "global"
+        );
+        for id in ids {
+            let e = &self.entries[&id];
+            let args: Vec<String> = e
+                .sig
+                .args
+                .iter()
+                .map(|a| match a {
+                    ArgSig::Scalar(v) => v.to_string(),
+                    ArgSig::Bat(b) => format!("bat#{}", b.0),
+                })
+                .collect();
+            let result = match &e.result {
+                rbat::Value::Bat(b) => format!("bat#{}", b.id().0),
+                v => v.to_string(),
+            };
+            let tuples = e
+                .result
+                .as_bat()
+                .map(|b| b.len().to_string())
+                .unwrap_or_else(|| "-".into());
+            let instr = format!("{result} := {}({})", e.sig.op.name(), args.join(", "));
+            let _ = writeln!(
+                s,
+                "{:<6} {:<58} {:>8} {:>10} {:>7} {:>7}",
+                format!("E{}", e.id),
+                instr,
+                tuples,
+                e.bytes,
+                e.local_reuses,
+                e.global_reuses
+            );
+        }
+        s
+    }
+
+    /// Check the structural invariant: every parent link points at a live
+    /// entry, byte counter consistent, sig index bijective. Test support.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for e in self.entries.values() {
+            for p in &e.parents {
+                if !self.entries.contains_key(p) {
+                    return Err(format!("entry {} has dangling parent {}", e.id, p));
+                }
+            }
+        }
+        let bytes: usize = self.entries.values().map(|e| e.bytes).sum();
+        if bytes != self.bytes {
+            return Err(format!("byte counter {} != actual {}", self.bytes, bytes));
+        }
+        if self.by_sig.len() != self.entries.len() {
+            return Err(format!(
+                "sig index size {} != entries {}",
+                self.by_sig.len(),
+                self.entries.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbat::{Bat, Column, Value};
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn mk_entry(pool: &mut RecyclePool, parents: Vec<EntryId>, tag: i64) -> PoolEntry {
+        let bat = Arc::new(Bat::from_tail(Column::from_ints(vec![tag])));
+        PoolEntry {
+            id: pool.next_id(),
+            sig: Sig::of(Opcode::Select, &[Value::Int(tag)]),
+            args: vec![Value::Int(tag)],
+            result: Value::Bat(Arc::clone(&bat)),
+            result_id: Some(bat.id()),
+            bytes: 100,
+            cpu: Duration::from_millis(1),
+            family: "select",
+            parents,
+            base_columns: BTreeSet::new(),
+            admitted_tick: 0,
+            last_used: 0,
+            admitted_invocation: 0,
+            local_reuses: 0,
+            global_reuses: 0,
+            subsumption_uses: 0,
+            creator: (0, 0),
+            time_saved: Duration::ZERO,
+            credit_returned: false,
+        }
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut pool = RecyclePool::new();
+        let e = mk_entry(&mut pool, vec![], 1);
+        let sig = e.sig.clone();
+        let id = pool.insert(e);
+        assert_eq!(pool.lookup(&sig), Some(id));
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.bytes(), 100);
+        pool.remove(id);
+        assert_eq!(pool.lookup(&sig), None);
+        assert_eq!(pool.bytes(), 0);
+        pool.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_sig_keeps_existing() {
+        let mut pool = RecyclePool::new();
+        let a = mk_entry(&mut pool, vec![], 1);
+        let id_a = pool.insert(a);
+        let mut b = mk_entry(&mut pool, vec![], 2);
+        b.sig = Sig::of(Opcode::Select, &[Value::Int(1)]); // same sig as a
+        let id_b = pool.insert(b);
+        assert_eq!(id_a, id_b);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn leaves_respect_children_and_protection() {
+        let mut pool = RecyclePool::new();
+        let a = mk_entry(&mut pool, vec![], 1);
+        let a_id = pool.insert(a);
+        let b = mk_entry(&mut pool, vec![a_id], 2);
+        let b_id = pool.insert(b);
+        let none: FxHashSet<EntryId> = FxHashSet::default();
+        assert_eq!(pool.leaves(&none), vec![b_id]);
+        // protecting the only leaf falls back to protected leaves
+        let mut prot = FxHashSet::default();
+        prot.insert(b_id);
+        assert_eq!(pool.leaves(&prot), vec![b_id]);
+    }
+
+    #[test]
+    fn remove_subtree_cascades() {
+        let mut pool = RecyclePool::new();
+        let a = mk_entry(&mut pool, vec![], 1);
+        let a_id = pool.insert(a);
+        let b = mk_entry(&mut pool, vec![a_id], 2);
+        let b_id = pool.insert(b);
+        let c = mk_entry(&mut pool, vec![b_id], 3);
+        pool.insert(c);
+        let removed = pool.remove_subtree(a_id);
+        assert_eq!(removed.len(), 3);
+        assert!(pool.is_empty());
+        pool.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn subset_closure() {
+        let mut pool = RecyclePool::new();
+        let (a, b, c) = (BatId(901), BatId(902), BatId(903));
+        pool.add_subset_edge(c, b);
+        pool.add_subset_edge(b, a);
+        assert!(pool.is_subset(c, a));
+        assert!(pool.is_subset(c, c));
+        assert!(!pool.is_subset(a, c));
+    }
+
+    #[test]
+    fn candidates_indexed_by_op_and_arg0() {
+        let mut pool = RecyclePool::new();
+        let e = mk_entry(&mut pool, vec![], 7);
+        let arg0 = e.sig.first_arg().unwrap().clone();
+        let id = pool.insert(e);
+        assert_eq!(pool.candidates(Opcode::Select, &arg0), &[id]);
+        assert!(pool.candidates(Opcode::Join, &arg0).is_empty());
+    }
+}

@@ -1,0 +1,503 @@
+//! Delta propagation of committed inserts through the recycle pool
+//! (paper §6.3).
+//!
+//! For insert-only commits, instead of invalidating every intermediate
+//! derived from the updated table, the recycler re-executes each cached
+//! operator over the *insert delta* and appends the result to the stored
+//! intermediate (Fig. 3 of the paper). Operators with no cheap propagation
+//! rule (grouping, aggregation, sorting, anti-joins) invalidate their
+//! subtree instead — the hybrid the paper describes as "partial propagation
+//! ... and invalidation for the remainder of a cached plan" (§6.2).
+//! Deleting commits always fall back to invalidation: this engine compacts
+//! OIDs on delete (see `rbat::Catalog::commit`).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use rbat::catalog::CommitReport;
+use rbat::hash::FxHashMap;
+use rbat::ops;
+use rbat::{Bat, BatId, Catalog, Value};
+use rmal::Opcode;
+
+use crate::entry::EntryId;
+use crate::pool::RecyclePool;
+use crate::signature::{ArgSig, Sig};
+
+/// What a propagation run did.
+#[derive(Debug, Default)]
+pub struct PropagationOutcome {
+    /// Entries refreshed in place.
+    pub refreshed: u64,
+    /// Entries invalidated because no propagation rule applied.
+    pub invalidated: u64,
+    /// Fresh persistent BATs (rebound columns / rebuilt indices) with their
+    /// base-column lineage — the runtime registers these for admission
+    /// coherence.
+    pub new_persistent: Vec<(BatId, BTreeSet<(String, String)>)>,
+}
+
+/// An empty BAT with the same head/tail schema as `like`.
+fn empty_like(like: &Bat) -> Bat {
+    like.slice(0, 0)
+}
+
+/// Try to propagate an insert-only commit through the pool. Returns `None`
+/// when the commit cannot be propagated at all (deletes present) — the
+/// caller must invalidate instead.
+pub fn propagate_commit(
+    pool: &mut RecyclePool,
+    report: &CommitReport,
+    catalog: &Catalog,
+) -> Option<PropagationOutcome> {
+    if !report.deleted.is_empty() {
+        return None;
+    }
+    let mut outcome = PropagationOutcome::default();
+
+    // --- Identify root entries: binds of the updated table's columns and
+    // rebuilt join indices.
+    let mut deltas: FxHashMap<EntryId, Arc<Bat>> = FxHashMap::default();
+    let mut new_results: FxHashMap<EntryId, Value> = FxHashMap::default();
+    // snapshot: old result id -> entry (so children can find updated parents)
+    let mut old_result_owner: FxHashMap<BatId, EntryId> = FxHashMap::default();
+    for e in pool.iter() {
+        if let Some(rid) = e.result_id {
+            old_result_owner.insert(rid, e.id);
+        }
+    }
+
+    let mut roots: Vec<EntryId> = Vec::new();
+    let mut doomed: Vec<EntryId> = Vec::new();
+    for e in pool.iter() {
+        match e.sig.op {
+            Opcode::Bind => {
+                let (Some(ArgSig::Scalar(Value::Str(t))), Some(ArgSig::Scalar(Value::Str(c)))) =
+                    (e.sig.args.first(), e.sig.args.get(1))
+                else {
+                    continue;
+                };
+                if t.as_ref() != report.table {
+                    continue;
+                }
+                let Some((_, delta)) = report
+                    .inserted
+                    .iter()
+                    .find(|(name, _)| name == c.as_ref())
+                else {
+                    continue;
+                };
+                let Ok(new_bat) = catalog.bind(t, c) else {
+                    doomed.push(e.id);
+                    continue;
+                };
+                deltas.insert(e.id, Arc::clone(delta));
+                new_results.insert(e.id, Value::Bat(new_bat.clone()));
+                let mut cols = BTreeSet::new();
+                cols.insert((t.to_string(), c.to_string()));
+                outcome.new_persistent.push((new_bat.id(), cols));
+                roots.push(e.id);
+            }
+            Opcode::BindIdx => {
+                let Some(ArgSig::Scalar(Value::Str(name))) = e.sig.args.first() else {
+                    continue;
+                };
+                if !report.rebuilt_indices.iter().any(|n| n == name.as_ref()) {
+                    continue;
+                }
+                let def = catalog.index_def(name);
+                let from_side_grew =
+                    def.is_some_and(|d| d.from_table == report.table);
+                let Ok(new_idx) = catalog.bind_idx(name) else {
+                    doomed.push(e.id);
+                    continue;
+                };
+                if !from_side_grew {
+                    // inserts into the *referenced* table can resolve
+                    // previously dangling FKs in place — not append-only.
+                    doomed.push(e.id);
+                    continue;
+                }
+                let old_len = e
+                    .result
+                    .as_bat()
+                    .map(|b| b.len())
+                    .unwrap_or(0);
+                let delta = Arc::new(new_idx.slice(old_len, new_idx.len() - old_len));
+                deltas.insert(e.id, delta);
+                new_results.insert(e.id, Value::Bat(new_idx.clone()));
+                let mut cols = BTreeSet::new();
+                if let Some(d) = def {
+                    cols.insert((d.from_table.clone(), d.from_column.clone()));
+                    cols.insert((d.to_table.clone(), d.to_key.clone()));
+                }
+                outcome.new_persistent.push((new_idx.id(), cols));
+                roots.push(e.id);
+            }
+            _ => {}
+        }
+    }
+    for id in doomed {
+        outcome.invalidated += pool.remove_subtree(id).len() as u64;
+    }
+    if roots.is_empty() {
+        return Some(outcome);
+    }
+
+    // --- Affected subgraph and processing order (Kahn).
+    let mut affected: BTreeSet<EntryId> = BTreeSet::new();
+    let mut stack: Vec<EntryId> = roots.clone();
+    while let Some(id) = stack.pop() {
+        if !affected.insert(id) {
+            continue;
+        }
+        stack.extend(pool.children_of(id));
+    }
+    let mut indegree: FxHashMap<EntryId, usize> = FxHashMap::default();
+    for &id in &affected {
+        let e = pool.get(id);
+        let deg = e
+            .map(|e| {
+                e.parents
+                    .iter()
+                    .filter(|p| affected.contains(p))
+                    .count()
+            })
+            .unwrap_or(0);
+        indegree.insert(id, deg);
+    }
+    let mut queue: Vec<EntryId> = affected
+        .iter()
+        .filter(|id| indegree[id] == 0)
+        .copied()
+        .collect();
+    let mut order: Vec<EntryId> = Vec::with_capacity(affected.len());
+    while let Some(id) = queue.pop() {
+        order.push(id);
+        for c in pool.children_of(id) {
+            if let Some(d) = indegree.get_mut(&c) {
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+    }
+
+    // --- Process entries in dependency order.
+    for id in order {
+        if pool.get(id).is_none() {
+            continue; // removed by an earlier subtree invalidation
+        }
+        let is_root = new_results.contains_key(&id);
+        let refreshed = if is_root {
+            apply_refresh(pool, id, new_results[&id].clone());
+            true
+        } else {
+            propagate_entry(
+                pool,
+                catalog,
+                id,
+                &old_result_owner,
+                &mut new_results,
+                &mut deltas,
+            )
+        };
+        if refreshed {
+            outcome.refreshed += 1;
+        } else {
+            outcome.invalidated += pool.remove_subtree(id).len() as u64;
+        }
+    }
+    pool.refresh_bytes();
+    Some(outcome)
+}
+
+/// Overwrite an entry's result/args in place and fix the pool indexes.
+fn apply_refresh(pool: &mut RecyclePool, id: EntryId, new_result: Value) {
+    let Some(entry) = pool.get(id) else { return };
+    let old_sig = entry.sig.clone();
+    let old_result_id = entry.result_id;
+    let e = pool.get_mut(id).expect("entry exists");
+    e.result_id = new_result.as_bat().map(|b| b.id());
+    e.result = new_result;
+    pool.rekey(id, &old_sig, old_result_id);
+}
+
+/// Propagate one non-root entry. Returns false when the entry (and its
+/// subtree) must be invalidated instead.
+fn propagate_entry(
+    pool: &mut RecyclePool,
+    catalog: &Catalog,
+    id: EntryId,
+    old_result_owner: &FxHashMap<BatId, EntryId>,
+    new_results: &mut FxHashMap<EntryId, Value>,
+    deltas: &mut FxHashMap<EntryId, Arc<Bat>>,
+) -> bool {
+    let entry = pool.get(id).expect("caller checked");
+    let op = entry.sig.op;
+    let old_result = entry.result.clone();
+    let old_sig = entry.sig.clone();
+    let old_result_id = entry.result_id;
+    let old_args = entry.args.clone();
+
+    // Substitute updated parent results into the argument list, and collect
+    // the per-argument deltas.
+    let mut new_args = old_args.clone();
+    let mut arg_deltas: Vec<Option<Arc<Bat>>> = vec![None; old_args.len()];
+    for (i, a) in old_args.iter().enumerate() {
+        if let Value::Bat(b) = a {
+            if let Some(owner) = old_result_owner.get(&b.id()) {
+                if let Some(nr) = new_results.get(owner) {
+                    new_args[i] = nr.clone();
+                    arg_deltas[i] = deltas.get(owner).cloned();
+                }
+            }
+        }
+    }
+    if arg_deltas.iter().all(|d| d.is_none()) {
+        // No updated parent actually feeds this entry — nothing to do.
+        return true;
+    }
+
+    let old_bat = old_result.as_bat().cloned();
+    let computed: Option<(Value, Arc<Bat>)> = (|| {
+        match op {
+            Opcode::Select | Opcode::Uselect | Opcode::Like | Opcode::SelectNotNil => {
+                let d_in = arg_deltas[0].clone()?;
+                let mut d_args: Vec<Value> = new_args.clone();
+                d_args[0] = Value::Bat(d_in);
+                let d_out = rmal::execute_op(catalog, &op, &d_args).ok()?;
+                let d_out = d_out.as_bat()?;
+                let old = old_bat.as_ref()?;
+                let merged = ops::concat(&[old, d_out]).ok()?;
+                Some((Value::Bat(Arc::new(merged)), Arc::clone(d_out)))
+            }
+            Opcode::Reverse | Opcode::Mirror => {
+                let parent = new_args[0].as_bat()?;
+                let d_in = arg_deltas[0].clone()?;
+                let (new, d_out) = match op {
+                    Opcode::Reverse => (parent.reverse(), d_in.reverse()),
+                    _ => (parent.mirror(), d_in.mirror()),
+                };
+                Some((Value::Bat(Arc::new(new)), Arc::new(d_out)))
+            }
+            Opcode::MarkT => {
+                let parent = new_args[0].as_bat()?;
+                let base = old_args
+                    .get(1)
+                    .and_then(|v| v.as_oid())
+                    .map(|o| o.0)
+                    .unwrap_or(0);
+                let new = parent.mark_t(base);
+                let old_len = old_bat.as_ref()?.len();
+                let d_out = new.slice(old_len, new.len() - old_len);
+                Some((Value::Bat(Arc::new(new)), Arc::new(d_out)))
+            }
+            Opcode::Join => {
+                let old = old_bat.as_ref()?;
+                let mut parts: Vec<Bat> = Vec::new();
+                if let Some(dl) = &arg_deltas[0] {
+                    let r_new = new_args[1].as_bat()?;
+                    parts.push(ops::join(dl, r_new).ok()?);
+                }
+                if let Some(dr) = &arg_deltas[1] {
+                    let l_old = old_args[0].as_bat()?;
+                    parts.push(ops::join(l_old, dr).ok()?);
+                }
+                let d_out = if parts.is_empty() {
+                    empty_like(old)
+                } else {
+                    let refs: Vec<&Bat> = parts.iter().collect();
+                    ops::concat(&refs).ok()?
+                };
+                let merged = ops::concat(&[old, &d_out]).ok()?;
+                Some((Value::Bat(Arc::new(merged)), Arc::new(d_out)))
+            }
+            Opcode::Semijoin => {
+                // Only growth of the *left* operand is append-only for a
+                // semijoin; a grown right operand may promote old tuples.
+                if arg_deltas[1].is_some() {
+                    return None;
+                }
+                let dl = arg_deltas[0].clone()?;
+                let r = new_args[1].as_bat()?;
+                let d_out = ops::semijoin(&dl, r).ok()?;
+                let old = old_bat.as_ref()?;
+                let merged = ops::concat(&[old, &d_out]).ok()?;
+                Some((Value::Bat(Arc::new(merged)), Arc::new(d_out)))
+            }
+            Opcode::Calc(c) => {
+                let dl = arg_deltas[0].clone()?;
+                let rhs = match (&new_args[1], &arg_deltas[1]) {
+                    (Value::Bat(_), Some(dr)) => {
+                        if dr.len() != dl.len() {
+                            return None; // misaligned appends
+                        }
+                        ops::CalcRhs::Bat(dr)
+                    }
+                    (Value::Bat(_), None) => return None,
+                    (scalar, _) => ops::CalcRhs::Scalar(scalar.clone()),
+                };
+                let d_out = ops::calc(&dl, &rhs, c).ok()?;
+                let old = old_bat.as_ref()?;
+                let merged = ops::concat(&[old, &d_out]).ok()?;
+                Some((Value::Bat(Arc::new(merged)), Arc::new(d_out)))
+            }
+            Opcode::CalcCmp(c) => {
+                let dl = arg_deltas[0].clone()?;
+                let rhs = match (&new_args[1], &arg_deltas[1]) {
+                    (Value::Bat(_), Some(dr)) => {
+                        if dr.len() != dl.len() {
+                            return None;
+                        }
+                        ops::CalcRhs::Bat(dr)
+                    }
+                    (Value::Bat(_), None) => return None,
+                    (scalar, _) => ops::CalcRhs::Scalar(scalar.clone()),
+                };
+                let d_out = ops::calc_cmp(&dl, &rhs, c).ok()?;
+                let old = old_bat.as_ref()?;
+                let merged = ops::concat(&[old, &d_out]).ok()?;
+                Some((Value::Bat(Arc::new(merged)), Arc::new(d_out)))
+            }
+            Opcode::Kunique => {
+                let d_in = arg_deltas[0].clone()?;
+                let cand = ops::kunique(&d_in).ok()?;
+                let old = old_bat.as_ref()?;
+                let d_out = ops::diff(&cand, old).ok()?;
+                let merged = ops::concat(&[old, &d_out]).ok()?;
+                Some((Value::Bat(Arc::new(merged)), Arc::new(d_out)))
+            }
+            // Grouping, aggregation, ordering, anti-joins: no cheap
+            // append-only rule — invalidate (paper §6.3's markT-delete
+            // argument generalises to these).
+            _ => None,
+        }
+    })();
+
+    let Some((new_result, d_out)) = computed else {
+        return false;
+    };
+
+    let new_bytes = new_result
+        .as_bat()
+        .map(|b| b.resident_bytes())
+        .unwrap_or(0);
+    {
+        let e = pool.get_mut(id).expect("entry exists");
+        e.args = new_args.clone();
+        e.sig = Sig::of(op, &new_args);
+        e.result_id = new_result.as_bat().map(|b| b.id());
+        e.result = new_result.clone();
+        e.bytes = new_bytes;
+    }
+    pool.rekey(id, &old_sig, old_result_id);
+    // refresh subset edges for filter-family results
+    if matches!(
+        op,
+        Opcode::Select
+            | Opcode::Uselect
+            | Opcode::Like
+            | Opcode::SelectNotNil
+            | Opcode::Semijoin
+            | Opcode::Kunique
+    ) {
+        if let (Some(rid), Some(arg0)) = (
+            new_result.as_bat().map(|b| b.id()),
+            new_args.first().and_then(|v| v.as_bat()).map(|b| b.id()),
+        ) {
+            pool.add_subset_edge(rid, arg0);
+        }
+    }
+    new_results.insert(id, new_result);
+    deltas.insert(id, d_out);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RecyclerConfig, UpdateMode};
+    use crate::mark::RecycleMark;
+    use crate::runtime::Recycler;
+    use rbat::{LogicalType, TableBuilder};
+    use rmal::{Engine, ProgramBuilder, P};
+
+    fn engine() -> Engine<Recycler> {
+        let mut cat = Catalog::new();
+        let mut tb = TableBuilder::new("t")
+            .column("x", LogicalType::Int)
+            .column("y", LogicalType::Int);
+        for i in 0..500 {
+            tb.push_row(&[Value::Int((i * 13) % 500), Value::Int(i)]);
+        }
+        cat.add_table(tb.finish());
+        let cfg = RecyclerConfig::default().update_mode(UpdateMode::Propagate);
+        let mut e = Engine::with_hook(cat, Recycler::new(cfg));
+        e.add_pass(Box::new(RecycleMark));
+        e
+    }
+
+    fn template() -> rmal::Program {
+        let mut b = ProgramBuilder::new("prop_chain", 2);
+        let col = b.bind("t", "x");
+        let sel = b.select_closed(col, P(0), P(1));
+        let map = b.row_map(sel); // markT + reverse through the chain
+        let y = b.bind("t", "y");
+        let vals = b.join(map, y);
+        let s = b.sum(vals);
+        let n = b.count(sel);
+        b.export("sum", s);
+        b.export("n", n);
+        b.finish()
+    }
+
+    #[test]
+    fn insert_refreshes_select_chain() {
+        let mut e = engine();
+        let mut t = template();
+        e.optimize(&mut t);
+        let p = [Value::Int(10), Value::Int(100)];
+        let before = e.run(&t, &p).unwrap();
+        // insert rows inside and outside the selected range
+        e.update(
+            "t",
+            vec![
+                vec![Value::Int(50), Value::Int(1000)],
+                vec![Value::Int(400), Value::Int(2000)],
+            ],
+            vec![],
+        )
+        .unwrap();
+        assert!(e.hook.stats().propagated > 0, "chain must be refreshed");
+        let after = e.run(&t, &p).unwrap();
+        // one new row in range: count grows by exactly one
+        let n0 = before.export("n").unwrap().as_int().unwrap();
+        let n1 = after.export("n").unwrap().as_int().unwrap();
+        assert_eq!(n1, n0 + 1);
+        // the refreshed entries must have served the re-run (hits > 0)
+        assert!(after.stats.reused > 0, "{:?}", after.stats);
+        e.hook.pool().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn aggregates_invalidate_but_prefix_survives() {
+        let mut e = engine();
+        let mut t = template();
+        e.optimize(&mut t);
+        let p = [Value::Int(0), Value::Int(250)];
+        e.run(&t, &p).unwrap();
+        let entries_before = e.hook.pool().len();
+        e.update("t", vec![vec![Value::Int(1), Value::Int(1)]], vec![])
+            .unwrap();
+        // the scalar aggregates (sum/count) cannot be propagated and are
+        // invalidated; the select/markT/reverse/join prefix survives
+        let s = e.hook.stats();
+        assert!(s.invalidated > 0, "aggregates must drop");
+        assert!(s.propagated > 0, "prefix must refresh");
+        assert!(e.hook.pool().len() < entries_before);
+        assert!(e.hook.pool().len() > 0);
+        e.hook.pool().check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,786 @@
+//! The recycler run-time support (paper Algorithm 1) as an interpreter hook.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rbat::catalog::CommitReport;
+use rbat::hash::{FxHashMap, FxHashSet};
+use rbat::{BatId, Catalog, Value};
+use rmal::{ExecHook, HookAction, Instr, Opcode, Program};
+
+use crate::config::{AdmissionPolicy, RecyclerConfig, UpdateMode};
+use crate::entry::{EntryId, InstrKey, PoolEntry};
+use crate::eviction::{evict, EvictTrigger};
+use crate::pool::RecyclePool;
+use crate::propagate::propagate_commit;
+use crate::signature::Sig;
+use crate::stats::{PoolSnapshot, QueryRecord, RecyclerStats};
+use crate::subsume::{self, Subsumption};
+
+/// The recycler: implements `recycleEntry`/`recycleExit` around every
+/// marked instruction, manages the [`RecyclePool`] under the configured
+/// policies, and synchronises the pool on updates.
+pub struct Recycler {
+    /// Live configuration (admission/eviction/limits/update mode).
+    pub config: RecyclerConfig,
+    pool: RecyclePool,
+    /// Credits per template instruction (CREDIT/ADAPT admission).
+    credits: FxHashMap<InstrKey, i64>,
+    /// ADAPT bookkeeping: invocations per template; reuses per instruction.
+    template_invocations: FxHashMap<u64, u64>,
+    instr_reuses: FxHashMap<InstrKey, u64>,
+    adapt_unlimited: FxHashSet<InstrKey>,
+    adapt_banned: FxHashSet<InstrKey>,
+    /// Persistent BATs (bound columns, join indices) with their
+    /// base-column lineage: stable identities that admission may reference
+    /// without a pool-resident producer.
+    persistent: FxHashMap<BatId, BTreeSet<(String, String)>>,
+    /// Monotone event counter (LRU / HP ageing).
+    tick: u64,
+    /// Invocation counter (local-vs-global reuse discrimination).
+    invocation: u64,
+    current_template: u64,
+    /// Entries touched by the current invocation — protected from eviction.
+    protected: FxHashSet<EntryId>,
+    stats: RecyclerStats,
+    query_log: Vec<QueryRecord>,
+    current: QueryRecord,
+}
+
+impl Recycler {
+    /// Create a recycler with the given configuration.
+    pub fn new(config: RecyclerConfig) -> Recycler {
+        Recycler {
+            config,
+            pool: RecyclePool::new(),
+            credits: FxHashMap::default(),
+            template_invocations: FxHashMap::default(),
+            instr_reuses: FxHashMap::default(),
+            adapt_unlimited: FxHashSet::default(),
+            adapt_banned: FxHashSet::default(),
+            persistent: FxHashMap::default(),
+            tick: 0,
+            invocation: 0,
+            current_template: 0,
+            protected: FxHashSet::default(),
+            stats: RecyclerStats::default(),
+            query_log: Vec::new(),
+            current: QueryRecord::default(),
+        }
+    }
+
+    /// Borrow the pool (diagnostics, tests, experiment harness).
+    pub fn pool(&self) -> &RecyclePool {
+        &self.pool
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> &RecyclerStats {
+        &self.stats
+    }
+
+    /// Per-query records appended at every `query_end`.
+    pub fn query_log(&self) -> &[QueryRecord] {
+        &self.query_log
+    }
+
+    /// Snapshot of the pool content (Table III material).
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot::capture(&self.pool)
+    }
+
+    /// Empty the recycle pool (the experiments' "emptied recycle pool"
+    /// preparation step) without resetting credit accounts.
+    pub fn clear_pool(&mut self) {
+        self.pool = RecyclePool::new();
+        self.protected.clear();
+    }
+
+    /// Reset all recycler state: pool, credits, statistics, logs.
+    pub fn reset(&mut self) {
+        let config = self.config;
+        *self = Recycler::new(config);
+    }
+
+    // ----- internal helpers -------------------------------------------------
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Bytes a result is charged for: only what the instruction newly
+    /// materialised. Binds reference persistent storage, zero-cost
+    /// viewpoint instructions share their operand's buffers (paper §2.3,
+    /// Table III shows bind/markT at 0 MB).
+    fn charge_bytes(op: Opcode, result: &Value) -> usize {
+        match op {
+            Opcode::Bind | Opcode::BindIdx => 64,
+            op if op.zero_cost() => 64,
+            _ => result
+                .as_bat()
+                .map(|b| b.resident_bytes())
+                .unwrap_or(std::mem::size_of::<Value>()),
+        }
+    }
+
+    fn base_columns_of(&self, catalog: &Catalog, instr: &Instr, args: &[Value]) -> BTreeSet<(String, String)> {
+        let mut cols = BTreeSet::new();
+        match instr.op {
+            Opcode::Bind => {
+                if let (Some(t), Some(c)) = (
+                    args.first().and_then(|v| v.as_str()),
+                    args.get(1).and_then(|v| v.as_str()),
+                ) {
+                    cols.insert((t.to_string(), c.to_string()));
+                }
+            }
+            Opcode::BindIdx => {
+                if let Some(name) = args.first().and_then(|v| v.as_str()) {
+                    if let Some(def) = catalog.index_def(name) {
+                        cols.insert((def.from_table.clone(), def.from_column.clone()));
+                        cols.insert((def.to_table.clone(), def.to_key.clone()));
+                    }
+                }
+            }
+            _ => {
+                for a in args {
+                    if let Value::Bat(b) = a {
+                        if let Some(eid) = self.pool.entry_of_result(b.id()) {
+                            if let Some(e) = self.pool.get(eid) {
+                                cols.extend(e.base_columns.iter().cloned());
+                            }
+                        } else if let Some(pcols) = self.persistent.get(&b.id()) {
+                            cols.extend(pcols.iter().cloned());
+                        }
+                    }
+                }
+            }
+        }
+        cols
+    }
+
+    /// Record a hit on `id`: statistics, protection, credit return.
+    fn register_hit(&mut self, id: EntryId) -> Value {
+        let tick = self.next_tick();
+        let invocation = self.invocation;
+        let e = self.pool.get_mut(id).expect("hit entry exists");
+        e.last_used = tick;
+        let local = e.admitted_invocation == invocation;
+        if local {
+            e.local_reuses += 1;
+        } else {
+            e.global_reuses += 1;
+        }
+        e.time_saved += e.cpu;
+        let saved = e.cpu;
+        let creator = e.creator;
+        let result = e.result.clone();
+        let return_credit_now = local && !e.credit_returned;
+        if return_credit_now {
+            e.credit_returned = true;
+        }
+        if return_credit_now {
+            *self.credits.entry(creator).or_insert(0) += 1;
+        }
+        *self.instr_reuses.entry(creator).or_insert(0) += 1;
+        self.protected.insert(id);
+        self.stats.hits += 1;
+        self.stats.time_saved += saved;
+        self.current.hits += 1;
+        self.current.saved += saved;
+        if local {
+            self.stats.local_hits += 1;
+            self.current.local_hits += 1;
+        } else {
+            self.stats.global_hits += 1;
+            self.current.global_hits += 1;
+        }
+        result
+    }
+
+    /// Record that `id` served as a subsumption source.
+    fn register_subsumption_source(&mut self, id: EntryId) {
+        let tick = self.next_tick();
+        if let Some(e) = self.pool.get_mut(id) {
+            e.last_used = tick;
+            e.subsumption_uses += 1;
+        }
+        self.protected.insert(id);
+    }
+
+    /// The admission decision of `recycleExit` (paper §4.2).
+    fn admission_allows(&mut self, key: InstrKey) -> bool {
+        match self.config.admission {
+            AdmissionPolicy::KeepAll => true,
+            AdmissionPolicy::Credit(k) => {
+                let c = self.credits.entry(key).or_insert(k as i64);
+                if *c > 0 {
+                    *c -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            AdmissionPolicy::Adaptive(k) => {
+                if self.adapt_unlimited.contains(&key) {
+                    return true;
+                }
+                if self.adapt_banned.contains(&key) {
+                    return false;
+                }
+                let invocations = self
+                    .template_invocations
+                    .get(&key.0)
+                    .copied()
+                    .unwrap_or(0);
+                if invocations > k as u64 {
+                    // decision time: reused at least once → unlimited
+                    if self.instr_reuses.get(&key).copied().unwrap_or(0) >= 1 {
+                        self.adapt_unlimited.insert(key);
+                        return true;
+                    }
+                    self.adapt_banned.insert(key);
+                    return false;
+                }
+                let c = self.credits.entry(key).or_insert(k as i64);
+                if *c > 0 {
+                    *c -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn undo_admission_charge(&mut self, key: InstrKey) {
+        if matches!(
+            self.config.admission,
+            AdmissionPolicy::Credit(_) | AdmissionPolicy::Adaptive(_)
+        ) {
+            if let Some(c) = self.credits.get_mut(&key) {
+                *c += 1;
+            }
+        }
+    }
+
+    /// Make room for `need_bytes` / one more entry; returns false when the
+    /// pool cannot be shrunk enough.
+    fn make_room(&mut self, need_bytes: usize) -> bool {
+        let now = self.tick;
+        if let Some(limit) = self.config.mem_limit {
+            if need_bytes > limit {
+                return false;
+            }
+            if self.pool.bytes() + need_bytes > limit {
+                let need = self.pool.bytes() + need_bytes - limit;
+                let evicted = evict(
+                    &mut self.pool,
+                    self.config.eviction,
+                    EvictTrigger::Memory(need),
+                    &self.protected,
+                    now,
+                );
+                self.settle_evictions(&evicted);
+                if self.pool.bytes() + need_bytes > limit {
+                    return false;
+                }
+            }
+        }
+        if let Some(limit) = self.config.entry_limit {
+            if limit == 0 {
+                return false;
+            }
+            if self.pool.len() + 1 > limit {
+                let need = self.pool.len() + 1 - limit;
+                let evicted = evict(
+                    &mut self.pool,
+                    self.config.eviction,
+                    EvictTrigger::Entries(need),
+                    &self.protected,
+                    now,
+                );
+                self.settle_evictions(&evicted);
+                if self.pool.len() + 1 > limit {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn settle_evictions(&mut self, evicted: &[PoolEntry]) {
+        self.stats.evictions += evicted.len() as u64;
+        for e in evicted {
+            self.protected.remove(&e.id);
+            // a globally reused instance returns its credit at eviction
+            if e.global_reuses > 0 && !e.credit_returned {
+                *self.credits.entry(e.creator).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Admit an executed instruction's result (the body of `recycleExit`).
+    fn admit(
+        &mut self,
+        catalog: &Catalog,
+        pc: usize,
+        instr: &Instr,
+        args: &[Value],
+        result: &Value,
+        cpu: Duration,
+    ) {
+        let key: InstrKey = (self.current_template, pc);
+        // register persistent identities first: they anchor coherence
+        if matches!(instr.op, Opcode::Bind | Opcode::BindIdx) {
+            if let Value::Bat(b) = result {
+                let cols = self.base_columns_of(catalog, instr, args);
+                self.persistent.insert(b.id(), cols);
+            }
+        }
+        // Cheap precheck of lineage coherence (repeated authoritatively
+        // after eviction below).
+        for a in args {
+            if let Value::Bat(b) = a {
+                if self.pool.entry_of_result(b.id()).is_none()
+                    && !self.persistent.contains_key(&b.id())
+                {
+                    self.stats.admission_rejects += 1;
+                    return;
+                }
+            }
+        }
+        if !self.admission_allows(key) {
+            self.stats.admission_rejects += 1;
+            return;
+        }
+        let bytes = Self::charge_bytes(instr.op, result);
+        if !self.make_room(bytes) {
+            self.stats.admission_rejects += 1;
+            self.undo_admission_charge(key);
+            return;
+        }
+        // Bottom-up matching coherence: every BAT argument must itself be
+        // reachable for future matching — as a pool result or a persistent
+        // BAT (paper §4.1: keep whole threads intact). Resolved *after*
+        // make_room: eviction may have taken a prefix, in which case
+        // admitting this dependent would be useless.
+        let mut parents: Vec<EntryId> = Vec::new();
+        for a in args {
+            if let Value::Bat(b) = a {
+                if let Some(eid) = self.pool.entry_of_result(b.id()) {
+                    parents.push(eid);
+                } else if !self.persistent.contains_key(&b.id()) {
+                    self.stats.admission_rejects += 1;
+                    self.undo_admission_charge(key);
+                    return;
+                }
+            }
+        }
+        let sig = Sig::of(instr.op, args);
+        let base_columns = self.base_columns_of(catalog, instr, args);
+        let tick = self.next_tick();
+        let entry = PoolEntry {
+            id: self.pool.next_id(),
+            sig,
+            args: args.to_vec(),
+            result: result.clone(),
+            result_id: result.as_bat().map(|b| b.id()),
+            bytes,
+            cpu,
+            family: instr.op.family(),
+            parents,
+            base_columns,
+            admitted_tick: tick,
+            last_used: tick,
+            admitted_invocation: self.invocation,
+            local_reuses: 0,
+            global_reuses: 0,
+            subsumption_uses: 0,
+            creator: key,
+            time_saved: Duration::ZERO,
+            credit_returned: false,
+        };
+        let result_id = entry.result_id;
+        let id = self.pool.insert(entry);
+        self.protected.insert(id);
+        self.stats.admissions += 1;
+        self.current.admitted += 1;
+        self.current.bytes_admitted += bytes as u64;
+        // subset semantics for the subsumption machinery (§5.1)
+        if let (Some(rid), Some(Value::Bat(arg0))) = (result_id, args.first()) {
+            if matches!(
+                instr.op,
+                Opcode::Select
+                    | Opcode::Uselect
+                    | Opcode::Like
+                    | Opcode::SelectNotNil
+                    | Opcode::Semijoin
+                    | Opcode::Diff
+                    | Opcode::Kunique
+                    | Opcode::Sort
+                    | Opcode::TopN
+            ) {
+                self.pool.add_subset_edge(rid, arg0.id());
+            }
+        }
+    }
+
+    /// Invalidate every intermediate whose lineage intersects the affected
+    /// columns (paper §6.4: immediate column-wise invalidation).
+    fn invalidate_columns(&mut self, affected: &BTreeSet<(String, String)>) {
+        let roots: Vec<EntryId> = self
+            .pool
+            .iter()
+            .filter(|e| e.base_columns.intersection(affected).next().is_some())
+            .map(|e| e.id)
+            .collect();
+        let mut removed = 0u64;
+        for r in roots {
+            removed += self.pool.remove_subtree(r).len() as u64;
+        }
+        self.stats.invalidated += removed;
+        // drop stale persistent registrations
+        self.persistent
+            .retain(|_, cols| cols.intersection(affected).next().is_none());
+    }
+}
+
+impl ExecHook for Recycler {
+    fn query_start(&mut self, program: &Program) {
+        self.invocation += 1;
+        self.current_template = program.id;
+        *self.template_invocations.entry(program.id).or_insert(0) += 1;
+        self.protected.clear();
+        self.current = QueryRecord {
+            template: program.id,
+            name: program.name.clone(),
+            ..Default::default()
+        };
+    }
+
+    fn before(
+        &mut self,
+        _catalog: &Catalog,
+        pc: usize,
+        instr: &Instr,
+        args: &[Value],
+    ) -> HookAction {
+        let t0 = Instant::now();
+        self.stats.monitored += 1;
+        self.current.monitored += 1;
+        let sig = Sig::of(instr.op, args);
+
+        // Phase 1: exact match (paper §3.3).
+        if let Some(id) = self.pool.lookup(&sig) {
+            let result = self.register_hit(id);
+            self.stats.overhead += t0.elapsed();
+            return HookAction::Reuse(result);
+        }
+
+        // Phase 2: subsumption (paper §5).
+        if self.config.subsumption {
+            let attempt = match instr.op {
+                Opcode::Select => subsume::subsume_select(&self.pool, args),
+                Opcode::Uselect => subsume::subsume_uselect(&self.pool, args),
+                Opcode::Like => subsume::subsume_like(&self.pool, args),
+                Opcode::Semijoin => subsume::subsume_semijoin(&self.pool, args),
+                _ => None,
+            };
+            if let Some(Subsumption::Rewrite { args: new_args, source }) = attempt {
+                self.register_subsumption_source(source);
+                self.stats.subsumed += 1;
+                self.current.subsumed += 1;
+                self.stats.overhead += t0.elapsed();
+                return HookAction::Rewrite(new_args);
+            }
+            if self.config.combined_subsumption && instr.op == Opcode::Select {
+                if let Some(Subsumption::Combined { segments, search_time }) =
+                    subsume::subsume_combined(
+                        &self.pool,
+                        args,
+                        self.config.combined_max_candidates,
+                    )
+                {
+                    self.stats.subsume_search += search_time;
+                    let exec0 = Instant::now();
+                    if let Some(bat) = subsume::execute_combined(&self.pool, &segments) {
+                        for (id, _) in &segments {
+                            self.register_subsumption_source(*id);
+                        }
+                        let result = Value::Bat(Arc::new(bat));
+                        let cpu = exec0.elapsed();
+                        self.stats.subsumed += 1;
+                        self.current.subsumed += 1;
+                        // recycleExit for the pieced result, under the
+                        // ORIGINAL signature.
+                        self.admit(_catalog, pc, instr, args, &result, cpu);
+                        self.stats.overhead += t0.elapsed();
+                        return HookAction::Computed(result);
+                    }
+                }
+            }
+        }
+        self.stats.overhead += t0.elapsed();
+        HookAction::Proceed
+    }
+
+    fn after(
+        &mut self,
+        catalog: &Catalog,
+        pc: usize,
+        instr: &Instr,
+        args: &[Value],
+        result: &Value,
+        cpu: Duration,
+        _subsumed: bool,
+    ) {
+        let t0 = Instant::now();
+        self.admit(catalog, pc, instr, args, result, cpu);
+        self.stats.overhead += t0.elapsed();
+    }
+
+    fn query_end(&mut self, _program: &Program) {
+        self.protected.clear();
+        let record = std::mem::take(&mut self.current);
+        self.query_log.push(record);
+    }
+
+    fn update_event(&mut self, report: &CommitReport, catalog: &Catalog) {
+        // DDL-free engine: every commit is DML on one table.
+        if report.inserted.is_empty() && report.deleted.is_empty() {
+            return;
+        }
+        if self.config.update_mode == UpdateMode::Propagate {
+            if let Some(outcome) = propagate_commit(&mut self.pool, report, catalog) {
+                self.stats.propagated += outcome.refreshed;
+                self.stats.invalidated += outcome.invalidated;
+                for (bat, cols) in outcome.new_persistent {
+                    self.persistent.insert(bat, cols);
+                }
+                return;
+            }
+        }
+        // Immediate column-level invalidation (§6.4): inserts and deletes
+        // affect every column of the table (the row set changed); rebuilt
+        // indices affect their endpoints.
+        let mut affected: BTreeSet<(String, String)> = BTreeSet::new();
+        if let Ok(table) = catalog.table(&report.table) {
+            for (c, _) in table.schema() {
+                affected.insert((report.table.clone(), c.clone()));
+            }
+        }
+        for idx in &report.rebuilt_indices {
+            if let Some(def) = catalog.index_def(idx) {
+                affected.insert((def.from_table.clone(), def.from_column.clone()));
+                affected.insert((def.to_table.clone(), def.to_key.clone()));
+            }
+        }
+        self.invalidate_columns(&affected);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbat::{LogicalType, TableBuilder};
+    use rmal::{Engine, ProgramBuilder, P};
+
+    fn catalog(n: i64) -> Catalog {
+        let mut cat = Catalog::new();
+        let mut tb = TableBuilder::new("t")
+            .column("x", LogicalType::Int)
+            .column("y", LogicalType::Int);
+        for i in 0..n {
+            tb.push_row(&[Value::Int((i * 37) % n), Value::Int(i)]);
+        }
+        cat.add_table(tb.finish());
+        cat
+    }
+
+    fn engine(config: RecyclerConfig) -> Engine<Recycler> {
+        let mut e = Engine::with_hook(catalog(1000), Recycler::new(config));
+        e.add_pass(Box::new(crate::mark::RecycleMark));
+        e
+    }
+
+    fn range_template() -> rmal::Program {
+        let mut b = ProgramBuilder::new("range_count", 2);
+        let col = b.bind("t", "x");
+        let sel = b.select_closed(col, P(0), P(1));
+        let n = b.count(sel);
+        b.export("n", n);
+        b.finish()
+    }
+
+    #[test]
+    fn second_invocation_hits() {
+        let mut e = engine(RecyclerConfig::default());
+        let mut t = range_template();
+        e.optimize(&mut t);
+        let p = [Value::Int(100), Value::Int(600)];
+        let first = e.run(&t, &p).unwrap();
+        assert_eq!(first.stats.reused, 0);
+        let second = e.run(&t, &p).unwrap();
+        assert_eq!(second.stats.reused, second.stats.marked);
+        assert_eq!(first.export("n"), second.export("n"));
+        assert_eq!(e.hook.stats().global_hits, second.stats.reused as u64);
+        e.hook.pool().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn different_params_subsume() {
+        let mut e = engine(RecyclerConfig::default());
+        let mut t = range_template();
+        e.optimize(&mut t);
+        let wide = e.run(&t, &[Value::Int(0), Value::Int(900)]).unwrap();
+        let narrow = e.run(&t, &[Value::Int(100), Value::Int(500)]).unwrap();
+        // bind hits; select runs in subsumed form
+        assert!(narrow.stats.reused >= 1);
+        assert_eq!(narrow.stats.subsumed, 1);
+        // correctness: count equals a fresh engine's answer
+        let mut naive = Engine::new(catalog(1000));
+        let mut t2 = range_template();
+        naive.optimize(&mut t2);
+        let expect = naive
+            .run(&t2, &[Value::Int(100), Value::Int(500)])
+            .unwrap();
+        assert_eq!(narrow.export("n"), expect.export("n"));
+        let _ = wide;
+    }
+
+    #[test]
+    fn subsumption_can_be_disabled() {
+        let mut e = engine(RecyclerConfig::default().subsumption(false));
+        let mut t = range_template();
+        e.optimize(&mut t);
+        e.run(&t, &[Value::Int(0), Value::Int(900)]).unwrap();
+        let narrow = e.run(&t, &[Value::Int(100), Value::Int(500)]).unwrap();
+        assert_eq!(narrow.stats.subsumed, 0);
+    }
+
+    #[test]
+    fn entry_limit_caps_pool() {
+        let cfg = RecyclerConfig::default().entry_limit(2);
+        let mut e = engine(cfg);
+        let mut t = range_template();
+        e.optimize(&mut t);
+        for i in 0..5 {
+            e.run(&t, &[Value::Int(i * 10), Value::Int(i * 10 + 100)])
+                .unwrap();
+        }
+        assert!(e.hook.pool().len() <= 2);
+        assert!(e.hook.stats().evictions > 0);
+        e.hook.pool().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mem_limit_respected() {
+        let cfg = RecyclerConfig::default().mem_limit(16 * 1024);
+        let mut e = engine(cfg);
+        let mut t = range_template();
+        e.optimize(&mut t);
+        for i in 0..6 {
+            e.run(&t, &[Value::Int(i * 7), Value::Int(i * 7 + 400)])
+                .unwrap();
+        }
+        assert!(e.hook.pool().bytes() <= 16 * 1024);
+        e.hook.pool().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn credit_policy_stops_admitting() {
+        let cfg = RecyclerConfig::default()
+            .admission(AdmissionPolicy::Credit(2))
+            .subsumption(false);
+        let mut e = engine(cfg);
+        let mut t = range_template();
+        e.optimize(&mut t);
+        // disjoint ranges: no reuse, credits drain after 2 admissions
+        for i in 0..5 {
+            e.run(
+                &t,
+                &[Value::Int(i * 100), Value::Int(i * 100 + 50)],
+            )
+            .unwrap();
+        }
+        // bind is admitted once then always hit; the select+count threads
+        // spend their credits after 2 instances each
+        let selects = e
+            .hook
+            .pool()
+            .iter()
+            .filter(|en| en.family == "select")
+            .count();
+        assert_eq!(selects, 2, "credit(2) must cap select instances");
+        assert!(e.hook.stats().admission_rejects > 0);
+    }
+
+    #[test]
+    fn invalidation_on_update() {
+        let mut e = engine(RecyclerConfig::default());
+        let mut t = range_template();
+        e.optimize(&mut t);
+        let p = [Value::Int(0), Value::Int(500)];
+        e.run(&t, &p).unwrap();
+        assert!(e.hook.pool().len() > 0);
+        e.update("t", vec![vec![Value::Int(1), Value::Int(1)]], vec![])
+            .unwrap();
+        assert_eq!(
+            e.hook.pool().len(),
+            0,
+            "all intermediates derive from t and must be invalidated"
+        );
+        // next run recomputes and matches fresh binds
+        let out = e.run(&t, &p).unwrap();
+        assert_eq!(out.stats.reused, 0);
+        let out2 = e.run(&t, &p).unwrap();
+        assert!(out2.stats.reused > 0);
+    }
+
+    #[test]
+    fn untouched_tables_survive_update() {
+        let mut cat = catalog(100);
+        let mut tb = TableBuilder::new("other").column("z", LogicalType::Int);
+        tb.push_row(&[Value::Int(1)]);
+        cat.add_table(tb.finish());
+        let mut e = Engine::with_hook(cat, Recycler::new(RecyclerConfig::default()));
+        e.add_pass(Box::new(crate::mark::RecycleMark));
+        let mut t = range_template();
+        e.optimize(&mut t);
+        e.run(&t, &[Value::Int(0), Value::Int(50)]).unwrap();
+        let before = e.hook.pool().len();
+        e.update("other", vec![vec![Value::Int(2)]], vec![]).unwrap();
+        assert_eq!(e.hook.pool().len(), before, "t-derived entries survive");
+    }
+
+    #[test]
+    fn pool_listing_renders_table1_view() {
+        let mut e = engine(RecyclerConfig::default());
+        let mut t = range_template();
+        e.optimize(&mut t);
+        e.run(&t, &[Value::Int(5), Value::Int(300)]).unwrap();
+        let listing = e.hook.pool().listing();
+        assert!(listing.contains("sql.bind"), "{listing}");
+        assert!(listing.contains("algebra.select"));
+        assert!(listing.contains("bat#"));
+        assert!(listing.lines().count() >= 4);
+    }
+
+    #[test]
+    fn query_log_records() {
+        let mut e = engine(RecyclerConfig::default());
+        let mut t = range_template();
+        e.optimize(&mut t);
+        let p = [Value::Int(1), Value::Int(2)];
+        e.run(&t, &p).unwrap();
+        e.run(&t, &p).unwrap();
+        let log = e.hook.query_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].hits, 0);
+        assert!(log[1].hits > 0);
+        assert!(log[1].hit_ratio() > 0.9);
+    }
+}

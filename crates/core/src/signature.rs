@@ -1,0 +1,109 @@
+//! Instruction signatures — the matching key of the recycle pool.
+
+use rbat::hash::FxHasher;
+use rbat::{BatId, Value};
+use rmal::Opcode;
+use std::hash::{Hash, Hasher};
+
+/// Signature of one evaluated argument: scalar constants by value, BAT
+/// arguments by identity. Because matching is bottom-up (paper §3.4,
+/// alternative 1), a BAT argument can only match when it is *the same
+/// materialised object* — i.e. the result of a pool-resident (or
+/// persistent) predecessor. Value-comparing whole columns would be
+/// prohibitively expensive (paper §4.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ArgSig {
+    /// Scalar by value.
+    Scalar(Value),
+    /// BAT by identity.
+    Bat(BatId),
+}
+
+impl ArgSig {
+    /// Signature of an evaluated argument value.
+    pub fn of(v: &Value) -> ArgSig {
+        match v {
+            Value::Bat(b) => ArgSig::Bat(b.id()),
+            other => ArgSig::Scalar(other.clone()),
+        }
+    }
+}
+
+/// Full instruction signature: opcode plus argument signatures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sig {
+    /// The opcode (aggregate/arithmetic selector included).
+    pub op: Opcode,
+    /// Argument signatures in call order.
+    pub args: Vec<ArgSig>,
+}
+
+impl Sig {
+    /// Build the signature for `op` applied to the evaluated `args`.
+    pub fn of(op: Opcode, args: &[Value]) -> Sig {
+        Sig {
+            op,
+            args: args.iter().map(ArgSig::of).collect(),
+        }
+    }
+
+    /// The first argument's signature, if any — the index key for
+    /// subsumption candidate lookups ("same column operand").
+    pub fn first_arg(&self) -> Option<&ArgSig> {
+        self.args.first()
+    }
+
+    /// A stable 64-bit hash (used by diagnostics; the pool itself uses the
+    /// `Hash` impl through its hash map).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FxHasher::default();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+impl Hash for Sig {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.op.hash(state);
+        self.args.hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbat::{Bat, Column};
+    use std::sync::Arc;
+
+    #[test]
+    fn scalar_args_match_by_value() {
+        let a = Sig::of(Opcode::Select, &[Value::Int(1), Value::Int(2)]);
+        let b = Sig::of(Opcode::Select, &[Value::Int(1), Value::Int(2)]);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = Sig::of(Opcode::Select, &[Value::Int(1), Value::Int(3)]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bat_args_match_by_identity() {
+        let bat = Arc::new(Bat::from_tail(Column::from_ints(vec![1, 2])));
+        let same = Value::Bat(Arc::clone(&bat));
+        let a = Sig::of(Opcode::Reverse, &[Value::Bat(Arc::clone(&bat))]);
+        let b = Sig::of(Opcode::Reverse, &[same]);
+        assert_eq!(a, b);
+        // a different materialisation of identical data does NOT match
+        let other = Arc::new(Bat::from_tail(Column::from_ints(vec![1, 2])));
+        let c = Sig::of(Opcode::Reverse, &[Value::Bat(other)]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn opcode_distinguishes() {
+        let bat = Arc::new(Bat::from_tail(Column::from_ints(vec![1])));
+        let v = Value::Bat(bat);
+        let a = Sig::of(Opcode::Reverse, std::slice::from_ref(&v));
+        let b = Sig::of(Opcode::Mirror, std::slice::from_ref(&v));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,282 @@
+//! Typed, `Arc`-shared column buffers.
+
+use std::sync::Arc;
+
+use crate::strbuf::StrBuffer;
+use crate::types::{Date, LogicalType, Oid, Value};
+
+/// The physical storage of a column: a typed vector shared via `Arc`, or a
+/// symbolic dense OID sequence ("void" column in MonetDB terms).
+///
+/// Cloning a `Buffer` never copies data.
+#[derive(Debug, Clone)]
+pub enum Buffer {
+    /// Dense OID sequence `start, start+1, ...` of the given length —
+    /// materialised lazily, costs no storage.
+    Dense {
+        /// First OID of the sequence.
+        start: u64,
+        /// Number of OIDs.
+        len: usize,
+    },
+    /// OID values.
+    Oid(Arc<Vec<u64>>),
+    /// 64-bit integers.
+    Int(Arc<Vec<i64>>),
+    /// 64-bit floats.
+    Float(Arc<Vec<f64>>),
+    /// Dates (days since epoch).
+    Date(Arc<Vec<i32>>),
+    /// Strings.
+    Str(Arc<StrBuffer>),
+    /// Booleans.
+    Bool(Arc<Vec<bool>>),
+}
+
+/// A borrowed, typed window over a [`Buffer`] — what operators iterate over.
+#[derive(Debug, Clone, Copy)]
+pub enum TypedSlice<'a> {
+    /// Dense OID run.
+    Dense {
+        /// First OID in the window.
+        start: u64,
+        /// Window length.
+        len: usize,
+    },
+    /// OID values.
+    Oid(&'a [u64]),
+    /// Integer values.
+    Int(&'a [i64]),
+    /// Float values.
+    Float(&'a [f64]),
+    /// Date values (days since epoch).
+    Date(&'a [i32]),
+    /// Strings (already windowed via the offset range).
+    Str {
+        /// Backing string arena.
+        buf: &'a StrBuffer,
+        /// First string index of the window.
+        offset: usize,
+        /// Window length.
+        len: usize,
+    },
+    /// Boolean values.
+    Bool(&'a [bool]),
+}
+
+impl Buffer {
+    /// Number of values stored.
+    pub fn len(&self) -> usize {
+        match self {
+            Buffer::Dense { len, .. } => *len,
+            Buffer::Oid(v) => v.len(),
+            Buffer::Int(v) => v.len(),
+            Buffer::Float(v) => v.len(),
+            Buffer::Date(v) => v.len(),
+            Buffer::Str(v) => v.len(),
+            Buffer::Bool(v) => v.len(),
+        }
+    }
+
+    /// True when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Logical type of the stored values.
+    pub fn logical_type(&self) -> LogicalType {
+        match self {
+            Buffer::Dense { .. } | Buffer::Oid(_) => LogicalType::Oid,
+            Buffer::Int(_) => LogicalType::Int,
+            Buffer::Float(_) => LogicalType::Float,
+            Buffer::Date(_) => LogicalType::Date,
+            Buffer::Str(_) => LogicalType::Str,
+            Buffer::Bool(_) => LogicalType::Bool,
+        }
+    }
+
+    /// Fetch value `i` as a dynamic [`Value`] (no validity applied — the
+    /// owning [`crate::Column`] layers NULLs on top).
+    #[inline]
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            Buffer::Dense { start, len } => {
+                debug_assert!(i < *len);
+                Value::Oid(Oid(start + i as u64))
+            }
+            Buffer::Oid(v) => Value::Oid(Oid(v[i])),
+            Buffer::Int(v) => Value::Int(v[i]),
+            Buffer::Float(v) => Value::Float(v[i]),
+            Buffer::Date(v) => Value::Date(Date(v[i])),
+            Buffer::Str(v) => Value::str(v.get(i)),
+            Buffer::Bool(v) => Value::Bool(v[i]),
+        }
+    }
+
+    /// Heap bytes held by this buffer (shared allocations counted fully).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Buffer::Dense { .. } => 0,
+            Buffer::Oid(v) => v.len() * 8,
+            Buffer::Int(v) => v.len() * 8,
+            Buffer::Float(v) => v.len() * 8,
+            Buffer::Date(v) => v.len() * 4,
+            Buffer::Str(v) => v.byte_size(),
+            Buffer::Bool(v) => v.len(),
+        }
+    }
+
+    /// A typed window `[offset, offset+len)` over this buffer.
+    #[inline]
+    pub fn slice(&self, offset: usize, len: usize) -> TypedSlice<'_> {
+        debug_assert!(offset + len <= self.len());
+        match self {
+            Buffer::Dense { start, .. } => TypedSlice::Dense {
+                start: start + offset as u64,
+                len,
+            },
+            Buffer::Oid(v) => TypedSlice::Oid(&v[offset..offset + len]),
+            Buffer::Int(v) => TypedSlice::Int(&v[offset..offset + len]),
+            Buffer::Float(v) => TypedSlice::Float(&v[offset..offset + len]),
+            Buffer::Date(v) => TypedSlice::Date(&v[offset..offset + len]),
+            Buffer::Str(v) => TypedSlice::Str {
+                buf: v,
+                offset,
+                len,
+            },
+            Buffer::Bool(v) => TypedSlice::Bool(&v[offset..offset + len]),
+        }
+    }
+}
+
+impl<'a> TypedSlice<'a> {
+    /// Window length.
+    pub fn len(&self) -> usize {
+        match self {
+            TypedSlice::Dense { len, .. } => *len,
+            TypedSlice::Oid(v) => v.len(),
+            TypedSlice::Int(v) => v.len(),
+            TypedSlice::Float(v) => v.len(),
+            TypedSlice::Date(v) => v.len(),
+            TypedSlice::Str { len, .. } => *len,
+            TypedSlice::Bool(v) => v.len(),
+        }
+    }
+
+    /// True when the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch element `i` of the window as a dynamic [`Value`].
+    #[inline]
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            TypedSlice::Dense { start, len } => {
+                debug_assert!(i < *len);
+                Value::Oid(Oid(start + i as u64))
+            }
+            TypedSlice::Oid(v) => Value::Oid(Oid(v[i])),
+            TypedSlice::Int(v) => Value::Int(v[i]),
+            TypedSlice::Float(v) => Value::Float(v[i]),
+            TypedSlice::Date(v) => Value::Date(Date(v[i])),
+            TypedSlice::Str { buf, offset, .. } => Value::str(buf.get(offset + i)),
+            TypedSlice::Bool(v) => Value::Bool(v[i]),
+        }
+    }
+
+    /// Logical type of the window.
+    pub fn logical_type(&self) -> LogicalType {
+        match self {
+            TypedSlice::Dense { .. } | TypedSlice::Oid(_) => LogicalType::Oid,
+            TypedSlice::Int(_) => LogicalType::Int,
+            TypedSlice::Float(_) => LogicalType::Float,
+            TypedSlice::Date(_) => LogicalType::Date,
+            TypedSlice::Str { .. } => LogicalType::Str,
+            TypedSlice::Bool(_) => LogicalType::Bool,
+        }
+    }
+
+    /// Fetch OID element `i` for OID-typed windows.
+    #[inline]
+    pub fn oid_at(&self, i: usize) -> Option<u64> {
+        match self {
+            TypedSlice::Dense { start, len } => {
+                if i < *len {
+                    Some(start + i as u64)
+                } else {
+                    None
+                }
+            }
+            TypedSlice::Oid(v) => v.get(i).copied(),
+            _ => None,
+        }
+    }
+
+    /// Fetch the string at `i` for string-typed windows.
+    #[inline]
+    pub fn str_at(&self, i: usize) -> Option<&'a str> {
+        match self {
+            TypedSlice::Str { buf, offset, len } => {
+                if i < *len {
+                    Some(buf.get(offset + i))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_values() {
+        let b = Buffer::Dense { start: 10, len: 5 };
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.value(0), Value::Oid(Oid(10)));
+        assert_eq!(b.value(4), Value::Oid(Oid(14)));
+        assert_eq!(b.byte_size(), 0);
+    }
+
+    #[test]
+    fn typed_slice_windows() {
+        let b = Buffer::Int(Arc::new(vec![1, 2, 3, 4, 5]));
+        let s = b.slice(1, 3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.value(0), Value::Int(2));
+        assert_eq!(s.value(2), Value::Int(4));
+    }
+
+    #[test]
+    fn dense_slice_shifts_start() {
+        let b = Buffer::Dense { start: 100, len: 10 };
+        let s = b.slice(4, 3);
+        assert_eq!(s.value(0), Value::Oid(Oid(104)));
+        assert_eq!(s.oid_at(2), Some(106));
+        assert_eq!(s.oid_at(3), None);
+    }
+
+    #[test]
+    fn str_slice() {
+        let b = Buffer::Str(Arc::new(StrBuffer::from_iter(["a", "b", "c", "d"])));
+        let s = b.slice(1, 2);
+        assert_eq!(s.str_at(0), Some("b"));
+        assert_eq!(s.str_at(1), Some("c"));
+        assert_eq!(s.str_at(2), None);
+        assert_eq!(s.value(1), Value::str("c"));
+    }
+
+    #[test]
+    fn clone_shares() {
+        let v = Arc::new(vec![1i64; 1000]);
+        let b1 = Buffer::Int(Arc::clone(&v));
+        let b2 = b1.clone();
+        assert_eq!(Arc::strong_count(&v), 3);
+        drop(b2);
+        assert_eq!(Arc::strong_count(&v), 2);
+    }
+}

@@ -1,0 +1,491 @@
+//! The SQL catalog: persistent tables, join indices and update processing.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::bat::Bat;
+use crate::column::{Column, ColumnBuilder};
+use crate::delta::{Row, TableDelta};
+use crate::error::{BatError, Result};
+use crate::hash::FxHashMap;
+use crate::ops::u64_keys;
+use crate::types::{LogicalType, Value};
+
+/// A persistent table: one BAT per column, all with identical dense heads.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Vec<(String, LogicalType)>,
+    columns: BTreeMap<String, Arc<Bat>>,
+    nrows: usize,
+    next_oid: u64,
+    delta: TableDelta,
+    version: u64,
+}
+
+impl Table {
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Schema as `(column, type)` pairs in definition order.
+    pub fn schema(&self) -> &[(String, LogicalType)] {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Monotone version, bumped on every commit; the recycler uses it to
+    /// detect staleness.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Column BAT by name.
+    pub fn column(&self, name: &str) -> Result<Arc<Bat>> {
+        self.columns
+            .get(name)
+            .cloned()
+            .ok_or_else(|| BatError::not_found("column", format!("{}.{}", self.name, name)))
+    }
+
+    fn column_type(&self, name: &str) -> Option<LogicalType> {
+        self.schema
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| *t)
+    }
+}
+
+/// Declarative definition of a foreign-key join index: maps every row of
+/// `from_table` (via `from_column` values) to the OID of the row in
+/// `to_table` whose `to_key` column holds that value. Rebuilt on commit.
+#[derive(Debug, Clone)]
+pub struct JoinIndexDef {
+    /// Index name used by `sql.bindIdxbat`.
+    pub name: String,
+    /// Referencing table.
+    pub from_table: String,
+    /// Foreign-key column in the referencing table.
+    pub from_column: String,
+    /// Referenced table.
+    pub to_table: String,
+    /// Key column in the referenced table.
+    pub to_key: String,
+}
+
+/// Builder for bulk-loading a [`Table`].
+#[derive(Debug)]
+pub struct TableBuilder {
+    name: String,
+    schema: Vec<(String, LogicalType)>,
+    builders: Vec<ColumnBuilder>,
+}
+
+impl TableBuilder {
+    /// Start a table definition.
+    pub fn new(name: &str) -> TableBuilder {
+        TableBuilder {
+            name: name.to_string(),
+            schema: Vec::new(),
+            builders: Vec::new(),
+        }
+    }
+
+    /// Add a column.
+    pub fn column(mut self, name: &str, ty: LogicalType) -> TableBuilder {
+        self.schema.push((name.to_string(), ty));
+        self.builders.push(ColumnBuilder::new(ty));
+        self
+    }
+
+    /// Append a row (values in schema order).
+    pub fn push_row(&mut self, row: &[Value]) {
+        assert_eq!(row.len(), self.schema.len(), "row arity mismatch");
+        for (b, v) in self.builders.iter_mut().zip(row) {
+            b.push(v);
+        }
+    }
+
+    /// Finish into a [`Table`].
+    pub fn finish(self) -> Table {
+        let nrows = self.builders.first().map(|b| b.len()).unwrap_or(0);
+        let mut columns = BTreeMap::new();
+        for ((name, _), b) in self.schema.iter().zip(self.builders) {
+            assert_eq!(b.len(), nrows, "ragged column {name}");
+            columns.insert(name.clone(), Arc::new(Bat::from_tail(b.finish())));
+        }
+        Table {
+            name: self.name,
+            schema: self.schema,
+            columns,
+            nrows,
+            next_oid: nrows as u64,
+            delta: TableDelta::default(),
+            version: 0,
+        }
+    }
+}
+
+/// What a [`Catalog::commit`] did — consumed by the recycler to synchronise
+/// the recycle pool (invalidation or delta propagation, paper §6).
+#[derive(Debug, Clone)]
+pub struct CommitReport {
+    /// Updated table.
+    pub table: String,
+    /// Per-column BATs of the appended rows; heads are the fresh OIDs.
+    /// Empty when nothing was inserted.
+    pub inserted: Vec<(String, Arc<Bat>)>,
+    /// OIDs that were deleted (pre-compaction ids).
+    pub deleted: Vec<u64>,
+    /// New table version.
+    pub version: u64,
+    /// Names of join indices that were rebuilt as a consequence.
+    pub rebuilt_indices: Vec<String>,
+}
+
+/// The catalog: named tables plus derived join indices.
+///
+/// Cloning a catalog is cheap-ish (column BATs are `Arc`-shared) and gives
+/// an independent update domain — the experiment harness clones one
+/// generated database to compare naive and recycled engines on identical
+/// data.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+    index_defs: Vec<JoinIndexDef>,
+    indices: FxHashMap<String, Arc<Bat>>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a table (replacing any previous definition).
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| BatError::not_found("table", name))
+    }
+
+    /// Iterate over all tables.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// `sql.bind`: the BAT of a persistent column. Returns the *shared*
+    /// instance — repeated binds of an unchanged column yield the same
+    /// [`crate::BatId`], which is what instruction matching relies on.
+    pub fn bind(&self, table: &str, column: &str) -> Result<Arc<Bat>> {
+        self.table(table)?.column(column)
+    }
+
+    /// Register and build a join index (`sql.bindIdxbat` source).
+    pub fn add_join_index(&mut self, def: JoinIndexDef) -> Result<()> {
+        let bat = self.build_index(&def)?;
+        self.indices.insert(def.name.clone(), bat);
+        self.index_defs.push(def);
+        Ok(())
+    }
+
+    /// `sql.bindIdxbat`: fetch a join index BAT by name.
+    pub fn bind_idx(&self, name: &str) -> Result<Arc<Bat>> {
+        self.indices
+            .get(name)
+            .cloned()
+            .ok_or_else(|| BatError::not_found("index", name))
+    }
+
+    fn build_index(&self, def: &JoinIndexDef) -> Result<Arc<Bat>> {
+        let from = self.bind(&def.from_table, &def.from_column)?;
+        let to = self.bind(&def.to_table, &def.to_key)?;
+        // map key value -> target oid
+        let keys = u64_keys(to.tail()).ok_or_else(|| {
+            BatError::type_mismatch("join_index", "string keys unsupported for indices")
+        })?;
+        let mut table: FxHashMap<u64, u64> = FxHashMap::default();
+        for (i, k) in keys.iter().enumerate() {
+            if let Some(k) = k {
+                table.insert(*k, i as u64);
+            }
+        }
+        let fks = u64_keys(from.tail()).ok_or_else(|| {
+            BatError::type_mismatch("join_index", "string fk unsupported for indices")
+        })?;
+        let mut cb = ColumnBuilder::new(LogicalType::Oid);
+        for k in &fks {
+            match k.and_then(|k| table.get(&k)) {
+                Some(&oid) => cb.push(&Value::Oid(crate::types::Oid(oid))),
+                None => cb.push(&Value::Nil),
+            }
+        }
+        Ok(Arc::new(Bat::from_tail(cb.finish())))
+    }
+
+    /// Stage row inserts (takes effect at [`Catalog::commit`]).
+    pub fn append(&mut self, table: &str, rows: Vec<Row>) -> Result<()> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| BatError::not_found("table", table))?;
+        for r in &rows {
+            if r.len() != t.schema.len() {
+                return Err(BatError::InvalidUpdate(format!(
+                    "row arity {} vs schema {}",
+                    r.len(),
+                    t.schema.len()
+                )));
+            }
+        }
+        t.delta.inserts.extend(rows);
+        Ok(())
+    }
+
+    /// Stage row deletions by OID.
+    pub fn delete(&mut self, table: &str, oids: Vec<u64>) -> Result<()> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| BatError::not_found("table", table))?;
+        t.delta.deletes.extend(oids);
+        Ok(())
+    }
+
+    /// Merge the staged deltas of `table` into its persistent columns,
+    /// bump the version, rebuild dependent join indices and report what
+    /// changed. Deletions compact OIDs (documented engine policy; the
+    /// recycler's propagation mode therefore only engages for insert-only
+    /// commits and falls back to invalidation otherwise).
+    pub fn commit(&mut self, table: &str) -> Result<CommitReport> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| BatError::not_found("table", table))?;
+        if t.delta.is_empty() {
+            return Ok(CommitReport {
+                table: table.to_string(),
+                inserted: Vec::new(),
+                deleted: Vec::new(),
+                version: t.version,
+                rebuilt_indices: Vec::new(),
+            });
+        }
+        let delta = std::mem::take(&mut t.delta);
+        let insert_base = t.next_oid;
+
+        // Build per-column BATs of the inserted rows (for the report).
+        let mut inserted: Vec<(String, Arc<Bat>)> = Vec::new();
+        if !delta.inserts.is_empty() {
+            for (ci, (cname, cty)) in t.schema.clone().iter().enumerate() {
+                let mut cb = ColumnBuilder::new(*cty);
+                for row in &delta.inserts {
+                    cb.push(&row[ci]);
+                }
+                let tail = cb.finish();
+                let len = tail.len();
+                let bat = Bat::new(
+                    Column::dense(insert_base, len),
+                    tail,
+                    crate::props::Props::base_column(true),
+                );
+                inserted.push((cname.clone(), Arc::new(bat)));
+            }
+        }
+
+        // Rebuild each column: survivors (non-deleted) + inserts.
+        let mut deleted: Vec<u64> = delta.deletes.clone();
+        deleted.sort_unstable();
+        deleted.dedup();
+        deleted.retain(|&o| (o as usize) < t.nrows);
+        let keep: Vec<u32> = (0..t.nrows as u32)
+            .filter(|i| deleted.binary_search(&(*i as u64)).is_err())
+            .collect();
+        let compacting = !deleted.is_empty();
+
+        for (cname, _) in t.schema.clone() {
+            let old = t.columns.get(&cname).expect("schema/columns in sync");
+            let survivors = if compacting {
+                old.tail().gather(&keep)
+            } else {
+                old.tail().to_owned_column()
+            };
+            let mut cb = ColumnBuilder::new(survivors.logical_type());
+            for v in survivors.iter_values() {
+                cb.push(&v);
+            }
+            if let Some((_, ins)) = inserted.iter().find(|(n, _)| *n == cname) {
+                for v in ins.tail().iter_values() {
+                    cb.push(&v);
+                }
+            }
+            let new_bat = Arc::new(Bat::from_tail(cb.finish()));
+            t.columns.insert(cname, new_bat);
+        }
+        t.nrows = keep.len() + delta.inserts.len();
+        t.next_oid = t.nrows as u64;
+        t.version += 1;
+        let version = t.version;
+
+        // Rebuild join indices that reference this table on either side.
+        let defs: Vec<JoinIndexDef> = self
+            .index_defs
+            .iter()
+            .filter(|d| d.from_table == table || d.to_table == table)
+            .cloned()
+            .collect();
+        let mut rebuilt = Vec::new();
+        for def in defs {
+            let bat = self.build_index(&def)?;
+            self.indices.insert(def.name.clone(), bat);
+            rebuilt.push(def.name);
+        }
+
+        Ok(CommitReport {
+            table: table.to_string(),
+            inserted,
+            deleted,
+            version,
+            rebuilt_indices: rebuilt,
+        })
+    }
+
+    /// Total bytes resident in persistent columns (diagnostics).
+    pub fn resident_bytes(&self) -> usize {
+        self.tables
+            .values()
+            .flat_map(|t| t.columns.values())
+            .map(|b| b.resident_bytes())
+            .sum()
+    }
+
+    /// The definition of a registered join index (the recycler derives the
+    /// index's base-column lineage from this).
+    pub fn index_def(&self, name: &str) -> Option<&JoinIndexDef> {
+        self.index_defs.iter().find(|d| d.name == name)
+    }
+
+    /// Convenience for tests and generators: fetch a column's logical type.
+    pub fn column_type(&self, table: &str, column: &str) -> Result<LogicalType> {
+        self.table(table)?
+            .column_type(column)
+            .ok_or_else(|| BatError::not_found("column", format!("{table}.{column}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Oid;
+
+    fn orders_lineitem() -> Catalog {
+        let mut cat = Catalog::new();
+        let mut ob = TableBuilder::new("orders")
+            .column("o_orderkey", LogicalType::Int)
+            .column("o_totalprice", LogicalType::Float);
+        for (k, p) in [(100, 10.0), (200, 20.0), (300, 30.0)] {
+            ob.push_row(&[Value::Int(k), Value::Float(p)]);
+        }
+        cat.add_table(ob.finish());
+        let mut lb = TableBuilder::new("lineitem")
+            .column("l_orderkey", LogicalType::Int)
+            .column("l_qty", LogicalType::Int);
+        for (k, q) in [(100, 1), (100, 2), (300, 3)] {
+            lb.push_row(&[Value::Int(k), Value::Int(q)]);
+        }
+        cat.add_table(lb.finish());
+        cat.add_join_index(JoinIndexDef {
+            name: "li_fkey".into(),
+            from_table: "lineitem".into(),
+            from_column: "l_orderkey".into(),
+            to_table: "orders".into(),
+            to_key: "o_orderkey".into(),
+        })
+        .unwrap();
+        cat
+    }
+
+    #[test]
+    fn bind_is_shared() {
+        let cat = orders_lineitem();
+        let a = cat.bind("orders", "o_orderkey").unwrap();
+        let b = cat.bind("orders", "o_orderkey").unwrap();
+        assert_eq!(a.id(), b.id(), "bind must return the shared BAT");
+    }
+
+    #[test]
+    fn join_index_maps_fk_to_oid() {
+        let cat = orders_lineitem();
+        let idx = cat.bind_idx("li_fkey").unwrap();
+        assert_eq!(
+            idx.tail().iter_values().collect::<Vec<_>>(),
+            vec![Value::Oid(Oid(0)), Value::Oid(Oid(0)), Value::Oid(Oid(2))]
+        );
+    }
+
+    #[test]
+    fn append_commit_extends_columns() {
+        let mut cat = orders_lineitem();
+        let before = cat.bind("orders", "o_orderkey").unwrap();
+        cat.append(
+            "orders",
+            vec![vec![Value::Int(400), Value::Float(40.0)]],
+        )
+        .unwrap();
+        // staged, not yet visible
+        assert_eq!(cat.table("orders").unwrap().nrows(), 3);
+        let report = cat.commit("orders").unwrap();
+        assert_eq!(cat.table("orders").unwrap().nrows(), 4);
+        assert_eq!(report.version, 1);
+        assert_eq!(report.inserted.len(), 2);
+        let (name, ins) = &report.inserted[0];
+        assert_eq!(name, "o_orderkey");
+        assert_eq!(ins.head().value(0), Value::Oid(Oid(3)));
+        let after = cat.bind("orders", "o_orderkey").unwrap();
+        assert_ne!(before.id(), after.id(), "commit must re-identify columns");
+        assert!(report.rebuilt_indices.contains(&"li_fkey".to_string()));
+    }
+
+    #[test]
+    fn delete_compacts_and_reindexes() {
+        let mut cat = orders_lineitem();
+        cat.delete("orders", vec![0]).unwrap(); // drop orderkey 100
+        let report = cat.commit("orders").unwrap();
+        assert_eq!(report.deleted, vec![0]);
+        assert_eq!(cat.table("orders").unwrap().nrows(), 2);
+        let idx = cat.bind_idx("li_fkey").unwrap();
+        // lineitems of deleted order now dangle → Nil
+        let vals: Vec<Value> = idx.tail().iter_values().collect();
+        assert_eq!(vals[0], Value::Nil);
+        assert_eq!(vals[2], Value::Oid(Oid(1))); // order 300 shifted to oid 1
+    }
+
+    #[test]
+    fn empty_commit_is_noop() {
+        let mut cat = orders_lineitem();
+        let before = cat.bind("orders", "o_orderkey").unwrap();
+        let report = cat.commit("orders").unwrap();
+        assert_eq!(report.version, 0);
+        let after = cat.bind("orders", "o_orderkey").unwrap();
+        assert_eq!(before.id(), after.id());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut cat = orders_lineitem();
+        assert!(cat.append("orders", vec![vec![Value::Int(1)]]).is_err());
+        assert!(cat.bind("orders", "nope").is_err());
+        assert!(cat.bind("nope", "x").is_err());
+        assert!(cat.bind_idx("nope").is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! # rbat — a Binary Association Table column-store engine
+//!
+//! `rbat` is a from-scratch reproduction of the storage and operator layer of
+//! a MonetDB-style column store, built as the substrate for the *recycler*
+//! architecture of Ivanova et al., "An Architecture for Recycling
+//! Intermediates in a Column-store" (SIGMOD 2009).
+//!
+//! Data is stored column-wise in [`Bat`]s (Binary Association Tables): binary
+//! tables with schema `BAT(head: oid, tail: any)`. The engine follows the
+//! *operator-at-a-time* execution paradigm: every relational operator takes
+//! one or more BATs and produces a fully materialised BAT. Materialisation is
+//! kept cheap through extensive structure sharing:
+//!
+//! * column buffers are `Arc`-shared; [`ops::reverse`], [`ops::mirror`] and
+//!   [`ops::mark_t`] are zero-cost viewpoint changes,
+//! * a range select over a sorted column returns a *view* (offset/length
+//!   window) rather than a copy,
+//! * dense OID sequences are represented symbolically ("void" columns).
+//!
+//! The [`ops`] module implements the binary relational algebra used by the
+//! MAL-level interpreter in the `rmal` crate: selections, joins, semijoins,
+//! grouping, aggregation, sorting and column arithmetic. The [`Catalog`]
+//! holds persistent tables, join indices and the delta structures used for
+//! update processing.
+
+#![deny(missing_docs)]
+
+pub mod bat;
+pub mod bitmap;
+pub mod buffer;
+pub mod catalog;
+pub mod column;
+pub mod delta;
+pub mod error;
+pub mod hash;
+pub mod ops;
+pub mod props;
+pub mod strbuf;
+pub mod types;
+
+pub use bat::{Bat, BatId};
+pub use bitmap::Bitmap;
+pub use buffer::{Buffer, TypedSlice};
+pub use catalog::{Catalog, Table, TableBuilder};
+pub use column::{Column, ColumnBuilder};
+pub use error::{BatError, Result};
+pub use props::Props;
+pub use strbuf::StrBuffer;
+pub use types::{Date, LogicalType, Oid, Value};

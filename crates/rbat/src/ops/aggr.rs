@@ -1,0 +1,125 @@
+//! Scalar (whole-BAT) aggregates.
+
+use crate::bat::Bat;
+use crate::error::Result;
+use crate::types::{LogicalType, Value};
+
+/// Aggregate function selector — shared with grouped aggregation.
+pub use crate::ops::group::GrpFunc as AggrFunc;
+
+/// Compute a scalar aggregate over the tail of `b`. NULLs are ignored;
+/// `Count` counts non-NULL tuples (MAL `aggr.count` over a not-nil column).
+pub fn aggr(b: &Bat, func: AggrFunc) -> Result<Value> {
+    let tail = b.tail();
+    match func {
+        AggrFunc::Count => {
+            let n = if tail.has_nulls() {
+                (0..tail.len()).filter(|&i| tail.is_valid(i)).count()
+            } else {
+                tail.len()
+            };
+            Ok(Value::Int(n as i64))
+        }
+        AggrFunc::Sum => {
+            let mut sum = 0f64;
+            let mut any = false;
+            for i in 0..tail.len() {
+                if let Some(x) = tail.value(i).as_float() {
+                    sum += x;
+                    any = true;
+                }
+            }
+            if !any {
+                return Ok(Value::Nil);
+            }
+            if tail.logical_type() == LogicalType::Int {
+                Ok(Value::Int(sum as i64))
+            } else {
+                Ok(Value::Float(sum))
+            }
+        }
+        AggrFunc::Avg => {
+            let mut sum = 0f64;
+            let mut n = 0usize;
+            for i in 0..tail.len() {
+                if let Some(x) = tail.value(i).as_float() {
+                    sum += x;
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                Ok(Value::Nil)
+            } else {
+                Ok(Value::Float(sum / n as f64))
+            }
+        }
+        AggrFunc::Min | AggrFunc::Max => {
+            let mut best = Value::Nil;
+            for i in 0..tail.len() {
+                let v = tail.value(i);
+                if v.is_nil() {
+                    continue;
+                }
+                let replace = match best.cmp_same(&v) {
+                    None => true,
+                    Some(ord) => {
+                        (func == AggrFunc::Min && ord == std::cmp::Ordering::Greater)
+                            || (func == AggrFunc::Max && ord == std::cmp::Ordering::Less)
+                    }
+                };
+                if replace {
+                    best = v;
+                }
+            }
+            Ok(best)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::{Column, ColumnBuilder};
+
+    #[test]
+    fn count_sum_minmax_avg() {
+        let b = Bat::from_tail(Column::from_ints(vec![3, 1, 4, 1, 5]));
+        assert_eq!(aggr(&b, AggrFunc::Count).unwrap(), Value::Int(5));
+        assert_eq!(aggr(&b, AggrFunc::Sum).unwrap(), Value::Int(14));
+        assert_eq!(aggr(&b, AggrFunc::Min).unwrap(), Value::Int(1));
+        assert_eq!(aggr(&b, AggrFunc::Max).unwrap(), Value::Int(5));
+        assert_eq!(aggr(&b, AggrFunc::Avg).unwrap(), Value::Float(2.8));
+    }
+
+    #[test]
+    fn float_sum_stays_float() {
+        let b = Bat::from_tail(Column::from_floats(vec![1.5, 2.5]));
+        assert_eq!(aggr(&b, AggrFunc::Sum).unwrap(), Value::Float(4.0));
+    }
+
+    #[test]
+    fn nulls_skipped() {
+        let mut cb = ColumnBuilder::new(LogicalType::Int);
+        cb.push(&Value::Int(10));
+        cb.push(&Value::Nil);
+        let b = Bat::from_tail(cb.finish());
+        assert_eq!(aggr(&b, AggrFunc::Count).unwrap(), Value::Int(1));
+        assert_eq!(aggr(&b, AggrFunc::Sum).unwrap(), Value::Int(10));
+    }
+
+    #[test]
+    fn empty_aggregates() {
+        let b = Bat::from_tail(Column::from_ints(vec![]));
+        assert_eq!(aggr(&b, AggrFunc::Count).unwrap(), Value::Int(0));
+        assert_eq!(aggr(&b, AggrFunc::Sum).unwrap(), Value::Nil);
+        assert_eq!(aggr(&b, AggrFunc::Min).unwrap(), Value::Nil);
+        assert_eq!(aggr(&b, AggrFunc::Avg).unwrap(), Value::Nil);
+    }
+
+    #[test]
+    fn string_minmax() {
+        let b = Bat::from_tail(Column::from_strs(["pear", "apple", "quince"]));
+        assert_eq!(aggr(&b, AggrFunc::Min).unwrap(), Value::str("apple"));
+        assert_eq!(aggr(&b, AggrFunc::Max).unwrap(), Value::str("quince"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Column arithmetic and comparison (`batcalc.*`).
+
+use crate::bat::Bat;
+use crate::column::ColumnBuilder;
+use crate::error::{BatError, Result};
+use crate::props::Props;
+use crate::types::{LogicalType, Value};
+
+/// Arithmetic operator for [`calc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CalcOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (always produces floats).
+    Div,
+}
+
+/// Comparison operator for [`calc_cmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+impl CmpOp {
+    fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less)
+                | (CmpOp::Ne, Greater)
+                | (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less)
+                | (CmpOp::Le, Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater)
+                | (CmpOp::Ge, Equal)
+        )
+    }
+}
+
+/// Right operand of a calc: another BAT (positionally aligned) or a scalar.
+#[derive(Debug, Clone)]
+pub enum CalcRhs<'a> {
+    /// Positionally aligned BAT operand.
+    Bat(&'a Bat),
+    /// Scalar broadcast operand.
+    Scalar(Value),
+}
+
+fn rhs_value(rhs: &CalcRhs<'_>, i: usize) -> Value {
+    match rhs {
+        CalcRhs::Bat(b) => b.tail().value(i),
+        CalcRhs::Scalar(v) => v.clone(),
+    }
+}
+
+fn check_len(op: &'static str, l: &Bat, rhs: &CalcRhs<'_>) -> Result<()> {
+    if let CalcRhs::Bat(r) = rhs {
+        if l.len() != r.len() {
+            return Err(BatError::LengthMismatch {
+                op,
+                left: l.len(),
+                right: r.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Element-wise arithmetic over the tails: `l.tail[i] op rhs[i]`, head is
+/// `l`'s head. Any NULL operand yields NULL. Integer ops stay integer
+/// (except `Div`); any float operand promotes to float.
+pub fn calc(l: &Bat, rhs: &CalcRhs<'_>, op: CalcOp) -> Result<Bat> {
+    check_len("calc", l, rhs)?;
+    let rhs_ty = match rhs {
+        CalcRhs::Bat(b) => b.tail_type(),
+        // a NULL scalar operand NULLs every row (SQL semantics): keep the
+        // per-row loop below, which maps missing operands to Nil
+        CalcRhs::Scalar(Value::Nil) => LogicalType::Float,
+        CalcRhs::Scalar(v) => v
+            .logical_type()
+            .ok_or_else(|| BatError::type_mismatch("calc", "non-scalar rhs"))?,
+    };
+    let float_out = op == CalcOp::Div
+        || l.tail_type() == LogicalType::Float
+        || rhs_ty == LogicalType::Float;
+    let out_ty = if float_out {
+        LogicalType::Float
+    } else {
+        LogicalType::Int
+    };
+    let mut cb = ColumnBuilder::new(out_ty);
+    for i in 0..l.len() {
+        let a = l.tail().value(i);
+        let b = rhs_value(rhs, i);
+        let v = match (a.as_float(), b.as_float()) {
+            (Some(x), Some(y)) => {
+                let r = match op {
+                    CalcOp::Add => x + y,
+                    CalcOp::Sub => x - y,
+                    CalcOp::Mul => x * y,
+                    CalcOp::Div => {
+                        if y == 0.0 {
+                            f64::NAN
+                        } else {
+                            x / y
+                        }
+                    }
+                };
+                if float_out {
+                    Value::Float(r)
+                } else {
+                    Value::Int(r as i64)
+                }
+            }
+            _ => Value::Nil,
+        };
+        cb.push(&v);
+    }
+    Ok(Bat::new(
+        l.head().clone(),
+        cb.finish(),
+        Props {
+            head_dense: l.props().head_dense,
+            head_sorted: l.props().head_sorted,
+            head_key: l.props().head_key,
+            ..Props::default()
+        },
+    ))
+}
+
+/// Element-wise comparison producing a boolean tail — the substrate for
+/// column-vs-column predicates (`where l_commitdate < l_receiptdate`).
+/// NULL operands compare to NULL.
+pub fn calc_cmp(l: &Bat, rhs: &CalcRhs<'_>, op: CmpOp) -> Result<Bat> {
+    check_len("calc_cmp", l, rhs)?;
+    let mut cb = ColumnBuilder::new(LogicalType::Bool);
+    for i in 0..l.len() {
+        let a = l.tail().value(i);
+        let b = rhs_value(rhs, i);
+        let v = match a.cmp_same(&b) {
+            Some(ord) => Value::Bool(op.eval(ord)),
+            None => Value::Nil,
+        };
+        cb.push(&v);
+    }
+    Ok(Bat::new(
+        l.head().clone(),
+        cb.finish(),
+        Props {
+            head_dense: l.props().head_dense,
+            head_sorted: l.props().head_sorted,
+            head_key: l.props().head_key,
+            ..Props::default()
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::types::Oid;
+
+    #[test]
+    fn arithmetic_scalar() {
+        let b = Bat::from_tail(Column::from_floats(vec![1.0, 0.9]));
+        // the TPC-H revenue idiom: extendedprice * (1 - discount)
+        let one_minus = calc(
+            &b,
+            &CalcRhs::Scalar(Value::Float(1.0)),
+            CalcOp::Sub,
+        )
+        .unwrap();
+        let neg = calc(
+            &one_minus,
+            &CalcRhs::Scalar(Value::Float(-1.0)),
+            CalcOp::Mul,
+        )
+        .unwrap();
+        assert!(neg.tail().value(0).as_float().unwrap().abs() < 1e-12);
+        assert!((neg.tail().value(1).as_float().unwrap() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic_bat_bat() {
+        let a = Bat::from_tail(Column::from_ints(vec![10, 20]));
+        let b = Bat::from_tail(Column::from_ints(vec![3, 4]));
+        let s = calc(&a, &CalcRhs::Bat(&b), CalcOp::Mul).unwrap();
+        assert_eq!(
+            s.tail().iter_values().collect::<Vec<_>>(),
+            vec![Value::Int(30), Value::Int(80)]
+        );
+        assert_eq!(s.head().value(0), Value::Oid(Oid(0)));
+    }
+
+    #[test]
+    fn div_promotes_to_float() {
+        let a = Bat::from_tail(Column::from_ints(vec![7]));
+        let r = calc(&a, &CalcRhs::Scalar(Value::Int(2)), CalcOp::Div).unwrap();
+        assert_eq!(r.tail().value(0), Value::Float(3.5));
+    }
+
+    #[test]
+    fn cmp_column_column() {
+        let commit = Bat::from_tail(Column::from_dates(vec![10, 20]));
+        let receipt = Bat::from_tail(Column::from_dates(vec![15, 15]));
+        let lt = calc_cmp(&commit, &CalcRhs::Bat(&receipt), CmpOp::Lt).unwrap();
+        assert_eq!(
+            lt.tail().iter_values().collect::<Vec<_>>(),
+            vec![Value::Bool(true), Value::Bool(false)]
+        );
+    }
+
+    #[test]
+    fn cmp_all_ops() {
+        let a = Bat::from_tail(Column::from_ints(vec![1, 2, 3]));
+        let two = CalcRhs::Scalar(Value::Int(2));
+        let expect = |op, exp: [bool; 3]| {
+            let r = calc_cmp(&a, &two, op).unwrap();
+            let got: Vec<Value> = r.tail().iter_values().collect();
+            let want: Vec<Value> = exp.iter().map(|&b| Value::Bool(b)).collect();
+            assert_eq!(got, want, "{op:?}");
+        };
+        expect(CmpOp::Eq, [false, true, false]);
+        expect(CmpOp::Ne, [true, false, true]);
+        expect(CmpOp::Lt, [true, false, false]);
+        expect(CmpOp::Le, [true, true, false]);
+        expect(CmpOp::Gt, [false, false, true]);
+        expect(CmpOp::Ge, [false, true, true]);
+    }
+
+    #[test]
+    fn null_propagates() {
+        let mut cb = ColumnBuilder::new(LogicalType::Int);
+        cb.push(&Value::Int(1));
+        cb.push(&Value::Nil);
+        let a = Bat::from_tail(cb.finish());
+        let r = calc(&a, &CalcRhs::Scalar(Value::Int(1)), CalcOp::Add).unwrap();
+        assert_eq!(r.tail().value(0), Value::Int(2));
+        assert!(r.tail().value(1).is_nil());
+        let c = calc_cmp(&a, &CalcRhs::Scalar(Value::Int(1)), CmpOp::Eq).unwrap();
+        assert!(c.tail().value(1).is_nil());
+    }
+
+    #[test]
+    fn length_mismatch_errors() {
+        let a = Bat::from_tail(Column::from_ints(vec![1]));
+        let b = Bat::from_tail(Column::from_ints(vec![1, 2]));
+        assert!(calc(&a, &CalcRhs::Bat(&b), CalcOp::Add).is_err());
+    }
+}

@@ -1,0 +1,314 @@
+//! Join operators: natural join on `l.tail == r.head`, semijoin and
+//! anti-semijoin (difference) on head OIDs.
+
+use crate::bat::Bat;
+use crate::buffer::TypedSlice;
+use crate::error::{BatError, Result};
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::ops::u64_keys;
+use crate::props::Props;
+
+/// `algebra.join(l, r)`: for every pair `i, j` with `l.tail[i] == r.head[j]`
+/// emit `(l.head[i], r.tail[j])` — the canonical MonetDB binary join.
+///
+/// Implementation selection:
+/// * `r.head` dense → positional *fetch join*, O(|l|);
+/// * otherwise → hash join, build side `r`.
+pub fn join(l: &Bat, r: &Bat) -> Result<Bat> {
+    // Fetch-join fast path: positional lookup into a dense head.
+    if let TypedSlice::Dense { start, len } = r.head().typed() {
+        let lkeys = u64_keys(l.tail()).ok_or_else(|| {
+            BatError::type_mismatch("join", "string fetch-join keys unsupported")
+        })?;
+        let mut li: Vec<u32> = Vec::new();
+        let mut ri: Vec<u32> = Vec::new();
+        for (i, key) in lkeys.iter().enumerate() {
+            if let Some(k) = key {
+                if *k >= start && *k < start + len as u64 {
+                    li.push(i as u32);
+                    ri.push((*k - start) as u32);
+                }
+            }
+        }
+        return Ok(assemble(l, r, &li, &ri));
+    }
+
+    match (u64_keys(l.tail()), u64_keys(r.head())) {
+        (Some(lk), Some(rk)) => {
+            let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+            for (j, key) in rk.iter().enumerate() {
+                if let Some(k) = key {
+                    table.entry(*k).or_default().push(j as u32);
+                }
+            }
+            let mut li = Vec::new();
+            let mut ri = Vec::new();
+            for (i, key) in lk.iter().enumerate() {
+                if let Some(k) = key {
+                    if let Some(matches) = table.get(k) {
+                        for &j in matches {
+                            li.push(i as u32);
+                            ri.push(j);
+                        }
+                    }
+                }
+            }
+            Ok(assemble(l, r, &li, &ri))
+        }
+        (None, None) => {
+            // String join.
+            let (TypedSlice::Str { buf: lb, offset: lo, len: ll }, TypedSlice::Str { buf: rb, offset: ro, len: rl }) =
+                (l.tail().typed(), r.head().typed())
+            else {
+                return Err(BatError::type_mismatch("join", "mixed join key types"));
+            };
+            let mut table: FxHashMap<&str, Vec<u32>> = FxHashMap::default();
+            for j in 0..rl {
+                if r.head().is_valid(j) {
+                    table.entry(rb.get(ro + j)).or_default().push(j as u32);
+                }
+            }
+            let mut li = Vec::new();
+            let mut ri = Vec::new();
+            for i in 0..ll {
+                if !l.tail().is_valid(i) {
+                    continue;
+                }
+                if let Some(matches) = table.get(lb.get(lo + i)) {
+                    for &j in matches {
+                        li.push(i as u32);
+                        ri.push(j);
+                    }
+                }
+            }
+            Ok(assemble(l, r, &li, &ri))
+        }
+        _ => Err(BatError::type_mismatch(
+            "join",
+            format!(
+                "join key types differ: {} vs {}",
+                l.tail_type(),
+                r.head_type()
+            ),
+        )),
+    }
+}
+
+fn assemble(l: &Bat, r: &Bat, li: &[u32], ri: &[u32]) -> Bat {
+    let head = l.head().gather(li);
+    let tail = r.tail().gather(ri);
+    Bat::new(
+        head,
+        tail,
+        Props {
+            head_sorted: l.props().head_dense || l.props().head_sorted,
+            ..Props::default()
+        },
+    )
+}
+
+/// `algebra.semijoin(l, r)`: tuples of `l` whose *head* appears among the
+/// heads of `r` — the projection idiom of MonetDB plans.
+pub fn semijoin(l: &Bat, r: &Bat) -> Result<Bat> {
+    filter_by_head(l, r, true)
+}
+
+/// `bat.kdiff`-style anti-semijoin: tuples of `l` whose head does *not*
+/// appear among the heads of `r`.
+pub fn diff(l: &Bat, r: &Bat) -> Result<Bat> {
+    filter_by_head(l, r, false)
+}
+
+fn filter_by_head(l: &Bat, r: &Bat, keep_members: bool) -> Result<Bat> {
+    let idx: Vec<u32> = match (u64_keys(l.head()), u64_keys(r.head())) {
+        (Some(lk), Some(rk)) => {
+            let set: FxHashSet<u64> = rk.into_iter().flatten().collect();
+            lk.iter()
+                .enumerate()
+                .filter(|(_, key)| match key {
+                    Some(k) => set.contains(k) == keep_members,
+                    None => false,
+                })
+                .map(|(i, _)| i as u32)
+                .collect()
+        }
+        (None, None) => {
+            let (TypedSlice::Str { buf: lb, offset: lo, len: ll }, TypedSlice::Str { buf: rb, offset: ro, len: rl }) =
+                (l.head().typed(), r.head().typed())
+            else {
+                return Err(BatError::type_mismatch("semijoin", "mixed head types"));
+            };
+            let set: FxHashSet<&str> = (0..rl)
+                .filter(|&j| r.head().is_valid(j))
+                .map(|j| rb.get(ro + j))
+                .collect();
+            (0..ll)
+                .filter(|&i| {
+                    l.head().is_valid(i) && set.contains(lb.get(lo + i)) == keep_members
+                })
+                .map(|i| i as u32)
+                .collect()
+        }
+        _ => {
+            return Err(BatError::type_mismatch(
+                "semijoin",
+                format!(
+                    "head types differ: {} vs {}",
+                    l.head_type(),
+                    r.head_type()
+                ),
+            ))
+        }
+    };
+    Ok(Bat::new(
+        l.head().gather(&idx),
+        l.tail().gather(&idx),
+        Props {
+            head_sorted: l.props().head_dense || l.props().head_sorted,
+            head_key: l.props().head_key,
+            tail_nonil: l.props().tail_nonil,
+            ..Props::default()
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::types::{Oid, Value};
+
+    fn bat(head: Vec<u64>, tail: Vec<i64>) -> Bat {
+        Bat::new(
+            Column::from_oids(head),
+            Column::from_ints(tail),
+            Props::default(),
+        )
+    }
+
+    #[test]
+    fn hash_join_basic() {
+        // l: (h, key), r: (key-as-head, payload)
+        let l = Bat::new(
+            Column::from_oids(vec![0, 1, 2]),
+            Column::from_oids(vec![10, 20, 10]),
+            Props::default(),
+        );
+        let r = Bat::new(
+            Column::from_oids(vec![10, 30]),
+            Column::from_ints(vec![111, 333]),
+            Props::default(),
+        );
+        let j = join(&l, &r).unwrap();
+        assert_eq!(
+            j.canonical_tuples(),
+            vec![
+                (Value::Oid(Oid(0)), Value::Int(111)),
+                (Value::Oid(Oid(2)), Value::Int(111)),
+            ]
+        );
+    }
+
+    #[test]
+    fn fetch_join_dense_head() {
+        let l = Bat::new(
+            Column::from_oids(vec![7, 8]),
+            Column::from_oids(vec![1, 5]),
+            Props::default(),
+        );
+        let r = Bat::from_tail(Column::from_ints(vec![100, 101, 102])); // dense head 0..3
+        let j = join(&l, &r).unwrap();
+        // key 5 out of range, key 1 matches positionally
+        assert_eq!(
+            j.canonical_tuples(),
+            vec![(Value::Oid(Oid(7)), Value::Int(101))]
+        );
+    }
+
+    #[test]
+    fn join_multimatch_duplicates() {
+        let l = Bat::new(
+            Column::from_oids(vec![0]),
+            Column::from_oids(vec![5]),
+            Props::default(),
+        );
+        let r = Bat::new(
+            Column::from_oids(vec![5, 5]),
+            Column::from_ints(vec![1, 2]),
+            Props::default(),
+        );
+        let j = join(&l, &r).unwrap();
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn string_join() {
+        let l = Bat::new(
+            Column::from_oids(vec![0, 1]),
+            Column::from_strs(["GERMANY", "FRANCE"]),
+            Props::default(),
+        );
+        let r = Bat::new(
+            Column::from_strs(["FRANCE", "KENYA"]),
+            Column::from_ints(vec![7, 9]),
+            Props::default(),
+        );
+        let j = join(&l, &r).unwrap();
+        assert_eq!(
+            j.canonical_tuples(),
+            vec![(Value::Oid(Oid(1)), Value::Int(7))]
+        );
+    }
+
+    #[test]
+    fn semijoin_and_diff_partition() {
+        let l = bat(vec![0, 1, 2, 3], vec![10, 11, 12, 13]);
+        let r = bat(vec![1, 3, 9], vec![0, 0, 0]);
+        let s = semijoin(&l, &r).unwrap();
+        let d = diff(&l, &r).unwrap();
+        assert_eq!(s.len() + d.len(), l.len());
+        assert_eq!(
+            s.head().iter_values().collect::<Vec<_>>(),
+            vec![Value::Oid(Oid(1)), Value::Oid(Oid(3))]
+        );
+        assert_eq!(
+            d.head().iter_values().collect::<Vec<_>>(),
+            vec![Value::Oid(Oid(0)), Value::Oid(Oid(2))]
+        );
+    }
+
+    #[test]
+    fn join_null_keys_do_not_match() {
+        use crate::column::ColumnBuilder;
+        use crate::types::LogicalType;
+        let mut cb = ColumnBuilder::new(LogicalType::Oid);
+        cb.push(&Value::Oid(Oid(1)));
+        cb.push(&Value::Nil);
+        let l = Bat::new(Column::from_oids(vec![0, 1]), cb.finish(), Props::default());
+        let r = Bat::new(
+            Column::from_oids(vec![1]),
+            Column::from_ints(vec![42]),
+            Props::default(),
+        );
+        let j = join(&l, &r).unwrap();
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn join_type_mismatch_errors() {
+        let l = Bat::from_tail(Column::from_strs(["a"]));
+        let r = Bat::new(
+            Column::from_oids(vec![0]),
+            Column::from_ints(vec![1]),
+            Props::default(),
+        );
+        // l.tail is str, r.head is oid (non-dense) → error
+        let l2 = Bat::new(
+            Column::from_oids(vec![0]),
+            Column::from_strs(["x"]),
+            Props::default(),
+        );
+        assert!(join(&l2, &r).is_err());
+        let _ = l;
+    }
+}

@@ -1,0 +1,137 @@
+//! SQL `LIKE` pattern matching over string columns.
+
+use crate::bat::Bat;
+use crate::buffer::TypedSlice;
+use crate::error::{BatError, Result};
+use crate::props::Props;
+
+/// Match `s` against a SQL LIKE `pattern` (`%` = any run, `_` = any char).
+/// Matching is byte-oriented, which is correct for the ASCII workloads of
+/// TPC-H and SkyServer.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let s = s.as_bytes();
+    let p = pattern.as_bytes();
+    // Iterative backtracking matcher (two-pointer with star memory).
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star_p, mut star_s) = (usize::MAX, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == b'_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == b'%' {
+            star_p = pi;
+            star_s = si;
+            pi += 1;
+        } else if star_p != usize::MAX {
+            pi = star_p + 1;
+            star_s += 1;
+            si = star_s;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Select the tuples whose (string) tail matches the LIKE `pattern`.
+pub fn like_select(b: &Bat, pattern: &str) -> Result<Bat> {
+    let TypedSlice::Str { buf, offset, len } = b.tail().typed() else {
+        return Err(BatError::type_mismatch(
+            "like",
+            format!("expected str tail, got {}", b.tail_type()),
+        ));
+    };
+    let mut idx: Vec<u32> = Vec::new();
+    for i in 0..len {
+        if b.tail().is_valid(i) && like_match(buf.get(offset + i), pattern) {
+            idx.push(i as u32);
+        }
+    }
+    Ok(Bat::new(
+        b.head().gather(&idx),
+        b.tail().gather(&idx),
+        Props {
+            head_key: b.props().head_key,
+            tail_nonil: true,
+            ..Props::default()
+        },
+    ))
+}
+
+/// Does `outer` LIKE-pattern subsume `inner`, for the restricted pattern
+/// class `%literal%`? True iff every string matching `inner` also matches
+/// `outer` — i.e. the inner literal contains the outer literal.
+pub fn like_subsumes(outer: &str, inner: &str) -> bool {
+    fn substring_literal(p: &str) -> Option<&str> {
+        let body = p.strip_prefix('%')?.strip_suffix('%')?;
+        if body.contains('%') || body.contains('_') {
+            None
+        } else {
+            Some(body)
+        }
+    }
+    match (substring_literal(outer), substring_literal(inner)) {
+        (Some(o), Some(i)) => i.contains(o),
+        _ => outer == inner,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    #[test]
+    fn exact_and_wildcards() {
+        assert!(like_match("hello", "hello"));
+        assert!(!like_match("hello", "help"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(like_match("hello", "%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "he%"));
+        assert!(like_match("hello", "%ell%"));
+        assert!(!like_match("hello", "%z%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+    }
+
+    #[test]
+    fn star_backtracking() {
+        assert!(like_match("mississippi", "%iss%ppi"));
+        assert!(like_match("mississippi", "m%i%s%i"));
+        assert!(!like_match("mississippi", "m%x%i"));
+        assert!(like_match("aaa", "%a%a%"));
+    }
+
+    #[test]
+    fn tpch_style_patterns() {
+        // Q9 part name filter, Q13 comment filter, Q14 promo filter
+        assert!(like_match("forest green copper", "%green%"));
+        assert!(like_match("PROMO BRUSHED COPPER", "PROMO%"));
+        assert!(like_match("special requests handled", "%special%requests%"));
+    }
+
+    #[test]
+    fn like_select_filters() {
+        let b = Bat::from_tail(Column::from_strs([
+            "PROMO POLISHED",
+            "STANDARD BRUSHED",
+            "PROMO ANODIZED",
+        ]));
+        let r = like_select(&b, "PROMO%").unwrap();
+        assert_eq!(r.len(), 2);
+        let e = like_select(&Bat::from_tail(Column::from_ints(vec![1])), "%");
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn subsumption_rule() {
+        assert!(like_subsumes("%green%", "%forest green%"));
+        assert!(!like_subsumes("%forest green%", "%green%"));
+        assert!(like_subsumes("PROMO%", "PROMO%")); // exact fallback
+        assert!(!like_subsumes("%a_b%", "%a_b_c%")); // underscores excluded from rule
+    }
+}

@@ -1,0 +1,92 @@
+//! The binary relational algebra over BATs.
+//!
+//! Every operator takes BAT references and produces a fresh BAT
+//! (operator-at-a-time, full materialisation). Cheap viewpoint operators
+//! live on [`crate::Bat`] itself (`reverse`, `mirror`, `mark_t`); this module
+//! hosts the data-touching operators:
+//!
+//! * [`select`] / [`uselect`] / [`select_not_nil`] / [`like_select`] — filters
+//! * [`join`] / [`semijoin`] / [`diff`] — joins and set operations
+//! * [`group`] / [`group_refine`] / grouped aggregates — grouping
+//! * [`aggr`] — scalar aggregates
+//! * [`sort`] / [`topn`] — ordering
+//! * [`calc`] / [`calc_cmp`] — column arithmetic and comparisons
+//! * [`kunique`] — duplicate elimination
+//! * [`concat`] — tuple union (used by combined subsumption and deltas)
+
+mod aggr;
+mod calc;
+mod group;
+mod join;
+mod like;
+mod select;
+mod sort;
+mod unique;
+
+pub use aggr::{aggr, AggrFunc};
+pub use calc::{calc, calc_cmp, CalcOp, CalcRhs, CmpOp};
+pub use group::{group, group_refine, grp_aggr, grp_first, num_groups, GrpFunc};
+pub use join::{diff, join, semijoin};
+pub use like::{like_match, like_select, like_subsumes};
+pub use select::{concat, select, select_not_nil, uselect, SelectBounds};
+pub use sort::{sort, topn};
+pub use unique::kunique;
+
+use crate::column::Column;
+
+/// Extract fixed-width key values as `u64` words for hashing/equality.
+/// Returns `None` for string columns (they take the string path) and maps
+/// NULL rows to `None` entries.
+pub(crate) fn u64_keys(col: &Column) -> Option<Vec<Option<u64>>> {
+    use crate::buffer::TypedSlice as T;
+    let t = col.typed();
+    let mut out: Vec<Option<u64>> = Vec::with_capacity(col.len());
+    match t {
+        T::Dense { start, len } => {
+            out.extend((0..len as u64).map(|i| Some(start + i)));
+        }
+        T::Oid(s) => out.extend(s.iter().map(|&v| Some(v))),
+        T::Int(s) => out.extend(s.iter().map(|&v| Some(v as u64))),
+        T::Date(s) => out.extend(s.iter().map(|&v| Some(v as i64 as u64))),
+        T::Bool(s) => out.extend(s.iter().map(|&v| Some(v as u64))),
+        T::Float(s) => out.extend(s.iter().map(|&v| Some(v.to_bits()))),
+        T::Str { .. } => return None,
+    }
+    if col.has_nulls() {
+        for (i, slot) in out.iter_mut().enumerate() {
+            if !col.is_valid(i) {
+                *slot = None;
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Value;
+
+    #[test]
+    fn u64_keys_types() {
+        let c = Column::from_ints(vec![-1, 0, 5]);
+        let k = u64_keys(&c).unwrap();
+        assert_eq!(k[0], Some(-1i64 as u64));
+        assert_eq!(k[2], Some(5));
+        let s = Column::from_strs(["x"]);
+        assert!(u64_keys(&s).is_none());
+    }
+
+    #[test]
+    fn u64_keys_null() {
+        use crate::column::ColumnBuilder;
+        use crate::types::LogicalType;
+        let mut b = ColumnBuilder::new(LogicalType::Int);
+        b.push(&Value::Int(1));
+        b.push(&Value::Nil);
+        let c = b.finish();
+        let k = u64_keys(&c).unwrap();
+        assert_eq!(k[0], Some(1));
+        assert_eq!(k[1], None);
+    }
+}

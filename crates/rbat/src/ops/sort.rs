@@ -1,0 +1,111 @@
+//! Ordering operators: full sort and top-N over the tail.
+
+use std::cmp::Ordering;
+
+use crate::bat::Bat;
+use crate::error::Result;
+use crate::props::Props;
+
+fn cmp_at(b: &Bat, i: usize, j: usize) -> Ordering {
+    let vi = b.tail().value(i);
+    let vj = b.tail().value(j);
+    match (vi.is_nil(), vj.is_nil()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less, // NULLs first
+        (false, true) => Ordering::Greater,
+        (false, false) => vi.cmp_same(&vj).unwrap_or(Ordering::Equal),
+    }
+}
+
+/// Stable sort of the tuples by tail value (`algebra.sortTail`).
+pub fn sort(b: &Bat, ascending: bool) -> Result<Bat> {
+    let mut idx: Vec<u32> = (0..b.len() as u32).collect();
+    idx.sort_by(|&i, &j| {
+        let ord = cmp_at(b, i as usize, j as usize);
+        if ascending {
+            ord
+        } else {
+            ord.reverse()
+        }
+    });
+    let head = b.head().gather(&idx);
+    let tail = b.tail().gather(&idx);
+    Ok(Bat::new(
+        head,
+        tail,
+        Props {
+            tail_sorted: ascending,
+            tail_nonil: b.props().tail_nonil,
+            head_key: b.props().head_key,
+            ..Props::default()
+        },
+    ))
+}
+
+/// First `n` tuples by tail order (`algebra.slice` after sort in MAL plans).
+pub fn topn(b: &Bat, n: usize, ascending: bool) -> Result<Bat> {
+    let sorted = sort(b, ascending)?;
+    let keep = n.min(sorted.len());
+    Ok(sorted.slice(0, keep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Value;
+    use crate::column::{Column, ColumnBuilder};
+    use crate::types::{LogicalType, Oid};
+
+    #[test]
+    fn sort_ascending_descending() {
+        let b = Bat::from_tail(Column::from_ints(vec![3, 1, 2]));
+        let asc = sort(&b, true).unwrap();
+        assert_eq!(
+            asc.tail().iter_values().collect::<Vec<_>>(),
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+        assert_eq!(
+            asc.head().iter_values().collect::<Vec<_>>(),
+            vec![Value::Oid(Oid(1)), Value::Oid(Oid(2)), Value::Oid(Oid(0))]
+        );
+        let desc = sort(&b, false).unwrap();
+        assert_eq!(
+            desc.tail().iter_values().collect::<Vec<_>>(),
+            vec![Value::Int(3), Value::Int(2), Value::Int(1)]
+        );
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let head = Column::from_oids(vec![0, 1, 2]);
+        let tail = Column::from_ints(vec![5, 5, 1]);
+        let b = Bat::new(head, tail, Props::default());
+        let s = sort(&b, true).unwrap();
+        assert_eq!(
+            s.head().iter_values().collect::<Vec<_>>(),
+            vec![Value::Oid(Oid(2)), Value::Oid(Oid(0)), Value::Oid(Oid(1))]
+        );
+    }
+
+    #[test]
+    fn nulls_first() {
+        let mut cb = ColumnBuilder::new(LogicalType::Int);
+        cb.push(&Value::Int(2));
+        cb.push(&Value::Nil);
+        let b = Bat::from_tail(cb.finish());
+        let s = sort(&b, true).unwrap();
+        assert!(s.tail().value(0).is_nil());
+    }
+
+    #[test]
+    fn topn_limits() {
+        let b = Bat::from_tail(Column::from_ints(vec![9, 2, 7, 4]));
+        let t = topn(&b, 2, false).unwrap();
+        assert_eq!(
+            t.tail().iter_values().collect::<Vec<_>>(),
+            vec![Value::Int(9), Value::Int(7)]
+        );
+        let all = topn(&b, 99, true).unwrap();
+        assert_eq!(all.len(), 4);
+    }
+}

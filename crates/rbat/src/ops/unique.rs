@@ -1,0 +1,111 @@
+//! Duplicate elimination on the head (`bat.kunique`).
+
+use crate::bat::Bat;
+use crate::buffer::TypedSlice;
+use crate::error::{BatError, Result};
+use crate::hash::FxHashSet;
+use crate::ops::u64_keys;
+use crate::props::Props;
+
+/// Keep the first tuple for each distinct *head* value — the MAL idiom for
+/// `COUNT(DISTINCT x)` is `reverse` (value becomes head), `kunique`,
+/// `reverse`, `count`.
+pub fn kunique(b: &Bat) -> Result<Bat> {
+    let idx: Vec<u32> = match u64_keys(b.head()) {
+        Some(keys) => {
+            let mut seen: FxHashSet<u64> = FxHashSet::default();
+            let mut idx = Vec::new();
+            let mut null_seen = false;
+            for (i, key) in keys.iter().enumerate() {
+                match key {
+                    Some(k) => {
+                        if seen.insert(*k) {
+                            idx.push(i as u32);
+                        }
+                    }
+                    None => {
+                        if !null_seen {
+                            null_seen = true;
+                            idx.push(i as u32);
+                        }
+                    }
+                }
+            }
+            idx
+        }
+        None => {
+            let TypedSlice::Str { buf, offset, len } = b.head().typed() else {
+                return Err(BatError::type_mismatch("kunique", "unsupported head type"));
+            };
+            let mut seen: FxHashSet<&str> = FxHashSet::default();
+            let mut idx = Vec::new();
+            let mut null_seen = false;
+            for i in 0..len {
+                if !b.head().is_valid(i) {
+                    if !null_seen {
+                        null_seen = true;
+                        idx.push(i as u32);
+                    }
+                    continue;
+                }
+                if seen.insert(buf.get(offset + i)) {
+                    idx.push(i as u32);
+                }
+            }
+            idx
+        }
+    };
+    Ok(Bat::new(
+        b.head().gather(&idx),
+        b.tail().gather(&idx),
+        Props {
+            head_key: true,
+            tail_nonil: b.props().tail_nonil,
+            ..Props::default()
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::types::{Oid, Value};
+
+    #[test]
+    fn dedup_by_head() {
+        let b = Bat::new(
+            Column::from_oids(vec![5, 5, 7, 5]),
+            Column::from_ints(vec![1, 2, 3, 4]),
+            Props::default(),
+        );
+        let u = kunique(&b).unwrap();
+        assert_eq!(
+            u.canonical_tuples(),
+            vec![
+                (Value::Oid(Oid(5)), Value::Int(1)),
+                (Value::Oid(Oid(7)), Value::Int(3)),
+            ]
+        );
+        assert!(u.props().head_key);
+    }
+
+    #[test]
+    fn string_heads() {
+        let b = Bat::new(
+            Column::from_strs(["a", "b", "a"]),
+            Column::from_ints(vec![1, 2, 3]),
+            Props::default(),
+        );
+        let u = kunique(&b).unwrap();
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn count_distinct_idiom() {
+        // distinct count over tail values: reverse → kunique → count
+        let b = Bat::from_tail(Column::from_ints(vec![10, 20, 10, 30, 20]));
+        let u = kunique(&b.reverse()).unwrap();
+        assert_eq!(u.len(), 3);
+    }
+}

@@ -1,0 +1,70 @@
+//! BAT property flags used to pick fast operator implementations.
+
+/// Properties a BAT is known to satisfy. Properties steer operator
+/// selection: e.g. a range select over a `tail_sorted` BAT with a dense head
+/// binary-searches and returns a zero-copy view; a join against a
+/// `head_dense` BAT becomes a positional fetch join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Props {
+    /// Head is a dense OID sequence.
+    pub head_dense: bool,
+    /// Head values are non-decreasing.
+    pub head_sorted: bool,
+    /// Head values are unique.
+    pub head_key: bool,
+    /// Tail values are non-decreasing.
+    pub tail_sorted: bool,
+    /// Tail contains no NULLs.
+    pub tail_nonil: bool,
+}
+
+impl Props {
+    /// Properties of a freshly bound persistent column: dense, sorted and
+    /// unique head.
+    pub fn base_column(tail_nonil: bool) -> Props {
+        Props {
+            head_dense: true,
+            head_sorted: true,
+            head_key: true,
+            tail_sorted: false,
+            tail_nonil,
+        }
+    }
+
+    /// The reversed properties (head and tail roles swapped).
+    pub fn reversed(self) -> Props {
+        Props {
+            head_dense: false, // conservatively dropped; tail cannot be dense
+            head_sorted: self.tail_sorted,
+            head_key: false,
+            tail_sorted: self.head_sorted,
+            tail_nonil: true, // heads are OIDs, never nil
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_props() {
+        let p = Props::base_column(true);
+        assert!(p.head_dense && p.head_sorted && p.head_key && p.tail_nonil);
+        assert!(!p.tail_sorted);
+    }
+
+    #[test]
+    fn reverse_swaps_sortedness() {
+        let p = Props {
+            head_dense: true,
+            head_sorted: true,
+            head_key: true,
+            tail_sorted: false,
+            tail_nonil: true,
+        };
+        let r = p.reversed();
+        assert!(r.tail_sorted);
+        assert!(!r.head_sorted);
+    }
+}

@@ -1,0 +1,108 @@
+//! Compact string column storage: a shared byte arena with an offsets array.
+
+/// Append-only string buffer: all string bytes live in one arena, with an
+/// `offsets` array delimiting the individual values (Arrow-style layout).
+///
+/// This keeps string columns cache-friendly and makes the recycle pool's
+/// memory accounting honest (one allocation per column, not per value).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StrBuffer {
+    bytes: Vec<u8>,
+    offsets: Vec<u32>,
+}
+
+impl StrBuffer {
+    /// New empty buffer.
+    pub fn new() -> StrBuffer {
+        StrBuffer {
+            bytes: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// New buffer with room for `n` strings of ~`avg` bytes.
+    pub fn with_capacity(n: usize, avg: usize) -> StrBuffer {
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        StrBuffer {
+            bytes: Vec::with_capacity(n * avg),
+            offsets,
+        }
+    }
+
+    /// Build from an iterator of string slices.
+    pub fn from_iter<'a>(it: impl IntoIterator<Item = &'a str>) -> StrBuffer {
+        let mut b = StrBuffer::new();
+        for s in it {
+            b.push(s);
+        }
+        b
+    }
+
+    /// Append a string.
+    pub fn push(&mut self, s: &str) {
+        self.bytes.extend_from_slice(s.as_bytes());
+        self.offsets.push(self.bytes.len() as u32);
+    }
+
+    /// Number of strings stored.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when no strings are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch string `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &str {
+        let start = self.offsets[i] as usize;
+        let end = self.offsets[i + 1] as usize;
+        // SAFETY-free: we only ever store whole &str values, so slicing on
+        // recorded offsets is valid UTF-8 by construction.
+        std::str::from_utf8(&self.bytes[start..end]).expect("strbuf stores valid utf8")
+    }
+
+    /// Iterate all strings.
+    pub fn iter(&self) -> impl Iterator<Item = &str> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Heap bytes used.
+    pub fn byte_size(&self) -> usize {
+        self.bytes.len() + self.offsets.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get() {
+        let mut b = StrBuffer::new();
+        b.push("hello");
+        b.push("");
+        b.push("wörld");
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.get(0), "hello");
+        assert_eq!(b.get(1), "");
+        assert_eq!(b.get(2), "wörld");
+    }
+
+    #[test]
+    fn from_iter_roundtrip() {
+        let src = ["R", "A", "N", "R"];
+        let b = StrBuffer::from_iter(src.iter().copied());
+        let back: Vec<&str> = b.iter().collect();
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn byte_size_counts_arena() {
+        let b = StrBuffer::from_iter(["abc", "de"]);
+        assert_eq!(b.byte_size(), 5 + 3 * 4);
+    }
+}

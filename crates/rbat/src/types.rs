@@ -1,0 +1,447 @@
+//! Scalar value types of the engine: OIDs, dates and the dynamic [`Value`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::bat::Bat;
+
+/// Object identifier — the head type of every BAT.
+///
+/// OIDs are dense row identifiers; persistent columns have a dense head
+/// starting at 0, `mark_t` manufactures fresh dense sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Oid(pub u64);
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@0", self.0)
+    }
+}
+
+/// Calendar date stored as days since the Unix epoch (1970-01-01).
+///
+/// Only what TPC-H / SkyServer workloads need is implemented: construction
+/// from `(year, month, day)`, month arithmetic (`mtime.addmonths` in MAL)
+/// and ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Date(pub i32);
+
+const DAYS_IN_MONTH: [i32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: i32) -> i32 {
+    if month == 2 && is_leap(year) {
+        29
+    } else {
+        DAYS_IN_MONTH[(month - 1) as usize]
+    }
+}
+
+fn days_in_year(year: i32) -> i32 {
+    if is_leap(year) {
+        366
+    } else {
+        365
+    }
+}
+
+impl Date {
+    /// Construct a date from year/month/day. Panics on out-of-range month/day
+    /// (workload generators only produce valid dates).
+    pub fn from_ymd(year: i32, month: i32, day: i32) -> Date {
+        assert!((1..=12).contains(&month), "month out of range: {month}");
+        assert!(
+            day >= 1 && day <= days_in_month(year, month),
+            "day out of range: {year}-{month}-{day}"
+        );
+        let mut days: i32 = 0;
+        if year >= 1970 {
+            for y in 1970..year {
+                days += days_in_year(y);
+            }
+        } else {
+            for y in year..1970 {
+                days -= days_in_year(y);
+            }
+        }
+        for m in 1..month {
+            days += days_in_month(year, m);
+        }
+        Date(days + day - 1)
+    }
+
+    /// Decompose into `(year, month, day)`.
+    pub fn ymd(self) -> (i32, i32, i32) {
+        let mut days = self.0;
+        let mut year = 1970;
+        while days < 0 {
+            year -= 1;
+            days += days_in_year(year);
+        }
+        while days >= days_in_year(year) {
+            days -= days_in_year(year);
+            year += 1;
+        }
+        let mut month = 1;
+        while days >= days_in_month(year, month) {
+            days -= days_in_month(year, month);
+            month += 1;
+        }
+        (year, month, days + 1)
+    }
+
+    /// Add `months` months, clamping the day to the target month length —
+    /// the semantics of MAL's `mtime.addmonths`.
+    pub fn add_months(self, months: i32) -> Date {
+        let (y, m, d) = self.ymd();
+        let total = (y * 12 + (m - 1)) + months;
+        let ny = total.div_euclid(12);
+        let nm = total.rem_euclid(12) + 1;
+        let nd = d.min(days_in_month(ny, nm));
+        Date::from_ymd(ny, nm, nd)
+    }
+
+    /// Add a number of days.
+    pub fn add_days(self, days: i32) -> Date {
+        Date(self.0 + days)
+    }
+
+    /// Parse `"YYYY-MM-DD"`.
+    pub fn parse(s: &str) -> Option<Date> {
+        let mut it = s.splitn(3, '-');
+        let y = it.next()?.parse().ok()?;
+        let m = it.next()?.parse().ok()?;
+        let d = it.next()?.parse().ok()?;
+        if !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
+            return None;
+        }
+        Some(Date::from_ymd(y, m, d))
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// Logical (SQL-level) type of a column or scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicalType {
+    /// Object identifier.
+    Oid,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float (used for TPC-H decimals and SkyServer magnitudes).
+    Float,
+    /// Calendar date.
+    Date,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for LogicalType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LogicalType::Oid => "oid",
+            LogicalType::Int => "int",
+            LogicalType::Float => "flt",
+            LogicalType::Date => "date",
+            LogicalType::Str => "str",
+            LogicalType::Bool => "bit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically typed scalar or BAT reference flowing through the MAL
+/// interpreter and stored in the recycle pool's symbol table.
+///
+/// `Value` implements `Eq`/`Hash` so it can key the recycler's instruction
+/// matching map: floats hash by bit pattern, BATs by their process-unique
+/// [`crate::BatId`].
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL / MAL nil.
+    Nil,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Calendar date.
+    Date(Date),
+    /// String (cheaply clonable).
+    Str(Arc<str>),
+    /// Object identifier.
+    Oid(Oid),
+    /// Reference to a (shared) BAT.
+    Bat(Arc<Bat>),
+}
+
+impl Value {
+    /// String helper: wrap a `&str`.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Date helper: parse `"YYYY-MM-DD"`; panics on malformed input
+    /// (used for literals in tests and workload builders).
+    pub fn date(s: &str) -> Value {
+        Value::Date(Date::parse(s).unwrap_or_else(|| panic!("bad date literal: {s}")))
+    }
+
+    /// The logical type of this value, if it is a scalar.
+    pub fn logical_type(&self) -> Option<LogicalType> {
+        match self {
+            Value::Nil | Value::Bat(_) => None,
+            Value::Bool(_) => Some(LogicalType::Bool),
+            Value::Int(_) => Some(LogicalType::Int),
+            Value::Float(_) => Some(LogicalType::Float),
+            Value::Date(_) => Some(LogicalType::Date),
+            Value::Str(_) => Some(LogicalType::Str),
+            Value::Oid(_) => Some(LogicalType::Oid),
+        }
+    }
+
+    /// Borrow the BAT if this value is one.
+    pub fn as_bat(&self) -> Option<&Arc<Bat>> {
+        match self {
+            Value::Bat(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Extract an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extract a float, widening integers.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Extract a date.
+    pub fn as_date(&self) -> Option<Date> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Extract a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extract a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extract an OID.
+    pub fn as_oid(&self) -> Option<Oid> {
+        match self {
+            Value::Oid(o) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// Is this the nil value?
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Value::Nil)
+    }
+
+    /// Total order between two values *of the same scalar type*; `None` for
+    /// type mixes (except Int/Float which compare numerically) or BATs.
+    pub fn cmp_same(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Date(a), Value::Date(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            (Value::Oid(a), Value::Oid(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Nil, Value::Nil) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Date(a), Value::Date(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Oid(a), Value::Oid(b)) => a == b,
+            (Value::Bat(a), Value::Bat(b)) => a.id() == b.id(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Nil => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                state.write_u8(2);
+                i.hash(state);
+            }
+            Value::Float(x) => {
+                state.write_u8(3);
+                x.to_bits().hash(state);
+            }
+            Value::Date(d) => {
+                state.write_u8(4);
+                d.hash(state);
+            }
+            Value::Str(s) => {
+                state.write_u8(5);
+                s.hash(state);
+            }
+            Value::Oid(o) => {
+                state.write_u8(6);
+                o.hash(state);
+            }
+            Value::Bat(b) => {
+                state.write_u8(7);
+                b.id().hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => f.write_str("nil"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Date(d) => write!(f, "{d}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Oid(o) => write!(f, "{o}"),
+            Value::Bat(b) => write!(f, "<bat#{} {} tuples>", b.id().0, b.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_roundtrip() {
+        for &(y, m, d) in &[
+            (1970, 1, 1),
+            (1992, 2, 29),
+            (1996, 7, 1),
+            (1998, 12, 31),
+            (2000, 2, 29),
+            (1969, 12, 31),
+            (1900, 3, 1),
+        ] {
+            let date = Date::from_ymd(y, m, d);
+            assert_eq!(date.ymd(), (y, m, d), "roundtrip {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn date_epoch() {
+        assert_eq!(Date::from_ymd(1970, 1, 1).0, 0);
+        assert_eq!(Date::from_ymd(1970, 1, 2).0, 1);
+        assert_eq!(Date::from_ymd(1971, 1, 1).0, 365);
+    }
+
+    #[test]
+    fn date_add_months() {
+        let d = Date::from_ymd(1996, 7, 1);
+        assert_eq!(d.add_months(3), Date::from_ymd(1996, 10, 1));
+        assert_eq!(d.add_months(6), Date::from_ymd(1997, 1, 1));
+        assert_eq!(d.add_months(-7), Date::from_ymd(1995, 12, 1));
+        // day clamping
+        let e = Date::from_ymd(1996, 1, 31);
+        assert_eq!(e.add_months(1), Date::from_ymd(1996, 2, 29));
+        assert_eq!(e.add_months(13), Date::from_ymd(1997, 2, 28));
+    }
+
+    #[test]
+    fn date_parse_display() {
+        let d = Date::parse("1996-07-01").unwrap();
+        assert_eq!(d.to_string(), "1996-07-01");
+        assert!(Date::parse("1996-13-01").is_none());
+        assert!(Date::parse("1996-02-30").is_none());
+        assert!(Date::parse("junk").is_none());
+    }
+
+    #[test]
+    fn value_eq_hash_float_bits() {
+        use std::collections::hash_map::DefaultHasher;
+        let a = Value::Float(1.5);
+        let b = Value::Float(1.5);
+        assert_eq!(a, b);
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        a.hash(&mut h1);
+        b.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+        assert_ne!(Value::Float(0.0), Value::Float(-0.0)); // bitwise semantics
+    }
+
+    #[test]
+    fn value_cmp_same() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::Int(1).cmp_same(&Value::Int(2)), Some(Less));
+        assert_eq!(Value::Int(3).cmp_same(&Value::Float(2.5)), Some(Greater));
+        assert_eq!(
+            Value::str("abc").cmp_same(&Value::str("abd")),
+            Some(Less)
+        );
+        assert_eq!(Value::Int(1).cmp_same(&Value::str("x")), None);
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_float(), Some(7.0));
+        assert_eq!(Value::str("hi").as_str(), Some("hi"));
+        assert!(Value::Nil.is_nil());
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Oid(Oid(4)).as_oid(), Some(Oid(4)));
+    }
+}

@@ -1,0 +1,362 @@
+//! Fluent construction of MAL programs (the role of the SQL compiler).
+
+use rbat::ops::{CalcOp, CmpOp, GrpFunc};
+use rbat::{Oid, Value};
+
+use crate::opcode::Opcode;
+use crate::program::{Arg, Instr, Program, Var};
+
+/// Reference to query-template parameter `An` — accepted anywhere an
+/// argument is expected: `b.select_half_open(col, P(0), P(1))`.
+#[derive(Debug, Clone, Copy)]
+pub struct P(pub u16);
+
+impl From<P> for Arg {
+    fn from(p: P) -> Arg {
+        Arg::Param(p.0)
+    }
+}
+
+/// Builds a [`Program`] instruction by instruction; each method returns the
+/// destination register of the instruction it appended, so plans read like
+/// the data flow they describe:
+///
+/// ```
+/// use rmal::{ProgramBuilder, P};
+/// let mut b = ProgramBuilder::new("orders_in_range", 2);
+/// let col = b.bind("orders", "o_orderdate");
+/// let sel = b.select_half_open(col, P(0), P(1));
+/// let n = b.count(sel);
+/// b.export("n", n);
+/// let program = b.finish();
+/// assert_eq!(program.nparams, 2);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    prog: Program,
+}
+
+impl ProgramBuilder {
+    /// Start a program expecting `nparams` template parameters.
+    pub fn new(name: &str, nparams: u16) -> ProgramBuilder {
+        let mut prog = Program::new(name);
+        prog.nparams = nparams;
+        ProgramBuilder { prog }
+    }
+
+    fn push(&mut self, op: Opcode, args: Vec<Arg>) -> Var {
+        let result = Var(self.prog.nvars);
+        self.prog.nvars += 1;
+        self.prog.instrs.push(Instr {
+            op,
+            args,
+            result,
+            recycle: false,
+        });
+        result
+    }
+
+    /// `sql.bind(table, column)`.
+    pub fn bind(&mut self, table: &str, column: &str) -> Var {
+        self.push(
+            Opcode::Bind,
+            vec![Value::str(table).into(), Value::str(column).into()],
+        )
+    }
+
+    /// `sql.bindIdxbat(name)`.
+    pub fn bind_idx(&mut self, name: &str) -> Var {
+        self.push(Opcode::BindIdx, vec![Value::str(name).into()])
+    }
+
+    /// `algebra.select(b, lo, hi, lo_incl, hi_incl)`.
+    pub fn select(
+        &mut self,
+        b: Var,
+        lo: impl Into<Arg>,
+        hi: impl Into<Arg>,
+        lo_incl: bool,
+        hi_incl: bool,
+    ) -> Var {
+        self.push(
+            Opcode::Select,
+            vec![
+                b.into(),
+                lo.into(),
+                hi.into(),
+                Value::Bool(lo_incl).into(),
+                Value::Bool(hi_incl).into(),
+            ],
+        )
+    }
+
+    /// Closed range `[lo, hi]`.
+    pub fn select_closed(&mut self, b: Var, lo: impl Into<Arg>, hi: impl Into<Arg>) -> Var {
+        self.select(b, lo, hi, true, true)
+    }
+
+    /// Half-open range `[lo, hi)` — the TPC-H date idiom.
+    pub fn select_half_open(&mut self, b: Var, lo: impl Into<Arg>, hi: impl Into<Arg>) -> Var {
+        self.select(b, lo, hi, true, false)
+    }
+
+    /// `algebra.uselect(b, v)` — equality selection.
+    pub fn uselect(&mut self, b: Var, v: impl Into<Arg>) -> Var {
+        self.push(Opcode::Uselect, vec![b.into(), v.into()])
+    }
+
+    /// `algebra.likeselect(b, pattern)`.
+    pub fn like(&mut self, b: Var, pattern: impl Into<Arg>) -> Var {
+        self.push(Opcode::Like, vec![b.into(), pattern.into()])
+    }
+
+    /// `algebra.selectNotNil(b)`.
+    pub fn select_not_nil(&mut self, b: Var) -> Var {
+        self.push(Opcode::SelectNotNil, vec![b.into()])
+    }
+
+    /// `algebra.join(l, r)`.
+    pub fn join(&mut self, l: Var, r: Var) -> Var {
+        self.push(Opcode::Join, vec![l.into(), r.into()])
+    }
+
+    /// `algebra.semijoin(l, r)`.
+    pub fn semijoin(&mut self, l: Var, r: Var) -> Var {
+        self.push(Opcode::Semijoin, vec![l.into(), r.into()])
+    }
+
+    /// `bat.kdiff(l, r)` — anti-semijoin.
+    pub fn diff(&mut self, l: Var, r: Var) -> Var {
+        self.push(Opcode::Diff, vec![l.into(), r.into()])
+    }
+
+    /// `bat.reverse(b)`.
+    pub fn reverse(&mut self, b: Var) -> Var {
+        self.push(Opcode::Reverse, vec![b.into()])
+    }
+
+    /// `bat.mirror(b)`.
+    pub fn mirror(&mut self, b: Var) -> Var {
+        self.push(Opcode::Mirror, vec![b.into()])
+    }
+
+    /// `algebra.markT(b, base)`.
+    pub fn mark_t(&mut self, b: Var, base: u64) -> Var {
+        self.push(Opcode::MarkT, vec![b.into(), Value::Oid(Oid(base)).into()])
+    }
+
+    /// The MonetDB plan idiom `reverse(markT(b, 0))`: a BAT mapping fresh
+    /// dense OIDs to the qualifying head OIDs of `b` — the "candidate row
+    /// map" every projection thread starts from (X14/X15 in paper Fig. 1).
+    pub fn row_map(&mut self, b: Var) -> Var {
+        let m = self.mark_t(b, 0);
+        self.reverse(m)
+    }
+
+    /// Project a bound column through a row map: `join(map, col)`.
+    pub fn project_col(&mut self, map: Var, col: Var) -> Var {
+        self.join(map, col)
+    }
+
+    /// `bat.kunique(b)`.
+    pub fn kunique(&mut self, b: Var) -> Var {
+        self.push(Opcode::Kunique, vec![b.into()])
+    }
+
+    /// `group.new(b)`.
+    pub fn group(&mut self, b: Var) -> Var {
+        self.push(Opcode::Group, vec![b.into()])
+    }
+
+    /// `group.refine(g, b)`.
+    pub fn group_refine(&mut self, g: Var, b: Var) -> Var {
+        self.push(Opcode::GroupRefine, vec![g.into(), b.into()])
+    }
+
+    /// `group.first(values, groups)`.
+    pub fn grp_first(&mut self, values: Var, groups: Var) -> Var {
+        self.push(Opcode::GrpFirst, vec![values.into(), groups.into()])
+    }
+
+    /// `aggr.<f>_grouped(values, groups)`.
+    pub fn grp_aggr(&mut self, values: Var, groups: Var, f: GrpFunc) -> Var {
+        self.push(Opcode::GrpAggr(f), vec![values.into(), groups.into()])
+    }
+
+    /// Grouped sum.
+    pub fn grp_sum(&mut self, values: Var, groups: Var) -> Var {
+        self.grp_aggr(values, groups, GrpFunc::Sum)
+    }
+
+    /// Grouped count.
+    pub fn grp_count(&mut self, values: Var, groups: Var) -> Var {
+        self.grp_aggr(values, groups, GrpFunc::Count)
+    }
+
+    /// Grouped average.
+    pub fn grp_avg(&mut self, values: Var, groups: Var) -> Var {
+        self.grp_aggr(values, groups, GrpFunc::Avg)
+    }
+
+    /// Grouped minimum.
+    pub fn grp_min(&mut self, values: Var, groups: Var) -> Var {
+        self.grp_aggr(values, groups, GrpFunc::Min)
+    }
+
+    /// Grouped maximum.
+    pub fn grp_max(&mut self, values: Var, groups: Var) -> Var {
+        self.grp_aggr(values, groups, GrpFunc::Max)
+    }
+
+    /// Scalar aggregate `aggr.<f>(b)`.
+    pub fn aggr(&mut self, b: Var, f: GrpFunc) -> Var {
+        self.push(Opcode::Aggr(f), vec![b.into()])
+    }
+
+    /// `aggr.count(b)`.
+    pub fn count(&mut self, b: Var) -> Var {
+        self.aggr(b, GrpFunc::Count)
+    }
+
+    /// `aggr.sum(b)`.
+    pub fn sum(&mut self, b: Var) -> Var {
+        self.aggr(b, GrpFunc::Sum)
+    }
+
+    /// `aggr.min(b)` / `aggr.max(b)` / `aggr.avg(b)`.
+    pub fn min(&mut self, b: Var) -> Var {
+        self.aggr(b, GrpFunc::Min)
+    }
+
+    /// `aggr.max(b)`.
+    pub fn max(&mut self, b: Var) -> Var {
+        self.aggr(b, GrpFunc::Max)
+    }
+
+    /// `aggr.avg(b)`.
+    pub fn avg(&mut self, b: Var) -> Var {
+        self.aggr(b, GrpFunc::Avg)
+    }
+
+    /// `algebra.sortTail(b, asc)`.
+    pub fn sort(&mut self, b: Var, asc: bool) -> Var {
+        self.push(Opcode::Sort, vec![b.into(), Value::Bool(asc).into()])
+    }
+
+    /// `algebra.topN(b, n, asc)`.
+    pub fn topn(&mut self, b: Var, n: i64, asc: bool) -> Var {
+        self.push(
+            Opcode::TopN,
+            vec![b.into(), Value::Int(n).into(), Value::Bool(asc).into()],
+        )
+    }
+
+    /// `batcalc.<op>(l, rhs)`.
+    pub fn calc(&mut self, l: Var, rhs: impl Into<Arg>, op: CalcOp) -> Var {
+        self.push(Opcode::Calc(op), vec![l.into(), rhs.into()])
+    }
+
+    /// Element-wise addition / subtraction / multiplication / division.
+    pub fn add(&mut self, l: Var, rhs: impl Into<Arg>) -> Var {
+        self.calc(l, rhs, CalcOp::Add)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&mut self, l: Var, rhs: impl Into<Arg>) -> Var {
+        self.calc(l, rhs, CalcOp::Sub)
+    }
+
+    /// Element-wise multiplication.
+    pub fn mul(&mut self, l: Var, rhs: impl Into<Arg>) -> Var {
+        self.calc(l, rhs, CalcOp::Mul)
+    }
+
+    /// Element-wise division.
+    pub fn div(&mut self, l: Var, rhs: impl Into<Arg>) -> Var {
+        self.calc(l, rhs, CalcOp::Div)
+    }
+
+    /// `batcalc.<cmp>(l, rhs)` producing a boolean tail.
+    pub fn calc_cmp(&mut self, l: Var, rhs: impl Into<Arg>, cmp: CmpOp) -> Var {
+        self.push(Opcode::CalcCmp(cmp), vec![l.into(), rhs.into()])
+    }
+
+    /// `mtime.addmonths(date, n)` with a literal month count.
+    pub fn add_months(&mut self, d: impl Into<Arg>, n: i64) -> Var {
+        self.add_months_arg(d, Value::Int(n))
+    }
+
+    /// `mtime.addmonths(date, n)` with an arbitrary month argument
+    /// (e.g. a template parameter, as in paper Fig. 1's `addmonths(A1,A2)`).
+    pub fn add_months_arg(&mut self, d: impl Into<Arg>, n: impl Into<Arg>) -> Var {
+        self.push(Opcode::AddMonths, vec![d.into(), n.into()])
+    }
+
+    /// `mtime.adddays(date, n)` with a literal day count.
+    pub fn add_days(&mut self, d: impl Into<Arg>, n: i64) -> Var {
+        self.push(Opcode::AddDays, vec![d.into(), Arg::Const(Value::Int(n))])
+    }
+
+    /// `sql.exportValue(name, v)` — emit a named result.
+    pub fn export(&mut self, name: &str, v: impl Into<Arg>) -> Var {
+        self.push(Opcode::Export, vec![Value::str(name).into(), v.into()])
+    }
+
+    /// Finish and return the program.
+    pub fn finish(self) -> Program {
+        self.prog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reconstructs the structure of the example plan of paper Figure 1:
+    /// `select count(distinct o_orderkey) from orders, lineitem where ...`.
+    #[test]
+    fn figure1_example_plan() {
+        let mut b = ProgramBuilder::new("s1_2", 4);
+        let x5 = b.bind("lineitem", "l_returnflag");
+        let x11 = b.uselect(x5, P(3));
+        let x15 = b.row_map(x11);
+        let x16 = b.bind_idx("li_fkey");
+        let x18 = b.join(x15, x16);
+        let x19 = b.bind("orders", "o_orderdate");
+        let x25 = b.add_months_arg(P(1), P(2));
+        let x26 = b.select(x19, P(0), x25, true, false);
+        let x31 = b.row_map(x26);
+        let x32 = b.bind("orders", "o_orderkey");
+        let x34 = b.mirror(x32);
+        let x35 = b.join(x31, x34);
+        let x36 = b.reverse(x35);
+        let x37 = b.join(x18, x36);
+        let x38 = b.reverse(x37);
+        let x41 = b.row_map(x38);
+        let x45 = b.join(x31, x32);
+        let x46 = b.join(x41, x45);
+        let x49 = b.select_not_nil(x46);
+        let x50 = b.reverse(x49);
+        let x51 = b.kunique(x50);
+        let x52 = b.reverse(x51);
+        let x53 = b.count(x52);
+        b.export("L1", x53);
+        let p = b.finish();
+        assert_eq!(p.nparams, 4);
+        assert!(p.instrs.len() >= 25);
+        let listing = p.listing();
+        assert!(listing.contains("algebra.uselect"));
+        assert!(listing.contains("sql.bindIdxbat"));
+        assert!(listing.contains("bat.kunique"));
+    }
+
+    #[test]
+    fn vars_are_sequential() {
+        let mut b = ProgramBuilder::new("t", 0);
+        let v0 = b.bind("a", "b");
+        let v1 = b.reverse(v0);
+        assert_eq!((v0, v1), (Var(0), Var(1)));
+        let p = b.finish();
+        assert_eq!(p.nvars, 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! The execution engine: catalog + optimiser pipeline + hook.
+
+use rbat::catalog::CommitReport;
+use rbat::delta::Row;
+use rbat::{Catalog, Value};
+
+use crate::error::Result;
+use crate::interp::{self, ExecHook, NoHook};
+use crate::optimizer::{default_pipeline, OptPass};
+use crate::profile::QueryOutput;
+use crate::program::Program;
+
+/// The top-level engine façade.
+///
+/// An `Engine<NoHook>` is the *naive* system (plain MonetDB-style
+/// execution); an `Engine<Recycler>` (from the `recycler` crate) is the
+/// system with the recycler run-time support attached. The hook is a
+/// public field so experiments can inspect recycler state between queries.
+pub struct Engine<H: ExecHook = NoHook> {
+    /// The SQL catalog with persistent tables.
+    pub catalog: Catalog,
+    /// The run-time hook (recycler or [`NoHook`]).
+    pub hook: H,
+    passes: Vec<Box<dyn OptPass>>,
+}
+
+impl Engine<NoHook> {
+    /// Engine without recycling.
+    pub fn new(catalog: Catalog) -> Engine<NoHook> {
+        Engine::with_hook(catalog, NoHook)
+    }
+}
+
+impl<H: ExecHook> Engine<H> {
+    /// Engine with an explicit run-time hook.
+    pub fn with_hook(catalog: Catalog, hook: H) -> Engine<H> {
+        Engine {
+            catalog,
+            hook,
+            passes: default_pipeline(),
+        }
+    }
+
+    /// Append an optimiser pass to the pipeline (e.g. the recycler marking
+    /// pass, which must come after constant folding and dead-code
+    /// elimination — paper §3.1).
+    pub fn add_pass(&mut self, pass: Box<dyn OptPass>) {
+        self.passes.push(pass);
+    }
+
+    /// Run the optimiser pipeline over a freshly built template. Call once
+    /// per template, then invoke [`Engine::run`] many times.
+    pub fn optimize(&self, program: &mut Program) {
+        for pass in &self.passes {
+            pass.run(program, &self.catalog);
+        }
+    }
+
+    /// Execute a (template) program with the given parameter values.
+    pub fn run(&mut self, program: &Program, params: &[Value]) -> Result<QueryOutput> {
+        interp::run(&self.catalog, program, params, &mut self.hook)
+    }
+
+    /// Stage inserts, stage deletes, and commit — notifying the hook so the
+    /// recycle pool can be synchronised (paper §6). Returns the commit
+    /// report.
+    pub fn update(
+        &mut self,
+        table: &str,
+        inserts: Vec<Row>,
+        deletes: Vec<u64>,
+    ) -> Result<CommitReport> {
+        if !inserts.is_empty() {
+            self.catalog.append(table, inserts)?;
+        }
+        if !deletes.is_empty() {
+            self.catalog.delete(table, deletes)?;
+        }
+        let report = self.catalog.commit(table)?;
+        self.hook.update_event(&report, &self.catalog);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ProgramBuilder, P};
+    use rbat::{LogicalType, TableBuilder};
+
+    fn engine() -> Engine {
+        let mut cat = Catalog::new();
+        let mut tb = TableBuilder::new("t").column("x", LogicalType::Int);
+        for i in 0..100 {
+            tb.push_row(&[Value::Int(i)]);
+        }
+        cat.add_table(tb.finish());
+        Engine::new(cat)
+    }
+
+    #[test]
+    fn optimize_then_run() {
+        let mut e = engine();
+        let mut b = ProgramBuilder::new("q", 1);
+        let col = b.bind("t", "x");
+        let up = b.add_months(Value::date("1996-01-01"), 1);
+        let _dead = b.reverse(col);
+        let s = b.select_closed(col, P(0), Value::Int(50));
+        let n = b.count(s);
+        b.export("n", n);
+        b.export("date", up);
+        let mut p = b.finish();
+        let before = p.instrs.len();
+        e.optimize(&mut p);
+        assert!(p.instrs.len() < before, "pipeline must shrink the program");
+        let out = e.run(&p, &[Value::Int(40)]).unwrap();
+        assert_eq!(out.export("n"), Some(&Value::Int(11)));
+        assert_eq!(out.export("date"), Some(&Value::date("1996-02-01")));
+    }
+
+    #[test]
+    fn update_roundtrip() {
+        let mut e = engine();
+        let report = e
+            .update("t", vec![vec![Value::Int(1000)]], vec![0, 1])
+            .unwrap();
+        assert_eq!(report.deleted, vec![0, 1]);
+        assert_eq!(e.catalog.table("t").unwrap().nrows(), 99);
+    }
+}

@@ -1,0 +1,76 @@
+//! Errors of the abstract machine layer.
+
+use std::fmt;
+
+use rbat::BatError;
+
+/// Errors raised by program construction, optimisation or interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MalError {
+    /// Underlying storage/operator error.
+    Bat(BatError),
+    /// An instruction read a variable that has not been assigned.
+    UnboundVar {
+        /// Variable index.
+        var: u32,
+        /// Program counter of the reading instruction.
+        pc: usize,
+    },
+    /// A parameter index was out of range for the invocation.
+    BadParam {
+        /// Parameter index.
+        index: u16,
+        /// Number of parameters supplied.
+        supplied: usize,
+    },
+    /// An instruction received arguments of the wrong shape.
+    BadArgs {
+        /// Offending opcode name.
+        op: &'static str,
+        /// Description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MalError::Bat(e) => write!(f, "{e}"),
+            MalError::UnboundVar { var, pc } => {
+                write!(f, "unbound variable X{var} read at pc {pc}")
+            }
+            MalError::BadParam { index, supplied } => {
+                write!(f, "parameter A{index} out of range ({supplied} supplied)")
+            }
+            MalError::BadArgs { op, detail } => write!(f, "bad arguments for {op}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for MalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MalError::Bat(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BatError> for MalError {
+    fn from(e: BatError) -> Self {
+        MalError::Bat(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, MalError>;
+
+impl MalError {
+    /// Construct a [`MalError::BadArgs`].
+    pub fn bad_args(op: &'static str, detail: impl Into<String>) -> Self {
+        MalError::BadArgs {
+            op,
+            detail: detail.into(),
+        }
+    }
+}

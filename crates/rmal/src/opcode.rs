@@ -1,0 +1,200 @@
+//! The instruction set of the abstract machine.
+
+use std::fmt;
+
+use rbat::ops::{CalcOp, CmpOp, GrpFunc};
+
+/// Instruction opcodes. Operator parameters that change semantics (the
+/// aggregate function, the arithmetic operator) are part of the opcode so
+/// that the recycler's instruction matching distinguishes them; everything
+/// value-like travels in the argument list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// `sql.bind(table, column)` → persistent column BAT.
+    Bind,
+    /// `sql.bindIdxbat(name)` → join index BAT.
+    BindIdx,
+    /// `algebra.select(b, lo, hi, li, hi)` → range selection on the tail.
+    Select,
+    /// `algebra.uselect(b, v)` → equality selection.
+    Uselect,
+    /// `algebra.likeselect(b, pattern)` → LIKE selection on a string tail.
+    Like,
+    /// `algebra.selectNotNil(b)` → drop NULL tails.
+    SelectNotNil,
+    /// `algebra.join(l, r)` → natural join on `l.tail == r.head`.
+    Join,
+    /// `algebra.semijoin(l, r)` → tuples of `l` with head among `r`'s heads.
+    Semijoin,
+    /// `bat.kdiff(l, r)` → tuples of `l` with head *not* among `r`'s heads.
+    Diff,
+    /// `bat.reverse(b)` → swap head and tail (zero cost).
+    Reverse,
+    /// `bat.mirror(b)` → head mirrored into the tail (zero cost).
+    Mirror,
+    /// `algebra.markT(b, base)` → fresh dense tail OIDs (zero cost).
+    MarkT,
+    /// `bat.kunique(b)` → first tuple per distinct head.
+    Kunique,
+    /// `group.new(b)` → positionally aligned group ids from tail values.
+    Group,
+    /// `group.refine(g, b)` → refine grouping by another column.
+    GroupRefine,
+    /// `group.first(values, groups)` → per-group first value (GROUP BY keys).
+    GrpFirst,
+    /// `aggr.<f>_grouped(values, groups)` → per-group aggregate.
+    GrpAggr(GrpFunc),
+    /// `aggr.<f>(b)` → scalar aggregate of the tail.
+    Aggr(GrpFunc),
+    /// `algebra.sortTail(b, asc)` → reorder by tail.
+    Sort,
+    /// `algebra.topN(b, n, asc)` → first n by tail order.
+    TopN,
+    /// `batcalc.<op>(l, rhs)` → element-wise arithmetic.
+    Calc(CalcOp),
+    /// `batcalc.<cmp>(l, rhs)` → element-wise comparison (boolean tail).
+    CalcCmp(CmpOp),
+    /// `mtime.addmonths(date, n)` → scalar date arithmetic.
+    AddMonths,
+    /// `mtime.adddays(date, n)` → scalar date arithmetic.
+    AddDays,
+    /// `sql.exportValue(name, v)` → emit a result-set entry (side effect).
+    Export,
+}
+
+impl Opcode {
+    /// The MAL-style qualified name, used by program listings and the
+    /// recycle-pool breakdown of Table III.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Opcode::Bind => "sql.bind",
+            Opcode::BindIdx => "sql.bindIdxbat",
+            Opcode::Select => "algebra.select",
+            Opcode::Uselect => "algebra.uselect",
+            Opcode::Like => "algebra.likeselect",
+            Opcode::SelectNotNil => "algebra.selectNotNil",
+            Opcode::Join => "algebra.join",
+            Opcode::Semijoin => "algebra.semijoin",
+            Opcode::Diff => "bat.kdiff",
+            Opcode::Reverse => "bat.reverse",
+            Opcode::Mirror => "bat.mirror",
+            Opcode::MarkT => "algebra.markT",
+            Opcode::Kunique => "bat.kunique",
+            Opcode::Group => "group.new",
+            Opcode::GroupRefine => "group.refine",
+            Opcode::GrpFirst => "group.first",
+            Opcode::GrpAggr(GrpFunc::Count) => "aggr.count_grouped",
+            Opcode::GrpAggr(GrpFunc::Sum) => "aggr.sum_grouped",
+            Opcode::GrpAggr(GrpFunc::Min) => "aggr.min_grouped",
+            Opcode::GrpAggr(GrpFunc::Max) => "aggr.max_grouped",
+            Opcode::GrpAggr(GrpFunc::Avg) => "aggr.avg_grouped",
+            Opcode::Aggr(GrpFunc::Count) => "aggr.count",
+            Opcode::Aggr(GrpFunc::Sum) => "aggr.sum",
+            Opcode::Aggr(GrpFunc::Min) => "aggr.min",
+            Opcode::Aggr(GrpFunc::Max) => "aggr.max",
+            Opcode::Aggr(GrpFunc::Avg) => "aggr.avg",
+            Opcode::Sort => "algebra.sortTail",
+            Opcode::TopN => "algebra.topN",
+            Opcode::Calc(CalcOp::Add) => "batcalc.add",
+            Opcode::Calc(CalcOp::Sub) => "batcalc.sub",
+            Opcode::Calc(CalcOp::Mul) => "batcalc.mul",
+            Opcode::Calc(CalcOp::Div) => "batcalc.div",
+            Opcode::CalcCmp(CmpOp::Eq) => "batcalc.eq",
+            Opcode::CalcCmp(CmpOp::Ne) => "batcalc.ne",
+            Opcode::CalcCmp(CmpOp::Lt) => "batcalc.lt",
+            Opcode::CalcCmp(CmpOp::Le) => "batcalc.le",
+            Opcode::CalcCmp(CmpOp::Gt) => "batcalc.gt",
+            Opcode::CalcCmp(CmpOp::Ge) => "batcalc.ge",
+            Opcode::AddMonths => "mtime.addmonths",
+            Opcode::AddDays => "mtime.adddays",
+            Opcode::Export => "sql.exportValue",
+        }
+    }
+
+    /// Coarse instruction family used for recycle-pool breakdowns
+    /// (the "Instruction type" column of the paper's Table III).
+    pub fn family(&self) -> &'static str {
+        match self {
+            Opcode::Bind | Opcode::BindIdx => "bind",
+            Opcode::Select | Opcode::Uselect | Opcode::Like | Opcode::SelectNotNil => "select",
+            Opcode::Join | Opcode::Semijoin | Opcode::Diff => "join",
+            Opcode::Reverse | Opcode::Mirror => "view",
+            Opcode::MarkT => "markT",
+            Opcode::Kunique => "unique",
+            Opcode::Group | Opcode::GroupRefine | Opcode::GrpFirst => "group",
+            Opcode::GrpAggr(_) | Opcode::Aggr(_) => "aggr",
+            Opcode::Sort | Opcode::TopN => "sort",
+            Opcode::Calc(_) | Opcode::CalcCmp(_) => "calc",
+            Opcode::AddMonths | Opcode::AddDays => "scalar",
+            Opcode::Export => "export",
+        }
+    }
+
+    /// Is this instruction eligible for recycler monitoring? Cheap scalar
+    /// expressions and side-effecting exports are of no interest (paper
+    /// §3.1): the administration overhead would outweigh the gain.
+    pub fn recyclable(&self) -> bool {
+        !matches!(
+            self,
+            Opcode::AddMonths | Opcode::AddDays | Opcode::Export
+        )
+    }
+
+    /// Zero-cost viewpoint instructions — they materialise no data, only a
+    /// new view over existing buffers (paper §2.3).
+    pub fn zero_cost(&self) -> bool {
+        matches!(self, Opcode::Reverse | Opcode::Mirror | Opcode::MarkT)
+    }
+
+    /// Pure scalar functions of their arguments (no data access, no side
+    /// effects). Too cheap to monitor, but they *propagate* recycling
+    /// candidacy: an `algebra.select` fed by `mtime.addmonths(A1, A2)` is
+    /// still monitorable — at run time its argument is the computed value,
+    /// a deterministic function of the template parameters (the shaded
+    /// `X25` node of paper Fig. 2).
+    pub fn pure_scalar(&self) -> bool {
+        matches!(self, Opcode::AddMonths | Opcode::AddDays)
+    }
+
+    /// Does the instruction produce a scalar (non-BAT) result?
+    pub fn scalar_result(&self) -> bool {
+        matches!(
+            self,
+            Opcode::Aggr(_) | Opcode::AddMonths | Opcode::AddDays | Opcode::Export
+        )
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_families() {
+        assert_eq!(Opcode::Select.name(), "algebra.select");
+        assert_eq!(Opcode::Select.family(), "select");
+        assert_eq!(Opcode::GrpAggr(GrpFunc::Sum).name(), "aggr.sum_grouped");
+        assert_eq!(Opcode::Join.family(), "join");
+    }
+
+    #[test]
+    fn recyclability() {
+        assert!(Opcode::Join.recyclable());
+        assert!(Opcode::Bind.recyclable());
+        assert!(!Opcode::AddMonths.recyclable());
+        assert!(!Opcode::Export.recyclable());
+    }
+
+    #[test]
+    fn zero_cost_ops() {
+        assert!(Opcode::Reverse.zero_cost());
+        assert!(Opcode::MarkT.zero_cost());
+        assert!(!Opcode::Select.zero_cost());
+    }
+}

@@ -1,0 +1,33 @@
+//! # skyserver — a synthetic SkyServer substrate
+//!
+//! The paper's second evaluation (§8) runs against a 100 GB subset of the
+//! Sloan Digital Sky Survey's SkyServer database and a sample of its real
+//! January-2008 query log — resources we do not have. Per the substitution
+//! policy in DESIGN.md §3, this crate builds the closest synthetic
+//! equivalent that exercises the same code paths:
+//!
+//! * [`gen`] — a sky-object catalogue (`photoobj`) with positional
+//!   coordinates and ~20 photometric property columns, the small
+//!   self-descriptive documentation tables, and a spectroscopy table for
+//!   point queries;
+//! * [`queries`] — the three query patterns the paper reports: the
+//!   dominant `fGetNearbyObjEq`+`PhotoPrimary` template (>60 %),
+//!   documentation-table lookups (~36 %) and point queries by object id
+//!   (~2 %);
+//! * [`workload`] — a log sampler reproducing that mix, with the paper's
+//!   "two different, but overlapping, sets of parameter values";
+//! * [`microbench`] — the B2/B4 combined-subsumption micro-benchmarks of
+//!   §8.3: seed queries of selectivity `s` answered by `k` covering
+//!   queries of selectivity `1.5·s/(k−1)`.
+
+#![deny(missing_docs)]
+
+pub mod gen;
+pub mod microbench;
+pub mod queries;
+pub mod workload;
+
+pub use gen::{generate, SkyScale};
+pub use microbench::{microbench, MicrobenchItem};
+pub use queries::{doc_query, nearby_query, point_query};
+pub use workload::{sample_log, LogItem, PatternKind};

@@ -1,0 +1,108 @@
+//! The B2/B4 combined-subsumption micro-benchmarks of §8.3.
+//!
+//! From each *seed query* of selectivity `s` over right ascension, `k`
+//! *covering queries* of selectivity `s(k) = 1.5·s/(k−1)` are generated so
+//! that they overlap pairwise and together cover the seed's range; the
+//! sequence `cover₁ … coverₖ seed` then lets the recycler answer the seed
+//! by combined subsumption from the covers.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rbat::Value;
+use rmal::Program;
+
+use crate::queries::spatial_range_query;
+
+/// One query of a micro-benchmark batch.
+#[derive(Debug, Clone)]
+pub struct MicrobenchItem {
+    /// `[ra_lo, ra_hi]` parameters.
+    pub params: Vec<Value>,
+    /// Is this a seed query (answerable by combined subsumption)?
+    pub is_seed: bool,
+}
+
+/// Build a micro-benchmark: `seeds` seed queries, each preceded by `k`
+/// covering queries. `s` is the seed selectivity as a fraction of the
+/// 0..360 ra domain (the paper uses s = 2 %). Returns the shared template
+/// and the `seeds × (k+1)` items in execution order.
+pub fn microbench(seeds: usize, k: usize, s: f64, seed: u64) -> (Program, Vec<MicrobenchItem>) {
+    assert!(k >= 2, "combined subsumption needs at least two covers");
+    let template = spatial_range_query();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let domain = 360.0;
+    let seed_width = s * domain;
+    let cover_sel = 1.5 * s / (k as f64 - 1.0);
+    let cover_width = cover_sel * domain;
+    let mut items = Vec::with_capacity(seeds * (k + 1));
+    for _ in 0..seeds {
+        let lo = rng.gen_range(cover_width..domain - seed_width - cover_width);
+        let hi = lo + seed_width;
+        // Cover left edges slide from below the seed's lower bound to just
+        // under its upper bound: each cover misses part of the seed (so no
+        // *singleton* subsumption applies), consecutive covers overlap
+        // (stride w/(k−1) < width 1.5w/(k−1)), and the union spans [lo, hi].
+        let stride = seed_width / (k as f64 - 1.0);
+        for i in 0..k {
+            let c_lo = lo - 0.6 * cover_width + stride * i as f64;
+            let c_hi = c_lo + cover_width;
+            items.push(MicrobenchItem {
+                params: vec![Value::Float(c_lo), Value::Float(c_hi)],
+                is_seed: false,
+            });
+        }
+        items.push(MicrobenchItem {
+            params: vec![Value::Float(lo), Value::Float(hi)],
+            is_seed: true,
+        });
+    }
+    (template, items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn widths(items: &[MicrobenchItem]) -> Vec<(f64, f64)> {
+        items
+            .iter()
+            .map(|i| {
+                (
+                    i.params[0].as_float().unwrap(),
+                    i.params[1].as_float().unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn b2_shape() {
+        let (_, items) = microbench(20, 2, 0.02, 1);
+        assert_eq!(items.len(), 60);
+        assert_eq!(items.iter().filter(|i| i.is_seed).count(), 20);
+        // pattern: cover, cover, seed
+        assert!(!items[0].is_seed && !items[1].is_seed && items[2].is_seed);
+    }
+
+    #[test]
+    fn covers_span_seed() {
+        let (_, items) = microbench(5, 4, 0.02, 2);
+        for chunk in items.chunks(5) {
+            let w = widths(chunk);
+            let (seed_lo, seed_hi) = w[4];
+            let min_lo = w[..4].iter().map(|x| x.0).fold(f64::MAX, f64::min);
+            let max_hi = w[..4].iter().map(|x| x.1).fold(f64::MIN, f64::max);
+            assert!(min_lo <= seed_lo, "covers start below the seed");
+            assert!(max_hi >= seed_hi, "covers end above the seed");
+            // consecutive covers overlap
+            let mut sorted: Vec<(f64, f64)> = w[..4].to_vec();
+            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for pair in sorted.windows(2) {
+                assert!(
+                    pair[1].0 <= pair[0].1,
+                    "covers must overlap: {pair:?}"
+                );
+            }
+        }
+    }
+}

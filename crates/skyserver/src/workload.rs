@@ -1,0 +1,107 @@
+//! The query-log sampler: reproduces the pattern mix the paper reports for
+//! the January-2008 SkyServer log (§8.1).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rbat::Value;
+use rmal::Program;
+
+use crate::queries;
+
+/// Which pattern a sampled log item instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternKind {
+    /// `fGetNearbyObjEq` + PhotoPrimary projection (>60 %).
+    Nearby,
+    /// Documentation-table lookup (~36 %).
+    Doc,
+    /// Point query by spectrum id (~2 %).
+    Point,
+}
+
+/// A sampled log entry.
+#[derive(Debug, Clone)]
+pub struct LogItem {
+    /// Pattern of this entry.
+    pub kind: PatternKind,
+    /// Index into the template vector returned by [`sample_log`].
+    pub query_idx: usize,
+    /// Parameters.
+    pub params: Vec<Value>,
+}
+
+/// Sample `n` queries with the reported mix. Returns the three templates
+/// (nearby, doc, point) plus the items.
+///
+/// Following §8.1, nearby-query instances are "almost identical": they draw
+/// from **two overlapping sets of parameter values** (two sky regions whose
+/// boxes overlap), so the recycler sees many exact repeats and subsumable
+/// neighbours. Documentation queries draw from a handful of page patterns;
+/// point queries hit random spectra (little reuse — as in the paper).
+pub fn sample_log(n: usize, seed: u64) -> (Vec<Program>, Vec<LogItem>) {
+    let templates = vec![
+        queries::nearby_query(),
+        queries::doc_query(),
+        queries::point_query(),
+    ];
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // two overlapping spatial parameter sets (paper: "two different, but
+    // overlapping, sets of parameter values of the spatial search")
+    let centres = [(195.0f64, 2.5f64, 0.5f64), (195.4, 2.7, 0.5)];
+    let doc_patterns = ["%Doc%", "%Entry00%", "%Entry01%", "%body%"];
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        let roll = rng.gen_range(0..100u32);
+        let item = if roll < 62 {
+            let (ra, dec, r) = centres[rng.gen_range(0..centres.len())];
+            LogItem {
+                kind: PatternKind::Nearby,
+                query_idx: 0,
+                params: queries::nearby_params(ra, dec, r),
+            }
+        } else if roll < 98 {
+            let pat = doc_patterns[rng.gen_range(0..doc_patterns.len())];
+            LogItem {
+                kind: PatternKind::Doc,
+                query_idx: 1,
+                params: vec![Value::str(pat)],
+            }
+        } else {
+            LogItem {
+                kind: PatternKind::Point,
+                query_idx: 2,
+                params: vec![Value::Int(
+                    0x0559_0000_0000_0000 + 7 * rng.gen_range(0..100i64),
+                )],
+            }
+        };
+        items.push(item);
+    }
+    (templates, items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_matches_reported_shares() {
+        let (_, items) = sample_log(2000, 3);
+        let nearby = items.iter().filter(|i| i.kind == PatternKind::Nearby).count();
+        let doc = items.iter().filter(|i| i.kind == PatternKind::Doc).count();
+        let point = items.iter().filter(|i| i.kind == PatternKind::Point).count();
+        assert!(nearby > 1100 && nearby < 1400, "nearby {nearby}");
+        assert!(doc > 550 && doc < 870, "doc {doc}");
+        assert!(point < 110, "point {point}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, a) = sample_log(50, 9);
+        let (_, b) = sample_log(50, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.params, y.params);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # tpch — the TPC-H substrate for the recycler experiments
+//!
+//! Everything paper §7 needs: a deterministic, in-process generator for the
+//! eight TPC-H tables at an arbitrary scale factor, the 22 benchmark
+//! queries expressed as MAL query templates (structurally faithful
+//! simplifications — see DESIGN.md §3), per-query parameter generators
+//! following the TPC-H 2.6 substitution-parameter domains, the RF1/RF2
+//! refresh functions for the update experiments, and workload builders for
+//! the paper's micro-benchmarks and the 200-query mixed batch.
+
+#![deny(missing_docs)]
+
+pub mod gen;
+pub mod queries;
+pub mod refresh;
+pub mod schema;
+pub mod text;
+pub mod workload;
+
+pub use gen::{generate, TpchScale};
+pub use queries::{all_queries, query, TpchQuery};
+pub use refresh::{delete_block, insert_block, UpdateBlock};
+pub use workload::{mixed_batch, query_batch, BatchItem};

@@ -1,0 +1,138 @@
+//! The 22 TPC-H queries as MAL query templates.
+//!
+//! Each template is a structurally faithful simplification of the plan
+//! MonetDB's SQL front end produces (paper Fig. 1): operator threads start
+//! at `sql.bind`, parameters are factored out (`A0..An`), foreign-key joins
+//! go through join indices, and sub-query/outer-query commonality is left
+//! in the plan exactly where SQL compilation would put it (no manual CSE) —
+//! that duplication is what the recycler's *intra-query* reuse feeds on
+//! (paper Table II).
+//!
+//! Parameter generators follow the TPC-H 2.6 substitution domains, which
+//! determine the *inter-query* overlap between instances of one template:
+//! small domains (Q18's four quantity levels) overlap often, continuous
+//! domains (Q14's sixty months) almost never.
+
+mod q01_06;
+mod q07_11;
+mod q12_16;
+mod q17_22;
+
+use rand::rngs::SmallRng;
+use rbat::Value;
+use rmal::{Program, ProgramBuilder, Var};
+
+/// A TPC-H query: its template (build once, optimise once, run many) and a
+/// generator for substitution parameters.
+pub struct TpchQuery {
+    /// Query number (1..=22).
+    pub number: u8,
+    /// The MAL template.
+    pub template: Program,
+    /// Substitution-parameter generator.
+    pub params: fn(&mut SmallRng) -> Vec<Value>,
+}
+
+/// Build query `n` (1..=22). Panics outside the range.
+pub fn query(n: u8) -> TpchQuery {
+    let (template, params): (Program, fn(&mut SmallRng) -> Vec<Value>) = match n {
+        1 => (q01_06::q1(), q01_06::q1_params),
+        2 => (q01_06::q2(), q01_06::q2_params),
+        3 => (q01_06::q3(), q01_06::q3_params),
+        4 => (q01_06::q4(), q01_06::q4_params),
+        5 => (q01_06::q5(), q01_06::q5_params),
+        6 => (q01_06::q6(), q01_06::q6_params),
+        7 => (q07_11::q7(), q07_11::q7_params),
+        8 => (q07_11::q8(), q07_11::q8_params),
+        9 => (q07_11::q9(), q07_11::q9_params),
+        10 => (q07_11::q10(), q07_11::q10_params),
+        11 => (q07_11::q11(), q07_11::q11_params),
+        12 => (q12_16::q12(), q12_16::q12_params),
+        13 => (q12_16::q13(), q12_16::q13_params),
+        14 => (q12_16::q14(), q12_16::q14_params),
+        15 => (q12_16::q15(), q12_16::q15_params),
+        16 => (q12_16::q16(), q12_16::q16_params),
+        17 => (q17_22::q17(), q17_22::q17_params),
+        18 => (q17_22::q18(), q17_22::q18_params),
+        19 => (q17_22::q19(), q17_22::q19_params),
+        20 => (q17_22::q20(), q17_22::q20_params),
+        21 => (q17_22::q21(), q17_22::q21_params),
+        22 => (q17_22::q22(), q17_22::q22_params),
+        other => panic!("TPC-H has queries 1..=22, got {other}"),
+    };
+    TpchQuery {
+        number: n,
+        template,
+        params,
+    }
+}
+
+/// All 22 queries, freshly built.
+pub fn all_queries() -> Vec<TpchQuery> {
+    (1..=22).map(query).collect()
+}
+
+// ---- shared plan idioms -----------------------------------------------
+
+/// Fetch a column of `table` through a candidate row map
+/// (`join(map, bind(table, col))`).
+pub(crate) fn fetch(b: &mut ProgramBuilder, map: Var, table: &str, col: &str) -> Var {
+    let c = b.bind(table, col);
+    b.join(map, c)
+}
+
+/// Restrict a foreign-key join index to the rows whose *target* is among
+/// `targets` (a BAT headed by target OIDs). Returns `(from-oid, to-oid)`.
+pub(crate) fn fk_filter(b: &mut ProgramBuilder, idx: &str, targets: Var) -> Var {
+    let ix = b.bind_idx(idx);
+    let r = b.reverse(ix);
+    let s = b.semijoin(r, targets);
+    b.reverse(s)
+}
+
+/// The TPC-H revenue expression `l_extendedprice * (1 - l_discount)`
+/// fetched through a lineitem row map.
+pub(crate) fn revenue(b: &mut ProgramBuilder, map: Var) -> Var {
+    let price = fetch(b, map, "lineitem", "l_extendedprice");
+    let disc = fetch(b, map, "lineitem", "l_discount");
+    let pd = b.mul(price, disc);
+    b.sub(price, pd)
+}
+
+/// A random first-of-month date within `[year_lo, year_hi]`.
+pub(crate) fn month_start(rng: &mut SmallRng, year_lo: i32, year_hi: i32) -> Value {
+    use rand::Rng;
+    let y = rng.gen_range(year_lo..=year_hi);
+    let m = rng.gen_range(1..=12);
+    Value::Date(rbat::Date::from_ymd(y, m, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_queries_build() {
+        let qs = all_queries();
+        assert_eq!(qs.len(), 22);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for q in &qs {
+            assert!(!q.template.instrs.is_empty(), "q{} empty", q.number);
+            let p = (q.params)(&mut rng);
+            assert_eq!(
+                p.len(),
+                q.template.nparams as usize,
+                "q{} params arity",
+                q.number
+            );
+        }
+    }
+
+    #[test]
+    fn templates_have_unique_ids() {
+        let a = query(1);
+        let b = query(1);
+        assert_ne!(a.template.id, b.template.id);
+    }
+}

@@ -1,0 +1,274 @@
+//! TPC-H queries 1–6.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rbat::Value;
+use rmal::{Program, ProgramBuilder, P};
+
+use super::{fetch, fk_filter, revenue};
+
+/// Q1 — pricing summary report: scan lineitem up to a shipdate cutoff,
+/// group by (returnflag, linestatus), aggregate quantities and revenues.
+pub fn q1() -> Program {
+    let mut b = ProgramBuilder::new("tpch_q1", 1);
+    let ship = b.bind("lineitem", "l_shipdate");
+    let sel = b.select(ship, Value::Nil, P(0), true, true);
+    let map = b.row_map(sel);
+    let rf = fetch(&mut b, map, "lineitem", "l_returnflag");
+    let ls = fetch(&mut b, map, "lineitem", "l_linestatus");
+    let qty = fetch(&mut b, map, "lineitem", "l_quantity");
+    let price = fetch(&mut b, map, "lineitem", "l_extendedprice");
+    let disc = fetch(&mut b, map, "lineitem", "l_discount");
+    let g0 = b.group(rf);
+    let g = b.group_refine(g0, ls);
+    let sum_qty = b.grp_sum(qty, g);
+    let _sum_price = b.grp_sum(price, g);
+    let pd = b.mul(price, disc);
+    let disc_price = b.sub(price, pd);
+    let sum_disc = b.grp_sum(disc_price, g);
+    let _avg_qty = b.grp_avg(qty, g);
+    let cnt = b.grp_count(qty, g);
+    let groups = b.count(cnt);
+    let total_qty = b.sum(sum_qty);
+    let total_rev = b.sum(sum_disc);
+    b.export("groups", groups);
+    b.export("sum_qty", total_qty);
+    b.export("revenue", total_rev);
+    b.finish()
+}
+
+/// Q1 parameters: shipdate cutoff `1998-12-01 − delta days`, delta ∈ [60, 120].
+pub fn q1_params(rng: &mut SmallRng) -> Vec<Value> {
+    let delta = rng.gen_range(60..=120);
+    vec![Value::Date(
+        rbat::Date::from_ymd(1998, 12, 1).add_days(-delta),
+    )]
+}
+
+/// Q2 — minimum-cost supplier: parts of a given size and type class joined
+/// with partsupp, restricted to suppliers of one region.
+pub fn q2() -> Program {
+    let mut b = ProgramBuilder::new("tpch_q2", 3);
+    // parts of requested size and type suffix
+    let psize = b.bind("part", "p_size");
+    let sized = b.uselect(psize, P(0));
+    let ptype = b.bind("part", "p_type");
+    let typed = b.like(ptype, P(1));
+    let parts = b.semijoin(sized, typed);
+    // region → nations → suppliers
+    let rname = b.bind("region", "r_name");
+    let reg = b.uselect(rname, P(2));
+    let nations = fk_filter(&mut b, crate::schema::IDX_NATION_REGION, reg);
+    let nat_rev = b.reverse(nations); // not needed dense; nations=(n-oid, r-oid)
+    let _ = nat_rev;
+    let supps = fk_filter(&mut b, crate::schema::IDX_SUPP_NATION, nations);
+    // partsupp rows of qualifying parts and suppliers
+    let ps_of_parts = fk_filter(&mut b, crate::schema::IDX_PS_PART, parts);
+    let ps_of_supps = fk_filter(&mut b, crate::schema::IDX_PS_SUPP, supps);
+    let ps = b.semijoin(ps_of_parts, ps_of_supps);
+    let map = b.row_map(ps);
+    let cost = fetch(&mut b, map, "partsupp", "ps_supplycost");
+    let min_cost = b.min(cost);
+    let n = b.count(ps);
+    b.export("candidates", n);
+    b.export("min_cost", min_cost);
+    b.finish()
+}
+
+/// Q2 parameters: size ∈ [1,50], type suffix, region name.
+pub fn q2_params(rng: &mut SmallRng) -> Vec<Value> {
+    let size = rng.gen_range(1..=50i64);
+    let suffix = *crate::text::pick(rng, &crate::text::TYPE_S3);
+    let region = *crate::text::pick(rng, &crate::text::REGIONS);
+    vec![
+        Value::Int(size),
+        Value::str(&format!("%{suffix}")),
+        Value::str(region),
+    ]
+}
+
+/// Q3 — shipping priority: customers of one segment, orders before a date,
+/// lineitems shipped after it; top revenue orders.
+pub fn q3() -> Program {
+    let mut b = ProgramBuilder::new("tpch_q3", 2);
+    let seg = b.bind("customer", "c_mktsegment");
+    let custs = b.uselect(seg, P(0));
+    let od = b.bind("orders", "o_orderdate");
+    let orders_window = b.select(od, Value::Nil, P(1), true, false);
+    let orders_of_cust = fk_filter(&mut b, crate::schema::IDX_ORD_CUST, custs);
+    let orders = b.semijoin(orders_window, orders_of_cust);
+    let ls = b.bind("lineitem", "l_shipdate");
+    let lineitems = b.select(ls, P(1), Value::Nil, false, true);
+    let li_of_orders = fk_filter(&mut b, crate::schema::IDX_LI_ORDERS, orders);
+    let li = b.semijoin(lineitems, li_of_orders);
+    let map = b.row_map(li);
+    let rev = revenue(&mut b, map);
+    let okeys = fetch(&mut b, map, "lineitem", "l_orderkey");
+    let g = b.group(okeys);
+    let sums = b.grp_sum(rev, g);
+    let top = b.topn(sums, 10, false);
+    let n = b.count(li);
+    let best = b.max(top);
+    b.export("lineitems", n);
+    b.export("top_revenue", best);
+    b.finish()
+}
+
+/// Q3 parameters: segment, date around 1995-03.
+pub fn q3_params(rng: &mut SmallRng) -> Vec<Value> {
+    let seg = *crate::text::pick(rng, &crate::text::SEGMENTS);
+    let day = rng.gen_range(1..=28);
+    vec![
+        Value::str(seg),
+        Value::Date(rbat::Date::from_ymd(1995, 3, day)),
+    ]
+}
+
+/// Q4 — order priority checking: orders in a 3-month window having at
+/// least one lineitem with `l_commitdate < l_receiptdate`, counted per
+/// priority. The late-lineitem thread is parameter-independent — the
+/// paper's prime example of inter-query reuse (41.7 % in Table II).
+pub fn q4() -> Program {
+    let mut b = ProgramBuilder::new("tpch_q4", 1);
+    let od = b.bind("orders", "o_orderdate");
+    let hi = b.add_months(P(0), 3);
+    let window = b.select(od, P(0), hi, true, false);
+    // parameter-independent: lineitems received later than committed
+    let lc = b.bind("lineitem", "l_commitdate");
+    let lr = b.bind("lineitem", "l_receiptdate");
+    let cmp = b.calc_cmp(lc, lr, rbat::ops::CmpOp::Lt);
+    let late = b.uselect(cmp, Value::Bool(true));
+    let lmap = b.row_map(late);
+    let idx = b.bind_idx(crate::schema::IDX_LI_ORDERS);
+    let lord = b.join(lmap, idx);
+    let lord_r = b.reverse(lord);
+    let have_late = b.kunique(lord_r);
+    // orders in window ∩ orders with a late lineitem
+    let qual = b.semijoin(window, have_late);
+    let qmap = b.row_map(qual);
+    let prio = fetch(&mut b, qmap, "orders", "o_orderpriority");
+    let g = b.group(prio);
+    let cnt = b.grp_count(prio, g);
+    let orders = b.count(qual);
+    let groups = b.count(cnt);
+    b.export("orders", orders);
+    b.export("priorities", groups);
+    b.finish()
+}
+
+/// Q4 parameters: first of a month between 1993-01 and 1997-10 (58 values).
+pub fn q4_params(rng: &mut SmallRng) -> Vec<Value> {
+    let n = rng.gen_range(0..58);
+    let y = 1993 + n / 12;
+    let m = 1 + n % 12;
+    vec![Value::Date(rbat::Date::from_ymd(y, m, 1))]
+}
+
+/// Q5 — local supplier volume: revenue of lineitems sold by suppliers of
+/// one region to customers of the same region, orders within one year.
+pub fn q5() -> Program {
+    let mut b = ProgramBuilder::new("tpch_q5", 2);
+    let rname = b.bind("region", "r_name");
+    let reg = b.uselect(rname, P(0));
+    let nations = fk_filter(&mut b, crate::schema::IDX_NATION_REGION, reg);
+    let custs = fk_filter(&mut b, crate::schema::IDX_CUST_NATION, nations);
+    let supps = fk_filter(&mut b, crate::schema::IDX_SUPP_NATION, nations);
+    let od = b.bind("orders", "o_orderdate");
+    let hi = b.add_months(P(1), 12);
+    let window = b.select(od, P(1), hi, true, false);
+    let orders_of_cust = fk_filter(&mut b, crate::schema::IDX_ORD_CUST, custs);
+    let orders = b.semijoin(window, orders_of_cust);
+    let li_of_orders = fk_filter(&mut b, crate::schema::IDX_LI_ORDERS, orders);
+    let li_of_supps = fk_filter(&mut b, crate::schema::IDX_LI_SUPP, supps);
+    let li = b.semijoin(li_of_orders, li_of_supps);
+    let map = b.row_map(li);
+    let rev = revenue(&mut b, map);
+    // group by supplier nation
+    let sj = fetch(&mut b, map, "lineitem", "l_suppkey");
+    let g = b.group(sj);
+    let sums = b.grp_sum(rev, g);
+    let total = b.sum(rev);
+    let groups = b.count(sums);
+    b.export("revenue", total);
+    b.export("suppliers", groups);
+    b.finish()
+}
+
+/// Q5 parameters: region, year start 1993..1997.
+pub fn q5_params(rng: &mut SmallRng) -> Vec<Value> {
+    let region = *crate::text::pick(rng, &crate::text::REGIONS);
+    let y = rng.gen_range(1993..=1997);
+    vec![
+        Value::str(region),
+        Value::Date(rbat::Date::from_ymd(y, 1, 1)),
+    ]
+}
+
+/// Q6 — forecasting revenue change: one-year shipdate window, a discount
+/// band and a quantity cap over lineitem only.
+pub fn q6() -> Program {
+    let mut b = ProgramBuilder::new("tpch_q6", 4);
+    let ship = b.bind("lineitem", "l_shipdate");
+    let hi = b.add_months(P(0), 12);
+    let sel = b.select(ship, P(0), hi, true, false);
+    let map = b.row_map(sel);
+    let disc = fetch(&mut b, map, "lineitem", "l_discount");
+    let dsel = b.select_closed(disc, P(1), P(2));
+    let dmap = b.row_map(dsel);
+    let qty = fetch(&mut b, map, "lineitem", "l_quantity");
+    let qsel = b.select(qty, Value::Nil, P(3), true, false);
+    // lineitems passing both residual predicates (head sets intersect)
+    let both = b.semijoin(dsel, qsel);
+    let bmap = b.row_map(both);
+    let _ = dmap;
+    let price_all = fetch(&mut b, map, "lineitem", "l_extendedprice");
+    let price = b.join(bmap, price_all);
+    let d2 = b.join(bmap, disc);
+    // Q6 revenue is sum(l_extendedprice * l_discount)
+    let rev = b.mul(price, d2);
+    let total = b.sum(rev);
+    let n = b.count(both);
+    b.export("revenue", total);
+    b.export("lineitems", n);
+    b.finish()
+}
+
+/// Q6 parameters: year 1993..1997, discount ± 0.01 around 0.02..0.09,
+/// quantity ∈ {24, 25}.
+pub fn q6_params(rng: &mut SmallRng) -> Vec<Value> {
+    let y = rng.gen_range(1993..=1997);
+    let d = rng.gen_range(2..=9) as f64 / 100.0;
+    let q = rng.gen_range(24..=25) as i64;
+    vec![
+        Value::Date(rbat::Date::from_ymd(y, 1, 1)),
+        Value::Float(d - 0.01),
+        Value::Float(d + 0.01),
+        Value::Float(q as f64),
+    ]
+}
+
+// silence "unused" for helpers referenced by other query files
+#[allow(unused_imports)]
+use super::TpchQuery as _UnusedMarker;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q1_has_group_and_aggregates() {
+        let p = q1();
+        let l = p.listing();
+        assert!(l.contains("group.new"));
+        assert!(l.contains("aggr.sum_grouped"));
+        assert_eq!(p.nparams, 1);
+    }
+
+    #[test]
+    fn q4_contains_param_independent_thread() {
+        let p = q4();
+        let l = p.listing();
+        assert!(l.contains("batcalc.lt"));
+        assert!(l.contains("bat.kunique"));
+    }
+}

@@ -1,0 +1,193 @@
+//! TPC-H queries 12–16.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rbat::Value;
+use rmal::{Program, ProgramBuilder, P};
+
+use super::{fetch, fk_filter};
+
+/// Q12 — shipping modes and order priority: lineitems of one ship mode
+/// received within a year, counted by order priority class.
+pub fn q12() -> Program {
+    let mut b = ProgramBuilder::new("tpch_q12", 2);
+    let sm = b.bind("lineitem", "l_shipmode");
+    let mode = b.uselect(sm, P(0));
+    let lr = b.bind("lineitem", "l_receiptdate");
+    let hi = b.add_months(P(1), 12);
+    let window = b.select(lr, P(1), hi, true, false);
+    let li = b.semijoin(mode, window);
+    let map = b.row_map(li);
+    let idx = b.bind_idx(crate::schema::IDX_LI_ORDERS);
+    let lord = b.join(map, idx);
+    let prio = {
+        let op = b.bind("orders", "o_orderpriority");
+        b.join(lord, op)
+    };
+    let g = b.group(prio);
+    let cnt = b.grp_count(prio, g);
+    let n = b.count(li);
+    let classes = b.count(cnt);
+    b.export("lineitems", n);
+    b.export("priority_classes", classes);
+    b.finish()
+}
+
+/// Q12 parameters: ship mode, year 1993..1997.
+pub fn q12_params(rng: &mut SmallRng) -> Vec<Value> {
+    let mode = *crate::text::pick(rng, &crate::text::SHIPMODES);
+    let y = rng.gen_range(1993..=1997);
+    vec![
+        Value::str(mode),
+        Value::Date(rbat::Date::from_ymd(y, 1, 1)),
+    ]
+}
+
+/// Q13 — customer distribution: orders whose comment does *not* match the
+/// given word pair, counted per customer.
+pub fn q13() -> Program {
+    let mut b = ProgramBuilder::new("tpch_q13", 1);
+    let oc = b.bind("orders", "o_comment");
+    let matching = b.like(oc, P(0));
+    let all = b.bind("orders", "o_custkey");
+    let kept = b.diff(all, matching);
+    let map = b.row_map(kept);
+    let cust = fetch(&mut b, map, "orders", "o_custkey");
+    let g = b.group(cust);
+    let cnt = b.grp_count(cust, g);
+    let customers = b.count(cnt);
+    let orders = b.count(kept);
+    b.export("orders", orders);
+    b.export("customers", customers);
+    b.finish()
+}
+
+/// Q13 parameters: a `%word1%word2%` comment pattern.
+pub fn q13_params(rng: &mut SmallRng) -> Vec<Value> {
+    let w1 = if rng.gen_bool(0.5) { "special" } else { "pending" };
+    let w2 = *crate::text::pick(rng, &["requests", "packages", "accounts", "deposits"]);
+    vec![Value::str(&format!("%{w1}%{w2}%"))]
+}
+
+/// Q14 — promotion effect: revenue of PROMO parts vs all parts within one
+/// shipping month. Every instance uses a different month — the paper's
+/// counter-example with near-zero reuse (Table II / Fig. 5b).
+pub fn q14() -> Program {
+    let mut b = ProgramBuilder::new("tpch_q14", 1);
+    let ls = b.bind("lineitem", "l_shipdate");
+    let hi = b.add_months(P(0), 1);
+    let sel = b.select(ls, P(0), hi, true, false);
+    let map = b.row_map(sel);
+    let rev = super::revenue(&mut b, map);
+    let idx = b.bind_idx(crate::schema::IDX_LI_PART);
+    let lpart = b.join(map, idx);
+    let ptype = {
+        let pt = b.bind("part", "p_type");
+        b.join(lpart, pt)
+    };
+    let promo = b.like(ptype, Value::str("PROMO%"));
+    let pmap = b.row_map(promo);
+    let prev = b.join(pmap, rev);
+    let promo_rev = b.sum(prev);
+    let total_rev = b.sum(rev);
+    b.export("promo_revenue", promo_rev);
+    b.export("total_revenue", total_rev);
+    b.finish()
+}
+
+/// Q14 parameters: first of month in 1993-01 .. 1997-12 (60 values).
+pub fn q14_params(rng: &mut SmallRng) -> Vec<Value> {
+    let n = rng.gen_range(0..60);
+    let y = 1993 + n / 12;
+    let m = 1 + n % 12;
+    vec![Value::Date(rbat::Date::from_ymd(y, m, 1))]
+}
+
+/// Q15 — top supplier: supplier revenue over one quarter, maximum picked.
+pub fn q15() -> Program {
+    let mut b = ProgramBuilder::new("tpch_q15", 1);
+    let ls = b.bind("lineitem", "l_shipdate");
+    let hi = b.add_months(P(0), 3);
+    let sel = b.select(ls, P(0), hi, true, false);
+    let map = b.row_map(sel);
+    let rev = super::revenue(&mut b, map);
+    let sk = fetch(&mut b, map, "lineitem", "l_suppkey");
+    let g = b.group(sk);
+    let sums = b.grp_sum(rev, g);
+    let best = b.max(sums);
+    let suppliers = b.count(sums);
+    b.export("max_revenue", best);
+    b.export("suppliers", suppliers);
+    b.finish()
+}
+
+/// Q15 parameters: first of month in 1993-01 .. 1997-10.
+pub fn q15_params(rng: &mut SmallRng) -> Vec<Value> {
+    let n = rng.gen_range(0..58);
+    let y = 1993 + n / 12;
+    let m = 1 + n % 12;
+    vec![Value::Date(rbat::Date::from_ymd(y, m, 1))]
+}
+
+/// Q16 — parts/supplier relationship: parts *not* of one brand and type
+/// prefix within a size band, excluding complained-about suppliers. The
+/// supplier exclusion thread is parameter-independent (the source of the
+/// 42.9 % inter-query reuse in Table II).
+pub fn q16() -> Program {
+    let mut b = ProgramBuilder::new("tpch_q16", 4);
+    // parameter-independent: suppliers with complaints
+    let sc = b.bind("supplier", "s_comment");
+    let complained = b.like(sc, Value::str("%Customer Complaints%"));
+    let ps_of_bad = fk_filter(&mut b, crate::schema::IDX_PS_SUPP, complained);
+    // parametric part restriction
+    let pb = b.bind("part", "p_brand");
+    let branded = b.uselect(pb, P(0));
+    let pall = b.bind("part", "p_partkey");
+    let unbranded = b.diff(pall, branded);
+    let pt = b.bind("part", "p_type");
+    let typed = b.like(pt, P(1));
+    let untyped = b.diff(unbranded, typed);
+    let psz = b.bind("part", "p_size");
+    let sized = b.select_closed(psz, P(2), P(3));
+    let parts = b.semijoin(untyped, sized);
+    let ps_of_parts = fk_filter(&mut b, crate::schema::IDX_PS_PART, parts);
+    let ps_ok = b.diff(ps_of_parts, ps_of_bad);
+    let map = b.row_map(ps_ok);
+    let sk = fetch(&mut b, map, "partsupp", "ps_suppkey");
+    let rsk = b.reverse(sk);
+    let uniq = b.kunique(rsk);
+    let suppliers = b.count(uniq);
+    let rows = b.count(ps_ok);
+    b.export("supplier_cnt", suppliers);
+    b.export("partsupp_rows", rows);
+    b.finish()
+}
+
+/// Q16 parameters: brand, type prefix, size band `[lo, lo+8]`.
+pub fn q16_params(rng: &mut SmallRng) -> Vec<Value> {
+    let brand = crate::text::brand(rng);
+    let t1 = *crate::text::pick(rng, &crate::text::TYPE_S1);
+    let size = rng.gen_range(1..=42i64);
+    vec![
+        Value::str(&brand),
+        Value::str(&format!("{t1}%")),
+        Value::Int(size),
+        Value::Int(size + 8),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q16_has_constant_complaints_thread() {
+        let l = q16().listing();
+        assert!(l.contains("Customer Complaints"));
+    }
+
+    #[test]
+    fn q14_param_count() {
+        assert_eq!(q14().nparams, 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! TPC-H refresh functions RF1/RF2 for the update experiments (§7.4).
+//!
+//! Each update block inserts a handful of new customer orders (7–8 rows
+//! into `orders`, 25–56 rows into `lineitem`) and deletes a similar number
+//! of old orders together with their lineitems — the shape the paper
+//! injects between query blocks in Figures 12 and 13.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rbat::delta::Row;
+use rbat::{Catalog, Date, Value};
+
+use crate::text;
+
+/// Rows to insert/delete for one refresh block.
+#[derive(Debug, Default)]
+pub struct UpdateBlock {
+    /// New `orders` rows.
+    pub order_rows: Vec<Row>,
+    /// New `lineitem` rows.
+    pub lineitem_rows: Vec<Row>,
+    /// OIDs to delete from `orders`.
+    pub delete_orders: Vec<u64>,
+    /// OIDs to delete from `lineitem`.
+    pub delete_lineitems: Vec<u64>,
+}
+
+/// RF1: build insert rows for a block of `n_orders` new orders. Keys
+/// continue after the current maximum.
+pub fn insert_block(catalog: &Catalog, rng: &mut SmallRng, n_orders: usize) -> UpdateBlock {
+    let norders = catalog.table("orders").expect("orders exists").nrows();
+    let ncust = catalog.table("customer").expect("customer exists").nrows();
+    let npart = catalog.table("part").expect("part exists").nrows();
+    let nsupp = catalog.table("supplier").expect("supplier exists").nrows();
+    let mut block = UpdateBlock::default();
+    for k in 0..n_orders {
+        let okey = (norders + k) as i64;
+        let odate = Date::from_ymd(1998, rng.gen_range(1..=8), rng.gen_range(1..=28));
+        let nlines = rng.gen_range(3..=7usize);
+        let mut total = 0.0;
+        for ln in 0..nlines {
+            let part = rng.gen_range(0..npart);
+            let qty = rng.gen_range(1..=50) as f64;
+            let price = qty * 95.0;
+            total += price;
+            let ship = odate.add_days(rng.gen_range(1..=60));
+            block.lineitem_rows.push(vec![
+                Value::Int(okey),
+                Value::Int(part as i64),
+                Value::Int(rng.gen_range(0..nsupp) as i64),
+                Value::Int(ln as i64 + 1),
+                Value::Float(qty),
+                Value::Float(price),
+                Value::Float(rng.gen_range(0..=10) as f64 / 100.0),
+                Value::Float(rng.gen_range(0..=8) as f64 / 100.0),
+                Value::str("N"),
+                Value::str("O"),
+                Value::Date(ship),
+                Value::Date(odate.add_days(45)),
+                Value::Date(ship.add_days(rng.gen_range(1..=30))),
+                Value::str(*text::pick(rng, &text::SHIPINSTRUCT)),
+                Value::str(*text::pick(rng, &text::SHIPMODES)),
+                Value::str(&text::comment(rng, 4, 0)),
+            ]);
+        }
+        block.order_rows.push(vec![
+            Value::Int(okey),
+            Value::Int(rng.gen_range(0..ncust) as i64),
+            Value::str("O"),
+            Value::Float(total),
+            Value::Date(odate),
+            Value::str(*text::pick(rng, &text::PRIORITIES)),
+            Value::str(&format!("Clerk#{:09}", rng.gen_range(0..1000))),
+            Value::Int(0),
+            Value::str(&text::comment(rng, 6, 10)),
+        ]);
+    }
+    block
+}
+
+/// RF2: pick `n_orders` random existing orders and return the OIDs of the
+/// orders and of all their lineitems for deletion.
+pub fn delete_block(catalog: &Catalog, rng: &mut SmallRng, n_orders: usize) -> UpdateBlock {
+    let orders = catalog.table("orders").expect("orders exists");
+    let mut block = UpdateBlock::default();
+    if orders.nrows() == 0 {
+        return block;
+    }
+    let okeys = catalog
+        .bind("orders", "o_orderkey")
+        .expect("orders bound");
+    let mut victims: Vec<i64> = Vec::new();
+    for _ in 0..n_orders {
+        let oid = rng.gen_range(0..orders.nrows()) as u64;
+        if !block.delete_orders.contains(&oid) {
+            block.delete_orders.push(oid);
+            if let Some(k) = okeys.tail().value(oid as usize).as_int() {
+                victims.push(k);
+            }
+        }
+    }
+    // find the lineitems referencing the victim order keys
+    let lkeys = catalog
+        .bind("lineitem", "l_orderkey")
+        .expect("lineitem bound");
+    for i in 0..lkeys.len() {
+        if let Some(k) = lkeys.tail().value(i).as_int() {
+            if victims.contains(&k) {
+                block.delete_lineitems.push(i as u64);
+            }
+        }
+    }
+    block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, TpchScale};
+    use rand::SeedableRng;
+
+    #[test]
+    fn insert_block_shapes() {
+        let cat = generate(TpchScale::new(0.001));
+        let mut rng = SmallRng::seed_from_u64(5);
+        let block = insert_block(&cat, &mut rng, 8);
+        assert_eq!(block.order_rows.len(), 8);
+        assert!(block.lineitem_rows.len() >= 24);
+        assert_eq!(block.order_rows[0].len(), 9);
+        assert_eq!(block.lineitem_rows[0].len(), 16);
+    }
+
+    #[test]
+    fn delete_block_consistent() {
+        let cat = generate(TpchScale::new(0.001));
+        let mut rng = SmallRng::seed_from_u64(5);
+        let block = delete_block(&cat, &mut rng, 5);
+        assert!(!block.delete_orders.is_empty());
+        // every victim lineitem references a victim order key
+        let lk = cat.bind("lineitem", "l_orderkey").unwrap();
+        let ok = cat.bind("orders", "o_orderkey").unwrap();
+        let victim_keys: Vec<Value> = block
+            .delete_orders
+            .iter()
+            .map(|&o| ok.tail().value(o as usize))
+            .collect();
+        for &li in &block.delete_lineitems {
+            let key = lk.tail().value(li as usize);
+            assert!(victim_keys.contains(&key));
+        }
+    }
+
+    #[test]
+    fn applying_block_keeps_engine_running() {
+        let cat = generate(TpchScale::new(0.001));
+        let mut engine = rmal::Engine::new(cat);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let ins = insert_block(&engine.catalog, &mut rng, 4);
+        engine.update("orders", ins.order_rows, vec![]).unwrap();
+        engine
+            .update("lineitem", ins.lineitem_rows, vec![])
+            .unwrap();
+        let del = delete_block(&engine.catalog, &mut rng, 3);
+        engine
+            .update("lineitem", vec![], del.delete_lineitems)
+            .unwrap();
+        engine.update("orders", vec![], del.delete_orders).unwrap();
+        // a query still runs
+        let q = crate::queries::query(6);
+        let mut t = q.template;
+        engine.optimize(&mut t);
+        let mut prng = SmallRng::seed_from_u64(1);
+        let p = (q.params)(&mut prng);
+        engine.run(&t, &p).unwrap();
+    }
+}

@@ -1,0 +1,148 @@
+//! Table schemas and join-index definitions.
+
+use rbat::catalog::JoinIndexDef;
+use rbat::LogicalType as T;
+
+/// Join index: lineitem.l_orderkey → orders (the paper's `li_fkey`).
+pub const IDX_LI_ORDERS: &str = "li_fkey";
+/// Join index: lineitem.l_partkey → part.
+pub const IDX_LI_PART: &str = "li_part_fkey";
+/// Join index: lineitem.l_suppkey → supplier.
+pub const IDX_LI_SUPP: &str = "li_supp_fkey";
+/// Join index: orders.o_custkey → customer.
+pub const IDX_ORD_CUST: &str = "ord_cust_fkey";
+/// Join index: customer.c_nationkey → nation.
+pub const IDX_CUST_NATION: &str = "cust_nation_fkey";
+/// Join index: supplier.s_nationkey → nation.
+pub const IDX_SUPP_NATION: &str = "supp_nation_fkey";
+/// Join index: nation.n_regionkey → region.
+pub const IDX_NATION_REGION: &str = "nation_region_fkey";
+/// Join index: partsupp.ps_partkey → part.
+pub const IDX_PS_PART: &str = "ps_part_fkey";
+/// Join index: partsupp.ps_suppkey → supplier.
+pub const IDX_PS_SUPP: &str = "ps_supp_fkey";
+
+/// Column schema of each TPC-H table, in definition order.
+pub fn table_schema(table: &str) -> Vec<(&'static str, T)> {
+    match table {
+        "region" => vec![("r_regionkey", T::Int), ("r_name", T::Str), ("r_comment", T::Str)],
+        "nation" => vec![
+            ("n_nationkey", T::Int),
+            ("n_name", T::Str),
+            ("n_regionkey", T::Int),
+            ("n_comment", T::Str),
+        ],
+        "supplier" => vec![
+            ("s_suppkey", T::Int),
+            ("s_name", T::Str),
+            ("s_address", T::Str),
+            ("s_nationkey", T::Int),
+            ("s_phone", T::Str),
+            ("s_acctbal", T::Float),
+            ("s_comment", T::Str),
+        ],
+        "customer" => vec![
+            ("c_custkey", T::Int),
+            ("c_name", T::Str),
+            ("c_address", T::Str),
+            ("c_nationkey", T::Int),
+            ("c_phone", T::Str),
+            ("c_acctbal", T::Float),
+            ("c_mktsegment", T::Str),
+            ("c_comment", T::Str),
+        ],
+        "part" => vec![
+            ("p_partkey", T::Int),
+            ("p_name", T::Str),
+            ("p_mfgr", T::Str),
+            ("p_brand", T::Str),
+            ("p_type", T::Str),
+            ("p_size", T::Int),
+            ("p_container", T::Str),
+            ("p_retailprice", T::Float),
+            ("p_comment", T::Str),
+        ],
+        "partsupp" => vec![
+            ("ps_partkey", T::Int),
+            ("ps_suppkey", T::Int),
+            ("ps_availqty", T::Int),
+            ("ps_supplycost", T::Float),
+        ],
+        "orders" => vec![
+            ("o_orderkey", T::Int),
+            ("o_custkey", T::Int),
+            ("o_orderstatus", T::Str),
+            ("o_totalprice", T::Float),
+            ("o_orderdate", T::Date),
+            ("o_orderpriority", T::Str),
+            ("o_clerk", T::Str),
+            ("o_shippriority", T::Int),
+            ("o_comment", T::Str),
+        ],
+        "lineitem" => vec![
+            ("l_orderkey", T::Int),
+            ("l_partkey", T::Int),
+            ("l_suppkey", T::Int),
+            ("l_linenumber", T::Int),
+            ("l_quantity", T::Float),
+            ("l_extendedprice", T::Float),
+            ("l_discount", T::Float),
+            ("l_tax", T::Float),
+            ("l_returnflag", T::Str),
+            ("l_linestatus", T::Str),
+            ("l_shipdate", T::Date),
+            ("l_commitdate", T::Date),
+            ("l_receiptdate", T::Date),
+            ("l_shipinstruct", T::Str),
+            ("l_shipmode", T::Str),
+            ("l_comment", T::Str),
+        ],
+        other => panic!("unknown TPC-H table {other}"),
+    }
+}
+
+/// All foreign-key join indices registered by the generator.
+pub fn join_indices() -> Vec<JoinIndexDef> {
+    let def = |name: &str, ft: &str, fc: &str, tt: &str, tk: &str| JoinIndexDef {
+        name: name.into(),
+        from_table: ft.into(),
+        from_column: fc.into(),
+        to_table: tt.into(),
+        to_key: tk.into(),
+    };
+    vec![
+        def(IDX_LI_ORDERS, "lineitem", "l_orderkey", "orders", "o_orderkey"),
+        def(IDX_LI_PART, "lineitem", "l_partkey", "part", "p_partkey"),
+        def(IDX_LI_SUPP, "lineitem", "l_suppkey", "supplier", "s_suppkey"),
+        def(IDX_ORD_CUST, "orders", "o_custkey", "customer", "c_custkey"),
+        def(IDX_CUST_NATION, "customer", "c_nationkey", "nation", "n_nationkey"),
+        def(IDX_SUPP_NATION, "supplier", "s_nationkey", "nation", "n_nationkey"),
+        def(IDX_NATION_REGION, "nation", "n_regionkey", "region", "r_regionkey"),
+        def(IDX_PS_PART, "partsupp", "ps_partkey", "part", "p_partkey"),
+        def(IDX_PS_SUPP, "partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemas_nonempty() {
+        for t in [
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+        ] {
+            assert!(!table_schema(t).is_empty());
+        }
+    }
+
+    #[test]
+    fn indices_reference_schema_columns() {
+        for d in join_indices() {
+            let fs = table_schema(&d.from_table);
+            assert!(fs.iter().any(|(c, _)| *c == d.from_column), "{d:?}");
+            let ts = table_schema(&d.to_table);
+            assert!(ts.iter().any(|(c, _)| *c == d.to_key), "{d:?}");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Word lists and random-text helpers for the data generator.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// TPC-H region names.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// TPC-H nation names with their region index.
+pub const NATIONS: [(&str, usize); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// Market segments (customer.c_mktsegment).
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+/// Order priorities (orders.o_orderpriority).
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Ship modes (lineitem.l_shipmode).
+pub const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// Ship instructions (lineitem.l_shipinstruct).
+pub const SHIPINSTRUCT: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+
+/// Part type syllables (p_type = one of each).
+pub const TYPE_S1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+/// Part type middle syllable.
+pub const TYPE_S2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+/// Part type final syllable.
+pub const TYPE_S3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// Part container syllables.
+pub const CONTAINER_S1: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
+/// Container kind syllable.
+pub const CONTAINER_S2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+/// Colour words used in p_name (the Q9 `like '%green%'` target class).
+pub const COLORS: [&str; 16] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blue", "blush",
+    "brown", "burlywood", "chartreuse", "coral", "cream", "forest", "green",
+];
+
+/// Filler nouns for comments.
+pub const NOUNS: [&str; 12] = [
+    "packages", "requests", "accounts", "deposits", "foxes", "ideas", "theodolites", "pinto",
+    "instructions", "dependencies", "excuses", "platelets",
+];
+
+/// Filler verbs for comments.
+pub const VERBS: [&str; 10] = [
+    "sleep", "wake", "nag", "haggle", "dazzle", "detect", "integrate", "snooze", "doze", "cajole",
+];
+
+/// Pick a random element of a slice.
+pub fn pick<'a, T>(rng: &mut SmallRng, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+/// A short random comment of `words` words; roughly 1 in `special_one_in`
+/// comments embeds the Q13 marker phrase "special requests".
+pub fn comment(rng: &mut SmallRng, words: usize, special_one_in: u32) -> String {
+    let mut out = String::new();
+    for i in 0..words {
+        if i > 0 {
+            out.push(' ');
+        }
+        if i % 2 == 0 {
+            out.push_str(*pick(rng, &NOUNS));
+        } else {
+            out.push_str(*pick(rng, &VERBS));
+        }
+    }
+    if special_one_in > 0 && rng.gen_range(0..special_one_in) == 0 {
+        out.push_str(" special requests");
+    }
+    out
+}
+
+/// A part name: three colour words.
+pub fn part_name(rng: &mut SmallRng) -> String {
+    format!(
+        "{} {} {}",
+        pick(rng, &COLORS),
+        pick(rng, &COLORS),
+        pick(rng, &COLORS)
+    )
+}
+
+/// A part type: three syllables.
+pub fn part_type(rng: &mut SmallRng) -> String {
+    format!(
+        "{} {} {}",
+        pick(rng, &TYPE_S1),
+        pick(rng, &TYPE_S2),
+        pick(rng, &TYPE_S3)
+    )
+}
+
+/// A container: two syllables.
+pub fn container(rng: &mut SmallRng) -> String {
+    format!("{} {}", pick(rng, &CONTAINER_S1), pick(rng, &CONTAINER_S2))
+}
+
+/// A brand: `Brand#MN` with M,N in 1..=5.
+pub fn brand(rng: &mut SmallRng) -> String {
+    format!("Brand#{}{}", rng.gen_range(1..=5), rng.gen_range(1..=5))
+}
+
+/// A phone number with the nation-determined country code.
+pub fn phone(rng: &mut SmallRng, nation: usize) -> String {
+    format!(
+        "{}-{:03}-{:03}-{:04}",
+        10 + nation,
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10000)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        assert_eq!(part_type(&mut a), part_type(&mut b));
+        assert_eq!(comment(&mut a, 5, 10), comment(&mut b, 5, 10));
+    }
+
+    #[test]
+    fn brand_shape() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let b = brand(&mut rng);
+        assert!(b.starts_with("Brand#"));
+        assert_eq!(b.len(), 8);
+    }
+
+    #[test]
+    fn nations_cover_regions() {
+        for (_, r) in NATIONS {
+            assert!(r < REGIONS.len());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Workload builders: per-query micro-batches and the mixed 200-query
+//! batch of paper §7.2–§7.3.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rbat::Value;
+
+use crate::queries::{query, TpchQuery};
+
+/// One batch item: which query (index into the batch's template list) with
+/// which parameter values.
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// Index into the accompanying template vector.
+    pub query_idx: usize,
+    /// TPC-H query number (1..=22), for reporting.
+    pub query_no: u8,
+    /// Substitution parameters for this instance.
+    pub params: Vec<Value>,
+}
+
+/// `instances` instances of a single query with freshly drawn parameters —
+/// the micro-benchmark shape of paper §7.1 (10 instances per query).
+pub fn query_batch(
+    query_no: u8,
+    instances: usize,
+    seed: u64,
+) -> (Vec<TpchQuery>, Vec<BatchItem>) {
+    let q = query(query_no);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let items = (0..instances)
+        .map(|_| BatchItem {
+            query_idx: 0,
+            query_no,
+            params: (q.params)(&mut rng),
+        })
+        .collect();
+    (vec![q], items)
+}
+
+/// The paper's mixed workload: `instances_each` instances of every query
+/// in `query_nos`, shuffled into one interleaved batch (§7.2 uses 20 × 10
+/// queries = 200).
+pub fn mixed_batch(
+    query_nos: &[u8],
+    instances_each: usize,
+    seed: u64,
+) -> (Vec<TpchQuery>, Vec<BatchItem>) {
+    let templates: Vec<TpchQuery> = query_nos.iter().map(|&n| query(n)).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut items = Vec::with_capacity(query_nos.len() * instances_each);
+    for (idx, q) in templates.iter().enumerate() {
+        for _ in 0..instances_each {
+            items.push(BatchItem {
+                query_idx: idx,
+                query_no: q.number,
+                params: (q.params)(&mut rng),
+            });
+        }
+    }
+    items.shuffle(&mut rng);
+    (templates, items)
+}
+
+/// The ten queries of the paper's mixed workload (§7.2): "relatively large
+/// overlaps to highlight how well the admission policies recognise
+/// instruction categories".
+pub const MIXED_QUERIES: [u8; 10] = [4, 7, 8, 11, 12, 16, 18, 19, 21, 22];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_batch_shape() {
+        let (templates, items) = query_batch(18, 10, 7);
+        assert_eq!(templates.len(), 1);
+        assert_eq!(items.len(), 10);
+        assert!(items.iter().all(|i| i.query_no == 18 && i.query_idx == 0));
+    }
+
+    #[test]
+    fn mixed_batch_shape_and_determinism() {
+        let (t1, i1) = mixed_batch(&MIXED_QUERIES, 20, 99);
+        assert_eq!(t1.len(), 10);
+        assert_eq!(i1.len(), 200);
+        let (_, i2) = mixed_batch(&MIXED_QUERIES, 20, 99);
+        for (a, b) in i1.iter().zip(&i2) {
+            assert_eq!(a.query_no, b.query_no);
+            assert_eq!(a.params, b.params);
+        }
+    }
+
+    #[test]
+    fn mixed_batch_interleaves() {
+        let (_, items) = mixed_batch(&[4, 18], 10, 1);
+        // shuffled: the first ten items are not all query 4
+        let first: Vec<u8> = items.iter().take(10).map(|i| i.query_no).collect();
+        assert!(first.iter().any(|&n| n == 18) || first.iter().any(|&n| n == 4));
+        assert_eq!(items.len(), 20);
+    }
+}

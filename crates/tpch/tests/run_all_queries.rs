@@ -1,0 +1,51 @@
+//! End-to-end execution of all 22 TPC-H templates against a generated
+//! catalog — the arg-shape/dataflow gate for every query plan.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rmal::Engine;
+use tpch::{all_queries, generate, TpchScale};
+
+#[test]
+fn every_query_runs_and_is_deterministic() {
+    let cat = generate(TpchScale::new(0.002));
+    let mut engine = Engine::new(cat);
+    let mut rng = SmallRng::seed_from_u64(2024);
+    for q in all_queries() {
+        let mut t = q.template;
+        engine.optimize(&mut t);
+        let params = (q.params)(&mut rng);
+        let out1 = engine
+            .run(&t, &params)
+            .unwrap_or_else(|e| panic!("q{} failed: {e}", q.number));
+        let out2 = engine.run(&t, &params).unwrap();
+        assert_eq!(
+            out1.exports, out2.exports,
+            "q{} must be deterministic",
+            q.number
+        );
+        assert!(
+            !out1.exports.is_empty(),
+            "q{} must export results",
+            q.number
+        );
+    }
+}
+
+#[test]
+fn queries_touch_expected_volume() {
+    // sanity: the big scans (Q1, Q6) see a nontrivial share of lineitem
+    let cat = generate(TpchScale::new(0.002));
+    let nline = cat.table("lineitem").unwrap().nrows() as i64;
+    let mut engine = Engine::new(cat);
+    let q = tpch::query(1);
+    let mut t = q.template;
+    engine.optimize(&mut t);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let p = (q.params)(&mut rng);
+    let out = engine.run(&t, &p).unwrap();
+    let groups = out.export("groups").and_then(|v| v.as_int()).unwrap();
+    assert!(groups >= 3, "Q1 must produce several (flag,status) groups");
+    let qty = out.export("sum_qty").and_then(|v| v.as_float()).unwrap();
+    assert!(qty > nline as f64, "sum of quantities exceeds row count");
+}

@@ -1,0 +1,77 @@
+//! Quickstart: build a table, attach the recycler, watch intermediates
+//! being reused.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rbat::{Catalog, LogicalType, TableBuilder, Value};
+use recycler::{RecycleMark, Recycler, RecyclerConfig};
+use rmal::{Engine, ProgramBuilder, P};
+
+fn main() {
+    // 1. A catalog with one table of a million-ish integers.
+    let mut catalog = Catalog::new();
+    let mut tb = TableBuilder::new("measurements")
+        .column("sensor", LogicalType::Int)
+        .column("reading", LogicalType::Float);
+    for i in 0..200_000i64 {
+        tb.push_row(&[
+            Value::Int(i % 512),
+            Value::Float(((i * 37) % 1000) as f64 / 10.0),
+        ]);
+    }
+    catalog.add_table(tb.finish());
+
+    // 2. An engine with the recycler attached: the marking pass joins the
+    //    optimiser pipeline, the run-time support hooks the interpreter.
+    let mut engine = Engine::with_hook(catalog, Recycler::new(RecyclerConfig::default()));
+    engine.add_pass(Box::new(RecycleMark));
+
+    // 3. A query template: average reading of a sensor-range (parameters
+    //    factored out, like MonetDB's SQL front end does).
+    let mut b = ProgramBuilder::new("avg_reading", 2);
+    let sensor = b.bind("measurements", "sensor");
+    let picked = b.select_closed(sensor, P(0), P(1));
+    let map = b.row_map(picked);
+    let reading = b.bind("measurements", "reading");
+    let values = b.join(map, reading);
+    let avg = b.avg(values);
+    let n = b.count(picked);
+    b.export("avg", avg);
+    b.export("rows", n);
+    let mut template = b.finish();
+    engine.optimize(&mut template);
+    println!("template:\n{}", template.listing());
+
+    // 4. Run it three times: identical, identical, subsumable.
+    for (i, params) in [
+        [Value::Int(100), Value::Int(300)],
+        [Value::Int(100), Value::Int(300)], // exact repeat → pool hits
+        [Value::Int(150), Value::Int(250)], // contained range → subsumption
+    ]
+    .iter()
+    .enumerate()
+    {
+        let out = engine.run(&template, params).expect("query runs");
+        println!(
+            "run {}: avg={} rows={} | {} of {} instructions reused, {} subsumed, {:?}",
+            i + 1,
+            out.export("avg").unwrap(),
+            out.export("rows").unwrap(),
+            out.stats.reused,
+            out.stats.marked,
+            out.stats.subsumed,
+            out.stats.elapsed,
+        );
+    }
+
+    let stats = engine.hook.stats();
+    println!(
+        "\nrecycler: {} hits, {} admissions, {} pool entries, {} resident",
+        stats.hits,
+        stats.admissions,
+        engine.hook.pool().len(),
+        engine.hook.pool().bytes(),
+    );
+}

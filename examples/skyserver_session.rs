@@ -1,0 +1,73 @@
+//! SkyServer session: replay a sampled slice of the web query log and show
+//! the self-organising behaviour the paper reports (§8) — the recycler
+//! effectively materialises the hot projection without DBA intervention.
+//!
+//! ```text
+//! cargo run --release --example skyserver_session
+//! ```
+
+use recycler::{RecycleMark, Recycler, RecyclerConfig};
+use rmal::Engine;
+use skyserver::{generate, sample_log, PatternKind, SkyScale};
+
+fn main() {
+    let objects = 40_000;
+    println!("generating synthetic sky catalogue ({objects} objects) ...");
+    let catalog = generate(SkyScale::new(objects));
+
+    let mut engine = Engine::with_hook(catalog, Recycler::new(RecyclerConfig::default()));
+    engine.add_pass(Box::new(RecycleMark));
+
+    let (mut templates, log) = sample_log(100, 2008);
+    for t in templates.iter_mut() {
+        engine.optimize(t);
+    }
+    let mix = |k: PatternKind| log.iter().filter(|l| l.kind == k).count();
+    println!(
+        "log sample: {} nearby / {} doc / {} point queries\n",
+        mix(PatternKind::Nearby),
+        mix(PatternKind::Doc),
+        mix(PatternKind::Point)
+    );
+
+    let started = std::time::Instant::now();
+    let mut first_nearby = None;
+    let mut hits = 0u64;
+    let mut monitored = 0u64;
+    for item in &log {
+        let out = engine
+            .run(&templates[item.query_idx], &item.params)
+            .expect("log query");
+        hits += out.stats.reused as u64;
+        monitored += out.stats.marked as u64;
+        if item.kind == PatternKind::Nearby && first_nearby.is_none() {
+            first_nearby = Some(out.stats.elapsed);
+        }
+    }
+    println!(
+        "batch of {} queries in {:?} — {:.1}% of monitored instructions reused",
+        log.len(),
+        started.elapsed(),
+        100.0 * hits as f64 / monitored.max(1) as f64,
+    );
+    if let Some(d) = first_nearby {
+        println!("first nearby query (cold): {d:?}");
+    }
+
+    // Table III-style pool breakdown
+    let snap = engine.hook.snapshot();
+    println!(
+        "\nrecycle pool: {} entries, {} bytes ({} reused entries)",
+        snap.entries, snap.bytes, snap.reused_entries
+    );
+    println!(
+        "{:>8} {:>7} {:>12} {:>13} {:>8}",
+        "family", "lines", "memory", "reused-lines", "reuses"
+    );
+    for (fam, row) in &snap.by_family {
+        println!(
+            "{:>8} {:>7} {:>12} {:>13} {:>8}",
+            fam, row.lines, row.bytes, row.reused_lines, row.reuses
+        );
+    }
+}

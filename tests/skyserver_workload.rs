@@ -1,0 +1,66 @@
+//! SkyServer workload integration: the sampled log replays correctly and
+//! profitably through the recycler.
+
+use recycler::{RecycleMark, Recycler, RecyclerConfig};
+use rmal::{Engine, Program};
+use skyserver::{generate, sample_log, SkyScale};
+
+#[test]
+fn log_replay_equals_naive() {
+    let cat = generate(SkyScale::new(6000));
+    let (templates, log) = sample_log(60, 17);
+
+    let mut naive = Engine::new(cat.clone());
+    let mut nts: Vec<Program> = templates.clone();
+    for t in nts.iter_mut() {
+        naive.optimize(t);
+    }
+    let mut rec = Engine::with_hook(cat, Recycler::new(RecyclerConfig::default()));
+    rec.add_pass(Box::new(RecycleMark));
+    let mut rts: Vec<Program> = templates;
+    for t in rts.iter_mut() {
+        rec.optimize(t);
+    }
+
+    for (i, item) in log.iter().enumerate() {
+        let expect = naive.run(&nts[item.query_idx], &item.params).unwrap();
+        let got = rec.run(&rts[item.query_idx], &item.params).unwrap();
+        assert_eq!(expect.exports, got.exports, "log item {i} ({:?})", item.kind);
+    }
+
+    // the dominant template must recycle heavily (the paper reports 95.6%)
+    let stats = rec.hook.stats();
+    let rate = stats.hits as f64 / stats.monitored.max(1) as f64;
+    assert!(
+        rate > 0.5,
+        "reuse rate {rate:.2} too low for a template-heavy log"
+    );
+    rec.hook.pool().check_invariants().expect("coherent");
+}
+
+#[test]
+fn pool_breakdown_has_expected_families() {
+    let cat = generate(SkyScale::new(4000));
+    let (templates, log) = sample_log(40, 23);
+    let mut rec = Engine::with_hook(cat, Recycler::new(RecyclerConfig::default()));
+    rec.add_pass(Box::new(RecycleMark));
+    let mut rts: Vec<Program> = templates;
+    for t in rts.iter_mut() {
+        rec.optimize(t);
+    }
+    for item in &log {
+        rec.run(&rts[item.query_idx], &item.params).unwrap();
+    }
+    let snap = rec.hook.snapshot();
+    for family in ["bind", "select", "join"] {
+        assert!(
+            snap.by_family.contains_key(family),
+            "family {family} missing from pool breakdown"
+        );
+    }
+    // binds and views must be charged (almost) nothing
+    let bind_row = &snap.by_family["bind"];
+    assert!(bind_row.bytes < 10_000, "binds charge {} bytes", bind_row.bytes);
+    // joins carry real memory (19 projections worth)
+    assert!(snap.by_family["join"].bytes > bind_row.bytes);
+}
