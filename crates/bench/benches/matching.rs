@@ -28,10 +28,7 @@ fn template() -> Program {
 
 /// Fill the pool with `entries` distinct select intermediates.
 fn filled_engine(entries: usize) -> (Engine<Recycler>, Program) {
-    let mut engine = Engine::with_hook(
-        catalog(10_000),
-        Recycler::new(RecyclerConfig::default()),
-    );
+    let mut engine = Engine::with_hook(catalog(10_000), Recycler::new(RecyclerConfig::default()));
     engine.add_pass(Box::new(RecycleMark));
     let mut t = template();
     engine.optimize(&mut t);
@@ -75,7 +72,10 @@ fn bench_overhead_vs_naive(c: &mut Criterion) {
         bench.iter(|| {
             i += 1;
             naive
-                .run(black_box(&nt), &[Value::Int(i % 5000), Value::Int(i % 5000 + 10)])
+                .run(
+                    black_box(&nt),
+                    &[Value::Int(i % 5000), Value::Int(i % 5000 + 10)],
+                )
                 .unwrap()
         })
     });
@@ -85,7 +85,10 @@ fn bench_overhead_vs_naive(c: &mut Criterion) {
         bench.iter(|| {
             j += 1;
             engine
-                .run(black_box(&t), &[Value::Int(j % 5000), Value::Int(j % 5000 + 10)])
+                .run(
+                    black_box(&t),
+                    &[Value::Int(j % 5000), Value::Int(j % 5000 + 10)],
+                )
                 .unwrap()
         })
     });

@@ -6,7 +6,9 @@ use rbat::ops::{self, GrpFunc, SelectBounds};
 use rbat::{Bat, Column, Props, Value};
 
 fn make_int_bat(n: usize) -> Bat {
-    let vals: Vec<i64> = (0..n as i64).map(|i| (i * 2_654_435_761) % n as i64).collect();
+    let vals: Vec<i64> = (0..n as i64)
+        .map(|i| (i * 2_654_435_761) % n as i64)
+        .collect();
     Bat::from_tail(Column::from_ints(vals))
 }
 
@@ -24,10 +26,7 @@ fn bench_select(c: &mut Criterion) {
     let mut g = c.benchmark_group("select");
     for n in [10_000usize, 100_000] {
         let b = make_int_bat(n);
-        let bounds = SelectBounds::closed(
-            Value::Int(n as i64 / 4),
-            Value::Int(n as i64 / 2),
-        );
+        let bounds = SelectBounds::closed(Value::Int(n as i64 / 4), Value::Int(n as i64 / 2));
         g.bench_with_input(BenchmarkId::new("range_unsorted", n), &n, |bench, _| {
             bench.iter(|| ops::select(black_box(&b), black_box(&bounds)).unwrap())
         });
@@ -64,18 +63,15 @@ fn bench_join(c: &mut Criterion) {
 fn bench_group_aggr(c: &mut Criterion) {
     let mut g = c.benchmark_group("group_aggr");
     for n in [10_000usize, 100_000] {
-        let keys = Bat::from_tail(Column::from_ints(
-            (0..n as i64).map(|i| i % 1000).collect(),
-        ));
-        let vals = Bat::from_tail(Column::from_floats(
-            (0..n).map(|i| i as f64).collect(),
-        ));
+        let keys = Bat::from_tail(Column::from_ints((0..n as i64).map(|i| i % 1000).collect()));
+        let vals = Bat::from_tail(Column::from_floats((0..n).map(|i| i as f64).collect()));
         g.bench_with_input(BenchmarkId::new("group", n), &n, |bench, _| {
             bench.iter(|| ops::group(black_box(&keys)).unwrap())
         });
         let groups = ops::group(&keys).unwrap();
         g.bench_with_input(BenchmarkId::new("grp_sum", n), &n, |bench, _| {
-            bench.iter(|| ops::grp_aggr(black_box(&vals), black_box(&groups), GrpFunc::Sum).unwrap())
+            bench
+                .iter(|| ops::grp_aggr(black_box(&vals), black_box(&groups), GrpFunc::Sum).unwrap())
         });
     }
     g.finish();
@@ -83,8 +79,12 @@ fn bench_group_aggr(c: &mut Criterion) {
 
 fn bench_zero_cost_views(c: &mut Criterion) {
     let b = make_int_bat(100_000);
-    c.bench_function("view/reverse", |bench| bench.iter(|| black_box(&b).reverse()));
-    c.bench_function("view/mark_t", |bench| bench.iter(|| black_box(&b).mark_t(0)));
+    c.bench_function("view/reverse", |bench| {
+        bench.iter(|| black_box(&b).reverse())
+    });
+    c.bench_function("view/mark_t", |bench| {
+        bench.iter(|| black_box(&b).mark_t(0))
+    });
     c.bench_function("view/mirror", |bench| bench.iter(|| black_box(&b).mirror()));
 }
 

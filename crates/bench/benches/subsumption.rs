@@ -46,11 +46,9 @@ fn bench_combined_search(c: &mut Criterion) {
     }
     for noise in [100usize, 400, 800] {
         let (mut engine, t, seed) = prepared(4, noise);
-        g.bench_with_input(
-            BenchmarkId::new("pool_noise", noise),
-            &noise,
-            |bench, _| bench.iter(|| engine.run(black_box(&t), &seed).unwrap()),
-        );
+        g.bench_with_input(BenchmarkId::new("pool_noise", noise), &noise, |bench, _| {
+            bench.iter(|| engine.run(black_box(&t), &seed).unwrap())
+        });
     }
     g.finish();
 }

@@ -1,22 +1,25 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro all                 # everything
+//! repro all                 # everything (includes the JSON bench report)
 //! repro table2 fig4 fig15   # selected experiments
+//! repro bench               # only BENCH_recycler.json
 //! ```
 //!
 //! Environment: `REPRO_SF` (TPC-H scale factor, default 0.01),
-//! `REPRO_SKY` (sky objects, default 40000), `REPRO_SEED`.
+//! `REPRO_SKY` (sky objects, default 40000), `REPRO_SEED`,
+//! `BENCH_OUT` (path of the JSON report, default `BENCH_recycler.json`).
 
 use rcy_bench::experiments::{self, ExpEnv};
+use rcy_bench::report;
 
 fn main() {
     let env = ExpEnv::from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10", "fig12", "fig13",
-            "table3", "fig14", "fig15", "ablation",
+            "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10", "fig12", "fig13", "table3",
+            "fig14", "fig15", "ablation", "bench",
         ]
     } else {
         args.iter().map(|s| s.as_str()).collect()
@@ -41,6 +44,17 @@ fn main() {
             "fig14" => experiments::fig14(&env),
             "fig15" => experiments::fig15(&env),
             "ablation" => experiments::ablation(&env),
+            "bench" => {
+                let path =
+                    std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_recycler.json".into());
+                let doc = report::bench_report(&env);
+                let text = format!("{doc}\n");
+                match std::fs::write(&path, &text) {
+                    Ok(()) => eprintln!("# bench report written to {path}"),
+                    Err(e) => eprintln!("# bench report NOT written ({path}: {e})"),
+                }
+                text
+            }
             other => {
                 eprintln!("unknown experiment: {other}");
                 continue;

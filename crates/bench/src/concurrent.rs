@@ -1,0 +1,225 @@
+//! Multi-session workload driver: N OS threads firing query streams at
+//! one shared recycler over one catalog.
+//!
+//! This is the serving shape the paper's architecture targets (§8: one
+//! recycler inside the server, shared by every SkyServer web session) and
+//! the ROADMAP's north star builds on: each session is an
+//! [`Engine::session`] fork — same `Arc`-shared column storage, same
+//! optimiser pipeline, a fresh session handle on one
+//! [`SharedRecycler`] — running its stream concurrently with the others
+//! and reusing their intermediates.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rbat::Catalog;
+use recycler::{Recycler, RecyclerConfig, RecyclerStats, SharedRecycler};
+use rmal::{Engine, Program};
+
+use crate::driver::BenchItem;
+
+/// What one session thread observed.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// Session index (0-based thread number).
+    pub session: usize,
+    /// Queries this session executed.
+    pub queries: usize,
+    /// Marked instructions this session saw.
+    pub monitored: u64,
+    /// Exact-match reuses this session got (its own or other sessions'
+    /// intermediates).
+    pub hits: u64,
+    /// Subsumed executions.
+    pub subsumed: u64,
+    /// Wall time of this session's stream.
+    pub elapsed: Duration,
+}
+
+/// Outcome of a concurrent run.
+#[derive(Debug)]
+pub struct ConcurrentOutcome {
+    /// Number of session threads.
+    pub sessions: usize,
+    /// Total queries over all sessions.
+    pub queries: usize,
+    /// Wall time from first spawn to last join.
+    pub elapsed: Duration,
+    /// Shared recycler statistics after the run (cross-session hits,
+    /// duplicate admissions, evictions, ...).
+    pub stats: RecyclerStats,
+    /// Per-session observations.
+    pub per_session: Vec<SessionOutcome>,
+    /// Pool size after the run.
+    pub pool_entries: usize,
+    /// Pool bytes after the run.
+    pub pool_bytes: usize,
+}
+
+impl ConcurrentOutcome {
+    /// Fraction of monitored instructions answered from the pool, for
+    /// *this run only* — computed from the per-session observations, not
+    /// from `stats` (which is lifetime state of the shared service and
+    /// spans every batch ever run against it).
+    pub fn hit_ratio(&self) -> f64 {
+        let monitored: u64 = self.per_session.iter().map(|s| s.monitored).sum();
+        let hits: u64 = self.per_session.iter().map(|s| s.hits).sum();
+        if monitored == 0 {
+            0.0
+        } else {
+            hits as f64 / monitored as f64
+        }
+    }
+}
+
+/// Deal `items` round-robin into `n` session streams.
+pub fn partition_streams(items: &[BenchItem], n: usize) -> Vec<Vec<BenchItem>> {
+    let mut streams: Vec<Vec<BenchItem>> = vec![Vec::new(); n.max(1)];
+    for (i, item) in items.iter().enumerate() {
+        streams[i % n.max(1)].push(item.clone());
+    }
+    streams
+}
+
+/// Run one stream per thread against a single shared recycler. The
+/// templates are optimised once (with the recycler marking pass) and
+/// shared read-only by every session.
+pub fn run_concurrent(
+    catalog: Catalog,
+    templates: &[Program],
+    streams: &[Vec<BenchItem>],
+    config: RecyclerConfig,
+) -> ConcurrentOutcome {
+    let shared = SharedRecycler::new(config);
+    run_concurrent_shared(&shared, catalog, templates, streams)
+}
+
+/// [`run_concurrent`] against a caller-provided service — lets a harness
+/// run several batches (or mix drivers) over one pool.
+pub fn run_concurrent_shared(
+    shared: &Arc<SharedRecycler>,
+    catalog: Catalog,
+    templates: &[Program],
+    streams: &[Vec<BenchItem>],
+) -> ConcurrentOutcome {
+    let mut proto: Engine<Recycler> = Engine::with_hook(catalog, shared.session());
+    proto.add_pass(Box::new(recycler::RecycleMark));
+    let mut optimized: Vec<Program> = templates.to_vec();
+    for t in optimized.iter_mut() {
+        proto.optimize(t);
+    }
+    let optimized = &optimized;
+    let proto = &proto;
+
+    let started = Instant::now();
+    let per_session: Vec<SessionOutcome> = thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .enumerate()
+            .map(|(idx, stream)| {
+                let mut engine = proto.session();
+                scope.spawn(move || {
+                    let s0 = Instant::now();
+                    let mut out = SessionOutcome {
+                        session: idx,
+                        queries: stream.len(),
+                        monitored: 0,
+                        hits: 0,
+                        subsumed: 0,
+                        elapsed: Duration::ZERO,
+                    };
+                    for item in stream {
+                        let res = engine
+                            .run(&optimized[item.query_idx], &item.params)
+                            .unwrap_or_else(|e| {
+                                panic!("session {idx}: query q{} failed: {e}", item.label)
+                            });
+                        out.monitored += res.stats.marked as u64;
+                        out.hits += res.stats.reused as u64;
+                        out.subsumed += res.stats.subsumed as u64;
+                    }
+                    out.elapsed = s0.elapsed();
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let (pool_entries, pool_bytes) = {
+        let pool = shared.pool();
+        (pool.len(), pool.bytes())
+    };
+    ConcurrentOutcome {
+        sessions: streams.len(),
+        queries: streams.iter().map(|s| s.len()).sum(),
+        elapsed,
+        stats: shared.stats(),
+        per_session,
+        pool_entries,
+        pool_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbat::Value;
+
+    fn sky_setup(objects: usize, n: usize, seed: u64) -> (Catalog, Vec<Program>, Vec<BenchItem>) {
+        let cat = skyserver::generate(skyserver::SkyScale::new(objects));
+        let (templates, log) = skyserver::sample_log(n, seed);
+        let items: Vec<BenchItem> = log
+            .into_iter()
+            .map(|l| BenchItem {
+                query_idx: l.query_idx,
+                label: l.query_idx as u8,
+                params: l.params,
+            })
+            .collect();
+        (cat, templates, items)
+    }
+
+    #[test]
+    fn four_sessions_share_the_pool() {
+        let (cat, templates, items) = sky_setup(3000, 48, 5);
+        let streams = partition_streams(&items, 4);
+        let outcome = run_concurrent(cat, &templates, &streams, RecyclerConfig::default());
+        assert_eq!(outcome.sessions, 4);
+        assert_eq!(outcome.queries, 48);
+        assert!(
+            outcome.stats.cross_session_hits > 0,
+            "overlapping streams must reuse across sessions: {:?}",
+            outcome.stats
+        );
+        assert!(outcome.hit_ratio() > 0.2, "ratio {}", outcome.hit_ratio());
+    }
+
+    #[test]
+    fn single_stream_degenerates_to_sequential() {
+        let (cat, templates, items) = sky_setup(2000, 10, 9);
+        let streams = partition_streams(&items, 1);
+        let outcome = run_concurrent(cat, &templates, &streams, RecyclerConfig::default());
+        assert_eq!(outcome.sessions, 1);
+        assert_eq!(outcome.stats.cross_session_hits, 0);
+        assert!(outcome.stats.hits > 0);
+    }
+
+    #[test]
+    fn partitioning_is_balanced() {
+        let items: Vec<BenchItem> = (0..10)
+            .map(|i| BenchItem {
+                query_idx: 0,
+                label: i as u8,
+                params: vec![Value::Int(i)],
+            })
+            .collect();
+        let streams = partition_streams(&items, 4);
+        let sizes: Vec<usize> = streams.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+}

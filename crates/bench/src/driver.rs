@@ -242,8 +242,7 @@ mod tests {
     fn naive_and_recycled_agree() {
         let (cat, templates, items) = tiny_batch();
         let naive = run_naive(cat.clone(), &templates, &items);
-        let (rec, engine) =
-            run_recycled(cat, &templates, &items, RecyclerConfig::default(), false);
+        let (rec, engine) = run_recycled(cat, &templates, &items, RecyclerConfig::default(), false);
         assert_eq!(naive.runs[0].exports, rec.runs[0].exports);
         assert_eq!(naive.runs[1].exports, rec.runs[1].exports);
         assert!(rec.runs[1].hits > 0, "second identical instance must hit");
@@ -253,13 +252,7 @@ mod tests {
     #[test]
     fn warmup_clears_pool_but_keeps_working() {
         let (cat, templates, items) = tiny_batch();
-        let (rec, _) = run_recycled(
-            cat,
-            &templates,
-            &items,
-            RecyclerConfig::default(),
-            true,
-        );
+        let (rec, _) = run_recycled(cat, &templates, &items, RecyclerConfig::default(), true);
         // identical params as warmup instance → but pool was cleared, so
         // the first batch query recomputes
         assert_eq!(rec.runs[0].hits, 0);
@@ -269,8 +262,7 @@ mod tests {
     #[test]
     fn cumulative_ratio_monotone_parts() {
         let (cat, templates, items) = tiny_batch();
-        let (rec, _) =
-            run_recycled(cat, &templates, &items, RecyclerConfig::default(), false);
+        let (rec, _) = run_recycled(cat, &templates, &items, RecyclerConfig::default(), false);
         let series = rec.cumulative_hit_ratio();
         assert_eq!(series.len(), 2);
         assert!(series[1] > series[0]);

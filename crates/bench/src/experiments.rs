@@ -83,9 +83,7 @@ fn count_marked_binds(engine_cat: &Catalog, template: &Program) -> (usize, usize
     let binds = t
         .instrs
         .iter()
-        .filter(|i| {
-            i.recycle && matches!(i.op, rmal::Opcode::Bind | rmal::Opcode::BindIdx)
-        })
+        .filter(|i| i.recycle && matches!(i.op, rmal::Opcode::Bind | rmal::Opcode::BindIdx))
         .count();
     (marked, binds)
 }
@@ -142,15 +140,14 @@ pub fn profile_query(env: &ExpEnv, qno: u8, instances: usize) -> String {
     let templates = tpch_templates(&qs);
     let bitems = to_bench_items(&items);
     let naive = run_naive(cat.clone(), &templates, &bitems);
-    let (rec, _) = run_recycled(
-        cat,
-        &templates,
-        &bitems,
-        RecyclerConfig::default(),
-        false,
-    );
+    let (rec, _) = run_recycled(cat, &templates, &bitems, RecyclerConfig::default(), false);
     let mut out = TextTable::new(&[
-        "inst", "hit-ratio", "naive", "recycler", "RP-mem", "RP-reused",
+        "inst",
+        "hit-ratio",
+        "naive",
+        "recycler",
+        "RP-mem",
+        "RP-reused",
     ]);
     for i in 0..instances {
         let r = &rec.runs[i];
@@ -168,7 +165,10 @@ pub fn profile_query(env: &ExpEnv, qno: u8, instances: usize) -> String {
             fmt_bytes(r.reused_bytes),
         ]);
     }
-    format!("Q{qno} profile over {instances} instances\n{}", out.render())
+    format!(
+        "Q{qno} profile over {instances} instances\n{}",
+        out.render()
+    )
 }
 
 /// Figure 4: intra-query (Q11) and inter-query (Q18) commonality profiles.
@@ -217,7 +217,10 @@ pub fn fig6(env: &ExpEnv) -> String {
             fmt_dur(rest / 9),
         ]);
     }
-    format!("Figure 6 — recycler effect on performance\n{}", out.render())
+    format!(
+        "Figure 6 — recycler effect on performance\n{}",
+        out.render()
+    )
 }
 
 /// Figure 7: the CREDIT admission policy vs the number of credits —
@@ -225,7 +228,11 @@ pub fn fig6(env: &ExpEnv) -> String {
 pub fn fig7(env: &ExpEnv) -> String {
     let cat = env.tpch();
     let mut out = TextTable::new(&[
-        "Query", "credits", "hit/keepall", "reused-mem %", "reused-RP %",
+        "Query",
+        "credits",
+        "hit/keepall",
+        "reused-mem %",
+        "reused-RP %",
     ]);
     for qno in [11u8, 18, 19] {
         let (qs, items) = tpch::query_batch(qno, 10, env.seed);
@@ -339,14 +346,16 @@ pub fn fig10_11(env: &ExpEnv) -> String {
     let total_entries = ke.hook.pool().len().max(1);
     let total_bytes = ke.hook.pool().bytes().max(1);
     let _ = keepall;
-    let mut out = TextTable::new(&[
-        "limit", "policy", "admission", "hit-ratio", "time/naive",
-    ]);
+    let mut out = TextTable::new(&["limit", "policy", "admission", "hit-ratio", "time/naive"]);
     let policies: [(&str, EvictionPolicy, AdmissionPolicy); 4] = [
         ("LRU", EvictionPolicy::Lru, AdmissionPolicy::KeepAll),
         ("CRD+LRU", EvictionPolicy::Lru, AdmissionPolicy::Credit(5)),
         ("BP", EvictionPolicy::Benefit, AdmissionPolicy::KeepAll),
-        ("CRD+BP", EvictionPolicy::Benefit, AdmissionPolicy::Credit(5)),
+        (
+            "CRD+BP",
+            EvictionPolicy::Benefit,
+            AdmissionPolicy::Credit(5),
+        ),
     ];
     for pct in [20usize, 40, 60, 80] {
         for (name, ev, adm) in policies.iter() {
@@ -492,16 +501,16 @@ pub fn table3(env: &ExpEnv) -> String {
             params: l.params.clone(),
         })
         .collect();
-    let (run, engine) = run_recycled(
-        cat,
-        &templates,
-        &items,
-        RecyclerConfig::default(),
-        false,
-    );
+    let (run, engine) = run_recycled(cat, &templates, &items, RecyclerConfig::default(), false);
     let snap = engine.hook.snapshot();
     let mut out = TextTable::new(&[
-        "family", "lines", "memory", "avg-time", "reused-lines", "reuses", "time-saved",
+        "family",
+        "lines",
+        "memory",
+        "avg-time",
+        "reused-lines",
+        "reuses",
+        "time-saved",
     ]);
     for (fam, row) in &snap.by_family {
         out.row(vec![
@@ -576,7 +585,10 @@ pub fn fig14(env: &ExpEnv) -> String {
             fmt_dur(keep_total),
         ]);
     }
-    format!("Figure 14 — SkyServer batch (100 queries)\n{}", out.render())
+    format!(
+        "Figure 14 — SkyServer batch (100 queries)\n{}",
+        out.render()
+    )
 }
 
 /// Figure 15: the combined-subsumption micro-benchmarks B2 (k=2) and B4
@@ -598,15 +610,17 @@ pub fn fig15(env: &ExpEnv) -> String {
         let templates = vec![template];
         let naive = run_naive(cat.clone(), &templates, &items);
         // custom loop to read the subsumption search time after each query
-        let mut engine = Engine::with_hook(
-            cat,
-            Recycler::new(RecyclerConfig::default()),
-        );
+        let mut engine = Engine::with_hook(cat, Recycler::new(RecyclerConfig::default()));
         engine.add_pass(Box::new(recycler::RecycleMark));
         let mut t = templates[0].clone();
         engine.optimize(&mut t);
         let mut out = TextTable::new(&[
-            "query#", "kind", "total-ratio", "seed-select-ratio", "alg-time", "subsumed",
+            "query#",
+            "kind",
+            "total-ratio",
+            "seed-select-ratio",
+            "alg-time",
+            "subsumed",
         ]);
         let mut prev_search = Duration::ZERO;
         let mut seed_ratios: Vec<f64> = Vec::new();
@@ -667,9 +681,7 @@ pub fn ablation(env: &ExpEnv) -> String {
     let cat = env.tpch();
     let (templates, items) = mixed_items(env);
     let naive = run_naive(cat.clone(), &templates, &items);
-    let mut out = TextTable::new(&[
-        "configuration", "hits", "subsumed", "time", "time/naive",
-    ]);
+    let mut out = TextTable::new(&["configuration", "hits", "subsumed", "time", "time/naive"]);
     out.row(vec![
         "naive".into(),
         "-".into(),
@@ -683,7 +695,10 @@ pub fn ablation(env: &ExpEnv) -> String {
             "no combined subsumption",
             RecyclerConfig::default().combined(false),
         ),
-        ("no subsumption", RecyclerConfig::default().subsumption(false)),
+        (
+            "no subsumption",
+            RecyclerConfig::default().subsumption(false),
+        ),
     ];
     for (name, cfg) in configs {
         let (run, _) = run_recycled(cat.clone(), &templates, &items, cfg, false);

@@ -11,9 +11,12 @@
 //! cargo run -p rcy-bench --release --bin repro -- table2 fig4 fig15
 //! ```
 
+pub mod concurrent;
 pub mod driver;
 pub mod experiments;
+pub mod report;
 pub mod tables;
 
+pub use concurrent::{partition_streams, run_concurrent, ConcurrentOutcome, SessionOutcome};
 pub use driver::{run_batch, BatchOutcome, BenchItem, QueryRun};
 pub use tables::TextTable;

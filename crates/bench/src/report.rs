@@ -1,0 +1,300 @@
+//! Machine-readable benchmark report: `BENCH_recycler.json`.
+//!
+//! `repro bench` (and `repro all`) runs a small canonical workload set —
+//! naive engine vs recycler, sequential vs concurrent sessions — and
+//! emits one JSON document so successive PRs accumulate a perf
+//! trajectory that scripts can diff. The JSON is hand-rolled: the
+//! container builds offline, so no serde.
+
+use std::fmt;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use recycler::RecyclerConfig;
+use rmal::Program;
+
+use crate::concurrent::{partition_streams, run_concurrent};
+use crate::driver::{run_naive, run_recycled, BenchItem};
+use crate::experiments::ExpEnv;
+
+/// A minimal JSON value (strings, numbers, bools, arrays, objects).
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// Float (serialised with enough precision for millisecond timings).
+    Num(f64),
+    /// Unsigned integer.
+    Int(u64),
+    /// String (escaped on render).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, field order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object from key/value pairs.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Num(n) => {
+                if n.is_finite() {
+                    write!(f, "{n}")
+                } else {
+                    write!(f, "null")
+                }
+            }
+            Json::Int(i) => write!(f, "{i}"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Str(s) => {
+                let mut buf = String::with_capacity(s.len() + 2);
+                escape(s, &mut buf);
+                write!(f, "\"{buf}\"")
+            }
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{it}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    let mut kb = String::new();
+                    escape(k, &mut kb);
+                    write!(f, "\"{kb}\":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn ms(d: Duration) -> Json {
+    Json::Num((d.as_secs_f64() * 1e3 * 1000.0).round() / 1000.0)
+}
+
+/// One naive-vs-recycler comparison over a template/item batch.
+fn compare(name: &str, catalog: rbat::Catalog, templates: &[Program], items: &[BenchItem]) -> Json {
+    let naive = run_naive(catalog.clone(), templates, items);
+    let (rec, engine) = run_recycled(catalog, templates, items, RecyclerConfig::default(), false);
+    let stats = engine.hook.stats();
+    let (pool_entries, pool_bytes) = {
+        let pool = engine.hook.pool();
+        (pool.len() as u64, pool.bytes() as u64)
+    };
+    let speedup = if rec.total.as_secs_f64() > 0.0 {
+        naive.total.as_secs_f64() / rec.total.as_secs_f64()
+    } else {
+        0.0
+    };
+    Json::obj(vec![
+        ("name", Json::Str(name.to_string())),
+        ("queries", Json::Int(items.len() as u64)),
+        ("naive_ms", ms(naive.total)),
+        ("recycled_ms", ms(rec.total)),
+        ("speedup", Json::Num((speedup * 1000.0).round() / 1000.0)),
+        ("monitored", Json::Int(rec.monitored())),
+        ("hits", Json::Int(rec.hits())),
+        ("subsumed", Json::Int(stats.subsumed)),
+        ("admissions", Json::Int(stats.admissions)),
+        ("evictions", Json::Int(stats.evictions)),
+        ("pool_entries", Json::Int(pool_entries)),
+        ("pool_bytes", Json::Int(pool_bytes)),
+        ("time_saved_ms", ms(stats.time_saved)),
+        ("overhead_ms", ms(stats.overhead)),
+    ])
+}
+
+/// The concurrent-sessions experiment: the same SkyServer log replayed by
+/// one session and by `n` sessions over one shared pool.
+fn concurrent_experiment(env: &ExpEnv, n: usize) -> Json {
+    let cat = skyserver::generate(skyserver::SkyScale::new(env.sky_objects.min(20_000)));
+    let (templates, log) = skyserver::sample_log(96, env.seed);
+    let items: Vec<BenchItem> = log
+        .into_iter()
+        .map(|l| BenchItem {
+            query_idx: l.query_idx,
+            label: l.query_idx as u8,
+            params: l.params,
+        })
+        .collect();
+
+    let sequential = run_concurrent(
+        cat.clone(),
+        &templates,
+        &partition_streams(&items, 1),
+        RecyclerConfig::default(),
+    );
+    let concurrent = run_concurrent(
+        cat,
+        &templates,
+        &partition_streams(&items, n),
+        RecyclerConfig::default(),
+    );
+    Json::obj(vec![
+        ("name", Json::Str(format!("skyserver_concurrent_{n}x"))),
+        ("queries", Json::Int(items.len() as u64)),
+        ("sessions", Json::Int(n as u64)),
+        ("sequential_ms", ms(sequential.elapsed)),
+        ("concurrent_ms", ms(concurrent.elapsed)),
+        ("hits", Json::Int(concurrent.stats.hits)),
+        (
+            "cross_session_hits",
+            Json::Int(concurrent.stats.cross_session_hits),
+        ),
+        (
+            "duplicate_admissions",
+            Json::Int(concurrent.stats.duplicate_admissions),
+        ),
+        ("evictions", Json::Int(concurrent.stats.evictions)),
+        ("pool_entries", Json::Int(concurrent.pool_entries as u64)),
+        ("pool_bytes", Json::Int(concurrent.pool_bytes as u64)),
+        (
+            "hit_ratio",
+            Json::Num((concurrent.hit_ratio() * 1000.0).round() / 1000.0),
+        ),
+    ])
+}
+
+/// Build the whole report document.
+pub fn bench_report(env: &ExpEnv) -> Json {
+    let mut experiments: Vec<Json> = Vec::new();
+
+    // TPC-H mixed batch: the paper's §7 shape.
+    {
+        let cat = env.tpch();
+        let (qs, items) = tpch::mixed_batch(&tpch::workload::MIXED_QUERIES, 4, env.seed);
+        let templates: Vec<Program> = qs.iter().map(|q| q.template.clone()).collect();
+        let items: Vec<BenchItem> = items
+            .into_iter()
+            .map(|i| BenchItem {
+                query_idx: i.query_idx,
+                label: i.query_no,
+                params: i.params,
+            })
+            .collect();
+        experiments.push(compare("tpch_mixed_batch", cat, &templates, &items));
+    }
+
+    // TPC-H repeat instances of the flagship Q18 (paper Fig. 4b).
+    {
+        let cat = env.tpch();
+        let q = tpch::query(18);
+        let mut rng = SmallRng::seed_from_u64(env.seed);
+        let params = (q.params)(&mut rng);
+        let items: Vec<BenchItem> = (0..6)
+            .map(|_| BenchItem {
+                query_idx: 0,
+                label: 18,
+                params: params.clone(),
+            })
+            .collect();
+        experiments.push(compare(
+            "tpch_q18_repeat",
+            cat,
+            std::slice::from_ref(&q.template),
+            &items,
+        ));
+    }
+
+    // SkyServer log replay (paper §8.2).
+    {
+        let cat = skyserver::generate(skyserver::SkyScale::new(env.sky_objects.min(20_000)));
+        let (templates, log) = skyserver::sample_log(60, env.seed);
+        let items: Vec<BenchItem> = log
+            .into_iter()
+            .map(|l| BenchItem {
+                query_idx: l.query_idx,
+                label: l.query_idx as u8,
+                params: l.params,
+            })
+            .collect();
+        experiments.push(compare("skyserver_log", cat, &templates, &items));
+    }
+
+    // Multi-session serving over one shared pool (this PR's tentpole).
+    experiments.push(concurrent_experiment(env, 4));
+
+    Json::obj(vec![
+        ("schema", Json::Str("recycler-bench/v1".to_string())),
+        (
+            "config",
+            Json::obj(vec![
+                ("tpch_sf", Json::Num(env.sf)),
+                ("sky_objects", Json::Int(env.sky_objects as u64)),
+                ("seed", Json::Int(env.seed)),
+            ]),
+        ),
+        ("experiments", Json::Arr(experiments)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_renders_and_escapes() {
+        let j = Json::obj(vec![
+            ("a", Json::Int(3)),
+            ("b", Json::Str("x\"y\n".to_string())),
+            ("c", Json::Arr(vec![Json::Bool(true), Json::Num(1.5)])),
+        ]);
+        assert_eq!(j.to_string(), r#"{"a":3,"b":"x\"y\n","c":[true,1.5]}"#);
+    }
+
+    #[test]
+    fn report_has_all_experiments() {
+        let env = ExpEnv {
+            sf: 0.002,
+            sky_objects: 2000,
+            seed: 11,
+        };
+        let report = bench_report(&env);
+        let text = report.to_string();
+        for name in [
+            "tpch_mixed_batch",
+            "tpch_q18_repeat",
+            "skyserver_log",
+            "skyserver_concurrent_4x",
+            "cross_session_hits",
+        ] {
+            assert!(text.contains(name), "missing {name} in {text}");
+        }
+    }
+}

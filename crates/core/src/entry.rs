@@ -50,6 +50,10 @@ pub struct PoolEntry {
     /// Invocation counter value when admitted — distinguishes local from
     /// global reuse.
     pub admitted_invocation: u64,
+    /// Session that admitted this entry — a hit from any other session is
+    /// a *cross-session* reuse, the multi-user payoff the paper's shared
+    /// pool exists for (§8).
+    pub admitted_session: u64,
     /// Reuses within the admitting invocation.
     pub local_reuses: u64,
     /// Reuses from other invocations.
@@ -122,6 +126,7 @@ mod tests {
             admitted_tick: 10,
             last_used: 10,
             admitted_invocation: 1,
+            admitted_session: 1,
             local_reuses: 0,
             global_reuses: 0,
             subsumption_uses: 0,

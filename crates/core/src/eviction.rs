@@ -1,10 +1,18 @@
 //! Eviction: choosing leaf entries to drop under resource pressure.
 //!
 //! Implements paper §4.3: all policies operate on the set of *leaf*
-//! instructions (no dependents in the pool), protect the current query's
-//! instructions, and exist in per-entry and per-memory variants. The
-//! memory variants solve the complementary binary-knapsack problem with the
-//! classic greedy 2-approximation [Martello & Toth 1990].
+//! instructions (no dependents in the pool), protect every entry pinned by
+//! a running query — of **any** session sharing the pool — and exist in
+//! per-entry and per-memory variants. The memory variants solve the
+//! complementary binary-knapsack problem with the classic greedy
+//! 2-approximation [Martello & Toth 1990].
+//!
+//! Concurrency: `evict` mutates the pool and therefore always runs under
+//! the [`SharedRecycler`](crate::SharedRecycler)'s write lock, with
+//! `protected` built from the shared pin table. Protection is strict —
+//! when only pinned leaves remain, `evict` returns fewer entries than
+//! requested and the caller turns the admission into a reject rather than
+//! evicting another session's working set.
 
 use rbat::hash::FxHashSet;
 
@@ -69,6 +77,7 @@ fn evict_entries(
             .map(|e| e.id);
         match victim {
             Some(id) => {
+                debug_assert!(!protected.contains(&id), "evicting a pinned entry");
                 if let Some(e) = pool.remove(id) {
                     evicted.push(e);
                 }
@@ -143,6 +152,7 @@ fn evict_memory(
             break;
         }
         for id in victims {
+            debug_assert!(!protected.contains(&id), "evicting a pinned entry");
             if let Some(e) = pool.remove(id) {
                 freed += e.bytes;
                 evicted.push(e);
@@ -246,6 +256,7 @@ mod tests {
             admitted_tick: 0,
             last_used,
             admitted_invocation: 0,
+            admitted_session: 0,
             local_reuses: 0,
             global_reuses,
             subsumption_uses: 0,
@@ -253,7 +264,7 @@ mod tests {
             time_saved: Duration::ZERO,
             credit_returned: false,
         };
-        pool.insert(e)
+        pool.insert(e).id()
     }
 
     #[test]
@@ -346,6 +357,7 @@ mod tests {
             admitted_tick: 0,
             last_used: 9,
             admitted_invocation: 0,
+            admitted_session: 0,
             local_reuses: 0,
             global_reuses: 0,
             subsumption_uses: 0,

@@ -5,7 +5,7 @@
 //! Column-store"* (SIGMOD 2009), rebuilt in Rust on top of the `rbat`
 //! column engine and the `rmal` abstract machine.
 //!
-//! The architecture has two halves:
+//! The architecture has three pieces:
 //!
 //! * **The recycler optimiser** ([`RecycleMark`]) — an optimiser-pipeline
 //!   pass that inspects a MAL program and marks the instructions worth
@@ -15,18 +15,33 @@
 //!   operator threads rooted at `sql.bind` are marked as far up the plan as
 //!   possible.
 //!
-//! * **The run-time support** ([`Recycler`]) — an
-//!   [`rmal::ExecHook`] implementing the paper's Algorithm 1. Before a
-//!   marked instruction executes, `recycleEntry` searches the
-//!   [`RecyclePool`] for an exact match (bottom-up sequence matching,
-//!   §3.4 alternative 1) or a *subsuming* intermediate (§5); after an
+//! * **The shared service** ([`SharedRecycler`]) — the server-wide half of
+//!   the run-time support: the [`RecyclePool`], the credit/ADAPT accounts,
+//!   eviction state and lifetime statistics behind interior locking. The
+//!   paper's recycler is explicitly shared by *all* user sessions (§8's
+//!   SkyServer gains come from cross-session reuse), so the pool lives in
+//!   one `Arc`-shared instance: exact-match and subsumption probes run
+//!   concurrently under a read lock, admissions and eviction serialise
+//!   under the write lock, and racing duplicate admissions resolve
+//!   first-writer-wins. See [`shared`] for the locking invariants.
+//!
+//! * **The session handle** ([`Recycler`]) — a cheap per-session
+//!   [`rmal::ExecHook`] implementing the paper's Algorithm 1 against the
+//!   shared pool. Before a marked instruction executes, `recycleEntry`
+//!   searches for an exact match (bottom-up sequence matching, §3.4
+//!   alternative 1) or a *subsuming* intermediate (§5); after an
 //!   execution, `recycleExit` decides admission via the configured
 //!   [`AdmissionPolicy`] and makes room via the [`EvictionPolicy`], both of
-//!   which respect instruction lineage (§4).
+//!   which respect instruction lineage (§4). Cloning a session handle —
+//!   or calling [`rmal::Engine::session`] — attaches another session to
+//!   the same pool; `Recycler::new` keeps the one-session case a
+//!   one-liner.
 //!
 //! Updates are handled per §6: the default is immediate column-level
 //! invalidation of affected intermediates; an opt-in delta-propagation mode
 //! refreshes select/projection/view/join chains instead of dropping them.
+//! Both run atomically with respect to instruction boundaries of
+//! concurrent queries.
 //!
 //! ## Quickstart
 //!
@@ -67,6 +82,7 @@ pub mod mark;
 pub mod pool;
 pub mod propagate;
 pub mod runtime;
+pub mod shared;
 pub mod signature;
 pub mod stats;
 pub mod subsume;
@@ -74,6 +90,7 @@ pub mod subsume;
 pub use config::{AdmissionPolicy, EvictionPolicy, RecyclerConfig, UpdateMode};
 pub use entry::{EntryId, PoolEntry};
 pub use mark::RecycleMark;
-pub use pool::RecyclePool;
+pub use pool::{Admitted, RecyclePool};
 pub use runtime::Recycler;
+pub use shared::{PoolRef, SharedRecycler};
 pub use stats::{FamilyRow, PoolSnapshot, QueryRecord, RecyclerStats};

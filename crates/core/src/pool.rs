@@ -9,6 +9,32 @@ use rmal::Opcode;
 use crate::entry::{EntryId, PoolEntry};
 use crate::signature::{ArgSig, Sig};
 
+/// Outcome of [`RecyclePool::insert`]: either the entry went in, or an
+/// entry with the same signature was already resident (a concurrent
+/// admission race, resolved first-writer-wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admitted {
+    /// The entry was inserted under this id.
+    Inserted(EntryId),
+    /// An equivalent entry was already resident under this id; the
+    /// candidate was dropped.
+    Duplicate(EntryId),
+}
+
+impl Admitted {
+    /// The resident entry id, whoever admitted it.
+    pub fn id(self) -> EntryId {
+        match self {
+            Admitted::Inserted(id) | Admitted::Duplicate(id) => id,
+        }
+    }
+
+    /// Did this call insert the entry?
+    pub fn inserted(self) -> bool {
+        matches!(self, Admitted::Inserted(_))
+    }
+}
+
 /// The recycler's resource pool of intermediates (paper §3.2). Besides the
 /// entry store it maintains:
 ///
@@ -20,6 +46,18 @@ use crate::signature::{ArgSig, Sig};
 ///   search (§5),
 /// * a subset relation over result BATs (`result ⊆ operand`) supporting
 ///   semijoin subsumption (§5.1).
+///
+/// # Concurrency
+///
+/// The pool itself carries no locks: the
+/// [`SharedRecycler`](crate::SharedRecycler) wraps it in an `RwLock` and
+/// serves it to any number of concurrent sessions. Probes (`lookup`,
+/// `candidates`, `is_subset`, iteration) are `&self` and run under the
+/// read lock; every mutation runs under the write lock. Invariants the
+/// concurrent readers rely on: the signature index is bijective onto the
+/// entry store, parent links always point at live entries, and every
+/// stored `Value` is `Arc`-shared — a result cloned out of the pool stays
+/// valid after the entry is evicted or invalidated.
 #[derive(Debug, Default)]
 pub struct RecyclePool {
     entries: FxHashMap<EntryId, PoolEntry>,
@@ -31,6 +69,9 @@ pub struct RecyclePool {
     /// operators (select result ⊆ its operand, semijoin result ⊆ left
     /// operand, ...).
     supersets: FxHashMap<BatId, Vec<BatId>>,
+    /// Extra `by_result` keys per entry (duplicate-admission aliases),
+    /// unwired together with the entry.
+    result_aliases: FxHashMap<EntryId, Vec<BatId>>,
     bytes: usize,
     next_id: EntryId,
 }
@@ -60,6 +101,16 @@ impl RecyclePool {
     pub fn next_id(&mut self) -> EntryId {
         self.next_id += 1;
         self.next_id
+    }
+
+    /// Drop every entry and index while keeping the id counter monotone:
+    /// `EntryId`s are never reused across a clear, so stale references
+    /// held elsewhere (per-session pin sets, diagnostics) can never alias
+    /// a post-clear entry.
+    pub fn clear(&mut self) {
+        let next_id = self.next_id;
+        *self = RecyclePool::default();
+        self.next_id = next_id;
     }
 
     /// Exact-match lookup.
@@ -123,13 +174,22 @@ impl RecyclePool {
         false
     }
 
-    /// Insert a fully constructed entry, wiring all indexes. If an entry
-    /// with the same signature already exists the new one is dropped and
-    /// the existing id returned (single-threaded execution makes this a
-    /// benign no-op path).
-    pub fn insert(&mut self, entry: PoolEntry) -> EntryId {
+    /// Insert a fully constructed entry, wiring all indexes.
+    ///
+    /// Duplicate signatures are a *normal* concurrent outcome, not a
+    /// "can't happen" path: two sessions can probe the same signature,
+    /// both miss, both execute, and both admit. Resolution is
+    /// first-writer-wins — the resident entry stays, the candidate is
+    /// dropped, and the caller is told via [`Admitted::Duplicate`] so it
+    /// can return the admission credit, account the race, and
+    /// [`alias_result`](Self::alias_result) its own result BAT to the
+    /// resident entry — both results are equivalent by construction (same
+    /// opcode over identical arguments), and the alias keeps the losing
+    /// query's downstream lineage admissible, so dropping the newcomer
+    /// loses nothing but the bytes.
+    pub fn insert(&mut self, entry: PoolEntry) -> Admitted {
         if let Some(&existing) = self.by_sig.get(&entry.sig) {
-            return existing;
+            return Admitted::Duplicate(existing);
         }
         let id = entry.id;
         self.by_sig.insert(entry.sig.clone(), id);
@@ -147,7 +207,21 @@ impl RecyclePool {
         }
         self.bytes += entry.bytes;
         self.entries.insert(id, entry);
-        id
+        Admitted::Inserted(id)
+    }
+
+    /// Alias `bat` to the resident entry `id` in the result index — the
+    /// concurrent-admission loser's executed result is equivalent to the
+    /// winner's, and the rest of the losing query references it by this
+    /// id. The alias keeps that chain's parent resolution and admission
+    /// coherence working; it is unwired when the entry is removed. No-op
+    /// when `id` is not resident or `bat` already owned.
+    pub fn alias_result(&mut self, bat: BatId, id: EntryId) {
+        if !self.entries.contains_key(&id) || self.by_result.contains_key(&bat) {
+            return;
+        }
+        self.by_result.insert(bat, id);
+        self.result_aliases.entry(id).or_default().push(bat);
     }
 
     /// Remove one entry, unwiring all indexes; returns it.
@@ -157,6 +231,13 @@ impl RecyclePool {
         if let Some(rb) = entry.result_id {
             self.by_result.remove(&rb);
             self.supersets.remove(&rb);
+        }
+        if let Some(aliases) = self.result_aliases.remove(&id) {
+            for b in aliases {
+                if self.by_result.get(&b).copied() == Some(id) {
+                    self.by_result.remove(&b);
+                }
+            }
         }
         if let Some(arg0) = entry.sig.first_arg() {
             if let Some(v) = self.by_op_arg0.get_mut(&(entry.sig.op, arg0.clone())) {
@@ -185,23 +266,17 @@ impl RecyclePool {
     }
 
     /// The *leaf* entries — no dependents in the pool — excluding the
-    /// `protected` set (the current query's instructions, paper §4.3).
-    /// When protection would leave no candidates at all, the protected
-    /// leaves are returned instead (paper footnote 3: a single query
-    /// filling the whole pool must not deadlock eviction).
+    /// `protected` set (entries pinned by *any* session's running query,
+    /// paper §4.3). Protection is strict: with concurrent sessions,
+    /// evicting another session's working set to make room would thrash,
+    /// so when every leaf is protected the caller gets nothing back and
+    /// admission fails instead (`admission_rejects`). This replaces the
+    /// single-threaded seed's fallback of evicting the running query's own
+    /// protected leaves.
     pub fn leaves(&self, protected: &FxHashSet<EntryId>) -> Vec<EntryId> {
-        let unprotected: Vec<EntryId> = self
-            .entries
-            .keys()
-            .filter(|id| !self.has_children(**id) && !protected.contains(id))
-            .copied()
-            .collect();
-        if !unprotected.is_empty() {
-            return unprotected;
-        }
         self.entries
             .keys()
-            .filter(|id| !self.has_children(**id))
+            .filter(|id| !self.has_children(**id) && !protected.contains(id))
             .copied()
             .collect()
     }
@@ -273,11 +348,7 @@ impl RecyclePool {
             }
         }
         // bytes may have changed with the new result
-        let old_entry_bytes = self
-            .entries
-            .get(&id)
-            .map(|e| e.bytes)
-            .unwrap_or(new_bytes);
+        let old_entry_bytes = self.entries.get(&id).map(|e| e.bytes).unwrap_or(new_bytes);
         debug_assert_eq!(old_entry_bytes, new_bytes);
     }
 
@@ -355,6 +426,11 @@ impl RecyclePool {
         if bytes != self.bytes {
             return Err(format!("byte counter {} != actual {}", self.bytes, bytes));
         }
+        for (bat, id) in &self.by_result {
+            if !self.entries.contains_key(id) {
+                return Err(format!("result index {bat:?} points at dead entry {id}"));
+            }
+        }
         if self.by_sig.len() != self.entries.len() {
             return Err(format!(
                 "sig index size {} != entries {}",
@@ -390,6 +466,7 @@ mod tests {
             admitted_tick: 0,
             last_used: 0,
             admitted_invocation: 0,
+            admitted_session: 0,
             local_reuses: 0,
             global_reuses: 0,
             subsumption_uses: 0,
@@ -404,7 +481,9 @@ mod tests {
         let mut pool = RecyclePool::new();
         let e = mk_entry(&mut pool, vec![], 1);
         let sig = e.sig.clone();
-        let id = pool.insert(e);
+        let admitted = pool.insert(e);
+        assert!(admitted.inserted());
+        let id = admitted.id();
         assert_eq!(pool.lookup(&sig), Some(id));
         assert_eq!(pool.len(), 1);
         assert_eq!(pool.bytes(), 100);
@@ -415,39 +494,74 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_sig_keeps_existing() {
+    fn duplicate_sig_resolves_first_writer_wins() {
         let mut pool = RecyclePool::new();
         let a = mk_entry(&mut pool, vec![], 1);
-        let id_a = pool.insert(a);
+        let id_a = pool.insert(a).id();
         let mut b = mk_entry(&mut pool, vec![], 2);
         b.sig = Sig::of(Opcode::Select, &[Value::Int(1)]); // same sig as a
-        let id_b = pool.insert(b);
-        assert_eq!(id_a, id_b);
+        let outcome = pool.insert(b);
+        assert_eq!(outcome, Admitted::Duplicate(id_a));
         assert_eq!(pool.len(), 1);
+        pool.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn result_alias_resolves_and_unwires_with_entry() {
+        let mut pool = RecyclePool::new();
+        let e = mk_entry(&mut pool, vec![], 1);
+        let id = pool.insert(e).id();
+        let loser_bat = BatId(4242);
+        pool.alias_result(loser_bat, id);
+        assert_eq!(pool.entry_of_result(loser_bat), Some(id));
+        // aliasing an owned bat or a dead entry is a no-op
+        pool.alias_result(loser_bat, 999);
+        assert_eq!(pool.entry_of_result(loser_bat), Some(id));
+        pool.check_invariants().unwrap();
+        pool.remove(id);
+        assert_eq!(pool.entry_of_result(loser_bat), None);
+        pool.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn clear_keeps_entry_ids_monotone() {
+        let mut pool = RecyclePool::new();
+        let e = mk_entry(&mut pool, vec![], 1);
+        let id_before = pool.insert(e).id();
+        pool.clear();
+        assert!(pool.is_empty());
+        assert_eq!(pool.bytes(), 0);
+        let e2 = mk_entry(&mut pool, vec![], 2);
+        let id_after = pool.insert(e2).id();
+        assert!(
+            id_after > id_before,
+            "ids must never be reused across a clear ({id_before} vs {id_after})"
+        );
+        pool.check_invariants().unwrap();
     }
 
     #[test]
     fn leaves_respect_children_and_protection() {
         let mut pool = RecyclePool::new();
         let a = mk_entry(&mut pool, vec![], 1);
-        let a_id = pool.insert(a);
+        let a_id = pool.insert(a).id();
         let b = mk_entry(&mut pool, vec![a_id], 2);
-        let b_id = pool.insert(b);
+        let b_id = pool.insert(b).id();
         let none: FxHashSet<EntryId> = FxHashSet::default();
         assert_eq!(pool.leaves(&none), vec![b_id]);
-        // protecting the only leaf falls back to protected leaves
+        // protection is strict: a fully pinned layer yields no candidates
         let mut prot = FxHashSet::default();
         prot.insert(b_id);
-        assert_eq!(pool.leaves(&prot), vec![b_id]);
+        assert!(pool.leaves(&prot).is_empty());
     }
 
     #[test]
     fn remove_subtree_cascades() {
         let mut pool = RecyclePool::new();
         let a = mk_entry(&mut pool, vec![], 1);
-        let a_id = pool.insert(a);
+        let a_id = pool.insert(a).id();
         let b = mk_entry(&mut pool, vec![a_id], 2);
-        let b_id = pool.insert(b);
+        let b_id = pool.insert(b).id();
         let c = mk_entry(&mut pool, vec![b_id], 3);
         pool.insert(c);
         let removed = pool.remove_subtree(a_id);
@@ -472,7 +586,7 @@ mod tests {
         let mut pool = RecyclePool::new();
         let e = mk_entry(&mut pool, vec![], 7);
         let arg0 = e.sig.first_arg().unwrap().clone();
-        let id = pool.insert(e);
+        let id = pool.insert(e).id();
         assert_eq!(pool.candidates(Opcode::Select, &arg0), &[id]);
         assert!(pool.candidates(Opcode::Join, &arg0).is_empty());
     }

@@ -10,6 +10,14 @@
 //! ... and invalidation for the remainder of a cached plan" (§6.2).
 //! Deleting commits always fall back to invalidation: this engine compacts
 //! OIDs on delete (see `rbat::Catalog::commit`).
+//!
+//! Concurrency: [`propagate_commit`] rewrites entries, signatures and the
+//! result index in place and therefore always runs under the
+//! [`SharedRecycler`](crate::SharedRecycler)'s write lock — concurrent
+//! probes see the pool either entirely before or entirely after the
+//! commit. A session whose query already cloned a pre-commit intermediate
+//! keeps computing with it (values are `Arc`-shared and immutable); only
+//! *future* probes observe the refreshed results.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -80,10 +88,7 @@ pub fn propagate_commit(
                 if t.as_ref() != report.table {
                     continue;
                 }
-                let Some((_, delta)) = report
-                    .inserted
-                    .iter()
-                    .find(|(name, _)| name == c.as_ref())
+                let Some((_, delta)) = report.inserted.iter().find(|(name, _)| name == c.as_ref())
                 else {
                     continue;
                 };
@@ -106,8 +111,7 @@ pub fn propagate_commit(
                     continue;
                 }
                 let def = catalog.index_def(name);
-                let from_side_grew =
-                    def.is_some_and(|d| d.from_table == report.table);
+                let from_side_grew = def.is_some_and(|d| d.from_table == report.table);
                 let Ok(new_idx) = catalog.bind_idx(name) else {
                     doomed.push(e.id);
                     continue;
@@ -118,11 +122,7 @@ pub fn propagate_commit(
                     doomed.push(e.id);
                     continue;
                 }
-                let old_len = e
-                    .result
-                    .as_bat()
-                    .map(|b| b.len())
-                    .unwrap_or(0);
+                let old_len = e.result.as_bat().map(|b| b.len()).unwrap_or(0);
                 let delta = Arc::new(new_idx.slice(old_len, new_idx.len() - old_len));
                 deltas.insert(e.id, delta);
                 new_results.insert(e.id, Value::Bat(new_idx.clone()));
@@ -157,12 +157,7 @@ pub fn propagate_commit(
     for &id in &affected {
         let e = pool.get(id);
         let deg = e
-            .map(|e| {
-                e.parents
-                    .iter()
-                    .filter(|p| affected.contains(p))
-                    .count()
-            })
+            .map(|e| e.parents.iter().filter(|p| affected.contains(p)).count())
             .unwrap_or(0);
         indegree.insert(id, deg);
     }
@@ -380,10 +375,7 @@ fn propagate_entry(
         return false;
     };
 
-    let new_bytes = new_result
-        .as_bat()
-        .map(|b| b.resident_bytes())
-        .unwrap_or(0);
+    let new_bytes = new_result.as_bat().map(|b| b.resident_bytes()).unwrap_or(0);
     {
         let e = pool.get_mut(id).expect("entry exists");
         e.args = new_args.clone();
@@ -497,7 +489,7 @@ mod tests {
         assert!(s.invalidated > 0, "aggregates must drop");
         assert!(s.propagated > 0, "prefix must refresh");
         assert!(e.hook.pool().len() < entries_before);
-        assert!(e.hook.pool().len() > 0);
+        assert!(!e.hook.pool().is_empty());
         e.hook.pool().check_invariants().unwrap();
     }
 }

@@ -1,114 +1,134 @@
-//! The recycler run-time support (paper Algorithm 1) as an interpreter hook.
+//! The recycler session: per-session run-time support (paper Algorithm 1)
+//! as an interpreter hook over the [`SharedRecycler`] service.
+//!
+//! The paper's recycler is a *server-wide* facility: one pool shared by
+//! every user session (§8 relies on cross-session reuse). Accordingly the
+//! run-time support is split in two:
+//!
+//! * [`SharedRecycler`] (see [`crate::shared`]) — the pool, the
+//!   credit/ADAPT accounts, eviction state and lifetime statistics, behind
+//!   interior locking; one instance per server.
+//! * [`Recycler`] (this module) — a cheap per-session handle implementing
+//!   [`rmal::ExecHook`]: the current invocation, the entries this session
+//!   has pinned, and the per-query record log. Cloning a `Recycler`
+//!   attaches a *new* session to the same shared service.
+//!
+//! `Recycler::new` remains the one-line way to get a single-session
+//! engine: it creates a private `SharedRecycler` under the hood.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rbat::catalog::CommitReport;
-use rbat::hash::{FxHashMap, FxHashSet};
-use rbat::{BatId, Catalog, Value};
+use rbat::hash::FxHashSet;
+use rbat::{Catalog, Value};
 use rmal::{ExecHook, HookAction, Instr, Opcode, Program};
 
-use crate::config::{AdmissionPolicy, RecyclerConfig, UpdateMode};
+use crate::config::{RecyclerConfig, UpdateMode};
 use crate::entry::{EntryId, InstrKey, PoolEntry};
 use crate::eviction::{evict, EvictTrigger};
-use crate::pool::RecyclePool;
-use crate::propagate::propagate_commit;
+use crate::pool::Admitted;
+use crate::shared::{PoolRef, PoolState, SharedRecycler};
 use crate::signature::Sig;
 use crate::stats::{PoolSnapshot, QueryRecord, RecyclerStats};
 use crate::subsume::{self, Subsumption};
 
-/// The recycler: implements `recycleEntry`/`recycleExit` around every
-/// marked instruction, manages the [`RecyclePool`] under the configured
-/// policies, and synchronises the pool on updates.
+/// A recycler session: implements `recycleEntry`/`recycleExit` around every
+/// marked instruction against the shared pool, and keeps this session's
+/// query records. Create with [`Recycler::new`] (private pool) or
+/// [`SharedRecycler::session`] (shared pool); clone to attach further
+/// sessions to the same pool.
 pub struct Recycler {
-    /// Live configuration (admission/eviction/limits/update mode).
-    pub config: RecyclerConfig,
-    pool: RecyclePool,
-    /// Credits per template instruction (CREDIT/ADAPT admission).
-    credits: FxHashMap<InstrKey, i64>,
-    /// ADAPT bookkeeping: invocations per template; reuses per instruction.
-    template_invocations: FxHashMap<u64, u64>,
-    instr_reuses: FxHashMap<InstrKey, u64>,
-    adapt_unlimited: FxHashSet<InstrKey>,
-    adapt_banned: FxHashSet<InstrKey>,
-    /// Persistent BATs (bound columns, join indices) with their
-    /// base-column lineage: stable identities that admission may reference
-    /// without a pool-resident producer.
-    persistent: FxHashMap<BatId, BTreeSet<(String, String)>>,
-    /// Monotone event counter (LRU / HP ageing).
-    tick: u64,
-    /// Invocation counter (local-vs-global reuse discrimination).
+    shared: Arc<SharedRecycler>,
+    session_id: u64,
+    /// Invocation id of the currently running query (globally unique —
+    /// distinguishes local from global reuse).
     invocation: u64,
     current_template: u64,
-    /// Entries touched by the current invocation — protected from eviction.
-    protected: FxHashSet<EntryId>,
-    stats: RecyclerStats,
+    /// Entries this session's current query has touched. Mirrored into the
+    /// shared pin table; unpinned at `query_end`.
+    pinned: FxHashSet<EntryId>,
     query_log: Vec<QueryRecord>,
     current: QueryRecord,
 }
 
 impl Recycler {
-    /// Create a recycler with the given configuration.
+    /// Create a recycler with its own private [`SharedRecycler`] — the
+    /// single-session configuration every example and test started from.
     pub fn new(config: RecyclerConfig) -> Recycler {
+        SharedRecycler::new(config).session()
+    }
+
+    /// Attach a session to a shared service (use
+    /// [`SharedRecycler::session`]).
+    pub(crate) fn attach(shared: Arc<SharedRecycler>) -> Recycler {
+        let session_id = shared.next_session_id();
         Recycler {
-            config,
-            pool: RecyclePool::new(),
-            credits: FxHashMap::default(),
-            template_invocations: FxHashMap::default(),
-            instr_reuses: FxHashMap::default(),
-            adapt_unlimited: FxHashSet::default(),
-            adapt_banned: FxHashSet::default(),
-            persistent: FxHashMap::default(),
-            tick: 0,
+            shared,
+            session_id,
             invocation: 0,
             current_template: 0,
-            protected: FxHashSet::default(),
-            stats: RecyclerStats::default(),
+            pinned: FxHashSet::default(),
             query_log: Vec::new(),
             current: QueryRecord::default(),
         }
     }
 
-    /// Borrow the pool (diagnostics, tests, experiment harness).
-    pub fn pool(&self) -> &RecyclePool {
-        &self.pool
+    /// The shared service this session is attached to.
+    pub fn shared(&self) -> &Arc<SharedRecycler> {
+        &self.shared
     }
 
-    /// Lifetime statistics.
-    pub fn stats(&self) -> &RecyclerStats {
-        &self.stats
+    /// This session's id (1-based, unique per shared service).
+    pub fn session_id(&self) -> u64 {
+        self.session_id
     }
 
-    /// Per-query records appended at every `query_end`.
+    /// Live configuration (admission/eviction/limits/update mode).
+    pub fn config(&self) -> RecyclerConfig {
+        self.shared.config()
+    }
+
+    /// Read access to the shared pool (diagnostics, tests, experiment
+    /// harness). The returned guard blocks writers — hold it briefly.
+    pub fn pool(&self) -> PoolRef<'_> {
+        self.shared.pool()
+    }
+
+    /// Snapshot of the shared lifetime statistics.
+    pub fn stats(&self) -> RecyclerStats {
+        self.shared.stats()
+    }
+
+    /// Per-query records of *this session*, appended at every `query_end`.
     pub fn query_log(&self) -> &[QueryRecord] {
         &self.query_log
     }
 
     /// Snapshot of the pool content (Table III material).
     pub fn snapshot(&self) -> PoolSnapshot {
-        PoolSnapshot::capture(&self.pool)
+        self.shared.snapshot()
     }
 
-    /// Empty the recycle pool (the experiments' "emptied recycle pool"
-    /// preparation step) without resetting credit accounts.
+    /// Empty the shared recycle pool (the experiments' "emptied recycle
+    /// pool" preparation step) without resetting credit accounts.
     pub fn clear_pool(&mut self) {
-        self.pool = RecyclePool::new();
-        self.protected.clear();
+        self.shared.clear_pool();
+        self.pinned.clear();
     }
 
-    /// Reset all recycler state: pool, credits, statistics, logs.
+    /// Reset pool, accounts and statistics of the shared service, plus
+    /// this session's log. Other attached sessions keep running — their
+    /// pins are gone, which is safe (pins only guard eviction policy).
     pub fn reset(&mut self) {
-        let config = self.config;
-        *self = Recycler::new(config);
+        self.shared.reset();
+        self.pinned.clear();
+        self.query_log.clear();
+        self.current = QueryRecord::default();
     }
 
     // ----- internal helpers -------------------------------------------------
-
-    fn next_tick(&mut self) -> u64 {
-        self.tick += 1;
-        self.tick
-    }
 
     /// Bytes a result is charged for: only what the instruction newly
     /// materialised. Binds reference persistent storage, zero-cost
@@ -125,49 +145,37 @@ impl Recycler {
         }
     }
 
-    fn base_columns_of(&self, catalog: &Catalog, instr: &Instr, args: &[Value]) -> BTreeSet<(String, String)> {
-        let mut cols = BTreeSet::new();
-        match instr.op {
-            Opcode::Bind => {
-                if let (Some(t), Some(c)) = (
-                    args.first().and_then(|v| v.as_str()),
-                    args.get(1).and_then(|v| v.as_str()),
-                ) {
-                    cols.insert((t.to_string(), c.to_string()));
-                }
-            }
-            Opcode::BindIdx => {
-                if let Some(name) = args.first().and_then(|v| v.as_str()) {
-                    if let Some(def) = catalog.index_def(name) {
-                        cols.insert((def.from_table.clone(), def.from_column.clone()));
-                        cols.insert((def.to_table.clone(), def.to_key.clone()));
-                    }
-                }
-            }
-            _ => {
-                for a in args {
-                    if let Value::Bat(b) = a {
-                        if let Some(eid) = self.pool.entry_of_result(b.id()) {
-                            if let Some(e) = self.pool.get(eid) {
-                                cols.extend(e.base_columns.iter().cloned());
-                            }
-                        } else if let Some(pcols) = self.persistent.get(&b.id()) {
-                            cols.extend(pcols.iter().cloned());
-                        }
-                    }
+    /// Pin `id` for the remainder of this query: the shared refcount is
+    /// bumped once per session per query.
+    fn pin(&mut self, st: &mut PoolState, id: EntryId) {
+        if self.pinned.insert(id) {
+            *st.pins.entry(id).or_insert(0) += 1;
+        }
+    }
+
+    /// Drop all of this session's pins (query end / start safety net).
+    /// Entries removed by invalidation may already be gone from the pin
+    /// table — that is fine.
+    fn unpin_all(&mut self, st: &mut PoolState) {
+        for id in self.pinned.drain() {
+            if let Some(c) = st.pins.get_mut(&id) {
+                *c -= 1;
+                if *c == 0 {
+                    st.pins.remove(&id);
                 }
             }
         }
-        cols
     }
 
     /// Record a hit on `id`: statistics, protection, credit return.
-    fn register_hit(&mut self, id: EntryId) -> Value {
-        let tick = self.next_tick();
+    /// Caller holds the write lock and has revalidated the entry.
+    fn register_hit(&mut self, st: &mut PoolState, id: EntryId) -> Value {
+        let tick = st.next_tick();
         let invocation = self.invocation;
-        let e = self.pool.get_mut(id).expect("hit entry exists");
+        let e = st.pool.get_mut(id).expect("hit entry exists");
         e.last_used = tick;
         let local = e.admitted_invocation == invocation;
+        let cross_session = e.admitted_session != self.session_id;
         if local {
             e.local_reuses += 1;
         } else {
@@ -181,129 +189,73 @@ impl Recycler {
         if return_credit_now {
             e.credit_returned = true;
         }
-        if return_credit_now {
-            *self.credits.entry(creator).or_insert(0) += 1;
-        }
-        *self.instr_reuses.entry(creator).or_insert(0) += 1;
-        self.protected.insert(id);
-        self.stats.hits += 1;
-        self.stats.time_saved += saved;
+        self.pin(st, id);
+        self.shared.note_reuse(creator, return_credit_now);
+        self.shared.count_hit(local, cross_session, saved);
         self.current.hits += 1;
         self.current.saved += saved;
         if local {
-            self.stats.local_hits += 1;
             self.current.local_hits += 1;
         } else {
-            self.stats.global_hits += 1;
             self.current.global_hits += 1;
         }
         result
     }
 
     /// Record that `id` served as a subsumption source.
-    fn register_subsumption_source(&mut self, id: EntryId) {
-        let tick = self.next_tick();
-        if let Some(e) = self.pool.get_mut(id) {
+    fn register_subsumption_source(&mut self, st: &mut PoolState, id: EntryId) {
+        let tick = st.next_tick();
+        if let Some(e) = st.pool.get_mut(id) {
             e.last_used = tick;
             e.subsumption_uses += 1;
-        }
-        self.protected.insert(id);
-    }
-
-    /// The admission decision of `recycleExit` (paper §4.2).
-    fn admission_allows(&mut self, key: InstrKey) -> bool {
-        match self.config.admission {
-            AdmissionPolicy::KeepAll => true,
-            AdmissionPolicy::Credit(k) => {
-                let c = self.credits.entry(key).or_insert(k as i64);
-                if *c > 0 {
-                    *c -= 1;
-                    true
-                } else {
-                    false
-                }
-            }
-            AdmissionPolicy::Adaptive(k) => {
-                if self.adapt_unlimited.contains(&key) {
-                    return true;
-                }
-                if self.adapt_banned.contains(&key) {
-                    return false;
-                }
-                let invocations = self
-                    .template_invocations
-                    .get(&key.0)
-                    .copied()
-                    .unwrap_or(0);
-                if invocations > k as u64 {
-                    // decision time: reused at least once → unlimited
-                    if self.instr_reuses.get(&key).copied().unwrap_or(0) >= 1 {
-                        self.adapt_unlimited.insert(key);
-                        return true;
-                    }
-                    self.adapt_banned.insert(key);
-                    return false;
-                }
-                let c = self.credits.entry(key).or_insert(k as i64);
-                if *c > 0 {
-                    *c -= 1;
-                    true
-                } else {
-                    false
-                }
-            }
-        }
-    }
-
-    fn undo_admission_charge(&mut self, key: InstrKey) {
-        if matches!(
-            self.config.admission,
-            AdmissionPolicy::Credit(_) | AdmissionPolicy::Adaptive(_)
-        ) {
-            if let Some(c) = self.credits.get_mut(&key) {
-                *c += 1;
-            }
+            self.pin(st, id);
         }
     }
 
     /// Make room for `need_bytes` / one more entry; returns false when the
-    /// pool cannot be shrunk enough.
-    fn make_room(&mut self, need_bytes: usize) -> bool {
-        let now = self.tick;
-        if let Some(limit) = self.config.mem_limit {
+    /// pool cannot be shrunk enough. Pinned entries (any session) are
+    /// never evicted: when only pinned leaves remain, admission fails
+    /// instead — see the locking invariants in [`crate::shared`].
+    fn make_room(&mut self, st: &mut PoolState, need_bytes: usize) -> bool {
+        let config = self.shared.config();
+        if let Some(limit) = config.mem_limit {
             if need_bytes > limit {
                 return false;
             }
-            if self.pool.bytes() + need_bytes > limit {
-                let need = self.pool.bytes() + need_bytes - limit;
+            if st.pool.bytes() + need_bytes > limit {
+                let need = st.pool.bytes() + need_bytes - limit;
+                let protected = st.protected();
+                let now = st.tick;
                 let evicted = evict(
-                    &mut self.pool,
-                    self.config.eviction,
+                    &mut st.pool,
+                    config.eviction,
                     EvictTrigger::Memory(need),
-                    &self.protected,
+                    &protected,
                     now,
                 );
-                self.settle_evictions(&evicted);
-                if self.pool.bytes() + need_bytes > limit {
+                self.shared.settle_evictions(&evicted);
+                if st.pool.bytes() + need_bytes > limit {
                     return false;
                 }
             }
         }
-        if let Some(limit) = self.config.entry_limit {
+        if let Some(limit) = config.entry_limit {
             if limit == 0 {
                 return false;
             }
-            if self.pool.len() + 1 > limit {
-                let need = self.pool.len() + 1 - limit;
+            if st.pool.len() + 1 > limit {
+                let need = st.pool.len() + 1 - limit;
+                let protected = st.protected();
+                let now = st.tick;
                 let evicted = evict(
-                    &mut self.pool,
-                    self.config.eviction,
+                    &mut st.pool,
+                    config.eviction,
                     EvictTrigger::Entries(need),
-                    &self.protected,
+                    &protected,
                     now,
                 );
-                self.settle_evictions(&evicted);
-                if self.pool.len() + 1 > limit {
+                self.shared.settle_evictions(&evicted);
+                if st.pool.len() + 1 > limit {
                     return false;
                 }
             }
@@ -311,20 +263,12 @@ impl Recycler {
         true
     }
 
-    fn settle_evictions(&mut self, evicted: &[PoolEntry]) {
-        self.stats.evictions += evicted.len() as u64;
-        for e in evicted {
-            self.protected.remove(&e.id);
-            // a globally reused instance returns its credit at eviction
-            if e.global_reuses > 0 && !e.credit_returned {
-                *self.credits.entry(e.creator).or_insert(0) += 1;
-            }
-        }
-    }
-
     /// Admit an executed instruction's result (the body of `recycleExit`).
+    /// Caller holds the write lock.
+    #[allow(clippy::too_many_arguments)]
     fn admit(
         &mut self,
+        st: &mut PoolState,
         catalog: &Catalog,
         pc: usize,
         instr: &Instr,
@@ -336,30 +280,29 @@ impl Recycler {
         // register persistent identities first: they anchor coherence
         if matches!(instr.op, Opcode::Bind | Opcode::BindIdx) {
             if let Value::Bat(b) = result {
-                let cols = self.base_columns_of(catalog, instr, args);
-                self.persistent.insert(b.id(), cols);
+                let cols = st.base_columns_of(catalog, instr, args);
+                st.persistent.insert(b.id(), cols);
             }
         }
         // Cheap precheck of lineage coherence (repeated authoritatively
         // after eviction below).
         for a in args {
             if let Value::Bat(b) = a {
-                if self.pool.entry_of_result(b.id()).is_none()
-                    && !self.persistent.contains_key(&b.id())
+                if st.pool.entry_of_result(b.id()).is_none() && !st.persistent.contains_key(&b.id())
                 {
-                    self.stats.admission_rejects += 1;
+                    self.shared.count_admission_reject();
                     return;
                 }
             }
         }
-        if !self.admission_allows(key) {
-            self.stats.admission_rejects += 1;
+        if !self.shared.admission_allows(key) {
+            self.shared.count_admission_reject();
             return;
         }
         let bytes = Self::charge_bytes(instr.op, result);
-        if !self.make_room(bytes) {
-            self.stats.admission_rejects += 1;
-            self.undo_admission_charge(key);
+        if !self.make_room(st, bytes) {
+            self.shared.count_admission_reject();
+            self.shared.undo_admission_charge(key);
             return;
         }
         // Bottom-up matching coherence: every BAT argument must itself be
@@ -370,20 +313,20 @@ impl Recycler {
         let mut parents: Vec<EntryId> = Vec::new();
         for a in args {
             if let Value::Bat(b) = a {
-                if let Some(eid) = self.pool.entry_of_result(b.id()) {
+                if let Some(eid) = st.pool.entry_of_result(b.id()) {
                     parents.push(eid);
-                } else if !self.persistent.contains_key(&b.id()) {
-                    self.stats.admission_rejects += 1;
-                    self.undo_admission_charge(key);
+                } else if !st.persistent.contains_key(&b.id()) {
+                    self.shared.count_admission_reject();
+                    self.shared.undo_admission_charge(key);
                     return;
                 }
             }
         }
         let sig = Sig::of(instr.op, args);
-        let base_columns = self.base_columns_of(catalog, instr, args);
-        let tick = self.next_tick();
+        let base_columns = st.base_columns_of(catalog, instr, args);
+        let tick = st.next_tick();
         let entry = PoolEntry {
-            id: self.pool.next_id(),
+            id: st.pool.next_id(),
             sig,
             args: args.to_vec(),
             result: result.clone(),
@@ -396,6 +339,7 @@ impl Recycler {
             admitted_tick: tick,
             last_used: tick,
             admitted_invocation: self.invocation,
+            admitted_session: self.session_id,
             local_reuses: 0,
             global_reuses: 0,
             subsumption_uses: 0,
@@ -404,34 +348,56 @@ impl Recycler {
             credit_returned: false,
         };
         let result_id = entry.result_id;
-        let id = self.pool.insert(entry);
-        self.protected.insert(id);
-        self.stats.admissions += 1;
-        self.current.admitted += 1;
-        self.current.bytes_admitted += bytes as u64;
-        // subset semantics for the subsumption machinery (§5.1)
-        if let (Some(rid), Some(Value::Bat(arg0))) = (result_id, args.first()) {
-            if matches!(
-                instr.op,
-                Opcode::Select
-                    | Opcode::Uselect
-                    | Opcode::Like
-                    | Opcode::SelectNotNil
-                    | Opcode::Semijoin
-                    | Opcode::Diff
-                    | Opcode::Kunique
-                    | Opcode::Sort
-                    | Opcode::TopN
-            ) {
-                self.pool.add_subset_edge(rid, arg0.id());
+        match st.pool.insert(entry) {
+            Admitted::Inserted(id) => {
+                self.pin(st, id);
+                self.shared.count_admission();
+                self.current.admitted += 1;
+                self.current.bytes_admitted += bytes as u64;
+                // subset semantics for the subsumption machinery (§5.1)
+                if let (Some(rid), Some(Value::Bat(arg0))) = (result_id, args.first()) {
+                    if matches!(
+                        instr.op,
+                        Opcode::Select
+                            | Opcode::Uselect
+                            | Opcode::Like
+                            | Opcode::SelectNotNil
+                            | Opcode::Semijoin
+                            | Opcode::Diff
+                            | Opcode::Kunique
+                            | Opcode::Sort
+                            | Opcode::TopN
+                    ) {
+                        st.pool.add_subset_edge(rid, arg0.id());
+                    }
+                }
+            }
+            Admitted::Duplicate(existing) => {
+                // Concurrent-admission resolution (first writer wins): a
+                // session that probed, missed, and executed while another
+                // session admitted the same signature. Keep the resident
+                // instance, drop our copy, return the credit, and pin the
+                // winner. Our executed result BAT is equivalent to the
+                // winner's but carries a different identity, and the rest
+                // of this query references *ours* — alias it onto the
+                // resident entry so the downstream chain keeps resolving
+                // parents and passing admission coherence.
+                self.shared.count_duplicate_admission();
+                self.shared.undo_admission_charge(key);
+                self.pin(st, existing);
+                if let Some(rid) = result_id {
+                    st.pool.alias_result(rid, existing);
+                }
             }
         }
     }
 
     /// Invalidate every intermediate whose lineage intersects the affected
-    /// columns (paper §6.4: immediate column-wise invalidation).
-    fn invalidate_columns(&mut self, affected: &BTreeSet<(String, String)>) {
-        let roots: Vec<EntryId> = self
+    /// columns (paper §6.4: immediate column-wise invalidation). Removal
+    /// overrides pins — correctness beats retention; stale pins are
+    /// cleaned up by their sessions' `query_end`.
+    fn invalidate_columns(&mut self, st: &mut PoolState, affected: &BTreeSet<(String, String)>) {
+        let roots: Vec<EntryId> = st
             .pool
             .iter()
             .filter(|e| e.base_columns.intersection(affected).next().is_some())
@@ -439,21 +405,46 @@ impl Recycler {
             .collect();
         let mut removed = 0u64;
         for r in roots {
-            removed += self.pool.remove_subtree(r).len() as u64;
+            removed += st.pool.remove_subtree(r).len() as u64;
         }
-        self.stats.invalidated += removed;
+        self.shared.count_invalidated(removed);
         // drop stale persistent registrations
-        self.persistent
+        st.persistent
             .retain(|_, cols| cols.intersection(affected).next().is_none());
+    }
+}
+
+impl Clone for Recycler {
+    /// Cloning attaches a **new session** to the same shared service:
+    /// fresh session id, empty query log, no pins. This is what makes the
+    /// hook handle cloneable for multi-session engines
+    /// ([`rmal::Engine::session`]).
+    fn clone(&self) -> Recycler {
+        self.shared.session()
+    }
+}
+
+impl std::fmt::Debug for Recycler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recycler")
+            .field("session_id", &self.session_id)
+            .field("invocation", &self.invocation)
+            .field("pinned", &self.pinned.len())
+            .finish()
     }
 }
 
 impl ExecHook for Recycler {
     fn query_start(&mut self, program: &Program) {
-        self.invocation += 1;
+        self.invocation = self.shared.next_invocation();
         self.current_template = program.id;
-        *self.template_invocations.entry(program.id).or_insert(0) += 1;
-        self.protected.clear();
+        self.shared.note_invocation(program.id);
+        if !self.pinned.is_empty() {
+            // safety net: a previous query aborted without `query_end`
+            let shared = Arc::clone(&self.shared);
+            let mut st = shared.write_state();
+            self.unpin_all(&mut st);
+        }
         self.current = QueryRecord {
             template: program.id,
             name: program.name.clone(),
@@ -463,67 +454,98 @@ impl ExecHook for Recycler {
 
     fn before(
         &mut self,
-        _catalog: &Catalog,
+        catalog: &Catalog,
         pc: usize,
         instr: &Instr,
         args: &[Value],
     ) -> HookAction {
         let t0 = Instant::now();
-        self.stats.monitored += 1;
+        self.shared.count_monitored();
         self.current.monitored += 1;
         let sig = Sig::of(instr.op, args);
+        let config = self.shared.config();
 
-        // Phase 1: exact match (paper §3.3).
-        if let Some(id) = self.pool.lookup(&sig) {
-            let result = self.register_hit(id);
-            self.stats.overhead += t0.elapsed();
-            return HookAction::Reuse(result);
+        // Phase 1: exact match (paper §3.3). Probe under the read lock;
+        // a hit re-checks under the write lock (the entry may have been
+        // evicted or invalidated between the two — invariant 3).
+        let probe_hit = self.shared.read_state().pool.lookup(&sig).is_some();
+        if probe_hit {
+            let shared = Arc::clone(&self.shared);
+            let mut st = shared.write_state();
+            if let Some(id) = st.pool.lookup(&sig) {
+                let result = self.register_hit(&mut st, id);
+                drop(st);
+                self.shared.add_overhead(t0.elapsed());
+                return HookAction::Reuse(result);
+            }
+            // lost the race — fall through to subsumption / execution
         }
 
-        // Phase 2: subsumption (paper §5).
-        if self.config.subsumption {
-            let attempt = match instr.op {
-                Opcode::Select => subsume::subsume_select(&self.pool, args),
-                Opcode::Uselect => subsume::subsume_uselect(&self.pool, args),
-                Opcode::Like => subsume::subsume_like(&self.pool, args),
-                Opcode::Semijoin => subsume::subsume_semijoin(&self.pool, args),
-                _ => None,
+        // Phase 2: subsumption (paper §5). The search runs under the read
+        // lock; argument values are cloned out, so a concurrent eviction
+        // of the source cannot invalidate the rewrite (`Arc`-shared BATs).
+        if config.subsumption {
+            let attempt = {
+                let st = self.shared.read_state();
+                match instr.op {
+                    Opcode::Select => subsume::subsume_select(&st.pool, args),
+                    Opcode::Uselect => subsume::subsume_uselect(&st.pool, args),
+                    Opcode::Like => subsume::subsume_like(&st.pool, args),
+                    Opcode::Semijoin => subsume::subsume_semijoin(&st.pool, args),
+                    _ => None,
+                }
             };
-            if let Some(Subsumption::Rewrite { args: new_args, source }) = attempt {
-                self.register_subsumption_source(source);
-                self.stats.subsumed += 1;
+            if let Some(Subsumption::Rewrite {
+                args: new_args,
+                source,
+            }) = attempt
+            {
+                {
+                    let shared = Arc::clone(&self.shared);
+                    let mut st = shared.write_state();
+                    self.register_subsumption_source(&mut st, source);
+                }
+                self.shared.count_subsumed();
                 self.current.subsumed += 1;
-                self.stats.overhead += t0.elapsed();
+                self.shared.add_overhead(t0.elapsed());
                 return HookAction::Rewrite(new_args);
             }
-            if self.config.combined_subsumption && instr.op == Opcode::Select {
-                if let Some(Subsumption::Combined { segments, search_time }) =
-                    subsume::subsume_combined(
-                        &self.pool,
-                        args,
-                        self.config.combined_max_candidates,
-                    )
-                {
-                    self.stats.subsume_search += search_time;
-                    let exec0 = Instant::now();
-                    if let Some(bat) = subsume::execute_combined(&self.pool, &segments) {
-                        for (id, _) in &segments {
-                            self.register_subsumption_source(*id);
+            if config.combined_subsumption && instr.op == Opcode::Select {
+                let pieced = {
+                    let st = self.shared.read_state();
+                    match subsume::subsume_combined(&st.pool, args, config.combined_max_candidates)
+                    {
+                        Some(Subsumption::Combined {
+                            segments,
+                            search_time,
+                        }) => {
+                            self.shared.add_subsume_search(search_time);
+                            let exec0 = Instant::now();
+                            subsume::execute_combined(&st.pool, &segments)
+                                .map(|bat| (segments, bat, exec0.elapsed()))
                         }
-                        let result = Value::Bat(Arc::new(bat));
-                        let cpu = exec0.elapsed();
-                        self.stats.subsumed += 1;
-                        self.current.subsumed += 1;
-                        // recycleExit for the pieced result, under the
-                        // ORIGINAL signature.
-                        self.admit(_catalog, pc, instr, args, &result, cpu);
-                        self.stats.overhead += t0.elapsed();
-                        return HookAction::Computed(result);
+                        _ => None,
                     }
+                };
+                if let Some((segments, bat, cpu)) = pieced {
+                    let result = Value::Bat(Arc::new(bat));
+                    let shared = Arc::clone(&self.shared);
+                    let mut st = shared.write_state();
+                    for (id, _) in &segments {
+                        self.register_subsumption_source(&mut st, *id);
+                    }
+                    self.shared.count_subsumed();
+                    self.current.subsumed += 1;
+                    // recycleExit for the pieced result, under the
+                    // ORIGINAL signature.
+                    self.admit(&mut st, catalog, pc, instr, args, &result, cpu);
+                    drop(st);
+                    self.shared.add_overhead(t0.elapsed());
+                    return HookAction::Computed(result);
                 }
             }
         }
-        self.stats.overhead += t0.elapsed();
+        self.shared.add_overhead(t0.elapsed());
         HookAction::Proceed
     }
 
@@ -538,12 +560,20 @@ impl ExecHook for Recycler {
         _subsumed: bool,
     ) {
         let t0 = Instant::now();
-        self.admit(catalog, pc, instr, args, result, cpu);
-        self.stats.overhead += t0.elapsed();
+        {
+            let shared = Arc::clone(&self.shared);
+            let mut st = shared.write_state();
+            self.admit(&mut st, catalog, pc, instr, args, result, cpu);
+        }
+        self.shared.add_overhead(t0.elapsed());
     }
 
     fn query_end(&mut self, _program: &Program) {
-        self.protected.clear();
+        if !self.pinned.is_empty() {
+            let shared = Arc::clone(&self.shared);
+            let mut st = shared.write_state();
+            self.unpin_all(&mut st);
+        }
         let record = std::mem::take(&mut self.current);
         self.query_log.push(record);
     }
@@ -553,12 +583,20 @@ impl ExecHook for Recycler {
         if report.inserted.is_empty() && report.deleted.is_empty() {
             return;
         }
-        if self.config.update_mode == UpdateMode::Propagate {
-            if let Some(outcome) = propagate_commit(&mut self.pool, report, catalog) {
-                self.stats.propagated += outcome.refreshed;
-                self.stats.invalidated += outcome.invalidated;
+        // The whole synchronisation runs under the write lock: concurrent
+        // queries see the pool either entirely before or entirely after
+        // the commit (per-instruction atomicity — a query already past an
+        // instruction keeps its pre-update intermediate, as in the paper's
+        // transaction-isolation discussion §6.1).
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.write_state();
+        if self.shared.config().update_mode == UpdateMode::Propagate {
+            if let Some(outcome) = crate::propagate::propagate_commit(&mut st.pool, report, catalog)
+            {
+                self.shared.count_propagated(outcome.refreshed);
+                self.shared.count_invalidated(outcome.invalidated);
                 for (bat, cols) in outcome.new_persistent {
-                    self.persistent.insert(bat, cols);
+                    st.persistent.insert(bat, cols);
                 }
                 return;
             }
@@ -578,13 +616,14 @@ impl ExecHook for Recycler {
                 affected.insert((def.to_table.clone(), def.to_key.clone()));
             }
         }
-        self.invalidate_columns(&affected);
+        self.invalidate_columns(&mut st, &affected);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::AdmissionPolicy;
     use rbat::{LogicalType, TableBuilder};
     use rmal::{Engine, ProgramBuilder, P};
 
@@ -644,9 +683,7 @@ mod tests {
         let mut naive = Engine::new(catalog(1000));
         let mut t2 = range_template();
         naive.optimize(&mut t2);
-        let expect = naive
-            .run(&t2, &[Value::Int(100), Value::Int(500)])
-            .unwrap();
+        let expect = naive.run(&t2, &[Value::Int(100), Value::Int(500)]).unwrap();
         assert_eq!(narrow.export("n"), expect.export("n"));
         let _ = wide;
     }
@@ -700,11 +737,8 @@ mod tests {
         e.optimize(&mut t);
         // disjoint ranges: no reuse, credits drain after 2 admissions
         for i in 0..5 {
-            e.run(
-                &t,
-                &[Value::Int(i * 100), Value::Int(i * 100 + 50)],
-            )
-            .unwrap();
+            e.run(&t, &[Value::Int(i * 100), Value::Int(i * 100 + 50)])
+                .unwrap();
         }
         // bind is admitted once then always hit; the select+count threads
         // spend their credits after 2 instances each
@@ -725,7 +759,7 @@ mod tests {
         e.optimize(&mut t);
         let p = [Value::Int(0), Value::Int(500)];
         e.run(&t, &p).unwrap();
-        assert!(e.hook.pool().len() > 0);
+        assert!(!e.hook.pool().is_empty());
         e.update("t", vec![vec![Value::Int(1), Value::Int(1)]], vec![])
             .unwrap();
         assert_eq!(
@@ -752,7 +786,8 @@ mod tests {
         e.optimize(&mut t);
         e.run(&t, &[Value::Int(0), Value::Int(50)]).unwrap();
         let before = e.hook.pool().len();
-        e.update("other", vec![vec![Value::Int(2)]], vec![]).unwrap();
+        e.update("other", vec![vec![Value::Int(2)]], vec![])
+            .unwrap();
         assert_eq!(e.hook.pool().len(), before, "t-derived entries survive");
     }
 
@@ -782,5 +817,249 @@ mod tests {
         assert_eq!(log[0].hits, 0);
         assert!(log[1].hits > 0);
         assert!(log[1].hit_ratio() > 0.9);
+    }
+
+    // ----- shared-service behaviour ----------------------------------------
+
+    #[test]
+    fn sessions_share_one_pool_and_hit_cross_session() {
+        let shared = SharedRecycler::new(RecyclerConfig::default());
+        let cat = catalog(1000);
+        let mut a = Engine::with_hook(cat.clone(), shared.session());
+        a.add_pass(Box::new(crate::mark::RecycleMark));
+        let mut b = Engine::with_hook(cat, shared.session());
+        b.add_pass(Box::new(crate::mark::RecycleMark));
+
+        let mut t = range_template();
+        a.optimize(&mut t);
+
+        let p = [Value::Int(100), Value::Int(600)];
+        let first = a.run(&t, &p).unwrap();
+        assert_eq!(first.stats.reused, 0);
+        // session B reuses session A's intermediates wholesale
+        let second = b.run(&t, &p).unwrap();
+        assert_eq!(second.stats.reused, second.stats.marked);
+        assert_eq!(first.export("n"), second.export("n"));
+
+        let stats = shared.stats();
+        assert!(stats.cross_session_hits > 0, "{stats:?}");
+        assert_eq!(stats.cross_session_hits, stats.hits);
+        assert_eq!(stats.sessions, 2);
+        shared.pool().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn clone_attaches_a_new_session() {
+        let r = Recycler::new(RecyclerConfig::default());
+        let r2 = r.clone();
+        assert_ne!(r.session_id(), r2.session_id());
+        assert!(Arc::ptr_eq(r.shared(), r2.shared()));
+    }
+
+    #[test]
+    fn concurrent_duplicate_admission_first_writer_wins() {
+        // Interleave two sessions at the hook level: both probe (miss),
+        // both execute, both admit the same bind signature. The pool must
+        // keep a single instance and charge the loser nothing.
+        let shared = SharedRecycler::new(RecyclerConfig::default());
+        let cat = catalog(100);
+        let mut s1 = shared.session();
+        let mut s2 = shared.session();
+
+        use rmal::optimizer::OptPass as _;
+        let mut prog = range_template();
+        crate::mark::RecycleMark.run(&mut prog, &cat);
+        let bind = prog.instrs[0].clone();
+        assert_eq!(bind.op, Opcode::Bind);
+        let args = vec![Value::str("t"), Value::str("x")];
+
+        s1.query_start(&prog);
+        s2.query_start(&prog);
+        // both probe and miss
+        assert!(matches!(
+            s1.before(&cat, 0, &bind, &args),
+            HookAction::Proceed
+        ));
+        assert!(matches!(
+            s2.before(&cat, 0, &bind, &args),
+            HookAction::Proceed
+        ));
+        // both execute and admit
+        let r1 = rmal::execute_op(&cat, &bind.op, &args).unwrap();
+        let r2 = rmal::execute_op(&cat, &bind.op, &args).unwrap();
+        s1.after(&cat, 0, &bind, &args, &r1, Duration::from_micros(5), false);
+        s2.after(&cat, 0, &bind, &args, &r2, Duration::from_micros(5), false);
+        s1.query_end(&prog);
+        s2.query_end(&prog);
+
+        let stats = shared.stats();
+        assert_eq!(stats.admissions, 1, "single resident instance");
+        assert_eq!(stats.duplicate_admissions, 1, "loser resolved explicitly");
+        assert_eq!(shared.pool().len(), 1);
+        shared.pool().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_loser_chain_stays_admissible() {
+        // Race the SELECT (whose executed results carry distinct BatIds,
+        // unlike binds, which the catalog caches): the losing session's
+        // result is aliased onto the resident entry, so its downstream
+        // count still passes admission coherence instead of being
+        // silently rejected.
+        let shared = SharedRecycler::new(RecyclerConfig::default());
+        let cat = catalog(1000);
+        let mut s1 = shared.session();
+        let mut s2 = shared.session();
+
+        use rmal::optimizer::OptPass as _;
+        let mut prog = range_template();
+        crate::mark::RecycleMark.run(&mut prog, &cat);
+        let bind = prog.instrs[0].clone();
+        let select = prog.instrs[1].clone();
+        let count = prog.instrs[2].clone();
+        let bind_args = vec![Value::str("t"), Value::str("x")];
+
+        s1.query_start(&prog);
+        s2.query_start(&prog);
+        // s1 admits the bind; s2 hits it — both sessions now hold the
+        // same column BAT, so their select signatures agree.
+        assert!(matches!(
+            s1.before(&cat, 0, &bind, &bind_args),
+            HookAction::Proceed
+        ));
+        let col = rmal::execute_op(&cat, &bind.op, &bind_args).unwrap();
+        s1.after(
+            &cat,
+            0,
+            &bind,
+            &bind_args,
+            &col,
+            Duration::from_micros(5),
+            false,
+        );
+        let col2 = match s2.before(&cat, 0, &bind, &bind_args) {
+            HookAction::Reuse(v) => v,
+            other => panic!("bind must hit, got {other:?}"),
+        };
+        // both probe the select before either admits it (the race window)
+        let sel_args = |c: &Value| {
+            vec![
+                c.clone(),
+                Value::Int(100),
+                Value::Int(600),
+                Value::Bool(true),
+                Value::Bool(true),
+            ]
+        };
+        let a1 = sel_args(&col);
+        let a2 = sel_args(&col2);
+        assert!(matches!(
+            s1.before(&cat, 1, &select, &a1),
+            HookAction::Proceed
+        ));
+        assert!(matches!(
+            s2.before(&cat, 1, &select, &a2),
+            HookAction::Proceed
+        ));
+        let sel1 = rmal::execute_op(&cat, &select.op, &a1).unwrap();
+        let sel2 = rmal::execute_op(&cat, &select.op, &a2).unwrap();
+        assert_ne!(
+            sel1.as_bat().unwrap().id(),
+            sel2.as_bat().unwrap().id(),
+            "distinct materialisations"
+        );
+        s1.after(
+            &cat,
+            1,
+            &select,
+            &a1,
+            &sel1,
+            Duration::from_micros(5),
+            false,
+        );
+        s2.after(
+            &cat,
+            1,
+            &select,
+            &a2,
+            &sel2,
+            Duration::from_micros(5),
+            false,
+        );
+        assert_eq!(shared.stats().duplicate_admissions, 1);
+
+        // the loser's downstream count references ITS select result
+        let cnt_args = vec![sel2.clone()];
+        assert!(matches!(
+            s2.before(&cat, 2, &count, &cnt_args),
+            HookAction::Proceed
+        ));
+        let n = rmal::execute_op(&cat, &count.op, &cnt_args).unwrap();
+        let rejects_before = shared.stats().admission_rejects;
+        s2.after(
+            &cat,
+            2,
+            &count,
+            &cnt_args,
+            &n,
+            Duration::from_micros(5),
+            false,
+        );
+        assert_eq!(
+            shared.stats().admission_rejects,
+            rejects_before,
+            "aliased lineage must keep the loser's chain admissible"
+        );
+        s1.query_end(&prog);
+        s2.query_end(&prog);
+        shared.pool().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn eviction_never_frees_entries_pinned_by_another_session() {
+        // Session A starts a query and hits an entry (pinning it); session
+        // B then floods a tiny pool. A's pinned entry must survive B's
+        // evictions.
+        let shared = SharedRecycler::new(RecyclerConfig::default().entry_limit(2));
+        let cat = catalog(1000);
+        let mut a = Engine::with_hook(cat.clone(), shared.session());
+        a.add_pass(Box::new(crate::mark::RecycleMark));
+        let mut t = range_template();
+        a.optimize(&mut t);
+        // admit the bind + select + count thread
+        a.run(&t, &[Value::Int(1), Value::Int(2)]).unwrap();
+        let protected_sig = {
+            let pool = shared.pool();
+            let sig = pool
+                .iter()
+                .find(|e| e.family == "bind")
+                .unwrap()
+                .sig
+                .clone();
+            sig
+        };
+
+        // hold a pin from a simulated in-flight query of session A
+        let mut holder = shared.session();
+        holder.query_start(&t);
+        let bind_instr = t.instrs[0].clone();
+        let bind_args = vec![Value::str("t"), Value::str("x")];
+        let action = holder.before(&cat, 0, &bind_instr, &bind_args);
+        assert!(matches!(action, HookAction::Reuse(_)), "bind must hit");
+
+        // session B floods the pool with disjoint selections
+        let mut b = Engine::with_hook(cat.clone(), shared.session());
+        b.add_pass(Box::new(crate::mark::RecycleMark));
+        for i in 0..6 {
+            b.run(&t, &[Value::Int(i * 50), Value::Int(i * 50 + 30)])
+                .unwrap();
+        }
+        assert!(shared.stats().evictions > 0, "pressure must evict");
+        assert!(
+            shared.pool().lookup(&protected_sig).is_some(),
+            "the entry pinned by the in-flight session must survive"
+        );
+        holder.query_end(&t);
+        shared.pool().check_invariants().unwrap();
     }
 }

@@ -1,0 +1,499 @@
+//! The shared half of the recycler: one pool, many sessions.
+//!
+//! The paper's recycler lives inside the server process and is shared by
+//! *all* user sessions — cross-query reuse between concurrent query
+//! streams is where the SkyServer gains come from (§8). This module holds
+//! everything that is per-*server* rather than per-*session*:
+//!
+//! * the [`RecyclePool`] itself, the persistent-BAT registry and the pin
+//!   table (entries currently referenced by some session's running query),
+//!   all behind one [`RwLock`] — exact-match and subsumption *probes* take
+//!   the read lock and run concurrently; admissions, hit bookkeeping,
+//!   eviction and update synchronisation take the write lock;
+//! * the CREDIT/ADAPT accounts behind a separate [`Mutex`] — they are
+//!   touched on every admission decision but never during probe-only
+//!   instructions, so keeping them off the pool lock shortens the write
+//!   sections;
+//! * lifetime statistics as plain atomics, so sessions never contend just
+//!   to count.
+//!
+//! # Locking invariants
+//!
+//! 1. **Order:** the pool lock (`state`) is always acquired *before* the
+//!    accounts lock. Code holding `accounts` must never touch `state`.
+//! 2. **No lock across execution:** operator execution (the expensive
+//!    part) happens outside the write lock; only combined-subsumption
+//!    piecing executes under the *read* lock (it reads pooled BATs).
+//! 3. **Probe–act revalidation:** a probe under the read lock is only a
+//!    hint. Before acting on a hit the session re-acquires the write lock
+//!    and looks the signature up again — the entry may have been evicted
+//!    or invalidated in between.
+//! 4. **First writer wins:** two sessions may concurrently compute and
+//!    admit the same signature. [`RecyclePool::insert`] keeps the first
+//!    entry and reports the duplicate; the loser's copy is dropped, its
+//!    admission credit returned, and `duplicate_admissions` incremented.
+//!    The paper's pool semantics allow this: both results are equivalent,
+//!    only one instance may be resident.
+//! 5. **Pins are inviolable:** an entry pinned by *any* session (hit,
+//!    subsumption source or fresh admission of a running query) is never
+//!    evicted. When nothing evictable remains, admission fails instead
+//!    (`admission_rejects`) — under concurrency, evicting another
+//!    session's working set to make room for ours would thrash.
+
+use std::collections::BTreeSet;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
+
+use rbat::hash::{FxHashMap, FxHashSet};
+use rbat::{BatId, Catalog};
+use rmal::{Instr, Opcode};
+
+use crate::config::{AdmissionPolicy, RecyclerConfig};
+use crate::entry::{EntryId, InstrKey};
+use crate::pool::RecyclePool;
+use crate::runtime::Recycler;
+use crate::stats::{PoolSnapshot, RecyclerStats};
+
+/// Pool-side state guarded by the [`SharedRecycler`]'s `RwLock`.
+pub(crate) struct PoolState {
+    /// The recycle pool.
+    pub(crate) pool: RecyclePool,
+    /// Pin counts: entries referenced by some session's current query.
+    /// A pinned entry is never evicted (invariant 5); invalidation may
+    /// still remove it — correctness beats retention.
+    pub(crate) pins: FxHashMap<EntryId, u32>,
+    /// Persistent BATs (bound columns, join indices) with base-column
+    /// lineage: stable identities admission may reference without a
+    /// pool-resident producer. Shared across sessions — `Catalog` clones
+    /// `Arc`-share their column BATs, so ids agree between sessions.
+    pub(crate) persistent: FxHashMap<BatId, BTreeSet<(String, String)>>,
+    /// Monotone event counter (LRU / HP ageing), advanced under the write
+    /// lock only.
+    pub(crate) tick: u64,
+}
+
+impl PoolState {
+    fn new() -> PoolState {
+        PoolState {
+            pool: RecyclePool::new(),
+            pins: FxHashMap::default(),
+            persistent: FxHashMap::default(),
+            tick: 0,
+        }
+    }
+
+    /// Advance and return the event clock.
+    pub(crate) fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// The eviction-protected set: every pinned entry, regardless of
+    /// which session pinned it.
+    pub(crate) fn protected(&self) -> FxHashSet<EntryId> {
+        self.pins.keys().copied().collect()
+    }
+
+    /// Base `(table, column)` lineage of an instruction's arguments
+    /// (paper §6.4) — resolved against pooled producers and persistent
+    /// registrations.
+    pub(crate) fn base_columns_of(
+        &self,
+        catalog: &Catalog,
+        instr: &Instr,
+        args: &[rbat::Value],
+    ) -> BTreeSet<(String, String)> {
+        let mut cols = BTreeSet::new();
+        match instr.op {
+            Opcode::Bind => {
+                if let (Some(t), Some(c)) = (
+                    args.first().and_then(|v| v.as_str()),
+                    args.get(1).and_then(|v| v.as_str()),
+                ) {
+                    cols.insert((t.to_string(), c.to_string()));
+                }
+            }
+            Opcode::BindIdx => {
+                if let Some(name) = args.first().and_then(|v| v.as_str()) {
+                    if let Some(def) = catalog.index_def(name) {
+                        cols.insert((def.from_table.clone(), def.from_column.clone()));
+                        cols.insert((def.to_table.clone(), def.to_key.clone()));
+                    }
+                }
+            }
+            _ => {
+                for a in args {
+                    if let rbat::Value::Bat(b) = a {
+                        if let Some(eid) = self.pool.entry_of_result(b.id()) {
+                            if let Some(e) = self.pool.get(eid) {
+                                cols.extend(e.base_columns.iter().cloned());
+                            }
+                        } else if let Some(pcols) = self.persistent.get(&b.id()) {
+                            cols.extend(pcols.iter().cloned());
+                        }
+                    }
+                }
+            }
+        }
+        cols
+    }
+}
+
+/// Credit/ADAPT bookkeeping, guarded by its own mutex (lock-order: after
+/// the pool lock, never before).
+#[derive(Default)]
+pub(crate) struct AccountState {
+    credits: FxHashMap<InstrKey, i64>,
+    template_invocations: FxHashMap<u64, u64>,
+    instr_reuses: FxHashMap<InstrKey, u64>,
+    adapt_unlimited: FxHashSet<InstrKey>,
+    adapt_banned: FxHashSet<InstrKey>,
+}
+
+/// Lifetime counters as atomics: incremented from any session without a
+/// lock, snapshot into [`RecyclerStats`] on demand.
+#[derive(Default)]
+pub(crate) struct SharedStats {
+    monitored: AtomicU64,
+    hits: AtomicU64,
+    local_hits: AtomicU64,
+    global_hits: AtomicU64,
+    cross_session_hits: AtomicU64,
+    subsumed: AtomicU64,
+    admissions: AtomicU64,
+    admission_rejects: AtomicU64,
+    duplicate_admissions: AtomicU64,
+    evictions: AtomicU64,
+    invalidated: AtomicU64,
+    propagated: AtomicU64,
+    time_saved_ns: AtomicU64,
+    overhead_ns: AtomicU64,
+    subsume_search_ns: AtomicU64,
+}
+
+#[inline]
+fn add_ns(cell: &AtomicU64, d: Duration) {
+    cell.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+}
+
+#[inline]
+fn bump(cell: &AtomicU64) {
+    cell.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The shared concurrent recycler service: one instance per server, any
+/// number of [`Recycler`] session handles attached via [`Self::session`].
+pub struct SharedRecycler {
+    config: RecyclerConfig,
+    pub(crate) state: RwLock<PoolState>,
+    accounts: Mutex<AccountState>,
+    stats: SharedStats,
+    invocations: AtomicU64,
+    session_ids: AtomicU64,
+}
+
+/// Read access to the live pool: an RAII guard dereferencing to
+/// [`RecyclePool`]. Hold it only briefly — it blocks admissions, hit
+/// bookkeeping and eviction in every session.
+pub struct PoolRef<'a> {
+    guard: RwLockReadGuard<'a, PoolState>,
+}
+
+impl Deref for PoolRef<'_> {
+    type Target = RecyclePool;
+
+    fn deref(&self) -> &RecyclePool {
+        &self.guard.pool
+    }
+}
+
+impl SharedRecycler {
+    /// Create a shared recycler service with the given configuration.
+    pub fn new(config: RecyclerConfig) -> Arc<SharedRecycler> {
+        Arc::new(SharedRecycler {
+            config,
+            state: RwLock::new(PoolState::new()),
+            accounts: Mutex::new(AccountState::default()),
+            stats: SharedStats::default(),
+            invocations: AtomicU64::new(0),
+            session_ids: AtomicU64::new(0),
+        })
+    }
+
+    /// Attach a new session. Sessions are cheap: a handle plus per-query
+    /// scratch state; create one per connection/thread.
+    pub fn session(self: &Arc<Self>) -> Recycler {
+        Recycler::attach(Arc::clone(self))
+    }
+
+    /// The live configuration (immutable after construction — a concurrent
+    /// service cannot honour per-session policy changes).
+    pub fn config(&self) -> RecyclerConfig {
+        self.config
+    }
+
+    /// Number of sessions ever attached.
+    pub fn session_count(&self) -> u64 {
+        self.session_ids.load(Ordering::Relaxed)
+    }
+
+    // ----- lock plumbing ---------------------------------------------------
+
+    pub(crate) fn read_state(&self) -> RwLockReadGuard<'_, PoolState> {
+        self.state.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn write_state(&self) -> RwLockWriteGuard<'_, PoolState> {
+        self.state.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_accounts(&self) -> MutexGuard<'_, AccountState> {
+        self.accounts.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Read access to the pool (diagnostics, tests, experiment harness).
+    pub fn pool(&self) -> PoolRef<'_> {
+        PoolRef {
+            guard: self.read_state(),
+        }
+    }
+
+    /// Snapshot of the pool content (Table III material).
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot::capture(&self.read_state().pool)
+    }
+
+    /// Empty the recycle pool (the experiments' "emptied recycle pool"
+    /// preparation step) without resetting credit accounts or statistics.
+    /// The entry-id counter stays monotone so stale per-session pin sets
+    /// can never alias a post-clear entry.
+    pub fn clear_pool(&self) {
+        let mut st = self.write_state();
+        st.pool.clear();
+        st.pins.clear();
+    }
+
+    /// Reset pool, accounts and statistics. Affects every attached
+    /// session — this is a server-wide operation. Entry ids and the event
+    /// clock stay monotone (see [`Self::clear_pool`]).
+    pub fn reset(&self) {
+        {
+            let mut st = self.write_state();
+            st.pool.clear();
+            st.pins.clear();
+            st.persistent.clear();
+        }
+        *self.lock_accounts() = AccountState::default();
+        let s = &self.stats;
+        for cell in [
+            &s.monitored,
+            &s.hits,
+            &s.local_hits,
+            &s.global_hits,
+            &s.cross_session_hits,
+            &s.subsumed,
+            &s.admissions,
+            &s.admission_rejects,
+            &s.duplicate_admissions,
+            &s.evictions,
+            &s.invalidated,
+            &s.propagated,
+            &s.time_saved_ns,
+            &s.overhead_ns,
+            &s.subsume_search_ns,
+        ] {
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+
+    // ----- statistics ------------------------------------------------------
+
+    /// Snapshot the lifetime statistics.
+    pub fn stats(&self) -> RecyclerStats {
+        let s = &self.stats;
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        RecyclerStats {
+            monitored: ld(&s.monitored),
+            hits: ld(&s.hits),
+            local_hits: ld(&s.local_hits),
+            global_hits: ld(&s.global_hits),
+            cross_session_hits: ld(&s.cross_session_hits),
+            subsumed: ld(&s.subsumed),
+            admissions: ld(&s.admissions),
+            admission_rejects: ld(&s.admission_rejects),
+            duplicate_admissions: ld(&s.duplicate_admissions),
+            evictions: ld(&s.evictions),
+            invalidated: ld(&s.invalidated),
+            propagated: ld(&s.propagated),
+            sessions: self.session_count(),
+            time_saved: Duration::from_nanos(ld(&s.time_saved_ns)),
+            overhead: Duration::from_nanos(ld(&s.overhead_ns)),
+            subsume_search: Duration::from_nanos(ld(&s.subsume_search_ns)),
+        }
+    }
+
+    pub(crate) fn next_invocation(&self) -> u64 {
+        self.invocations.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub(crate) fn next_session_id(&self) -> u64 {
+        self.session_ids.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub(crate) fn count_monitored(&self) {
+        bump(&self.stats.monitored);
+    }
+
+    pub(crate) fn count_hit(&self, local: bool, cross_session: bool, saved: Duration) {
+        bump(&self.stats.hits);
+        if local {
+            bump(&self.stats.local_hits);
+        } else {
+            bump(&self.stats.global_hits);
+        }
+        if cross_session {
+            bump(&self.stats.cross_session_hits);
+        }
+        add_ns(&self.stats.time_saved_ns, saved);
+    }
+
+    pub(crate) fn count_subsumed(&self) {
+        bump(&self.stats.subsumed);
+    }
+
+    pub(crate) fn count_admission(&self) {
+        bump(&self.stats.admissions);
+    }
+
+    pub(crate) fn count_admission_reject(&self) {
+        bump(&self.stats.admission_rejects);
+    }
+
+    pub(crate) fn count_duplicate_admission(&self) {
+        bump(&self.stats.duplicate_admissions);
+    }
+
+    pub(crate) fn count_evictions(&self, n: u64) {
+        self.stats.evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_invalidated(&self, n: u64) {
+        self.stats.invalidated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_propagated(&self, n: u64) {
+        self.stats.propagated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_overhead(&self, d: Duration) {
+        add_ns(&self.stats.overhead_ns, d);
+    }
+
+    pub(crate) fn add_subsume_search(&self, d: Duration) {
+        add_ns(&self.stats.subsume_search_ns, d);
+    }
+
+    // ----- credit / ADAPT accounts ----------------------------------------
+
+    /// Note one invocation of `template` (ADAPT decision input).
+    pub(crate) fn note_invocation(&self, template: u64) {
+        *self
+            .lock_accounts()
+            .template_invocations
+            .entry(template)
+            .or_insert(0) += 1;
+    }
+
+    /// Note a reuse of `creator`'s instances; optionally return its
+    /// admission credit (first local reuse, paper §4.2).
+    pub(crate) fn note_reuse(&self, creator: InstrKey, return_credit: bool) {
+        let mut acc = self.lock_accounts();
+        *acc.instr_reuses.entry(creator).or_insert(0) += 1;
+        if return_credit {
+            *acc.credits.entry(creator).or_insert(0) += 1;
+        }
+    }
+
+    /// The admission decision of `recycleExit` (paper §4.2, ADAPT §7.2).
+    pub(crate) fn admission_allows(&self, key: InstrKey) -> bool {
+        let mut acc = self.lock_accounts();
+        match self.config.admission {
+            AdmissionPolicy::KeepAll => true,
+            AdmissionPolicy::Credit(k) => {
+                let c = acc.credits.entry(key).or_insert(k as i64);
+                if *c > 0 {
+                    *c -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            AdmissionPolicy::Adaptive(k) => {
+                if acc.adapt_unlimited.contains(&key) {
+                    return true;
+                }
+                if acc.adapt_banned.contains(&key) {
+                    return false;
+                }
+                let invocations = acc.template_invocations.get(&key.0).copied().unwrap_or(0);
+                if invocations > k as u64 {
+                    // decision time: reused at least once → unlimited
+                    if acc.instr_reuses.get(&key).copied().unwrap_or(0) >= 1 {
+                        acc.adapt_unlimited.insert(key);
+                        return true;
+                    }
+                    acc.adapt_banned.insert(key);
+                    return false;
+                }
+                let c = acc.credits.entry(key).or_insert(k as i64);
+                if *c > 0 {
+                    *c -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Return a charged credit after an admission that did not complete
+    /// (room could not be made, or a concurrent duplicate won the race).
+    pub(crate) fn undo_admission_charge(&self, key: InstrKey) {
+        if matches!(
+            self.config.admission,
+            AdmissionPolicy::Credit(_) | AdmissionPolicy::Adaptive(_)
+        ) {
+            if let Some(c) = self.lock_accounts().credits.get_mut(&key) {
+                *c += 1;
+            }
+        }
+    }
+
+    /// Settle evicted entries: statistics plus the deferred credit return
+    /// of globally reused instances (paper §4.2). Called while holding the
+    /// pool write lock — consistent with the lock order.
+    pub(crate) fn settle_evictions(&self, evicted: &[crate::entry::PoolEntry]) {
+        self.count_evictions(evicted.len() as u64);
+        let mut acc = self.lock_accounts();
+        for e in evicted {
+            if e.global_reuses > 0 && !e.credit_returned {
+                *acc.credits.entry(e.creator).or_insert(0) += 1;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedRecycler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.read_state();
+        f.debug_struct("SharedRecycler")
+            .field("config", &self.config)
+            .field("entries", &st.pool.len())
+            .field("bytes", &st.pool.bytes())
+            .field("pinned", &st.pins.len())
+            .field("sessions", &self.session_count())
+            .finish()
+    }
+}

@@ -17,12 +17,23 @@ pub struct RecyclerStats {
     pub local_hits: u64,
     /// ... of which across invocations (global).
     pub global_hits: u64,
+    /// ... of which admitted by a *different session* than the one
+    /// hitting — the cross-session reuse a shared pool exists for (a
+    /// subset of `global_hits`).
+    pub cross_session_hits: u64,
     /// Instructions executed in subsumed (rewritten or pieced) form.
     pub subsumed: u64,
     /// Results admitted to the pool.
     pub admissions: u64,
     /// Admissions declined by the admission policy.
     pub admission_rejects: u64,
+    /// Concurrent duplicate admissions resolved first-writer-wins: the
+    /// session computed a result another session had already admitted
+    /// under the same signature; its copy was dropped and its credit
+    /// returned.
+    pub duplicate_admissions: u64,
+    /// Sessions ever attached to the shared recycler.
+    pub sessions: u64,
     /// Entries evicted under resource pressure.
     pub evictions: u64,
     /// Entries invalidated by updates.

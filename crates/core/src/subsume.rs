@@ -215,10 +215,7 @@ fn covers(target: &SelectBounds, pieces: &[(EntryId, SelectBounds)]) -> bool {
         if b.hi.is_nil() {
             cur_hi = Value::Nil;
             cur_incl = true;
-        } else if matches!(
-            b.hi.cmp_same(&cur_hi),
-            Some(std::cmp::Ordering::Greater)
-        ) {
+        } else if matches!(b.hi.cmp_same(&cur_hi), Some(std::cmp::Ordering::Greater)) {
             cur_hi = b.hi.clone();
             cur_incl = b.hi_incl;
         }
@@ -399,9 +396,7 @@ pub fn subsume_combined(
         } else {
             match target.hi.cmp_same(&b.hi) {
                 Some(std::cmp::Ordering::Less) => (target.hi.clone(), target.hi_incl),
-                Some(std::cmp::Ordering::Equal) => {
-                    (target.hi.clone(), target.hi_incl && b.hi_incl)
-                }
+                Some(std::cmp::Ordering::Equal) => (target.hi.clone(), target.hi_incl && b.hi_incl),
                 _ => (b.hi.clone(), b.hi_incl),
             }
         };
@@ -448,10 +443,7 @@ pub fn subsume_combined(
 /// Execute a combined-subsumption plan: select each segment from its piece
 /// and concatenate. The caller admits the result under the original
 /// instruction signature.
-pub fn execute_combined(
-    pool: &RecyclePool,
-    segments: &[(EntryId, SelectBounds)],
-) -> Option<Bat> {
+pub fn execute_combined(pool: &RecyclePool, segments: &[(EntryId, SelectBounds)]) -> Option<Bat> {
     let mut parts: Vec<Bat> = Vec::with_capacity(segments.len());
     for (id, seg) in segments {
         let piece = pool.get(*id)?.result.as_bat()?;
@@ -499,6 +491,7 @@ mod tests {
             admitted_tick: 0,
             last_used: 0,
             admitted_invocation: 0,
+            admitted_session: 0,
             local_reuses: 0,
             global_reuses: 0,
             subsumption_uses: 0,
@@ -507,7 +500,7 @@ mod tests {
             credit_returned: false,
         };
         let rid = result.id();
-        let id = pool.insert(e);
+        let id = pool.insert(e).id();
         pool.add_subset_edge(rid, base.id());
         id
     }
@@ -526,7 +519,10 @@ mod tests {
         let narrow = admit_select(&mut pool, &base, 30, 60);
         let args = select_args(&base, 40, 50);
         match subsume_select(&pool, &args) {
-            Some(Subsumption::Rewrite { args: new_args, source }) => {
+            Some(Subsumption::Rewrite {
+                args: new_args,
+                source,
+            }) => {
                 assert_eq!(source, narrow, "smaller candidate wins over {wide}");
                 let src_bat = new_args[0].as_bat().unwrap();
                 assert_eq!(src_bat.id(), pool.get(narrow).unwrap().result_id.unwrap());
@@ -551,14 +547,12 @@ mod tests {
         let mut pool = RecyclePool::new();
         admit_select(&mut pool, &base, 10, 80);
         let args = select_args(&base, 20, 40);
-        let Some(Subsumption::Rewrite { args: new_args, .. }) = subsume_select(&pool, &args)
-        else {
+        let Some(Subsumption::Rewrite { args: new_args, .. }) = subsume_select(&pool, &args) else {
             panic!("expected rewrite");
         };
         let bounds = SelectBounds::closed(Value::Int(20), Value::Int(40));
         let regular = ops::select(&base, &bounds).unwrap();
-        let rewritten =
-            ops::select(new_args[0].as_bat().unwrap(), &bounds).unwrap();
+        let rewritten = ops::select(new_args[0].as_bat().unwrap(), &bounds).unwrap();
         assert_eq!(regular.canonical_tuples(), rewritten.canonical_tuples());
     }
 
@@ -569,10 +563,9 @@ mod tests {
         admit_select(&mut pool, &base, 3, 7); // X1
         admit_select(&mut pool, &base, 5, 15); // X2
         admit_select(&mut pool, &base, 6, 40); // X3
-        // the paper's example: target [4, 8]
+                                               // the paper's example: target [4, 8]
         let args = select_args(&base, 4, 8);
-        let Some(Subsumption::Combined { segments, .. }) =
-            subsume_combined(&pool, &args, 16)
+        let Some(Subsumption::Combined { segments, .. }) = subsume_combined(&pool, &args, 16)
         else {
             panic!("expected combined subsumption");
         };
@@ -602,13 +595,11 @@ mod tests {
         let small_b = admit_select(&mut pool, &base, 7, 12);
         let huge = admit_select(&mut pool, &base, 0, 99); // covers alone but big
         let args = select_args(&base, 4, 8);
-        let Some(Subsumption::Combined { segments, .. }) =
-            subsume_combined(&pool, &args, 16)
+        let Some(Subsumption::Combined { segments, .. }) = subsume_combined(&pool, &args, 16)
         else {
             panic!("expected combined");
         };
-        let used: std::collections::HashSet<EntryId> =
-            segments.iter().map(|(id, _)| *id).collect();
+        let used: std::collections::HashSet<EntryId> = segments.iter().map(|(id, _)| *id).collect();
         assert!(!used.contains(&huge), "full scan of {huge} is costlier");
         assert!(used.contains(&small_a) || used.contains(&small_b));
     }
@@ -623,9 +614,7 @@ mod tests {
         let v_bat = pool.get(v_id).unwrap().result.clone();
         // admit semijoin(X, V)
         let sj_args = vec![Value::Bat(Arc::clone(&x)), v_bat.clone()];
-        let sj_res = Arc::new(
-            ops::semijoin(&x, v_bat.as_bat().unwrap()).unwrap(),
-        );
+        let sj_res = Arc::new(ops::semijoin(&x, v_bat.as_bat().unwrap()).unwrap());
         let e = PoolEntry {
             id: pool.next_id(),
             sig: Sig::of(Opcode::Semijoin, &sj_args),
@@ -640,6 +629,7 @@ mod tests {
             admitted_tick: 0,
             last_used: 0,
             admitted_invocation: 0,
+            admitted_session: 0,
             local_reuses: 0,
             global_reuses: 0,
             subsumption_uses: 0,
@@ -647,31 +637,21 @@ mod tests {
             time_saved: Duration::ZERO,
             credit_returned: false,
         };
-        let sj_id = pool.insert(e);
+        let sj_id = pool.insert(e).id();
         // W ⊂ V: a narrower selection, subset edge recorded vs V's result
         let w_id = admit_select(&mut pool, &sel_col, 20, 40);
         let w_res = pool.get(w_id).unwrap().result.clone();
         let v_res_id = pool.get(v_id).unwrap().result_id.unwrap();
-        pool.add_subset_edge(
-            pool.get(w_id).unwrap().result_id.unwrap(),
-            v_res_id,
-        );
+        pool.add_subset_edge(pool.get(w_id).unwrap().result_id.unwrap(), v_res_id);
         let target_args = vec![Value::Bat(Arc::clone(&x)), w_res.clone()];
         match subsume_semijoin(&pool, &target_args) {
             Some(Subsumption::Rewrite { args, source }) => {
                 assert_eq!(source, sj_id);
                 // correctness: semijoin(sj_result, W) == semijoin(X, W)
-                let rewritten = ops::semijoin(
-                    args[0].as_bat().unwrap(),
-                    w_res.as_bat().unwrap(),
-                )
-                .unwrap();
-                let regular =
-                    ops::semijoin(&x, w_res.as_bat().unwrap()).unwrap();
-                assert_eq!(
-                    rewritten.canonical_tuples(),
-                    regular.canonical_tuples()
-                );
+                let rewritten =
+                    ops::semijoin(args[0].as_bat().unwrap(), w_res.as_bat().unwrap()).unwrap();
+                let regular = ops::semijoin(&x, w_res.as_bat().unwrap()).unwrap();
+                assert_eq!(rewritten.canonical_tuples(), regular.canonical_tuples());
             }
             other => panic!("expected rewrite, got {other:?}"),
         }

@@ -135,11 +135,7 @@ impl Bat {
             tail_sorted: true,
             tail_nonil: true,
         };
-        Bat::new(
-            self.head.clone(),
-            Column::dense(base, self.len()),
-            props,
-        )
+        Bat::new(self.head.clone(), Column::dense(base, self.len()), props)
     }
 
     /// Zero-copy window over a contiguous tuple range.

@@ -13,7 +13,7 @@ impl Bitmap {
         let nwords = len.div_ceil(64);
         let fill = if value { u64::MAX } else { 0 };
         let mut words = vec![fill; nwords];
-        if value && len % 64 != 0 {
+        if value && !len.is_multiple_of(64) {
             // clear the padding bits so count_ones stays exact
             if let Some(last) = words.last_mut() {
                 *last = (1u64 << (len % 64)) - 1;
@@ -74,7 +74,7 @@ impl Bitmap {
 
     /// Append a bit, growing the bitmap by one.
     pub fn push(&mut self, value: bool) {
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.words.push(0);
         }
         self.len += 1;

@@ -253,7 +253,10 @@ mod tests {
 
     #[test]
     fn dense_slice_shifts_start() {
-        let b = Buffer::Dense { start: 100, len: 10 };
+        let b = Buffer::Dense {
+            start: 100,
+            len: 10,
+        };
         let s = b.slice(4, 3);
         assert_eq!(s.value(0), Value::Oid(Oid(104)));
         assert_eq!(s.oid_at(2), Some(106));

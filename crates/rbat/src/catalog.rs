@@ -54,10 +54,7 @@ impl Table {
     }
 
     fn column_type(&self, name: &str) -> Option<LogicalType> {
-        self.schema
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, t)| *t)
+        self.schema.iter().find(|(n, _)| n == name).map(|(_, t)| *t)
     }
 }
 
@@ -437,11 +434,8 @@ mod tests {
     fn append_commit_extends_columns() {
         let mut cat = orders_lineitem();
         let before = cat.bind("orders", "o_orderkey").unwrap();
-        cat.append(
-            "orders",
-            vec![vec![Value::Int(400), Value::Float(40.0)]],
-        )
-        .unwrap();
+        cat.append("orders", vec![vec![Value::Int(400), Value::Float(40.0)]])
+            .unwrap();
         // staged, not yet visible
         assert_eq!(cat.table("orders").unwrap().nrows(), 3);
         let report = cat.commit("orders").unwrap();

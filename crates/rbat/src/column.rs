@@ -160,12 +160,7 @@ impl Column {
         if self.view {
             std::mem::size_of::<Column>()
         } else {
-            self.buf.byte_size()
-                + self
-                    .validity
-                    .as_ref()
-                    .map(|v| v.byte_size())
-                    .unwrap_or(0)
+            self.buf.byte_size() + self.validity.as_ref().map(|v| v.byte_size()).unwrap_or(0)
         }
     }
 
@@ -372,7 +367,10 @@ mod tests {
         let c = Column::from_strs(["a", "b", "c", "d"]);
         let g = c.gather(&[3, 1, 1]);
         let vals: Vec<Value> = g.iter_values().collect();
-        assert_eq!(vals, vec![Value::str("d"), Value::str("b"), Value::str("b")]);
+        assert_eq!(
+            vals,
+            vec![Value::str("d"), Value::str("b"), Value::str("b")]
+        );
         assert!(!g.is_view());
     }
 

@@ -97,9 +97,8 @@ pub fn calc(l: &Bat, rhs: &CalcRhs<'_>, op: CalcOp) -> Result<Bat> {
             .logical_type()
             .ok_or_else(|| BatError::type_mismatch("calc", "non-scalar rhs"))?,
     };
-    let float_out = op == CalcOp::Div
-        || l.tail_type() == LogicalType::Float
-        || rhs_ty == LogicalType::Float;
+    let float_out =
+        op == CalcOp::Div || l.tail_type() == LogicalType::Float || rhs_ty == LogicalType::Float;
     let out_ty = if float_out {
         LogicalType::Float
     } else {
@@ -182,12 +181,7 @@ mod tests {
     fn arithmetic_scalar() {
         let b = Bat::from_tail(Column::from_floats(vec![1.0, 0.9]));
         // the TPC-H revenue idiom: extendedprice * (1 - discount)
-        let one_minus = calc(
-            &b,
-            &CalcRhs::Scalar(Value::Float(1.0)),
-            CalcOp::Sub,
-        )
-        .unwrap();
+        let one_minus = calc(&b, &CalcRhs::Scalar(Value::Float(1.0)), CalcOp::Sub).unwrap();
         let neg = calc(
             &one_minus,
             &CalcRhs::Scalar(Value::Float(-1.0)),

@@ -97,7 +97,7 @@ fn group_ids(tail: &Column) -> Result<Vec<u64>> {
 }
 
 fn remap_sentinel(gids: &mut [u64]) {
-    if gids.iter().any(|&g| g == u64::MAX) {
+    if gids.contains(&u64::MAX) {
         let max = gids.iter().filter(|&&g| g != u64::MAX).max().copied();
         let null_gid = max.map(|m| m + 1).unwrap_or(0);
         for g in gids.iter_mut() {

@@ -17,9 +17,8 @@ use crate::props::Props;
 pub fn join(l: &Bat, r: &Bat) -> Result<Bat> {
     // Fetch-join fast path: positional lookup into a dense head.
     if let TypedSlice::Dense { start, len } = r.head().typed() {
-        let lkeys = u64_keys(l.tail()).ok_or_else(|| {
-            BatError::type_mismatch("join", "string fetch-join keys unsupported")
-        })?;
+        let lkeys = u64_keys(l.tail())
+            .ok_or_else(|| BatError::type_mismatch("join", "string fetch-join keys unsupported"))?;
         let mut li: Vec<u32> = Vec::new();
         let mut ri: Vec<u32> = Vec::new();
         for (i, key) in lkeys.iter().enumerate() {
@@ -57,8 +56,18 @@ pub fn join(l: &Bat, r: &Bat) -> Result<Bat> {
         }
         (None, None) => {
             // String join.
-            let (TypedSlice::Str { buf: lb, offset: lo, len: ll }, TypedSlice::Str { buf: rb, offset: ro, len: rl }) =
-                (l.tail().typed(), r.head().typed())
+            let (
+                TypedSlice::Str {
+                    buf: lb,
+                    offset: lo,
+                    len: ll,
+                },
+                TypedSlice::Str {
+                    buf: rb,
+                    offset: ro,
+                    len: rl,
+                },
+            ) = (l.tail().typed(), r.head().typed())
             else {
                 return Err(BatError::type_mismatch("join", "mixed join key types"));
             };
@@ -133,8 +142,18 @@ fn filter_by_head(l: &Bat, r: &Bat, keep_members: bool) -> Result<Bat> {
                 .collect()
         }
         (None, None) => {
-            let (TypedSlice::Str { buf: lb, offset: lo, len: ll }, TypedSlice::Str { buf: rb, offset: ro, len: rl }) =
-                (l.head().typed(), r.head().typed())
+            let (
+                TypedSlice::Str {
+                    buf: lb,
+                    offset: lo,
+                    len: ll,
+                },
+                TypedSlice::Str {
+                    buf: rb,
+                    offset: ro,
+                    len: rl,
+                },
+            ) = (l.head().typed(), r.head().typed())
             else {
                 return Err(BatError::type_mismatch("semijoin", "mixed head types"));
             };
@@ -143,20 +162,14 @@ fn filter_by_head(l: &Bat, r: &Bat, keep_members: bool) -> Result<Bat> {
                 .map(|j| rb.get(ro + j))
                 .collect();
             (0..ll)
-                .filter(|&i| {
-                    l.head().is_valid(i) && set.contains(lb.get(lo + i)) == keep_members
-                })
+                .filter(|&i| l.head().is_valid(i) && set.contains(lb.get(lo + i)) == keep_members)
                 .map(|i| i as u32)
                 .collect()
         }
         _ => {
             return Err(BatError::type_mismatch(
                 "semijoin",
-                format!(
-                    "head types differ: {} vs {}",
-                    l.head_type(),
-                    r.head_type()
-                ),
+                format!("head types differ: {} vs {}", l.head_type(), r.head_type()),
             ))
         }
     };

@@ -341,11 +341,7 @@ mod tests {
     #[test]
     fn range_select_unsorted() {
         let b = int_bat(vec![5, 1, 9, 3, 7]);
-        let r = select(
-            &b,
-            &SelectBounds::closed(Value::Int(3), Value::Int(7)),
-        )
-        .unwrap();
+        let r = select(&b, &SelectBounds::closed(Value::Int(3), Value::Int(7))).unwrap();
         assert_eq!(
             r.canonical_tuples(),
             vec![
@@ -360,11 +356,7 @@ mod tests {
     fn range_select_sorted_returns_view() {
         let b = int_bat(vec![1, 3, 5, 7, 9]);
         assert!(b.props().tail_sorted);
-        let r = select(
-            &b,
-            &SelectBounds::half_open(Value::Int(3), Value::Int(9)),
-        )
-        .unwrap();
+        let r = select(&b, &SelectBounds::half_open(Value::Int(3), Value::Int(9))).unwrap();
         assert_eq!(r.len(), 3);
         assert!(r.tail().is_view(), "sorted select must be zero-copy");
         assert_eq!(r.tuple(0), (Value::Oid(Oid(1)), Value::Int(3)));
@@ -429,11 +421,7 @@ mod tests {
     #[test]
     fn select_type_mismatch_is_empty() {
         let b = int_bat(vec![1, 2, 3]);
-        let r = select(
-            &b,
-            &SelectBounds::closed(Value::str("a"), Value::str("z")),
-        )
-        .unwrap();
+        let r = select(&b, &SelectBounds::closed(Value::str("a"), Value::str("z"))).unwrap();
         assert_eq!(r.len(), 0);
     }
 
@@ -469,7 +457,7 @@ mod tests {
         let a = SelectBounds::half_open(Value::Int(3), Value::Int(15));
         assert!(a.subsumed_by(&outer));
         assert!(!outer.subsumed_by(&a)); // outer includes 15, a does not
-        // unbounded outer subsumes everything
+                                         // unbounded outer subsumes everything
         let unb = SelectBounds::closed(Value::Nil, Value::Nil);
         assert!(outer.subsumed_by(&unb));
         assert!(!unb.subsumed_by(&outer));
@@ -487,7 +475,10 @@ mod tests {
         let d = SelectBounds::closed(Value::Int(7), Value::Int(8));
         assert!(a.overlaps(&d));
         let e = SelectBounds::half_open(Value::Int(1), Value::Int(3));
-        assert!(!e.overlaps(&a), "half-open upper does not touch 3-closed lower");
+        assert!(
+            !e.overlaps(&a),
+            "half-open upper does not touch 3-closed lower"
+        );
     }
 
     #[test]

@@ -52,8 +52,8 @@ pub fn topn(b: &Bat, n: usize, ascending: bool) -> Result<Bat> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::Value;
     use crate::column::{Column, ColumnBuilder};
+    use crate::types::Value;
     use crate::types::{LogicalType, Oid};
 
     #[test]

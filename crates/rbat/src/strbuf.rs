@@ -31,6 +31,7 @@ impl StrBuffer {
     }
 
     /// Build from an iterator of string slices.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<'a>(it: impl IntoIterator<Item = &'a str>) -> StrBuffer {
         let mut b = StrBuffer::new();
         for s in it {

@@ -428,10 +428,7 @@ mod tests {
         use std::cmp::Ordering::*;
         assert_eq!(Value::Int(1).cmp_same(&Value::Int(2)), Some(Less));
         assert_eq!(Value::Int(3).cmp_same(&Value::Float(2.5)), Some(Greater));
-        assert_eq!(
-            Value::str("abc").cmp_same(&Value::str("abd")),
-            Some(Less)
-        );
+        assert_eq!(Value::str("abc").cmp_same(&Value::str("abd")), Some(Less));
         assert_eq!(Value::Int(1).cmp_same(&Value::str("x")), None);
     }
 

@@ -1,5 +1,7 @@
 //! The execution engine: catalog + optimiser pipeline + hook.
 
+use std::sync::Arc;
+
 use rbat::catalog::CommitReport;
 use rbat::delta::Row;
 use rbat::{Catalog, Value};
@@ -16,12 +18,19 @@ use crate::program::Program;
 /// execution); an `Engine<Recycler>` (from the `recycler` crate) is the
 /// system with the recycler run-time support attached. The hook is a
 /// public field so experiments can inspect recycler state between queries.
+///
+/// One engine value is one **session**: `run` takes `&mut self` and
+/// queries on it serialise. To serve concurrent query streams, fork one
+/// engine per thread with [`Engine::session`] — forks share the catalog's
+/// column storage (`Catalog` clones are `Arc`-backed), the optimiser
+/// pipeline, and — when the hook handle is cloneable onto a shared
+/// service, as `recycler::Recycler` is — one recycle pool.
 pub struct Engine<H: ExecHook = NoHook> {
     /// The SQL catalog with persistent tables.
     pub catalog: Catalog,
     /// The run-time hook (recycler or [`NoHook`]).
     pub hook: H,
-    passes: Vec<Box<dyn OptPass>>,
+    passes: Vec<Arc<dyn OptPass>>,
 }
 
 impl Engine<NoHook> {
@@ -45,7 +54,25 @@ impl<H: ExecHook> Engine<H> {
     /// pass, which must come after constant folding and dead-code
     /// elimination — paper §3.1).
     pub fn add_pass(&mut self, pass: Box<dyn OptPass>) {
-        self.passes.push(pass);
+        self.passes.push(Arc::from(pass));
+    }
+
+    /// Fork a session engine: same storage (the catalog clone `Arc`-shares
+    /// every column BAT, so BAT identities — and therefore recycler
+    /// signatures — agree across sessions), same optimiser pipeline, and a
+    /// clone of the hook handle. For `recycler::Recycler` the clone is a
+    /// *new session on the same shared pool*, which makes this the entry
+    /// point for multi-session serving: fork once per thread, run
+    /// concurrently, reuse each other's intermediates.
+    pub fn session(&self) -> Engine<H>
+    where
+        H: Clone,
+    {
+        Engine {
+            catalog: self.catalog.clone(),
+            hook: self.hook.clone(),
+            passes: self.passes.clone(),
+        }
     }
 
     /// Run the optimiser pipeline over a freshly built template. Call once

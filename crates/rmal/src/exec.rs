@@ -10,7 +10,11 @@ use rbat::{Catalog, Value};
 use crate::error::{MalError, Result};
 use crate::opcode::Opcode;
 
-fn bat_arg<'a>(op: &'static str, args: &'a [Value], i: usize) -> Result<&'a std::sync::Arc<rbat::Bat>> {
+fn bat_arg<'a>(
+    op: &'static str,
+    args: &'a [Value],
+    i: usize,
+) -> Result<&'a std::sync::Arc<rbat::Bat>> {
     args.get(i)
         .and_then(|v| v.as_bat())
         .ok_or_else(|| MalError::bad_args(op, format!("argument {i} must be a BAT")))
@@ -155,7 +159,7 @@ pub fn execute_op(catalog: &Catalog, op: &Opcode, args: &[Value]) -> Result<Valu
         }
         Opcode::AddMonths => {
             let d = args
-                .get(0)
+                .first()
                 .and_then(|v| v.as_date())
                 .ok_or_else(|| MalError::bad_args("addmonths", "arg 0 must be a date"))?;
             let n = int_arg("addmonths", args, 1)?;
@@ -163,7 +167,7 @@ pub fn execute_op(catalog: &Catalog, op: &Opcode, args: &[Value]) -> Result<Valu
         }
         Opcode::AddDays => {
             let d = args
-                .get(0)
+                .first()
                 .and_then(|v| v.as_date())
                 .ok_or_else(|| MalError::bad_args("adddays", "arg 0 must be a date"))?;
             let n = int_arg("adddays", args, 1)?;
@@ -183,7 +187,7 @@ pub fn execute_op(catalog: &Catalog, op: &Opcode, args: &[Value]) -> Result<Valu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rbat::{Column, LogicalType, TableBuilder};
+    use rbat::{LogicalType, TableBuilder};
 
     fn catalog() -> Catalog {
         let mut cat = Catalog::new();
@@ -237,7 +241,7 @@ mod tests {
     fn zero_cost_roundtrip() {
         let cat = catalog();
         let b = execute_op(&cat, &Opcode::Bind, &[Value::str("t"), Value::str("x")]).unwrap();
-        let r = execute_op(&cat, &Opcode::Reverse, &[b.clone()]).unwrap();
+        let r = execute_op(&cat, &Opcode::Reverse, std::slice::from_ref(&b)).unwrap();
         let rr = execute_op(&cat, &Opcode::Reverse, &[r]).unwrap();
         let orig = b.as_bat().unwrap();
         let back = rr.as_bat().unwrap();

@@ -56,6 +56,7 @@ pub trait ExecHook {
     /// whether to admit its result. `args` are the ORIGINAL arguments — the
     /// pool stores the instruction as written, so future invocations match
     /// it regardless of the rewrite applied this time.
+    #[allow(clippy::too_many_arguments)]
     fn after(
         &mut self,
         _catalog: &Catalog,
@@ -82,12 +83,7 @@ pub struct NoHook;
 
 impl ExecHook for NoHook {}
 
-fn resolve(
-    frame: &[Option<Value>],
-    params: &[Value],
-    arg: &Arg,
-    pc: usize,
-) -> Result<Value> {
+fn resolve(frame: &[Option<Value>], params: &[Value], arg: &Arg, pc: usize) -> Result<Value> {
     match arg {
         Arg::Const(v) => Ok(v.clone()),
         Arg::Var(v) => frame

@@ -134,10 +134,7 @@ impl Opcode {
     /// expressions and side-effecting exports are of no interest (paper
     /// §3.1): the administration overhead would outweigh the gain.
     pub fn recyclable(&self) -> bool {
-        !matches!(
-            self,
-            Opcode::AddMonths | Opcode::AddDays | Opcode::Export
-        )
+        !matches!(self, Opcode::AddMonths | Opcode::AddDays | Opcode::Export)
     }
 
     /// Zero-cost viewpoint instructions — they materialise no data, only a

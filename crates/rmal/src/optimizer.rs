@@ -12,7 +12,12 @@ use crate::exec::execute_op;
 use crate::program::{Arg, Program, Var};
 
 /// An optimiser pass over a MAL program.
-pub trait OptPass {
+///
+/// `Send + Sync` is part of the contract: pipelines are `Arc`-shared
+/// between engine sessions ([`crate::Engine::session`]), so a pass must be
+/// safe to invoke from any session's thread. Passes are stateless in
+/// practice (they transform the program in place through `&self`).
+pub trait OptPass: Send + Sync {
     /// Diagnostic name.
     fn name(&self) -> &'static str;
 
@@ -111,15 +116,18 @@ impl OptPass for DeadCode {
                 }
             }
         }
-        program.instrs.retain(|i| {
-            i.op == crate::opcode::Opcode::Export || used[i.result.index()]
-        });
+        program
+            .instrs
+            .retain(|i| i.op == crate::opcode::Opcode::Export || used[i.result.index()]);
     }
 }
 
 /// The default pipeline the engine applies before the recycler marking pass.
-pub fn default_pipeline() -> Vec<Box<dyn OptPass>> {
-    vec![Box::new(ConstFold), Box::new(DeadCode)]
+pub fn default_pipeline() -> Vec<std::sync::Arc<dyn OptPass>> {
+    vec![
+        std::sync::Arc::new(ConstFold),
+        std::sync::Arc::new(DeadCode),
+    ]
 }
 
 #[cfg(test)]

@@ -68,10 +68,7 @@ pub struct QueryOutput {
 impl QueryOutput {
     /// Fetch an exported value by name.
     pub fn export(&self, name: &str) -> Option<&Value> {
-        self.exports
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v)
+        self.exports.iter().find(|(n, _)| n == name).map(|(_, v)| v)
     }
 }
 

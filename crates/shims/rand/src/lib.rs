@@ -1,0 +1,321 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build container has no network access, so this workspace carries a
+//! small, API-compatible subset of `rand 0.8` implemented from scratch:
+//! [`rngs::SmallRng`] (an xoshiro256** generator seeded via SplitMix64),
+//! the [`Rng`]/[`SeedableRng`] traits with uniform range sampling, and
+//! [`seq::SliceRandom`] (Fisher–Yates shuffle, `choose`).
+//!
+//! Determinism contract: for a given seed the generated sequence is stable
+//! across runs and platforms — everything the workload generators and the
+//! experiment harness need. The streams differ from the real `rand` crate
+//! (different algorithms), which is fine: nothing in this repository
+//! depends on `rand`'s exact output, only on seeded reproducibility.
+
+#![deny(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`lo..hi` or `lo..=hi`, integer or
+    /// float element types).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Uniform sample of the whole domain of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Deterministic construction from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Build a generator from OS entropy. The shim has no entropy source;
+    /// it derives a seed from the system clock — good enough for the few
+    /// non-reproducible call sites.
+    fn from_entropy() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        Self::seed_from_u64(nanos)
+    }
+}
+
+/// Types samplable over their full domain via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64()) as f32
+    }
+}
+
+/// Map a uniform word to `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges a value can be uniformly sampled from.
+pub trait SampleRange<T> {
+    /// Draw one value from the range. Panics on an empty range, like the
+    /// real `rand`.
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+sample_range_float!(f32, f64);
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast generator: xoshiro256** seeded through SplitMix64 —
+    /// the same construction the real `rand` uses for its `SmallRng` on
+    /// 64-bit targets (algorithm by Blackman & Vigna, public domain).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            // SplitMix64 to spread the seed over the 256-bit state.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = Self::rotl(self.s[1].wrapping_mul(5), 7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            out
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Shuffling and random element selection on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, `None` on an empty slice.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000i64), b.gen_range(0..1_000_000i64));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5i64..65);
+            assert!((-5..65).contains(&v));
+            let w = rng.gen_range(1u32..=28);
+            assert!((1..=28).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g = rng.gen_range(14.0f64..=26.0);
+            assert!((14.0..=26.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut buckets = [0usize; 10];
+        for _ in 0..100_000 {
+            buckets[rng.gen_range(0..10usize)] += 1;
+        }
+        for b in buckets {
+            assert!((8_000..12_000).contains(&b), "bucket count {b}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<i32> = (0..50).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        assert_ne!(v, orig, "50 elements virtually never shuffle to identity");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+    }
+
+    #[test]
+    fn full_domain_gen() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let _: i32 = rng.gen();
+        let _: bool = rng.gen();
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

@@ -23,9 +23,25 @@ impl SkyScale {
 /// The 19 photometric property columns the dominant log pattern projects
 /// (paper §8.1 lists `objID, run, rerun, camcol, field, obj, ...`).
 pub const PHOTO_PROPS: [&str; 19] = [
-    "objid", "run", "rerun", "camcol", "field", "obj", "objtype", "flags", "psfmag_u",
-    "psfmag_g", "psfmag_r", "psfmag_i", "psfmag_z", "modelmag_u", "modelmag_g", "modelmag_r",
-    "modelmag_i", "modelmag_z", "status",
+    "objid",
+    "run",
+    "rerun",
+    "camcol",
+    "field",
+    "obj",
+    "objtype",
+    "flags",
+    "psfmag_u",
+    "psfmag_g",
+    "psfmag_r",
+    "psfmag_i",
+    "psfmag_z",
+    "modelmag_u",
+    "modelmag_g",
+    "modelmag_r",
+    "modelmag_i",
+    "modelmag_z",
+    "status",
 ];
 
 /// Generate the survey catalog: `photoobj`, the documentation tables and
@@ -141,10 +157,7 @@ mod tests {
     fn photo_props_exist() {
         let cat = generate(SkyScale::new(10));
         for p in PHOTO_PROPS {
-            assert!(
-                cat.bind("photoobj", p).is_ok(),
-                "photoobj.{p} must exist"
-            );
+            assert!(cat.bind("photoobj", p).is_ok(), "photoobj.{p} must exist");
         }
     }
 }

@@ -98,10 +98,7 @@ mod tests {
             let mut sorted: Vec<(f64, f64)> = w[..4].to_vec();
             sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             for pair in sorted.windows(2) {
-                assert!(
-                    pair[1].0 <= pair[0].1,
-                    "covers must overlap: {pair:?}"
-                );
+                assert!(pair[1].0 <= pair[0].1, "covers must overlap: {pair:?}");
             }
         }
     }

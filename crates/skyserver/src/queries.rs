@@ -122,10 +122,7 @@ mod tests {
         for (mut t, params) in [
             (nearby_query(), nearby_params(180.0, 30.0, 2.0)),
             (doc_query(), vec![Value::str("%Doc%")]),
-            (
-                point_query(),
-                vec![Value::Int(0x0559_0000_0000_0000 + 7)],
-            ),
+            (point_query(), vec![Value::Int(0x0559_0000_0000_0000 + 7)]),
             (
                 spatial_range_query(),
                 vec![Value::Float(10.0), Value::Float(20.0)],

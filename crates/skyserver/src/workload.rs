@@ -87,9 +87,15 @@ mod tests {
     #[test]
     fn mix_matches_reported_shares() {
         let (_, items) = sample_log(2000, 3);
-        let nearby = items.iter().filter(|i| i.kind == PatternKind::Nearby).count();
+        let nearby = items
+            .iter()
+            .filter(|i| i.kind == PatternKind::Nearby)
+            .count();
         let doc = items.iter().filter(|i| i.kind == PatternKind::Doc).count();
-        let point = items.iter().filter(|i| i.kind == PatternKind::Point).count();
+        let point = items
+            .iter()
+            .filter(|i| i.kind == PatternKind::Point)
+            .count();
         assert!(nearby > 1100 && nearby < 1400, "nearby {nearby}");
         assert!(doc > 550 && doc < 870, "doc {doc}");
         assert!(point < 110, "point {point}");

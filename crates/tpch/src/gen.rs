@@ -119,7 +119,7 @@ pub fn generate(scale: TpchScale) -> Catalog {
             Value::Int(nation as i64),
             Value::str(&text::phone(&mut rng, nation)),
             Value::Float(rng.gen_range(-999.99..9999.99)),
-            Value::str(*text::pick(&mut rng, &text::SEGMENTS)),
+            Value::str(text::pick(&mut rng, &text::SEGMENTS)),
             Value::str(&text::comment(&mut rng, 6, 8)),
         ]);
     }
@@ -199,8 +199,8 @@ pub fn generate(scale: TpchScale) -> Catalog {
                 Value::Date(ship),
                 Value::Date(commit),
                 Value::Date(receipt),
-                Value::str(*text::pick(&mut rng, &text::SHIPINSTRUCT)),
-                Value::str(*text::pick(&mut rng, &text::SHIPMODES)),
+                Value::str(text::pick(&mut rng, &text::SHIPINSTRUCT)),
+                Value::str(text::pick(&mut rng, &text::SHIPMODES)),
                 Value::str(&text::comment(&mut rng, 4, 0)),
             ]);
         }
@@ -210,7 +210,7 @@ pub fn generate(scale: TpchScale) -> Catalog {
             Value::str(if rng.gen_bool(0.5) { "F" } else { "O" }),
             Value::Float(total),
             Value::Date(odate),
-            Value::str(*text::pick(&mut rng, &text::PRIORITIES)),
+            Value::str(text::pick(&mut rng, &text::PRIORITIES)),
             Value::str(&format!("Clerk#{:09}", rng.gen_range(0..1000))),
             Value::Int(0),
             Value::str(&text::comment(&mut rng, 6, 10)),
@@ -220,7 +220,8 @@ pub fn generate(scale: TpchScale) -> Catalog {
     cat.add_table(lb.finish());
 
     for def in join_indices() {
-        cat.add_join_index(def).expect("index over generated tables");
+        cat.add_join_index(def)
+            .expect("index over generated tables");
     }
     cat
 }

@@ -39,7 +39,7 @@ pub fn q1() -> Program {
 
 /// Q1 parameters: shipdate cutoff `1998-12-01 − delta days`, delta ∈ [60, 120].
 pub fn q1_params(rng: &mut SmallRng) -> Vec<Value> {
-    let delta = rng.gen_range(60..=120);
+    let delta = rng.gen_range(60i32..=120);
     vec![Value::Date(
         rbat::Date::from_ymd(1998, 12, 1).add_days(-delta),
     )]
@@ -78,8 +78,8 @@ pub fn q2() -> Program {
 /// Q2 parameters: size ∈ [1,50], type suffix, region name.
 pub fn q2_params(rng: &mut SmallRng) -> Vec<Value> {
     let size = rng.gen_range(1..=50i64);
-    let suffix = *crate::text::pick(rng, &crate::text::TYPE_S3);
-    let region = *crate::text::pick(rng, &crate::text::REGIONS);
+    let suffix = crate::text::pick(rng, &crate::text::TYPE_S3);
+    let region = crate::text::pick(rng, &crate::text::REGIONS);
     vec![
         Value::Int(size),
         Value::str(&format!("%{suffix}")),
@@ -116,7 +116,7 @@ pub fn q3() -> Program {
 
 /// Q3 parameters: segment, date around 1995-03.
 pub fn q3_params(rng: &mut SmallRng) -> Vec<Value> {
-    let seg = *crate::text::pick(rng, &crate::text::SEGMENTS);
+    let seg = crate::text::pick(rng, &crate::text::SEGMENTS);
     let day = rng.gen_range(1..=28);
     vec![
         Value::str(seg),
@@ -196,7 +196,7 @@ pub fn q5() -> Program {
 
 /// Q5 parameters: region, year start 1993..1997.
 pub fn q5_params(rng: &mut SmallRng) -> Vec<Value> {
-    let region = *crate::text::pick(rng, &crate::text::REGIONS);
+    let region = crate::text::pick(rng, &crate::text::REGIONS);
     let y = rng.gen_range(1993..=1997);
     vec![
         Value::str(region),

@@ -133,7 +133,7 @@ pub fn q9() -> Program {
 
 /// Q9 parameters: a colour word pattern.
 pub fn q9_params(rng: &mut SmallRng) -> Vec<Value> {
-    let c = *crate::text::pick(rng, &crate::text::COLORS);
+    let c = crate::text::pick(rng, &crate::text::COLORS);
     vec![Value::str(&format!("%{c}%"))]
 }
 
@@ -219,10 +219,7 @@ pub fn q11() -> Program {
 /// for the small default SF so the result set stays selective).
 pub fn q11_params(rng: &mut SmallRng) -> Vec<Value> {
     let n = rng.gen_range(0..25usize);
-    vec![
-        Value::str(crate::text::NATIONS[n].0),
-        Value::Float(0.01),
-    ]
+    vec![Value::str(crate::text::NATIONS[n].0), Value::Float(0.01)]
 }
 
 #[allow(dead_code)]

@@ -35,12 +35,9 @@ pub fn q12() -> Program {
 
 /// Q12 parameters: ship mode, year 1993..1997.
 pub fn q12_params(rng: &mut SmallRng) -> Vec<Value> {
-    let mode = *crate::text::pick(rng, &crate::text::SHIPMODES);
+    let mode = crate::text::pick(rng, &crate::text::SHIPMODES);
     let y = rng.gen_range(1993..=1997);
-    vec![
-        Value::str(mode),
-        Value::Date(rbat::Date::from_ymd(y, 1, 1)),
-    ]
+    vec![Value::str(mode), Value::Date(rbat::Date::from_ymd(y, 1, 1))]
 }
 
 /// Q13 — customer distribution: orders whose comment does *not* match the
@@ -64,8 +61,12 @@ pub fn q13() -> Program {
 
 /// Q13 parameters: a `%word1%word2%` comment pattern.
 pub fn q13_params(rng: &mut SmallRng) -> Vec<Value> {
-    let w1 = if rng.gen_bool(0.5) { "special" } else { "pending" };
-    let w2 = *crate::text::pick(rng, &["requests", "packages", "accounts", "deposits"]);
+    let w1 = if rng.gen_bool(0.5) {
+        "special"
+    } else {
+        "pending"
+    };
+    let w2 = crate::text::pick(rng, &["requests", "packages", "accounts", "deposits"]);
     vec![Value::str(&format!("%{w1}%{w2}%"))]
 }
 
@@ -166,7 +167,7 @@ pub fn q16() -> Program {
 /// Q16 parameters: brand, type prefix, size band `[lo, lo+8]`.
 pub fn q16_params(rng: &mut SmallRng) -> Vec<Value> {
     let brand = crate::text::brand(rng);
-    let t1 = *crate::text::pick(rng, &crate::text::TYPE_S1);
+    let t1 = crate::text::pick(rng, &crate::text::TYPE_S1);
     let size = rng.gen_range(1..=42i64);
     vec![
         Value::str(&brand),

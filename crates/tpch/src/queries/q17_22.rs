@@ -123,7 +123,7 @@ pub fn q19_params(rng: &mut SmallRng) -> Vec<Value> {
     let mut out = Vec::with_capacity(12);
     for (class, qlo) in [("SM%", 1i64), ("MED%", 10), ("LG%", 20)] {
         let brand = crate::text::brand(rng);
-        let q = qlo + rng.gen_range(0..=10);
+        let q = qlo + rng.gen_range(0i64..=10);
         out.push(Value::str(&brand));
         out.push(Value::str(class));
         out.push(Value::Float(q as f64));
@@ -162,7 +162,7 @@ pub fn q20() -> Program {
 
 /// Q20 parameters: colour prefix, nation.
 pub fn q20_params(rng: &mut SmallRng) -> Vec<Value> {
-    let c = *crate::text::pick(rng, &crate::text::COLORS);
+    let c = crate::text::pick(rng, &crate::text::COLORS);
     let n = rng.gen_range(0..25usize);
     vec![
         Value::str(&format!("{c}%")),

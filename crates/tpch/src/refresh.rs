@@ -58,8 +58,8 @@ pub fn insert_block(catalog: &Catalog, rng: &mut SmallRng, n_orders: usize) -> U
                 Value::Date(ship),
                 Value::Date(odate.add_days(45)),
                 Value::Date(ship.add_days(rng.gen_range(1..=30))),
-                Value::str(*text::pick(rng, &text::SHIPINSTRUCT)),
-                Value::str(*text::pick(rng, &text::SHIPMODES)),
+                Value::str(text::pick(rng, &text::SHIPINSTRUCT)),
+                Value::str(text::pick(rng, &text::SHIPMODES)),
                 Value::str(&text::comment(rng, 4, 0)),
             ]);
         }
@@ -69,7 +69,7 @@ pub fn insert_block(catalog: &Catalog, rng: &mut SmallRng, n_orders: usize) -> U
             Value::str("O"),
             Value::Float(total),
             Value::Date(odate),
-            Value::str(*text::pick(rng, &text::PRIORITIES)),
+            Value::str(text::pick(rng, &text::PRIORITIES)),
             Value::str(&format!("Clerk#{:09}", rng.gen_range(0..1000))),
             Value::Int(0),
             Value::str(&text::comment(rng, 6, 10)),
@@ -86,9 +86,7 @@ pub fn delete_block(catalog: &Catalog, rng: &mut SmallRng, n_orders: usize) -> U
     if orders.nrows() == 0 {
         return block;
     }
-    let okeys = catalog
-        .bind("orders", "o_orderkey")
-        .expect("orders bound");
+    let okeys = catalog.bind("orders", "o_orderkey").expect("orders bound");
     let mut victims: Vec<i64> = Vec::new();
     for _ in 0..n_orders {
         let oid = rng.gen_range(0..orders.nrows()) as u64;

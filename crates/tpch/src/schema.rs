@@ -25,7 +25,11 @@ pub const IDX_PS_SUPP: &str = "ps_supp_fkey";
 /// Column schema of each TPC-H table, in definition order.
 pub fn table_schema(table: &str) -> Vec<(&'static str, T)> {
     match table {
-        "region" => vec![("r_regionkey", T::Int), ("r_name", T::Str), ("r_comment", T::Str)],
+        "region" => vec![
+            ("r_regionkey", T::Int),
+            ("r_name", T::Str),
+            ("r_comment", T::Str),
+        ],
         "nation" => vec![
             ("n_nationkey", T::Int),
             ("n_name", T::Str),
@@ -111,15 +115,51 @@ pub fn join_indices() -> Vec<JoinIndexDef> {
         to_key: tk.into(),
     };
     vec![
-        def(IDX_LI_ORDERS, "lineitem", "l_orderkey", "orders", "o_orderkey"),
+        def(
+            IDX_LI_ORDERS,
+            "lineitem",
+            "l_orderkey",
+            "orders",
+            "o_orderkey",
+        ),
         def(IDX_LI_PART, "lineitem", "l_partkey", "part", "p_partkey"),
-        def(IDX_LI_SUPP, "lineitem", "l_suppkey", "supplier", "s_suppkey"),
+        def(
+            IDX_LI_SUPP,
+            "lineitem",
+            "l_suppkey",
+            "supplier",
+            "s_suppkey",
+        ),
         def(IDX_ORD_CUST, "orders", "o_custkey", "customer", "c_custkey"),
-        def(IDX_CUST_NATION, "customer", "c_nationkey", "nation", "n_nationkey"),
-        def(IDX_SUPP_NATION, "supplier", "s_nationkey", "nation", "n_nationkey"),
-        def(IDX_NATION_REGION, "nation", "n_regionkey", "region", "r_regionkey"),
+        def(
+            IDX_CUST_NATION,
+            "customer",
+            "c_nationkey",
+            "nation",
+            "n_nationkey",
+        ),
+        def(
+            IDX_SUPP_NATION,
+            "supplier",
+            "s_nationkey",
+            "nation",
+            "n_nationkey",
+        ),
+        def(
+            IDX_NATION_REGION,
+            "nation",
+            "n_regionkey",
+            "region",
+            "r_regionkey",
+        ),
         def(IDX_PS_PART, "partsupp", "ps_partkey", "part", "p_partkey"),
-        def(IDX_PS_SUPP, "partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+        def(
+            IDX_PS_SUPP,
+            "partsupp",
+            "ps_suppkey",
+            "supplier",
+            "s_suppkey",
+        ),
     ]
 }
 

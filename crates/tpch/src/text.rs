@@ -36,7 +36,13 @@ pub const NATIONS: [(&str, usize); 25] = [
 ];
 
 /// Market segments (customer.c_mktsegment).
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 /// Order priorities (orders.o_orderpriority).
 pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
@@ -66,24 +72,58 @@ pub const CONTAINER_S2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK",
 
 /// Colour words used in p_name (the Q9 `like '%green%'` target class).
 pub const COLORS: [&str; 16] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blue", "blush",
-    "brown", "burlywood", "chartreuse", "coral", "cream", "forest", "green",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "chartreuse",
+    "coral",
+    "cream",
+    "forest",
+    "green",
 ];
 
 /// Filler nouns for comments.
 pub const NOUNS: [&str; 12] = [
-    "packages", "requests", "accounts", "deposits", "foxes", "ideas", "theodolites", "pinto",
-    "instructions", "dependencies", "excuses", "platelets",
+    "packages",
+    "requests",
+    "accounts",
+    "deposits",
+    "foxes",
+    "ideas",
+    "theodolites",
+    "pinto",
+    "instructions",
+    "dependencies",
+    "excuses",
+    "platelets",
 ];
 
 /// Filler verbs for comments.
 pub const VERBS: [&str; 10] = [
-    "sleep", "wake", "nag", "haggle", "dazzle", "detect", "integrate", "snooze", "doze", "cajole",
+    "sleep",
+    "wake",
+    "nag",
+    "haggle",
+    "dazzle",
+    "detect",
+    "integrate",
+    "snooze",
+    "doze",
+    "cajole",
 ];
 
-/// Pick a random element of a slice.
-pub fn pick<'a, T>(rng: &mut SmallRng, items: &'a [T]) -> &'a T {
-    &items[rng.gen_range(0..items.len())]
+/// Pick a random element of a slice (by copy — the tables here hold
+/// `&'static str`s).
+pub fn pick<T: Copy>(rng: &mut SmallRng, items: &[T]) -> T {
+    items[rng.gen_range(0..items.len())]
 }
 
 /// A short random comment of `words` words; roughly 1 in `special_one_in`
@@ -95,9 +135,9 @@ pub fn comment(rng: &mut SmallRng, words: usize, special_one_in: u32) -> String 
             out.push(' ');
         }
         if i % 2 == 0 {
-            out.push_str(*pick(rng, &NOUNS));
+            out.push_str(pick(rng, &NOUNS));
         } else {
-            out.push_str(*pick(rng, &VERBS));
+            out.push_str(pick(rng, &VERBS));
         }
     }
     if special_one_in > 0 && rng.gen_range(0..special_one_in) == 0 {

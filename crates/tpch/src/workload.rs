@@ -22,11 +22,7 @@ pub struct BatchItem {
 
 /// `instances` instances of a single query with freshly drawn parameters —
 /// the micro-benchmark shape of paper §7.1 (10 instances per query).
-pub fn query_batch(
-    query_no: u8,
-    instances: usize,
-    seed: u64,
-) -> (Vec<TpchQuery>, Vec<BatchItem>) {
+pub fn query_batch(query_no: u8, instances: usize, seed: u64) -> (Vec<TpchQuery>, Vec<BatchItem>) {
     let q = query(query_no);
     let mut rng = SmallRng::seed_from_u64(seed);
     let items = (0..instances)
@@ -97,7 +93,7 @@ mod tests {
         let (_, items) = mixed_batch(&[4, 18], 10, 1);
         // shuffled: the first ten items are not all query 4
         let first: Vec<u8> = items.iter().take(10).map(|i| i.query_no).collect();
-        assert!(first.iter().any(|&n| n == 18) || first.iter().any(|&n| n == 4));
+        assert!(first.contains(&18) || first.contains(&4));
         assert_eq!(items.len(), 20);
     }
 }

@@ -1,0 +1,77 @@
+//! Multi-session serving: N threads replay the SkyServer log against one
+//! shared recycler — the paper's server-wide pool (§8), now actually
+//! concurrent. Shows cross-session reuse: most sessions answer their
+//! nearby-queries from intermediates some *other* session computed.
+//!
+//! ```text
+//! cargo run --release --example multi_session [sessions] [queries]
+//! ```
+
+use rcy_bench::{partition_streams, run_concurrent, BenchItem};
+use recycler::RecyclerConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let sessions: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(6);
+    let queries: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(120);
+
+    let objects = 40_000;
+    println!("generating synthetic sky catalogue ({objects} objects) ...");
+    let catalog = skyserver::generate(skyserver::SkyScale::new(objects));
+    let (templates, log) = skyserver::sample_log(queries, 2008);
+    let items: Vec<BenchItem> = log
+        .into_iter()
+        .map(|l| BenchItem {
+            query_idx: l.query_idx,
+            label: l.query_idx as u8,
+            params: l.params,
+        })
+        .collect();
+
+    // one session first, as the baseline
+    println!("replaying {queries} queries on 1 session ...");
+    let seq = run_concurrent(
+        catalog.clone(),
+        &templates,
+        &partition_streams(&items, 1),
+        RecyclerConfig::default(),
+    );
+
+    println!("replaying {queries} queries on {sessions} sessions ...");
+    let par = run_concurrent(
+        catalog,
+        &templates,
+        &partition_streams(&items, sessions),
+        RecyclerConfig::default(),
+    );
+
+    println!(
+        "\n1 session : {:?} total, {} hits ({} cross-session)",
+        seq.elapsed, seq.stats.hits, seq.stats.cross_session_hits
+    );
+    println!(
+        "{} sessions: {:?} total, {} hits ({} cross-session), {} duplicate admissions resolved",
+        par.sessions,
+        par.elapsed,
+        par.stats.hits,
+        par.stats.cross_session_hits,
+        par.stats.duplicate_admissions,
+    );
+    println!(
+        "shared pool: {} entries, {} bytes — hit ratio {:.1}%",
+        par.pool_entries,
+        par.pool_bytes,
+        100.0 * par.hit_ratio()
+    );
+    println!("\nper-session view:");
+    for s in &par.per_session {
+        println!(
+            "  session {:>2}: {:>3} queries, {:>4} hits / {:>4} monitored, {:?}",
+            s.session, s.queries, s.hits, s.monitored, s.elapsed
+        );
+    }
+    assert!(
+        par.stats.cross_session_hits > 0,
+        "concurrent sessions must reuse each other's work"
+    );
+}

@@ -16,10 +16,7 @@ fn build_catalog() -> Catalog {
         .column("severity", LogicalType::Int)
         .column("payload", LogicalType::Float);
     for i in 0..100_000i64 {
-        tb.push_row(&[
-            Value::Int(i % 10),
-            Value::Float((i % 997) as f64),
-        ]);
+        tb.push_row(&[Value::Int(i % 10), Value::Float((i % 997) as f64)]);
     }
     catalog.add_table(tb.finish());
     catalog

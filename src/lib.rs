@@ -1,0 +1,20 @@
+//! Workspace façade crate.
+//!
+//! The root package exists to own the cross-crate integration tests in
+//! `tests/` and the runnable demos in `examples/`; the actual system lives
+//! in the member crates:
+//!
+//! * [`rbat`] — the BAT column-store engine (storage + relational algebra),
+//! * [`rmal`] — the MAL abstract machine (programs, optimiser, interpreter),
+//! * [`recycler`] — the paper's contribution: the recycle pool, the marking
+//!   optimiser and the shared concurrent run-time support,
+//! * [`tpch`] / [`skyserver`] — the two evaluation substrates,
+//! * [`rcy_bench`] — the reproduction harness and concurrent workload
+//!   driver.
+
+pub use rbat;
+pub use rcy_bench;
+pub use recycler;
+pub use rmal;
+pub use skyserver;
+pub use tpch;

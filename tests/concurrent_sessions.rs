@@ -1,0 +1,209 @@
+//! Multi-session stress tests: N OS threads sharing one
+//! `Arc<SharedRecycler>` and one catalog must agree with a naive engine on
+//! every result, reuse each other's intermediates, keep the pool's
+//! signature index unique, and never evict an entry pinned by another
+//! session's running query (enforced by a debug assertion inside
+//! `recycler::eviction::evict`, active in this build).
+
+use std::collections::HashMap;
+use std::thread;
+
+use rbat::{Catalog, LogicalType, TableBuilder, Value};
+use recycler::{RecycleMark, Recycler, RecyclerConfig, SharedRecycler};
+use rmal::{Engine, Program, ProgramBuilder, P};
+
+fn catalog(n: i64) -> Catalog {
+    let mut cat = Catalog::new();
+    let mut tb = TableBuilder::new("t")
+        .column("x", LogicalType::Int)
+        .column("y", LogicalType::Int);
+    for i in 0..n {
+        tb.push_row(&[Value::Int((i * 37) % n), Value::Int(i % 1000)]);
+    }
+    cat.add_table(tb.finish());
+    cat
+}
+
+/// Template 1: range count over `x`.
+fn select_template() -> Program {
+    let mut b = ProgramBuilder::new("stress_select", 2);
+    let col = b.bind("t", "x");
+    let sel = b.select_closed(col, P(0), P(1));
+    let n = b.count(sel);
+    b.export("n", n);
+    b.finish()
+}
+
+/// Template 2: select over `x`, projection join into `y`, aggregate.
+fn join_template() -> Program {
+    let mut b = ProgramBuilder::new("stress_join", 2);
+    let col = b.bind("t", "x");
+    let sel = b.select_closed(col, P(0), P(1));
+    let map = b.row_map(sel);
+    let y = b.bind("t", "y");
+    let vals = b.join(map, y);
+    let s = b.sum(vals);
+    let n = b.count(sel);
+    b.export("sum", s);
+    b.export("n", n);
+    b.finish()
+}
+
+/// Overlapping workload: every session draws from the same small set of
+/// ranges, so exact repeats and subsumable neighbours abound.
+fn workload(session: usize, len: usize) -> Vec<(usize, Vec<Value>)> {
+    let ranges = [
+        (0i64, 800i64),
+        (100, 700),
+        (100, 700), // exact repeat across sessions
+        (200, 600),
+        (0, 800),
+        (150, 650),
+    ];
+    (0..len)
+        .map(|i| {
+            let (lo, hi) = ranges[(session + i) % ranges.len()];
+            let template = (session + i) % 2;
+            (template, vec![Value::Int(lo), Value::Int(hi)])
+        })
+        .collect()
+}
+
+/// Expected answers, computed once on a naive engine.
+fn expectations(
+    cat: &Catalog,
+    templates: &[Program],
+    items: &[(usize, Vec<Value>)],
+) -> HashMap<String, Vec<(String, Value)>> {
+    let mut naive = Engine::new(cat.clone());
+    let mut nts: Vec<Program> = templates.to_vec();
+    for t in nts.iter_mut() {
+        naive.optimize(t);
+    }
+    let mut map = HashMap::new();
+    for (idx, params) in items {
+        let key = format!("{idx}:{params:?}");
+        map.entry(key).or_insert_with(|| {
+            let out = naive.run(&nts[*idx], params).expect("naive run");
+            out.exports
+        });
+    }
+    map
+}
+
+fn run_stress(
+    config: RecyclerConfig,
+    sessions: usize,
+    queries_each: usize,
+) -> recycler::RecyclerStats {
+    let cat = catalog(2000);
+    let templates = vec![select_template(), join_template()];
+
+    let all_items: Vec<(usize, Vec<Value>)> = (0..sessions)
+        .flat_map(|s| workload(s, queries_each))
+        .collect();
+    let expected = expectations(&cat, &templates, &all_items);
+
+    let shared = SharedRecycler::new(config);
+    let mut proto: Engine<Recycler> = Engine::with_hook(cat, shared.session());
+    proto.add_pass(Box::new(RecycleMark));
+    let mut optimized = templates.clone();
+    for t in optimized.iter_mut() {
+        proto.optimize(t);
+    }
+    let optimized = &optimized;
+    let expected = &expected;
+    let proto = &proto;
+
+    thread::scope(|scope| {
+        for s in 0..sessions {
+            let mut engine = proto.session();
+            scope.spawn(move || {
+                for (idx, params) in workload(s, queries_each) {
+                    let out = engine
+                        .run(&optimized[idx], &params)
+                        .unwrap_or_else(|e| panic!("session {s}: {e}"));
+                    let key = format!("{idx}:{params:?}");
+                    assert_eq!(
+                        out.exports, expected[&key],
+                        "session {s} diverged from naive on {key}"
+                    );
+                }
+            });
+        }
+    });
+
+    // pool-entry uniqueness per signature: the bijectivity invariant plus
+    // an explicit duplicate scan.
+    {
+        let pool = shared.pool();
+        pool.check_invariants().expect("pool coherent after stress");
+        let mut seen = std::collections::HashSet::new();
+        for e in pool.iter() {
+            assert!(
+                seen.insert(e.sig.fingerprint()),
+                "duplicate signature resident in pool"
+            );
+        }
+    }
+    shared.stats()
+}
+
+#[test]
+fn four_sessions_overlapping_select_join_streams() {
+    let stats = run_stress(RecyclerConfig::default(), 4, 24);
+    assert!(
+        stats.cross_session_hits > 0,
+        "overlapping streams must produce cross-session reuse: {stats:?}"
+    );
+    assert!(
+        stats.hits * 2 > stats.monitored,
+        "with six overlapping range variants most marked instructions \
+         must be answered from the pool: {stats:?}"
+    );
+    assert_eq!(stats.sessions, 1 + 4, "prototype + four forks");
+}
+
+#[test]
+fn eight_sessions_still_agree_with_naive() {
+    let stats = run_stress(RecyclerConfig::default(), 8, 12);
+    assert!(stats.cross_session_hits > 0, "{stats:?}");
+}
+
+#[test]
+fn tight_memory_limit_evicts_but_never_a_pinned_entry() {
+    // Small budget: admissions constantly trigger eviction while other
+    // sessions hold pins. The debug assertion in `evict` fails the test if
+    // a pinned entry is ever chosen; results must still equal naive.
+    let config = RecyclerConfig::default().mem_limit(48 * 1024);
+    let stats = run_stress(config, 6, 20);
+    assert!(
+        stats.evictions > 0 || stats.admission_rejects > 0,
+        "a 48 KiB pool must be under pressure: {stats:?}"
+    );
+}
+
+#[test]
+fn skyserver_mix_across_sessions() {
+    // The paper's workload shape: the dominant nearby-template with two
+    // overlapping parameter regions, replayed by 4 concurrent sessions.
+    let cat = skyserver::generate(skyserver::SkyScale::new(4000));
+    let (templates, log) = skyserver::sample_log(64, 2008);
+    let items: Vec<rcy_bench::BenchItem> = log
+        .into_iter()
+        .map(|l| rcy_bench::BenchItem {
+            query_idx: l.query_idx,
+            label: l.query_idx as u8,
+            params: l.params,
+        })
+        .collect();
+    let streams = rcy_bench::partition_streams(&items, 4);
+    let outcome = rcy_bench::run_concurrent(cat, &templates, &streams, RecyclerConfig::default());
+    assert_eq!(outcome.sessions, 4);
+    assert!(outcome.stats.cross_session_hits > 0, "{:?}", outcome.stats);
+    assert!(
+        outcome.hit_ratio() > 0.3,
+        "template-heavy log should reuse heavily, got {}",
+        outcome.hit_ratio()
+    );
+}

@@ -1,8 +1,6 @@
 //! Admission and eviction policy behaviour on real workloads.
 
-use recycler::{
-    AdmissionPolicy, EvictionPolicy, RecycleMark, Recycler, RecyclerConfig,
-};
+use recycler::{AdmissionPolicy, EvictionPolicy, RecycleMark, Recycler, RecyclerConfig};
 use rmal::{Engine, Program};
 
 fn drive(config: RecyclerConfig, instances: usize) -> Engine<Recycler> {
@@ -60,7 +58,11 @@ fn adaptive_beats_plain_credit_on_hits() {
 
 #[test]
 fn entry_limit_is_hard() {
-    for policy in [EvictionPolicy::Lru, EvictionPolicy::Benefit, EvictionPolicy::History] {
+    for policy in [
+        EvictionPolicy::Lru,
+        EvictionPolicy::Benefit,
+        EvictionPolicy::History,
+    ] {
         let engine = drive(
             RecyclerConfig::default().eviction(policy).entry_limit(50),
             4,
@@ -77,7 +79,11 @@ fn entry_limit_is_hard() {
 
 #[test]
 fn memory_limit_is_hard() {
-    for policy in [EvictionPolicy::Lru, EvictionPolicy::Benefit, EvictionPolicy::History] {
+    for policy in [
+        EvictionPolicy::Lru,
+        EvictionPolicy::Benefit,
+        EvictionPolicy::History,
+    ] {
         let limit = 256 * 1024;
         let engine = drive(
             RecyclerConfig::default().eviction(policy).mem_limit(limit),

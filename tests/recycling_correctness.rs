@@ -13,6 +13,7 @@ fn catalog() -> Catalog {
     tpch::generate(tpch::TpchScale::new(0.004))
 }
 
+#[allow(clippy::type_complexity)]
 fn run_pair(
     cat: &Catalog,
     template: &Program,
@@ -47,15 +48,12 @@ fn all_queries_equal_naive_across_instances() {
         let p1 = (q.params)(&mut rng);
         let p2 = p1.clone();
         let p3 = (q.params)(&mut rng);
-        let (naive, rec, hits) = run_pair(
-            &cat,
-            &q.template,
-            &[p1, p2, p3],
-            RecyclerConfig::default(),
-        );
+        let (naive, rec, hits) =
+            run_pair(&cat, &q.template, &[p1, p2, p3], RecyclerConfig::default());
         for (i, (n, r)) in naive.iter().zip(&rec).enumerate() {
             assert_eq!(
-                n, r,
+                n,
+                r,
                 "q{} instance {} differs between naive and recycled",
                 q.number,
                 i + 1
@@ -99,7 +97,11 @@ fn pool_invariants_hold_after_workload() {
             .run(&templates[item.query_idx], &item.params)
             .expect("mixed batch query");
     }
-    engine.hook.pool().check_invariants().expect("pool coherent");
+    engine
+        .hook
+        .pool()
+        .check_invariants()
+        .expect("pool coherent");
     assert!(engine.hook.stats().hits > 0);
 }
 

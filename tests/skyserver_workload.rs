@@ -25,7 +25,11 @@ fn log_replay_equals_naive() {
     for (i, item) in log.iter().enumerate() {
         let expect = naive.run(&nts[item.query_idx], &item.params).unwrap();
         let got = rec.run(&rts[item.query_idx], &item.params).unwrap();
-        assert_eq!(expect.exports, got.exports, "log item {i} ({:?})", item.kind);
+        assert_eq!(
+            expect.exports, got.exports,
+            "log item {i} ({:?})",
+            item.kind
+        );
     }
 
     // the dominant template must recycle heavily (the paper reports 95.6%)
@@ -60,7 +64,11 @@ fn pool_breakdown_has_expected_families() {
     }
     // binds and views must be charged (almost) nothing
     let bind_row = &snap.by_family["bind"];
-    assert!(bind_row.bytes < 10_000, "binds charge {} bytes", bind_row.bytes);
+    assert!(
+        bind_row.bytes < 10_000,
+        "binds charge {} bytes",
+        bind_row.bytes
+    );
     // joins carry real memory (19 projections worth)
     assert!(snap.by_family["join"].bytes > bind_row.bytes);
 }

@@ -7,12 +7,10 @@ use rbat::Value;
 use recycler::{RecycleMark, Recycler, RecyclerConfig, UpdateMode};
 use rmal::Engine;
 
-fn engines(
-    mode: UpdateMode,
-) -> (Engine, Engine<Recycler>, rmal::Program, rmal::Program) {
+fn engines(mode: UpdateMode) -> (Engine, Engine<Recycler>, rmal::Program, rmal::Program) {
     let cat = tpch::generate(tpch::TpchScale::new(0.003));
     let q = tpch::query(4); // date window + late-lineitem thread
-    let mut naive = Engine::new(cat.clone());
+    let naive = Engine::new(cat.clone());
     let mut nt = q.template.clone();
     naive.optimize(&mut nt);
     let mut rec = Engine::with_hook(
