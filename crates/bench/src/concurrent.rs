@@ -13,9 +13,9 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use rbat::Catalog;
+use rbat::{Catalog, LogicalType, TableBuilder, Value};
 use recycler::{Recycler, RecyclerConfig, RecyclerStats, SharedRecycler};
-use rmal::{Engine, Program};
+use rmal::{Engine, Program, ProgramBuilder, P};
 
 use crate::driver::BenchItem;
 
@@ -165,6 +165,118 @@ pub fn run_concurrent_shared(
     }
 }
 
+/// One measured point of the [`pool_scaling`] sweep.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Concurrent session threads.
+    pub sessions: usize,
+    /// Total queries executed at this point.
+    pub queries: usize,
+    /// Wall time from first spawn to last join.
+    pub elapsed: Duration,
+    /// Queries per wall second (aggregate over all sessions).
+    pub queries_per_sec: f64,
+    /// Marked (probe+admission) instructions per wall second — the
+    /// recycler hot-path throughput the sharded pool is sized by.
+    pub ops_per_sec: f64,
+    /// Fraction of marked instructions answered from the pool.
+    pub hit_ratio: f64,
+    /// Cross-session exact-match reuses.
+    pub cross_session_hits: u64,
+    /// Racing duplicate admissions resolved first-writer-wins.
+    pub duplicate_admissions: u64,
+}
+
+/// Micro workload for the scaling sweep: a small catalog and cheap
+/// bind→select→aggregate templates, so recycler bookkeeping (probe, hit
+/// accounting, admission) dominates the per-query cost and the sweep
+/// exposes pool-lock contention rather than operator time.
+fn scaling_setup() -> (Catalog, Vec<Program>, Vec<BenchItem>) {
+    let mut cat = Catalog::new();
+    let mut tb = TableBuilder::new("t")
+        .column("x", LogicalType::Int)
+        .column("y", LogicalType::Int);
+    for i in 0..1000i64 {
+        tb.push_row(&[Value::Int((i * 37) % 1000), Value::Int(i % 97)]);
+    }
+    cat.add_table(tb.finish());
+
+    let mut b = ProgramBuilder::new("scale_count", 2);
+    let col = b.bind("t", "x");
+    let sel = b.select_closed(col, P(0), P(1));
+    let n = b.count(sel);
+    b.export("n", n);
+    let count_t = b.finish();
+
+    let mut b = ProgramBuilder::new("scale_sum", 2);
+    let col = b.bind("t", "y");
+    let sel = b.select_closed(col, P(0), P(1));
+    let s = b.sum(sel);
+    b.export("s", s);
+    let sum_t = b.finish();
+
+    // a small parameter alphabet: most probes repeat (hits), the rest
+    // admit fresh entries — both sides of the hot path are exercised
+    let ranges = [
+        (0i64, 800i64),
+        (100, 700),
+        (200, 600),
+        (0, 500),
+        (300, 900),
+        (50, 450),
+        (150, 850),
+        (250, 750),
+    ];
+    let items: Vec<BenchItem> = (0..ranges.len() * 2)
+        .map(|i| {
+            let (lo, hi) = ranges[i % ranges.len()];
+            BenchItem {
+                query_idx: i % 2,
+                label: i as u8,
+                params: vec![Value::Int(lo), Value::Int(hi)],
+            }
+        })
+        .collect();
+    (cat, vec![count_t, sum_t], items)
+}
+
+/// The `pool_scaling` experiment: sweep session counts over the same
+/// per-session query volume (weak scaling), each point against a FRESH
+/// shared pool, and report aggregate probe+admission throughput plus hit
+/// ratio per point. `config` selects the pool layout — pass
+/// `RecyclerConfig::default().shards(1)` to reproduce the pre-shard
+/// single-lock baseline.
+pub fn pool_scaling(
+    counts: &[usize],
+    queries_per_session: usize,
+    config: RecyclerConfig,
+) -> Vec<ScalePoint> {
+    let (cat, templates, alphabet) = scaling_setup();
+    counts
+        .iter()
+        .map(|&n| {
+            let total = n.max(1) * queries_per_session;
+            let batch: Vec<BenchItem> = (0..total)
+                .map(|i| alphabet[i % alphabet.len()].clone())
+                .collect();
+            let streams = partition_streams(&batch, n.max(1));
+            let outcome = run_concurrent(cat.clone(), &templates, &streams, config);
+            let monitored: u64 = outcome.per_session.iter().map(|s| s.monitored).sum();
+            let secs = outcome.elapsed.as_secs_f64().max(1e-9);
+            ScalePoint {
+                sessions: outcome.sessions,
+                queries: outcome.queries,
+                elapsed: outcome.elapsed,
+                queries_per_sec: outcome.queries as f64 / secs,
+                ops_per_sec: monitored as f64 / secs,
+                hit_ratio: outcome.hit_ratio(),
+                cross_session_hits: outcome.stats.cross_session_hits,
+                duplicate_admissions: outcome.stats.duplicate_admissions,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +319,20 @@ mod tests {
         assert_eq!(outcome.sessions, 1);
         assert_eq!(outcome.stats.cross_session_hits, 0);
         assert!(outcome.stats.hits > 0);
+    }
+
+    #[test]
+    fn pool_scaling_sweeps_and_hits() {
+        let points = pool_scaling(&[1, 2, 4], 16, RecyclerConfig::default());
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].sessions, 1);
+        assert_eq!(points[2].sessions, 4);
+        for p in &points {
+            assert_eq!(p.queries, p.sessions * 16);
+            assert!(p.ops_per_sec > 0.0);
+            assert!(p.hit_ratio > 0.3, "repetitive alphabet must hit: {p:?}");
+        }
+        assert!(points[2].cross_session_hits > 0);
     }
 
     #[test]

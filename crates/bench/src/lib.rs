@@ -17,6 +17,8 @@ pub mod experiments;
 pub mod report;
 pub mod tables;
 
-pub use concurrent::{partition_streams, run_concurrent, ConcurrentOutcome, SessionOutcome};
+pub use concurrent::{
+    partition_streams, pool_scaling, run_concurrent, ConcurrentOutcome, ScalePoint, SessionOutcome,
+};
 pub use driver::{run_batch, BatchOutcome, BenchItem, QueryRun};
 pub use tables::TextTable;

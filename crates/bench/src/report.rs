@@ -14,7 +14,7 @@ use rand::SeedableRng;
 use recycler::RecyclerConfig;
 use rmal::Program;
 
-use crate::concurrent::{partition_streams, run_concurrent};
+use crate::concurrent::{partition_streams, pool_scaling, run_concurrent, ScalePoint};
 use crate::driver::{run_naive, run_recycled, BenchItem};
 use crate::experiments::ExpEnv;
 
@@ -109,9 +109,15 @@ fn ms(d: Duration) -> Json {
 }
 
 /// One naive-vs-recycler comparison over a template/item batch.
-fn compare(name: &str, catalog: rbat::Catalog, templates: &[Program], items: &[BenchItem]) -> Json {
+fn compare(
+    name: &str,
+    catalog: rbat::Catalog,
+    templates: &[Program],
+    items: &[BenchItem],
+    config: RecyclerConfig,
+) -> Json {
     let naive = run_naive(catalog.clone(), templates, items);
-    let (rec, engine) = run_recycled(catalog, templates, items, RecyclerConfig::default(), false);
+    let (rec, engine) = run_recycled(catalog, templates, items, config, false);
     let stats = engine.hook.stats();
     let (pool_entries, pool_bytes) = {
         let pool = engine.hook.pool();
@@ -191,6 +197,79 @@ fn concurrent_experiment(env: &ExpEnv, n: usize) -> Json {
     ])
 }
 
+/// Serialize one [`ScalePoint`].
+fn scale_point_json(p: &ScalePoint) -> Json {
+    Json::obj(vec![
+        ("sessions", Json::Int(p.sessions as u64)),
+        ("queries", Json::Int(p.queries as u64)),
+        ("elapsed_ms", ms(p.elapsed)),
+        (
+            "queries_per_sec",
+            Json::Num((p.queries_per_sec * 10.0).round() / 10.0),
+        ),
+        (
+            "ops_per_sec",
+            Json::Num((p.ops_per_sec * 10.0).round() / 10.0),
+        ),
+        (
+            "hit_ratio",
+            Json::Num((p.hit_ratio * 1000.0).round() / 1000.0),
+        ),
+        ("cross_session_hits", Json::Int(p.cross_session_hits)),
+        ("duplicate_admissions", Json::Int(p.duplicate_admissions)),
+    ])
+}
+
+/// The `pool_scaling` experiment: per-session-count probe+admission
+/// throughput and hit ratio on the sharded pool, plus the pre-shard
+/// single-lock baseline at 8 sessions for the contention comparison.
+fn pool_scaling_experiment() -> Json {
+    const QUERIES_PER_SESSION: usize = 192;
+    let sharded = pool_scaling(
+        &[1, 2, 4, 8, 16],
+        QUERIES_PER_SESSION,
+        RecyclerConfig::default(),
+    );
+    let single_lock = pool_scaling(
+        &[8],
+        QUERIES_PER_SESSION,
+        RecyclerConfig::default().shards(1),
+    );
+    let speedup_8x = match (
+        sharded.iter().find(|p| p.sessions == 8),
+        single_lock.first(),
+    ) {
+        (Some(s), Some(b)) if b.ops_per_sec > 0.0 => s.ops_per_sec / b.ops_per_sec,
+        _ => 0.0,
+    };
+    // Scaling numbers only mean something relative to the hardware: on a
+    // single-core host the sweep measures per-op overhead, not
+    // parallelism (there are no idle cores for sharding to feed).
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    Json::obj(vec![
+        ("name", Json::Str("pool_scaling".to_string())),
+        ("cores", Json::Int(cores as u64)),
+        ("queries_per_session", Json::Int(QUERIES_PER_SESSION as u64)),
+        (
+            "points",
+            Json::Arr(sharded.iter().map(scale_point_json).collect()),
+        ),
+        (
+            "single_lock_8x",
+            single_lock
+                .first()
+                .map(scale_point_json)
+                .unwrap_or(Json::Bool(false)),
+        ),
+        (
+            "sharded_vs_single_lock_8x",
+            Json::Num((speedup_8x * 1000.0).round() / 1000.0),
+        ),
+    ])
+}
+
 /// Build the whole report document.
 pub fn bench_report(env: &ExpEnv) -> Json {
     let mut experiments: Vec<Json> = Vec::new();
@@ -208,7 +287,23 @@ pub fn bench_report(env: &ExpEnv) -> Json {
                 params: i.params,
             })
             .collect();
-        experiments.push(compare("tpch_mixed_batch", cat, &templates, &items));
+        experiments.push(compare(
+            "tpch_mixed_batch",
+            cat.clone(),
+            &templates,
+            &items,
+            RecyclerConfig::default(),
+        ));
+        // The same batch under a 1 MiB budget: eviction policy cost and
+        // churn become part of the perf trajectory (the unlimited runs
+        // never evict).
+        experiments.push(compare(
+            "tpch_mixed_lowmem",
+            cat,
+            &templates,
+            &items,
+            RecyclerConfig::default().mem_limit(1 << 20),
+        ));
     }
 
     // TPC-H repeat instances of the flagship Q18 (paper Fig. 4b).
@@ -229,6 +324,7 @@ pub fn bench_report(env: &ExpEnv) -> Json {
             cat,
             std::slice::from_ref(&q.template),
             &items,
+            RecyclerConfig::default(),
         ));
     }
 
@@ -244,11 +340,20 @@ pub fn bench_report(env: &ExpEnv) -> Json {
                 params: l.params,
             })
             .collect();
-        experiments.push(compare("skyserver_log", cat, &templates, &items));
+        experiments.push(compare(
+            "skyserver_log",
+            cat,
+            &templates,
+            &items,
+            RecyclerConfig::default(),
+        ));
     }
 
-    // Multi-session serving over one shared pool (this PR's tentpole).
+    // Multi-session serving over one shared pool.
     experiments.push(concurrent_experiment(env, 4));
+
+    // Session-count sweep on the sharded pool (this PR's tentpole).
+    experiments.push(pool_scaling_experiment());
 
     Json::obj(vec![
         ("schema", Json::Str("recycler-bench/v1".to_string())),
@@ -289,12 +394,27 @@ mod tests {
         let text = report.to_string();
         for name in [
             "tpch_mixed_batch",
+            "tpch_mixed_lowmem",
             "tpch_q18_repeat",
             "skyserver_log",
             "skyserver_concurrent_4x",
             "cross_session_hits",
+            "pool_scaling",
+            "single_lock_8x",
         ] {
             assert!(text.contains(name), "missing {name} in {text}");
         }
+        // the low-memory run must actually exercise eviction
+        let lowmem = text
+            .split("\"name\":\"tpch_mixed_lowmem\"")
+            .nth(1)
+            .expect("lowmem experiment present");
+        let evictions: u64 = lowmem
+            .split("\"evictions\":")
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .and_then(|s| s.parse().ok())
+            .expect("evictions field");
+        assert!(evictions > 0, "1 MiB budget must evict: {lowmem}");
     }
 }

@@ -67,6 +67,10 @@ pub struct RecyclerConfig {
     pub combined_max_candidates: usize,
     /// Update synchronisation mode.
     pub update_mode: UpdateMode,
+    /// Number of pool shards (rounded up to a power of two). `None` picks
+    /// the next power of two ≥ 2× the core count (minimum 8); `Some(1)`
+    /// reproduces the pre-shard single-lock pool for baselines.
+    pub pool_shards: Option<usize>,
 }
 
 impl Default for RecyclerConfig {
@@ -83,6 +87,7 @@ impl Default for RecyclerConfig {
             combined_subsumption: true,
             combined_max_candidates: 16,
             update_mode: UpdateMode::Invalidate,
+            pool_shards: None,
         }
     }
 }
@@ -132,6 +137,13 @@ impl RecyclerConfig {
         self.update_mode = m;
         self
     }
+
+    /// Builder-style: set the pool shard count (rounded up to a power of
+    /// two; 1 = the pre-shard single-lock layout).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.pool_shards = Some(n.max(1));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -163,5 +175,12 @@ mod tests {
     fn disabling_subsumption_disables_combined() {
         let c = RecyclerConfig::default().subsumption(false);
         assert!(!c.combined_subsumption);
+    }
+
+    #[test]
+    fn shard_count_configurable() {
+        assert_eq!(RecyclerConfig::default().pool_shards, None);
+        assert_eq!(RecyclerConfig::default().shards(16).pool_shards, Some(16));
+        assert_eq!(RecyclerConfig::default().shards(0).pool_shards, Some(1));
     }
 }

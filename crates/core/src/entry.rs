@@ -1,6 +1,18 @@
 //! Pool entries: a cached instruction instance with lineage and statistics.
+//!
+//! # Concurrency
+//!
+//! An entry's *identity* (signature, arguments, result, lineage) is fixed
+//! at admission and only ever rewritten under a full-pool write view
+//! (delta propagation). Its *usage statistics* — reuse counters, the
+//! last-use stamp, the pin count, the saved-time tally and the
+//! credit-return flag — are plain atomics, so the exact-match hit path
+//! can update them while holding nothing stronger than a shard **read**
+//! lock. This is what makes the sharded pool's hit path write-lock-free
+//! (see the locking invariants in [`crate::shared`]).
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::time::Duration;
 
 use rbat::{BatId, Value};
@@ -18,9 +30,9 @@ pub type InstrKey = (u64, usize);
 /// A recycled intermediate: the instruction as executed, its materialised
 /// result, lineage links and the execution/reuse statistics that drive the
 /// admission and eviction policies.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PoolEntry {
-    /// Pool-unique id.
+    /// Pool-unique id (never reused, monotone across pool clears).
     pub id: EntryId,
     /// Matching signature (opcode + argument values/identities).
     pub sig: Sig,
@@ -45,8 +57,6 @@ pub struct PoolEntry {
     pub base_columns: BTreeSet<(String, String)>,
     /// Logical admission tick (for the HISTORY policy's ageing).
     pub admitted_tick: u64,
-    /// Last computation-or-reuse tick (LRU ordering).
-    pub last_used: u64,
     /// Invocation counter value when admitted — distinguishes local from
     /// global reuse.
     pub admitted_invocation: u64,
@@ -54,27 +64,103 @@ pub struct PoolEntry {
     /// a *cross-session* reuse, the multi-user payoff the paper's shared
     /// pool exists for (§8).
     pub admitted_session: u64,
-    /// Reuses within the admitting invocation.
-    pub local_reuses: u64,
-    /// Reuses from other invocations.
-    pub global_reuses: u64,
-    /// Times this entry served as a subsumption source (§5).
-    pub subsumption_uses: u64,
     /// Source instruction identity (for credit returns).
     pub creator: InstrKey,
-    /// Cumulative execution time avoided through exact-match reuse.
-    pub time_saved: Duration,
+    /// Last computation-or-reuse tick (LRU ordering). Atomic: stamped on
+    /// every hit under the shard read lock.
+    pub last_used: AtomicU64,
+    /// Reuses within the admitting invocation. Atomic: bumped on hit.
+    pub local_reuses: AtomicU64,
+    /// Reuses from other invocations. Atomic: bumped on hit.
+    pub global_reuses: AtomicU64,
+    /// Times this entry served as a subsumption source (§5).
+    pub subsumption_uses: AtomicU64,
+    /// Cumulative nanoseconds of execution avoided through exact-match
+    /// reuse of this entry.
+    pub time_saved_ns: AtomicU64,
+    /// Sessions currently referencing this entry from a running query. A
+    /// pinned entry is never evicted; invalidation may still remove it —
+    /// correctness beats retention. Bumped under the owning shard's read
+    /// lock, checked under its write lock: the shard `RwLock` makes
+    /// pin-vs-evict races impossible.
+    pub pins: AtomicU32,
     /// Has the admission credit already been returned to the creator
     /// (first local reuse returns it immediately; a globally reused entry
-    /// returns it at eviction — never both, paper §4.2)?
-    pub credit_returned: bool,
+    /// returns it at eviction — never both, paper §4.2)? Atomic flag so a
+    /// racing pair of local hits returns the credit exactly once.
+    pub credit_returned: AtomicBool,
+}
+
+impl Clone for PoolEntry {
+    /// Snapshot clone: atomics are copied at their current value. Used by
+    /// diagnostics; the pool itself never clones entries.
+    fn clone(&self) -> PoolEntry {
+        PoolEntry {
+            id: self.id,
+            sig: self.sig.clone(),
+            args: self.args.clone(),
+            result: self.result.clone(),
+            result_id: self.result_id,
+            bytes: self.bytes,
+            cpu: self.cpu,
+            family: self.family,
+            parents: self.parents.clone(),
+            base_columns: self.base_columns.clone(),
+            admitted_tick: self.admitted_tick,
+            admitted_invocation: self.admitted_invocation,
+            admitted_session: self.admitted_session,
+            creator: self.creator,
+            last_used: AtomicU64::new(self.last_used()),
+            local_reuses: AtomicU64::new(self.local_reuses()),
+            global_reuses: AtomicU64::new(self.global_reuses()),
+            subsumption_uses: AtomicU64::new(self.subsumption_uses()),
+            time_saved_ns: AtomicU64::new(self.time_saved_ns.load(Ordering::Relaxed)),
+            pins: AtomicU32::new(self.pin_count()),
+            credit_returned: AtomicBool::new(self.credit_returned()),
+        }
+    }
 }
 
 impl PoolEntry {
+    /// Last computation-or-reuse tick.
+    pub fn last_used(&self) -> u64 {
+        self.last_used.load(Ordering::Relaxed)
+    }
+
+    /// Reuses within the admitting invocation.
+    pub fn local_reuses(&self) -> u64 {
+        self.local_reuses.load(Ordering::Relaxed)
+    }
+
+    /// Reuses from other invocations.
+    pub fn global_reuses(&self) -> u64 {
+        self.global_reuses.load(Ordering::Relaxed)
+    }
+
+    /// Times this entry served as a subsumption source.
+    pub fn subsumption_uses(&self) -> u64 {
+        self.subsumption_uses.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative execution time avoided through exact-match reuse.
+    pub fn time_saved(&self) -> Duration {
+        Duration::from_nanos(self.time_saved_ns.load(Ordering::Relaxed))
+    }
+
+    /// Sessions currently pinning this entry.
+    pub fn pin_count(&self) -> u32 {
+        self.pins.load(Ordering::Relaxed)
+    }
+
+    /// Has the admission credit been returned to the creator?
+    pub fn credit_returned(&self) -> bool {
+        self.credit_returned.load(Ordering::Relaxed)
+    }
+
     /// Total references: the initial computation plus every reuse —
     /// `k` in the paper's weight function (eq. 2).
     pub fn k(&self) -> u64 {
-        1 + self.local_reuses + self.global_reuses
+        1 + self.local_reuses() + self.global_reuses()
     }
 
     /// Weight function of eq. (2): entries with demonstrated *global*
@@ -82,7 +168,7 @@ impl PoolEntry {
     /// get the minimal weight 0.1 (no incentive to keep them beyond the
     /// query scope).
     pub fn weight(&self) -> f64 {
-        if self.global_reuses > 0 {
+        if self.global_reuses() > 0 {
             (self.k() - 1) as f64
         } else {
             0.1
@@ -102,7 +188,7 @@ impl PoolEntry {
 
     /// Was this entry ever reused (locally or globally)?
     pub fn reused(&self) -> bool {
-        self.local_reuses + self.global_reuses > 0
+        self.local_reuses() + self.global_reuses() > 0
     }
 }
 
@@ -124,15 +210,16 @@ mod tests {
             parents: vec![],
             base_columns: BTreeSet::new(),
             admitted_tick: 10,
-            last_used: 10,
             admitted_invocation: 1,
             admitted_session: 1,
-            local_reuses: 0,
-            global_reuses: 0,
-            subsumption_uses: 0,
             creator: (1, 0),
-            time_saved: Duration::ZERO,
-            credit_returned: false,
+            last_used: AtomicU64::new(10),
+            local_reuses: AtomicU64::new(0),
+            global_reuses: AtomicU64::new(0),
+            subsumption_uses: AtomicU64::new(0),
+            time_saved_ns: AtomicU64::new(0),
+            pins: AtomicU32::new(0),
+            credit_returned: AtomicBool::new(false),
         }
     }
 
@@ -146,16 +233,16 @@ mod tests {
 
     #[test]
     fn weight_local_only_stays_minimal() {
-        let mut e = entry();
-        e.local_reuses = 5;
+        let e = entry();
+        e.local_reuses.store(5, Ordering::Relaxed);
         assert!((e.weight() - 0.1).abs() < 1e-12);
     }
 
     #[test]
     fn weight_global_reuse_counts_references() {
-        let mut e = entry();
-        e.global_reuses = 2;
-        e.local_reuses = 1;
+        let e = entry();
+        e.global_reuses.store(2, Ordering::Relaxed);
+        e.local_reuses.store(1, Ordering::Relaxed);
         assert_eq!(e.k(), 4);
         assert!((e.weight() - 3.0).abs() < 1e-12);
         assert!((e.benefit() - 0.3).abs() < 1e-9);
@@ -163,10 +250,21 @@ mod tests {
 
     #[test]
     fn history_benefit_ages() {
-        let mut e = entry();
-        e.global_reuses = 1;
+        let e = entry();
+        e.global_reuses.store(1, Ordering::Relaxed);
         let fresh = e.history_benefit(11);
         let old = e.history_benefit(1010);
         assert!(fresh > old);
+    }
+
+    #[test]
+    fn clone_snapshots_atomics() {
+        let e = entry();
+        e.local_reuses.store(3, Ordering::Relaxed);
+        e.pins.store(2, Ordering::Relaxed);
+        let c = e.clone();
+        assert_eq!(c.local_reuses(), 3);
+        assert_eq!(c.pin_count(), 2);
+        assert_eq!(c.id, e.id);
     }
 }

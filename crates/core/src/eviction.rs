@@ -7,14 +7,16 @@
 //! complementary binary-knapsack problem with the classic greedy
 //! 2-approximation [Martello & Toth 1990].
 //!
-//! Concurrency: `evict` mutates the pool and therefore always runs under
-//! the [`SharedRecycler`](crate::SharedRecycler)'s write lock, with
-//! `protected` built from the shared pin table. Protection is strict —
-//! when only pinned leaves remain, `evict` returns fewer entries than
-//! requested and the caller turns the admission into a reject rather than
-//! evicting another session's working set.
-
-use rbat::hash::FxHashSet;
+//! Concurrency (sharded pool): [`evict`] *gathers* candidates under shard
+//! **read** locks (one shard at a time, plus the lineage index for the
+//! leaf test), chooses victims from the snapshot, and then write-locks
+//! only the shards it actually evicts from, one victim at a time via
+//! [`RecyclePool::remove_if_evictable`] — which revalidates the pin count
+//! and the leaf property inside the shard's critical section, so a
+//! concurrent hit or a freshly wired child edge always wins over the
+//! stale snapshot. Callers serialise evictors through the
+//! [`SharedRecycler`](crate::SharedRecycler)'s eviction mutex (tier 1 of
+//! the lock order) so concurrent memory pressure never over-evicts.
 
 use crate::config::EvictionPolicy;
 use crate::entry::{EntryId, PoolEntry};
@@ -29,59 +31,93 @@ pub enum EvictTrigger {
     Memory(usize),
 }
 
+/// A gathered eviction candidate: the policy inputs snapshot at gather
+/// time (victim selection revalidates at removal).
+struct Candidate {
+    id: EntryId,
+    bytes: usize,
+    key: f64,
+    last_used: u64,
+}
+
 fn policy_key(policy: EvictionPolicy, e: &PoolEntry, now_tick: u64) -> f64 {
     match policy {
         // smaller = evicted first
-        EvictionPolicy::Lru => e.last_used as f64,
+        EvictionPolicy::Lru => e.last_used() as f64,
         EvictionPolicy::Benefit => e.benefit(),
         EvictionPolicy::History => e.history_benefit(now_tick),
     }
+}
+
+/// Snapshot the evictable leaves: unpinned entries without dependents.
+/// One shard read lock at a time; the lineage leaf test nests under it
+/// (the documented order).
+fn gather(pool: &RecyclePool, policy: EvictionPolicy, now_tick: u64) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    pool.for_each_entry(|e| {
+        if e.pin_count() == 0 && !pool.has_children(e.id) {
+            out.push(Candidate {
+                id: e.id,
+                bytes: e.bytes,
+                key: policy_key(policy, e, now_tick),
+                last_used: e.last_used(),
+            });
+        }
+    });
+    out
 }
 
 /// Evict per `policy` until the trigger is satisfied; returns the evicted
 /// entries (the caller settles credit returns and statistics). May return
 /// fewer than requested when the pool runs out of evictable entries.
 pub fn evict(
-    pool: &mut RecyclePool,
+    pool: &RecyclePool,
     policy: EvictionPolicy,
     trigger: EvictTrigger,
-    protected: &FxHashSet<EntryId>,
     now_tick: u64,
 ) -> Vec<PoolEntry> {
     match trigger {
-        EvictTrigger::Entries(need) => evict_entries(pool, policy, need, protected, now_tick),
-        EvictTrigger::Memory(need) => evict_memory(pool, policy, need, protected, now_tick),
+        EvictTrigger::Entries(need) => evict_entries(pool, policy, need, now_tick),
+        EvictTrigger::Memory(need) => evict_memory(pool, policy, need, now_tick),
     }
 }
 
 /// Per-entry variant (BPent / HPent / plain LRU): repeatedly pick the leaf
 /// with the smallest policy key.
 fn evict_entries(
-    pool: &mut RecyclePool,
+    pool: &RecyclePool,
     policy: EvictionPolicy,
     need: usize,
-    protected: &FxHashSet<EntryId>,
     now_tick: u64,
 ) -> Vec<PoolEntry> {
     let mut evicted = Vec::new();
+    let mut stalled = 0u32;
     while evicted.len() < need {
-        let leaves = pool.leaves(protected);
+        let leaves = gather(pool, policy, now_tick);
         let victim = leaves
             .iter()
-            .filter_map(|id| pool.get(*id))
             .min_by(|a, b| {
-                policy_key(policy, a, now_tick)
-                    .partial_cmp(&policy_key(policy, b, now_tick))
+                a.key
+                    .partial_cmp(&b.key)
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
-            .map(|e| e.id);
+            .map(|c| c.id);
         match victim {
-            Some(id) => {
-                debug_assert!(!protected.contains(&id), "evicting a pinned entry");
-                if let Some(e) = pool.remove(id) {
+            Some(id) => match pool.remove_if_evictable(id) {
+                Some(e) => {
+                    stalled = 0;
                     evicted.push(e);
                 }
-            }
+                None => {
+                    // the snapshot went stale (a concurrent hit pinned the
+                    // victim, or it gained a child); re-gather, but give up
+                    // if no round makes progress
+                    stalled += 1;
+                    if stalled > 3 {
+                        break;
+                    }
+                }
+            },
             None => break,
         }
     }
@@ -96,67 +132,66 @@ fn evict_entries(
 /// most 2× off optimal). If the leaves do not release enough space, all of
 /// them go and another iteration starts (paper §4.3).
 fn evict_memory(
-    pool: &mut RecyclePool,
+    pool: &RecyclePool,
     policy: EvictionPolicy,
     need: usize,
-    protected: &FxHashSet<EntryId>,
     now_tick: u64,
 ) -> Vec<PoolEntry> {
     let mut evicted = Vec::new();
     let mut freed = 0usize;
+    let mut stalled = 0u32;
     while freed < need {
-        let leaves = pool.leaves(protected);
+        let leaves = gather(pool, policy, now_tick);
         if leaves.is_empty() {
             break;
         }
-        let leaf_bytes: usize = leaves
-            .iter()
-            .filter_map(|id| pool.get(*id))
-            .map(|e| e.bytes)
-            .sum();
+        let leaf_bytes: usize = leaves.iter().map(|c| c.bytes).sum();
         let remaining_need = need - freed;
-        if leaf_bytes <= remaining_need {
+        let victims: Vec<EntryId> = if leaf_bytes <= remaining_need {
             // Not enough in this layer: evict all leaves, iterate.
-            for id in leaves {
-                if let Some(e) = pool.remove(id) {
-                    freed += e.bytes;
-                    evicted.push(e);
-                }
-            }
-            continue;
-        }
-        let victims: Vec<EntryId> = match policy {
-            EvictionPolicy::Lru => {
-                let mut ordered: Vec<(u64, usize, EntryId)> = leaves
-                    .iter()
-                    .filter_map(|id| pool.get(*id))
-                    .map(|e| (e.last_used, e.bytes, e.id))
-                    .collect();
-                ordered.sort_unstable();
-                let mut take = Vec::new();
-                let mut sum = 0usize;
-                for (_, bytes, id) in ordered {
-                    if sum >= remaining_need {
-                        break;
+            leaves.iter().map(|c| c.id).collect()
+        } else {
+            match policy {
+                EvictionPolicy::Lru => {
+                    let mut ordered: Vec<(u64, usize, EntryId)> = leaves
+                        .iter()
+                        .map(|c| (c.last_used, c.bytes, c.id))
+                        .collect();
+                    ordered.sort_unstable();
+                    let mut take = Vec::new();
+                    let mut sum = 0usize;
+                    for (_, bytes, id) in ordered {
+                        if sum >= remaining_need {
+                            break;
+                        }
+                        sum += bytes;
+                        take.push(id);
                     }
-                    sum += bytes;
-                    take.push(id);
+                    take
                 }
-                take
-            }
-            EvictionPolicy::Benefit | EvictionPolicy::History => {
-                knapsack_victims(pool, &leaves, leaf_bytes - remaining_need, policy, now_tick)
+                EvictionPolicy::Benefit | EvictionPolicy::History => {
+                    knapsack_victims(&leaves, leaf_bytes - remaining_need)
+                }
             }
         };
         if victims.is_empty() {
             break;
         }
+        let mut progressed = false;
         for id in victims {
-            debug_assert!(!protected.contains(&id), "evicting a pinned entry");
-            if let Some(e) = pool.remove(id) {
+            if let Some(e) = pool.remove_if_evictable(id) {
                 freed += e.bytes;
                 evicted.push(e);
+                progressed = true;
             }
+        }
+        if !progressed {
+            stalled += 1;
+            if stalled > 3 {
+                break;
+            }
+        } else {
+            stalled = 0;
         }
     }
     evicted
@@ -164,64 +199,43 @@ fn evict_memory(
 
 /// Solve the *complementary* knapsack: keep the best leaves within
 /// `capacity` bytes, return the ones to evict.
-fn knapsack_victims(
-    pool: &RecyclePool,
-    leaves: &[EntryId],
-    capacity: usize,
-    policy: EvictionPolicy,
-    now_tick: u64,
-) -> Vec<EntryId> {
-    struct Item {
-        id: EntryId,
-        bytes: usize,
-        benefit: f64,
-    }
-    let items: Vec<Item> = leaves
-        .iter()
-        .filter_map(|id| pool.get(*id))
-        .map(|e| Item {
-            id: e.id,
-            bytes: e.bytes,
-            benefit: policy_key(policy, e, now_tick),
-        })
-        .collect();
-
+fn knapsack_victims(leaves: &[Candidate], capacity: usize) -> Vec<EntryId> {
     // Greedy by profit density.
-    let mut order: Vec<usize> = (0..items.len()).collect();
+    let mut order: Vec<usize> = (0..leaves.len()).collect();
     order.sort_by(|&a, &b| {
-        let da = items[a].benefit / items[a].bytes.max(1) as f64;
-        let db = items[b].benefit / items[b].bytes.max(1) as f64;
+        let da = leaves[a].key / leaves[a].bytes.max(1) as f64;
+        let db = leaves[b].key / leaves[b].bytes.max(1) as f64;
         db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
     });
-    let mut kept: FxHashSet<EntryId> = FxHashSet::default();
+    let mut kept: rbat::hash::FxHashSet<EntryId> = rbat::hash::FxHashSet::default();
     let mut used = 0usize;
     let mut greedy_benefit = 0.0;
     for &i in &order {
-        if used + items[i].bytes <= capacity {
-            used += items[i].bytes;
-            greedy_benefit += items[i].benefit;
-            kept.insert(items[i].id);
+        if used + leaves[i].bytes <= capacity {
+            used += leaves[i].bytes;
+            greedy_benefit += leaves[i].key;
+            kept.insert(leaves[i].id);
         }
     }
     // 2-approximation guard: compare with keeping only the max-profit item.
-    if let Some(best) = items
+    if let Some(best) = leaves
         .iter()
-        .filter(|it| it.bytes <= capacity)
+        .filter(|c| c.bytes <= capacity)
         .max_by(|a, b| {
-            a.benefit
-                .partial_cmp(&b.benefit)
+            a.key
+                .partial_cmp(&b.key)
                 .unwrap_or(std::cmp::Ordering::Equal)
         })
     {
-        if best.benefit > greedy_benefit {
+        if best.key > greedy_benefit {
             kept.clear();
             kept.insert(best.id);
         }
     }
-    items
+    leaves
         .iter()
-        .filter(|it| !kept.contains(&it.id))
-        .map(|it| it.id)
+        .filter(|c| !kept.contains(&c.id))
+        .map(|c| c.id)
         .collect()
 }
 
@@ -232,10 +246,11 @@ mod tests {
     use rbat::Value;
     use rmal::Opcode;
     use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
     use std::time::Duration;
 
     fn put(
-        pool: &mut RecyclePool,
+        pool: &RecyclePool,
         tag: i64,
         bytes: usize,
         cpu_ms: u64,
@@ -243,7 +258,7 @@ mod tests {
         last_used: u64,
     ) -> EntryId {
         let e = PoolEntry {
-            id: pool.next_id(),
+            id: pool.alloc_id(),
             sig: Sig::of(Opcode::Select, &[Value::Int(tag)]),
             args: vec![Value::Int(tag)],
             result: Value::Int(tag),
@@ -254,64 +269,52 @@ mod tests {
             parents: vec![],
             base_columns: BTreeSet::new(),
             admitted_tick: 0,
-            last_used,
             admitted_invocation: 0,
             admitted_session: 0,
-            local_reuses: 0,
-            global_reuses,
-            subsumption_uses: 0,
             creator: (0, 0),
-            time_saved: Duration::ZERO,
-            credit_returned: false,
+            last_used: AtomicU64::new(last_used),
+            local_reuses: AtomicU64::new(0),
+            global_reuses: AtomicU64::new(global_reuses),
+            subsumption_uses: AtomicU64::new(0),
+            time_saved_ns: AtomicU64::new(0),
+            pins: AtomicU32::new(0),
+            credit_returned: AtomicBool::new(false),
         };
-        pool.insert(e).id()
+        pool.insert(e, None).id()
     }
 
     #[test]
     fn lru_evicts_oldest() {
-        let mut pool = RecyclePool::new();
-        let old = put(&mut pool, 1, 100, 10, 0, 1);
-        let newer = put(&mut pool, 2, 100, 10, 0, 5);
-        let ev = evict(
-            &mut pool,
-            EvictionPolicy::Lru,
-            EvictTrigger::Entries(1),
-            &FxHashSet::default(),
-            10,
-        );
+        let pool = RecyclePool::new();
+        let old = put(&pool, 1, 100, 10, 0, 1);
+        let newer = put(&pool, 2, 100, 10, 0, 5);
+        let ev = evict(&pool, EvictionPolicy::Lru, EvictTrigger::Entries(1), 10);
         assert_eq!(ev.len(), 1);
         assert_eq!(ev[0].id, old);
-        assert!(pool.get(newer).is_some());
+        assert!(pool.entry(newer, |_| ()).is_some());
     }
 
     #[test]
     fn benefit_keeps_reused_expensive() {
-        let mut pool = RecyclePool::new();
-        let cheap = put(&mut pool, 1, 100, 1, 0, 9); // tiny benefit
-        let valuable = put(&mut pool, 2, 100, 1000, 3, 1); // reused, expensive
-        let ev = evict(
-            &mut pool,
-            EvictionPolicy::Benefit,
-            EvictTrigger::Entries(1),
-            &FxHashSet::default(),
-            10,
-        );
+        let pool = RecyclePool::new();
+        let cheap = put(&pool, 1, 100, 1, 0, 9); // tiny benefit
+        let valuable = put(&pool, 2, 100, 1000, 3, 1); // reused, expensive
+        let ev = evict(&pool, EvictionPolicy::Benefit, EvictTrigger::Entries(1), 10);
         assert_eq!(ev[0].id, cheap, "LRU would have taken the valuable one");
-        assert!(pool.get(valuable).is_some());
+        assert!(pool.entry(valuable, |_| ()).is_some());
     }
 
     #[test]
     fn memory_eviction_frees_enough() {
-        let mut pool = RecyclePool::new();
+        let pool = RecyclePool::new();
         for i in 0..10 {
-            put(&mut pool, i, 1000, 10, (i % 3) as u64, i as u64);
+            put(&pool, i, 1000, 10, (i % 3) as u64, i as u64);
         }
         let before = pool.bytes();
         let ev = evict(
-            &mut pool,
+            &pool,
             EvictionPolicy::Benefit,
             EvictTrigger::Memory(2500),
-            &FxHashSet::default(),
             100,
         );
         let freed: usize = ev.iter().map(|e| e.bytes).sum();
@@ -321,30 +324,35 @@ mod tests {
     }
 
     #[test]
-    fn protected_entries_survive() {
-        let mut pool = RecyclePool::new();
-        let a = put(&mut pool, 1, 100, 10, 0, 1);
-        let b = put(&mut pool, 2, 100, 10, 0, 2);
-        let mut prot = FxHashSet::default();
-        prot.insert(a);
-        let ev = evict(
-            &mut pool,
-            EvictionPolicy::Lru,
-            EvictTrigger::Entries(1),
-            &prot,
-            10,
-        );
-        assert_eq!(ev[0].id, b, "the older entry was protected");
-        assert!(pool.get(a).is_some());
+    fn pinned_entries_survive() {
+        let pool = RecyclePool::new();
+        let a = put(&pool, 1, 100, 10, 0, 1);
+        let b = put(&pool, 2, 100, 10, 0, 2);
+        pool.entry(a, |e| e.pins.store(1, Ordering::Relaxed));
+        let ev = evict(&pool, EvictionPolicy::Lru, EvictTrigger::Entries(1), 10);
+        assert_eq!(ev[0].id, b, "the older entry was pinned");
+        assert!(pool.entry(a, |_| ()).is_some());
+    }
+
+    #[test]
+    fn fully_pinned_pool_yields_nothing() {
+        let pool = RecyclePool::new();
+        for i in 0..4 {
+            let id = put(&pool, i, 100, 10, 0, i as u64);
+            pool.entry(id, |e| e.pins.store(1, Ordering::Relaxed));
+        }
+        let ev = evict(&pool, EvictionPolicy::Lru, EvictTrigger::Entries(2), 10);
+        assert!(ev.is_empty(), "pinned entries must never be evicted");
+        assert_eq!(pool.len(), 4);
     }
 
     #[test]
     fn dependency_layers_peel() {
         // parent <- child: child must go before parent can.
-        let mut pool = RecyclePool::new();
-        let parent = put(&mut pool, 1, 1000, 10, 5, 1);
+        let pool = RecyclePool::new();
+        let parent = put(&pool, 1, 1000, 10, 5, 1);
         let child = PoolEntry {
-            id: pool.next_id(),
+            id: pool.alloc_id(),
             sig: Sig::of(Opcode::Reverse, &[Value::Int(99)]),
             args: vec![],
             result: Value::Int(0),
@@ -355,24 +363,19 @@ mod tests {
             parents: vec![parent],
             base_columns: BTreeSet::new(),
             admitted_tick: 0,
-            last_used: 9,
             admitted_invocation: 0,
             admitted_session: 0,
-            local_reuses: 0,
-            global_reuses: 0,
-            subsumption_uses: 0,
             creator: (0, 1),
-            time_saved: Duration::ZERO,
-            credit_returned: false,
+            last_used: AtomicU64::new(9),
+            local_reuses: AtomicU64::new(0),
+            global_reuses: AtomicU64::new(0),
+            subsumption_uses: AtomicU64::new(0),
+            time_saved_ns: AtomicU64::new(0),
+            pins: AtomicU32::new(0),
+            credit_returned: AtomicBool::new(false),
         };
-        pool.insert(child);
-        let ev = evict(
-            &mut pool,
-            EvictionPolicy::Lru,
-            EvictTrigger::Memory(1500),
-            &FxHashSet::default(),
-            10,
-        );
+        pool.insert(child, None);
+        let ev = evict(&pool, EvictionPolicy::Lru, EvictTrigger::Memory(1500), 10);
         assert_eq!(ev.len(), 2);
         assert_eq!(ev[0].family, "view", "leaf (child) must be evicted first");
         pool.check_invariants().unwrap();

@@ -20,10 +20,14 @@
 //!   eviction state and lifetime statistics behind interior locking. The
 //!   paper's recycler is explicitly shared by *all* user sessions (§8's
 //!   SkyServer gains come from cross-session reuse), so the pool lives in
-//!   one `Arc`-shared instance: exact-match and subsumption probes run
-//!   concurrently under a read lock, admissions and eviction serialise
-//!   under the write lock, and racing duplicate admissions resolve
-//!   first-writer-wins. See [`shared`] for the locking invariants.
+//!   one `Arc`-shared instance — and is itself *sharded* by signature
+//!   hash: exact-match hits run entirely under one shard read lock over
+//!   per-entry atomic counters (no write lock on the hit path, ever),
+//!   admissions from different sessions write disjoint shards, eviction
+//!   gathers under read locks and write-locks only the shards it evicts
+//!   from, and racing duplicate admissions resolve first-writer-wins
+//!   inside one shard's critical section. See [`shared`] for the locking
+//!   invariants.
 //!
 //! * **The session handle** ([`Recycler`]) — a cheap per-session
 //!   [`rmal::ExecHook`] implementing the paper's Algorithm 1 against the
@@ -90,7 +94,7 @@ pub mod subsume;
 pub use config::{AdmissionPolicy, EvictionPolicy, RecyclerConfig, UpdateMode};
 pub use entry::{EntryId, PoolEntry};
 pub use mark::RecycleMark;
-pub use pool::{Admitted, RecyclePool};
+pub use pool::{Admitted, PoolWriteView, RecyclePool};
 pub use runtime::Recycler;
 pub use shared::{PoolRef, SharedRecycler};
 pub use stats::{FamilyRow, PoolSnapshot, QueryRecord, RecyclerStats};

@@ -1,31 +1,48 @@
-//! The recycle pool: storage, indexes and lineage bookkeeping.
+//! The recycle pool: sharded storage, indexes and lineage bookkeeping.
+//!
+//! Since the sharding PR the pool is itself a concurrent structure: the
+//! signature-keyed stores are split into N independent shards (N = the
+//! next power of two ≥ 2× the core count) so that admissions from
+//! different sessions touch disjoint locks and the exact-match hit path
+//! never needs more than one shard **read** lock. See [`crate::shared`]
+//! for the full locking model; this module holds the mechanics.
 
-use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use rbat::hash::{FxHashMap, FxHashSet};
+use rbat::hash::{FxHashMap, FxHashSet, FxHasher};
 use rbat::BatId;
 use rmal::Opcode;
 
 use crate::entry::{EntryId, PoolEntry};
 use crate::signature::{ArgSig, Sig};
 
-/// Outcome of [`RecyclePool::insert`]: either the entry went in, or an
-/// entry with the same signature was already resident (a concurrent
-/// admission race, resolved first-writer-wins).
+/// Outcome of [`RecyclePool::insert`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Admitted {
     /// The entry was inserted under this id.
     Inserted(EntryId),
     /// An equivalent entry was already resident under this id; the
-    /// candidate was dropped.
+    /// candidate was dropped, the resident entry was pinned on behalf of
+    /// the losing session, and the loser's result BAT was aliased onto the
+    /// winner (all atomically under the shard lock).
     Duplicate(EntryId),
+    /// A parent entry disappeared between resolution and insertion (an
+    /// update invalidated it); the candidate was dropped — admitting it
+    /// would leave a dangling lineage link.
+    Orphaned,
 }
 
 impl Admitted {
     /// The resident entry id, whoever admitted it.
+    ///
+    /// # Panics
+    /// Panics on [`Admitted::Orphaned`], which leaves nothing resident.
     pub fn id(self) -> EntryId {
         match self {
             Admitted::Inserted(id) | Admitted::Duplicate(id) => id,
+            Admitted::Orphaned => panic!("orphaned admission has no resident entry"),
         }
     }
 
@@ -35,121 +52,364 @@ impl Admitted {
     }
 }
 
-/// The recycler's resource pool of intermediates (paper §3.2). Besides the
-/// entry store it maintains:
+fn fx_hash<K: Hash>(k: &K) -> u64 {
+    let mut h = FxHasher::default();
+    k.hash(&mut h);
+    h.finish()
+}
+
+/// A hash map split into power-of-two sub-maps, each behind its own
+/// `RwLock` — the cross-shard lineage indexes (result ownership, child
+/// edges, subset relation) live in these so concurrent admissions from
+/// different sessions rarely contend.
 ///
-/// * an exact-match index `signature → entry`,
-/// * a result index `BatId → entry` (parent resolution, admission coherence),
-/// * child edges (dependents) so eviction can restrict itself to *leaf*
-///   instructions (paper §4.3),
-/// * a per-`(opcode, first argument)` index feeding subsumption candidate
-///   search (§5),
-/// * a subset relation over result BATs (`result ⊆ operand`) supporting
-///   semijoin subsumption (§5.1).
+/// Lock discipline: sub-map locks are **leaf locks** in the shard tier's
+/// shadow — they may be taken while holding a shard lock (that is the
+/// documented order), and a holder must never acquire a shard lock or a
+/// second sub-map lock.
+pub(crate) struct ShardedIndex<K, V> {
+    maps: Box<[RwLock<FxHashMap<K, V>>]>,
+}
+
+impl<K: Hash + Eq + Clone, V> ShardedIndex<K, V> {
+    pub(crate) fn new(submaps: usize) -> ShardedIndex<K, V> {
+        let n = submaps.next_power_of_two().max(2);
+        ShardedIndex {
+            maps: (0..n).map(|_| RwLock::new(FxHashMap::default())).collect(),
+        }
+    }
+
+    fn map_for(&self, k: &K) -> &RwLock<FxHashMap<K, V>> {
+        let i = (fx_hash(k) as usize) & (self.maps.len() - 1);
+        &self.maps[i]
+    }
+
+    fn read_for(&self, k: &K) -> RwLockReadGuard<'_, FxHashMap<K, V>> {
+        self.map_for(k)
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_for(&self, k: &K) -> RwLockWriteGuard<'_, FxHashMap<K, V>> {
+        self.map_for(k)
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Run `f` over the value stored for `k` (or `None`).
+    pub(crate) fn with<R>(&self, k: &K, f: impl FnOnce(Option<&V>) -> R) -> R {
+        f(self.read_for(k).get(k))
+    }
+
+    pub(crate) fn get_clone(&self, k: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.read_for(k).get(k).cloned()
+    }
+
+    pub(crate) fn contains(&self, k: &K) -> bool {
+        self.read_for(k).contains_key(k)
+    }
+
+    pub(crate) fn insert(&self, k: K, v: V) -> Option<V> {
+        self.write_for(&k).insert(k, v)
+    }
+
+    pub(crate) fn remove(&self, k: &K) -> Option<V> {
+        self.write_for(k).remove(k)
+    }
+
+    /// Mutate the sub-map holding `k` (entry-style updates).
+    pub(crate) fn alter<R>(&self, k: &K, f: impl FnOnce(&mut FxHashMap<K, V>) -> R) -> R {
+        f(&mut self.write_for(k))
+    }
+
+    pub(crate) fn retain(&self, mut f: impl FnMut(&K, &mut V) -> bool) {
+        for m in self.maps.iter() {
+            m.write()
+                .unwrap_or_else(PoisonError::into_inner)
+                .retain(|k, v| f(k, v));
+        }
+    }
+
+    pub(crate) fn clear(&self) {
+        for m in self.maps.iter() {
+            m.write().unwrap_or_else(PoisonError::into_inner).clear();
+        }
+    }
+
+    pub(crate) fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for m in self.maps.iter() {
+            for (k, v) in m.read().unwrap_or_else(PoisonError::into_inner).iter() {
+                f(k, v);
+            }
+        }
+    }
+}
+
+/// One signature shard: the slab of entries whose signatures hash here,
+/// with the exact-match index and the subsumption candidate index over the
+/// same entries. Everything in a shard is guarded by the shard's `RwLock`.
+#[derive(Default)]
+struct Shard {
+    entries: FxHashMap<EntryId, PoolEntry>,
+    by_sig: FxHashMap<Sig, EntryId>,
+    by_op_arg0: FxHashMap<(Opcode, ArgSig), Vec<EntryId>>,
+}
+
+/// The default shard count: the next power of two at or above twice the
+/// core count, floored at 8 so sharding stays observable on small hosts.
+fn default_shard_count() -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (2 * cores).next_power_of_two().max(8)
+}
+
+/// The recycler's resource pool of intermediates (paper §3.2), sharded by
+/// signature hash. Besides the per-shard entry store and exact-match index
+/// it maintains the cross-shard lineage indexes:
+///
+/// * `owner`: entry id → shard index (O(1) routing for id-based access),
+/// * `by_result`: result `BatId` → entry (parent resolution, admission
+///   coherence), plus per-entry duplicate-admission aliases,
+/// * `children`: dependents per entry, so eviction restricts itself to
+///   *leaf* instructions (paper §4.3),
+/// * `supersets`: a subset relation over result BATs (`result ⊆ operand`)
+///   supporting semijoin subsumption (§5.1).
 ///
 /// # Concurrency
 ///
-/// The pool itself carries no locks: the
-/// [`SharedRecycler`](crate::SharedRecycler) wraps it in an `RwLock` and
-/// serves it to any number of concurrent sessions. Probes (`lookup`,
-/// `candidates`, `is_subset`, iteration) are `&self` and run under the
-/// read lock; every mutation runs under the write lock. Invariants the
-/// concurrent readers rely on: the signature index is bijective onto the
-/// entry store, parent links always point at live entries, and every
-/// stored `Value` is `Arc`-shared — a result cloned out of the pool stays
-/// valid after the entry is evicted or invalidated.
-#[derive(Debug, Default)]
+/// All methods take `&self`; locking is internal. Probes (`lookup`,
+/// [`Self::probe`], [`Self::candidates`], [`Self::is_subset`]) take shard
+/// **read** locks only; [`Self::insert`] and the removal paths write-lock
+/// exactly one shard; updates/propagation take every shard write lock
+/// through [`Self::write_view`]. Every stored result `Value` is
+/// `Arc`-shared — a result cloned out of the pool stays valid after the
+/// entry is evicted or invalidated. Lineage mutations always happen while
+/// holding at least one shard lock, so a thread holding *all* shard write
+/// locks observes fully wired, quiescent lineage.
 pub struct RecyclePool {
-    entries: FxHashMap<EntryId, PoolEntry>,
-    by_sig: HashMap<Sig, EntryId>,
-    by_result: FxHashMap<BatId, EntryId>,
-    children: FxHashMap<EntryId, FxHashSet<EntryId>>,
-    by_op_arg0: HashMap<(Opcode, ArgSig), Vec<EntryId>>,
-    /// `bat → direct supersets`: filled by the set-semantics of admitted
-    /// operators (select result ⊆ its operand, semijoin result ⊆ left
-    /// operand, ...).
-    supersets: FxHashMap<BatId, Vec<BatId>>,
-    /// Extra `by_result` keys per entry (duplicate-admission aliases),
-    /// unwired together with the entry.
-    result_aliases: FxHashMap<EntryId, Vec<BatId>>,
-    bytes: usize,
-    next_id: EntryId,
+    shards: Box<[RwLock<Shard>]>,
+    /// Resident bytes per shard (diagnostics + eviction targeting without
+    /// locks).
+    shard_bytes: Box<[AtomicUsize]>,
+    total_bytes: AtomicUsize,
+    total_entries: AtomicUsize,
+    owner: ShardedIndex<EntryId, usize>,
+    by_result: ShardedIndex<BatId, EntryId>,
+    result_aliases: ShardedIndex<EntryId, Vec<BatId>>,
+    children: ShardedIndex<EntryId, FxHashSet<EntryId>>,
+    supersets: ShardedIndex<BatId, Vec<BatId>>,
+    next_id: AtomicU64,
+    /// Shard write-lock acquisitions since construction — the probe for
+    /// the "exact-match hits take no write lock" invariant.
+    write_acquisitions: AtomicU64,
+}
+
+impl std::fmt::Debug for RecyclePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecyclePool")
+            .field("shards", &self.shards.len())
+            .field("entries", &self.len())
+            .field("bytes", &self.bytes())
+            .finish()
+    }
+}
+
+impl Default for RecyclePool {
+    fn default() -> RecyclePool {
+        RecyclePool::new()
+    }
 }
 
 impl RecyclePool {
-    /// Empty pool.
+    /// Empty pool with the default shard count (next power of two ≥
+    /// 2×cores, at least 8).
     pub fn new() -> RecyclePool {
-        RecyclePool::default()
+        RecyclePool::with_shards(default_shard_count())
+    }
+
+    /// Empty pool with an explicit shard count (rounded up to a power of
+    /// two, minimum 1). Benchmarks use 1 to reproduce the pre-shard
+    /// single-lock behaviour.
+    pub fn with_shards(n: usize) -> RecyclePool {
+        let n = n.max(1).next_power_of_two();
+        RecyclePool {
+            shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
+            shard_bytes: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            total_bytes: AtomicUsize::new(0),
+            total_entries: AtomicUsize::new(0),
+            owner: ShardedIndex::new(n),
+            by_result: ShardedIndex::new(n),
+            result_aliases: ShardedIndex::new(n),
+            children: ShardedIndex::new(n),
+            supersets: ShardedIndex::new(n),
+            next_id: AtomicU64::new(0),
+            write_acquisitions: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a signature belongs to: its stable fingerprint masked by
+    /// the shard count. Deterministic for the pool's lifetime.
+    pub fn shard_of(&self, sig: &Sig) -> usize {
+        (sig.fingerprint() as usize) & (self.shards.len() - 1)
+    }
+
+    /// Resident bytes of one shard.
+    pub fn shard_bytes(&self, shard: usize) -> usize {
+        self.shard_bytes[shard].load(Ordering::Relaxed)
+    }
+
+    /// Shard write-lock acquisitions since construction. The exact-match
+    /// hit path must never advance this counter — tests pin that down.
+    pub fn write_lock_acquisitions(&self) -> u64 {
+        self.write_acquisitions.load(Ordering::Relaxed)
+    }
+
+    fn read_shard(&self, i: usize) -> RwLockReadGuard<'_, Shard> {
+        self.shards[i]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_shard(&self, i: usize) -> RwLockWriteGuard<'_, Shard> {
+        self.write_acquisitions.fetch_add(1, Ordering::Relaxed);
+        self.shards[i]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Number of entries ("cache lines").
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.total_entries.load(Ordering::Relaxed)
     }
 
     /// Is the pool empty?
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Total resident bytes of stored intermediates.
     pub fn bytes(&self) -> usize {
-        self.bytes
+        self.total_bytes.load(Ordering::Relaxed)
     }
 
-    /// Allocate the next entry id.
-    pub fn next_id(&mut self) -> EntryId {
-        self.next_id += 1;
-        self.next_id
+    /// Allocate the next entry id (monotone, never reused — also across
+    /// [`Self::clear`], so stale references can never alias a new entry).
+    pub fn alloc_id(&self) -> EntryId {
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    /// Drop every entry and index while keeping the id counter monotone:
-    /// `EntryId`s are never reused across a clear, so stale references
-    /// held elsewhere (per-session pin sets, diagnostics) can never alias
-    /// a post-clear entry.
-    pub fn clear(&mut self) {
-        let next_id = self.next_id;
-        *self = RecyclePool::default();
-        self.next_id = next_id;
+    /// Drop every entry and index while keeping the id counter monotone.
+    ///
+    /// Atomic with respect to concurrent sessions: every shard write lock
+    /// is held at once (ascending order) while the slabs, the lineage
+    /// indexes and the counters are wiped — a racing admission lands
+    /// either entirely before the clear (and is wiped) or entirely after
+    /// it (and stays fully wired). A shard-at-a-time clear would let an
+    /// insert slip into an already-cleared shard and then lose its owner
+    /// mapping, leaving an immortal, unreachable entry.
+    pub fn clear(&self) {
+        let mut guards: Vec<RwLockWriteGuard<'_, Shard>> = (0..self.shards.len())
+            .map(|i| self.write_shard(i))
+            .collect();
+        for (i, sh) in guards.iter_mut().enumerate() {
+            sh.entries.clear();
+            sh.by_sig.clear();
+            sh.by_op_arg0.clear();
+            self.shard_bytes[i].store(0, Ordering::Relaxed);
+        }
+        self.owner.clear();
+        self.by_result.clear();
+        self.result_aliases.clear();
+        self.children.clear();
+        self.supersets.clear();
+        self.total_bytes.store(0, Ordering::Relaxed);
+        self.total_entries.store(0, Ordering::Relaxed);
     }
 
-    /// Exact-match lookup.
+    /// Exact-match lookup (shard read lock only).
     pub fn lookup(&self, sig: &Sig) -> Option<EntryId> {
-        self.by_sig.get(sig).copied()
+        let sh = self.read_shard(self.shard_of(sig));
+        sh.by_sig.get(sig).copied()
     }
 
-    /// Borrow an entry.
-    pub fn get(&self, id: EntryId) -> Option<&PoolEntry> {
-        self.entries.get(&id)
+    /// Run `f` over the entry matching `sig`, under the owning shard's
+    /// *read* lock — the whole exact-match hit path (atomic counter
+    /// updates, pinning, result cloning) happens inside `f` without ever
+    /// taking a write lock. `f` must not call back into shard-locking
+    /// pool methods.
+    pub fn probe<R>(&self, sig: &Sig, f: impl FnOnce(&PoolEntry) -> R) -> Option<R> {
+        let sh = self.read_shard(self.shard_of(sig));
+        let id = sh.by_sig.get(sig)?;
+        sh.entries.get(id).map(f)
     }
 
-    /// Borrow an entry mutably (statistics updates).
-    pub fn get_mut(&mut self, id: EntryId) -> Option<&mut PoolEntry> {
-        self.entries.get_mut(&id)
+    /// Run `f` over the entry `id`, under its shard's read lock. `f` must
+    /// not call back into shard-locking pool methods.
+    pub fn entry<R>(&self, id: EntryId, f: impl FnOnce(&PoolEntry) -> R) -> Option<R> {
+        let shard = self.owner.get_clone(&id)?;
+        let sh = self.read_shard(shard);
+        sh.entries.get(&id).map(f)
     }
 
-    /// The entry owning a result BAT, if any.
+    /// Snapshot clone of one entry.
+    pub fn get_snapshot(&self, id: EntryId) -> Option<PoolEntry> {
+        self.entry(id, |e| e.clone())
+    }
+
+    /// The entry owning (or aliased to) a result BAT, if any.
     pub fn entry_of_result(&self, bat: BatId) -> Option<EntryId> {
-        self.by_result.get(&bat).copied()
+        self.by_result.get_clone(&bat)
     }
 
-    /// Iterate over all entries.
-    pub fn iter(&self) -> impl Iterator<Item = &PoolEntry> {
-        self.entries.values()
+    /// Visit every entry, one shard read lock at a time. `f` may touch the
+    /// lineage indexes ([`Self::has_children`], pin atomics) but must not
+    /// call back into shard-locking pool methods.
+    pub fn for_each_entry(&self, mut f: impl FnMut(&PoolEntry)) {
+        for i in 0..self.shards.len() {
+            let sh = self.read_shard(i);
+            for e in sh.entries.values() {
+                f(e);
+            }
+        }
+    }
+
+    /// Snapshot clones of every entry (diagnostics, tests, Table views).
+    pub fn snapshot_entries(&self) -> Vec<PoolEntry> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each_entry(|e| out.push(e.clone()));
+        out
     }
 
     /// Candidate entries with the given opcode and first-argument
     /// signature — the subsumption search space for "same column operand".
-    pub fn candidates(&self, op: Opcode, arg0: &ArgSig) -> &[EntryId] {
-        self.by_op_arg0
-            .get(&(op, arg0.clone()))
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+    /// Fans out across every shard (matching entries can live anywhere:
+    /// the shard is keyed by the *full* signature hash).
+    pub fn candidates(&self, op: Opcode, arg0: &ArgSig) -> Vec<EntryId> {
+        let key = (op, arg0.clone());
+        let mut out = Vec::new();
+        for i in 0..self.shards.len() {
+            let sh = self.read_shard(i);
+            if let Some(v) = sh.by_op_arg0.get(&key) {
+                out.extend_from_slice(v);
+            }
+        }
+        out
     }
 
     /// Record that `sub` is a subset (by tuple content) of `sup`.
-    pub fn add_subset_edge(&mut self, sub: BatId, sup: BatId) {
-        self.supersets.entry(sub).or_default().push(sup);
+    pub fn add_subset_edge(&self, sub: BatId, sup: BatId) {
+        self.supersets.alter(&sub, |m| {
+            m.entry(sub).or_default().push(sup);
+        });
     }
 
     /// Is `sub ⊆ sup` derivable from the recorded subset edges
@@ -167,135 +427,201 @@ impl RecyclePool {
             if !visited.insert(b) {
                 continue;
             }
-            if let Some(sups) = self.supersets.get(&b) {
-                stack.extend(sups.iter().copied());
-            }
+            self.supersets.with(&b, |sups| {
+                if let Some(sups) = sups {
+                    stack.extend(sups.iter().copied());
+                }
+            });
         }
         false
     }
 
-    /// Insert a fully constructed entry, wiring all indexes.
+    /// Insert a fully constructed entry, wiring all indexes, under the
+    /// signature shard's write lock.
     ///
     /// Duplicate signatures are a *normal* concurrent outcome, not a
     /// "can't happen" path: two sessions can probe the same signature,
     /// both miss, both execute, and both admit. Resolution is
-    /// first-writer-wins — the resident entry stays, the candidate is
-    /// dropped, and the caller is told via [`Admitted::Duplicate`] so it
-    /// can return the admission credit, account the race, and
-    /// [`alias_result`](Self::alias_result) its own result BAT to the
-    /// resident entry — both results are equivalent by construction (same
-    /// opcode over identical arguments), and the alias keeps the losing
-    /// query's downstream lineage admissible, so dropping the newcomer
-    /// loses nothing but the bytes.
-    pub fn insert(&mut self, entry: PoolEntry) -> Admitted {
-        if let Some(&existing) = self.by_sig.get(&entry.sig) {
+    /// first-writer-wins — the resident entry stays and is pinned once on
+    /// the loser's behalf, the loser's result BAT is aliased onto it (so
+    /// the losing query's downstream lineage stays admissible), and the
+    /// candidate is dropped; all of it atomically under the shard lock,
+    /// reported as [`Admitted::Duplicate`] so the caller can return the
+    /// admission credit and reconcile its pin set.
+    ///
+    /// Parents are revalidated against the owner index inside the
+    /// critical section: a concurrent update may have invalidated them
+    /// since the caller resolved and pinned them, in which case the
+    /// candidate is dropped as [`Admitted::Orphaned`] rather than wired
+    /// with dangling lineage. `subset_of` optionally records
+    /// `result ⊆ subset_of` for the subsumption machinery (§5.1).
+    pub fn insert(&self, entry: PoolEntry, subset_of: Option<BatId>) -> Admitted {
+        let si = self.shard_of(&entry.sig);
+        let mut sh = self.write_shard(si);
+        if let Some(&existing) = sh.by_sig.get(&entry.sig) {
+            if let Some(win) = sh.entries.get(&existing) {
+                win.pins.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(rb) = entry.result_id {
+                self.alias_locked(rb, existing);
+            }
             return Admitted::Duplicate(existing);
         }
-        let id = entry.id;
-        self.by_sig.insert(entry.sig.clone(), id);
-        if let Some(rb) = entry.result_id {
-            self.by_result.insert(rb, id);
+        for p in &entry.parents {
+            if !self.owner.contains(p) {
+                return Admitted::Orphaned;
+            }
         }
+        let id = entry.id;
+        let bytes = entry.bytes;
+        sh.by_sig.insert(entry.sig.clone(), id);
         if let Some(arg0) = entry.sig.first_arg() {
-            self.by_op_arg0
+            sh.by_op_arg0
                 .entry((entry.sig.op, arg0.clone()))
                 .or_default()
                 .push(id);
         }
-        for p in &entry.parents {
-            self.children.entry(*p).or_default().insert(id);
+        self.owner.insert(id, si);
+        if let Some(rb) = entry.result_id {
+            self.by_result.insert(rb, id);
+            if let Some(sup) = subset_of {
+                self.add_subset_edge(rb, sup);
+            }
         }
-        self.bytes += entry.bytes;
-        self.entries.insert(id, entry);
+        for p in &entry.parents {
+            self.children.alter(p, |m| {
+                m.entry(*p).or_default().insert(id);
+            });
+        }
+        sh.entries.insert(id, entry);
+        self.shard_bytes[si].fetch_add(bytes, Ordering::Relaxed);
+        self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.total_entries.fetch_add(1, Ordering::Relaxed);
         Admitted::Inserted(id)
+    }
+
+    /// Wire `bat` as an alias of entry `id` in the result index. Caller
+    /// holds `id`'s shard lock (any mode). No-op when `bat` already owned.
+    fn alias_locked(&self, bat: BatId, id: EntryId) {
+        let fresh = self.by_result.alter(&bat, |m| {
+            if m.contains_key(&bat) {
+                return false;
+            }
+            m.insert(bat, id);
+            true
+        });
+        if fresh {
+            self.result_aliases.alter(&id, |m| {
+                m.entry(id).or_default().push(bat);
+            });
+        }
     }
 
     /// Alias `bat` to the resident entry `id` in the result index — the
     /// concurrent-admission loser's executed result is equivalent to the
-    /// winner's, and the rest of the losing query references it by this
-    /// id. The alias keeps that chain's parent resolution and admission
-    /// coherence working; it is unwired when the entry is removed. No-op
-    /// when `id` is not resident or `bat` already owned.
-    pub fn alias_result(&mut self, bat: BatId, id: EntryId) {
-        if !self.entries.contains_key(&id) || self.by_result.contains_key(&bat) {
+    /// winner's (see [`Self::insert`], which performs this internally).
+    /// No-op when `id` is not resident or `bat` already owned.
+    pub fn alias_result(&self, bat: BatId, id: EntryId) {
+        let Some(shard) = self.owner.get_clone(&id) else {
             return;
+        };
+        let sh = self.read_shard(shard);
+        if sh.entries.contains_key(&id) {
+            self.alias_locked(bat, id);
         }
-        self.by_result.insert(bat, id);
-        self.result_aliases.entry(id).or_default().push(bat);
     }
 
-    /// Remove one entry, unwiring all indexes; returns it.
-    pub fn remove(&mut self, id: EntryId) -> Option<PoolEntry> {
-        let entry = self.entries.remove(&id)?;
-        self.by_sig.remove(&entry.sig);
+    /// Unwire and remove one entry while its shard lock is held.
+    fn remove_locked(&self, sh: &mut Shard, si: usize, id: EntryId) -> Option<PoolEntry> {
+        let entry = sh.entries.remove(&id)?;
+        sh.by_sig.remove(&entry.sig);
+        if let Some(arg0) = entry.sig.first_arg() {
+            let key = (entry.sig.op, arg0.clone());
+            if let Some(v) = sh.by_op_arg0.get_mut(&key) {
+                v.retain(|e| *e != id);
+                if v.is_empty() {
+                    sh.by_op_arg0.remove(&key);
+                }
+            }
+        }
+        self.owner.remove(&id);
         if let Some(rb) = entry.result_id {
-            self.by_result.remove(&rb);
+            self.by_result.alter(&rb, |m| {
+                if m.get(&rb).copied() == Some(id) {
+                    m.remove(&rb);
+                }
+            });
             self.supersets.remove(&rb);
         }
         if let Some(aliases) = self.result_aliases.remove(&id) {
             for b in aliases {
-                if self.by_result.get(&b).copied() == Some(id) {
-                    self.by_result.remove(&b);
-                }
-            }
-        }
-        if let Some(arg0) = entry.sig.first_arg() {
-            if let Some(v) = self.by_op_arg0.get_mut(&(entry.sig.op, arg0.clone())) {
-                v.retain(|e| *e != id);
-                if v.is_empty() {
-                    self.by_op_arg0.remove(&(entry.sig.op, arg0.clone()));
-                }
+                self.by_result.alter(&b, |m| {
+                    if m.get(&b).copied() == Some(id) {
+                        m.remove(&b);
+                    }
+                });
             }
         }
         for p in &entry.parents {
-            if let Some(c) = self.children.get_mut(p) {
-                c.remove(&id);
-                if c.is_empty() {
-                    self.children.remove(p);
+            self.children.alter(p, |m| {
+                if let Some(c) = m.get_mut(p) {
+                    c.remove(&id);
+                    if c.is_empty() {
+                        m.remove(p);
+                    }
                 }
-            }
+            });
         }
         self.children.remove(&id);
-        self.bytes -= entry.bytes;
+        self.shard_bytes[si].fetch_sub(entry.bytes, Ordering::Relaxed);
+        self.total_bytes.fetch_sub(entry.bytes, Ordering::Relaxed);
+        self.total_entries.fetch_sub(1, Ordering::Relaxed);
         Some(entry)
+    }
+
+    /// Remove one entry, unwiring all indexes; returns it.
+    pub fn remove(&self, id: EntryId) -> Option<PoolEntry> {
+        let si = self.owner.get_clone(&id)?;
+        let mut sh = self.write_shard(si);
+        self.remove_locked(&mut sh, si, id)
+    }
+
+    /// Remove `id` only if it is still an unpinned leaf — the eviction
+    /// removal step. The check and the removal are atomic under the
+    /// shard's write lock: a hit pinning the entry runs under the same
+    /// shard's read lock, so pin-vs-evict races cannot happen.
+    pub fn remove_if_evictable(&self, id: EntryId) -> Option<PoolEntry> {
+        let si = self.owner.get_clone(&id)?;
+        let mut sh = self.write_shard(si);
+        let evictable = sh
+            .entries
+            .get(&id)
+            .map(|e| e.pin_count() == 0 && !self.has_children(id))
+            .unwrap_or(false);
+        if !evictable {
+            return None;
+        }
+        self.remove_locked(&mut sh, si, id)
     }
 
     /// Does this entry have dependents in the pool?
     pub fn has_children(&self, id: EntryId) -> bool {
-        self.children.get(&id).is_some_and(|c| !c.is_empty())
+        self.children
+            .with(&id, |c| c.is_some_and(|c| !c.is_empty()))
     }
 
-    /// The *leaf* entries — no dependents in the pool — excluding the
-    /// `protected` set (entries pinned by *any* session's running query,
-    /// paper §4.3). Protection is strict: with concurrent sessions,
-    /// evicting another session's working set to make room would thrash,
-    /// so when every leaf is protected the caller gets nothing back and
-    /// admission fails instead (`admission_rejects`). This replaces the
-    /// single-threaded seed's fallback of evicting the running query's own
-    /// protected leaves.
-    pub fn leaves(&self, protected: &FxHashSet<EntryId>) -> Vec<EntryId> {
-        self.entries
-            .keys()
-            .filter(|id| !self.has_children(**id) && !protected.contains(id))
-            .copied()
-            .collect()
+    /// Dependents of an entry (direct children).
+    pub fn children_of(&self, id: EntryId) -> Vec<EntryId> {
+        self.children
+            .with(&id, |c| c.map(|c| c.iter().copied().collect()))
+            .unwrap_or_default()
     }
 
     /// Remove `root` and every transitive dependent (update invalidation,
-    /// §6.4). Returns the removed entries.
-    pub fn remove_subtree(&mut self, root: EntryId) -> Vec<PoolEntry> {
-        let mut order: Vec<EntryId> = Vec::new();
-        let mut stack = vec![root];
-        let mut seen: FxHashSet<EntryId> = FxHashSet::default();
-        while let Some(id) = stack.pop() {
-            if !seen.insert(id) {
-                continue;
-            }
-            order.push(id);
-            if let Some(c) = self.children.get(&id) {
-                stack.extend(c.iter().copied());
-            }
-        }
+    /// §6.4). Returns the removed entries. For the atomic variant used by
+    /// update synchronisation see [`PoolWriteView::remove_subtree`].
+    pub fn remove_subtree(&self, root: EntryId) -> Vec<PoolEntry> {
+        let order = self.subtree_order(root);
         let mut removed = Vec::with_capacity(order.len());
         for id in order {
             if let Some(e) = self.remove(id) {
@@ -305,80 +631,55 @@ impl RecyclePool {
         removed
     }
 
-    /// Dependents of an entry (direct children).
-    pub fn children_of(&self, id: EntryId) -> Vec<EntryId> {
-        self.children
-            .get(&id)
-            .map(|c| c.iter().copied().collect())
-            .unwrap_or_default()
+    fn subtree_order(&self, root: EntryId) -> Vec<EntryId> {
+        let mut order: Vec<EntryId> = Vec::new();
+        let mut stack = vec![root];
+        let mut seen: FxHashSet<EntryId> = FxHashSet::default();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            order.push(id);
+            stack.extend(self.children_of(id));
+        }
+        order
     }
 
-    /// Re-key an entry's signature and result identity after delta
-    /// propagation replaced its result BAT (§6.3). The caller updates the
-    /// entry fields; this fixes the indexes.
-    pub fn rekey(&mut self, id: EntryId, old_sig: &Sig, old_result: Option<BatId>) {
-        let Some(entry) = self.entries.get(&id) else {
-            return;
-        };
-        let new_sig = entry.sig.clone();
-        let new_result = entry.result_id;
-        let new_bytes = entry.bytes;
-        if *old_sig != new_sig {
-            self.by_sig.remove(old_sig);
-            self.by_sig.insert(new_sig.clone(), id);
-            if let Some(arg0) = old_sig.first_arg() {
-                if let Some(v) = self.by_op_arg0.get_mut(&(old_sig.op, arg0.clone())) {
-                    v.retain(|e| *e != id);
-                }
-            }
-            if let Some(arg0) = new_sig.first_arg() {
-                self.by_op_arg0
-                    .entry((new_sig.op, arg0.clone()))
-                    .or_default()
-                    .push(id);
-            }
-        }
-        if old_result != new_result {
-            if let Some(o) = old_result {
-                self.by_result.remove(&o);
-                self.supersets.remove(&o);
-            }
-            if let Some(n) = new_result {
-                self.by_result.insert(n, id);
-            }
-        }
-        // bytes may have changed with the new result
-        let old_entry_bytes = self.entries.get(&id).map(|e| e.bytes).unwrap_or(new_bytes);
-        debug_assert_eq!(old_entry_bytes, new_bytes);
+    /// Acquire every shard write lock (ascending index) for an atomic
+    /// multi-entry rewrite — update invalidation and delta propagation.
+    /// While the view is held no admission, hit bookkeeping or eviction
+    /// can run anywhere in the pool, and all lineage is fully wired.
+    pub fn write_view(&self) -> PoolWriteView<'_> {
+        let guards: Vec<RwLockWriteGuard<'_, Shard>> = (0..self.shards.len())
+            .map(|i| self.write_shard(i))
+            .collect();
+        PoolWriteView { pool: self, guards }
     }
 
-    /// Recompute the total byte counter after in-place entry mutation.
-    pub fn refresh_bytes(&mut self) {
-        self.bytes = self.entries.values().map(|e| e.bytes).sum();
+    fn read_all(&self) -> Vec<RwLockReadGuard<'_, Shard>> {
+        (0..self.shards.len()).map(|i| self.read_shard(i)).collect()
     }
 
     /// Render the pool as a MAL-like program block with its symbol table —
-    /// the paper's Table I view ("the recycle pool is internally
-    /// represented as a MAL program block, which simplifies its
-    /// management, inspection and debugging", §3.2).
+    /// the paper's Table I view (§3.2).
     pub fn listing(&self) -> String {
         use std::fmt::Write as _;
-        let mut ids: Vec<EntryId> = self.entries.keys().copied().collect();
-        ids.sort_unstable();
+        let mut entries = self.snapshot_entries();
+        entries.sort_unstable_by_key(|e| e.id);
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "# recycle pool: {} entries, {} bytes",
-            self.len(),
-            self.bytes()
+            "# recycle pool: {} entries, {} bytes, {} shards",
+            entries.len(),
+            entries.iter().map(|e| e.bytes).sum::<usize>(),
+            self.shard_count(),
         );
         let _ = writeln!(
             s,
             "{:<6} {:<58} {:>8} {:>10} {:>7} {:>7}",
             "entry", "instruction", "tuples", "bytes", "local", "global"
         );
-        for id in ids {
-            let e = &self.entries[&id];
+        for e in &entries {
             let args: Vec<String> = e
                 .sig
                 .args
@@ -405,40 +706,256 @@ impl RecyclePool {
                 instr,
                 tuples,
                 e.bytes,
-                e.local_reuses,
-                e.global_reuses
+                e.local_reuses(),
+                e.global_reuses()
             );
         }
         s
     }
 
-    /// Check the structural invariant: every parent link points at a live
-    /// entry, byte counter consistent, sig index bijective. Test support.
+    /// Check the structural invariant across all shards (acquired
+    /// together, so the view is consistent): signature indexes bijective
+    /// and correctly sharded, owner index exact, parent/child links alive,
+    /// byte and entry counters consistent, result index live. Test
+    /// support — call on a quiescent pool.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for e in self.entries.values() {
-            for p in &e.parents {
-                if !self.entries.contains_key(p) {
-                    return Err(format!("entry {} has dangling parent {}", e.id, p));
+        let guards = self.read_all();
+        let mut all_ids: FxHashSet<EntryId> = FxHashSet::default();
+        for g in &guards {
+            all_ids.extend(g.entries.keys().copied());
+        }
+        let mut total_bytes = 0usize;
+        let mut total_entries = 0usize;
+        for (i, g) in guards.iter().enumerate() {
+            let mut shard_sum = 0usize;
+            for (id, e) in &g.entries {
+                if e.id != *id {
+                    return Err(format!("entry {id} stored under wrong key {}", e.id));
+                }
+                let want = self.shard_of(&e.sig);
+                if want != i {
+                    return Err(format!(
+                        "entry {id} resident in shard {i}, sig maps to {want}"
+                    ));
+                }
+                if g.by_sig.get(&e.sig).copied() != Some(*id) {
+                    return Err(format!("entry {id} missing from its shard's sig index"));
+                }
+                if self.owner.get_clone(id) != Some(i) {
+                    return Err(format!("owner index wrong for entry {id}"));
+                }
+                for p in &e.parents {
+                    if !all_ids.contains(p) {
+                        return Err(format!("entry {id} has dangling parent {p}"));
+                    }
+                }
+                shard_sum += e.bytes;
+            }
+            if g.by_sig.len() != g.entries.len() {
+                return Err(format!(
+                    "shard {i} sig index size {} != entries {}",
+                    g.by_sig.len(),
+                    g.entries.len()
+                ));
+            }
+            if shard_sum != self.shard_bytes[i].load(Ordering::Relaxed) {
+                return Err(format!(
+                    "shard {i} byte counter {} != actual {shard_sum}",
+                    self.shard_bytes[i].load(Ordering::Relaxed)
+                ));
+            }
+            total_bytes += shard_sum;
+            total_entries += g.entries.len();
+        }
+        if total_bytes != self.bytes() {
+            return Err(format!(
+                "byte counter {} != actual {total_bytes}",
+                self.bytes()
+            ));
+        }
+        if total_entries != self.len() {
+            return Err(format!(
+                "entry counter {} != actual {total_entries}",
+                self.len()
+            ));
+        }
+        let mut err: Option<String> = None;
+        self.by_result.for_each(|bat, id| {
+            if err.is_none() && !all_ids.contains(id) {
+                err = Some(format!("result index {bat:?} points at dead entry {id}"));
+            }
+        });
+        if let Some(e) = err.take() {
+            return Err(e);
+        }
+        self.children.for_each(|p, cs| {
+            if err.is_none() {
+                if !all_ids.contains(p) {
+                    err = Some(format!("child index keyed by dead entry {p}"));
+                } else if let Some(c) = cs.iter().find(|c| !all_ids.contains(c)) {
+                    err = Some(format!("entry {p} lists dead child {c}"));
                 }
             }
+        });
+        if let Some(e) = err.take() {
+            return Err(e);
         }
-        let bytes: usize = self.entries.values().map(|e| e.bytes).sum();
-        if bytes != self.bytes {
-            return Err(format!("byte counter {} != actual {}", self.bytes, bytes));
-        }
-        for (bat, id) in &self.by_result {
-            if !self.entries.contains_key(id) {
-                return Err(format!("result index {bat:?} points at dead entry {id}"));
+        let mut owner_count = 0usize;
+        self.owner.for_each(|id, _| {
+            if err.is_none() && !all_ids.contains(id) {
+                err = Some(format!("owner index lists dead entry {id}"));
             }
+            owner_count += 1;
+        });
+        if let Some(e) = err.take() {
+            return Err(e);
         }
-        if self.by_sig.len() != self.entries.len() {
+        if owner_count != total_entries {
             return Err(format!(
-                "sig index size {} != entries {}",
-                self.by_sig.len(),
-                self.entries.len()
+                "owner index size {owner_count} != entries {total_entries}"
             ));
         }
         Ok(())
+    }
+}
+
+/// Exclusive access to the whole pool: every shard write lock held at
+/// once (acquired in ascending index order — the documented lock order).
+/// Update synchronisation runs under this view so concurrent queries see
+/// the pool either entirely before or entirely after a commit.
+pub struct PoolWriteView<'a> {
+    pool: &'a RecyclePool,
+    guards: Vec<RwLockWriteGuard<'a, Shard>>,
+}
+
+impl PoolWriteView<'_> {
+    fn shard_idx(&self, id: EntryId) -> Option<usize> {
+        self.pool.owner.get_clone(&id)
+    }
+
+    /// Borrow an entry.
+    pub fn get(&self, id: EntryId) -> Option<&PoolEntry> {
+        let i = self.shard_idx(id)?;
+        self.guards[i].entries.get(&id)
+    }
+
+    /// Borrow an entry mutably (delta propagation rewrites results and
+    /// signatures in place; call [`Self::rekey`] afterwards).
+    pub fn get_mut(&mut self, id: EntryId) -> Option<&mut PoolEntry> {
+        let i = self.shard_idx(id)?;
+        self.guards[i].entries.get_mut(&id)
+    }
+
+    /// Iterate over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = &PoolEntry> {
+        self.guards.iter().flat_map(|g| g.entries.values())
+    }
+
+    /// Dependents of an entry (direct children).
+    pub fn children_of(&self, id: EntryId) -> Vec<EntryId> {
+        self.pool.children_of(id)
+    }
+
+    /// Record that `sub` is a subset of `sup`.
+    pub fn add_subset_edge(&self, sub: BatId, sup: BatId) {
+        self.pool.add_subset_edge(sub, sup);
+    }
+
+    /// Remove one entry, unwiring all indexes.
+    pub fn remove(&mut self, id: EntryId) -> Option<PoolEntry> {
+        let i = self.shard_idx(id)?;
+        self.pool.remove_locked(&mut self.guards[i], i, id)
+    }
+
+    /// Remove `root` and every transitive dependent.
+    pub fn remove_subtree(&mut self, root: EntryId) -> Vec<PoolEntry> {
+        let order = self.pool.subtree_order(root);
+        let mut removed = Vec::with_capacity(order.len());
+        for id in order {
+            if let Some(e) = self.remove(id) {
+                removed.push(e);
+            }
+        }
+        removed
+    }
+
+    /// Re-key an entry's signature and result identity after delta
+    /// propagation replaced its result BAT (§6.3). The caller updates the
+    /// entry fields; this fixes the indexes — including migrating the
+    /// entry to the shard its *new* signature hashes to.
+    pub fn rekey(&mut self, id: EntryId, old_sig: &Sig, old_result: Option<BatId>) {
+        let Some(old_idx) = self.shard_idx(id) else {
+            return;
+        };
+        let Some((new_sig, new_result)) = self.guards[old_idx]
+            .entries
+            .get(&id)
+            .map(|e| (e.sig.clone(), e.result_id))
+        else {
+            return;
+        };
+        if *old_sig != new_sig {
+            let sh = &mut self.guards[old_idx];
+            sh.by_sig.remove(old_sig);
+            if let Some(arg0) = old_sig.first_arg() {
+                let key = (old_sig.op, arg0.clone());
+                if let Some(v) = sh.by_op_arg0.get_mut(&key) {
+                    v.retain(|e| *e != id);
+                    if v.is_empty() {
+                        sh.by_op_arg0.remove(&key);
+                    }
+                }
+            }
+            let new_idx = self.pool.shard_of(&new_sig);
+            if new_idx != old_idx {
+                if let Some(e) = self.guards[old_idx].entries.remove(&id) {
+                    // the entry's bytes move with it (note: `bytes` may be
+                    // stale relative to the caller's in-place mutation — a
+                    // final `refresh_bytes` recomputes all counters from
+                    // scratch, but the per-shard books stay consistent
+                    // even for callers that migrate without mutating)
+                    self.pool.shard_bytes[old_idx].fetch_sub(e.bytes, Ordering::Relaxed);
+                    self.pool.shard_bytes[new_idx].fetch_add(e.bytes, Ordering::Relaxed);
+                    self.guards[new_idx].entries.insert(id, e);
+                    self.pool.owner.insert(id, new_idx);
+                }
+            }
+            let sh = &mut self.guards[new_idx];
+            sh.by_sig.insert(new_sig.clone(), id);
+            if let Some(arg0) = new_sig.first_arg() {
+                sh.by_op_arg0
+                    .entry((new_sig.op, arg0.clone()))
+                    .or_default()
+                    .push(id);
+            }
+        }
+        if old_result != new_result {
+            if let Some(o) = old_result {
+                self.pool.by_result.alter(&o, |m| {
+                    if m.get(&o).copied() == Some(id) {
+                        m.remove(&o);
+                    }
+                });
+                self.pool.supersets.remove(&o);
+            }
+            if let Some(n) = new_result {
+                self.pool.by_result.insert(n, id);
+            }
+        }
+    }
+
+    /// Recompute every byte counter after in-place entry mutation.
+    pub fn refresh_bytes(&mut self) {
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for (i, g) in self.guards.iter().enumerate() {
+            let b: usize = g.entries.values().map(|e| e.bytes).sum();
+            self.pool.shard_bytes[i].store(b, Ordering::Relaxed);
+            total += b;
+            count += g.entries.len();
+        }
+        self.pool.total_bytes.store(total, Ordering::Relaxed);
+        self.pool.total_entries.store(count, Ordering::Relaxed);
     }
 }
 
@@ -447,13 +964,14 @@ mod tests {
     use super::*;
     use rbat::{Bat, Column, Value};
     use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicBool, AtomicU32};
     use std::sync::Arc;
     use std::time::Duration;
 
-    fn mk_entry(pool: &mut RecyclePool, parents: Vec<EntryId>, tag: i64) -> PoolEntry {
+    fn mk_entry(pool: &RecyclePool, parents: Vec<EntryId>, tag: i64) -> PoolEntry {
         let bat = Arc::new(Bat::from_tail(Column::from_ints(vec![tag])));
         PoolEntry {
-            id: pool.next_id(),
+            id: pool.alloc_id(),
             sig: Sig::of(Opcode::Select, &[Value::Int(tag)]),
             args: vec![Value::Int(tag)],
             result: Value::Bat(Arc::clone(&bat)),
@@ -464,24 +982,25 @@ mod tests {
             parents,
             base_columns: BTreeSet::new(),
             admitted_tick: 0,
-            last_used: 0,
             admitted_invocation: 0,
             admitted_session: 0,
-            local_reuses: 0,
-            global_reuses: 0,
-            subsumption_uses: 0,
             creator: (0, 0),
-            time_saved: Duration::ZERO,
-            credit_returned: false,
+            last_used: AtomicU64::new(0),
+            local_reuses: AtomicU64::new(0),
+            global_reuses: AtomicU64::new(0),
+            subsumption_uses: AtomicU64::new(0),
+            time_saved_ns: AtomicU64::new(0),
+            pins: AtomicU32::new(0),
+            credit_returned: AtomicBool::new(false),
         }
     }
 
     #[test]
     fn insert_lookup_remove() {
-        let mut pool = RecyclePool::new();
-        let e = mk_entry(&mut pool, vec![], 1);
+        let pool = RecyclePool::new();
+        let e = mk_entry(&pool, vec![], 1);
         let sig = e.sig.clone();
-        let admitted = pool.insert(e);
+        let admitted = pool.insert(e, None);
         assert!(admitted.inserted());
         let id = admitted.id();
         assert_eq!(pool.lookup(&sig), Some(id));
@@ -495,22 +1014,36 @@ mod tests {
 
     #[test]
     fn duplicate_sig_resolves_first_writer_wins() {
-        let mut pool = RecyclePool::new();
-        let a = mk_entry(&mut pool, vec![], 1);
-        let id_a = pool.insert(a).id();
-        let mut b = mk_entry(&mut pool, vec![], 2);
+        let pool = RecyclePool::new();
+        let a = mk_entry(&pool, vec![], 1);
+        let id_a = pool.insert(a, None).id();
+        let mut b = mk_entry(&pool, vec![], 2);
         b.sig = Sig::of(Opcode::Select, &[Value::Int(1)]); // same sig as a
-        let outcome = pool.insert(b);
+        let outcome = pool.insert(b, None);
         assert_eq!(outcome, Admitted::Duplicate(id_a));
         assert_eq!(pool.len(), 1);
+        // the loser's session took a pin on the winner, atomically
+        assert_eq!(pool.entry(id_a, |e| e.pin_count()), Some(1));
+        pool.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn orphaned_parent_rejects_insert() {
+        let pool = RecyclePool::new();
+        let a = mk_entry(&pool, vec![], 1);
+        let id_a = pool.insert(a, None).id();
+        pool.remove(id_a);
+        let b = mk_entry(&pool, vec![id_a], 2);
+        assert_eq!(pool.insert(b, None), Admitted::Orphaned);
+        assert!(pool.is_empty());
         pool.check_invariants().unwrap();
     }
 
     #[test]
     fn result_alias_resolves_and_unwires_with_entry() {
-        let mut pool = RecyclePool::new();
-        let e = mk_entry(&mut pool, vec![], 1);
-        let id = pool.insert(e).id();
+        let pool = RecyclePool::new();
+        let e = mk_entry(&pool, vec![], 1);
+        let id = pool.insert(e, None).id();
         let loser_bat = BatId(4242);
         pool.alias_result(loser_bat, id);
         assert_eq!(pool.entry_of_result(loser_bat), Some(id));
@@ -525,14 +1058,14 @@ mod tests {
 
     #[test]
     fn clear_keeps_entry_ids_monotone() {
-        let mut pool = RecyclePool::new();
-        let e = mk_entry(&mut pool, vec![], 1);
-        let id_before = pool.insert(e).id();
+        let pool = RecyclePool::new();
+        let e = mk_entry(&pool, vec![], 1);
+        let id_before = pool.insert(e, None).id();
         pool.clear();
         assert!(pool.is_empty());
         assert_eq!(pool.bytes(), 0);
-        let e2 = mk_entry(&mut pool, vec![], 2);
-        let id_after = pool.insert(e2).id();
+        let e2 = mk_entry(&pool, vec![], 2);
+        let id_after = pool.insert(e2, None).id();
         assert!(
             id_after > id_before,
             "ids must never be reused across a clear ({id_before} vs {id_after})"
@@ -541,29 +1074,33 @@ mod tests {
     }
 
     #[test]
-    fn leaves_respect_children_and_protection() {
-        let mut pool = RecyclePool::new();
-        let a = mk_entry(&mut pool, vec![], 1);
-        let a_id = pool.insert(a).id();
-        let b = mk_entry(&mut pool, vec![a_id], 2);
-        let b_id = pool.insert(b).id();
-        let none: FxHashSet<EntryId> = FxHashSet::default();
-        assert_eq!(pool.leaves(&none), vec![b_id]);
-        // protection is strict: a fully pinned layer yields no candidates
-        let mut prot = FxHashSet::default();
-        prot.insert(b_id);
-        assert!(pool.leaves(&prot).is_empty());
+    fn evictable_respects_children_and_pins() {
+        let pool = RecyclePool::new();
+        let a = mk_entry(&pool, vec![], 1);
+        let a_id = pool.insert(a, None).id();
+        let b = mk_entry(&pool, vec![a_id], 2);
+        let b_id = pool.insert(b, None).id();
+        // a has a child: not evictable
+        assert!(pool.remove_if_evictable(a_id).is_none());
+        // pinned leaves are not evictable either
+        pool.entry(b_id, |e| e.pins.store(1, Ordering::Relaxed));
+        assert!(pool.remove_if_evictable(b_id).is_none());
+        pool.entry(b_id, |e| e.pins.store(0, Ordering::Relaxed));
+        assert!(pool.remove_if_evictable(b_id).is_some());
+        // with the child gone, a became a leaf
+        assert!(pool.remove_if_evictable(a_id).is_some());
+        pool.check_invariants().unwrap();
     }
 
     #[test]
     fn remove_subtree_cascades() {
-        let mut pool = RecyclePool::new();
-        let a = mk_entry(&mut pool, vec![], 1);
-        let a_id = pool.insert(a).id();
-        let b = mk_entry(&mut pool, vec![a_id], 2);
-        let b_id = pool.insert(b).id();
-        let c = mk_entry(&mut pool, vec![b_id], 3);
-        pool.insert(c);
+        let pool = RecyclePool::new();
+        let a = mk_entry(&pool, vec![], 1);
+        let a_id = pool.insert(a, None).id();
+        let b = mk_entry(&pool, vec![a_id], 2);
+        let b_id = pool.insert(b, None).id();
+        let c = mk_entry(&pool, vec![b_id], 3);
+        pool.insert(c, None);
         let removed = pool.remove_subtree(a_id);
         assert_eq!(removed.len(), 3);
         assert!(pool.is_empty());
@@ -572,7 +1109,7 @@ mod tests {
 
     #[test]
     fn subset_closure() {
-        let mut pool = RecyclePool::new();
+        let pool = RecyclePool::new();
         let (a, b, c) = (BatId(901), BatId(902), BatId(903));
         pool.add_subset_edge(c, b);
         pool.add_subset_edge(b, a);
@@ -582,12 +1119,47 @@ mod tests {
     }
 
     #[test]
-    fn candidates_indexed_by_op_and_arg0() {
-        let mut pool = RecyclePool::new();
-        let e = mk_entry(&mut pool, vec![], 7);
-        let arg0 = e.sig.first_arg().unwrap().clone();
-        let id = pool.insert(e).id();
-        assert_eq!(pool.candidates(Opcode::Select, &arg0), &[id]);
-        assert!(pool.candidates(Opcode::Join, &arg0).is_empty());
+    fn candidates_fan_out_across_shards() {
+        let pool = RecyclePool::with_shards(8);
+        // several entries share opcode+arg0 but differ in later args, so
+        // their signatures scatter over the shards
+        let bat = Arc::new(Bat::from_tail(Column::from_ints(vec![1, 2, 3])));
+        let mut ids = Vec::new();
+        for i in 0..16 {
+            let args = vec![Value::Bat(Arc::clone(&bat)), Value::Int(i)];
+            let mut e = mk_entry(&pool, vec![], 1000 + i);
+            e.sig = Sig::of(Opcode::Select, &args);
+            ids.push(pool.insert(e, None).id());
+        }
+        let arg0 = ArgSig::Bat(bat.id());
+        let mut found = pool.candidates(Opcode::Select, &arg0);
+        found.sort_unstable();
+        ids.sort_unstable();
+        assert_eq!(found, ids, "candidate search must see every shard");
+        // entries really do land on more than one shard
+        let shards: std::collections::HashSet<usize> = ids
+            .iter()
+            .map(|id| pool.entry(*id, |e| pool.shard_of(&e.sig)).unwrap())
+            .collect();
+        assert!(shards.len() > 1, "16 sigs over 8 shards must spread");
+        pool.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn probe_takes_no_write_lock() {
+        let pool = RecyclePool::new();
+        let e = mk_entry(&pool, vec![], 7);
+        let sig = e.sig.clone();
+        pool.insert(e, None);
+        let w0 = pool.write_lock_acquisitions();
+        for _ in 0..100 {
+            assert!(pool.probe(&sig, |e| e.id).is_some());
+            assert!(pool.lookup(&sig).is_some());
+        }
+        assert_eq!(
+            pool.write_lock_acquisitions(),
+            w0,
+            "probes must be read-lock-only"
+        );
     }
 }

@@ -12,12 +12,14 @@
 //! OIDs on delete (see `rbat::Catalog::commit`).
 //!
 //! Concurrency: [`propagate_commit`] rewrites entries, signatures and the
-//! result index in place and therefore always runs under the
-//! [`SharedRecycler`](crate::SharedRecycler)'s write lock — concurrent
-//! probes see the pool either entirely before or entirely after the
-//! commit. A session whose query already cloned a pre-commit intermediate
-//! keeps computing with it (values are `Arc`-shared and immutable); only
-//! *future* probes observe the refreshed results.
+//! result index in place and therefore always runs under the sharded
+//! pool's all-shard write view ([`PoolWriteView`]) — concurrent probes
+//! see the pool either entirely before or entirely after the commit.
+//! Re-keying an entry may migrate it to the shard its new signature
+//! hashes to; the view handles that atomically. A session whose query
+//! already cloned a pre-commit intermediate keeps computing with it
+//! (values are `Arc`-shared and immutable); only *future* probes observe
+//! the refreshed results.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -29,7 +31,7 @@ use rbat::{Bat, BatId, Catalog, Value};
 use rmal::Opcode;
 
 use crate::entry::EntryId;
-use crate::pool::RecyclePool;
+use crate::pool::PoolWriteView;
 use crate::signature::{ArgSig, Sig};
 
 /// What a propagation run did.
@@ -54,7 +56,7 @@ fn empty_like(like: &Bat) -> Bat {
 /// when the commit cannot be propagated at all (deletes present) — the
 /// caller must invalidate instead.
 pub fn propagate_commit(
-    pool: &mut RecyclePool,
+    pool: &mut PoolWriteView<'_>,
     report: &CommitReport,
     catalog: &Catalog,
 ) -> Option<PropagationOutcome> {
@@ -209,7 +211,7 @@ pub fn propagate_commit(
 }
 
 /// Overwrite an entry's result/args in place and fix the pool indexes.
-fn apply_refresh(pool: &mut RecyclePool, id: EntryId, new_result: Value) {
+fn apply_refresh(pool: &mut PoolWriteView<'_>, id: EntryId, new_result: Value) {
     let Some(entry) = pool.get(id) else { return };
     let old_sig = entry.sig.clone();
     let old_result_id = entry.result_id;
@@ -222,7 +224,7 @@ fn apply_refresh(pool: &mut RecyclePool, id: EntryId, new_result: Value) {
 /// Propagate one non-root entry. Returns false when the entry (and its
 /// subtree) must be invalidated instead.
 fn propagate_entry(
-    pool: &mut RecyclePool,
+    pool: &mut PoolWriteView<'_>,
     catalog: &Catalog,
     id: EntryId,
     old_result_owner: &FxHashMap<BatId, EntryId>,

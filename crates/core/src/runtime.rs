@@ -5,7 +5,7 @@
 //! every user session (§8 relies on cross-session reuse). Accordingly the
 //! run-time support is split in two:
 //!
-//! * [`SharedRecycler`] (see [`crate::shared`]) — the pool, the
+//! * [`SharedRecycler`] (see [`crate::shared`]) — the sharded pool, the
 //!   credit/ADAPT accounts, eviction state and lifetime statistics, behind
 //!   interior locking; one instance per server.
 //! * [`Recycler`] (this module) — a cheap per-session handle implementing
@@ -13,10 +13,18 @@
 //!   has pinned, and the per-query record log. Cloning a `Recycler`
 //!   attaches a *new* session to the same shared service.
 //!
+//! The exact-match hit path — the hot path of every marked instruction —
+//! runs entirely under one shard **read** lock: probe, reuse counters,
+//! pinning and result cloning are a single [`RecyclePool::probe`] call
+//! over per-entry atomics. Admissions pin their parents (shard read
+//! locks, one at a time), then insert under the signature shard's write
+//! lock; see the locking invariants in [`crate::shared`].
+//!
 //! `Recycler::new` remains the one-line way to get a single-session
 //! engine: it creates a private `SharedRecycler` under the hood.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -27,12 +35,26 @@ use rmal::{ExecHook, HookAction, Instr, Opcode, Program};
 
 use crate::config::{RecyclerConfig, UpdateMode};
 use crate::entry::{EntryId, InstrKey, PoolEntry};
-use crate::eviction::{evict, EvictTrigger};
 use crate::pool::Admitted;
-use crate::shared::{PoolRef, PoolState, SharedRecycler};
+use crate::shared::{PoolRef, SharedRecycler};
 use crate::signature::Sig;
 use crate::stats::{PoolSnapshot, QueryRecord, RecyclerStats};
 use crate::subsume::{self, Subsumption};
+
+#[cfg(doc)]
+use crate::pool::RecyclePool;
+
+/// What one exact-match probe observed (computed under the shard read
+/// lock, consumed after it is released).
+struct HitOutcome {
+    id: EntryId,
+    result: Value,
+    saved: Duration,
+    creator: InstrKey,
+    local: bool,
+    cross_session: bool,
+    return_credit: bool,
+}
 
 /// A recycler session: implements `recycleEntry`/`recycleExit` around every
 /// marked instruction against the shared pool, and keeps this session's
@@ -46,8 +68,9 @@ pub struct Recycler {
     /// distinguishes local from global reuse).
     invocation: u64,
     current_template: u64,
-    /// Entries this session's current query has touched. Mirrored into the
-    /// shared pin table; unpinned at `query_end`.
+    /// Entries this session's current query has touched. Each id here
+    /// holds one reference in the entry's atomic pin count; released at
+    /// `query_end`.
     pinned: FxHashSet<EntryId>,
     query_log: Vec<QueryRecord>,
     current: QueryRecord,
@@ -91,7 +114,8 @@ impl Recycler {
     }
 
     /// Read access to the shared pool (diagnostics, tests, experiment
-    /// harness). The returned guard blocks writers — hold it briefly.
+    /// harness). The pool locks internally per call — holding this
+    /// reference blocks nobody.
     pub fn pool(&self) -> PoolRef<'_> {
         self.shared.pool()
     }
@@ -145,130 +169,120 @@ impl Recycler {
         }
     }
 
-    /// Pin `id` for the remainder of this query: the shared refcount is
-    /// bumped once per session per query.
-    fn pin(&mut self, st: &mut PoolState, id: EntryId) {
-        if self.pinned.insert(id) {
-            *st.pins.entry(id).or_insert(0) += 1;
-        }
-    }
-
-    /// Drop all of this session's pins (query end / start safety net).
-    /// Entries removed by invalidation may already be gone from the pin
-    /// table — that is fine.
-    fn unpin_all(&mut self, st: &mut PoolState) {
-        for id in self.pinned.drain() {
-            if let Some(c) = st.pins.get_mut(&id) {
-                *c -= 1;
-                if *c == 0 {
-                    st.pins.remove(&id);
+    /// The exact-match probe: one shard read lock, atomics only. On a hit
+    /// the reuse counters, last-use stamp, credit flag and pin are all
+    /// settled inside the lock; only the accounts/stats bookkeeping
+    /// happens after it is released (lock order: shard → accounts).
+    fn try_exact_hit(&mut self, sig: &Sig) -> Option<Value> {
+        let outcome = {
+            let pinned = &self.pinned;
+            let shared = &self.shared;
+            let invocation = self.invocation;
+            let session_id = self.session_id;
+            shared.pool_inner().probe(sig, |e| {
+                let tick = shared.next_tick();
+                e.last_used.store(tick, Ordering::Relaxed);
+                let local = e.admitted_invocation == invocation;
+                if local {
+                    e.local_reuses.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    e.global_reuses.fetch_add(1, Ordering::Relaxed);
                 }
-            }
-        }
-    }
-
-    /// Record a hit on `id`: statistics, protection, credit return.
-    /// Caller holds the write lock and has revalidated the entry.
-    fn register_hit(&mut self, st: &mut PoolState, id: EntryId) -> Value {
-        let tick = st.next_tick();
-        let invocation = self.invocation;
-        let e = st.pool.get_mut(id).expect("hit entry exists");
-        e.last_used = tick;
-        let local = e.admitted_invocation == invocation;
-        let cross_session = e.admitted_session != self.session_id;
-        if local {
-            e.local_reuses += 1;
-        } else {
-            e.global_reuses += 1;
-        }
-        e.time_saved += e.cpu;
-        let saved = e.cpu;
-        let creator = e.creator;
-        let result = e.result.clone();
-        let return_credit_now = local && !e.credit_returned;
-        if return_credit_now {
-            e.credit_returned = true;
-        }
-        self.pin(st, id);
-        self.shared.note_reuse(creator, return_credit_now);
-        self.shared.count_hit(local, cross_session, saved);
+                e.time_saved_ns
+                    .fetch_add(e.cpu.as_nanos() as u64, Ordering::Relaxed);
+                // first *local* reuse returns the admission credit; the
+                // CAS makes a racing pair of hits return it exactly once
+                let return_credit = local
+                    && e.credit_returned
+                        .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok();
+                if !pinned.contains(&e.id) {
+                    e.pins.fetch_add(1, Ordering::Relaxed);
+                }
+                HitOutcome {
+                    id: e.id,
+                    result: e.result.clone(),
+                    saved: e.cpu,
+                    creator: e.creator,
+                    local,
+                    cross_session: e.admitted_session != session_id,
+                    return_credit,
+                }
+            })
+        }?;
+        self.pinned.insert(outcome.id);
+        self.shared
+            .note_reuse(outcome.creator, outcome.return_credit);
+        self.shared
+            .count_hit(outcome.local, outcome.cross_session, outcome.saved);
         self.current.hits += 1;
-        self.current.saved += saved;
-        if local {
+        self.current.saved += outcome.saved;
+        if outcome.local {
             self.current.local_hits += 1;
         } else {
             self.current.global_hits += 1;
         }
-        result
+        Some(outcome.result)
     }
 
-    /// Record that `id` served as a subsumption source.
-    fn register_subsumption_source(&mut self, st: &mut PoolState, id: EntryId) {
-        let tick = st.next_tick();
-        if let Some(e) = st.pool.get_mut(id) {
-            e.last_used = tick;
-            e.subsumption_uses += 1;
-            self.pin(st, id);
+    /// Pin `id` for the remainder of this query if it is still resident,
+    /// collecting its base-column lineage on the way. The pin is taken
+    /// under the owning shard's read lock (invariant 3 in
+    /// [`crate::shared`]).
+    fn pin_live(&mut self, id: EntryId, base_columns: &mut BTreeSet<(String, String)>) -> bool {
+        let pinned = &self.pinned;
+        let alive = self
+            .shared
+            .pool_inner()
+            .entry(id, |e| {
+                if !pinned.contains(&e.id) {
+                    e.pins.fetch_add(1, Ordering::Relaxed);
+                }
+                base_columns.extend(e.base_columns.iter().cloned());
+            })
+            .is_some();
+        if alive {
+            self.pinned.insert(id);
+        }
+        alive
+    }
+
+    /// Drop all of this session's pins (query end / start safety net).
+    /// Entries removed by invalidation may already be gone — that is fine.
+    fn unpin_all(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        let pool = shared.pool_inner();
+        for id in self.pinned.drain() {
+            pool.entry(id, |e| {
+                e.pins.fetch_sub(1, Ordering::Relaxed);
+            });
         }
     }
 
-    /// Make room for `need_bytes` / one more entry; returns false when the
-    /// pool cannot be shrunk enough. Pinned entries (any session) are
-    /// never evicted: when only pinned leaves remain, admission fails
-    /// instead — see the locking invariants in [`crate::shared`].
-    fn make_room(&mut self, st: &mut PoolState, need_bytes: usize) -> bool {
-        let config = self.shared.config();
-        if let Some(limit) = config.mem_limit {
-            if need_bytes > limit {
-                return false;
-            }
-            if st.pool.bytes() + need_bytes > limit {
-                let need = st.pool.bytes() + need_bytes - limit;
-                let protected = st.protected();
-                let now = st.tick;
-                let evicted = evict(
-                    &mut st.pool,
-                    config.eviction,
-                    EvictTrigger::Memory(need),
-                    &protected,
-                    now,
-                );
-                self.shared.settle_evictions(&evicted);
-                if st.pool.bytes() + need_bytes > limit {
-                    return false;
-                }
-            }
+    /// Record that `id` served as a subsumption source (read lock only).
+    fn register_subsumption_source(&mut self, id: EntryId) {
+        let found = {
+            let pinned = &self.pinned;
+            let shared = &self.shared;
+            shared
+                .pool_inner()
+                .entry(id, |e| {
+                    e.last_used.store(shared.next_tick(), Ordering::Relaxed);
+                    e.subsumption_uses.fetch_add(1, Ordering::Relaxed);
+                    if !pinned.contains(&e.id) {
+                        e.pins.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+                .is_some()
+        };
+        if found {
+            self.pinned.insert(id);
         }
-        if let Some(limit) = config.entry_limit {
-            if limit == 0 {
-                return false;
-            }
-            if st.pool.len() + 1 > limit {
-                let need = st.pool.len() + 1 - limit;
-                let protected = st.protected();
-                let now = st.tick;
-                let evicted = evict(
-                    &mut st.pool,
-                    config.eviction,
-                    EvictTrigger::Entries(need),
-                    &protected,
-                    now,
-                );
-                self.shared.settle_evictions(&evicted);
-                if st.pool.len() + 1 > limit {
-                    return false;
-                }
-            }
-        }
-        true
     }
 
     /// Admit an executed instruction's result (the body of `recycleExit`).
-    /// Caller holds the write lock.
-    #[allow(clippy::too_many_arguments)]
     fn admit(
         &mut self,
-        st: &mut PoolState,
         catalog: &Catalog,
         pc: usize,
         instr: &Instr,
@@ -276,140 +290,166 @@ impl Recycler {
         result: &Value,
         cpu: Duration,
     ) {
+        let shared = Arc::clone(&self.shared);
+        let pool = shared.pool_inner();
         let key: InstrKey = (self.current_template, pc);
         // register persistent identities first: they anchor coherence
-        if matches!(instr.op, Opcode::Bind | Opcode::BindIdx) {
+        let is_bind = matches!(instr.op, Opcode::Bind | Opcode::BindIdx);
+        let mut base_columns: BTreeSet<(String, String)> = if is_bind {
+            let cols = shared.base_columns_of(catalog, instr, args);
             if let Value::Bat(b) = result {
-                let cols = st.base_columns_of(catalog, instr, args);
-                st.persistent.insert(b.id(), cols);
+                shared.persistent().insert(b.id(), cols.clone());
             }
-        }
-        // Cheap precheck of lineage coherence (repeated authoritatively
-        // after eviction below).
-        for a in args {
-            if let Value::Bat(b) = a {
-                if st.pool.entry_of_result(b.id()).is_none() && !st.persistent.contains_key(&b.id())
-                {
-                    self.shared.count_admission_reject();
-                    return;
-                }
-            }
-        }
-        if !self.shared.admission_allows(key) {
-            self.shared.count_admission_reject();
-            return;
-        }
-        let bytes = Self::charge_bytes(instr.op, result);
-        if !self.make_room(st, bytes) {
-            self.shared.count_admission_reject();
-            self.shared.undo_admission_charge(key);
-            return;
-        }
-        // Bottom-up matching coherence: every BAT argument must itself be
-        // reachable for future matching — as a pool result or a persistent
-        // BAT (paper §4.1: keep whole threads intact). Resolved *after*
-        // make_room: eviction may have taken a prefix, in which case
-        // admitting this dependent would be useless.
+            cols
+        } else {
+            BTreeSet::new()
+        };
+        // Bottom-up matching coherence (paper §4.1: keep whole threads
+        // intact): every BAT argument must be reachable as a pool result
+        // or a persistent BAT. Pool-resident parents are *pinned* here, so
+        // eviction cannot take the prefix out from under this admission;
+        // `insert` revalidates them once more inside its critical section
+        // (a concurrent update may still invalidate — invariant 6).
         let mut parents: Vec<EntryId> = Vec::new();
         for a in args {
             if let Value::Bat(b) = a {
-                if let Some(eid) = st.pool.entry_of_result(b.id()) {
-                    parents.push(eid);
-                } else if !st.persistent.contains_key(&b.id()) {
-                    self.shared.count_admission_reject();
-                    self.shared.undo_admission_charge(key);
+                if let Some(eid) = pool.entry_of_result(b.id()) {
+                    if self.pin_live(eid, &mut base_columns) {
+                        parents.push(eid);
+                        continue;
+                    }
+                }
+                let known = shared.persistent().with(&b.id(), |cols| match cols {
+                    Some(cols) => {
+                        base_columns.extend(cols.iter().cloned());
+                        true
+                    }
+                    None => false,
+                });
+                if !known {
+                    shared.count_admission_reject();
                     return;
                 }
             }
         }
+        if !shared.admission_allows(key) {
+            shared.count_admission_reject();
+            return;
+        }
+        let bytes = Self::charge_bytes(instr.op, result);
+        // reserve capacity (strict limits under concurrency); released
+        // right after the insert settles, whatever its outcome
+        if !shared.reserve_admission(bytes) {
+            shared.count_admission_reject();
+            shared.undo_admission_charge(key);
+            return;
+        }
         let sig = Sig::of(instr.op, args);
-        let base_columns = st.base_columns_of(catalog, instr, args);
-        let tick = st.next_tick();
+        let tick = shared.next_tick();
+        let result_id = result.as_bat().map(|b| b.id());
+        // subset semantics for the subsumption machinery (§5.1), recorded
+        // atomically with the insert
+        let subset_of = match (result_id, args.first()) {
+            (Some(_), Some(Value::Bat(arg0)))
+                if matches!(
+                    instr.op,
+                    Opcode::Select
+                        | Opcode::Uselect
+                        | Opcode::Like
+                        | Opcode::SelectNotNil
+                        | Opcode::Semijoin
+                        | Opcode::Diff
+                        | Opcode::Kunique
+                        | Opcode::Sort
+                        | Opcode::TopN
+                ) =>
+            {
+                Some(arg0.id())
+            }
+            _ => None,
+        };
         let entry = PoolEntry {
-            id: st.pool.next_id(),
+            id: pool.alloc_id(),
             sig,
             args: args.to_vec(),
             result: result.clone(),
-            result_id: result.as_bat().map(|b| b.id()),
+            result_id,
             bytes,
             cpu,
             family: instr.op.family(),
             parents,
             base_columns,
             admitted_tick: tick,
-            last_used: tick,
             admitted_invocation: self.invocation,
             admitted_session: self.session_id,
-            local_reuses: 0,
-            global_reuses: 0,
-            subsumption_uses: 0,
             creator: key,
-            time_saved: Duration::ZERO,
-            credit_returned: false,
+            last_used: AtomicU64::new(tick),
+            local_reuses: AtomicU64::new(0),
+            global_reuses: AtomicU64::new(0),
+            subsumption_uses: AtomicU64::new(0),
+            time_saved_ns: AtomicU64::new(0),
+            // born pinned by the admitting session
+            pins: AtomicU32::new(1),
+            credit_returned: AtomicBool::new(false),
         };
-        let result_id = entry.result_id;
-        match st.pool.insert(entry) {
+        let admitted = pool.insert(entry, subset_of);
+        shared.release_reservation(bytes);
+        match admitted {
             Admitted::Inserted(id) => {
-                self.pin(st, id);
-                self.shared.count_admission();
+                self.pinned.insert(id);
+                shared.count_admission();
                 self.current.admitted += 1;
                 self.current.bytes_admitted += bytes as u64;
-                // subset semantics for the subsumption machinery (§5.1)
-                if let (Some(rid), Some(Value::Bat(arg0))) = (result_id, args.first()) {
-                    if matches!(
-                        instr.op,
-                        Opcode::Select
-                            | Opcode::Uselect
-                            | Opcode::Like
-                            | Opcode::SelectNotNil
-                            | Opcode::Semijoin
-                            | Opcode::Diff
-                            | Opcode::Kunique
-                            | Opcode::Sort
-                            | Opcode::TopN
-                    ) {
-                        st.pool.add_subset_edge(rid, arg0.id());
-                    }
-                }
             }
             Admitted::Duplicate(existing) => {
-                // Concurrent-admission resolution (first writer wins): a
-                // session that probed, missed, and executed while another
-                // session admitted the same signature. Keep the resident
-                // instance, drop our copy, return the credit, and pin the
-                // winner. Our executed result BAT is equivalent to the
-                // winner's but carries a different identity, and the rest
-                // of this query references *ours* — alias it onto the
-                // resident entry so the downstream chain keeps resolving
-                // parents and passing admission coherence.
-                self.shared.count_duplicate_admission();
-                self.shared.undo_admission_charge(key);
-                self.pin(st, existing);
-                if let Some(rid) = result_id {
-                    st.pool.alias_result(rid, existing);
+                // Concurrent-admission resolution (first writer wins): the
+                // pool kept the resident instance, pinned it on our behalf
+                // and aliased our result BAT onto it — all inside the
+                // shard critical section. Return the credit and reconcile
+                // the pin with this session's pin set (we may have pinned
+                // the winner already earlier in the query).
+                shared.count_duplicate_admission();
+                shared.undo_admission_charge(key);
+                if !self.pinned.insert(existing) {
+                    pool.entry(existing, |e| {
+                        e.pins.fetch_sub(1, Ordering::Relaxed);
+                    });
                 }
+            }
+            Admitted::Orphaned => {
+                // an update invalidated a parent between resolution and
+                // insertion — the thread is broken, admitting would leave
+                // dangling lineage
+                shared.count_admission_reject();
+                shared.undo_admission_charge(key);
             }
         }
     }
 
     /// Invalidate every intermediate whose lineage intersects the affected
-    /// columns (paper §6.4: immediate column-wise invalidation). Removal
-    /// overrides pins — correctness beats retention; stale pins are
-    /// cleaned up by their sessions' `query_end`.
-    fn invalidate_columns(&mut self, st: &mut PoolState, affected: &BTreeSet<(String, String)>) {
-        let roots: Vec<EntryId> = st
-            .pool
-            .iter()
-            .filter(|e| e.base_columns.intersection(affected).next().is_some())
-            .map(|e| e.id)
-            .collect();
-        let mut removed = 0u64;
-        for r in roots {
-            removed += st.pool.remove_subtree(r).len() as u64;
-        }
-        self.shared.count_invalidated(removed);
+    /// columns (paper §6.4: immediate column-wise invalidation), atomically
+    /// under the all-shard write view. Removal overrides pins —
+    /// correctness beats retention; stale pins are cleaned up by their
+    /// sessions' `query_end`.
+    fn invalidate_columns(&mut self, affected: &BTreeSet<(String, String)>) {
+        let shared = Arc::clone(&self.shared);
+        let removed = {
+            let mut view = shared.pool_inner().write_view();
+            let roots: Vec<EntryId> = view
+                .iter()
+                .filter(|e| e.base_columns.intersection(affected).next().is_some())
+                .map(|e| e.id)
+                .collect();
+            let mut removed = 0u64;
+            for r in roots {
+                removed += view.remove_subtree(r).len() as u64;
+            }
+            removed
+        };
+        shared.count_invalidated(removed);
         // drop stale persistent registrations
-        st.persistent
+        shared
+            .persistent()
             .retain(|_, cols| cols.intersection(affected).next().is_none());
     }
 }
@@ -441,9 +481,7 @@ impl ExecHook for Recycler {
         self.shared.note_invocation(program.id);
         if !self.pinned.is_empty() {
             // safety net: a previous query aborted without `query_end`
-            let shared = Arc::clone(&self.shared);
-            let mut st = shared.write_state();
-            self.unpin_all(&mut st);
+            self.unpin_all();
         }
         self.current = QueryRecord {
             template: program.id,
@@ -465,33 +503,25 @@ impl ExecHook for Recycler {
         let sig = Sig::of(instr.op, args);
         let config = self.shared.config();
 
-        // Phase 1: exact match (paper §3.3). Probe under the read lock;
-        // a hit re-checks under the write lock (the entry may have been
-        // evicted or invalidated between the two — invariant 3).
-        let probe_hit = self.shared.read_state().pool.lookup(&sig).is_some();
-        if probe_hit {
-            let shared = Arc::clone(&self.shared);
-            let mut st = shared.write_state();
-            if let Some(id) = st.pool.lookup(&sig) {
-                let result = self.register_hit(&mut st, id);
-                drop(st);
-                self.shared.add_overhead(t0.elapsed());
-                return HookAction::Reuse(result);
-            }
-            // lost the race — fall through to subsumption / execution
+        // Phase 1: exact match (paper §3.3) — one shard read lock, no
+        // write lock ever (invariant 2 in `crate::shared`).
+        if let Some(result) = self.try_exact_hit(&sig) {
+            self.shared.add_overhead(t0.elapsed());
+            return HookAction::Reuse(result);
         }
 
-        // Phase 2: subsumption (paper §5). The search runs under the read
-        // lock; argument values are cloned out, so a concurrent eviction
-        // of the source cannot invalidate the rewrite (`Arc`-shared BATs).
+        // Phase 2: subsumption (paper §5). The candidate search fans out
+        // across the shards under read locks; argument values are cloned
+        // out, so a concurrent eviction of the source cannot invalidate
+        // the rewrite (`Arc`-shared BATs).
         if config.subsumption {
             let attempt = {
-                let st = self.shared.read_state();
+                let pool = self.shared.pool_inner();
                 match instr.op {
-                    Opcode::Select => subsume::subsume_select(&st.pool, args),
-                    Opcode::Uselect => subsume::subsume_uselect(&st.pool, args),
-                    Opcode::Like => subsume::subsume_like(&st.pool, args),
-                    Opcode::Semijoin => subsume::subsume_semijoin(&st.pool, args),
+                    Opcode::Select => subsume::subsume_select(pool, args),
+                    Opcode::Uselect => subsume::subsume_uselect(pool, args),
+                    Opcode::Like => subsume::subsume_like(pool, args),
+                    Opcode::Semijoin => subsume::subsume_semijoin(pool, args),
                     _ => None,
                 }
             };
@@ -500,11 +530,7 @@ impl ExecHook for Recycler {
                 source,
             }) = attempt
             {
-                {
-                    let shared = Arc::clone(&self.shared);
-                    let mut st = shared.write_state();
-                    self.register_subsumption_source(&mut st, source);
-                }
+                self.register_subsumption_source(source);
                 self.shared.count_subsumed();
                 self.current.subsumed += 1;
                 self.shared.add_overhead(t0.elapsed());
@@ -512,16 +538,15 @@ impl ExecHook for Recycler {
             }
             if config.combined_subsumption && instr.op == Opcode::Select {
                 let pieced = {
-                    let st = self.shared.read_state();
-                    match subsume::subsume_combined(&st.pool, args, config.combined_max_candidates)
-                    {
+                    let pool = self.shared.pool_inner();
+                    match subsume::subsume_combined(pool, args, config.combined_max_candidates) {
                         Some(Subsumption::Combined {
                             segments,
                             search_time,
                         }) => {
                             self.shared.add_subsume_search(search_time);
                             let exec0 = Instant::now();
-                            subsume::execute_combined(&st.pool, &segments)
+                            subsume::execute_combined(pool, &segments)
                                 .map(|bat| (segments, bat, exec0.elapsed()))
                         }
                         _ => None,
@@ -529,17 +554,14 @@ impl ExecHook for Recycler {
                 };
                 if let Some((segments, bat, cpu)) = pieced {
                     let result = Value::Bat(Arc::new(bat));
-                    let shared = Arc::clone(&self.shared);
-                    let mut st = shared.write_state();
                     for (id, _) in &segments {
-                        self.register_subsumption_source(&mut st, *id);
+                        self.register_subsumption_source(*id);
                     }
                     self.shared.count_subsumed();
                     self.current.subsumed += 1;
                     // recycleExit for the pieced result, under the
                     // ORIGINAL signature.
-                    self.admit(&mut st, catalog, pc, instr, args, &result, cpu);
-                    drop(st);
+                    self.admit(catalog, pc, instr, args, &result, cpu);
                     self.shared.add_overhead(t0.elapsed());
                     return HookAction::Computed(result);
                 }
@@ -560,19 +582,13 @@ impl ExecHook for Recycler {
         _subsumed: bool,
     ) {
         let t0 = Instant::now();
-        {
-            let shared = Arc::clone(&self.shared);
-            let mut st = shared.write_state();
-            self.admit(&mut st, catalog, pc, instr, args, result, cpu);
-        }
+        self.admit(catalog, pc, instr, args, result, cpu);
         self.shared.add_overhead(t0.elapsed());
     }
 
     fn query_end(&mut self, _program: &Program) {
         if !self.pinned.is_empty() {
-            let shared = Arc::clone(&self.shared);
-            let mut st = shared.write_state();
-            self.unpin_all(&mut st);
+            self.unpin_all();
         }
         let record = std::mem::take(&mut self.current);
         self.query_log.push(record);
@@ -583,20 +599,22 @@ impl ExecHook for Recycler {
         if report.inserted.is_empty() && report.deleted.is_empty() {
             return;
         }
-        // The whole synchronisation runs under the write lock: concurrent
-        // queries see the pool either entirely before or entirely after
-        // the commit (per-instruction atomicity — a query already past an
-        // instruction keeps its pre-update intermediate, as in the paper's
-        // transaction-isolation discussion §6.1).
+        // The whole synchronisation runs under the all-shard write view:
+        // concurrent queries see the pool either entirely before or
+        // entirely after the commit (per-instruction atomicity — a query
+        // already past an instruction keeps its pre-update intermediate,
+        // as in the paper's transaction-isolation discussion §6.1).
         let shared = Arc::clone(&self.shared);
-        let mut st = shared.write_state();
-        if self.shared.config().update_mode == UpdateMode::Propagate {
-            if let Some(outcome) = crate::propagate::propagate_commit(&mut st.pool, report, catalog)
-            {
-                self.shared.count_propagated(outcome.refreshed);
-                self.shared.count_invalidated(outcome.invalidated);
+        if shared.config().update_mode == UpdateMode::Propagate {
+            let outcome = {
+                let mut view = shared.pool_inner().write_view();
+                crate::propagate::propagate_commit(&mut view, report, catalog)
+            };
+            if let Some(outcome) = outcome {
+                shared.count_propagated(outcome.refreshed);
+                shared.count_invalidated(outcome.invalidated);
                 for (bat, cols) in outcome.new_persistent {
-                    st.persistent.insert(bat, cols);
+                    shared.persistent().insert(bat, cols);
                 }
                 return;
             }
@@ -616,7 +634,7 @@ impl ExecHook for Recycler {
                 affected.insert((def.to_table.clone(), def.to_key.clone()));
             }
         }
-        self.invalidate_columns(&mut st, &affected);
+        self.invalidate_columns(&affected);
     }
 }
 
@@ -667,6 +685,26 @@ mod tests {
         assert_eq!(first.export("n"), second.export("n"));
         assert_eq!(e.hook.stats().global_hits, second.stats.reused as u64);
         e.hook.pool().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn exact_hits_take_no_write_lock() {
+        // The tentpole invariant: once the pool is warm, a 100%-hit query
+        // acquires shard READ locks only — the write-acquisition counter
+        // must not move.
+        let mut e = engine(RecyclerConfig::default());
+        let mut t = range_template();
+        e.optimize(&mut t);
+        let p = [Value::Int(100), Value::Int(600)];
+        e.run(&t, &p).unwrap(); // warm: admissions take write locks
+        let w0 = e.hook.pool().write_lock_acquisitions();
+        for _ in 0..5 {
+            let out = e.run(&t, &p).unwrap();
+            assert_eq!(out.stats.reused, out.stats.marked, "all marked must hit");
+        }
+        let w1 = e.hook.pool().write_lock_acquisitions();
+        assert_eq!(w0, w1, "exact-match hits must not take any write lock");
+        assert!(e.hook.stats().hits > 0);
     }
 
     #[test]
@@ -745,6 +783,7 @@ mod tests {
         let selects = e
             .hook
             .pool()
+            .snapshot_entries()
             .iter()
             .filter(|en| en.family == "select")
             .count();
@@ -1028,16 +1067,14 @@ mod tests {
         a.optimize(&mut t);
         // admit the bind + select + count thread
         a.run(&t, &[Value::Int(1), Value::Int(2)]).unwrap();
-        let protected_sig = {
-            let pool = shared.pool();
-            let sig = pool
-                .iter()
-                .find(|e| e.family == "bind")
-                .unwrap()
-                .sig
-                .clone();
-            sig
-        };
+        let protected_sig = shared
+            .pool()
+            .snapshot_entries()
+            .into_iter()
+            .find(|e| e.family == "bind")
+            .unwrap()
+            .sig
+            .clone();
 
         // hold a pin from a simulated in-flight query of session A
         let mut holder = shared.session();

@@ -5,144 +5,86 @@
 //! streams is where the SkyServer gains come from (§8). This module holds
 //! everything that is per-*server* rather than per-*session*:
 //!
-//! * the [`RecyclePool`] itself, the persistent-BAT registry and the pin
-//!   table (entries currently referenced by some session's running query),
-//!   all behind one [`RwLock`] — exact-match and subsumption *probes* take
-//!   the read lock and run concurrently; admissions, hit bookkeeping,
-//!   eviction and update synchronisation take the write lock;
-//! * the CREDIT/ADAPT accounts behind a separate [`Mutex`] — they are
-//!   touched on every admission decision but never during probe-only
-//!   instructions, so keeping them off the pool lock shortens the write
-//!   sections;
-//! * lifetime statistics as plain atomics, so sessions never contend just
-//!   to count.
+//! * the [`RecyclePool`] — since the sharding PR a concurrent structure
+//!   of its own: N signature-hash shards (N = next power of two ≥
+//!   2×cores), each an independent `RwLock` over its entry slab,
+//!   exact-match index and subsumption candidate index, with per-shard
+//!   byte totals in `AtomicUsize` and the cross-shard lineage indexes in
+//!   their own sharded locks;
+//! * the persistent-BAT registry (bound columns, join indices) in a
+//!   sharded index of its own;
+//! * the CREDIT/ADAPT accounts behind one [`Mutex`] — inherently global
+//!   (credits are per template instruction, not per shard) but touched
+//!   only on admission decisions, never on the hit path;
+//! * lifetime statistics and the event clock as plain atomics, so
+//!   sessions never contend just to count.
 //!
 //! # Locking invariants
 //!
-//! 1. **Order:** the pool lock (`state`) is always acquired *before* the
-//!    accounts lock. Code holding `accounts` must never touch `state`.
-//! 2. **No lock across execution:** operator execution (the expensive
-//!    part) happens outside the write lock; only combined-subsumption
-//!    piecing executes under the *read* lock (it reads pooled BATs).
-//! 3. **Probe–act revalidation:** a probe under the read lock is only a
-//!    hint. Before acting on a hit the session re-acquires the write lock
-//!    and looks the signature up again — the entry may have been evicted
-//!    or invalidated in between.
-//! 4. **First writer wins:** two sessions may concurrently compute and
-//!    admit the same signature. [`RecyclePool::insert`] keeps the first
-//!    entry and reports the duplicate; the loser's copy is dropped, its
-//!    admission credit returned, and `duplicate_admissions` incremented.
-//!    The paper's pool semantics allow this: both results are equivalent,
-//!    only one instance may be resident.
-//! 5. **Pins are inviolable:** an entry pinned by *any* session (hit,
-//!    subsumption source or fresh admission of a running query) is never
-//!    evicted. When nothing evictable remains, admission fails instead
-//!    (`admission_rejects`) — under concurrency, evicting another
-//!    session's working set to make room for ours would thrash.
+//! 1. **Order:** locks are tiered — *eviction mutex* → *shard locks in
+//!    ascending shard index* → *lineage/persistent sub-map locks* →
+//!    *accounts mutex*. A thread may skip tiers but never goes back up.
+//!    Within the shard tier a thread holds at most one shard lock, except
+//!    for the all-shard acquisitions ([`RecyclePool::write_view`] for
+//!    update synchronisation, `check_invariants` for diagnostics), which
+//!    take every shard in ascending index order. Lineage sub-map locks
+//!    are leaves: while holding one, no other lock is acquired.
+//! 2. **The exact-match hit path takes no write lock.** A hit is served
+//!    entirely under the signature shard's *read* lock: the reuse
+//!    counters, last-use stamp, saved-time tally, pin count and
+//!    credit-return flag are per-entry atomics ([`crate::entry`]). The
+//!    `RecyclePool::write_lock_acquisitions` counter pins this down in
+//!    tests.
+//! 3. **Pins are race-free by lock polarity.** Pinning bumps the entry's
+//!    atomic pin count under the owning shard's *read* lock; eviction
+//!    checks the pin count and removes under the same shard's *write*
+//!    lock. The `RwLock` serialises the two, so an entry is either pinned
+//!    before the eviction check (and skipped) or removed first (and the
+//!    pinning probe revalidates and misses).
+//! 4. **No lock across execution:** operator execution happens outside
+//!    every lock; only combined-subsumption piecing reads pooled BATs,
+//!    entry-by-entry under shard read locks, and `Arc`-shared results
+//!    stay valid regardless of eviction.
+//! 5. **First writer wins, atomically.** Racing duplicate admissions are
+//!    resolved inside [`RecyclePool::insert`]'s shard critical section:
+//!    the resident entry stays and is pinned for the loser, the loser's
+//!    result BAT is aliased onto it, and the caller returns the admission
+//!    credit (`duplicate_admissions`).
+//! 6. **Admission coherence is revalidated.** Parents are resolved and
+//!    pinned (shard read locks, one at a time) before insertion;
+//!    [`RecyclePool::insert`] re-checks them against the owner index
+//!    inside its critical section and drops the candidate as orphaned if
+//!    an update invalidated them in between.
+//! 7. **Pins are inviolable to eviction:** an entry pinned by *any*
+//!    session is never evicted. When nothing evictable remains, admission
+//!    fails instead (`admission_rejects`). Updates override pins —
+//!    correctness beats retention. Evictors serialise on the eviction
+//!    mutex so concurrent memory pressure does not over-evict.
+//! 8. **Update synchronisation is stop-the-world:** invalidation and
+//!    delta propagation hold every shard write lock (ascending), so
+//!    concurrent queries observe the pool entirely before or entirely
+//!    after a commit, and no half-wired lineage is ever visible to them.
 
 use std::collections::BTreeSet;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
-use rbat::hash::{FxHashMap, FxHashSet};
+use rbat::hash::FxHashMap;
+use rbat::hash::FxHashSet;
 use rbat::{BatId, Catalog};
 use rmal::{Instr, Opcode};
 
 use crate::config::{AdmissionPolicy, RecyclerConfig};
-use crate::entry::{EntryId, InstrKey};
-use crate::pool::RecyclePool;
+use crate::entry::InstrKey;
+use crate::eviction::{evict, EvictTrigger};
+use crate::pool::{RecyclePool, ShardedIndex};
 use crate::runtime::Recycler;
 use crate::stats::{PoolSnapshot, RecyclerStats};
 
-/// Pool-side state guarded by the [`SharedRecycler`]'s `RwLock`.
-pub(crate) struct PoolState {
-    /// The recycle pool.
-    pub(crate) pool: RecyclePool,
-    /// Pin counts: entries referenced by some session's current query.
-    /// A pinned entry is never evicted (invariant 5); invalidation may
-    /// still remove it — correctness beats retention.
-    pub(crate) pins: FxHashMap<EntryId, u32>,
-    /// Persistent BATs (bound columns, join indices) with base-column
-    /// lineage: stable identities admission may reference without a
-    /// pool-resident producer. Shared across sessions — `Catalog` clones
-    /// `Arc`-share their column BATs, so ids agree between sessions.
-    pub(crate) persistent: FxHashMap<BatId, BTreeSet<(String, String)>>,
-    /// Monotone event counter (LRU / HP ageing), advanced under the write
-    /// lock only.
-    pub(crate) tick: u64,
-}
-
-impl PoolState {
-    fn new() -> PoolState {
-        PoolState {
-            pool: RecyclePool::new(),
-            pins: FxHashMap::default(),
-            persistent: FxHashMap::default(),
-            tick: 0,
-        }
-    }
-
-    /// Advance and return the event clock.
-    pub(crate) fn next_tick(&mut self) -> u64 {
-        self.tick += 1;
-        self.tick
-    }
-
-    /// The eviction-protected set: every pinned entry, regardless of
-    /// which session pinned it.
-    pub(crate) fn protected(&self) -> FxHashSet<EntryId> {
-        self.pins.keys().copied().collect()
-    }
-
-    /// Base `(table, column)` lineage of an instruction's arguments
-    /// (paper §6.4) — resolved against pooled producers and persistent
-    /// registrations.
-    pub(crate) fn base_columns_of(
-        &self,
-        catalog: &Catalog,
-        instr: &Instr,
-        args: &[rbat::Value],
-    ) -> BTreeSet<(String, String)> {
-        let mut cols = BTreeSet::new();
-        match instr.op {
-            Opcode::Bind => {
-                if let (Some(t), Some(c)) = (
-                    args.first().and_then(|v| v.as_str()),
-                    args.get(1).and_then(|v| v.as_str()),
-                ) {
-                    cols.insert((t.to_string(), c.to_string()));
-                }
-            }
-            Opcode::BindIdx => {
-                if let Some(name) = args.first().and_then(|v| v.as_str()) {
-                    if let Some(def) = catalog.index_def(name) {
-                        cols.insert((def.from_table.clone(), def.from_column.clone()));
-                        cols.insert((def.to_table.clone(), def.to_key.clone()));
-                    }
-                }
-            }
-            _ => {
-                for a in args {
-                    if let rbat::Value::Bat(b) = a {
-                        if let Some(eid) = self.pool.entry_of_result(b.id()) {
-                            if let Some(e) = self.pool.get(eid) {
-                                cols.extend(e.base_columns.iter().cloned());
-                            }
-                        } else if let Some(pcols) = self.persistent.get(&b.id()) {
-                            cols.extend(pcols.iter().cloned());
-                        }
-                    }
-                }
-            }
-        }
-        cols
-    }
-}
-
 /// Credit/ADAPT bookkeeping, guarded by its own mutex (lock-order: after
-/// the pool lock, never before).
+/// every shard and sub-map lock, never before).
 #[derive(Default)]
 pub(crate) struct AccountState {
     credits: FxHashMap<InstrKey, i64>,
@@ -187,38 +129,67 @@ fn bump(cell: &AtomicU64) {
 /// number of [`Recycler`] session handles attached via [`Self::session`].
 pub struct SharedRecycler {
     config: RecyclerConfig,
-    pub(crate) state: RwLock<PoolState>,
+    pool: RecyclePool,
+    /// Persistent BATs (bound columns, join indices) with base-column
+    /// lineage: stable identities admission may reference without a
+    /// pool-resident producer. Shared across sessions — `Catalog` clones
+    /// `Arc`-share their column BATs, so ids agree between sessions.
+    persistent: ShardedIndex<BatId, BTreeSet<(String, String)>>,
     accounts: Mutex<AccountState>,
     stats: SharedStats,
+    /// Monotone event counter (LRU / HP ageing) — lock-free.
+    tick: AtomicU64,
     invocations: AtomicU64,
     session_ids: AtomicU64,
+    /// Serialises evictors (tier 1 of the lock order): concurrent memory
+    /// pressure from many sessions must not over-evict the pool.
+    evict_lock: Mutex<()>,
+    /// Bytes reserved by in-flight admissions (capacity checked, entry
+    /// not yet inserted). Makes the configured limits *strict* under
+    /// concurrency: the capacity check and the insert run under
+    /// different locks, so concurrent admissions must see each other's
+    /// demand here or they could collectively overshoot the cap.
+    pending_bytes: std::sync::atomic::AtomicUsize,
+    /// Entry slots reserved by in-flight admissions (see
+    /// `pending_bytes`).
+    pending_entries: std::sync::atomic::AtomicUsize,
 }
 
-/// Read access to the live pool: an RAII guard dereferencing to
-/// [`RecyclePool`]. Hold it only briefly — it blocks admissions, hit
-/// bookkeeping and eviction in every session.
+/// Read access to the live pool. The pool's own methods lock internally
+/// (shard read locks per call), so this is a cheap reference wrapper —
+/// it no longer blocks writers for its lifetime.
 pub struct PoolRef<'a> {
-    guard: RwLockReadGuard<'a, PoolState>,
+    pool: &'a RecyclePool,
 }
 
 impl Deref for PoolRef<'_> {
     type Target = RecyclePool;
 
     fn deref(&self) -> &RecyclePool {
-        &self.guard.pool
+        self.pool
     }
 }
 
 impl SharedRecycler {
     /// Create a shared recycler service with the given configuration.
     pub fn new(config: RecyclerConfig) -> Arc<SharedRecycler> {
+        let pool = match config.pool_shards {
+            Some(n) => RecyclePool::with_shards(n),
+            None => RecyclePool::new(),
+        };
+        let submaps = pool.shard_count();
         Arc::new(SharedRecycler {
             config,
-            state: RwLock::new(PoolState::new()),
+            pool,
+            persistent: ShardedIndex::new(submaps),
             accounts: Mutex::new(AccountState::default()),
             stats: SharedStats::default(),
+            tick: AtomicU64::new(0),
             invocations: AtomicU64::new(0),
             session_ids: AtomicU64::new(0),
+            evict_lock: Mutex::new(()),
+            pending_bytes: std::sync::atomic::AtomicUsize::new(0),
+            pending_entries: std::sync::atomic::AtomicUsize::new(0),
         })
     }
 
@@ -239,30 +210,33 @@ impl SharedRecycler {
         self.session_ids.load(Ordering::Relaxed)
     }
 
-    // ----- lock plumbing ---------------------------------------------------
-
-    pub(crate) fn read_state(&self) -> RwLockReadGuard<'_, PoolState> {
-        self.state.read().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    pub(crate) fn write_state(&self) -> RwLockWriteGuard<'_, PoolState> {
-        self.state.write().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    fn lock_accounts(&self) -> MutexGuard<'_, AccountState> {
-        self.accounts.lock().unwrap_or_else(PoisonError::into_inner)
-    }
+    // ----- pool access ------------------------------------------------------
 
     /// Read access to the pool (diagnostics, tests, experiment harness).
     pub fn pool(&self) -> PoolRef<'_> {
-        PoolRef {
-            guard: self.read_state(),
-        }
+        PoolRef { pool: &self.pool }
+    }
+
+    pub(crate) fn pool_inner(&self) -> &RecyclePool {
+        &self.pool
+    }
+
+    pub(crate) fn persistent(&self) -> &ShardedIndex<BatId, BTreeSet<(String, String)>> {
+        &self.persistent
+    }
+
+    /// Advance and return the event clock.
+    pub(crate) fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub(crate) fn current_tick(&self) -> u64 {
+        self.tick.load(Ordering::Relaxed)
     }
 
     /// Snapshot of the pool content (Table III material).
     pub fn snapshot(&self) -> PoolSnapshot {
-        PoolSnapshot::capture(&self.read_state().pool)
+        PoolSnapshot::capture(&self.pool)
     }
 
     /// Empty the recycle pool (the experiments' "emptied recycle pool"
@@ -270,21 +244,15 @@ impl SharedRecycler {
     /// The entry-id counter stays monotone so stale per-session pin sets
     /// can never alias a post-clear entry.
     pub fn clear_pool(&self) {
-        let mut st = self.write_state();
-        st.pool.clear();
-        st.pins.clear();
+        self.pool.clear();
     }
 
     /// Reset pool, accounts and statistics. Affects every attached
     /// session — this is a server-wide operation. Entry ids and the event
     /// clock stay monotone (see [`Self::clear_pool`]).
     pub fn reset(&self) {
-        {
-            let mut st = self.write_state();
-            st.pool.clear();
-            st.pins.clear();
-            st.persistent.clear();
-        }
+        self.pool.clear();
+        self.persistent.clear();
         *self.lock_accounts() = AccountState::default();
         let s = &self.stats;
         for cell in [
@@ -308,7 +276,164 @@ impl SharedRecycler {
         }
     }
 
-    // ----- statistics ------------------------------------------------------
+    // ----- admission support ------------------------------------------------
+
+    /// Base `(table, column)` lineage of an instruction's arguments
+    /// (paper §6.4) — resolved against pooled producers and persistent
+    /// registrations.
+    pub(crate) fn base_columns_of(
+        &self,
+        catalog: &Catalog,
+        instr: &Instr,
+        args: &[rbat::Value],
+    ) -> BTreeSet<(String, String)> {
+        let mut cols = BTreeSet::new();
+        match instr.op {
+            Opcode::Bind => {
+                if let (Some(t), Some(c)) = (
+                    args.first().and_then(|v| v.as_str()),
+                    args.get(1).and_then(|v| v.as_str()),
+                ) {
+                    cols.insert((t.to_string(), c.to_string()));
+                }
+            }
+            Opcode::BindIdx => {
+                if let Some(name) = args.first().and_then(|v| v.as_str()) {
+                    if let Some(def) = catalog.index_def(name) {
+                        cols.insert((def.from_table.clone(), def.from_column.clone()));
+                        cols.insert((def.to_table.clone(), def.to_key.clone()));
+                    }
+                }
+            }
+            _ => {
+                for a in args {
+                    if let rbat::Value::Bat(b) = a {
+                        if let Some(eid) = self.pool.entry_of_result(b.id()) {
+                            self.pool.entry(eid, |e| {
+                                cols.extend(e.base_columns.iter().cloned());
+                            });
+                        } else {
+                            self.persistent.with(&b.id(), |pcols| {
+                                if let Some(pcols) = pcols {
+                                    cols.extend(pcols.iter().cloned());
+                                }
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        cols
+    }
+
+    fn limits_configured(&self) -> bool {
+        self.config.mem_limit.is_some() || self.config.entry_limit.is_some()
+    }
+
+    fn drop_reservation(&self, need_bytes: usize) {
+        self.pending_bytes.fetch_sub(need_bytes, Ordering::Relaxed);
+        self.pending_entries.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Reserve capacity for one admission of `need_bytes`, evicting if
+    /// necessary; returns false (reservation dropped) when room cannot be
+    /// made. The capacity check and the eventual insert run under
+    /// different locks, so concurrent admissions account their in-flight
+    /// demand in the pending counters — the configured limits stay
+    /// *strict*: resident bytes/entries never exceed the caps, even with
+    /// many sessions admitting at once (an admission may be counted in
+    /// both `pending` and the pool for an instant, which only over-rejects,
+    /// never overshoots). On success the caller MUST call
+    /// [`Self::release_reservation`] once its insert has settled.
+    ///
+    /// Evictors serialise on the eviction mutex (tier 1), gather
+    /// candidates under shard read locks and only write-lock the shards
+    /// they actually evict from. Pinned entries (any session) are never
+    /// evicted: when only pinned leaves remain, admission fails instead —
+    /// see the locking invariants above.
+    pub(crate) fn reserve_admission(&self, need_bytes: usize) -> bool {
+        let config = self.config;
+        if !self.limits_configured() {
+            return true; // unlimited: no accounting, no contention
+        }
+        self.pending_bytes.fetch_add(need_bytes, Ordering::Relaxed);
+        self.pending_entries.fetch_add(1, Ordering::Relaxed);
+        let ok = self.cap_holds(config.mem_limit, need_bytes, |s| {
+            (
+                s.pool.bytes() + s.pending_bytes.load(Ordering::Relaxed),
+                EvictTrigger::Memory,
+            )
+        }) && self.cap_holds(config.entry_limit, 1, |s| {
+            (
+                s.pool.len() + s.pending_entries.load(Ordering::Relaxed),
+                EvictTrigger::Entries,
+            )
+        });
+        if !ok {
+            self.drop_reservation(need_bytes);
+        }
+        ok
+    }
+
+    /// One cap's check-evict-recheck cycle: `demand` reads resident +
+    /// pending units (bytes or entries) and names the eviction trigger for
+    /// that unit. Used for both configured limits so the two caps cannot
+    /// drift apart behaviourally.
+    fn cap_holds(
+        &self,
+        limit: Option<usize>,
+        this_admission: usize,
+        demand: impl Fn(&Self) -> (usize, fn(usize) -> EvictTrigger),
+    ) -> bool {
+        let Some(limit) = limit else {
+            return true;
+        };
+        if this_admission > limit {
+            return false;
+        }
+        if demand(self).0 > limit {
+            let _g = self.lock_evict();
+            // another evictor may have freed enough already
+            if demand(self).0 > limit {
+                let (over, trigger) = demand(self);
+                let evicted = evict(
+                    &self.pool,
+                    self.config.eviction,
+                    trigger(over - limit),
+                    self.current_tick(),
+                );
+                self.settle_evictions(&evicted);
+                if demand(self).0 > limit {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Release an admission reservation taken by
+    /// [`Self::reserve_admission`] — called after the insert settled
+    /// (inserted, duplicate or orphaned alike: the resident pool counters
+    /// now tell the whole truth).
+    pub(crate) fn release_reservation(&self, need_bytes: usize) {
+        if self.limits_configured() {
+            self.drop_reservation(need_bytes);
+        }
+    }
+
+    // ----- lock plumbing ----------------------------------------------------
+
+    fn lock_accounts(&self) -> MutexGuard<'_, AccountState> {
+        self.accounts.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_evict(&self) -> MutexGuard<'_, ()> {
+        self.evict_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    // ----- statistics -------------------------------------------------------
 
     /// Snapshot the lifetime statistics.
     pub fn stats(&self) -> RecyclerStats {
@@ -472,13 +597,12 @@ impl SharedRecycler {
     }
 
     /// Settle evicted entries: statistics plus the deferred credit return
-    /// of globally reused instances (paper §4.2). Called while holding the
-    /// pool write lock — consistent with the lock order.
+    /// of globally reused instances (paper §4.2).
     pub(crate) fn settle_evictions(&self, evicted: &[crate::entry::PoolEntry]) {
         self.count_evictions(evicted.len() as u64);
         let mut acc = self.lock_accounts();
         for e in evicted {
-            if e.global_reuses > 0 && !e.credit_returned {
+            if e.global_reuses() > 0 && !e.credit_returned() {
                 *acc.credits.entry(e.creator).or_insert(0) += 1;
             }
         }
@@ -487,12 +611,11 @@ impl SharedRecycler {
 
 impl std::fmt::Debug for SharedRecycler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = self.read_state();
         f.debug_struct("SharedRecycler")
             .field("config", &self.config)
-            .field("entries", &st.pool.len())
-            .field("bytes", &st.pool.bytes())
-            .field("pinned", &st.pins.len())
+            .field("shards", &self.pool.shard_count())
+            .field("entries", &self.pool.len())
+            .field("bytes", &self.pool.bytes())
             .field("sessions", &self.session_count())
             .finish()
     }

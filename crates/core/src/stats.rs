@@ -122,7 +122,8 @@ pub struct PoolSnapshot {
 }
 
 impl PoolSnapshot {
-    /// Build a snapshot from the live pool.
+    /// Build a snapshot from the live pool (shard read locks, one shard
+    /// at a time; atomics sampled in passing).
     pub fn capture(pool: &RecyclePool) -> PoolSnapshot {
         let mut snap = PoolSnapshot {
             entries: pool.len(),
@@ -130,8 +131,8 @@ impl PoolSnapshot {
             ..Default::default()
         };
         let mut cpu_sums: BTreeMap<&'static str, Duration> = BTreeMap::new();
-        for e in pool.iter() {
-            let reuses = e.local_reuses + e.global_reuses;
+        pool.for_each_entry(|e| {
+            let reuses = e.local_reuses() + e.global_reuses();
             if reuses > 0 {
                 snap.reused_entries += 1;
                 snap.reused_bytes += e.bytes;
@@ -143,9 +144,9 @@ impl PoolSnapshot {
             if reuses > 0 {
                 row.reused_lines += 1;
             }
-            row.time_saved += e.time_saved;
+            row.time_saved += e.time_saved();
             *cpu_sums.entry(e.family).or_default() += e.cpu;
-        }
+        });
         for (fam, row) in snap.by_family.iter_mut() {
             if row.lines > 0 {
                 row.avg_cpu = cpu_sums[fam] / row.lines as u32;

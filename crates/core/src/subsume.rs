@@ -1,5 +1,14 @@
 //! Instruction subsumption (paper §5): answering an instruction from
 //! intermediates whose result sets are supersets of the target.
+//!
+//! On the sharded pool the candidate search *fans out*: entries sharing an
+//! `(opcode, first-argument)` key live in whichever shard their full
+//! signature hashes to, so [`RecyclePool::candidates`] collects ids across
+//! every shard under read locks and the per-candidate inspections below
+//! re-acquire the owning shard's read lock entry by entry. Between the
+//! search and the use of a source its entry may be evicted — every access
+//! revalidates and the rewrite falls back gracefully (`Arc`-shared results
+//! cloned out of the pool stay valid regardless).
 
 use std::time::Instant;
 
@@ -44,29 +53,31 @@ fn bounds_from_args(args: &[Value]) -> Option<SelectBounds> {
 }
 
 fn bounds_from_sig(pool: &RecyclePool, id: EntryId) -> Option<(EntryId, SelectBounds)> {
-    let e = pool.get(id)?;
-    let scalar = |i: usize| -> Option<Value> {
-        match e.sig.args.get(i)? {
-            ArgSig::Scalar(v) => Some(v.clone()),
-            ArgSig::Bat(_) => None,
-        }
-    };
-    Some((
-        id,
-        SelectBounds {
+    pool.entry(id, |e| {
+        let scalar = |i: usize| -> Option<Value> {
+            match e.sig.args.get(i)? {
+                ArgSig::Scalar(v) => Some(v.clone()),
+                ArgSig::Bat(_) => None,
+            }
+        };
+        Some(SelectBounds {
             lo: scalar(1)?,
             hi: scalar(2)?,
             lo_incl: scalar(3)?.as_bool()?,
             hi_incl: scalar(4)?.as_bool()?,
-        },
-    ))
+        })
+    })?
+    .map(|b| (id, b))
 }
 
 fn result_len(pool: &RecyclePool, id: EntryId) -> usize {
-    pool.get(id)
-        .and_then(|e| e.result.as_bat())
-        .map(|b| b.len())
+    pool.entry(id, |e| e.result.as_bat().map(|b| b.len()))
+        .flatten()
         .unwrap_or(usize::MAX)
+}
+
+fn result_of(pool: &RecyclePool, id: EntryId) -> Option<Value> {
+    pool.entry(id, |e| e.result.clone())
 }
 
 /// Singleton subsumption for `algebra.select`: find the smallest pool
@@ -81,9 +92,9 @@ pub fn subsume_select(pool: &RecyclePool, args: &[Value]) -> Option<Subsumption>
         .filter_map(|id| bounds_from_sig(pool, *id))
         .filter(|(_, cand)| target.subsumed_by(cand))
         .min_by_key(|(id, _)| result_len(pool, *id))?;
-    let source = pool.get(best.0)?;
+    let source_result = result_of(pool, best.0)?;
     let mut new_args = args.to_vec();
-    new_args[0] = source.result.clone();
+    new_args[0] = source_result;
     Some(Subsumption::Rewrite {
         args: new_args,
         source: best.0,
@@ -104,9 +115,9 @@ pub fn subsume_uselect(pool: &RecyclePool, args: &[Value]) -> Option<Subsumption
         .filter_map(|id| bounds_from_sig(pool, *id))
         .filter(|(_, cand)| cand.contains(probe))
         .min_by_key(|(id, _)| result_len(pool, *id))?;
-    let source = pool.get(best.0)?;
+    let source_result = result_of(pool, best.0)?;
     let mut new_args = args.to_vec();
-    new_args[0] = source.result.clone();
+    new_args[0] = source_result;
     Some(Subsumption::Rewrite {
         args: new_args,
         source: best.0,
@@ -123,18 +134,17 @@ pub fn subsume_like(pool: &RecyclePool, args: &[Value]) -> Option<Subsumption> {
     let best = candidates
         .iter()
         .filter(|id| {
-            pool.get(**id)
-                .and_then(|e| match e.sig.args.get(1) {
-                    Some(ArgSig::Scalar(Value::Str(p))) => Some(like_subsumes(p, pattern)),
-                    _ => None,
-                })
-                .unwrap_or(false)
+            pool.entry(**id, |e| match e.sig.args.get(1) {
+                Some(ArgSig::Scalar(Value::Str(p))) => like_subsumes(p, pattern),
+                _ => false,
+            })
+            .unwrap_or(false)
         })
         .min_by_key(|id| result_len(pool, **id))
         .copied()?;
-    let source = pool.get(best)?;
+    let source_result = result_of(pool, best)?;
     let mut new_args = args.to_vec();
-    new_args[0] = source.result.clone();
+    new_args[0] = source_result;
     Some(Subsumption::Rewrite {
         args: new_args,
         source: best,
@@ -151,18 +161,22 @@ pub fn subsume_semijoin(pool: &RecyclePool, args: &[Value]) -> Option<Subsumptio
     let best = candidates
         .iter()
         .filter(|id| {
-            pool.get(**id)
-                .map(|e| match e.sig.args.get(1) {
-                    Some(ArgSig::Bat(v)) => *v != w.id() && pool.is_subset(w.id(), *v),
-                    _ => false,
-                })
-                .unwrap_or(false)
+            // read the stored right operand under the shard lock, then
+            // walk the subset relation outside it (lineage-only locks)
+            let v = pool.entry(**id, |e| match e.sig.args.get(1) {
+                Some(ArgSig::Bat(v)) => Some(*v),
+                _ => None,
+            });
+            match v {
+                Some(Some(v)) => v != w.id() && pool.is_subset(w.id(), v),
+                _ => false,
+            }
         })
         .min_by_key(|id| result_len(pool, **id))
         .copied()?;
-    let source = pool.get(best)?;
+    let source_result = result_of(pool, best)?;
     let mut new_args = args.to_vec();
-    new_args[0] = source.result.clone();
+    new_args[0] = source_result;
     Some(Subsumption::Rewrite {
         args: new_args,
         source: best,
@@ -247,7 +261,8 @@ pub fn subsume_combined(
         return None; // only bounded ranges are pieced together
     }
 
-    // R: all overlapping candidates (line 6-9 of Algorithm 2).
+    // R: all overlapping candidates (line 6-9 of Algorithm 2), gathered
+    // across the shards.
     let mut r: Vec<(EntryId, SelectBounds, usize)> = pool
         .candidates(Opcode::Select, &ArgSig::Bat(base.id()))
         .iter()
@@ -442,11 +457,14 @@ pub fn subsume_combined(
 
 /// Execute a combined-subsumption plan: select each segment from its piece
 /// and concatenate. The caller admits the result under the original
-/// instruction signature.
+/// instruction signature. Returns `None` when a piece disappeared between
+/// search and execution (concurrent eviction) — the caller falls back to
+/// regular execution.
 pub fn execute_combined(pool: &RecyclePool, segments: &[(EntryId, SelectBounds)]) -> Option<Bat> {
     let mut parts: Vec<Bat> = Vec::with_capacity(segments.len());
     for (id, seg) in segments {
-        let piece = pool.get(*id)?.result.as_bat()?;
+        let piece = result_of(pool, *id)?;
+        let piece = piece.as_bat()?;
         parts.push(ops::select(piece, seg).ok()?);
     }
     let refs: Vec<&Bat> = parts.iter().collect();
@@ -460,6 +478,7 @@ mod tests {
     use crate::signature::Sig;
     use rbat::Column;
     use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64};
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -473,36 +492,44 @@ mod tests {
         ]
     }
 
-    fn admit_select(pool: &mut RecyclePool, base: &Arc<Bat>, lo: i64, hi: i64) -> EntryId {
-        let args = select_args(base, lo, hi);
-        let bounds = SelectBounds::closed(Value::Int(lo), Value::Int(hi));
-        let result = Arc::new(ops::select(base, &bounds).unwrap());
-        let e = PoolEntry {
-            id: pool.next_id(),
-            sig: Sig::of(Opcode::Select, &args),
+    fn mk_entry(
+        pool: &RecyclePool,
+        op: Opcode,
+        args: Vec<Value>,
+        result: Arc<Bat>,
+        family: &'static str,
+    ) -> PoolEntry {
+        PoolEntry {
+            id: pool.alloc_id(),
+            sig: Sig::of(op, &args),
             args,
             result_id: Some(result.id()),
             bytes: result.resident_bytes(),
-            result: Value::Bat(Arc::clone(&result)),
+            result: Value::Bat(result),
             cpu: Duration::from_millis(5),
-            family: "select",
+            family,
             parents: vec![],
             base_columns: BTreeSet::new(),
             admitted_tick: 0,
-            last_used: 0,
             admitted_invocation: 0,
             admitted_session: 0,
-            local_reuses: 0,
-            global_reuses: 0,
-            subsumption_uses: 0,
             creator: (0, 0),
-            time_saved: Duration::ZERO,
-            credit_returned: false,
-        };
-        let rid = result.id();
-        let id = pool.insert(e).id();
-        pool.add_subset_edge(rid, base.id());
-        id
+            last_used: AtomicU64::new(0),
+            local_reuses: AtomicU64::new(0),
+            global_reuses: AtomicU64::new(0),
+            subsumption_uses: AtomicU64::new(0),
+            time_saved_ns: AtomicU64::new(0),
+            pins: AtomicU32::new(0),
+            credit_returned: AtomicBool::new(false),
+        }
+    }
+
+    fn admit_select(pool: &RecyclePool, base: &Arc<Bat>, lo: i64, hi: i64) -> EntryId {
+        let args = select_args(base, lo, hi);
+        let bounds = SelectBounds::closed(Value::Int(lo), Value::Int(hi));
+        let result = Arc::new(ops::select(base, &bounds).unwrap());
+        let e = mk_entry(pool, Opcode::Select, args, result, "select");
+        pool.insert(e, Some(base.id())).id()
     }
 
     fn base_bat() -> Arc<Bat> {
@@ -514,9 +541,9 @@ mod tests {
     #[test]
     fn singleton_select_picks_smallest_superset() {
         let base = base_bat();
-        let mut pool = RecyclePool::new();
-        let wide = admit_select(&mut pool, &base, 0, 90);
-        let narrow = admit_select(&mut pool, &base, 30, 60);
+        let pool = RecyclePool::new();
+        let wide = admit_select(&pool, &base, 0, 90);
+        let narrow = admit_select(&pool, &base, 30, 60);
         let args = select_args(&base, 40, 50);
         match subsume_select(&pool, &args) {
             Some(Subsumption::Rewrite {
@@ -525,7 +552,8 @@ mod tests {
             }) => {
                 assert_eq!(source, narrow, "smaller candidate wins over {wide}");
                 let src_bat = new_args[0].as_bat().unwrap();
-                assert_eq!(src_bat.id(), pool.get(narrow).unwrap().result_id.unwrap());
+                let narrow_result = pool.entry(narrow, |e| e.result_id).unwrap().unwrap();
+                assert_eq!(src_bat.id(), narrow_result);
             }
             other => panic!("expected rewrite, got {other:?}"),
         }
@@ -534,8 +562,8 @@ mod tests {
     #[test]
     fn singleton_no_candidate_means_none() {
         let base = base_bat();
-        let mut pool = RecyclePool::new();
-        admit_select(&mut pool, &base, 30, 60);
+        let pool = RecyclePool::new();
+        admit_select(&pool, &base, 30, 60);
         // target sticks out of every candidate
         let args = select_args(&base, 50, 70);
         assert!(subsume_select(&pool, &args).is_none());
@@ -544,8 +572,8 @@ mod tests {
     #[test]
     fn rewritten_execution_equals_regular() {
         let base = base_bat();
-        let mut pool = RecyclePool::new();
-        admit_select(&mut pool, &base, 10, 80);
+        let pool = RecyclePool::new();
+        admit_select(&pool, &base, 10, 80);
         let args = select_args(&base, 20, 40);
         let Some(Subsumption::Rewrite { args: new_args, .. }) = subsume_select(&pool, &args) else {
             panic!("expected rewrite");
@@ -559,11 +587,11 @@ mod tests {
     #[test]
     fn combined_covers_from_two_pieces() {
         let base = base_bat();
-        let mut pool = RecyclePool::new();
-        admit_select(&mut pool, &base, 3, 7); // X1
-        admit_select(&mut pool, &base, 5, 15); // X2
-        admit_select(&mut pool, &base, 6, 40); // X3
-                                               // the paper's example: target [4, 8]
+        let pool = RecyclePool::new();
+        admit_select(&pool, &base, 3, 7); // X1
+        admit_select(&pool, &base, 5, 15); // X2
+        admit_select(&pool, &base, 6, 40); // X3
+                                           // the paper's example: target [4, 8]
         let args = select_args(&base, 4, 8);
         let Some(Subsumption::Combined { segments, .. }) = subsume_combined(&pool, &args, 16)
         else {
@@ -579,9 +607,9 @@ mod tests {
     #[test]
     fn combined_rejects_gappy_pieces() {
         let base = base_bat();
-        let mut pool = RecyclePool::new();
-        admit_select(&mut pool, &base, 0, 10);
-        admit_select(&mut pool, &base, 20, 30);
+        let pool = RecyclePool::new();
+        admit_select(&pool, &base, 0, 10);
+        admit_select(&pool, &base, 20, 30);
         // [5, 25] has a hole (10, 20) — no combined solution
         let args = select_args(&base, 5, 25);
         assert!(subsume_combined(&pool, &args, 16).is_none());
@@ -590,10 +618,10 @@ mod tests {
     #[test]
     fn combined_prefers_cheaper_cover() {
         let base = base_bat();
-        let mut pool = RecyclePool::new();
-        let small_a = admit_select(&mut pool, &base, 3, 7);
-        let small_b = admit_select(&mut pool, &base, 7, 12);
-        let huge = admit_select(&mut pool, &base, 0, 99); // covers alone but big
+        let pool = RecyclePool::new();
+        let small_a = admit_select(&pool, &base, 3, 7);
+        let small_b = admit_select(&pool, &base, 7, 12);
+        let huge = admit_select(&pool, &base, 0, 99); // covers alone but big
         let args = select_args(&base, 4, 8);
         let Some(Subsumption::Combined { segments, .. }) = subsume_combined(&pool, &args, 16)
         else {
@@ -605,44 +633,43 @@ mod tests {
     }
 
     #[test]
+    fn execute_combined_survives_concurrent_eviction() {
+        let base = base_bat();
+        let pool = RecyclePool::new();
+        let a = admit_select(&pool, &base, 3, 7);
+        admit_select(&pool, &base, 5, 15);
+        let args = select_args(&base, 4, 8);
+        let Some(Subsumption::Combined { segments, .. }) = subsume_combined(&pool, &args, 16)
+        else {
+            panic!("expected combined");
+        };
+        // a piece vanishes between search and execution
+        pool.remove(a);
+        assert!(
+            execute_combined(&pool, &segments).is_none(),
+            "must fall back gracefully, not panic"
+        );
+    }
+
+    #[test]
     fn semijoin_subsumption_via_subset_relation() {
         // X: some table fragment; V ⊃ W selections over another column
         let x = Arc::new(Bat::from_tail(Column::from_ints((0..50).collect())));
         let sel_col = base_bat();
-        let mut pool = RecyclePool::new();
-        let v_id = admit_select(&mut pool, &sel_col, 0, 80);
-        let v_bat = pool.get(v_id).unwrap().result.clone();
+        let pool = RecyclePool::new();
+        let v_id = admit_select(&pool, &sel_col, 0, 80);
+        let v_bat = pool.entry(v_id, |e| e.result.clone()).unwrap();
         // admit semijoin(X, V)
         let sj_args = vec![Value::Bat(Arc::clone(&x)), v_bat.clone()];
         let sj_res = Arc::new(ops::semijoin(&x, v_bat.as_bat().unwrap()).unwrap());
-        let e = PoolEntry {
-            id: pool.next_id(),
-            sig: Sig::of(Opcode::Semijoin, &sj_args),
-            args: sj_args,
-            result_id: Some(sj_res.id()),
-            bytes: sj_res.resident_bytes(),
-            result: Value::Bat(Arc::clone(&sj_res)),
-            cpu: Duration::from_millis(5),
-            family: "join",
-            parents: vec![],
-            base_columns: BTreeSet::new(),
-            admitted_tick: 0,
-            last_used: 0,
-            admitted_invocation: 0,
-            admitted_session: 0,
-            local_reuses: 0,
-            global_reuses: 0,
-            subsumption_uses: 0,
-            creator: (0, 1),
-            time_saved: Duration::ZERO,
-            credit_returned: false,
-        };
-        let sj_id = pool.insert(e).id();
+        let e = mk_entry(&pool, Opcode::Semijoin, sj_args, sj_res, "join");
+        let sj_id = pool.insert(e, None).id();
         // W ⊂ V: a narrower selection, subset edge recorded vs V's result
-        let w_id = admit_select(&mut pool, &sel_col, 20, 40);
-        let w_res = pool.get(w_id).unwrap().result.clone();
-        let v_res_id = pool.get(v_id).unwrap().result_id.unwrap();
-        pool.add_subset_edge(pool.get(w_id).unwrap().result_id.unwrap(), v_res_id);
+        let w_id = admit_select(&pool, &sel_col, 20, 40);
+        let w_res = pool.entry(w_id, |e| e.result.clone()).unwrap();
+        let v_res_id = pool.entry(v_id, |e| e.result_id).unwrap().unwrap();
+        let w_res_id = pool.entry(w_id, |e| e.result_id).unwrap().unwrap();
+        pool.add_subset_edge(w_res_id, v_res_id);
         let target_args = vec![Value::Bat(Arc::clone(&x)), w_res.clone()];
         match subsume_semijoin(&pool, &target_args) {
             Some(Subsumption::Rewrite { args, source }) => {

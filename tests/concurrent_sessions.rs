@@ -1,9 +1,12 @@
 //! Multi-session stress tests: N OS threads sharing one
 //! `Arc<SharedRecycler>` and one catalog must agree with a naive engine on
-//! every result, reuse each other's intermediates, keep the pool's
-//! signature index unique, and never evict an entry pinned by another
-//! session's running query (enforced by a debug assertion inside
-//! `recycler::eviction::evict`, active in this build).
+//! every result, reuse each other's intermediates, keep the sharded
+//! pool's signature indexes coherent (`check_invariants` after every
+//! run), and never evict an entry pinned by another session's running
+//! query — enforced structurally by `RecyclePool::remove_if_evictable`,
+//! which revalidates the pin count and leaf property inside the shard's
+//! write critical section, and asserted directly by the pinned-survival
+//! test below.
 
 use std::collections::HashMap;
 use std::thread;
@@ -95,7 +98,7 @@ fn run_stress(
     config: RecyclerConfig,
     sessions: usize,
     queries_each: usize,
-) -> recycler::RecyclerStats {
+) -> (recycler::RecyclerStats, std::sync::Arc<SharedRecycler>) {
     let cat = catalog(2000);
     let templates = vec![select_template(), join_template()];
 
@@ -139,19 +142,20 @@ fn run_stress(
         let pool = shared.pool();
         pool.check_invariants().expect("pool coherent after stress");
         let mut seen = std::collections::HashSet::new();
-        for e in pool.iter() {
+        for e in pool.snapshot_entries() {
             assert!(
                 seen.insert(e.sig.fingerprint()),
                 "duplicate signature resident in pool"
             );
         }
     }
-    shared.stats()
+    let stats = shared.stats();
+    (stats, shared)
 }
 
 #[test]
 fn four_sessions_overlapping_select_join_streams() {
-    let stats = run_stress(RecyclerConfig::default(), 4, 24);
+    let (stats, _) = run_stress(RecyclerConfig::default(), 4, 24);
     assert!(
         stats.cross_session_hits > 0,
         "overlapping streams must produce cross-session reuse: {stats:?}"
@@ -166,21 +170,108 @@ fn four_sessions_overlapping_select_join_streams() {
 
 #[test]
 fn eight_sessions_still_agree_with_naive() {
-    let stats = run_stress(RecyclerConfig::default(), 8, 12);
+    let (stats, _) = run_stress(RecyclerConfig::default(), 8, 12);
     assert!(stats.cross_session_hits > 0, "{stats:?}");
 }
 
 #[test]
 fn tight_memory_limit_evicts_but_never_a_pinned_entry() {
     // Small budget: admissions constantly trigger eviction while other
-    // sessions hold pins. The debug assertion in `evict` fails the test if
-    // a pinned entry is ever chosen; results must still equal naive.
-    let config = RecyclerConfig::default().mem_limit(48 * 1024);
-    let stats = run_stress(config, 6, 20);
+    // sessions hold pins. `remove_if_evictable` refuses pinned or
+    // non-leaf victims under the shard write lock, so a wrongly evicted
+    // pinned entry would surface as a diverging result or a broken
+    // invariant check; results must still equal naive.
+    let limit = 48 * 1024;
+    let config = RecyclerConfig::default().mem_limit(limit);
+    let (stats, shared) = run_stress(config, 6, 20);
     assert!(
         stats.evictions > 0 || stats.admission_rejects > 0,
         "a 48 KiB pool must be under pressure: {stats:?}"
     );
+    // the cap is STRICT even under concurrent admissions: in-flight
+    // reservations are accounted, so the pool can never overshoot
+    assert!(
+        shared.pool().bytes() <= limit,
+        "resident {} bytes exceed the {} byte cap",
+        shared.pool().bytes(),
+        limit
+    );
+}
+
+/// Satellite of the sharding PR: across 16 threads on the sharded pool,
+/// the stats identity must be *exact* — every marked instruction either
+/// hits or executes-and-admits, and each admission resolves as exactly one
+/// of {admission, duplicate, reject}. Any lost update in the sharded
+/// counters or a double-resolved duplicate race breaks the identity.
+#[test]
+fn sixteen_threads_stats_totals_exact() {
+    let config = RecyclerConfig::default().subsumption(false).shards(16);
+    let sessions = 16;
+    let queries_each = 12;
+    let (stats, _) = run_stress(config, sessions, queries_each);
+    assert_eq!(
+        stats.monitored,
+        stats.hits + stats.admissions + stats.duplicate_admissions + stats.admission_rejects,
+        "stats must account for every marked instruction exactly: {stats:?}"
+    );
+    assert_eq!(
+        stats.hits,
+        stats.local_hits + stats.global_hits,
+        "hit breakdown must be exact: {stats:?}"
+    );
+    assert!(stats.cross_session_hits > 0, "{stats:?}");
+    assert!(
+        stats.cross_session_hits <= stats.global_hits,
+        "cross-session hits are a subset of global hits: {stats:?}"
+    );
+}
+
+/// The tentpole invariant under real concurrency: once the pool is warm
+/// and every stream repeats the same queries, the exact-match hit path
+/// acquires no shard write lock.
+#[test]
+fn warm_concurrent_hits_take_no_write_lock() {
+    let cat = catalog(2000);
+    let templates = vec![select_template(), join_template()];
+    let shared = SharedRecycler::new(RecyclerConfig::default().shards(8));
+    let mut proto: Engine<Recycler> = Engine::with_hook(cat, shared.session());
+    proto.add_pass(Box::new(RecycleMark));
+    let mut optimized = templates.clone();
+    for t in optimized.iter_mut() {
+        proto.optimize(t);
+    }
+    // warm the pool with every (template, params) pair the streams use
+    let mut warmer = proto.session();
+    for s in 0..4 {
+        for (idx, params) in workload(s, 12) {
+            warmer.run(&optimized[idx], &params).unwrap();
+        }
+    }
+    let w0 = shared.pool().write_lock_acquisitions();
+    let hits0 = shared.stats().hits;
+    let optimized = &optimized;
+    let proto = &proto;
+    thread::scope(|scope| {
+        for s in 0..4 {
+            let mut engine = proto.session();
+            scope.spawn(move || {
+                for (idx, params) in workload(s, 12) {
+                    let out = engine.run(&optimized[idx], &params).unwrap();
+                    assert_eq!(
+                        out.stats.reused, out.stats.marked,
+                        "warm streams must hit on every marked instruction"
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(
+        shared.pool().write_lock_acquisitions(),
+        w0,
+        "warm exact-match streams must never take a shard write lock"
+    );
+    assert!(shared.stats().hits > hits0);
+    shared.pool().check_invariants().unwrap();
 }
 
 #[test]
