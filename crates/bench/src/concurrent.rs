@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use rbat::catalog::CatalogCell;
 use rbat::{Catalog, LogicalType, TableBuilder, Value};
 use recycler::{Recycler, RecyclerConfig, RecyclerStats, SharedRecycler};
 use rmal::{Engine, Program, ProgramBuilder, P};
@@ -277,10 +278,169 @@ pub fn pool_scaling(
         .collect()
 }
 
+/// Outcome of the [`update_mixed`] scenario: N reader sessions replaying
+/// queries against an untouched table while one writer commits deltas to
+/// another — the serving shape scoped invalidation exists for.
+#[derive(Debug)]
+pub struct UpdateMixedOutcome {
+    /// Concurrent reader session threads.
+    pub readers: usize,
+    /// Total reader queries executed.
+    pub reader_queries: usize,
+    /// Commits the writer applied during the run.
+    pub commits: usize,
+    /// Wall time from first spawn to last join.
+    pub elapsed: Duration,
+    /// Reader queries per wall second, aggregate.
+    pub reader_qps: f64,
+    /// Fraction of the readers' marked instructions served from the pool
+    /// — stays near 1.0 when commits never block or invalidate them.
+    pub reader_hit_ratio: f64,
+    /// Entries invalidated by the writer's commits.
+    pub invalidated: u64,
+    /// Entries refreshed by delta propagation.
+    pub propagated: u64,
+    /// Shards one quiescent instrumented commit write-locked.
+    pub commit_locked_shards: usize,
+    /// Total shards in the pool.
+    pub shards: usize,
+}
+
+/// Mixed update/query workload: one writer session commits insert deltas
+/// to a `hot` table in a loop (re-admitting its own hot chain between
+/// commits) while `readers` sessions replay a warm query alphabet against
+/// a `cold` table over one shared pool and one [`CatalogCell`]-shared
+/// catalog. With scoped invalidation the readers' shards see no
+/// write-lock traffic from the commits; `commit_locked_shards` (measured
+/// on a final quiescent commit) records how many shards one commit
+/// actually locks, against the pool's total.
+pub fn update_mixed(
+    readers: usize,
+    queries_per_reader: usize,
+    commits: usize,
+    config: RecyclerConfig,
+) -> UpdateMixedOutcome {
+    let mut cat = Catalog::new();
+    for name in ["hot", "cold"] {
+        let mut tb = TableBuilder::new(name)
+            .column("x", LogicalType::Int)
+            .column("y", LogicalType::Int);
+        for i in 0..1200i64 {
+            tb.push_row(&[Value::Int((i * 37) % 1200), Value::Int(i % 97)]);
+        }
+        cat.add_table(tb.finish());
+    }
+    let cell = CatalogCell::new(cat);
+    let shared = SharedRecycler::new(config);
+    let mut proto: Engine<Recycler> = Engine::with_shared_catalog(&cell, shared.session());
+    proto.add_pass(Box::new(recycler::RecycleMark));
+
+    let template = |name: &str, table: &str| {
+        let mut b = ProgramBuilder::new(name, 2);
+        let col = b.bind(table, "x");
+        let sel = b.select_closed(col, P(0), P(1));
+        let n = b.count(sel);
+        b.export("n", n);
+        b.finish()
+    };
+    let mut cold_t = template("mixed_cold", "cold");
+    let mut hot_t = template("mixed_hot", "hot");
+    proto.optimize(&mut cold_t);
+    proto.optimize(&mut hot_t);
+    let alphabet: Vec<Vec<Value>> = (0..8i64)
+        .map(|i| vec![Value::Int(i * 100), Value::Int(i * 100 + 500)])
+        .collect();
+    {
+        let mut warmer = proto.session();
+        for p in &alphabet {
+            warmer.run(&cold_t, p).unwrap();
+            warmer.run(&hot_t, p).unwrap();
+        }
+    }
+
+    let stats0 = shared.stats();
+    let started = Instant::now();
+    let (proto_ref, cold_ref, hot_ref, alphabet_ref) = (&proto, &cold_t, &hot_t, &alphabet);
+    let (monitored, hits) = thread::scope(|scope| {
+        let reader_handles: Vec<_> = (0..readers)
+            .map(|r| {
+                let mut engine = proto_ref.session();
+                scope.spawn(move || {
+                    let (mut monitored, mut hits) = (0u64, 0u64);
+                    for i in 0..queries_per_reader {
+                        let p = &alphabet_ref[(r + i) % alphabet_ref.len()];
+                        let out = engine.run(cold_ref, p).unwrap();
+                        monitored += out.stats.marked as u64;
+                        hits += out.stats.reused as u64;
+                    }
+                    (monitored, hits)
+                })
+            })
+            .collect();
+        let mut writer = proto_ref.session();
+        let writer_handle = scope.spawn(move || {
+            for c in 0..commits {
+                writer
+                    .update(
+                        "hot",
+                        vec![vec![Value::Int(c as i64 % 1200), Value::Int(c as i64)]],
+                        vec![],
+                    )
+                    .unwrap();
+                // re-admit the hot chain so the next commit has a closure
+                // to invalidate or propagate into
+                writer
+                    .run(hot_ref, &alphabet_ref[c % alphabet_ref.len()])
+                    .unwrap();
+            }
+        });
+        let mut totals = (0u64, 0u64);
+        for h in reader_handles {
+            let (m, hit) = h.join().expect("reader thread panicked");
+            totals.0 += m;
+            totals.1 += hit;
+        }
+        writer_handle.join().expect("writer thread panicked");
+        totals
+    });
+    let elapsed = started.elapsed();
+
+    // one quiescent instrumented commit: how many shards does it lock?
+    let commit_locked_shards = {
+        let w0 = shared.pool().write_lock_acquisitions_by_shard();
+        let mut writer = proto.session();
+        writer
+            .update("hot", vec![vec![Value::Int(7), Value::Int(7)]], vec![])
+            .unwrap();
+        let w1 = shared.pool().write_lock_acquisitions_by_shard();
+        w0.iter().zip(&w1).filter(|(b, a)| a > b).count()
+    };
+
+    let stats = shared.stats();
+    let queries = readers * queries_per_reader;
+    UpdateMixedOutcome {
+        readers,
+        reader_queries: queries,
+        commits,
+        elapsed,
+        reader_qps: queries as f64 / elapsed.as_secs_f64().max(1e-9),
+        reader_hit_ratio: if monitored == 0 {
+            0.0
+        } else {
+            hits as f64 / monitored as f64
+        },
+        invalidated: stats.invalidated - stats0.invalidated,
+        propagated: stats.propagated - stats0.propagated,
+        commit_locked_shards,
+        shards: shared.pool().shard_count(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rbat::Value;
+    use recycler::UpdateMode;
 
     fn sky_setup(objects: usize, n: usize, seed: u64) -> (Catalog, Vec<Program>, Vec<BenchItem>) {
         let cat = skyserver::generate(skyserver::SkyScale::new(objects));
@@ -333,6 +493,47 @@ mod tests {
             assert!(p.hit_ratio > 0.3, "repetitive alphabet must hit: {p:?}");
         }
         assert!(points[2].cross_session_hits > 0);
+    }
+
+    #[test]
+    fn update_mixed_keeps_readers_hitting_and_scopes_commits() {
+        let out = update_mixed(
+            4,
+            10,
+            3,
+            RecyclerConfig::default()
+                .shards(16)
+                .update_mode(UpdateMode::Invalidate),
+        );
+        assert_eq!(out.readers, 4);
+        assert_eq!(out.reader_queries, 40);
+        assert_eq!(out.commits, 3);
+        assert!(
+            out.reader_hit_ratio > 0.9,
+            "warm cold readers must stay pure-hit through commits: {out:?}"
+        );
+        assert!(out.invalidated > 0, "commits must invalidate hot: {out:?}");
+        assert!(
+            out.commit_locked_shards < out.shards,
+            "a scoped commit must not lock every shard: {out:?}"
+        );
+    }
+
+    #[test]
+    fn update_mixed_propagates_when_configured() {
+        let out = update_mixed(
+            2,
+            6,
+            2,
+            RecyclerConfig::default()
+                .shards(16)
+                .update_mode(UpdateMode::Propagate),
+        );
+        assert!(
+            out.propagated > 0,
+            "insert-only commits must refresh the hot chain: {out:?}"
+        );
+        assert!(out.commit_locked_shards < out.shards, "{out:?}");
     }
 
     #[test]

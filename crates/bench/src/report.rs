@@ -14,7 +14,9 @@ use rand::SeedableRng;
 use recycler::RecyclerConfig;
 use rmal::Program;
 
-use crate::concurrent::{partition_streams, pool_scaling, run_concurrent, ScalePoint};
+use crate::concurrent::{
+    partition_streams, pool_scaling, run_concurrent, update_mixed, ScalePoint,
+};
 use crate::driver::{run_naive, run_recycled, BenchItem};
 use crate::experiments::ExpEnv;
 
@@ -270,6 +272,44 @@ fn pool_scaling_experiment() -> Json {
     ])
 }
 
+/// The `update_mixed` experiment: N reader sessions replaying a warm
+/// alphabet against one table while a writer commits deltas to another —
+/// scoped invalidation keeps the readers pure-hit, and one quiescent
+/// instrumented commit reports how many shards it write-locked out of the
+/// pool's total.
+fn update_mixed_experiment() -> Json {
+    let out = update_mixed(
+        8,
+        24,
+        6,
+        recycler::RecyclerConfig::default()
+            .shards(16)
+            .update_mode(recycler::UpdateMode::Propagate),
+    );
+    Json::obj(vec![
+        ("name", Json::Str("update_mixed".to_string())),
+        ("readers", Json::Int(out.readers as u64)),
+        ("reader_queries", Json::Int(out.reader_queries as u64)),
+        ("commits", Json::Int(out.commits as u64)),
+        ("elapsed_ms", ms(out.elapsed)),
+        (
+            "reader_qps",
+            Json::Num((out.reader_qps * 10.0).round() / 10.0),
+        ),
+        (
+            "reader_hit_ratio",
+            Json::Num((out.reader_hit_ratio * 1000.0).round() / 1000.0),
+        ),
+        ("invalidated", Json::Int(out.invalidated)),
+        ("propagated", Json::Int(out.propagated)),
+        (
+            "commit_locked_shards",
+            Json::Int(out.commit_locked_shards as u64),
+        ),
+        ("shards", Json::Int(out.shards as u64)),
+    ])
+}
+
 /// Build the whole report document.
 pub fn bench_report(env: &ExpEnv) -> Json {
     let mut experiments: Vec<Json> = Vec::new();
@@ -352,8 +392,11 @@ pub fn bench_report(env: &ExpEnv) -> Json {
     // Multi-session serving over one shared pool.
     experiments.push(concurrent_experiment(env, 4));
 
-    // Session-count sweep on the sharded pool (this PR's tentpole).
+    // Session-count sweep on the sharded pool.
     experiments.push(pool_scaling_experiment());
+
+    // Readers vs one committing writer (scoped update invalidation).
+    experiments.push(update_mixed_experiment());
 
     Json::obj(vec![
         ("schema", Json::Str("recycler-bench/v1".to_string())),
@@ -401,6 +444,8 @@ mod tests {
             "cross_session_hits",
             "pool_scaling",
             "single_lock_8x",
+            "update_mixed",
+            "commit_locked_shards",
         ] {
             assert!(text.contains(name), "missing {name} in {text}");
         }

@@ -3,8 +3,9 @@
 //! # Concurrency
 //!
 //! An entry's *identity* (signature, arguments, result, lineage) is fixed
-//! at admission and only ever rewritten under a full-pool write view
-//! (delta propagation). Its *usage statistics* — reuse counters, the
+//! at admission and only ever rewritten under a scoped pool write view
+//! holding its shard's write lock (delta propagation). Its *usage
+//! statistics* — reuse counters, the
 //! last-use stamp, the pin count, the saved-time tally and the
 //! credit-return flag — are plain atomics, so the exact-match hit path
 //! can update them while holding nothing stronger than a shard **read**

@@ -44,8 +44,12 @@
 //! Updates are handled per §6: the default is immediate column-level
 //! invalidation of affected intermediates; an opt-in delta-propagation mode
 //! refreshes select/projection/view/join chains instead of dropping them.
-//! Both run atomically with respect to instruction boundaries of
-//! concurrent queries.
+//! Both are **scoped**: a commit write-locks only the shards holding its
+//! lineage closure ([`pool::PoolScopedView`]), sessions querying other
+//! tables never block on it, and versioned bind signatures guarantee a
+//! post-commit probe can never reuse a pre-commit result. Both run
+//! atomically with respect to instruction boundaries of concurrent
+//! queries.
 //!
 //! ## Quickstart
 //!
@@ -94,7 +98,7 @@ pub mod subsume;
 pub use config::{AdmissionPolicy, EvictionPolicy, RecyclerConfig, UpdateMode};
 pub use entry::{EntryId, PoolEntry};
 pub use mark::RecycleMark;
-pub use pool::{Admitted, PoolWriteView, RecyclePool};
+pub use pool::{Admitted, PoolScopedView, PoolWriteView, RecyclePool};
 pub use runtime::Recycler;
 pub use shared::{PoolRef, SharedRecycler};
 pub use stats::{FamilyRow, PoolSnapshot, QueryRecord, RecyclerStats};

@@ -9,7 +9,7 @@
 
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use rbat::hash::{FxHashMap, FxHashSet, FxHasher};
 use rbat::BatId;
@@ -148,14 +148,15 @@ impl<K: Hash + Eq + Clone, V> ShardedIndex<K, V> {
     }
 }
 
-/// One signature shard: the slab of entries whose signatures hash here,
-/// with the exact-match index and the subsumption candidate index over the
-/// same entries. Everything in a shard is guarded by the shard's `RwLock`.
+/// One signature shard: the slab of entries whose signatures hash here
+/// with the exact-match index over the same entries. Everything in a shard
+/// is guarded by the shard's `RwLock`. (The subsumption candidate index
+/// used to live here too; it moved into a sharded side-map so a miss-path
+/// candidate probe costs one sub-map lock instead of N shard read locks.)
 #[derive(Default)]
 struct Shard {
     entries: FxHashMap<EntryId, PoolEntry>,
     by_sig: FxHashMap<Sig, EntryId>,
-    by_op_arg0: FxHashMap<(Opcode, ArgSig), Vec<EntryId>>,
 }
 
 /// The default shard count: the next power of two at or above twice the
@@ -183,13 +184,15 @@ fn default_shard_count() -> usize {
 ///
 /// All methods take `&self`; locking is internal. Probes (`lookup`,
 /// [`Self::probe`], [`Self::candidates`], [`Self::is_subset`]) take shard
-/// **read** locks only; [`Self::insert`] and the removal paths write-lock
-/// exactly one shard; updates/propagation take every shard write lock
-/// through [`Self::write_view`]. Every stored result `Value` is
-/// `Arc`-shared — a result cloned out of the pool stays valid after the
-/// entry is evicted or invalidated. Lineage mutations always happen while
-/// holding at least one shard lock, so a thread holding *all* shard write
-/// locks observes fully wired, quiescent lineage.
+/// **read** locks (or one sub-map lock) only; [`Self::insert`] and the
+/// removal paths write-lock exactly one shard; updates/propagation
+/// write-lock only the shards holding affected entries through
+/// [`Self::scoped_view`] (the all-shard [`Self::write_view`] remains for
+/// maintenance). Every stored result `Value` is `Arc`-shared — a result
+/// cloned out of the pool stays valid after the entry is evicted or
+/// invalidated. Lineage mutations always happen while holding at least one
+/// shard lock, so a scoped view holding the write locks of every affected
+/// shard observes fully wired, quiescent lineage for those entries.
 pub struct RecyclePool {
     shards: Box<[RwLock<Shard>]>,
     /// Resident bytes per shard (diagnostics + eviction targeting without
@@ -202,10 +205,26 @@ pub struct RecyclePool {
     result_aliases: ShardedIndex<EntryId, Vec<BatId>>,
     children: ShardedIndex<EntryId, FxHashSet<EntryId>>,
     supersets: ShardedIndex<BatId, Vec<BatId>>,
+    /// Subsumption candidate index `(opcode, first-argument signature) →
+    /// entries`, kept as a cross-shard side-map (entries with the same
+    /// opcode+operand scatter over the signature shards): a miss-path
+    /// candidate probe takes ONE sub-map read lock, not N shard locks.
+    by_op_arg0: ShardedIndex<(Opcode, ArgSig), Vec<EntryId>>,
     next_id: AtomicU64,
     /// Shard write-lock acquisitions since construction — the probe for
     /// the "exact-match hits take no write lock" invariant.
     write_acquisitions: AtomicU64,
+    /// The same counter, per shard — the probe for the scoped-update
+    /// invariant: a commit write-locks only the shards holding entries in
+    /// its lineage closure.
+    shard_write_acquisitions: Box<[AtomicU64]>,
+    /// Serialises structural multi-shard writers (scoped views, the
+    /// all-shard view, `clear`, `check_invariants`). With at most one such
+    /// writer alive, a view may acquire an extra shard lock *out of
+    /// ascending order* (rekey migration, racing child admissions) without
+    /// deadlock: every other thread holds at most one shard lock at a time
+    /// and never blocks on a second while holding it.
+    update_lock: Mutex<()>,
 }
 
 impl std::fmt::Debug for RecyclePool {
@@ -246,8 +265,11 @@ impl RecyclePool {
             result_aliases: ShardedIndex::new(n),
             children: ShardedIndex::new(n),
             supersets: ShardedIndex::new(n),
+            by_op_arg0: ShardedIndex::new(n),
             next_id: AtomicU64::new(0),
             write_acquisitions: AtomicU64::new(0),
+            shard_write_acquisitions: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            update_lock: Mutex::new(()),
         }
     }
 
@@ -273,6 +295,17 @@ impl RecyclePool {
         self.write_acquisitions.load(Ordering::Relaxed)
     }
 
+    /// Per-shard write-lock acquisitions since construction, indexed by
+    /// shard. The scoped-update invariant reads off this: a commit touching
+    /// one table must advance only the counters of shards holding entries
+    /// in its lineage closure — every other shard's counter stays put.
+    pub fn write_lock_acquisitions_by_shard(&self) -> Vec<u64> {
+        self.shard_write_acquisitions
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
     fn read_shard(&self, i: usize) -> RwLockReadGuard<'_, Shard> {
         self.shards[i]
             .read()
@@ -281,8 +314,15 @@ impl RecyclePool {
 
     fn write_shard(&self, i: usize) -> RwLockWriteGuard<'_, Shard> {
         self.write_acquisitions.fetch_add(1, Ordering::Relaxed);
+        self.shard_write_acquisitions[i].fetch_add(1, Ordering::Relaxed);
         self.shards[i]
             .write()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_update(&self) -> MutexGuard<'_, ()> {
+        self.update_lock
+            .lock()
             .unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -317,13 +357,13 @@ impl RecyclePool {
     /// insert slip into an already-cleared shard and then lose its owner
     /// mapping, leaving an immortal, unreachable entry.
     pub fn clear(&self) {
+        let _writer = self.lock_update();
         let mut guards: Vec<RwLockWriteGuard<'_, Shard>> = (0..self.shards.len())
             .map(|i| self.write_shard(i))
             .collect();
         for (i, sh) in guards.iter_mut().enumerate() {
             sh.entries.clear();
             sh.by_sig.clear();
-            sh.by_op_arg0.clear();
             self.shard_bytes[i].store(0, Ordering::Relaxed);
         }
         self.owner.clear();
@@ -331,6 +371,7 @@ impl RecyclePool {
         self.result_aliases.clear();
         self.children.clear();
         self.supersets.clear();
+        self.by_op_arg0.clear();
         self.total_bytes.store(0, Ordering::Relaxed);
         self.total_entries.store(0, Ordering::Relaxed);
     }
@@ -391,18 +432,15 @@ impl RecyclePool {
 
     /// Candidate entries with the given opcode and first-argument
     /// signature — the subsumption search space for "same column operand".
-    /// Fans out across every shard (matching entries can live anywhere:
-    /// the shard is keyed by the *full* signature hash).
+    /// One sub-map read lock: matching entries scatter over the signature
+    /// shards (the shard is keyed by the *full* signature hash), so the
+    /// index is a cross-shard side-map rather than per-shard state —
+    /// a miss-path probe no longer pays N shard read locks. Returned ids
+    /// are a snapshot; callers revalidate residency via [`Self::entry`].
     pub fn candidates(&self, op: Opcode, arg0: &ArgSig) -> Vec<EntryId> {
         let key = (op, arg0.clone());
-        let mut out = Vec::new();
-        for i in 0..self.shards.len() {
-            let sh = self.read_shard(i);
-            if let Some(v) = sh.by_op_arg0.get(&key) {
-                out.extend_from_slice(v);
-            }
-        }
-        out
+        self.by_op_arg0
+            .with(&key, |v| v.cloned().unwrap_or_default())
     }
 
     /// Record that `sub` is a subset (by tuple content) of `sup`.
@@ -476,10 +514,10 @@ impl RecyclePool {
         let bytes = entry.bytes;
         sh.by_sig.insert(entry.sig.clone(), id);
         if let Some(arg0) = entry.sig.first_arg() {
-            sh.by_op_arg0
-                .entry((entry.sig.op, arg0.clone()))
-                .or_default()
-                .push(id);
+            let key = (entry.sig.op, arg0.clone());
+            self.by_op_arg0.alter(&key, |m| {
+                m.entry(key.clone()).or_default().push(id);
+            });
         }
         self.owner.insert(id, si);
         if let Some(rb) = entry.result_id {
@@ -531,19 +569,26 @@ impl RecyclePool {
         }
     }
 
+    /// Unwire `id` from the candidate side-map (caller holds a shard lock).
+    fn unwire_candidate(&self, sig: &Sig, id: EntryId) {
+        if let Some(arg0) = sig.first_arg() {
+            let key = (sig.op, arg0.clone());
+            self.by_op_arg0.alter(&key, |m| {
+                if let Some(v) = m.get_mut(&key) {
+                    v.retain(|e| *e != id);
+                    if v.is_empty() {
+                        m.remove(&key);
+                    }
+                }
+            });
+        }
+    }
+
     /// Unwire and remove one entry while its shard lock is held.
     fn remove_locked(&self, sh: &mut Shard, si: usize, id: EntryId) -> Option<PoolEntry> {
         let entry = sh.entries.remove(&id)?;
         sh.by_sig.remove(&entry.sig);
-        if let Some(arg0) = entry.sig.first_arg() {
-            let key = (entry.sig.op, arg0.clone());
-            if let Some(v) = sh.by_op_arg0.get_mut(&key) {
-                v.retain(|e| *e != id);
-                if v.is_empty() {
-                    sh.by_op_arg0.remove(&key);
-                }
-            }
-        }
+        self.unwire_candidate(&entry.sig, id);
         self.owner.remove(&id);
         if let Some(rb) = entry.result_id {
             self.by_result.alter(&rb, |m| {
@@ -619,7 +664,7 @@ impl RecyclePool {
 
     /// Remove `root` and every transitive dependent (update invalidation,
     /// §6.4). Returns the removed entries. For the atomic variant used by
-    /// update synchronisation see [`PoolWriteView::remove_subtree`].
+    /// update synchronisation see [`PoolScopedView::remove_subtree`].
     pub fn remove_subtree(&self, root: EntryId) -> Vec<PoolEntry> {
         let order = self.subtree_order(root);
         let mut removed = Vec::with_capacity(order.len());
@@ -645,19 +690,61 @@ impl RecyclePool {
         order
     }
 
-    /// Acquire every shard write lock (ascending index) for an atomic
-    /// multi-entry rewrite — update invalidation and delta propagation.
-    /// While the view is held no admission, hit bookkeeping or eviction
-    /// can run anywhere in the pool, and all lineage is fully wired.
-    pub fn write_view(&self) -> PoolWriteView<'_> {
-        let guards: Vec<RwLockWriteGuard<'_, Shard>> = (0..self.shards.len())
-            .map(|i| self.write_shard(i))
-            .collect();
-        PoolWriteView { pool: self, guards }
+    /// The shards holding `roots` and every transitive dependent — the
+    /// write-lock scope of an update commit. Read-only (owner + children
+    /// sub-maps); the scoped view revalidates and extends on demand, so a
+    /// child admitted between this computation and the lock acquisition is
+    /// still reached.
+    pub fn closure_shards(&self, roots: &[EntryId]) -> Vec<usize> {
+        let mut shards: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        let mut seen: FxHashSet<EntryId> = FxHashSet::default();
+        let mut stack: Vec<EntryId> = roots.to_vec();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            if let Some(s) = self.owner.get_clone(&id) {
+                shards.insert(s);
+            }
+            stack.extend(self.children_of(id));
+        }
+        shards.into_iter().collect()
     }
 
-    fn read_all(&self) -> Vec<RwLockReadGuard<'_, Shard>> {
-        (0..self.shards.len()).map(|i| self.read_shard(i)).collect()
+    /// Acquire write locks on `shards` only (ascending index) for an
+    /// atomic multi-entry rewrite — update invalidation and delta
+    /// propagation scoped to the affected lineage closure. Admissions,
+    /// hits and eviction on every *other* shard keep running; structural
+    /// writers serialise on the pool's update mutex (single writer, many
+    /// readers). Out-of-range and duplicate indices are ignored.
+    pub fn scoped_view(&self, shards: &[usize]) -> PoolScopedView<'_> {
+        let writer = self.lock_update();
+        let mut held = vec![false; self.shards.len()];
+        for &s in shards {
+            if s < held.len() {
+                held[s] = true;
+            }
+        }
+        let guards = held
+            .iter()
+            .enumerate()
+            .map(|(i, take)| take.then(|| self.write_shard(i)))
+            .collect();
+        PoolScopedView {
+            pool: self,
+            _writer: writer,
+            guards,
+        }
+    }
+
+    /// Acquire every shard write lock — the stop-the-world maintenance
+    /// view ([`Self::clear`]-grade operations, diagnostics, tests). While
+    /// it is held no admission, hit bookkeeping or eviction can run
+    /// anywhere in the pool. Update synchronisation no longer uses this:
+    /// commits run under [`Self::scoped_view`] over the affected shards.
+    pub fn write_view(&self) -> PoolScopedView<'_> {
+        let all: Vec<usize> = (0..self.shards.len()).collect();
+        self.scoped_view(&all)
     }
 
     /// Render the pool as a MAL-like program block with its symbol table —
@@ -716,10 +803,15 @@ impl RecyclePool {
     /// Check the structural invariant across all shards (acquired
     /// together, so the view is consistent): signature indexes bijective
     /// and correctly sharded, owner index exact, parent/child links alive,
-    /// byte and entry counters consistent, result index live. Test
-    /// support — call on a quiescent pool.
+    /// byte and entry counters consistent (`sum(shard_bytes) ==
+    /// total_bytes`), candidate and result indexes live. Test support —
+    /// call on a quiescent pool. Takes the update mutex so the all-shard
+    /// read acquisition cannot interleave with a scoped writer's
+    /// out-of-order lock extension.
     pub fn check_invariants(&self) -> Result<(), String> {
-        let guards = self.read_all();
+        let _writer = self.lock_update();
+        let guards: Vec<RwLockReadGuard<'_, Shard>> =
+            (0..self.shards.len()).map(|i| self.read_shard(i)).collect();
         let mut all_ids: FxHashSet<EntryId> = FxHashSet::default();
         for g in &guards {
             all_ids.extend(g.entries.keys().copied());
@@ -800,6 +892,37 @@ impl RecyclePool {
         if let Some(e) = err.take() {
             return Err(e);
         }
+        // candidate side-map exactness: every listed id alive under the
+        // right key, every indexable entry listed exactly once
+        let mut expect_keys: FxHashMap<EntryId, (Opcode, ArgSig)> = FxHashMap::default();
+        for g in &guards {
+            for (id, e) in &g.entries {
+                if let Some(arg0) = e.sig.first_arg() {
+                    expect_keys.insert(*id, (e.sig.op, arg0.clone()));
+                }
+            }
+        }
+        let mut listed = 0usize;
+        self.by_op_arg0.for_each(|key, ids| {
+            for id in ids {
+                listed += 1;
+                if err.is_none() && expect_keys.get(id) != Some(key) {
+                    err = Some(format!(
+                        "candidate index lists entry {id} under {key:?}, expected {:?}",
+                        expect_keys.get(id)
+                    ));
+                }
+            }
+        });
+        if let Some(e) = err.take() {
+            return Err(e);
+        }
+        if listed != expect_keys.len() {
+            return Err(format!(
+                "candidate index lists {listed} ids, expected {}",
+                expect_keys.len()
+            ));
+        }
         let mut owner_count = 0usize;
         self.owner.for_each(|id, _| {
             if err.is_none() && !all_ids.contains(id) {
@@ -819,36 +942,73 @@ impl RecyclePool {
     }
 }
 
-/// Exclusive access to the whole pool: every shard write lock held at
-/// once (acquired in ascending index order — the documented lock order).
-/// Update synchronisation runs under this view so concurrent queries see
-/// the pool either entirely before or entirely after a commit.
-pub struct PoolWriteView<'a> {
+/// Write access scoped to the shards of one commit's lineage closure:
+/// only those shards' write locks are held (acquired in ascending index
+/// order at construction), so sessions probing and admitting on every
+/// other shard never block on the commit. Structural writers serialise on
+/// the pool's update mutex — single writer, many readers — which is what
+/// makes the on-demand, possibly out-of-order [`Self::ensure_shard`]
+/// extension (rekey migration, children admitted after the closure was
+/// computed) deadlock-free: no other thread ever blocks on a second shard
+/// lock while holding one.
+///
+/// Concurrent queries observe the affected entries either entirely before
+/// or entirely after the commit; unaffected shards are never perturbed.
+pub struct PoolScopedView<'a> {
     pool: &'a RecyclePool,
-    guards: Vec<RwLockWriteGuard<'a, Shard>>,
+    _writer: MutexGuard<'a, ()>,
+    guards: Vec<Option<RwLockWriteGuard<'a, Shard>>>,
 }
 
-impl PoolWriteView<'_> {
+/// The stop-the-world view is retired as a distinct type: it is now just
+/// a [`PoolScopedView`] over every shard (see [`RecyclePool::write_view`]).
+pub type PoolWriteView<'a> = PoolScopedView<'a>;
+
+impl PoolScopedView<'_> {
     fn shard_idx(&self, id: EntryId) -> Option<usize> {
         self.pool.owner.get_clone(&id)
     }
 
-    /// Borrow an entry.
-    pub fn get(&self, id: EntryId) -> Option<&PoolEntry> {
+    /// Shards whose write locks this view currently holds (ascending).
+    pub fn held_shards(&self) -> Vec<usize> {
+        self.guards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.is_some().then_some(i))
+            .collect()
+    }
+
+    /// Extend the view with shard `i`'s write lock if not yet held. Safe
+    /// out of ascending order because scoped writers are serialised on the
+    /// update mutex (see the type-level docs).
+    fn ensure_shard(&mut self, i: usize) {
+        if self.guards[i].is_none() {
+            self.guards[i] = Some(self.pool.write_shard(i));
+        }
+    }
+
+    /// Borrow an entry, extending the view to its shard if necessary.
+    pub fn get(&mut self, id: EntryId) -> Option<&PoolEntry> {
         let i = self.shard_idx(id)?;
-        self.guards[i].entries.get(&id)
+        self.ensure_shard(i);
+        self.guards[i].as_ref().and_then(|g| g.entries.get(&id))
     }
 
     /// Borrow an entry mutably (delta propagation rewrites results and
-    /// signatures in place; call [`Self::rekey`] afterwards).
+    /// signatures in place; call [`Self::rekey`] afterwards, and account
+    /// byte changes through [`Self::set_bytes`]).
     pub fn get_mut(&mut self, id: EntryId) -> Option<&mut PoolEntry> {
         let i = self.shard_idx(id)?;
-        self.guards[i].entries.get_mut(&id)
+        self.ensure_shard(i);
+        self.guards[i].as_mut().and_then(|g| g.entries.get_mut(&id))
     }
 
-    /// Iterate over all entries.
+    /// Iterate over the entries of every *held* shard.
     pub fn iter(&self) -> impl Iterator<Item = &PoolEntry> {
-        self.guards.iter().flat_map(|g| g.entries.values())
+        self.guards
+            .iter()
+            .flatten()
+            .flat_map(|g| g.entries.values())
     }
 
     /// Dependents of an entry (direct children).
@@ -861,13 +1021,19 @@ impl PoolWriteView<'_> {
         self.pool.add_subset_edge(sub, sup);
     }
 
-    /// Remove one entry, unwiring all indexes.
+    /// Remove one entry, unwiring all indexes (the view extends to the
+    /// entry's shard on demand).
     pub fn remove(&mut self, id: EntryId) -> Option<PoolEntry> {
         let i = self.shard_idx(id)?;
-        self.pool.remove_locked(&mut self.guards[i], i, id)
+        self.ensure_shard(i);
+        let pool = self.pool;
+        let g = self.guards[i].as_mut()?;
+        pool.remove_locked(g, i, id)
     }
 
-    /// Remove `root` and every transitive dependent.
+    /// Remove `root` and every transitive dependent. The subtree is
+    /// re-derived from the live child index, so dependents admitted after
+    /// the caller computed its lock scope are still invalidated.
     pub fn remove_subtree(&mut self, root: EntryId) -> Vec<PoolEntry> {
         let order = self.pool.subtree_order(root);
         let mut removed = Vec::with_capacity(order.len());
@@ -879,54 +1045,95 @@ impl PoolWriteView<'_> {
         removed
     }
 
+    /// Update an entry's charged bytes, keeping the per-shard and total
+    /// byte counters exact at every step (no deferred recount: the
+    /// `sum(shard_bytes) == total_bytes` invariant holds throughout).
+    pub fn set_bytes(&mut self, id: EntryId, new_bytes: usize) {
+        let Some(i) = self.shard_idx(id) else { return };
+        self.ensure_shard(i);
+        let pool = self.pool;
+        let Some(e) = self.guards[i].as_mut().and_then(|g| g.entries.get_mut(&id)) else {
+            return;
+        };
+        let old = e.bytes;
+        e.bytes = new_bytes;
+        if new_bytes >= old {
+            let d = new_bytes - old;
+            pool.shard_bytes[i].fetch_add(d, Ordering::Relaxed);
+            pool.total_bytes.fetch_add(d, Ordering::Relaxed);
+        } else {
+            let d = old - new_bytes;
+            pool.shard_bytes[i].fetch_sub(d, Ordering::Relaxed);
+            pool.total_bytes.fetch_sub(d, Ordering::Relaxed);
+        }
+    }
+
     /// Re-key an entry's signature and result identity after delta
     /// propagation replaced its result BAT (§6.3). The caller updates the
     /// entry fields; this fixes the indexes — including migrating the
-    /// entry to the shard its *new* signature hashes to.
+    /// entry to the shard its *new* signature hashes to (the view extends
+    /// to that shard on demand, and the entry's bytes move with it).
+    ///
+    /// If another resident entry already owns the new signature — a
+    /// session that re-pinned the post-commit epoch can probe, miss and
+    /// admit the equivalent instruction while propagation is still
+    /// in flight on other shards — that duplicate and its dependents are
+    /// removed first: the re-keyed entry wins because the refreshed
+    /// lineage chain hangs off it. A blind index insert would instead
+    /// leave two entries under one signature and a later eviction of
+    /// either would unmap the survivor.
     pub fn rekey(&mut self, id: EntryId, old_sig: &Sig, old_result: Option<BatId>) {
         let Some(old_idx) = self.shard_idx(id) else {
             return;
         };
+        self.ensure_shard(old_idx);
         let Some((new_sig, new_result)) = self.guards[old_idx]
-            .entries
-            .get(&id)
+            .as_ref()
+            .and_then(|g| g.entries.get(&id))
             .map(|e| (e.sig.clone(), e.result_id))
         else {
             return;
         };
         if *old_sig != new_sig {
-            let sh = &mut self.guards[old_idx];
-            sh.by_sig.remove(old_sig);
-            if let Some(arg0) = old_sig.first_arg() {
-                let key = (old_sig.op, arg0.clone());
-                if let Some(v) = sh.by_op_arg0.get_mut(&key) {
-                    v.retain(|e| *e != id);
-                    if v.is_empty() {
-                        sh.by_op_arg0.remove(&key);
-                    }
+            let pool = self.pool;
+            if let Some(sh) = self.guards[old_idx].as_mut() {
+                sh.by_sig.remove(old_sig);
+            }
+            pool.unwire_candidate(old_sig, id);
+            let new_idx = pool.shard_of(&new_sig);
+            self.ensure_shard(new_idx);
+            let clash = self.guards[new_idx]
+                .as_ref()
+                .and_then(|g| g.by_sig.get(&new_sig).copied())
+                .filter(|other| *other != id);
+            if let Some(other) = clash {
+                self.remove_subtree(other);
+                if self.shard_idx(id).is_none() {
+                    // the re-keyed entry was itself in the clash's subtree
+                    return;
                 }
             }
-            let new_idx = self.pool.shard_of(&new_sig);
             if new_idx != old_idx {
-                if let Some(e) = self.guards[old_idx].entries.remove(&id) {
-                    // the entry's bytes move with it (note: `bytes` may be
-                    // stale relative to the caller's in-place mutation — a
-                    // final `refresh_bytes` recomputes all counters from
-                    // scratch, but the per-shard books stay consistent
-                    // even for callers that migrate without mutating)
-                    self.pool.shard_bytes[old_idx].fetch_sub(e.bytes, Ordering::Relaxed);
-                    self.pool.shard_bytes[new_idx].fetch_add(e.bytes, Ordering::Relaxed);
-                    self.guards[new_idx].entries.insert(id, e);
-                    self.pool.owner.insert(id, new_idx);
+                let moved = self.guards[old_idx]
+                    .as_mut()
+                    .and_then(|g| g.entries.remove(&id));
+                if let Some(e) = moved {
+                    pool.shard_bytes[old_idx].fetch_sub(e.bytes, Ordering::Relaxed);
+                    pool.shard_bytes[new_idx].fetch_add(e.bytes, Ordering::Relaxed);
+                    if let Some(g) = self.guards[new_idx].as_mut() {
+                        g.entries.insert(id, e);
+                    }
+                    pool.owner.insert(id, new_idx);
                 }
             }
-            let sh = &mut self.guards[new_idx];
-            sh.by_sig.insert(new_sig.clone(), id);
+            if let Some(sh) = self.guards[new_idx].as_mut() {
+                sh.by_sig.insert(new_sig.clone(), id);
+            }
             if let Some(arg0) = new_sig.first_arg() {
-                sh.by_op_arg0
-                    .entry((new_sig.op, arg0.clone()))
-                    .or_default()
-                    .push(id);
+                let key = (new_sig.op, arg0.clone());
+                pool.by_op_arg0.alter(&key, |m| {
+                    m.entry(key.clone()).or_default().push(id);
+                });
             }
         }
         if old_result != new_result {
@@ -943,19 +1150,25 @@ impl PoolWriteView<'_> {
             }
         }
     }
+}
 
-    /// Recompute every byte counter after in-place entry mutation.
-    pub fn refresh_bytes(&mut self) {
-        let mut total = 0usize;
-        let mut count = 0usize;
-        for (i, g) in self.guards.iter().enumerate() {
-            let b: usize = g.entries.values().map(|e| e.bytes).sum();
-            self.pool.shard_bytes[i].store(b, Ordering::Relaxed);
-            total += b;
-            count += g.entries.len();
+impl Drop for PoolScopedView<'_> {
+    /// Debug builds verify the byte books of every held shard on release:
+    /// the per-shard counter must equal the sum of resident entry bytes
+    /// after any sequence of rekeys, removals and in-place rewrites.
+    fn drop(&mut self) {
+        if cfg!(debug_assertions) {
+            for (i, g) in self.guards.iter().enumerate() {
+                if let Some(g) = g {
+                    let actual: usize = g.entries.values().map(|e| e.bytes).sum();
+                    let counted = self.pool.shard_bytes[i].load(Ordering::Relaxed);
+                    debug_assert_eq!(
+                        actual, counted,
+                        "shard {i} byte counter drifted from resident bytes"
+                    );
+                }
+            }
         }
-        self.pool.total_bytes.store(total, Ordering::Relaxed);
-        self.pool.total_entries.store(count, Ordering::Relaxed);
     }
 }
 
@@ -1143,6 +1356,134 @@ mod tests {
             .collect();
         assert!(shards.len() > 1, "16 sigs over 8 shards must spread");
         pool.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn scoped_view_write_locks_only_requested_shards() {
+        let pool = RecyclePool::with_shards(8);
+        let mut ids = Vec::new();
+        for i in 0..32 {
+            ids.push(pool.insert(mk_entry(&pool, vec![], i), None).id());
+        }
+        let victim = ids[0];
+        let vshard = pool
+            .entry(victim, |e| pool.shard_of(&e.sig))
+            .expect("resident");
+        let before = pool.write_lock_acquisitions_by_shard();
+        {
+            let mut view = pool.scoped_view(&[vshard]);
+            assert_eq!(view.held_shards(), vec![vshard]);
+            assert!(view.remove(victim).is_some());
+        }
+        let after = pool.write_lock_acquisitions_by_shard();
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            if i == vshard {
+                assert_eq!(*a, b + 1, "victim shard write-locked once");
+            } else {
+                assert_eq!(a, b, "shard {i} must not be write-locked");
+            }
+        }
+        pool.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn scoped_view_extends_on_demand_for_rekey_migration() {
+        let pool = RecyclePool::with_shards(8);
+        // find two tags whose signatures land on different shards
+        let (tag_a, tag_b) = {
+            let mut found = None;
+            'outer: for a in 0..64i64 {
+                for b in 0..64i64 {
+                    let sa = Sig::of(Opcode::Select, &[Value::Int(a)]);
+                    let sb = Sig::of(Opcode::Select, &[Value::Int(b)]);
+                    if pool.shard_of(&sa) != pool.shard_of(&sb) {
+                        found = Some((a, b));
+                        break 'outer;
+                    }
+                }
+            }
+            found.expect("two shards must differ over 64 tags")
+        };
+        let id = pool.insert(mk_entry(&pool, vec![], tag_a), None).id();
+        let old_sig = Sig::of(Opcode::Select, &[Value::Int(tag_a)]);
+        let new_sig = Sig::of(Opcode::Select, &[Value::Int(tag_b)]);
+        let (old_shard, new_shard) = (pool.shard_of(&old_sig), pool.shard_of(&new_sig));
+        {
+            // lock only the entry's current shard; the rekey must extend
+            // the view with the migration target on demand
+            let mut view = pool.scoped_view(&[old_shard]);
+            view.get_mut(id).unwrap().sig = new_sig.clone();
+            view.rekey(id, &old_sig, None);
+            assert!(view.held_shards().contains(&new_shard));
+        }
+        assert_eq!(pool.lookup(&new_sig), Some(id));
+        assert_eq!(pool.lookup(&old_sig), None);
+        assert_eq!(pool.shard_bytes(old_shard), 0);
+        assert_eq!(pool.shard_bytes(new_shard), 100);
+        pool.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rekey_onto_occupied_signature_removes_the_duplicate() {
+        // A session on the post-commit epoch can admit the equivalent
+        // instruction while propagation is still re-keying the old entry
+        // to the same (versioned) signature. The re-keyed entry must win
+        // and the racing duplicate must be removed — never two residents
+        // under one signature, never an unmapped survivor.
+        let pool = RecyclePool::with_shards(8);
+        let a = mk_entry(&pool, vec![], 1);
+        let a_sig = a.sig.clone();
+        let a_id = pool.insert(a, None).id();
+        // the racing admission already owns the target signature
+        let fresh = mk_entry(&pool, vec![], 2);
+        let fresh_sig = fresh.sig.clone();
+        let fresh_id = pool.insert(fresh, None).id();
+        {
+            let mut view = pool.scoped_view(&[pool.shard_of(&a_sig)]);
+            view.get_mut(a_id).unwrap().sig = fresh_sig.clone();
+            view.rekey(a_id, &a_sig, None);
+        }
+        assert_eq!(pool.lookup(&fresh_sig), Some(a_id), "re-keyed entry wins");
+        assert!(pool.entry(fresh_id, |_| ()).is_none(), "duplicate removed");
+        assert_eq!(pool.len(), 1);
+        pool.check_invariants().unwrap();
+        // and evicting the winner leaves a clean, empty index
+        pool.remove(a_id);
+        assert_eq!(pool.lookup(&fresh_sig), None);
+        pool.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn set_bytes_keeps_shard_books_exact_through_migration() {
+        let pool = RecyclePool::with_shards(8);
+        let e = mk_entry(&pool, vec![], 3);
+        let old_sig = e.sig.clone();
+        let id = pool.insert(e, None).id();
+        let new_sig = Sig::of(Opcode::Select, &[Value::Int(1000)]);
+        {
+            let mut view = pool.write_view();
+            view.get_mut(id).unwrap().sig = new_sig.clone();
+            view.set_bytes(id, 12_345);
+            view.rekey(id, &old_sig, None);
+        } // the view's Drop verifies per-shard books in debug builds
+        assert_eq!(pool.bytes(), 12_345);
+        let total: usize = (0..pool.shard_count()).map(|i| pool.shard_bytes(i)).sum();
+        assert_eq!(total, pool.bytes(), "sum(shard_bytes) == total_bytes");
+        pool.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn candidates_probe_takes_no_shard_lock() {
+        // the candidate index is a side-map: a miss-path subsumption probe
+        // must not touch any shard lock at all — pin it via a write view
+        // over every shard held concurrently with the probe
+        let pool = RecyclePool::with_shards(8);
+        let e = mk_entry(&pool, vec![], 1);
+        let op = e.sig.op;
+        let arg0 = e.sig.first_arg().unwrap().clone();
+        let id = pool.insert(e, None).id();
+        let _view = pool.write_view(); // all shard write locks held
+        assert_eq!(pool.candidates(op, &arg0), vec![id]);
     }
 
     #[test]

@@ -12,14 +12,19 @@
 //! OIDs on delete (see `rbat::Catalog::commit`).
 //!
 //! Concurrency: [`propagate_commit`] rewrites entries, signatures and the
-//! result index in place and therefore always runs under the sharded
-//! pool's all-shard write view ([`PoolWriteView`]) — concurrent probes
-//! see the pool either entirely before or entirely after the commit.
-//! Re-keying an entry may migrate it to the shard its new signature
-//! hashes to; the view handles that atomically. A session whose query
-//! already cloned a pre-commit intermediate keeps computing with it
-//! (values are `Arc`-shared and immutable); only *future* probes observe
-//! the refreshed results.
+//! result index in place and therefore runs under a **scoped** write view
+//! ([`PoolScopedView`]): [`propagation_roots`] locates the commit's root
+//! entries under shard *read* locks, the caller locks only the shards of
+//! their lineage closure ([`crate::pool::RecyclePool::closure_shards`]),
+//! and concurrent probes against other tables keep running throughout.
+//! Probes of affected entries see the pool either entirely before or
+//! entirely after the commit. Re-keying an entry may migrate it to the
+//! shard its new signature hashes to; the view extends itself with that
+//! shard's lock on demand. A session whose query already cloned a
+//! pre-commit intermediate keeps computing with it (values are
+//! `Arc`-shared and immutable); only *future* probes observe the
+//! refreshed results — under their post-commit versioned bind signatures
+//! ([`Sig::versioned`]), which refreshed roots are re-keyed to.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -31,7 +36,7 @@ use rbat::{Bat, BatId, Catalog, Value};
 use rmal::Opcode;
 
 use crate::entry::EntryId;
-use crate::pool::PoolWriteView;
+use crate::pool::{PoolScopedView, RecyclePool};
 use crate::signature::{ArgSig, Sig};
 
 /// What a propagation run did.
@@ -52,11 +57,44 @@ fn empty_like(like: &Bat) -> Bat {
     like.slice(0, 0)
 }
 
+/// Is this pool entry a root of the given commit — a bind of the updated
+/// table's columns or of a rebuilt join index?
+fn is_root(sig: &Sig, report: &CommitReport) -> bool {
+    match sig.op {
+        Opcode::Bind => matches!(
+            sig.args.first(),
+            Some(ArgSig::Scalar(Value::Str(t))) if t.as_ref() == report.table
+        ),
+        Opcode::BindIdx => matches!(
+            sig.args.first(),
+            Some(ArgSig::Scalar(Value::Str(n)))
+                if report.rebuilt_indices.iter().any(|r| r == n.as_ref())
+        ),
+        _ => false,
+    }
+}
+
+/// The commit's root entries, located under shard **read** locks only —
+/// this is how the caller sizes the scoped write view before any shard is
+/// write-locked. Roots admitted after this scan stay stale in the pool
+/// but are unreachable from post-commit probes (versioned bind
+/// signatures), so missing them is safe.
+pub fn propagation_roots(pool: &RecyclePool, report: &CommitReport) -> Vec<EntryId> {
+    let mut roots = Vec::new();
+    pool.for_each_entry(|e| {
+        if is_root(&e.sig, report) {
+            roots.push(e.id);
+        }
+    });
+    roots
+}
+
 /// Try to propagate an insert-only commit through the pool. Returns `None`
 /// when the commit cannot be propagated at all (deletes present) — the
-/// caller must invalidate instead.
+/// caller must invalidate instead. `pool` is a scoped view over the
+/// shards of [`propagation_roots`]' lineage closure.
 pub fn propagate_commit(
-    pool: &mut PoolWriteView<'_>,
+    pool: &mut PoolScopedView<'_>,
     report: &CommitReport,
     catalog: &Catalog,
 ) -> Option<PropagationOutcome> {
@@ -186,9 +224,9 @@ pub fn propagate_commit(
         if pool.get(id).is_none() {
             continue; // removed by an earlier subtree invalidation
         }
-        let is_root = new_results.contains_key(&id);
-        let refreshed = if is_root {
-            apply_refresh(pool, id, new_results[&id].clone());
+        let root = new_results.contains_key(&id);
+        let refreshed = if root {
+            apply_refresh(pool, catalog, id, new_results[&id].clone());
             true
         } else {
             propagate_entry(
@@ -206,16 +244,25 @@ pub fn propagate_commit(
             outcome.invalidated += pool.remove_subtree(id).len() as u64;
         }
     }
-    pool.refresh_bytes();
     Some(outcome)
 }
 
-/// Overwrite an entry's result/args in place and fix the pool indexes.
-fn apply_refresh(pool: &mut PoolWriteView<'_>, id: EntryId, new_result: Value) {
+/// Overwrite a root entry's result in place and fix the pool indexes. The
+/// refreshed bind is re-keyed to its **post-commit versioned signature**
+/// (the bound table's version advanced with the commit), so exactly the
+/// probes of the new epoch rediscover it. The entry's byte charge is left
+/// alone on purpose: roots are bind/bindIdx instructions, charged a
+/// nominal 64 bytes because their results are persistent storage the
+/// catalog owns, not pool-resident copies (Table III shows binds at 0 MB)
+/// — that holds for the grown post-commit column exactly as it did for
+/// the pre-commit one.
+fn apply_refresh(pool: &mut PoolScopedView<'_>, catalog: &Catalog, id: EntryId, new_result: Value) {
     let Some(entry) = pool.get(id) else { return };
     let old_sig = entry.sig.clone();
     let old_result_id = entry.result_id;
+    let args = entry.args.clone();
     let e = pool.get_mut(id).expect("entry exists");
+    e.sig = Sig::versioned(catalog, old_sig.op, &args);
     e.result_id = new_result.as_bat().map(|b| b.id());
     e.result = new_result;
     pool.rekey(id, &old_sig, old_result_id);
@@ -224,7 +271,7 @@ fn apply_refresh(pool: &mut PoolWriteView<'_>, id: EntryId, new_result: Value) {
 /// Propagate one non-root entry. Returns false when the entry (and its
 /// subtree) must be invalidated instead.
 fn propagate_entry(
-    pool: &mut PoolWriteView<'_>,
+    pool: &mut PoolScopedView<'_>,
     catalog: &Catalog,
     id: EntryId,
     old_result_owner: &FxHashMap<BatId, EntryId>,
@@ -384,8 +431,11 @@ fn propagate_entry(
         e.sig = Sig::of(op, &new_args);
         e.result_id = new_result.as_bat().map(|b| b.id());
         e.result = new_result.clone();
-        e.bytes = new_bytes;
     }
+    // account the size change immediately (no deferred recount): the
+    // per-shard byte books stay exact through the subsequent rekey, which
+    // may migrate the entry — and its bytes — to another shard
+    pool.set_bytes(id, new_bytes);
     pool.rekey(id, &old_sig, old_result_id);
     // refresh subset edges for filter-family results
     if matches!(

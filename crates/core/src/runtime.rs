@@ -332,7 +332,8 @@ impl Recycler {
                 }
             }
         }
-        if !shared.admission_allows(key) {
+        let grant = shared.admission_grant(key);
+        if !grant.allowed {
             shared.count_admission_reject();
             return;
         }
@@ -341,10 +342,10 @@ impl Recycler {
         // right after the insert settles, whatever its outcome
         if !shared.reserve_admission(bytes) {
             shared.count_admission_reject();
-            shared.undo_admission_charge(key);
+            shared.undo_admission_charge(key, grant);
             return;
         }
-        let sig = Sig::of(instr.op, args);
+        let sig = Sig::versioned(catalog, instr.op, args);
         let tick = shared.next_tick();
         let result_id = result.as_bat().map(|b| b.id());
         // subset semantics for the subsumption machinery (§5.1), recorded
@@ -409,7 +410,7 @@ impl Recycler {
                 // the pin with this session's pin set (we may have pinned
                 // the winner already earlier in the query).
                 shared.count_duplicate_admission();
-                shared.undo_admission_charge(key);
+                shared.undo_admission_charge(key, grant);
                 if !self.pinned.insert(existing) {
                     pool.entry(existing, |e| {
                         e.pins.fetch_sub(1, Ordering::Relaxed);
@@ -417,29 +418,42 @@ impl Recycler {
                 }
             }
             Admitted::Orphaned => {
-                // an update invalidated a parent between resolution and
+                // An update invalidated a parent between resolution and
                 // insertion — the thread is broken, admitting would leave
-                // dangling lineage
+                // dangling lineage. The candidate never entered the pool,
+                // so no bytes were counted; the admission credit (when one
+                // was charged) goes back to the account so repeated
+                // orphaning cannot drain it.
                 shared.count_admission_reject();
-                shared.undo_admission_charge(key);
+                shared.undo_admission_charge(key, grant);
             }
         }
     }
 
     /// Invalidate every intermediate whose lineage intersects the affected
-    /// columns (paper §6.4: immediate column-wise invalidation), atomically
-    /// under the all-shard write view. Removal overrides pins —
-    /// correctness beats retention; stale pins are cleaned up by their
-    /// sessions' `query_end`.
+    /// columns (paper §6.4: immediate column-wise invalidation), under a
+    /// *scoped* write view: roots are gathered under shard read locks,
+    /// then write locks are taken on only the shards holding the lineage
+    /// closure — sessions working against other tables keep probing and
+    /// admitting throughout. Removal overrides pins — correctness beats
+    /// retention; stale pins are cleaned up by their sessions'
+    /// `query_end`. An entry admitted from a pre-commit snapshot after
+    /// the gather is harmless: its bind thread carries the pre-commit
+    /// version signature, which no post-commit probe can match.
     fn invalidate_columns(&mut self, affected: &BTreeSet<(String, String)>) {
         let shared = Arc::clone(&self.shared);
-        let removed = {
-            let mut view = shared.pool_inner().write_view();
-            let roots: Vec<EntryId> = view
-                .iter()
-                .filter(|e| e.base_columns.intersection(affected).next().is_some())
-                .map(|e| e.id)
-                .collect();
+        let pool = shared.pool_inner();
+        let mut roots: Vec<EntryId> = Vec::new();
+        pool.for_each_entry(|e| {
+            if e.base_columns.intersection(affected).next().is_some() {
+                roots.push(e.id);
+            }
+        });
+        let removed = if roots.is_empty() {
+            0
+        } else {
+            let shards = pool.closure_shards(&roots);
+            let mut view = pool.scoped_view(&shards);
             let mut removed = 0u64;
             for r in roots {
                 removed += view.remove_subtree(r).len() as u64;
@@ -500,7 +514,10 @@ impl ExecHook for Recycler {
         let t0 = Instant::now();
         self.shared.count_monitored();
         self.current.monitored += 1;
-        let sig = Sig::of(instr.op, args);
+        // Bind-family signatures carry the table's commit version, so a
+        // probe can never exact-match an entry admitted against another
+        // commit epoch (see `Sig::versioned`).
+        let sig = Sig::versioned(catalog, instr.op, args);
         let config = self.shared.config();
 
         // Phase 1: exact match (paper §3.3) — one shard read lock, no
@@ -599,15 +616,21 @@ impl ExecHook for Recycler {
         if report.inserted.is_empty() && report.deleted.is_empty() {
             return;
         }
-        // The whole synchronisation runs under the all-shard write view:
-        // concurrent queries see the pool either entirely before or
-        // entirely after the commit (per-instruction atomicity — a query
-        // already past an instruction keeps its pre-update intermediate,
-        // as in the paper's transaction-isolation discussion §6.1).
+        // Update synchronisation is *scoped*: the commit's root entries
+        // (binds of the touched table/indices) are located under read
+        // locks, and invalidation/propagation then write-locks only the
+        // shards holding their lineage closure. Queries against other
+        // tables never block (per-instruction atomicity for affected ones
+        // — a query already past an instruction keeps its pre-update
+        // intermediate, as in the paper's transaction-isolation
+        // discussion §6.1).
         let shared = Arc::clone(&self.shared);
-        if shared.config().update_mode == UpdateMode::Propagate {
+        if shared.config().update_mode == UpdateMode::Propagate && report.deleted.is_empty() {
             let outcome = {
-                let mut view = shared.pool_inner().write_view();
+                let pool = shared.pool_inner();
+                let roots = crate::propagate::propagation_roots(pool, report);
+                let shards = pool.closure_shards(&roots);
+                let mut view = pool.scoped_view(&shards);
                 crate::propagate::propagate_commit(&mut view, report, catalog)
             };
             if let Some(outcome) = outcome {
@@ -789,6 +812,91 @@ mod tests {
             .count();
         assert_eq!(selects, 2, "credit(2) must cap select instances");
         assert!(e.hook.stats().admission_rejects > 0);
+    }
+
+    #[test]
+    fn orphaned_admissions_never_drain_credits_or_bytes() {
+        // Regression: an admission whose parents were invalidated
+        // mid-flight resolves as `Admitted::Orphaned`. The sequence the
+        // hook performs — charge the credit, reserve, insert, refund on
+        // orphan — must leave the credit account and the byte counters
+        // exactly where they started, every time: repeated orphaning used
+        // to be able to drain an instruction's credits for good.
+        use crate::signature::Sig;
+        use std::collections::BTreeSet;
+        use std::time::Duration;
+
+        let shared =
+            SharedRecycler::new(RecyclerConfig::default().admission(AdmissionPolicy::Credit(2)));
+        let pool = shared.pool_inner();
+        let key: InstrKey = (7, 3);
+        let bytes_before = pool.bytes();
+        for round in 0..16u64 {
+            let grant = shared.admission_grant(key);
+            assert!(grant.allowed, "credits drained after {round} orphanings");
+            assert!(grant.charged);
+            assert!(shared.reserve_admission(100));
+            let entry = PoolEntry {
+                id: pool.alloc_id(),
+                sig: Sig::of(Opcode::Select, &[Value::Int(round as i64)]),
+                args: vec![Value::Int(round as i64)],
+                result: Value::Int(round as i64),
+                result_id: None,
+                bytes: 100,
+                cpu: Duration::from_micros(1),
+                family: "select",
+                // a parent that an update invalidated between resolution
+                // and insertion
+                parents: vec![999_999],
+                base_columns: BTreeSet::new(),
+                admitted_tick: 0,
+                admitted_invocation: 0,
+                admitted_session: 0,
+                creator: key,
+                last_used: AtomicU64::new(0),
+                local_reuses: AtomicU64::new(0),
+                global_reuses: AtomicU64::new(0),
+                subsumption_uses: AtomicU64::new(0),
+                time_saved_ns: AtomicU64::new(0),
+                pins: AtomicU32::new(1),
+                credit_returned: AtomicBool::new(false),
+            };
+            assert_eq!(pool.insert(entry, None), Admitted::Orphaned);
+            shared.release_reservation(100);
+            shared.count_admission_reject();
+            shared.undo_admission_charge(key, grant);
+            // no byte may ever be double-counted for a dropped candidate
+            assert_eq!(pool.bytes(), bytes_before, "round {round}");
+        }
+        assert!(pool.is_empty());
+        // the account still holds its full balance: two *kept* admissions
+        // in a row are granted without an intervening refund
+        assert!(shared.admission_grant(key).allowed);
+        assert!(shared.admission_grant(key).allowed);
+    }
+
+    #[test]
+    fn uncharged_grants_refund_nothing() {
+        // ADAPT promotes a reused instruction to unlimited admissions,
+        // which are *not* charged. A duplicate/orphan resolution of such
+        // an admission must not mint credits out of thin air: the refund
+        // must be exactly what the grant charged.
+        let shared =
+            SharedRecycler::new(RecyclerConfig::default().admission(AdmissionPolicy::Adaptive(1)));
+        let key: InstrKey = (1, 0);
+        // burn the starting credit, record a reuse, pass the decision point
+        shared.note_invocation(1);
+        assert!(shared.admission_grant(key).charged);
+        shared.note_reuse(key, false);
+        shared.note_invocation(1);
+        shared.note_invocation(1);
+        let grant = shared.admission_grant(key);
+        assert!(grant.allowed && !grant.charged, "unlimited keys are free");
+        // an orphaned outcome of an uncharged grant refunds nothing; with
+        // the charged-amount discipline this is a no-op by construction
+        shared.undo_admission_charge(key, grant);
+        let again = shared.admission_grant(key);
+        assert!(again.allowed && !again.charged);
     }
 
     #[test]

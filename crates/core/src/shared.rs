@@ -21,14 +21,21 @@
 //!
 //! # Locking invariants
 //!
-//! 1. **Order:** locks are tiered — *eviction mutex* → *shard locks in
-//!    ascending shard index* → *lineage/persistent sub-map locks* →
-//!    *accounts mutex*. A thread may skip tiers but never goes back up.
-//!    Within the shard tier a thread holds at most one shard lock, except
-//!    for the all-shard acquisitions ([`RecyclePool::write_view`] for
-//!    update synchronisation, `check_invariants` for diagnostics), which
-//!    take every shard in ascending index order. Lineage sub-map locks
-//!    are leaves: while holding one, no other lock is acquired.
+//! 1. **Order:** locks are tiered — *eviction mutex* → *pool update
+//!    (scoped-view) mutex* → *shard locks in ascending shard index* →
+//!    *lineage/persistent sub-map locks* → *accounts mutex*. A thread may
+//!    skip tiers but never goes back up. Within the shard tier a thread
+//!    holds at most one shard lock, except for structural writers —
+//!    [`RecyclePool::scoped_view`] for update synchronisation,
+//!    [`RecyclePool::write_view`]/`clear` for maintenance,
+//!    `check_invariants` for diagnostics — which first take the update
+//!    mutex and then their shard set in ascending index order. Because
+//!    structural writers are serialised on that mutex and every other
+//!    thread holds at most one shard lock without blocking on a second,
+//!    the single live scoped view may *extend* itself with further shard
+//!    locks out of ascending order (rekey migration, dependents admitted
+//!    after its closure was computed) without deadlock. Lineage sub-map
+//!    locks are leaves: while holding one, no other lock is acquired.
 //! 2. **The exact-match hit path takes no write lock.** A hit is served
 //!    entirely under the signature shard's *read* lock: the reuse
 //!    counters, last-use stamp, saved-time tally, pin count and
@@ -60,10 +67,20 @@
 //!    fails instead (`admission_rejects`). Updates override pins —
 //!    correctness beats retention. Evictors serialise on the eviction
 //!    mutex so concurrent memory pressure does not over-evict.
-//! 8. **Update synchronisation is stop-the-world:** invalidation and
-//!    delta propagation hold every shard write lock (ascending), so
-//!    concurrent queries observe the pool entirely before or entirely
-//!    after a commit, and no half-wired lineage is ever visible to them.
+//! 8. **Update synchronisation is scoped, not stop-the-world:**
+//!    invalidation and delta propagation run under a
+//!    [`RecyclePool::scoped_view`] holding write locks on *only the
+//!    shards of the commit's lineage closure* (single writer via the
+//!    pool's update mutex). Sessions probing and admitting against
+//!    unaffected tables never block on the commit and their shards see
+//!    zero write-lock acquisitions from it. Concurrent queries observe
+//!    the affected entries entirely before or entirely after the commit;
+//!    bind signatures carry the table's commit version
+//!    ([`crate::signature::Sig::versioned`]), so an admission racing the
+//!    commit from a pre-commit snapshot can never be exact-matched by a
+//!    post-commit probe — stale reuse is structurally impossible, the
+//!    worst case is an unreachable entry awaiting eviction. Invalidation
+//!    still overrides pins — correctness beats retention.
 
 use std::collections::BTreeSet;
 use std::ops::Deref;
@@ -82,6 +99,32 @@ use crate::eviction::{evict, EvictTrigger};
 use crate::pool::{RecyclePool, ShardedIndex};
 use crate::runtime::Recycler;
 use crate::stats::{PoolSnapshot, RecyclerStats};
+
+/// Outcome of one admission decision: whether the entry may enter the
+/// pool, and whether a credit was spent for it (the refundable part).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct AdmissionGrant {
+    /// May the candidate be admitted?
+    pub allowed: bool,
+    /// Was a credit charged for this grant? Only charged grants are
+    /// refunded when the admission fails to complete.
+    pub charged: bool,
+}
+
+impl AdmissionGrant {
+    pub(crate) const FREE: AdmissionGrant = AdmissionGrant {
+        allowed: true,
+        charged: false,
+    };
+    pub(crate) const CHARGED: AdmissionGrant = AdmissionGrant {
+        allowed: true,
+        charged: true,
+    };
+    pub(crate) const DENIED: AdmissionGrant = AdmissionGrant {
+        allowed: false,
+        charged: false,
+    };
+}
 
 /// Credit/ADAPT bookkeeping, guarded by its own mutex (lock-order: after
 /// every shard and sub-map lock, never before).
@@ -542,54 +585,58 @@ impl SharedRecycler {
     }
 
     /// The admission decision of `recycleExit` (paper §4.2, ADAPT §7.2).
-    pub(crate) fn admission_allows(&self, key: InstrKey) -> bool {
+    /// `charged` records whether a credit was actually spent — the exact
+    /// amount [`Self::undo_admission_charge`] may later refund. An
+    /// admission that is allowed without charge (KEEPALL, an ADAPT
+    /// unlimited key) must never mint a credit when it fails to complete.
+    pub(crate) fn admission_grant(&self, key: InstrKey) -> AdmissionGrant {
         let mut acc = self.lock_accounts();
         match self.config.admission {
-            AdmissionPolicy::KeepAll => true,
+            AdmissionPolicy::KeepAll => AdmissionGrant::FREE,
             AdmissionPolicy::Credit(k) => {
                 let c = acc.credits.entry(key).or_insert(k as i64);
                 if *c > 0 {
                     *c -= 1;
-                    true
+                    AdmissionGrant::CHARGED
                 } else {
-                    false
+                    AdmissionGrant::DENIED
                 }
             }
             AdmissionPolicy::Adaptive(k) => {
                 if acc.adapt_unlimited.contains(&key) {
-                    return true;
+                    return AdmissionGrant::FREE;
                 }
                 if acc.adapt_banned.contains(&key) {
-                    return false;
+                    return AdmissionGrant::DENIED;
                 }
                 let invocations = acc.template_invocations.get(&key.0).copied().unwrap_or(0);
                 if invocations > k as u64 {
                     // decision time: reused at least once → unlimited
                     if acc.instr_reuses.get(&key).copied().unwrap_or(0) >= 1 {
                         acc.adapt_unlimited.insert(key);
-                        return true;
+                        return AdmissionGrant::FREE;
                     }
                     acc.adapt_banned.insert(key);
-                    return false;
+                    return AdmissionGrant::DENIED;
                 }
                 let c = acc.credits.entry(key).or_insert(k as i64);
                 if *c > 0 {
                     *c -= 1;
-                    true
+                    AdmissionGrant::CHARGED
                 } else {
-                    false
+                    AdmissionGrant::DENIED
                 }
             }
         }
     }
 
     /// Return a charged credit after an admission that did not complete
-    /// (room could not be made, or a concurrent duplicate won the race).
-    pub(crate) fn undo_admission_charge(&self, key: InstrKey) {
-        if matches!(
-            self.config.admission,
-            AdmissionPolicy::Credit(_) | AdmissionPolicy::Adaptive(_)
-        ) {
+    /// (room could not be made, a concurrent duplicate won the race, or a
+    /// parent was invalidated mid-flight and the candidate came back
+    /// [`crate::pool::Admitted::Orphaned`]). Refunds exactly what the
+    /// grant charged: an uncharged grant refunds nothing.
+    pub(crate) fn undo_admission_charge(&self, key: InstrKey, grant: AdmissionGrant) {
+        if grant.charged {
             if let Some(c) = self.lock_accounts().credits.get_mut(&key) {
                 *c += 1;
             }

@@ -1,7 +1,7 @@
 //! Instruction signatures — the matching key of the recycle pool.
 
 use rbat::hash::FxHasher;
-use rbat::{BatId, Value};
+use rbat::{BatId, Catalog, Value};
 use rmal::Opcode;
 use std::hash::{Hash, Hasher};
 
@@ -45,6 +45,50 @@ impl Sig {
             op,
             args: args.iter().map(ArgSig::of).collect(),
         }
+    }
+
+    /// The probe/admission signature of a marked instruction: like
+    /// [`Sig::of`], but bind-family instructions additionally carry the
+    /// bound table's commit *version* as a trailing scalar (both endpoint
+    /// tables' versions for a join index).
+    ///
+    /// Binds take only scalar arguments (table/column names), so without
+    /// the version a bind admitted against a pre-commit catalog would
+    /// exact-match a post-commit probe of the same column and serve a
+    /// stale column BAT. Versioning the signature closes that hole
+    /// structurally: scoped invalidation and epoch readers
+    /// ([`rbat::catalog::CatalogCell`]) can race admissions against a
+    /// commit and the worst case is an unreachable entry awaiting
+    /// eviction — never stale reuse. Every non-bind opcode keys on BAT
+    /// *identity*, which commits re-mint, so no version is needed there.
+    pub fn versioned(catalog: &Catalog, op: Opcode, args: &[Value]) -> Sig {
+        let mut sig = Sig::of(op, args);
+        match op {
+            Opcode::Bind => {
+                if let Some(Ok(t)) = args
+                    .first()
+                    .and_then(|v| v.as_str())
+                    .map(|t| catalog.table(t))
+                {
+                    sig.args
+                        .push(ArgSig::Scalar(Value::Int(t.version() as i64)));
+                }
+            }
+            Opcode::BindIdx => {
+                if let Some(def) = args
+                    .first()
+                    .and_then(|v| v.as_str())
+                    .and_then(|name| catalog.index_def(name))
+                {
+                    for t in [&def.from_table, &def.to_table] {
+                        let v = catalog.table(t).map(|t| t.version()).unwrap_or(0);
+                        sig.args.push(ArgSig::Scalar(Value::Int(v as i64)));
+                    }
+                }
+            }
+            _ => {}
+        }
+        sig
     }
 
     /// The first argument's signature, if any — the index key for

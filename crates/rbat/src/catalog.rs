@@ -1,7 +1,8 @@
 //! The SQL catalog: persistent tables, join indices and update processing.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use crate::bat::Bat;
 use crate::column::{Column, ColumnBuilder};
@@ -380,6 +381,82 @@ impl Catalog {
     }
 }
 
+/// An epoch-style bind snapshot over a shared catalog: many reader
+/// sessions, one committing writer, no reader ever blocked on a commit.
+///
+/// The cell holds the current catalog behind an `Arc` swapped atomically
+/// at commit time. Readers pin an epoch with [`CatalogCell::pinned`] —
+/// a cheap `Arc` clone under a briefly-held read lock — and keep probing,
+/// executing and admitting against that consistent pre-commit view for as
+/// long as they like (column BATs are immutable and `Arc`-shared, so a
+/// snapshot stays valid forever). A writer serialises on the cell's
+/// writer mutex, builds the next catalog *off to the side* (clones are
+/// `Arc`-backed and cheap), and publishes it with a pointer swap — the
+/// only instant readers can contend is the swap itself, never the commit
+/// work, and a commit to one table never blocks sessions reading others.
+#[derive(Debug)]
+pub struct CatalogCell {
+    current: RwLock<Arc<Catalog>>,
+    epoch: AtomicU64,
+    /// Single-writer discipline: commits serialise here, keeping version
+    /// bumps and epoch publication totally ordered.
+    writer: Mutex<()>,
+}
+
+impl CatalogCell {
+    /// Wrap a catalog for shared multi-session access at epoch 0.
+    pub fn new(catalog: Catalog) -> Arc<CatalogCell> {
+        Arc::new(CatalogCell {
+            current: RwLock::new(Arc::new(catalog)),
+            epoch: AtomicU64::new(0),
+            writer: Mutex::new(()),
+        })
+    }
+
+    /// The current epoch (bumped once per published commit).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The current catalog snapshot.
+    pub fn snapshot(&self) -> Arc<Catalog> {
+        Arc::clone(&self.current.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Epoch and snapshot, read consistently (one read-lock critical
+    /// section — a concurrent commit lands either entirely before or
+    /// entirely after).
+    pub fn pinned(&self) -> (u64, Arc<Catalog>) {
+        let cur = self.current.read().unwrap_or_else(PoisonError::into_inner);
+        (self.epoch.load(Ordering::Acquire), Arc::clone(&cur))
+    }
+
+    /// Stage `inserts`/`deletes` on `table` and commit, publishing the
+    /// post-commit catalog as a new epoch. Readers holding pre-commit
+    /// snapshots are unaffected; they observe the new epoch at their next
+    /// [`CatalogCell::pinned`].
+    pub fn update(
+        &self,
+        table: &str,
+        inserts: Vec<Row>,
+        deletes: Vec<u64>,
+    ) -> Result<CommitReport> {
+        let _w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut next: Catalog = (*self.snapshot()).clone();
+        if !inserts.is_empty() {
+            next.append(table, inserts)?;
+        }
+        if !deletes.is_empty() {
+            next.delete(table, deletes)?;
+        }
+        let report = next.commit(table)?;
+        let mut cur = self.current.write().unwrap_or_else(PoisonError::into_inner);
+        *cur = Arc::new(next);
+        self.epoch.fetch_add(1, Ordering::Release);
+        Ok(report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,5 +558,43 @@ mod tests {
         assert!(cat.bind("orders", "nope").is_err());
         assert!(cat.bind("nope", "x").is_err());
         assert!(cat.bind_idx("nope").is_err());
+    }
+
+    #[test]
+    fn cell_readers_keep_their_epoch() {
+        let cell = CatalogCell::new(orders_lineitem());
+        let (e0, snap0) = cell.pinned();
+        assert_eq!(e0, 0);
+        let report = cell
+            .update(
+                "orders",
+                vec![vec![Value::Int(400), Value::Float(40.0)]],
+                vec![],
+            )
+            .unwrap();
+        assert_eq!(report.version, 1);
+        // the pinned pre-commit snapshot is untouched
+        assert_eq!(snap0.table("orders").unwrap().nrows(), 3);
+        let (e1, snap1) = cell.pinned();
+        assert_eq!(e1, 1);
+        assert_eq!(snap1.table("orders").unwrap().nrows(), 4);
+        // bind identities differ across the commit, agree within an epoch
+        let old = snap0.bind("orders", "o_orderkey").unwrap();
+        let new = snap1.bind("orders", "o_orderkey").unwrap();
+        assert_ne!(old.id(), new.id());
+        assert_eq!(
+            new.id(),
+            cell.snapshot().bind("orders", "o_orderkey").unwrap().id()
+        );
+    }
+
+    #[test]
+    fn cell_update_errors_leave_epoch_unchanged() {
+        let cell = CatalogCell::new(orders_lineitem());
+        assert!(cell
+            .update("orders", vec![vec![Value::Int(1)]], vec![])
+            .is_err());
+        assert_eq!(cell.epoch(), 0);
+        assert_eq!(cell.snapshot().table("orders").unwrap().nrows(), 3);
     }
 }

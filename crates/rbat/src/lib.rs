@@ -41,7 +41,7 @@ pub mod types;
 pub use bat::{Bat, BatId};
 pub use bitmap::Bitmap;
 pub use buffer::{Buffer, TypedSlice};
-pub use catalog::{Catalog, Table, TableBuilder};
+pub use catalog::{Catalog, CatalogCell, Table, TableBuilder};
 pub use column::{Column, ColumnBuilder};
 pub use error::{BatError, Result};
 pub use props::Props;

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use rbat::catalog::CommitReport;
+use rbat::catalog::{CatalogCell, CommitReport};
 use rbat::delta::Row;
 use rbat::{Catalog, Value};
 
@@ -25,12 +25,26 @@ use crate::program::Program;
 /// column storage (`Catalog` clones are `Arc`-backed), the optimiser
 /// pipeline, and — when the hook handle is cloneable onto a shared
 /// service, as `recycler::Recycler` is — one recycle pool.
+///
+/// Sessions can additionally share one **updatable** catalog through a
+/// [`CatalogCell`] ([`Engine::with_shared_catalog`]): each session then
+/// runs every query against an epoch-pinned bind snapshot (refreshed at
+/// query start) and routes [`Engine::update`] through the cell's
+/// single-writer commit, so one session's DML becomes visible to the
+/// others at their next query — without any reader ever blocking on the
+/// commit work.
 pub struct Engine<H: ExecHook = NoHook> {
-    /// The SQL catalog with persistent tables.
+    /// The SQL catalog with persistent tables (this session's epoch
+    /// snapshot when a [`CatalogCell`] is attached).
     pub catalog: Catalog,
     /// The run-time hook (recycler or [`NoHook`]).
     pub hook: H,
     passes: Vec<Arc<dyn OptPass>>,
+    /// Shared updatable catalog, when sessions must observe each other's
+    /// commits. `None` keeps the original private-catalog behaviour.
+    cell: Option<Arc<CatalogCell>>,
+    /// The cell epoch `catalog` was snapshot at.
+    cell_epoch: u64,
 }
 
 impl Engine<NoHook> {
@@ -47,6 +61,36 @@ impl<H: ExecHook> Engine<H> {
             catalog,
             hook,
             passes: default_pipeline(),
+            cell: None,
+            cell_epoch: 0,
+        }
+    }
+
+    /// Engine over a shared updatable catalog: queries run against an
+    /// epoch-pinned snapshot (refreshed at query start), updates commit
+    /// through the cell. Fork per-thread sessions with
+    /// [`Engine::session`]; all forks share the cell.
+    pub fn with_shared_catalog(cell: &Arc<CatalogCell>, hook: H) -> Engine<H> {
+        let (epoch, snapshot) = cell.pinned();
+        Engine {
+            catalog: (*snapshot).clone(),
+            hook,
+            passes: default_pipeline(),
+            cell: Some(Arc::clone(cell)),
+            cell_epoch: epoch,
+        }
+    }
+
+    /// Re-pin this session's catalog snapshot if the shared cell advanced.
+    /// Cheap when nothing changed (one atomic load); a private-catalog
+    /// engine is a no-op.
+    fn refresh_epoch(&mut self) {
+        if let Some(cell) = &self.cell {
+            if cell.epoch() != self.cell_epoch {
+                let (epoch, snapshot) = cell.pinned();
+                self.catalog = (*snapshot).clone();
+                self.cell_epoch = epoch;
+            }
         }
     }
 
@@ -72,6 +116,8 @@ impl<H: ExecHook> Engine<H> {
             catalog: self.catalog.clone(),
             hook: self.hook.clone(),
             passes: self.passes.clone(),
+            cell: self.cell.clone(),
+            cell_epoch: self.cell_epoch,
         }
     }
 
@@ -83,27 +129,42 @@ impl<H: ExecHook> Engine<H> {
         }
     }
 
-    /// Execute a (template) program with the given parameter values.
+    /// Execute a (template) program with the given parameter values. With
+    /// a shared catalog attached the whole query runs against one epoch
+    /// snapshot: a commit landing mid-query is observed at the *next* run,
+    /// never halfway through this one.
     pub fn run(&mut self, program: &Program, params: &[Value]) -> Result<QueryOutput> {
+        self.refresh_epoch();
         interp::run(&self.catalog, program, params, &mut self.hook)
     }
 
     /// Stage inserts, stage deletes, and commit — notifying the hook so the
     /// recycle pool can be synchronised (paper §6). Returns the commit
-    /// report.
+    /// report. With a shared catalog attached the commit goes through the
+    /// cell (single writer, epoch publication); otherwise it mutates this
+    /// session's private catalog as before.
     pub fn update(
         &mut self,
         table: &str,
         inserts: Vec<Row>,
         deletes: Vec<u64>,
     ) -> Result<CommitReport> {
-        if !inserts.is_empty() {
-            self.catalog.append(table, inserts)?;
-        }
-        if !deletes.is_empty() {
-            self.catalog.delete(table, deletes)?;
-        }
-        let report = self.catalog.commit(table)?;
+        let report = match &self.cell {
+            Some(cell) => {
+                let report = cell.update(table, inserts, deletes)?;
+                self.refresh_epoch();
+                report
+            }
+            None => {
+                if !inserts.is_empty() {
+                    self.catalog.append(table, inserts)?;
+                }
+                if !deletes.is_empty() {
+                    self.catalog.delete(table, deletes)?;
+                }
+                self.catalog.commit(table)?
+            }
+        };
         self.hook.update_event(&report, &self.catalog);
         Ok(report)
     }
@@ -153,5 +214,36 @@ mod tests {
             .unwrap();
         assert_eq!(report.deleted, vec![0, 1]);
         assert_eq!(e.catalog.table("t").unwrap().nrows(), 99);
+    }
+
+    #[test]
+    fn shared_catalog_sessions_observe_each_others_commits() {
+        let mut cat = Catalog::new();
+        let mut tb = TableBuilder::new("t").column("x", LogicalType::Int);
+        for i in 0..100 {
+            tb.push_row(&[Value::Int(i)]);
+        }
+        cat.add_table(tb.finish());
+        let cell = CatalogCell::new(cat);
+
+        let mut writer = Engine::with_shared_catalog(&cell, NoHook);
+        let mut reader = writer.session();
+
+        let mut b = ProgramBuilder::new("count_all", 0);
+        let col = b.bind("t", "x");
+        let n = b.count(col);
+        b.export("n", n);
+        let mut p = b.finish();
+        writer.optimize(&mut p);
+
+        let before = reader.run(&p, &[]).unwrap();
+        assert_eq!(before.export("n"), Some(&Value::Int(100)));
+        writer
+            .update("t", vec![vec![Value::Int(7)], vec![Value::Int(8)]], vec![])
+            .unwrap();
+        // the reader re-pins the epoch at its next query and sees the rows
+        let after = reader.run(&p, &[]).unwrap();
+        assert_eq!(after.export("n"), Some(&Value::Int(102)));
+        assert_eq!(cell.epoch(), 1);
     }
 }

@@ -1,0 +1,266 @@
+//! Scoped update invalidation under concurrency: a commit touching one
+//! table must write-lock only the shards holding its lineage closure,
+//! reader sessions working against other tables must keep probing and
+//! admitting (and never deadlock) while the writer propagates, and a
+//! post-commit probe must never be served a pre-commit result — even when
+//! an old-epoch straggler re-admits stale entries mid-commit (versioned
+//! bind signatures make those structurally unreachable).
+
+use std::collections::BTreeSet;
+use std::thread;
+use std::time::Duration;
+
+use rbat::catalog::CatalogCell;
+use rbat::{Catalog, LogicalType, TableBuilder, Value};
+use recycler::{RecycleMark, RecyclerConfig, SharedRecycler};
+use rmal::{Engine, ExecHook, HookAction, Program, ProgramBuilder, P};
+
+/// Two independent tables: `hot` receives the writer's commits, `cold`
+/// serves the reader sessions.
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    for name in ["hot", "cold"] {
+        let mut tb = TableBuilder::new(name)
+            .column("x", LogicalType::Int)
+            .column("y", LogicalType::Int);
+        for i in 0..1500i64 {
+            tb.push_row(&[Value::Int((i * 31) % 1500), Value::Int(i % 97)]);
+        }
+        cat.add_table(tb.finish());
+    }
+    cat
+}
+
+fn range_template(name: &str, table: &str, column: &str) -> Program {
+    let mut b = ProgramBuilder::new(name, 2);
+    let col = b.bind(table, column);
+    let sel = b.select_closed(col, P(0), P(1));
+    let n = b.count(sel);
+    b.export("n", n);
+    b.finish()
+}
+
+/// The shards holding entries derived from `table`, by base-column
+/// lineage — the only shards a commit to `table` may write-lock.
+fn shards_of_table(shared: &SharedRecycler, table: &str) -> BTreeSet<usize> {
+    let pool = shared.pool();
+    pool.snapshot_entries()
+        .iter()
+        .filter(|e| e.base_columns.iter().any(|(t, _)| t == table))
+        .map(|e| pool.shard_of(&e.sig))
+        .collect()
+}
+
+#[test]
+fn commit_write_locks_only_dependent_shards() {
+    let shared = SharedRecycler::new(RecyclerConfig::default().shards(16));
+    let mut e = Engine::with_hook(catalog(), shared.session());
+    e.add_pass(Box::new(RecycleMark));
+    let mut th = range_template("hot_q", "hot", "x");
+    let mut tc = range_template("cold_q", "cold", "x");
+    e.optimize(&mut th);
+    e.optimize(&mut tc);
+    for i in 0..6i64 {
+        e.run(&th, &[Value::Int(i * 100), Value::Int(i * 100 + 400)])
+            .unwrap();
+        e.run(&tc, &[Value::Int(i * 120), Value::Int(i * 120 + 300)])
+            .unwrap();
+    }
+    let hot_shards = shards_of_table(&shared, "hot");
+    assert!(!hot_shards.is_empty(), "hot entries must be resident");
+    assert!(
+        hot_shards.len() < shared.pool().shard_count(),
+        "the hot closure must not cover every shard, or the test is vacuous"
+    );
+    let cold_entries: usize = shards_of_table(&shared, "cold").len();
+    assert!(cold_entries > 0);
+
+    let w0 = shared.pool().write_lock_acquisitions_by_shard();
+    e.update("hot", vec![vec![Value::Int(1), Value::Int(1)]], vec![])
+        .unwrap();
+    let w1 = shared.pool().write_lock_acquisitions_by_shard();
+
+    let mut touched = 0usize;
+    for (i, (before, after)) in w0.iter().zip(&w1).enumerate() {
+        if hot_shards.contains(&i) {
+            touched += usize::from(after > before);
+        } else {
+            assert_eq!(
+                after, before,
+                "shard {i} holds no hot-derived entry but was write-locked by the commit"
+            );
+        }
+    }
+    assert!(touched > 0, "the commit must write-lock the hot closure");
+    // the invalidation took out exactly the hot lineage
+    assert_eq!(shards_of_table(&shared, "hot").len(), 0);
+    assert!(!shards_of_table(&shared, "cold").is_empty());
+    shared.pool().check_invariants().unwrap();
+}
+
+/// 1 writer committing deltas to `hot` while 8 reader sessions replay a
+/// warm workload against `cold`: no deadlock, readers stay pure-hit (their
+/// shards see zero write-lock acquisitions from the commits), and
+/// post-commit probes of `hot` recompute rather than reuse anything
+/// pre-commit.
+#[test]
+fn update_vs_query_stress_readers_never_blocked_or_stale() {
+    let readers = 8usize;
+    let rounds = 30usize;
+    let commits = 4usize;
+
+    let cell = CatalogCell::new(catalog());
+    let shared = SharedRecycler::new(RecyclerConfig::default().shards(16));
+    let mut proto = Engine::with_shared_catalog(&cell, shared.session());
+    proto.add_pass(Box::new(RecycleMark));
+    let mut th = range_template("hot_q", "hot", "x");
+    let mut tc = range_template("cold_q", "cold", "x");
+    proto.optimize(&mut th);
+    proto.optimize(&mut tc);
+
+    let params: Vec<Vec<Value>> = (0..6i64)
+        .map(|i| vec![Value::Int(i * 90), Value::Int(i * 90 + 500)])
+        .collect();
+
+    // expected cold answers from a naive engine (cold never changes)
+    let mut naive = Engine::new((*cell.snapshot()).clone());
+    let mut nc = range_template("cold_q", "cold", "x");
+    naive.optimize(&mut nc);
+    let expected: Vec<_> = params
+        .iter()
+        .map(|p| naive.run(&nc, p).unwrap().exports)
+        .collect();
+
+    // warm every (template, params) pair the readers will replay, plus the
+    // hot chain the writer will invalidate
+    {
+        let mut warmer = proto.session();
+        for p in &params {
+            warmer.run(&tc, p).unwrap();
+            warmer.run(&th, p).unwrap();
+        }
+    }
+    let hot_shards = shards_of_table(&shared, "hot");
+    assert!(!hot_shards.is_empty());
+    let w0 = shared.pool().write_lock_acquisitions_by_shard();
+
+    let (proto, th, tc, params, expected) = (&proto, &th, &tc, &params, &expected);
+    thread::scope(|scope| {
+        for r in 0..readers {
+            let mut engine = proto.session();
+            scope.spawn(move || {
+                for i in 0..rounds {
+                    let p = &params[(r + i) % params.len()];
+                    let out = engine.run(tc, p).unwrap();
+                    assert_eq!(
+                        out.stats.reused, out.stats.marked,
+                        "warm cold streams must stay pure-hit across commits"
+                    );
+                    assert_eq!(
+                        &out.exports,
+                        &expected[(r + i) % params.len()],
+                        "reader {r} diverged on round {i}"
+                    );
+                }
+            });
+        }
+        let mut writer = proto.session();
+        scope.spawn(move || {
+            for c in 0..commits {
+                writer
+                    .update(
+                        "hot",
+                        vec![vec![Value::Int(c as i64), Value::Int(c as i64)]],
+                        vec![],
+                    )
+                    .unwrap();
+            }
+        });
+    });
+
+    // the commits write-locked nothing outside the hot closure: every
+    // reader shard saw zero write-lock acquisitions for the whole stress
+    let w1 = shared.pool().write_lock_acquisitions_by_shard();
+    for (i, (before, after)) in w0.iter().zip(&w1).enumerate() {
+        if !hot_shards.contains(&i) {
+            assert_eq!(
+                after, before,
+                "shard {i} (reader territory) was write-locked during the stress"
+            );
+        }
+    }
+    shared.pool().check_invariants().unwrap();
+
+    // no stale reuse: a post-commit probe of hot recomputes from the
+    // current snapshot and agrees with a naive engine on it
+    let mut post = proto.session();
+    let p = vec![Value::Int(0), Value::Int(700)];
+    let got = post.run(th, &p).unwrap();
+    assert_eq!(
+        got.stats.reused, 0,
+        "post-commit hot probes must not reuse pre-commit intermediates"
+    );
+    let mut naive_post = Engine::new((*cell.snapshot()).clone());
+    let mut nh = range_template("hot_q", "hot", "x");
+    naive_post.optimize(&mut nh);
+    assert_eq!(got.exports, naive_post.run(&nh, &p).unwrap().exports);
+}
+
+/// An old-epoch straggler admitting a bind *after* the commit's
+/// invalidation pass must never be able to serve a post-commit probe:
+/// bind signatures carry the table's commit version, so the stale entry
+/// is unreachable (and merely awaits eviction).
+#[test]
+fn stale_bind_from_old_epoch_never_serves_post_commit_probes() {
+    let cell = CatalogCell::new(catalog());
+    let shared = SharedRecycler::new(RecyclerConfig::default());
+    let mut w = Engine::with_shared_catalog(&cell, shared.session());
+    w.add_pass(Box::new(RecycleMark));
+    let mut th = range_template("hot_q", "hot", "x");
+    w.optimize(&mut th);
+
+    // a reader pinned the pre-commit epoch...
+    let old_cat = (*cell.snapshot()).clone();
+    // ...then the writer commits (pool holds nothing yet, so the
+    // invalidation pass has nothing to remove — the race window is the
+    // straggler's admission landing after it)
+    w.update("hot", vec![vec![Value::Int(5), Value::Int(5)]], vec![])
+        .unwrap();
+
+    // the straggler executes and admits the hot bind against its
+    // pre-commit snapshot
+    let mut straggler = shared.session();
+    let bind = th.instrs[0].clone();
+    assert_eq!(bind.op, rmal::Opcode::Bind);
+    let bind_args = vec![Value::str("hot"), Value::str("x")];
+    straggler.query_start(&th);
+    assert!(matches!(
+        straggler.before(&old_cat, 0, &bind, &bind_args),
+        HookAction::Proceed
+    ));
+    let stale = rmal::execute_op(&old_cat, &bind.op, &bind_args).unwrap();
+    straggler.after(
+        &old_cat,
+        0,
+        &bind,
+        &bind_args,
+        &stale,
+        Duration::from_micros(5),
+        false,
+    );
+    straggler.query_end(&th);
+    assert_eq!(shared.pool().len(), 1, "the stale bind is resident");
+
+    // a post-commit query must MISS the stale entry and recompute
+    let p = vec![Value::Int(0), Value::Int(800)];
+    let got = w.run(&th, &p).unwrap();
+    assert_eq!(
+        got.stats.reused, 0,
+        "a post-commit probe reused a pre-commit bind — stale reuse"
+    );
+    let mut naive = Engine::new((*cell.snapshot()).clone());
+    let mut nt = range_template("hot_q", "hot", "x");
+    naive.optimize(&mut nt);
+    assert_eq!(got.exports, naive.run(&nt, &p).unwrap().exports);
+    shared.pool().check_invariants().unwrap();
+}
