@@ -1,22 +1,20 @@
 //! Multi-session workload driver: N OS threads firing query streams at
-//! one shared recycler over one catalog.
+//! one shared [`Database`] — and, for the `server_mixed` scenario, N TCP
+//! clients firing the same streams at a `rcy-server` front-end.
 //!
 //! This is the serving shape the paper's architecture targets (§8: one
-//! recycler inside the server, shared by every SkyServer web session) and
-//! the ROADMAP's north star builds on: each session is an
-//! [`Engine::session`] fork — same `Arc`-shared column storage, same
-//! optimiser pipeline, a fresh session handle on one
-//! [`SharedRecycler`] — running its stream concurrently with the others
-//! and reusing their intermediates.
+//! recycler inside the server, shared by every SkyServer web session):
+//! each stream runs on its own [`Database::session`] — same `Arc`-shared
+//! column storage, same optimiser pipeline, one shared recycle pool —
+//! concurrently with the others, reusing their intermediates.
 
-use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use rbat::catalog::CatalogCell;
 use rbat::{Catalog, LogicalType, TableBuilder, Value};
-use recycler::{Recycler, RecyclerConfig, RecyclerStats, SharedRecycler};
-use rmal::{Engine, Program, ProgramBuilder, P};
+use recycler::{RecyclerConfig, RecyclerStats};
+use recycling::{Database, DatabaseBuilder, Update};
+use rmal::{Program, ProgramBuilder, P};
 
 use crate::driver::BenchItem;
 
@@ -83,35 +81,28 @@ pub fn partition_streams(items: &[BenchItem], n: usize) -> Vec<Vec<BenchItem>> {
     streams
 }
 
-/// Run one stream per thread against a single shared recycler. The
-/// templates are optimised once (with the recycler marking pass) and
-/// shared read-only by every session.
+/// Run one stream per thread against a fresh database built from
+/// `config`. The templates are prepared once (with the recycler marking
+/// pass) and shared read-only by every session.
 pub fn run_concurrent(
     catalog: Catalog,
     templates: &[Program],
     streams: &[Vec<BenchItem>],
     config: RecyclerConfig,
 ) -> ConcurrentOutcome {
-    let shared = SharedRecycler::new(config);
-    run_concurrent_shared(&shared, catalog, templates, streams)
+    let db = DatabaseBuilder::new(catalog).recycler(config).build();
+    run_concurrent_shared(&db, templates, streams)
 }
 
-/// [`run_concurrent`] against a caller-provided service — lets a harness
+/// [`run_concurrent`] against a caller-provided database — lets a harness
 /// run several batches (or mix drivers) over one pool.
 pub fn run_concurrent_shared(
-    shared: &Arc<SharedRecycler>,
-    catalog: Catalog,
+    db: &Database,
     templates: &[Program],
     streams: &[Vec<BenchItem>],
 ) -> ConcurrentOutcome {
-    let mut proto: Engine<Recycler> = Engine::with_hook(catalog, shared.session());
-    proto.add_pass(Box::new(recycler::RecycleMark));
-    let mut optimized: Vec<Program> = templates.to_vec();
-    for t in optimized.iter_mut() {
-        proto.optimize(t);
-    }
+    let optimized: Vec<Program> = templates.iter().map(|t| db.prepare(t.clone())).collect();
     let optimized = &optimized;
-    let proto = &proto;
 
     let started = Instant::now();
     let per_session: Vec<SessionOutcome> = thread::scope(|scope| {
@@ -119,7 +110,7 @@ pub fn run_concurrent_shared(
             .iter()
             .enumerate()
             .map(|(idx, stream)| {
-                let mut engine = proto.session();
+                let mut session = db.session();
                 scope.spawn(move || {
                     let s0 = Instant::now();
                     let mut out = SessionOutcome {
@@ -131,14 +122,14 @@ pub fn run_concurrent_shared(
                         elapsed: Duration::ZERO,
                     };
                     for item in stream {
-                        let res = engine
-                            .run(&optimized[item.query_idx], &item.params)
+                        let reply = session
+                            .query(&optimized[item.query_idx], &item.params)
                             .unwrap_or_else(|e| {
                                 panic!("session {idx}: query q{} failed: {e}", item.label)
                             });
-                        out.monitored += res.stats.marked as u64;
-                        out.hits += res.stats.reused as u64;
-                        out.subsumed += res.stats.subsumed as u64;
+                        out.monitored += reply.marked;
+                        out.hits += reply.reused;
+                        out.subsumed += reply.subsumed;
                     }
                     out.elapsed = s0.elapsed();
                     out
@@ -152,14 +143,14 @@ pub fn run_concurrent_shared(
     });
     let elapsed = started.elapsed();
     let (pool_entries, pool_bytes) = {
-        let pool = shared.pool();
+        let pool = db.pool();
         (pool.len(), pool.bytes())
     };
     ConcurrentOutcome {
         sessions: streams.len(),
         queries: streams.iter().map(|s| s.len()).sum(),
         elapsed,
-        stats: shared.stats(),
+        stats: db.stats(),
         per_session,
         pool_entries,
         pool_bytes,
@@ -309,11 +300,11 @@ pub struct UpdateMixedOutcome {
 /// Mixed update/query workload: one writer session commits insert deltas
 /// to a `hot` table in a loop (re-admitting its own hot chain between
 /// commits) while `readers` sessions replay a warm query alphabet against
-/// a `cold` table over one shared pool and one [`CatalogCell`]-shared
-/// catalog. With scoped invalidation the readers' shards see no
-/// write-lock traffic from the commits; `commit_locked_shards` (measured
-/// on a final quiescent commit) records how many shards one commit
-/// actually locks, against the pool's total.
+/// a `cold` table — one database, one shared pool, one shared catalog
+/// cell. With scoped invalidation the readers' shards see no write-lock
+/// traffic from the commits; `commit_locked_shards` (measured on a final
+/// quiescent commit) records how many shards one commit actually locks,
+/// against the pool's total.
 pub fn update_mixed(
     readers: usize,
     queries_per_reader: usize,
@@ -330,10 +321,7 @@ pub fn update_mixed(
         }
         cat.add_table(tb.finish());
     }
-    let cell = CatalogCell::new(cat);
-    let shared = SharedRecycler::new(config);
-    let mut proto: Engine<Recycler> = Engine::with_shared_catalog(&cell, shared.session());
-    proto.add_pass(Box::new(recycler::RecycleMark));
+    let db = DatabaseBuilder::new(cat).recycler(config).build();
 
     let template = |name: &str, table: &str| {
         let mut b = ProgramBuilder::new(name, 2);
@@ -343,54 +331,51 @@ pub fn update_mixed(
         b.export("n", n);
         b.finish()
     };
-    let mut cold_t = template("mixed_cold", "cold");
-    let mut hot_t = template("mixed_hot", "hot");
-    proto.optimize(&mut cold_t);
-    proto.optimize(&mut hot_t);
+    let cold_t = db.prepare(template("mixed_cold", "cold"));
+    let hot_t = db.prepare(template("mixed_hot", "hot"));
     let alphabet: Vec<Vec<Value>> = (0..8i64)
         .map(|i| vec![Value::Int(i * 100), Value::Int(i * 100 + 500)])
         .collect();
     {
-        let mut warmer = proto.session();
+        let mut warmer = db.session();
         for p in &alphabet {
-            warmer.run(&cold_t, p).unwrap();
-            warmer.run(&hot_t, p).unwrap();
+            warmer.query(&cold_t, p).unwrap();
+            warmer.query(&hot_t, p).unwrap();
         }
     }
 
-    let stats0 = shared.stats();
+    let stats0 = db.stats();
     let started = Instant::now();
-    let (proto_ref, cold_ref, hot_ref, alphabet_ref) = (&proto, &cold_t, &hot_t, &alphabet);
+    let (db_ref, cold_ref, hot_ref, alphabet_ref) = (&db, &cold_t, &hot_t, &alphabet);
     let (monitored, hits) = thread::scope(|scope| {
         let reader_handles: Vec<_> = (0..readers)
             .map(|r| {
-                let mut engine = proto_ref.session();
+                let mut session = db_ref.session();
                 scope.spawn(move || {
                     let (mut monitored, mut hits) = (0u64, 0u64);
                     for i in 0..queries_per_reader {
                         let p = &alphabet_ref[(r + i) % alphabet_ref.len()];
-                        let out = engine.run(cold_ref, p).unwrap();
-                        monitored += out.stats.marked as u64;
-                        hits += out.stats.reused as u64;
+                        let reply = session.query(cold_ref, p).unwrap();
+                        monitored += reply.marked;
+                        hits += reply.reused;
                     }
                     (monitored, hits)
                 })
             })
             .collect();
-        let mut writer = proto_ref.session();
+        let mut writer = db_ref.session();
         let writer_handle = scope.spawn(move || {
             for c in 0..commits {
                 writer
-                    .update(
-                        "hot",
-                        vec![vec![Value::Int(c as i64 % 1200), Value::Int(c as i64)]],
-                        vec![],
-                    )
+                    .commit(Update::to("hot").insert(vec![vec![
+                        Value::Int(c as i64 % 1200),
+                        Value::Int(c as i64),
+                    ]]))
                     .unwrap();
                 // re-admit the hot chain so the next commit has a closure
                 // to invalidate or propagate into
                 writer
-                    .run(hot_ref, &alphabet_ref[c % alphabet_ref.len()])
+                    .query(hot_ref, &alphabet_ref[c % alphabet_ref.len()])
                     .unwrap();
             }
         });
@@ -407,16 +392,16 @@ pub fn update_mixed(
 
     // one quiescent instrumented commit: how many shards does it lock?
     let commit_locked_shards = {
-        let w0 = shared.pool().write_lock_acquisitions_by_shard();
-        let mut writer = proto.session();
+        let w0 = db.pool().write_lock_acquisitions_by_shard();
+        let mut writer = db.session();
         writer
-            .update("hot", vec![vec![Value::Int(7), Value::Int(7)]], vec![])
+            .commit(Update::to("hot").insert(vec![vec![Value::Int(7), Value::Int(7)]]))
             .unwrap();
-        let w1 = shared.pool().write_lock_acquisitions_by_shard();
+        let w1 = db.pool().write_lock_acquisitions_by_shard();
         w0.iter().zip(&w1).filter(|(b, a)| a > b).count()
     };
 
-    let stats = shared.stats();
+    let stats = db.stats();
     let queries = readers * queries_per_reader;
     UpdateMixedOutcome {
         readers,
@@ -432,7 +417,129 @@ pub fn update_mixed(
         invalidated: stats.invalidated - stats0.invalidated,
         propagated: stats.propagated - stats0.propagated,
         commit_locked_shards,
-        shards: shared.pool().shard_count(),
+        shards: db.pool().shard_count(),
+    }
+}
+
+/// Outcome of the [`server_mixed`] scenario: N TCP clients replaying the
+/// SkyServer mix against a `rcy-server` front-end over one database.
+#[derive(Debug)]
+pub struct ServerMixedOutcome {
+    /// Concurrent TCP clients.
+    pub clients: usize,
+    /// Total queries executed over the wire.
+    pub queries: usize,
+    /// Wall time from first connect to last close.
+    pub elapsed: Duration,
+    /// Queries per wall second, aggregate over all clients.
+    pub queries_per_sec: f64,
+    /// Fraction of the clients' marked instructions answered from the
+    /// pool (reported per query over the wire).
+    pub hit_ratio: f64,
+    /// Cross-session exact-match reuses (server stats).
+    pub cross_session_hits: u64,
+    /// Sessions the server opened (one per served connection).
+    pub server_sessions: u64,
+    /// Connections rejected by admission control.
+    pub rejected_connections: u64,
+}
+
+/// The `server_mixed` scenario: build a SkyServer database, register the
+/// log's templates by name, start a TCP front-end, and replay the log mix
+/// from `clients` concurrent TCP clients (round-robin partition). The
+/// whole query path — framing, session mapping, recycling, reply — runs
+/// over the wire.
+pub fn server_mixed(
+    clients: usize,
+    queries: usize,
+    objects: usize,
+    seed: u64,
+) -> ServerMixedOutcome {
+    let cat = skyserver::generate(skyserver::SkyScale::new(objects));
+    let (templates, log) = skyserver::sample_log(queries, seed);
+    let items: Vec<BenchItem> = log
+        .into_iter()
+        .map(|l| BenchItem {
+            query_idx: l.query_idx,
+            label: l.query_idx as u8,
+            params: l.params,
+        })
+        .collect();
+
+    let mut builder = DatabaseBuilder::new(cat);
+    for (i, t) in templates.iter().enumerate() {
+        builder = builder.template(&format!("q{i}"), t.clone());
+    }
+    let db = builder.build();
+    let server = rcy_server::Server::start(
+        db,
+        "127.0.0.1:0",
+        rcy_server::ServerConfig {
+            max_sessions: clients.max(1),
+            backlog: clients.max(1),
+        },
+    )
+    .expect("bind server");
+    let addr = server.local_addr();
+
+    let streams = partition_streams(&items, clients.max(1));
+    let started = Instant::now();
+    let (monitored, hits): (u64, u64) = thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                scope.spawn(move || {
+                    let mut client = rcy_server::Client::connect(addr).expect("connect");
+                    let (mut monitored, mut hits) = (0u64, 0u64);
+                    for item in stream {
+                        let reply = client
+                            .query(&format!("q{}", item.query_idx), &item.params)
+                            .expect("wire query");
+                        monitored += reply.marked;
+                        hits += reply.reused;
+                    }
+                    client.close().expect("close");
+                    (monitored, hits)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .fold((0, 0), |acc, (m, h)| (acc.0 + m, acc.1 + h))
+    });
+    let elapsed = started.elapsed();
+    let rejected = server.rejected_connections();
+    // read the server-side stats over the wire before shutting down
+    let stats = {
+        let mut c = rcy_server::Client::connect(addr).expect("connect for stats");
+        let pairs = c.stats().expect("stats");
+        c.close().ok();
+        pairs
+    };
+    server.shutdown();
+    let stat = |name: &str| {
+        stats
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+
+    let total = streams.iter().map(|s| s.len()).sum::<usize>();
+    ServerMixedOutcome {
+        clients: streams.len(),
+        queries: total,
+        elapsed,
+        queries_per_sec: total as f64 / elapsed.as_secs_f64().max(1e-9),
+        hit_ratio: if monitored == 0 {
+            0.0
+        } else {
+            hits as f64 / monitored as f64
+        },
+        cross_session_hits: stat("cross_session_hits"),
+        server_sessions: stat("sessions"),
+        rejected_connections: rejected,
     }
 }
 
@@ -534,6 +641,22 @@ mod tests {
             "insert-only commits must refresh the hot chain: {out:?}"
         );
         assert!(out.commit_locked_shards < out.shards, "{out:?}");
+    }
+
+    #[test]
+    fn server_mixed_serves_the_log_over_tcp() {
+        let out = server_mixed(4, 32, 2500, 7);
+        assert_eq!(out.clients, 4);
+        assert_eq!(out.queries, 32);
+        assert!(
+            out.hit_ratio > 0.2,
+            "template-heavy log must recycle over the wire: {out:?}"
+        );
+        assert!(
+            out.server_sessions >= 4,
+            "one session per served connection: {out:?}"
+        );
+        assert_eq!(out.rejected_connections, 0, "{out:?}");
     }
 
     #[test]

@@ -1,11 +1,13 @@
-//! Batch driver: run query sequences against naive or recycled engines and
-//! collect per-query observations.
+//! Batch driver: run query sequences through the `recycling` facade
+//! (naive or recycler-backed databases) and collect per-query
+//! observations.
 
 use std::time::{Duration, Instant};
 
 use rbat::{Catalog, Value};
-use recycler::{Recycler, RecyclerConfig};
-use rmal::{Engine, ExecHook, Program};
+use recycler::RecyclerConfig;
+use recycling::{Database, DatabaseBuilder, Session};
+use rmal::Program;
 
 /// One query invocation to drive: template index + parameters.
 #[derive(Debug, Clone)]
@@ -89,90 +91,91 @@ impl BatchOutcome {
     }
 }
 
-/// Run a batch on a naive engine (no recycling).
-pub fn run_naive(catalog: Catalog, templates: &[Program], items: &[BenchItem]) -> BatchOutcome {
-    let mut engine = Engine::new(catalog);
-    let mut optimized: Vec<Program> = templates.to_vec();
-    for t in optimized.iter_mut() {
-        engine.optimize(t);
-    }
-    run_items(&mut engine, &optimized, items, |_e| (0, 0, 0, 0))
+/// Build a naive (recycling-off) database over `catalog` with the
+/// templates prepared — the baseline side of every comparison.
+pub fn naive_database(catalog: Catalog, templates: &[Program]) -> (Database, Vec<Program>) {
+    let db = DatabaseBuilder::new(catalog).naive().build();
+    let prepared = templates.iter().map(|t| db.prepare(t.clone())).collect();
+    (db, prepared)
 }
 
-/// Run a batch on a recycler engine; `warmup` executes one instance per
+/// Build a recycler-backed database over `catalog` with the templates
+/// prepared (marking pass included).
+pub fn recycled_database(
+    catalog: Catalog,
+    templates: &[Program],
+    config: RecyclerConfig,
+) -> (Database, Vec<Program>) {
+    let db = DatabaseBuilder::new(catalog).recycler(config).build();
+    let prepared = templates.iter().map(|t| db.prepare(t.clone())).collect();
+    (db, prepared)
+}
+
+/// Run a batch on a naive database (no recycling).
+pub fn run_naive(catalog: Catalog, templates: &[Program], items: &[BenchItem]) -> BatchOutcome {
+    let (db, templates) = naive_database(catalog, templates);
+    let mut session = db.session();
+    run_items(&db, &mut session, &templates, items)
+}
+
+/// Run a batch on a recycler database; `warmup` executes one instance per
 /// template first and then empties the pool (the paper's preparation step
-/// that factors out IO and fills the query cache).
+/// that factors out IO and fills the query cache). Returns the database
+/// for post-hoc inspection (`stats`, `pool`, `snapshot`).
 pub fn run_recycled(
     catalog: Catalog,
     templates: &[Program],
     items: &[BenchItem],
     config: RecyclerConfig,
     warmup: bool,
-) -> (BatchOutcome, Engine<Recycler>) {
-    let mut engine = Engine::with_hook(catalog, Recycler::new(config));
-    engine.add_pass(Box::new(recycler::RecycleMark));
-    let mut optimized: Vec<Program> = templates.to_vec();
-    for t in optimized.iter_mut() {
-        engine.optimize(t);
-    }
+) -> (BatchOutcome, Database) {
+    let (db, templates) = recycled_database(catalog, templates, config);
+    let mut session = db.session();
     let mut warmup_count = 0usize;
     if warmup {
-        for (idx, t) in optimized.iter().enumerate() {
+        for (idx, t) in templates.iter().enumerate() {
             if let Some(item) = items.iter().find(|i| i.query_idx == idx) {
-                let _ = engine.run(t, &item.params);
+                let _ = session.query(t, &item.params);
                 warmup_count += 1;
             }
         }
-        engine.hook.clear_pool();
+        db.maintenance().clear_pool();
     }
-    let mut outcome = run_items(&mut engine, &optimized, items, |e: &Engine<Recycler>| {
-        let snap = e.hook.snapshot();
-        (
-            snap.bytes,
-            snap.entries,
-            snap.reused_bytes,
-            snap.reused_entries,
-        )
-    });
-    enrich_from_log(&mut outcome, &engine, warmup_count);
-    (outcome, engine)
+    let mut outcome = run_items(&db, &mut session, &templates, items);
+    enrich_from_log(&mut outcome, &session, warmup_count);
+    (outcome, db)
 }
 
-fn run_items<H: ExecHook, F>(
-    engine: &mut Engine<H>,
+fn run_items(
+    db: &Database,
+    session: &mut Session,
     templates: &[Program],
     items: &[BenchItem],
-    pool_probe: F,
-) -> BatchOutcome
-where
-    F: Fn(&Engine<H>) -> (usize, usize, usize, usize),
-{
+) -> BatchOutcome {
     let mut runs = Vec::with_capacity(items.len());
     let started = Instant::now();
     for item in items {
         let t = &templates[item.query_idx];
-        let out = engine
-            .run(t, &item.params)
+        let reply = session
+            .query(t, &item.params)
             .unwrap_or_else(|e| panic!("query {} failed: {e}", t.name));
-        let (pool_bytes, pool_entries, reused_bytes, reused_entries) = pool_probe(engine);
-        let s = &out.stats;
-        // saved / local / global are refined from the recycler query log by
+        let snap = db.snapshot();
+        // saved / local / global are refined from the session query log by
         // `enrich_from_log`; naive runs keep zeros.
-        let saved = Duration::ZERO;
         runs.push(QueryRun {
             label: item.label,
-            elapsed: s.elapsed,
-            monitored: s.marked as u64,
-            hits: s.reused as u64,
+            elapsed: reply.elapsed,
+            monitored: reply.marked,
+            hits: reply.reused,
             local_hits: 0,
             global_hits: 0,
-            subsumed: s.subsumed as u64,
-            saved,
-            pool_bytes,
-            pool_entries,
-            reused_bytes,
-            reused_entries,
-            exports: out.exports,
+            subsumed: reply.subsumed,
+            saved: Duration::ZERO,
+            pool_bytes: snap.bytes,
+            pool_entries: snap.entries,
+            reused_bytes: snap.reused_bytes,
+            reused_entries: snap.reused_entries,
+            exports: reply.exports,
         });
     }
     BatchOutcome {
@@ -198,10 +201,10 @@ pub fn run_batch(
     }
 }
 
-/// Fill the local/global hit split and saved time from the recycler's
+/// Fill the local/global hit split and saved time from the session's
 /// query log (aligned by execution order; warmup runs are skipped).
-pub fn enrich_from_log(outcome: &mut BatchOutcome, engine: &Engine<Recycler>, warmup_count: usize) {
-    let log = engine.hook.query_log();
+pub fn enrich_from_log(outcome: &mut BatchOutcome, session: &Session, warmup_count: usize) {
+    let log = session.query_log();
     let offset = warmup_count;
     for (i, run) in outcome.runs.iter_mut().enumerate() {
         if let Some(rec) = log.get(offset + i) {
@@ -242,11 +245,11 @@ mod tests {
     fn naive_and_recycled_agree() {
         let (cat, templates, items) = tiny_batch();
         let naive = run_naive(cat.clone(), &templates, &items);
-        let (rec, engine) = run_recycled(cat, &templates, &items, RecyclerConfig::default(), false);
+        let (rec, db) = run_recycled(cat, &templates, &items, RecyclerConfig::default(), false);
         assert_eq!(naive.runs[0].exports, rec.runs[0].exports);
         assert_eq!(naive.runs[1].exports, rec.runs[1].exports);
         assert!(rec.runs[1].hits > 0, "second identical instance must hit");
-        assert!(engine.hook.stats().hits > 0);
+        assert!(db.stats().hits > 0);
     }
 
     #[test]

@@ -11,8 +11,9 @@ use std::time::Duration;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rbat::Catalog;
-use recycler::{AdmissionPolicy, EvictionPolicy, Recycler, RecyclerConfig};
-use rmal::{Engine, Program};
+use recycler::{AdmissionPolicy, EvictionPolicy, RecyclerConfig};
+use recycling::{DatabaseBuilder, Update};
+use rmal::Program;
 
 use crate::driver::{run_naive, run_recycled, BenchItem};
 use crate::tables::{fmt_bytes, fmt_dur, fmt_ratio, TextTable};
@@ -69,16 +70,10 @@ fn tpch_templates(qs: &[tpch::TpchQuery]) -> Vec<Program> {
 }
 
 fn count_marked_binds(engine_cat: &Catalog, template: &Program) -> (usize, usize) {
-    // optimise a copy with the full pipeline incl. marking to count marked
+    // prepare a copy with the full pipeline incl. marking to count marked
     // instructions and marked binds
-    let mut t = template.clone();
-    let engine: Engine<Recycler> = {
-        let mut e = Engine::with_hook(engine_cat.clone(), Recycler::new(RecyclerConfig::default()));
-        e.add_pass(Box::new(recycler::RecycleMark));
-        e.optimize(&mut t);
-        e
-    };
-    drop(engine);
+    let db = DatabaseBuilder::new(engine_cat.clone()).build();
+    let t = db.prepare(template.clone());
     let marked = t.marked_count();
     let binds = t
         .instrs
@@ -249,7 +244,7 @@ pub fn fig7(env: &ExpEnv) -> String {
         for k in [2u32, 4, 6, 8, 10] {
             let cfg = RecyclerConfig::default().admission(AdmissionPolicy::Credit(k));
             let (run, engine) = run_recycled(cat.clone(), &templates, &bitems, cfg, false);
-            let snap = engine.hook.snapshot();
+            let snap = engine.snapshot();
             out.row(vec![
                 format!("Q{qno}"),
                 k.to_string(),
@@ -284,7 +279,7 @@ pub fn fig8_9(env: &ExpEnv) -> String {
         RecyclerConfig::default(),
         false,
     );
-    let ksnap = ke.hook.snapshot();
+    let ksnap = ke.snapshot();
     let base_hits = keepall.hits().max(1);
     let mut out = TextTable::new(&[
         "policy",
@@ -311,7 +306,7 @@ pub fn fig8_9(env: &ExpEnv) -> String {
         ] {
             let cfg = RecyclerConfig::default().admission(adm);
             let (run, engine) = run_recycled(cat.clone(), &templates, &items, cfg, false);
-            let snap = engine.hook.snapshot();
+            let snap = engine.snapshot();
             out.row(vec![
                 name.into(),
                 k.to_string(),
@@ -343,8 +338,8 @@ pub fn fig10_11(env: &ExpEnv) -> String {
         RecyclerConfig::default(),
         false,
     );
-    let total_entries = ke.hook.pool().len().max(1);
-    let total_bytes = ke.hook.pool().bytes().max(1);
+    let total_entries = ke.pool().len().max(1);
+    let total_bytes = ke.pool().bytes().max(1);
     let _ = keepall;
     let mut out = TextTable::new(&["limit", "policy", "admission", "hit-ratio", "time/naive"]);
     let policies: [(&str, EvictionPolicy, AdmissionPolicy); 4] = [
@@ -422,7 +417,7 @@ pub fn fig12_13(env: &ExpEnv, k: usize) -> String {
         RecyclerConfig::default(),
         false,
     );
-    let total_bytes = ke.hook.pool().bytes().max(1);
+    let total_bytes = ke.pool().bytes().max(1);
     let configs: [(&str, RecyclerConfig); 3] = [
         ("KeepAll", RecyclerConfig::default()),
         (
@@ -440,42 +435,41 @@ pub fn fig12_13(env: &ExpEnv, k: usize) -> String {
     ];
     let mut sections = String::new();
     for (name, cfg) in configs {
-        let mut engine = Engine::with_hook(cat.clone(), Recycler::new(cfg));
-        engine.add_pass(Box::new(recycler::RecycleMark));
-        let mut opt: Vec<Program> = templates.clone();
-        for t in opt.iter_mut() {
-            engine.optimize(t);
-        }
+        let db = DatabaseBuilder::new(cat.clone()).recycler(cfg).build();
+        let opt: Vec<Program> = templates.iter().map(|t| db.prepare(t.clone())).collect();
+        let mut session = db.session();
         let mut rng = SmallRng::seed_from_u64(env.seed ^ 0xfeed);
         let mut series = TextTable::new(&["query#", "RP-mem", "RP-entries", "invalidated"]);
         let sample_every = (items.len() / 12).max(1);
         for (i, item) in items.iter().enumerate() {
             // one update block in the middle of every k-query block
             if k > 0 && i % k == k / 2 {
-                let ins = tpch::insert_block(&engine.catalog, &mut rng, 8);
-                engine
-                    .update("orders", ins.order_rows, vec![])
+                let snapshot = db.catalog();
+                let ins = tpch::insert_block(&snapshot, &mut rng, 8);
+                session
+                    .commit(Update::to("orders").insert(ins.order_rows))
                     .expect("insert orders");
-                engine
-                    .update("lineitem", ins.lineitem_rows, vec![])
+                session
+                    .commit(Update::to("lineitem").insert(ins.lineitem_rows))
                     .expect("insert lineitems");
-                let del = tpch::delete_block(&engine.catalog, &mut rng, 4);
-                engine
-                    .update("lineitem", vec![], del.delete_lineitems)
+                let snapshot = db.catalog();
+                let del = tpch::delete_block(&snapshot, &mut rng, 4);
+                session
+                    .commit(Update::to("lineitem").delete(del.delete_lineitems))
                     .expect("delete lineitems");
-                engine
-                    .update("orders", vec![], del.delete_orders)
+                session
+                    .commit(Update::to("orders").delete(del.delete_orders))
                     .expect("delete orders");
             }
-            engine
-                .run(&opt[item.query_idx], &item.params)
+            session
+                .query(&opt[item.query_idx], &item.params)
                 .expect("query runs");
             if i % sample_every == 0 || i + 1 == items.len() {
                 series.row(vec![
                     (i + 1).to_string(),
-                    fmt_bytes(engine.hook.pool().bytes()),
-                    engine.hook.pool().len().to_string(),
-                    engine.hook.stats().invalidated.to_string(),
+                    fmt_bytes(db.pool().bytes()),
+                    db.pool().len().to_string(),
+                    db.stats().invalidated.to_string(),
                 ]);
             }
         }
@@ -502,7 +496,7 @@ pub fn table3(env: &ExpEnv) -> String {
         })
         .collect();
     let (run, engine) = run_recycled(cat, &templates, &items, RecyclerConfig::default(), false);
-    let snap = engine.hook.snapshot();
+    let snap = engine.snapshot();
     let mut out = TextTable::new(&[
         "family",
         "lines",
@@ -556,7 +550,7 @@ pub fn fig14(env: &ExpEnv) -> String {
         RecyclerConfig::default(),
         false,
     );
-    let limit = (ke.hook.pool().bytes() * 65 / 100).max(1024);
+    let limit = (ke.pool().bytes() * 65 / 100).max(1024);
     let mut out = TextTable::new(&["split", "Naive", "CRD/LRU/65%", "KeepAll/Unlim"]);
     for &split in &[4usize, 2, 1] {
         let chunk = items.len() / split;
@@ -610,10 +604,9 @@ pub fn fig15(env: &ExpEnv) -> String {
         let templates = vec![template];
         let naive = run_naive(cat.clone(), &templates, &items);
         // custom loop to read the subsumption search time after each query
-        let mut engine = Engine::with_hook(cat, Recycler::new(RecyclerConfig::default()));
-        engine.add_pass(Box::new(recycler::RecycleMark));
-        let mut t = templates[0].clone();
-        engine.optimize(&mut t);
+        let db = DatabaseBuilder::new(cat).build();
+        let t = db.prepare(templates[0].clone());
+        let mut session = db.session();
         let mut out = TextTable::new(&[
             "query#",
             "kind",
@@ -625,8 +618,10 @@ pub fn fig15(env: &ExpEnv) -> String {
         let mut prev_search = Duration::ZERO;
         let mut seed_ratios: Vec<f64> = Vec::new();
         for (i, item) in items.iter().enumerate() {
-            let res = engine.run(&t, &item.params).expect("microbench query");
-            let search = engine.hook.stats().subsume_search;
+            let res = session
+                .query_output(&t, &item.params)
+                .expect("microbench query");
+            let search = db.stats().subsume_search;
             let alg = search.saturating_sub(prev_search);
             prev_search = search;
             let is_seed = mitems[i].is_seed;

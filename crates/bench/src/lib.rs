@@ -18,7 +18,9 @@ pub mod report;
 pub mod tables;
 
 pub use concurrent::{
-    partition_streams, pool_scaling, run_concurrent, ConcurrentOutcome, ScalePoint, SessionOutcome,
+    partition_streams, pool_scaling, run_concurrent, run_concurrent_shared, server_mixed,
+    update_mixed, ConcurrentOutcome, ScalePoint, ServerMixedOutcome, SessionOutcome,
+    UpdateMixedOutcome,
 };
 pub use driver::{run_batch, BatchOutcome, BenchItem, QueryRun};
 pub use tables::TextTable;

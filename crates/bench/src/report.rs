@@ -15,7 +15,7 @@ use recycler::RecyclerConfig;
 use rmal::Program;
 
 use crate::concurrent::{
-    partition_streams, pool_scaling, run_concurrent, update_mixed, ScalePoint,
+    partition_streams, pool_scaling, run_concurrent, server_mixed, update_mixed, ScalePoint,
 };
 use crate::driver::{run_naive, run_recycled, BenchItem};
 use crate::experiments::ExpEnv;
@@ -119,10 +119,10 @@ fn compare(
     config: RecyclerConfig,
 ) -> Json {
     let naive = run_naive(catalog.clone(), templates, items);
-    let (rec, engine) = run_recycled(catalog, templates, items, config, false);
-    let stats = engine.hook.stats();
+    let (rec, db) = run_recycled(catalog, templates, items, config, false);
+    let stats = db.stats();
     let (pool_entries, pool_bytes) = {
-        let pool = engine.hook.pool();
+        let pool = db.pool();
         (pool.len() as u64, pool.bytes() as u64)
     };
     let speedup = if rec.total.as_secs_f64() > 0.0 {
@@ -310,6 +310,31 @@ fn update_mixed_experiment() -> Json {
     ])
 }
 
+/// The `server_mixed` scenario: N TCP clients replay the SkyServer mix
+/// against the `rcy-server` front-end — the full wire path (framing,
+/// per-connection sessions, recycling, replies) becomes part of the perf
+/// trajectory.
+fn server_mixed_experiment(env: &ExpEnv) -> Json {
+    let out = server_mixed(4, 64, env.sky_objects.min(8_000), env.seed);
+    Json::obj(vec![
+        ("name", Json::Str("server_mixed".to_string())),
+        ("clients", Json::Int(out.clients as u64)),
+        ("queries", Json::Int(out.queries as u64)),
+        ("elapsed_ms", ms(out.elapsed)),
+        (
+            "queries_per_sec",
+            Json::Num((out.queries_per_sec * 10.0).round() / 10.0),
+        ),
+        (
+            "hit_ratio",
+            Json::Num((out.hit_ratio * 1000.0).round() / 1000.0),
+        ),
+        ("cross_session_hits", Json::Int(out.cross_session_hits)),
+        ("server_sessions", Json::Int(out.server_sessions)),
+        ("rejected_connections", Json::Int(out.rejected_connections)),
+    ])
+}
+
 /// Build the whole report document.
 pub fn bench_report(env: &ExpEnv) -> Json {
     let mut experiments: Vec<Json> = Vec::new();
@@ -398,6 +423,9 @@ pub fn bench_report(env: &ExpEnv) -> Json {
     // Readers vs one committing writer (scoped update invalidation).
     experiments.push(update_mixed_experiment());
 
+    // N TCP clients over the SkyServer mix through the serving front-end.
+    experiments.push(server_mixed_experiment(env));
+
     Json::obj(vec![
         ("schema", Json::Str("recycler-bench/v1".to_string())),
         (
@@ -446,6 +474,8 @@ mod tests {
             "single_lock_8x",
             "update_mixed",
             "commit_locked_shards",
+            "server_mixed",
+            "rejected_connections",
         ] {
             assert!(text.contains(name), "missing {name} in {text}");
         }

@@ -71,6 +71,16 @@ pub struct RecyclerConfig {
     /// the next power of two ≥ 2× the core count (minimum 8); `Some(1)`
     /// reproduces the pre-shard single-lock pool for baselines.
     pub pool_shards: Option<usize>,
+    /// Per-session admission budget: a *global* allowance of resident
+    /// pool entries shared fairly between the active sessions. Each
+    /// session may keep up to `budget / active_sessions` entries of its
+    /// own resident (rebalanced as sessions open and close), plus an
+    /// overflow lane: while the pool as a whole holds fewer than `budget`
+    /// entries, idle slices are up for grabs. A session below its fair
+    /// slice can therefore *always* admit — one flooding session can
+    /// saturate its slice and the overflow, but never starve another
+    /// session's admissions (`None` = no per-session budget).
+    pub session_credits: Option<u64>,
 }
 
 impl Default for RecyclerConfig {
@@ -88,6 +98,7 @@ impl Default for RecyclerConfig {
             combined_max_candidates: 16,
             update_mode: UpdateMode::Invalidate,
             pool_shards: None,
+            session_credits: None,
         }
     }
 }
@@ -144,6 +155,14 @@ impl RecyclerConfig {
         self.pool_shards = Some(n.max(1));
         self
     }
+
+    /// Builder-style: set the global per-session admission budget (fair
+    /// slices of `n` resident entries over the active sessions, with an
+    /// overflow lane for idle capacity).
+    pub fn session_credits(mut self, n: u64) -> Self {
+        self.session_credits = Some(n.max(1));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -182,5 +201,17 @@ mod tests {
         assert_eq!(RecyclerConfig::default().pool_shards, None);
         assert_eq!(RecyclerConfig::default().shards(16).pool_shards, Some(16));
         assert_eq!(RecyclerConfig::default().shards(0).pool_shards, Some(1));
+    }
+
+    #[test]
+    fn session_credits_configurable() {
+        assert_eq!(RecyclerConfig::default().session_credits, None);
+        let c = RecyclerConfig::default().session_credits(32);
+        assert_eq!(c.session_credits, Some(32));
+        assert_eq!(
+            RecyclerConfig::default().session_credits(0).session_credits,
+            Some(1),
+            "a zero budget would deadlock every admission"
+        );
     }
 }

@@ -100,5 +100,5 @@ pub use entry::{EntryId, PoolEntry};
 pub use mark::RecycleMark;
 pub use pool::{Admitted, PoolScopedView, PoolWriteView, RecyclePool};
 pub use runtime::Recycler;
-pub use shared::{PoolRef, SharedRecycler};
+pub use shared::{MaintenanceGuard, PoolRef, SharedRecycler};
 pub use stats::{FamilyRow, PoolSnapshot, QueryRecord, RecyclerStats};

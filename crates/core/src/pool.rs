@@ -210,6 +210,12 @@ pub struct RecyclePool {
     /// opcode+operand scatter over the signature shards): a miss-path
     /// candidate probe takes ONE sub-map read lock, not N shard locks.
     by_op_arg0: ShardedIndex<(Opcode, ArgSig), Vec<EntryId>>,
+    /// Resident entries per admitting session — the book the per-session
+    /// admission budget reads. Maintained at the single insert/remove
+    /// funnels ([`Self::insert`] / `remove_locked`), so every removal path
+    /// (eviction, invalidation, propagation rekey clashes, `clear`)
+    /// releases the admitting session's budget automatically.
+    by_session: ShardedIndex<u64, u64>,
     next_id: AtomicU64,
     /// Shard write-lock acquisitions since construction — the probe for
     /// the "exact-match hits take no write lock" invariant.
@@ -266,6 +272,7 @@ impl RecyclePool {
             children: ShardedIndex::new(n),
             supersets: ShardedIndex::new(n),
             by_op_arg0: ShardedIndex::new(n),
+            by_session: ShardedIndex::new(n),
             next_id: AtomicU64::new(0),
             write_acquisitions: AtomicU64::new(0),
             shard_write_acquisitions: (0..n).map(|_| AtomicU64::new(0)).collect(),
@@ -372,8 +379,15 @@ impl RecyclePool {
         self.children.clear();
         self.supersets.clear();
         self.by_op_arg0.clear();
+        self.by_session.clear();
         self.total_bytes.store(0, Ordering::Relaxed);
         self.total_entries.store(0, Ordering::Relaxed);
+    }
+
+    /// Resident entries admitted by `session` (and not yet removed) — the
+    /// per-session footprint the admission budget slices.
+    pub fn resident_of_session(&self, session: u64) -> u64 {
+        self.by_session.with(&session, |n| n.copied().unwrap_or(0))
     }
 
     /// Exact-match lookup (shard read lock only).
@@ -531,7 +545,11 @@ impl RecyclePool {
                 m.entry(*p).or_default().insert(id);
             });
         }
+        let session = entry.admitted_session;
         sh.entries.insert(id, entry);
+        self.by_session.alter(&session, |m| {
+            *m.entry(session).or_insert(0) += 1;
+        });
         self.shard_bytes[si].fetch_add(bytes, Ordering::Relaxed);
         self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.total_entries.fetch_add(1, Ordering::Relaxed);
@@ -618,6 +636,15 @@ impl RecyclePool {
             });
         }
         self.children.remove(&id);
+        let session = entry.admitted_session;
+        self.by_session.alter(&session, |m| {
+            if let Some(n) = m.get_mut(&session) {
+                *n = n.saturating_sub(1);
+                if *n == 0 {
+                    m.remove(&session);
+                }
+            }
+        });
         self.shard_bytes[si].fetch_sub(entry.bytes, Ordering::Relaxed);
         self.total_bytes.fetch_sub(entry.bytes, Ordering::Relaxed);
         self.total_entries.fetch_sub(1, Ordering::Relaxed);
@@ -921,6 +948,33 @@ impl RecyclePool {
             return Err(format!(
                 "candidate index lists {listed} ids, expected {}",
                 expect_keys.len()
+            ));
+        }
+        // per-session resident books: by_session must equal a fresh count
+        // over the resident entries (budget fairness reads off it)
+        let mut session_counts: FxHashMap<u64, u64> = FxHashMap::default();
+        for g in &guards {
+            for e in g.entries.values() {
+                *session_counts.entry(e.admitted_session).or_insert(0) += 1;
+            }
+        }
+        let mut listed_sessions = 0usize;
+        self.by_session.for_each(|s, n| {
+            listed_sessions += 1;
+            if err.is_none() && session_counts.get(s).copied().unwrap_or(0) != *n {
+                err = Some(format!(
+                    "session {s} resident book {n} != actual {}",
+                    session_counts.get(s).copied().unwrap_or(0)
+                ));
+            }
+        });
+        if let Some(e) = err.take() {
+            return Err(e);
+        }
+        if listed_sessions != session_counts.len() {
+            return Err(format!(
+                "session books list {listed_sessions} sessions, expected {}",
+                session_counts.len()
             ));
         }
         let mut owner_count = 0usize;

@@ -56,11 +56,16 @@ struct HitOutcome {
     return_credit: bool,
 }
 
+/// Most recent per-query records a session retains (the log is trimmed
+/// to stay within `[QUERY_LOG_CAP, 2*QUERY_LOG_CAP)` — a server session
+/// lives as long as its connection and must not grow without bound).
+pub const QUERY_LOG_CAP: usize = 4096;
+
 /// A recycler session: implements `recycleEntry`/`recycleExit` around every
 /// marked instruction against the shared pool, and keeps this session's
-/// query records. Create with [`Recycler::new`] (private pool) or
-/// [`SharedRecycler::session`] (shared pool); clone to attach further
-/// sessions to the same pool.
+/// query records (capped at [`QUERY_LOG_CAP`] recent entries). Create
+/// with [`Recycler::new`] (private pool) or [`SharedRecycler::session`]
+/// (shared pool); clone to attach further sessions to the same pool.
 pub struct Recycler {
     shared: Arc<SharedRecycler>,
     session_id: u64,
@@ -87,6 +92,7 @@ impl Recycler {
     /// [`SharedRecycler::session`]).
     pub(crate) fn attach(shared: Arc<SharedRecycler>) -> Recycler {
         let session_id = shared.next_session_id();
+        shared.open_session();
         Recycler {
             shared,
             session_id,
@@ -135,24 +141,14 @@ impl Recycler {
         self.shared.snapshot()
     }
 
-    /// Empty the shared recycle pool (the experiments' "emptied recycle
-    /// pool" preparation step) without resetting credit accounts.
-    pub fn clear_pool(&mut self) {
-        self.shared.clear_pool();
-        self.pinned.clear();
-    }
-
-    /// Reset pool, accounts and statistics of the shared service, plus
-    /// this session's log. Other attached sessions keep running — their
-    /// pins are gone, which is safe (pins only guard eviction policy).
-    pub fn reset(&mut self) {
-        self.shared.reset();
-        self.pinned.clear();
-        self.query_log.clear();
-        self.current = QueryRecord::default();
-    }
-
     // ----- internal helpers -------------------------------------------------
+    //
+    // NOTE: the old `clear_pool`/`reset` session methods are gone — their
+    // `&mut self` receivers suggested a session-local effect while they
+    // wiped the *shared* pool under every other session's feet. Server-wide
+    // maintenance now goes through `SharedRecycler::maintenance()` (the
+    // facade's `Database::maintenance()`), which serialises on the pool's
+    // update mutex and is documented as affecting all sessions.
 
     /// Bytes a result is charged for: only what the instruction newly
     /// materialised. Binds reference persistent storage, zero-cost
@@ -337,6 +333,18 @@ impl Recycler {
             shared.count_admission_reject();
             return;
         }
+        // Per-session credit slice (ROADMAP "Admission under contention"):
+        // a session past its fair share of the global budget — with the
+        // overflow lane closed — is turned away before any room-making
+        // work, so one flooding session cannot starve the others'
+        // admissions. The footprint charge itself is implicit: the pool's
+        // per-session resident books move at the insert/remove funnels.
+        if !shared.session_admission_allowed(self.session_id) {
+            shared.count_session_budget_reject();
+            shared.count_admission_reject();
+            shared.undo_admission_charge(key, grant);
+            return;
+        }
         let bytes = Self::charge_bytes(instr.op, result);
         // reserve capacity (strict limits under concurrency); released
         // right after the insert settles, whatever its outcome
@@ -478,6 +486,17 @@ impl Clone for Recycler {
     }
 }
 
+impl Drop for Recycler {
+    /// Closing a session deregisters it from the shared service's active
+    /// set, rebalancing every remaining session's credit slice (the slice
+    /// divisor is the live active count). Entries this session admitted
+    /// stay resident and keep holding budget until eviction or
+    /// invalidation removes them.
+    fn drop(&mut self) {
+        self.shared.close_session();
+    }
+}
+
 impl std::fmt::Debug for Recycler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Recycler")
@@ -608,6 +627,13 @@ impl ExecHook for Recycler {
             self.unpin_all();
         }
         let record = std::mem::take(&mut self.current);
+        // A session can live as long as a server connection, so the log
+        // is bounded: beyond 2×cap the older half is dropped (amortised
+        // O(1)), keeping at least QUERY_LOG_CAP recent records — more
+        // than any experiment batch reads back.
+        if self.query_log.len() >= 2 * QUERY_LOG_CAP {
+            self.query_log.drain(..QUERY_LOG_CAP);
+        }
         self.query_log.push(record);
     }
 

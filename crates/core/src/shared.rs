@@ -149,6 +149,7 @@ pub(crate) struct SharedStats {
     subsumed: AtomicU64,
     admissions: AtomicU64,
     admission_rejects: AtomicU64,
+    session_budget_rejects: AtomicU64,
     duplicate_admissions: AtomicU64,
     evictions: AtomicU64,
     invalidated: AtomicU64,
@@ -184,6 +185,19 @@ pub struct SharedRecycler {
     tick: AtomicU64,
     invocations: AtomicU64,
     session_ids: AtomicU64,
+    /// Sessions currently open: attached via [`Self::session`] /
+    /// [`Recycler`] clones and not yet dropped. The per-session credit
+    /// slice is `session_credits / active_sessions` — rebalanced
+    /// implicitly on every open/close because the slice is computed from
+    /// the live count at each admission decision. A plain counter (each
+    /// `Recycler` opens once on attach and closes once on drop), so the
+    /// admission gate stays lock-free.
+    active_sessions: std::sync::atomic::AtomicUsize,
+    /// Serialises whole maintenance sequences ([`Self::maintenance`]):
+    /// each individual operation additionally runs under the pool's
+    /// update mutex via the all-shard write view, so it is atomic with
+    /// respect to every concurrent session.
+    maintenance_lock: Mutex<()>,
     /// Serialises evictors (tier 1 of the lock order): concurrent memory
     /// pressure from many sessions must not over-evict the pool.
     evict_lock: Mutex<()>,
@@ -230,6 +244,8 @@ impl SharedRecycler {
             tick: AtomicU64::new(0),
             invocations: AtomicU64::new(0),
             session_ids: AtomicU64::new(0),
+            active_sessions: std::sync::atomic::AtomicUsize::new(0),
+            maintenance_lock: Mutex::new(()),
             evict_lock: Mutex::new(()),
             pending_bytes: std::sync::atomic::AtomicUsize::new(0),
             pending_entries: std::sync::atomic::AtomicUsize::new(0),
@@ -251,6 +267,65 @@ impl SharedRecycler {
     /// Number of sessions ever attached.
     pub fn session_count(&self) -> u64 {
         self.session_ids.load(Ordering::Relaxed)
+    }
+
+    /// Number of sessions currently open (attached and not dropped).
+    pub fn active_session_count(&self) -> usize {
+        self.active_sessions.load(Ordering::Relaxed)
+    }
+
+    /// Register a freshly attached session as active (called by
+    /// [`Recycler`](crate::Recycler) on attach). Rebalances every
+    /// session's credit slice by growing the divisor.
+    pub(crate) fn open_session(&self) {
+        self.active_sessions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Deregister a dropped session. Its resident entries keep holding
+    /// their budget until eviction/invalidation removes them (the pool's
+    /// per-session books are released at the removal funnel), but the
+    /// slice divisor shrinks immediately.
+    pub(crate) fn close_session(&self) {
+        self.active_sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The per-session admission gate: may `session` admit one more entry
+    /// right now? Always true without a configured budget. With a budget
+    /// `B` and `n` active sessions, a session below its fair slice
+    /// `max(1, B/n)` is *always* admitted (starvation-freedom); beyond the
+    /// slice the overflow lane applies — idle capacity is up for grabs
+    /// while the pool holds fewer than `B` entries in total. The check is
+    /// advisory-exact: concurrent admissions racing the same decision can
+    /// overshoot by at most the number of in-flight admissions, never
+    /// starve anyone.
+    pub(crate) fn session_admission_allowed(&self, session: u64) -> bool {
+        let Some(budget) = self.config.session_credits else {
+            return true;
+        };
+        let active = self.active_session_count().max(1) as u64;
+        let slice = (budget / active).max(1);
+        if self.pool.resident_of_session(session) < slice {
+            return true;
+        }
+        (self.pool.len() as u64) < budget
+    }
+
+    /// Acquire the maintenance lock: server-wide pool surgery
+    /// ([`MaintenanceGuard::clear_pool`], [`MaintenanceGuard::reset`])
+    /// serialises here, and each operation runs atomically against every
+    /// concurrent session by taking the pool's update mutex and all shard
+    /// write locks. This replaces the old per-session
+    /// `Recycler::clear_pool`/`reset` methods, whose `&mut self` receivers
+    /// wrongly suggested a session-local effect while they mutated the
+    /// shared pool under every other session's feet.
+    pub fn maintenance(&self) -> MaintenanceGuard<'_> {
+        MaintenanceGuard {
+            shared: self,
+            _serial: self
+                .maintenance_lock
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        }
     }
 
     // ----- pool access ------------------------------------------------------
@@ -285,15 +360,17 @@ impl SharedRecycler {
     /// Empty the recycle pool (the experiments' "emptied recycle pool"
     /// preparation step) without resetting credit accounts or statistics.
     /// The entry-id counter stays monotone so stale per-session pin sets
-    /// can never alias a post-clear entry.
-    pub fn clear_pool(&self) {
+    /// can never alias a post-clear entry. Reached through
+    /// [`Self::maintenance`] — the operation is server-wide.
+    fn clear_pool(&self) {
         self.pool.clear();
     }
 
     /// Reset pool, accounts and statistics. Affects every attached
-    /// session — this is a server-wide operation. Entry ids and the event
-    /// clock stay monotone (see [`Self::clear_pool`]).
-    pub fn reset(&self) {
+    /// session — this is a server-wide operation reached through
+    /// [`Self::maintenance`]. Entry ids and the event clock stay monotone
+    /// (see [`Self::clear_pool`]).
+    fn reset(&self) {
         self.pool.clear();
         self.persistent.clear();
         *self.lock_accounts() = AccountState::default();
@@ -307,6 +384,7 @@ impl SharedRecycler {
             &s.subsumed,
             &s.admissions,
             &s.admission_rejects,
+            &s.session_budget_rejects,
             &s.duplicate_admissions,
             &s.evictions,
             &s.invalidated,
@@ -491,11 +569,13 @@ impl SharedRecycler {
             subsumed: ld(&s.subsumed),
             admissions: ld(&s.admissions),
             admission_rejects: ld(&s.admission_rejects),
+            session_budget_rejects: ld(&s.session_budget_rejects),
             duplicate_admissions: ld(&s.duplicate_admissions),
             evictions: ld(&s.evictions),
             invalidated: ld(&s.invalidated),
             propagated: ld(&s.propagated),
             sessions: self.session_count(),
+            active_sessions: self.active_session_count() as u64,
             time_saved: Duration::from_nanos(ld(&s.time_saved_ns)),
             overhead: Duration::from_nanos(ld(&s.overhead_ns)),
             subsume_search: Duration::from_nanos(ld(&s.subsume_search_ns)),
@@ -537,6 +617,10 @@ impl SharedRecycler {
 
     pub(crate) fn count_admission_reject(&self) {
         bump(&self.stats.admission_rejects);
+    }
+
+    pub(crate) fn count_session_budget_reject(&self) {
+        bump(&self.stats.session_budget_rejects);
     }
 
     pub(crate) fn count_duplicate_admission(&self) {
@@ -653,6 +737,37 @@ impl SharedRecycler {
                 *acc.credits.entry(e.creator).or_insert(0) += 1;
             }
         }
+    }
+}
+
+/// Exclusive handle for server-wide pool maintenance, acquired via
+/// [`SharedRecycler::maintenance`] (the facade exposes it as
+/// `Database::maintenance()`).
+///
+/// Semantics: every operation here affects **all** attached sessions — the
+/// pool is shared state, there is no session-local clear. Each operation
+/// is atomic with respect to concurrent queries (it runs under the pool's
+/// update mutex holding every shard write lock, the same serialisation
+/// point scoped update commits use), and whole maintenance sequences
+/// serialise against each other on the guard. Sessions keep running
+/// afterwards: their pins are gone, which is safe — pins only guard
+/// eviction policy, and entry ids stay monotone so a stale pin can never
+/// alias a post-clear entry.
+pub struct MaintenanceGuard<'a> {
+    shared: &'a SharedRecycler,
+    _serial: MutexGuard<'a, ()>,
+}
+
+impl MaintenanceGuard<'_> {
+    /// Empty the recycle pool (the experiments' "emptied recycle pool"
+    /// preparation step) without touching credit accounts or statistics.
+    pub fn clear_pool(&self) {
+        self.shared.clear_pool();
+    }
+
+    /// Reset pool, credit/ADAPT accounts and lifetime statistics.
+    pub fn reset(&self) {
+        self.shared.reset();
     }
 }
 

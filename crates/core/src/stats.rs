@@ -32,8 +32,15 @@ pub struct RecyclerStats {
     /// under the same signature; its copy was dropped and its credit
     /// returned.
     pub duplicate_admissions: u64,
+    /// ... of which denied specifically because the admitting session had
+    /// exhausted its per-session credit slice (and the overflow lane was
+    /// closed). A subset of `admission_rejects`.
+    pub session_budget_rejects: u64,
     /// Sessions ever attached to the shared recycler.
     pub sessions: u64,
+    /// Sessions currently open (attached and not yet dropped) — the
+    /// divisor of the per-session credit slices.
+    pub active_sessions: u64,
     /// Entries evicted under resource pressure.
     pub evictions: u64,
     /// Entries invalidated by updates.

@@ -1,0 +1,133 @@
+//! A minimal blocking client for the wire protocol — what tests, the
+//! bench harness and command-line poking use.
+
+use std::fmt;
+use std::io::BufWriter;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use rbat::Value;
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, ProtoError, QueryResult, Request,
+    Response,
+};
+
+/// Client-side request failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Transport / framing / decoding failure.
+    Proto(ProtoError),
+    /// The server turned the connection away (admission control).
+    Busy(String),
+    /// The server executed the request and reported an error.
+    Remote(String),
+    /// The server answered with a response of the wrong kind.
+    Unexpected(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::Busy(r) => write!(f, "server busy: {r}"),
+            ClientError::Remote(m) => write!(f, "server error: {m}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> ClientError {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Proto(e.into())
+    }
+}
+
+/// One connection to a [`crate::Server`]; the server serves it with one
+/// dedicated database session, so consecutive requests see each other's
+/// effects (and the session's credit slice is this connection's).
+pub struct Client {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a serving address.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = stream.try_clone()?;
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &encode_request(req)?)?;
+        let payload = read_frame(&mut self.reader)?.ok_or(ProtoError::Truncated)?;
+        let resp = decode_response(&payload)?;
+        match resp {
+            Response::Busy { reason } => Err(ClientError::Busy(reason)),
+            Response::Error { message } => Err(ClientError::Remote(message)),
+            other => Ok(other),
+        }
+    }
+
+    /// Run the named prepared template with parameters.
+    pub fn query(&mut self, template: &str, params: &[Value]) -> Result<QueryResult, ClientError> {
+        match self.roundtrip(&Request::Query {
+            template: template.to_string(),
+            params: params.to_vec(),
+        })? {
+            Response::Query(q) => Ok(q),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Commit inserts/deletes against one table; returns
+    /// `(inserted, deleted, epoch)`.
+    pub fn commit(
+        &mut self,
+        table: &str,
+        inserts: Vec<Vec<Value>>,
+        deletes: Vec<u64>,
+    ) -> Result<(u64, u64, u64), ClientError> {
+        match self.roundtrip(&Request::Commit {
+            table: table.to_string(),
+            inserts,
+            deletes,
+        })? {
+            Response::Commit {
+                inserted,
+                deleted,
+                epoch,
+            } => Ok((inserted, deleted, epoch)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetch the server-wide statistics snapshot as name/value pairs.
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(pairs) => Ok(pairs),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Close the connection cleanly (the server replies before hanging
+    /// up).
+    pub fn close(mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Close)? {
+            Response::Closed => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! # rcy-server — a TCP serving front-end for the recycler database
+//!
+//! The paper's §8 evaluation replays the SkyServer web log against one
+//! MonetDB server instance: many remote clients, one shared recycler.
+//! This crate is that serving shape for the [`recycling::Database`]
+//! facade, built fully offline (std `TcpListener`, hand-rolled framing —
+//! no tokio, no serde):
+//!
+//! * [`protocol`] — a length-prefixed wire protocol with four requests
+//!   (query / commit / stats / close), hardened against oversized,
+//!   truncated and malformed frames;
+//! * [`Server`] — an accept loop feeding a **bounded worker pool**: each
+//!   served connection gets a dedicated [`recycling::Session`] for its
+//!   lifetime, connections beyond `max_sessions + backlog` are rejected
+//!   with a `Busy` frame (connection-level admission control);
+//! * [`Client`] — a minimal blocking client for tests, benches and
+//!   command-line poking.
+//!
+//! Queries reference **named templates** registered on the database
+//! ([`recycling::DatabaseBuilder::template`] /
+//! [`recycling::Database::register`]) — the same factoring MonetDB's SQL
+//! front-end performs, and what makes query requests cheap to ship: a
+//! name plus parameter values.
+//!
+//! ```no_run
+//! use rbat::{Catalog, LogicalType, TableBuilder, Value};
+//! use recycling::DatabaseBuilder;
+//! use rcy_server::{Client, Server, ServerConfig};
+//! use rmal::{ProgramBuilder, P};
+//!
+//! let mut cat = Catalog::new();
+//! let mut tb = TableBuilder::new("t").column("x", LogicalType::Int);
+//! for i in 0..1000 { tb.push_row(&[Value::Int(i)]); }
+//! cat.add_table(tb.finish());
+//!
+//! let mut b = ProgramBuilder::new("count_range", 2);
+//! let col = b.bind("t", "x");
+//! let sel = b.select_closed(col, P(0), P(1));
+//! let n = b.count(sel);
+//! b.export("n", n);
+//!
+//! let db = DatabaseBuilder::new(cat).template("count_range", b.finish()).build();
+//! let server = Server::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let reply = client.query("count_range", &[Value::Int(10), Value::Int(500)]).unwrap();
+//! println!("n = {:?} ({} of {} instructions recycled)",
+//!          reply.exports[0].1, reply.reused, reply.marked);
+//! client.close().unwrap();
+//! server.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{ProtoError, QueryResult, Request, Response, MAX_FRAME};
+pub use server::{Server, ServerConfig};

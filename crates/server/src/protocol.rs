@@ -1,0 +1,593 @@
+//! The wire protocol: length-prefixed frames over a byte stream.
+//!
+//! Every message is one **frame**: a little-endian `u32` payload length
+//! followed by that many payload bytes. Payloads are a tag byte plus a
+//! tag-specific body; all integers are little-endian, floats travel as
+//! IEEE-754 bit patterns, strings as `u32` length + UTF-8 bytes. The
+//! protocol is deliberately tiny and hand-rolled — the build is fully
+//! offline (no serde, no tokio) and the paper's serving story needs
+//! exactly four requests: query, commit, stats, close.
+//!
+//! Frames larger than [`MAX_FRAME`] are rejected before any allocation,
+//! so a malformed or hostile length prefix cannot balloon memory;
+//! truncated frames and trailing garbage surface as [`ProtoError`]s.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use rbat::{Date, Oid, Value};
+
+/// Hard cap on one frame's payload (16 MiB) — rejects hostile length
+/// prefixes before allocating.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Wire protocol errors (framing, decoding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The stream ended inside a frame (or inside a body field).
+    Truncated,
+    /// A frame length prefix exceeded [`MAX_FRAME`].
+    TooLarge(u64),
+    /// Structurally invalid payload (unknown tag, bad UTF-8, trailing
+    /// bytes, unencodable value).
+    Malformed(String),
+    /// Transport error.
+    Io(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "truncated frame"),
+            ProtoError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            ProtoError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            ProtoError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> ProtoError {
+        match e.kind() {
+            io::ErrorKind::UnexpectedEof => ProtoError::Truncated,
+            _ => ProtoError::Io(e.to_string()),
+        }
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run the named prepared template with the given parameters.
+    Query {
+        /// Template name (registered on the `Database`).
+        template: String,
+        /// Parameter values.
+        params: Vec<Value>,
+    },
+    /// Commit inserts/deletes against one table.
+    Commit {
+        /// Target table.
+        table: String,
+        /// Rows to append.
+        inserts: Vec<Vec<Value>>,
+        /// OIDs to delete.
+        deletes: Vec<u64>,
+    },
+    /// Fetch server-wide recycler statistics.
+    Stats,
+    /// Close the connection (the server replies `Closed` and hangs up).
+    Close,
+}
+
+/// A query's result set plus its recycling observations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    /// Named exports in export order.
+    pub exports: Vec<(String, Value)>,
+    /// Marked instructions this invocation saw.
+    pub marked: u64,
+    /// ... answered from the recycle pool.
+    pub reused: u64,
+    /// ... executed in subsumed form.
+    pub subsumed: u64,
+    /// Entries this invocation admitted.
+    pub admitted: u64,
+    /// Server-side wall time, microseconds.
+    pub elapsed_us: u64,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Query succeeded.
+    Query(QueryResult),
+    /// Commit succeeded.
+    Commit {
+        /// Rows appended.
+        inserted: u64,
+        /// Rows deleted.
+        deleted: u64,
+        /// Catalog epoch after the commit.
+        epoch: u64,
+    },
+    /// Statistics snapshot as name/value pairs.
+    Stats(Vec<(String, u64)>),
+    /// Goodbye (reply to `Close`).
+    Closed,
+    /// Connection-level admission control turned this connection away
+    /// (server at `max_sessions` with a full queue).
+    Busy {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The request failed server-side.
+    Error {
+        /// Error rendering.
+        message: String,
+    },
+}
+
+// ----- frame transport ------------------------------------------------------
+
+/// Write one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtoError> {
+    if payload.len() > MAX_FRAME {
+        return Err(ProtoError::TooLarge(payload.len() as u64));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame's payload. `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer hung up between messages); [`ProtoError::Truncated`]
+/// on EOF *inside* a frame — including inside the 4-byte length prefix,
+/// which `read_exact` alone cannot distinguish from a clean close.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut len = [0u8; 4];
+    let mut got = 0usize;
+    while got < len.len() {
+        match r.read(&mut len[got..]) {
+            Ok(0) if got == 0 => return Ok(None), // clean frame-boundary EOF
+            Ok(0) => return Err(ProtoError::Truncated), // EOF inside the prefix
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(ProtoError::TooLarge(len as u64));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ----- body encoding --------------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encode one value. BATs are not wire-encodable — the serving layer
+/// summarises them before encoding ([`displayable`]).
+fn put_value(out: &mut Vec<u8>, v: &Value) -> Result<(), ProtoError> {
+    match v {
+        Value::Nil => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(x) => {
+            out.push(3);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Date(d) => {
+            out.push(4);
+            out.extend_from_slice(&d.0.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(5);
+            put_str(out, s);
+        }
+        Value::Oid(o) => {
+            out.push(6);
+            out.extend_from_slice(&o.0.to_le_bytes());
+        }
+        Value::Bat(_) => {
+            return Err(ProtoError::Malformed(
+                "BAT values are not wire-encodable".into(),
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Replace BAT references by a scalar summary so any export is
+/// wire-encodable (a full column transfer is not part of this protocol).
+pub fn displayable(v: &Value) -> Value {
+    match v {
+        Value::Bat(b) => Value::str(&format!("<bat:{} rows>", b.len())),
+        other => other.clone(),
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, ProtoError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32, ProtoError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, ProtoError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ProtoError::Malformed("string is not UTF-8".into()))
+    }
+
+    /// A collection length: bounded by the remaining payload so a hostile
+    /// count cannot drive a huge allocation.
+    fn len(&mut self) -> Result<usize, ProtoError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len().saturating_sub(self.pos) {
+            return Err(ProtoError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn value(&mut self) -> Result<Value, ProtoError> {
+        Ok(match self.u8()? {
+            0 => Value::Nil,
+            1 => Value::Bool(self.u8()? != 0),
+            2 => Value::Int(self.i64()?),
+            3 => Value::Float(f64::from_bits(self.u64()?)),
+            4 => Value::Date(Date(self.i32()?)),
+            5 => Value::Str(self.str()?.into()),
+            6 => Value::Oid(Oid(self.u64()?)),
+            t => return Err(ProtoError::Malformed(format!("unknown value tag {t}"))),
+        })
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed(format!(
+                "{} trailing bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn put_values(out: &mut Vec<u8>, values: &[Value]) -> Result<(), ProtoError> {
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    for v in values {
+        put_value(out, v)?;
+    }
+    Ok(())
+}
+
+/// Encode a request payload (frame it with [`write_frame`]).
+pub fn encode_request(req: &Request) -> Result<Vec<u8>, ProtoError> {
+    let mut out = Vec::new();
+    match req {
+        Request::Query { template, params } => {
+            out.push(1);
+            put_str(&mut out, template);
+            put_values(&mut out, params)?;
+        }
+        Request::Commit {
+            table,
+            inserts,
+            deletes,
+        } => {
+            out.push(2);
+            put_str(&mut out, table);
+            out.extend_from_slice(&(inserts.len() as u32).to_le_bytes());
+            for row in inserts {
+                put_values(&mut out, row)?;
+            }
+            out.extend_from_slice(&(deletes.len() as u32).to_le_bytes());
+            for oid in deletes {
+                out.extend_from_slice(&oid.to_le_bytes());
+            }
+        }
+        Request::Stats => out.push(3),
+        Request::Close => out.push(4),
+    }
+    Ok(out)
+}
+
+/// Decode a request payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let req = match c.u8()? {
+        1 => {
+            let template = c.str()?;
+            let n = c.len()?;
+            let params = (0..n).map(|_| c.value()).collect::<Result<_, _>>()?;
+            Request::Query { template, params }
+        }
+        2 => {
+            let table = c.str()?;
+            let rows = c.len()?;
+            let inserts = (0..rows)
+                .map(|_| {
+                    let n = c.len()?;
+                    (0..n).map(|_| c.value()).collect::<Result<Vec<_>, _>>()
+                })
+                .collect::<Result<_, _>>()?;
+            let dels = c.len()?;
+            let deletes = (0..dels).map(|_| c.u64()).collect::<Result<_, _>>()?;
+            Request::Commit {
+                table,
+                inserts,
+                deletes,
+            }
+        }
+        3 => Request::Stats,
+        4 => Request::Close,
+        t => return Err(ProtoError::Malformed(format!("unknown request tag {t}"))),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Encode a response payload (frame it with [`write_frame`]).
+pub fn encode_response(resp: &Response) -> Result<Vec<u8>, ProtoError> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Query(q) => {
+            out.push(0x81);
+            out.extend_from_slice(&(q.exports.len() as u32).to_le_bytes());
+            for (name, v) in &q.exports {
+                put_str(&mut out, name);
+                put_value(&mut out, v)?;
+            }
+            for n in [q.marked, q.reused, q.subsumed, q.admitted, q.elapsed_us] {
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+        }
+        Response::Commit {
+            inserted,
+            deleted,
+            epoch,
+        } => {
+            out.push(0x82);
+            for n in [inserted, deleted, epoch] {
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+        }
+        Response::Stats(pairs) => {
+            out.push(0x83);
+            out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+            for (name, v) in pairs {
+                put_str(&mut out, name);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Response::Closed => out.push(0x84),
+        Response::Busy { reason } => {
+            out.push(0x85);
+            put_str(&mut out, reason);
+        }
+        Response::Error { message } => {
+            out.push(0x80);
+            put_str(&mut out, message);
+        }
+    }
+    Ok(out)
+}
+
+/// Decode a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let resp = match c.u8()? {
+        0x81 => {
+            let n = c.len()?;
+            let exports = (0..n)
+                .map(|_| Ok((c.str()?, c.value()?)))
+                .collect::<Result<_, ProtoError>>()?;
+            Response::Query(QueryResult {
+                exports,
+                marked: c.u64()?,
+                reused: c.u64()?,
+                subsumed: c.u64()?,
+                admitted: c.u64()?,
+                elapsed_us: c.u64()?,
+            })
+        }
+        0x82 => Response::Commit {
+            inserted: c.u64()?,
+            deleted: c.u64()?,
+            epoch: c.u64()?,
+        },
+        0x83 => {
+            let n = c.len()?;
+            let pairs = (0..n)
+                .map(|_| Ok((c.str()?, c.u64()?)))
+                .collect::<Result<_, ProtoError>>()?;
+            Response::Stats(pairs)
+        }
+        0x84 => Response::Closed,
+        0x85 => Response::Busy { reason: c.str()? },
+        0x80 => Response::Error { message: c.str()? },
+        t => return Err(ProtoError::Malformed(format!("unknown response tag {t}"))),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = [
+            Request::Query {
+                template: "nearby".into(),
+                params: vec![
+                    Value::Int(-5),
+                    Value::Float(1.25),
+                    Value::str("x"),
+                    Value::Nil,
+                    Value::Bool(true),
+                    Value::Date(Date(7000)),
+                    Value::Oid(Oid(42)),
+                ],
+            },
+            Request::Commit {
+                table: "t".into(),
+                inserts: vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+                deletes: vec![0, 9],
+            },
+            Request::Stats,
+            Request::Close,
+        ];
+        for req in reqs {
+            let bytes = encode_request(&req).unwrap();
+            assert_eq!(decode_request(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resps = [
+            Response::Query(QueryResult {
+                exports: vec![("n".into(), Value::Int(11))],
+                marked: 3,
+                reused: 2,
+                subsumed: 1,
+                admitted: 1,
+                elapsed_us: 99,
+            }),
+            Response::Commit {
+                inserted: 2,
+                deleted: 0,
+                epoch: 5,
+            },
+            Response::Stats(vec![("hits".into(), 7)]),
+            Response::Closed,
+            Response::Busy {
+                reason: "full".into(),
+            },
+            Response::Error {
+                message: "unknown template: zap".into(),
+            },
+        ];
+        for resp in resps {
+            let bytes = encode_response(&resp).unwrap();
+            assert_eq!(decode_response(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_request(&Request::Stats).unwrap();
+        bytes.push(0);
+        assert!(matches!(
+            decode_request(&bytes),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let bytes = encode_request(&Request::Query {
+            template: "q".into(),
+            params: vec![Value::Int(1)],
+        })
+        .unwrap();
+        for cut in 1..bytes.len() {
+            let err = decode_request(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ProtoError::Truncated | ProtoError::Malformed(_)),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_frame_rejected_without_allocation() {
+        let mut stream: &[u8] = &[0xff, 0xff, 0xff, 0xff, 0, 0];
+        assert!(matches!(
+            read_frame(&mut stream),
+            Err(ProtoError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn eof_between_frames_is_clean_inside_is_truncated() {
+        let mut empty: &[u8] = &[];
+        assert_eq!(read_frame(&mut empty).unwrap(), None);
+        let mut cut: &[u8] = &[8, 0, 0, 0, 1, 2];
+        assert!(matches!(read_frame(&mut cut), Err(ProtoError::Truncated)));
+        // EOF *inside the length prefix* is truncation too, not a clean
+        // close — read_exact alone cannot tell the two apart
+        for n in 1..4 {
+            let mut prefix_cut: &[u8] = &[9, 0, 0][..n];
+            assert!(
+                matches!(read_frame(&mut prefix_cut), Err(ProtoError::Truncated)),
+                "EOF after {n} prefix bytes must be Truncated"
+            );
+        }
+    }
+
+    #[test]
+    fn bats_are_not_encodable_but_displayable() {
+        use std::sync::Arc;
+        let bat = Arc::new(rbat::Bat::from_tail(rbat::Column::from_ints(vec![1, 2, 3])));
+        let v = Value::Bat(bat);
+        assert!(encode_response(&Response::Query(QueryResult {
+            exports: vec![("b".into(), v.clone())],
+            ..Default::default()
+        }))
+        .is_err());
+        assert_eq!(displayable(&v), Value::str("<bat:3 rows>"));
+    }
+}

@@ -1,0 +1,324 @@
+//! The TCP server: a bounded worker pool mapping connections onto
+//! [`Database::session`] handles.
+
+use std::collections::VecDeque;
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use recycling::{Database, Session, Update};
+
+use crate::protocol::{
+    displayable, encode_response, read_frame, write_frame, ProtoError, QueryResult, Request,
+    Response,
+};
+
+/// Serving limits: `max_sessions` concurrently served connections (the
+/// worker pool size — each holds one database session) and a `backlog` of
+/// accepted-but-waiting connections. A connection arriving beyond
+/// `max_sessions + backlog` is turned away with a [`Response::Busy`]
+/// frame — connection-level admission control: queue up to the backlog,
+/// reject beyond it.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads = concurrently served connections = open sessions.
+    pub max_sessions: usize,
+    /// Accepted connections allowed to wait for a free worker.
+    pub backlog: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_sessions: 8,
+            backlog: 16,
+        }
+    }
+}
+
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    fn pop(&self, running: &AtomicBool) -> Option<TcpStream> {
+        let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(conn) = q.pop_front() {
+                return Some(conn);
+            }
+            if !running.load(Ordering::Relaxed) {
+                return None;
+            }
+            q = self.ready.wait(q).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// A running TCP front-end over one [`Database`]. Start with
+/// [`Server::start`], stop with [`Server::shutdown`] (drop leaks the
+/// threads until process exit — fine for a real server, call `shutdown`
+/// in tests).
+pub struct Server {
+    addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    conns: Arc<ConnQueue>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    /// One slot per worker holding a clone of the connection it is
+    /// currently serving. `shutdown` severs these sockets so a worker
+    /// blocked in `read_frame` on an idle-but-open connection wakes up
+    /// and exits instead of deadlocking the join.
+    live: Arc<Vec<Mutex<Option<TcpStream>>>>,
+    rejected: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// the accept loop plus `config.max_sessions` worker threads. Each
+    /// served connection gets its own [`Database::session`] for its whole
+    /// lifetime, so the per-session credit slices see one session per
+    /// client connection.
+    pub fn start(db: Database, addr: &str, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let running = Arc::new(AtomicBool::new(true));
+        let conns = Arc::new(ConnQueue {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        });
+        let rejected = Arc::new(AtomicU64::new(0));
+
+        let live: Arc<Vec<Mutex<Option<TcpStream>>>> = Arc::new(
+            (0..config.max_sessions.max(1))
+                .map(|_| Mutex::new(None))
+                .collect(),
+        );
+        let workers: Vec<JoinHandle<()>> = (0..config.max_sessions.max(1))
+            .map(|slot| {
+                let db = db.clone();
+                let running = Arc::clone(&running);
+                let conns = Arc::clone(&conns);
+                let live = Arc::clone(&live);
+                std::thread::spawn(move || {
+                    while let Some(conn) = conns.pop(&running) {
+                        *live[slot].lock().unwrap_or_else(PoisonError::into_inner) =
+                            conn.try_clone().ok();
+                        // Re-check after registering: shutdown stores the
+                        // flag and then severs registered slots under the
+                        // same mutex, so either it sees this registration
+                        // (and severs the socket) or this load sees the
+                        // flag — a queued connection popped mid-shutdown
+                        // can never strand the worker in a blocking read.
+                        if running.load(Ordering::Relaxed) {
+                            serve_connection(&db, conn);
+                        }
+                        *live[slot].lock().unwrap_or_else(PoisonError::into_inner) = None;
+                    }
+                })
+            })
+            .collect();
+
+        let accept = {
+            let running = Arc::clone(&running);
+            let conns = Arc::clone(&conns);
+            let rejected = Arc::clone(&rejected);
+            // at least one waiter, or an empty instantaneous queue (a
+            // popped-but-in-service connection) would reject everyone
+            let backlog = config.backlog.max(1);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if !running.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let mut q = conns.queue.lock().unwrap_or_else(PoisonError::into_inner);
+                    if q.len() >= backlog {
+                        drop(q);
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                        reject_busy(stream, backlog);
+                    } else {
+                        q.push_back(stream);
+                        drop(q);
+                        conns.ready.notify_one();
+                    }
+                }
+            })
+        };
+
+        Ok(Server {
+            addr,
+            running,
+            conns,
+            accept: Some(accept),
+            workers,
+            live,
+            rejected,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections turned away by admission control so far.
+    pub fn rejected_connections(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, sever every in-service connection, wake every
+    /// worker and join all threads. Clients with a request in flight see
+    /// their connection drop; a worker blocked in `read_frame` on an
+    /// idle-but-open connection is woken by the socket shutdown rather
+    /// than deadlocking the join.
+    pub fn shutdown(mut self) {
+        self.running.store(false, Ordering::Relaxed);
+        // unblock the accept loop's blocking `incoming()`
+        let _ = TcpStream::connect(self.addr);
+        self.conns.ready.notify_all();
+        for slot in self.live.iter() {
+            if let Some(conn) = slot.lock().unwrap_or_else(PoisonError::into_inner).as_ref() {
+                let _ = conn.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn reject_busy(stream: TcpStream, backlog: usize) {
+    let resp = Response::Busy {
+        reason: format!("server at capacity (backlog {backlog})"),
+    };
+    if let Ok(payload) = encode_response(&resp) {
+        let mut w = BufWriter::new(stream);
+        let _ = write_frame(&mut w, &payload);
+    }
+}
+
+/// Serve one connection until `Close`, EOF or a protocol error: a frame
+/// loop over one dedicated [`Session`].
+fn serve_connection(db: &Database, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut session = db.session();
+    let reader = stream.try_clone();
+    let Ok(mut reader) = reader else { return };
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean EOF between frames
+            Err(e) => {
+                // malformed/truncated frame: report and hang up — framing
+                // is lost, recovery is a reconnect
+                respond(&mut writer, &protocol_error(&e));
+                return;
+            }
+        };
+        let request = match crate::protocol::decode_request(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                respond(&mut writer, &protocol_error(&e));
+                return;
+            }
+        };
+        let closing = matches!(request, Request::Close);
+        let response = handle(db, &mut session, request);
+        if !respond(&mut writer, &response) || closing {
+            return;
+        }
+    }
+}
+
+fn protocol_error(e: &ProtoError) -> Response {
+    Response::Error {
+        message: format!("protocol error: {e}"),
+    }
+}
+
+fn respond(w: &mut impl std::io::Write, resp: &Response) -> bool {
+    match encode_response(resp) {
+        Ok(payload) => write_frame(w, &payload).is_ok(),
+        Err(_) => false,
+    }
+}
+
+/// Execute one request against the connection's session.
+fn handle(db: &Database, session: &mut Session, request: Request) -> Response {
+    match request {
+        Request::Query { template, params } => match session.query_named(&template, &params) {
+            Ok(reply) => Response::Query(QueryResult {
+                exports: reply
+                    .exports
+                    .iter()
+                    .map(|(n, v)| (n.clone(), displayable(v)))
+                    .collect(),
+                marked: reply.marked,
+                reused: reply.reused,
+                subsumed: reply.subsumed,
+                admitted: reply.admitted,
+                elapsed_us: reply.elapsed.as_micros() as u64,
+            }),
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::Commit {
+            table,
+            inserts,
+            deletes,
+        } => {
+            let update = Update::to(&table).insert(inserts).delete(deletes);
+            match session.commit(update) {
+                Ok(report) => Response::Commit {
+                    inserted: report
+                        .inserted
+                        .first()
+                        .map(|(_, b)| b.len() as u64)
+                        .unwrap_or(0),
+                    deleted: report.deleted.len() as u64,
+                    epoch: db.epoch(),
+                },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Stats => Response::Stats(stats_pairs(db)),
+        Request::Close => Response::Closed,
+    }
+}
+
+fn stats_pairs(db: &Database) -> Vec<(String, u64)> {
+    let s = db.stats();
+    let pool = db.pool();
+    let pairs: Vec<(&str, u64)> = vec![
+        ("monitored", s.monitored),
+        ("hits", s.hits),
+        ("local_hits", s.local_hits),
+        ("global_hits", s.global_hits),
+        ("cross_session_hits", s.cross_session_hits),
+        ("subsumed", s.subsumed),
+        ("admissions", s.admissions),
+        ("admission_rejects", s.admission_rejects),
+        ("session_budget_rejects", s.session_budget_rejects),
+        ("duplicate_admissions", s.duplicate_admissions),
+        ("evictions", s.evictions),
+        ("invalidated", s.invalidated),
+        ("propagated", s.propagated),
+        ("sessions", s.sessions),
+        ("active_sessions", s.active_sessions),
+        ("pool_entries", pool.len() as u64),
+        ("pool_bytes", pool.bytes() as u64),
+        ("epoch", db.epoch()),
+    ];
+    pairs.into_iter().map(|(n, v)| (n.to_string(), v)).collect()
+}

@@ -1,5 +1,5 @@
-//! Multi-session serving: N threads replay the SkyServer log against one
-//! shared recycler — the paper's server-wide pool (§8), now actually
+//! Multi-session serving: one `Database`, N threads replaying the
+//! SkyServer log — the paper's server-wide pool (§8), actually
 //! concurrent. Shows cross-session reuse: most sessions answer their
 //! nearby-queries from intermediates some *other* session computed.
 //!
@@ -7,8 +7,8 @@
 //! cargo run --release --example multi_session [sessions] [queries]
 //! ```
 
-use rcy_bench::{partition_streams, run_concurrent, BenchItem};
-use recycler::RecyclerConfig;
+use rcy_bench::{partition_streams, run_concurrent_shared, BenchItem};
+use recycling::DatabaseBuilder;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -28,22 +28,17 @@ fn main() {
         })
         .collect();
 
-    // one session first, as the baseline
+    // one session first, as the baseline — a fresh database per run so
+    // the pools start cold
     println!("replaying {queries} queries on 1 session ...");
-    let seq = run_concurrent(
-        catalog.clone(),
-        &templates,
-        &partition_streams(&items, 1),
-        RecyclerConfig::default(),
-    );
+    let seq = {
+        let db = DatabaseBuilder::new(catalog.clone()).build();
+        run_concurrent_shared(&db, &templates, &partition_streams(&items, 1))
+    };
 
     println!("replaying {queries} queries on {sessions} sessions ...");
-    let par = run_concurrent(
-        catalog,
-        &templates,
-        &partition_streams(&items, sessions),
-        RecyclerConfig::default(),
-    );
+    let db = DatabaseBuilder::new(catalog).build();
+    let par = run_concurrent_shared(&db, &templates, &partition_streams(&items, sessions));
 
     println!(
         "\n1 session : {:?} total, {} hits ({} cross-session)",

@@ -1,13 +1,13 @@
-//! Quickstart: build a table, attach the recycler, watch intermediates
-//! being reused.
+//! Quickstart: build a table, open a recycling `Database`, watch
+//! intermediates being reused across session queries.
 //!
 //! ```text
-//! cargo run --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use rbat::{Catalog, LogicalType, TableBuilder, Value};
-use recycler::{RecycleMark, Recycler, RecyclerConfig};
-use rmal::{Engine, ProgramBuilder, P};
+use recycling::DatabaseBuilder;
+use rmal::{ProgramBuilder, P};
 
 fn main() {
     // 1. A catalog with one table of a million-ish integers.
@@ -23,13 +23,13 @@ fn main() {
     }
     catalog.add_table(tb.finish());
 
-    // 2. An engine with the recycler attached: the marking pass joins the
-    //    optimiser pipeline, the run-time support hooks the interpreter.
-    let mut engine = Engine::with_hook(catalog, Recycler::new(RecyclerConfig::default()));
-    engine.add_pass(Box::new(RecycleMark));
+    // 2. One Database owns the shared recycler, the catalog cell and the
+    //    optimiser pipeline; sessions are cheap handles onto it.
+    let db = DatabaseBuilder::new(catalog).build();
 
     // 3. A query template: average reading of a sensor-range (parameters
-    //    factored out, like MonetDB's SQL front end does).
+    //    factored out, like MonetDB's SQL front end does). `prepare` runs
+    //    the optimiser pipeline including the recycler marking pass.
     let mut b = ProgramBuilder::new("avg_reading", 2);
     let sensor = b.bind("measurements", "sensor");
     let picked = b.select_closed(sensor, P(0), P(1));
@@ -40,11 +40,12 @@ fn main() {
     let n = b.count(picked);
     b.export("avg", avg);
     b.export("rows", n);
-    let mut template = b.finish();
-    engine.optimize(&mut template);
+    let template = db.prepare(b.finish());
     println!("template:\n{}", template.listing());
 
-    // 4. Run it three times: identical, identical, subsumable.
+    // 4. Run it three times on one session: identical, identical,
+    //    subsumable.
+    let mut session = db.session();
     for (i, params) in [
         [Value::Int(100), Value::Int(300)],
         [Value::Int(100), Value::Int(300)], // exact repeat → pool hits
@@ -53,25 +54,25 @@ fn main() {
     .iter()
     .enumerate()
     {
-        let out = engine.run(&template, params).expect("query runs");
+        let reply = session.query(&template, params).expect("query runs");
         println!(
             "run {}: avg={} rows={} | {} of {} instructions reused, {} subsumed, {:?}",
             i + 1,
-            out.export("avg").unwrap(),
-            out.export("rows").unwrap(),
-            out.stats.reused,
-            out.stats.marked,
-            out.stats.subsumed,
-            out.stats.elapsed,
+            reply.export("avg").unwrap(),
+            reply.export("rows").unwrap(),
+            reply.reused,
+            reply.marked,
+            reply.subsumed,
+            reply.elapsed,
         );
     }
 
-    let stats = engine.hook.stats();
+    let stats = db.stats();
     println!(
         "\nrecycler: {} hits, {} admissions, {} pool entries, {} resident",
         stats.hits,
         stats.admissions,
-        engine.hook.pool().len(),
-        engine.hook.pool().bytes(),
+        db.pool().len(),
+        db.pool().bytes(),
     );
 }

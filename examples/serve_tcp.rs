@@ -1,0 +1,91 @@
+//! TCP serving end to end: start a `rcy-server` front-end over one
+//! recycling `Database`, then hit it with a few concurrent clients — the
+//! paper's §8 serving shape (many remote sessions, one shared recycler)
+//! over an actual socket.
+//!
+//! ```text
+//! cargo run --release --example serve_tcp [clients] [queries-per-client]
+//! ```
+
+use rcy_server::{Client, Server, ServerConfig};
+use recycling::{DatabaseBuilder, RecyclerConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let clients: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let per_client: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(24);
+
+    let objects = 20_000;
+    println!("generating synthetic sky catalogue ({objects} objects) ...");
+    let catalog = skyserver::generate(skyserver::SkyScale::new(objects));
+    let (templates, log) = skyserver::sample_log(clients * per_client, 2008);
+
+    // one Database, templates registered by name, per-session credit
+    // slices so no client can hog the pool's admissions
+    let mut builder =
+        DatabaseBuilder::new(catalog).recycler(RecyclerConfig::default().session_credits(4096));
+    for (i, t) in templates.iter().enumerate() {
+        builder = builder.template(&format!("q{i}"), t.clone());
+    }
+    let db = builder.build();
+
+    let server = Server::start(
+        db,
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: clients,
+            backlog: clients * 2,
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    println!("serving on {addr} ({clients} workers)\n");
+
+    let started = std::time::Instant::now();
+    let totals: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let stream: Vec<_> = log
+                    .iter()
+                    .skip(c)
+                    .step_by(clients)
+                    .take(per_client)
+                    .collect();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let (mut hits, mut monitored) = (0u64, 0u64);
+                    for item in stream {
+                        let reply = client
+                            .query(&format!("q{}", item.query_idx), &item.params)
+                            .expect("query over the wire");
+                        hits += reply.reused;
+                        monitored += reply.marked;
+                    }
+                    client.close().expect("close");
+                    (hits, monitored)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let hits: u64 = totals.iter().map(|t| t.0).sum();
+    let monitored: u64 = totals.iter().map(|t| t.1).sum();
+    println!(
+        "{} wire queries from {clients} clients in {elapsed:?} — {:.1}% of monitored \
+         instructions answered from the shared pool",
+        clients * per_client,
+        100.0 * hits as f64 / monitored.max(1) as f64,
+    );
+
+    let mut c = Client::connect(addr).expect("connect");
+    println!("\nserver stats:");
+    for (name, v) in c.stats().expect("stats") {
+        println!("  {name:<24} {v}");
+    }
+    c.close().ok();
+    server.shutdown();
+
+    assert!(hits > 0, "the wire path must recycle");
+}

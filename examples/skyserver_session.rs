@@ -6,8 +6,7 @@
 //! cargo run --release --example skyserver_session
 //! ```
 
-use recycler::{RecycleMark, Recycler, RecyclerConfig};
-use rmal::Engine;
+use recycling::DatabaseBuilder;
 use skyserver::{generate, sample_log, PatternKind, SkyScale};
 
 fn main() {
@@ -15,13 +14,11 @@ fn main() {
     println!("generating synthetic sky catalogue ({objects} objects) ...");
     let catalog = generate(SkyScale::new(objects));
 
-    let mut engine = Engine::with_hook(catalog, Recycler::new(RecyclerConfig::default()));
-    engine.add_pass(Box::new(RecycleMark));
+    let db = DatabaseBuilder::new(catalog).build();
+    let mut session = db.session();
 
-    let (mut templates, log) = sample_log(100, 2008);
-    for t in templates.iter_mut() {
-        engine.optimize(t);
-    }
+    let (templates, log) = sample_log(100, 2008);
+    let templates: Vec<_> = templates.into_iter().map(|t| db.prepare(t)).collect();
     let mix = |k: PatternKind| log.iter().filter(|l| l.kind == k).count();
     println!(
         "log sample: {} nearby / {} doc / {} point queries\n",
@@ -35,13 +32,13 @@ fn main() {
     let mut hits = 0u64;
     let mut monitored = 0u64;
     for item in &log {
-        let out = engine
-            .run(&templates[item.query_idx], &item.params)
+        let reply = session
+            .query(&templates[item.query_idx], &item.params)
             .expect("log query");
-        hits += out.stats.reused as u64;
-        monitored += out.stats.marked as u64;
+        hits += reply.reused;
+        monitored += reply.marked;
         if item.kind == PatternKind::Nearby && first_nearby.is_none() {
-            first_nearby = Some(out.stats.elapsed);
+            first_nearby = Some(reply.elapsed);
         }
     }
     println!(
@@ -55,7 +52,7 @@ fn main() {
     }
 
     // Table III-style pool breakdown
-    let snap = engine.hook.snapshot();
+    let snap = db.snapshot();
     println!(
         "\nrecycle pool: {} entries, {} bytes ({} reused entries)",
         snap.entries, snap.bytes, snap.reused_entries

@@ -7,8 +7,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use recycler::{RecycleMark, Recycler, RecyclerConfig};
-use rmal::Engine;
+use recycling::{DatabaseBuilder, Update};
 use tpch::{generate, query, TpchScale};
 
 fn main() {
@@ -19,55 +18,55 @@ fn main() {
         println!("  {t}: {} rows", catalog.table(t).unwrap().nrows());
     }
 
-    let mut engine = Engine::with_hook(catalog, Recycler::new(RecyclerConfig::default()));
-    engine.add_pass(Box::new(RecycleMark));
+    let db = DatabaseBuilder::new(catalog).build();
+    let mut session = db.session();
 
     // Q18: grouping lineitem by order is expensive and parameter-free; the
     // recycler turns repeat instances into millisecond lookups (paper Fig 4b).
     let q = query(18);
-    let mut template = q.template;
-    engine.optimize(&mut template);
+    let template = db.prepare(q.template);
     let mut rng = SmallRng::seed_from_u64(7);
 
     println!("\nQ18 instances:");
     for i in 0..8 {
         let params = (q.params)(&mut rng);
-        let out = engine.run(&template, &params).expect("q18");
+        let reply = session.query(&template, &params).expect("q18");
         println!(
             "  instance {}: level={} orders={} | {:>9.3?} ({} of {} reused)",
             i + 1,
             params[0],
-            out.export("qualifying_orders").unwrap(),
-            out.stats.elapsed,
-            out.stats.reused,
-            out.stats.marked,
+            reply.export("qualifying_orders").unwrap(),
+            reply.elapsed,
+            reply.reused,
+            reply.marked,
         );
     }
 
     // An update invalidates every lineitem/orders-derived intermediate.
     println!("\napplying an RF1 refresh block ...");
     let mut urng = SmallRng::seed_from_u64(99);
-    let block = tpch::insert_block(&engine.catalog, &mut urng, 8);
-    engine
-        .update("orders", block.order_rows, vec![])
+    let snapshot = db.catalog();
+    let block = tpch::insert_block(&snapshot, &mut urng, 8);
+    session
+        .commit(Update::to("orders").insert(block.order_rows))
         .expect("insert orders");
-    engine
-        .update("lineitem", block.lineitem_rows, vec![])
+    session
+        .commit(Update::to("lineitem").insert(block.lineitem_rows))
         .expect("insert lineitems");
     println!(
         "  pool after invalidation: {} entries ({} invalidated so far)",
-        engine.hook.pool().len(),
-        engine.hook.stats().invalidated,
+        db.pool().len(),
+        db.stats().invalidated,
     );
 
     let params = (q.params)(&mut rng);
-    let out = engine.run(&template, &params).expect("q18 after update");
+    let reply = session.query(&template, &params).expect("q18 after update");
     println!(
         "  next instance recomputes: {} of {} reused, {:?}",
-        out.stats.reused, out.stats.marked, out.stats.elapsed
+        reply.reused, reply.marked, reply.elapsed
     );
 
-    let s = engine.hook.stats();
+    let s = db.stats();
     println!(
         "\ntotals: {} monitored, {} hits ({} local / {} global), {:?} saved",
         s.monitored, s.hits, s.local_hits, s.global_hits, s.time_saved,

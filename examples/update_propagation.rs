@@ -7,8 +7,8 @@
 //! ```
 
 use rbat::{Catalog, LogicalType, TableBuilder, Value};
-use recycler::{RecycleMark, Recycler, RecyclerConfig, UpdateMode};
-use rmal::{Engine, Program, ProgramBuilder, P};
+use recycling::{DatabaseBuilder, RecyclerConfig, Update, UpdateMode};
+use rmal::{Program, ProgramBuilder, P};
 
 fn build_catalog() -> Catalog {
     let mut catalog = Catalog::new();
@@ -38,29 +38,32 @@ fn template() -> Program {
 
 fn drive(mode: UpdateMode) -> (u64, u64, u64) {
     let config = RecyclerConfig::default().update_mode(mode);
-    let mut engine = Engine::with_hook(build_catalog(), Recycler::new(config));
-    engine.add_pass(Box::new(RecycleMark));
-    let mut t = template();
-    engine.optimize(&mut t);
+    let db = DatabaseBuilder::new(build_catalog())
+        .recycler(config)
+        .build();
+    let t = db.prepare(template());
+    let mut session = db.session();
 
     let params = [Value::Int(7)];
-    engine.run(&t, &params).expect("warm run");
+    session.query(&t, &params).expect("warm run");
     // ten rounds of: small insert burst, then re-query
     for round in 0..10i64 {
         let rows: Vec<Vec<Value>> = (0..50)
             .map(|i| vec![Value::Int((round + i) % 10), Value::Float(i as f64)])
             .collect();
-        engine.update("events", rows, vec![]).expect("insert");
-        let out = engine.run(&t, &params).expect("re-query");
+        session
+            .commit(Update::to("events").insert(rows))
+            .expect("insert");
+        let reply = session.query(&t, &params).expect("re-query");
         if round == 9 {
             println!(
                 "  {mode:?}: final total={} rows={}",
-                out.export("total").unwrap(),
-                out.export("rows").unwrap()
+                reply.export("total").unwrap(),
+                reply.export("rows").unwrap()
             );
         }
     }
-    let s = engine.hook.stats();
+    let s = db.stats();
     (s.hits, s.invalidated, s.propagated)
 }
 

@@ -8,13 +8,18 @@
 //! * [`rmal`] — the MAL abstract machine (programs, optimiser, interpreter),
 //! * [`recycler`] — the paper's contribution: the recycle pool, the marking
 //!   optimiser and the shared concurrent run-time support,
+//! * [`recycling`] — the public facade: one `Database` owning the shared
+//!   recycler and catalog cell, vending per-client `Session` handles,
+//! * [`rcy_server`] — the TCP serving front-end over the facade,
 //! * [`tpch`] / [`skyserver`] — the two evaluation substrates,
 //! * [`rcy_bench`] — the reproduction harness and concurrent workload
 //!   driver.
 
 pub use rbat;
 pub use rcy_bench;
+pub use rcy_server;
 pub use recycler;
+pub use recycling;
 pub use rmal;
 pub use skyserver;
 pub use tpch;

@@ -1,19 +1,18 @@
-//! Multi-session stress tests: N OS threads sharing one
-//! `Arc<SharedRecycler>` and one catalog must agree with a naive engine on
-//! every result, reuse each other's intermediates, keep the sharded
-//! pool's signature indexes coherent (`check_invariants` after every
-//! run), and never evict an entry pinned by another session's running
-//! query — enforced structurally by `RecyclePool::remove_if_evictable`,
-//! which revalidates the pin count and leaf property inside the shard's
-//! write critical section, and asserted directly by the pinned-survival
-//! test below.
+//! Multi-session stress tests: N OS threads sharing one `Database` and
+//! its pool must agree with a naive database on every result, reuse each
+//! other's intermediates, keep the sharded pool's signature indexes
+//! coherent (`check_invariants` after every run), and never evict an
+//! entry pinned by another session's running query — enforced
+//! structurally by `RecyclePool::remove_if_evictable`, which revalidates
+//! the pin count and leaf property inside the shard's write critical
+//! section, and asserted directly by the pinned-survival test below.
 
 use std::collections::HashMap;
 use std::thread;
 
 use rbat::{Catalog, LogicalType, TableBuilder, Value};
-use recycler::{RecycleMark, Recycler, RecyclerConfig, SharedRecycler};
-use rmal::{Engine, Program, ProgramBuilder, P};
+use recycling::{Database, DatabaseBuilder, RecyclerConfig, RecyclerStats};
+use rmal::{Program, ProgramBuilder, P};
 
 fn catalog(n: i64) -> Catalog {
     let mut cat = Catalog::new();
@@ -72,23 +71,23 @@ fn workload(session: usize, len: usize) -> Vec<(usize, Vec<Value>)> {
         .collect()
 }
 
-/// Expected answers, computed once on a naive engine.
+/// Expected answers, computed once on a naive database.
 fn expectations(
     cat: &Catalog,
     templates: &[Program],
     items: &[(usize, Vec<Value>)],
 ) -> HashMap<String, Vec<(String, Value)>> {
-    let mut naive = Engine::new(cat.clone());
-    let mut nts: Vec<Program> = templates.to_vec();
-    for t in nts.iter_mut() {
-        naive.optimize(t);
-    }
+    let db = DatabaseBuilder::new(cat.clone()).naive().build();
+    let nts: Vec<Program> = templates.iter().map(|t| db.prepare(t.clone())).collect();
+    let mut session = db.session();
     let mut map = HashMap::new();
     for (idx, params) in items {
         let key = format!("{idx}:{params:?}");
         map.entry(key).or_insert_with(|| {
-            let out = naive.run(&nts[*idx], params).expect("naive run");
-            out.exports
+            session
+                .query(&nts[*idx], params)
+                .expect("naive run")
+                .exports
         });
     }
     map
@@ -98,7 +97,7 @@ fn run_stress(
     config: RecyclerConfig,
     sessions: usize,
     queries_each: usize,
-) -> (recycler::RecyclerStats, std::sync::Arc<SharedRecycler>) {
+) -> (RecyclerStats, Database) {
     let cat = catalog(2000);
     let templates = vec![select_template(), join_template()];
 
@@ -107,28 +106,23 @@ fn run_stress(
         .collect();
     let expected = expectations(&cat, &templates, &all_items);
 
-    let shared = SharedRecycler::new(config);
-    let mut proto: Engine<Recycler> = Engine::with_hook(cat, shared.session());
-    proto.add_pass(Box::new(RecycleMark));
-    let mut optimized = templates.clone();
-    for t in optimized.iter_mut() {
-        proto.optimize(t);
-    }
+    let db = DatabaseBuilder::new(cat).recycler(config).build();
+    let optimized: Vec<Program> = templates.iter().map(|t| db.prepare(t.clone())).collect();
     let optimized = &optimized;
     let expected = &expected;
-    let proto = &proto;
+    let db_ref = &db;
 
     thread::scope(|scope| {
         for s in 0..sessions {
-            let mut engine = proto.session();
+            let mut session = db_ref.session();
             scope.spawn(move || {
                 for (idx, params) in workload(s, queries_each) {
-                    let out = engine
-                        .run(&optimized[idx], &params)
+                    let reply = session
+                        .query(&optimized[idx], &params)
                         .unwrap_or_else(|e| panic!("session {s}: {e}"));
                     let key = format!("{idx}:{params:?}");
                     assert_eq!(
-                        out.exports, expected[&key],
+                        reply.exports, expected[&key],
                         "session {s} diverged from naive on {key}"
                     );
                 }
@@ -139,7 +133,7 @@ fn run_stress(
     // pool-entry uniqueness per signature: the bijectivity invariant plus
     // an explicit duplicate scan.
     {
-        let pool = shared.pool();
+        let pool = db.pool();
         pool.check_invariants().expect("pool coherent after stress");
         let mut seen = std::collections::HashSet::new();
         for e in pool.snapshot_entries() {
@@ -149,8 +143,8 @@ fn run_stress(
             );
         }
     }
-    let stats = shared.stats();
-    (stats, shared)
+    let stats = db.stats();
+    (stats, db)
 }
 
 #[test]
@@ -165,7 +159,11 @@ fn four_sessions_overlapping_select_join_streams() {
         "with six overlapping range variants most marked instructions \
          must be answered from the pool: {stats:?}"
     );
-    assert_eq!(stats.sessions, 1 + 4, "prototype + four forks");
+    assert_eq!(stats.sessions, 4, "one session per stream");
+    assert_eq!(
+        stats.active_sessions, 0,
+        "stream sessions must close (and rebalance slices) on drop"
+    );
 }
 
 #[test]
@@ -183,7 +181,7 @@ fn tight_memory_limit_evicts_but_never_a_pinned_entry() {
     // invariant check; results must still equal naive.
     let limit = 48 * 1024;
     let config = RecyclerConfig::default().mem_limit(limit);
-    let (stats, shared) = run_stress(config, 6, 20);
+    let (stats, db) = run_stress(config, 6, 20);
     assert!(
         stats.evictions > 0 || stats.admission_rejects > 0,
         "a 48 KiB pool must be under pressure: {stats:?}"
@@ -191,9 +189,9 @@ fn tight_memory_limit_evicts_but_never_a_pinned_entry() {
     // the cap is STRICT even under concurrent admissions: in-flight
     // reservations are accounted, so the pool can never overshoot
     assert!(
-        shared.pool().bytes() <= limit,
+        db.pool().bytes() <= limit,
         "resident {} bytes exceed the {} byte cap",
-        shared.pool().bytes(),
+        db.pool().bytes(),
         limit
     );
 }
@@ -232,33 +230,30 @@ fn sixteen_threads_stats_totals_exact() {
 #[test]
 fn warm_concurrent_hits_take_no_write_lock() {
     let cat = catalog(2000);
-    let templates = vec![select_template(), join_template()];
-    let shared = SharedRecycler::new(RecyclerConfig::default().shards(8));
-    let mut proto: Engine<Recycler> = Engine::with_hook(cat, shared.session());
-    proto.add_pass(Box::new(RecycleMark));
-    let mut optimized = templates.clone();
-    for t in optimized.iter_mut() {
-        proto.optimize(t);
-    }
+    let templates = [select_template(), join_template()];
+    let db = DatabaseBuilder::new(cat)
+        .recycler(RecyclerConfig::default().shards(8))
+        .build();
+    let optimized: Vec<Program> = templates.iter().map(|t| db.prepare(t.clone())).collect();
     // warm the pool with every (template, params) pair the streams use
-    let mut warmer = proto.session();
+    let mut warmer = db.session();
     for s in 0..4 {
         for (idx, params) in workload(s, 12) {
-            warmer.run(&optimized[idx], &params).unwrap();
+            warmer.query(&optimized[idx], &params).unwrap();
         }
     }
-    let w0 = shared.pool().write_lock_acquisitions();
-    let hits0 = shared.stats().hits;
+    let w0 = db.pool().write_lock_acquisitions();
+    let hits0 = db.stats().hits;
     let optimized = &optimized;
-    let proto = &proto;
+    let db_ref = &db;
     thread::scope(|scope| {
         for s in 0..4 {
-            let mut engine = proto.session();
+            let mut session = db_ref.session();
             scope.spawn(move || {
                 for (idx, params) in workload(s, 12) {
-                    let out = engine.run(&optimized[idx], &params).unwrap();
+                    let reply = session.query(&optimized[idx], &params).unwrap();
                     assert_eq!(
-                        out.stats.reused, out.stats.marked,
+                        reply.reused, reply.marked,
                         "warm streams must hit on every marked instruction"
                     );
                 }
@@ -266,12 +261,12 @@ fn warm_concurrent_hits_take_no_write_lock() {
         }
     });
     assert_eq!(
-        shared.pool().write_lock_acquisitions(),
+        db.pool().write_lock_acquisitions(),
         w0,
         "warm exact-match streams must never take a shard write lock"
     );
-    assert!(shared.stats().hits > hits0);
-    shared.pool().check_invariants().unwrap();
+    assert!(db.stats().hits > hits0);
+    db.pool().check_invariants().unwrap();
 }
 
 #[test]

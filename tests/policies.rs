@@ -1,23 +1,21 @@
-//! Admission and eviction policy behaviour on real workloads.
+//! Admission and eviction policy behaviour on real workloads, driven
+//! through the `Database`/`Session` facade.
 
-use recycler::{AdmissionPolicy, EvictionPolicy, RecycleMark, Recycler, RecyclerConfig};
-use rmal::{Engine, Program};
+use recycling::{AdmissionPolicy, Database, DatabaseBuilder, EvictionPolicy, RecyclerConfig};
+use rmal::Program;
 
-fn drive(config: RecyclerConfig, instances: usize) -> Engine<Recycler> {
+fn drive(config: RecyclerConfig, instances: usize) -> Database {
     let cat = tpch::generate(tpch::TpchScale::new(0.004));
     let (qs, items) = tpch::mixed_batch(&tpch::workload::MIXED_QUERIES, instances, 99);
-    let mut engine = Engine::with_hook(cat, Recycler::new(config));
-    engine.add_pass(Box::new(RecycleMark));
-    let mut templates: Vec<Program> = qs.iter().map(|q| q.template.clone()).collect();
-    for t in templates.iter_mut() {
-        engine.optimize(t);
-    }
+    let db = DatabaseBuilder::new(cat).recycler(config).build();
+    let templates: Vec<Program> = qs.iter().map(|q| db.prepare(q.template.clone())).collect();
+    let mut session = db.session();
     for item in &items {
-        engine
-            .run(&templates[item.query_idx], &item.params)
+        session
+            .query(&templates[item.query_idx], &item.params)
             .expect("query");
     }
-    engine
+    db
 }
 
 #[test]
@@ -28,12 +26,12 @@ fn credit_uses_less_memory_than_keepall() {
         5,
     );
     assert!(
-        credit.hook.pool().bytes() < keepall.hook.pool().bytes(),
+        credit.pool().bytes() < keepall.pool().bytes(),
         "credit(2): {} vs keepall: {}",
-        credit.hook.pool().bytes(),
-        keepall.hook.pool().bytes()
+        credit.pool().bytes(),
+        keepall.pool().bytes()
     );
-    assert!(credit.hook.stats().admission_rejects > 0);
+    assert!(credit.stats().admission_rejects > 0);
 }
 
 #[test]
@@ -49,10 +47,10 @@ fn adaptive_beats_plain_credit_on_hits() {
     // once an instruction demonstrates reuse, ADAPT grants unlimited
     // credits — hits must be at least on par with the plain credit policy
     assert!(
-        adapt.hook.stats().hits * 100 >= credit.hook.stats().hits * 95,
+        adapt.stats().hits * 100 >= credit.stats().hits * 95,
         "adapt {} vs credit {}",
-        adapt.hook.stats().hits,
-        credit.hook.stats().hits
+        adapt.stats().hits,
+        credit.stats().hits
     );
 }
 
@@ -63,17 +61,17 @@ fn entry_limit_is_hard() {
         EvictionPolicy::Benefit,
         EvictionPolicy::History,
     ] {
-        let engine = drive(
+        let db = drive(
             RecyclerConfig::default().eviction(policy).entry_limit(50),
             4,
         );
         assert!(
-            engine.hook.pool().len() <= 50,
+            db.pool().len() <= 50,
             "{policy:?}: {} entries",
-            engine.hook.pool().len()
+            db.pool().len()
         );
-        engine.hook.pool().check_invariants().expect("coherent");
-        assert!(engine.hook.stats().evictions > 0, "{policy:?} must evict");
+        db.pool().check_invariants().expect("coherent");
+        assert!(db.stats().evictions > 0, "{policy:?} must evict");
     }
 }
 
@@ -85,16 +83,16 @@ fn memory_limit_is_hard() {
         EvictionPolicy::History,
     ] {
         let limit = 256 * 1024;
-        let engine = drive(
+        let db = drive(
             RecyclerConfig::default().eviction(policy).mem_limit(limit),
             4,
         );
         assert!(
-            engine.hook.pool().bytes() <= limit,
+            db.pool().bytes() <= limit,
             "{policy:?}: {} bytes",
-            engine.hook.pool().bytes()
+            db.pool().bytes()
         );
-        engine.hook.pool().check_invariants().expect("coherent");
+        db.pool().check_invariants().expect("coherent");
     }
 }
 
@@ -105,39 +103,20 @@ fn limited_pool_still_produces_correct_results() {
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(3);
     let params = (q.params)(&mut rng);
 
-    let mut naive = Engine::new(cat.clone());
-    let mut nt = q.template.clone();
-    naive.optimize(&mut nt);
-    let expected = naive.run(&nt, &params).unwrap().exports;
+    let naive_db = DatabaseBuilder::new(cat.clone()).naive().build();
+    let nt = naive_db.prepare(q.template.clone());
+    let expected = naive_db.session().query(&nt, &params).unwrap().exports;
 
     let cfg = RecyclerConfig::default()
         .eviction(EvictionPolicy::Benefit)
         .entry_limit(8)
         .mem_limit(64 * 1024);
-    let mut engine = Engine::with_hook(cat, Recycler::new(cfg));
-    engine.add_pass(Box::new(RecycleMark));
-    let mut t = q.template.clone();
-    engine.optimize(&mut t);
-    for _ in 0..5 {
-        let got = engine.run(&t, &params).unwrap().exports;
-        assert_eq!(got, expected);
+    let db = DatabaseBuilder::new(cat).recycler(cfg).build();
+    let t = db.prepare(q.template.clone());
+    let mut session = db.session();
+    for round in 0..3 {
+        let got = session.query(&t, &params).unwrap().exports;
+        assert_eq!(got, expected, "round {round} under tight limits");
     }
-}
-
-#[test]
-fn eviction_respects_protection_of_running_query() {
-    // a pool so small that a single query overflows it must still work
-    // (paper footnote 3: protected leaves become evictable as a last resort)
-    let cat = tpch::generate(tpch::TpchScale::new(0.004));
-    let q = tpch::query(21);
-    let cfg = RecyclerConfig::default().entry_limit(3);
-    let mut engine = Engine::with_hook(cat, Recycler::new(cfg));
-    engine.add_pass(Box::new(RecycleMark));
-    let mut t = q.template.clone();
-    engine.optimize(&mut t);
-    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(4);
-    let params = (q.params)(&mut rng);
-    engine.run(&t, &params).expect("q21 under tiny pool");
-    assert!(engine.hook.pool().len() <= 3);
-    engine.hook.pool().check_invariants().expect("coherent");
+    db.pool().check_invariants().expect("coherent");
 }

@@ -1,13 +1,13 @@
-//! The central correctness gate: for every TPC-H query, a recycler-equipped
-//! engine must produce exactly the results of the naive engine — across
-//! repeated instances (exact-match reuse), parameter variations
+//! The central correctness gate: for every TPC-H query, a recycler-backed
+//! database must produce exactly the results of the naive database —
+//! across repeated instances (exact-match reuse), parameter variations
 //! (subsumption), and with subsumption disabled.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rbat::{Catalog, Value};
-use recycler::{RecycleMark, Recycler, RecyclerConfig};
-use rmal::{Engine, Program};
+use recycling::{DatabaseBuilder, RecyclerConfig};
+use rmal::Program;
 
 fn catalog() -> Catalog {
     tpch::generate(tpch::TpchScale::new(0.004))
@@ -20,22 +20,21 @@ fn run_pair(
     param_sets: &[Vec<Value>],
     config: RecyclerConfig,
 ) -> (Vec<Vec<(String, Value)>>, Vec<Vec<(String, Value)>>, u64) {
-    let mut naive = Engine::new(cat.clone());
-    let mut nt = template.clone();
-    naive.optimize(&mut nt);
+    let naive_db = DatabaseBuilder::new(cat.clone()).naive().build();
+    let nt = naive_db.prepare(template.clone());
+    let mut naive = naive_db.session();
 
-    let mut rec = Engine::with_hook(cat.clone(), Recycler::new(config));
-    rec.add_pass(Box::new(RecycleMark));
-    let mut rt = template.clone();
-    rec.optimize(&mut rt);
+    let db = DatabaseBuilder::new(cat.clone()).recycler(config).build();
+    let rt = db.prepare(template.clone());
+    let mut rec = db.session();
 
     let mut naive_out = Vec::new();
     let mut rec_out = Vec::new();
     for params in param_sets {
-        naive_out.push(naive.run(&nt, params).expect("naive").exports);
-        rec_out.push(rec.run(&rt, params).expect("recycled").exports);
+        naive_out.push(naive.query(&nt, params).expect("naive").exports);
+        rec_out.push(rec.query(&rt, params).expect("recycled").exports);
     }
-    (naive_out, rec_out, rec.hook.stats().hits)
+    (naive_out, rec_out, db.stats().hits)
 }
 
 #[test]
@@ -86,23 +85,16 @@ fn subsumption_disabled_still_correct() {
 fn pool_invariants_hold_after_workload() {
     let cat = catalog();
     let (qs, items) = tpch::mixed_batch(&tpch::workload::MIXED_QUERIES, 4, 5);
-    let mut engine = Engine::with_hook(cat, Recycler::new(RecyclerConfig::default()));
-    engine.add_pass(Box::new(RecycleMark));
-    let mut templates: Vec<Program> = qs.iter().map(|q| q.template.clone()).collect();
-    for t in templates.iter_mut() {
-        engine.optimize(t);
-    }
+    let db = DatabaseBuilder::new(cat).build();
+    let templates: Vec<Program> = qs.iter().map(|q| db.prepare(q.template.clone())).collect();
+    let mut session = db.session();
     for item in &items {
-        engine
-            .run(&templates[item.query_idx], &item.params)
+        session
+            .query(&templates[item.query_idx], &item.params)
             .expect("mixed batch query");
     }
-    engine
-        .hook
-        .pool()
-        .check_invariants()
-        .expect("pool coherent");
-    assert!(engine.hook.stats().hits > 0);
+    db.pool().check_invariants().expect("pool coherent");
+    assert!(db.stats().hits > 0);
 }
 
 #[test]
@@ -111,18 +103,15 @@ fn recycler_overhead_is_bounded() {
     // generous budget to keep the test robust on slow machines
     let cat = catalog();
     let (qs, items) = tpch::mixed_batch(&[4, 18, 19], 10, 6);
-    let mut engine = Engine::with_hook(cat, Recycler::new(RecyclerConfig::default()));
-    engine.add_pass(Box::new(RecycleMark));
-    let mut templates: Vec<Program> = qs.iter().map(|q| q.template.clone()).collect();
-    for t in templates.iter_mut() {
-        engine.optimize(t);
-    }
+    let db = DatabaseBuilder::new(cat).build();
+    let templates: Vec<Program> = qs.iter().map(|q| db.prepare(q.template.clone())).collect();
+    let mut session = db.session();
     for item in &items {
-        engine
-            .run(&templates[item.query_idx], &item.params)
+        session
+            .query(&templates[item.query_idx], &item.params)
             .expect("query");
     }
-    let s = engine.hook.stats();
+    let s = db.stats();
     let per_instr = s.overhead.as_nanos() as f64 / s.monitored.max(1) as f64;
     // The real bound (paper: <1µs) is measured by `benches/matching.rs` on
     // a release build; this is a debug-build smoke bound with headroom for

@@ -1,0 +1,437 @@
+//! Wire-protocol coverage for the TCP front-end: frame round-trip
+//! property test, malformed/truncated-frame rejection against a live
+//! server, connection-level admission control, and a
+//! concurrent-connections stress whose results and stats identities must
+//! match in-process sessions.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use proptest::prelude::*;
+use rbat::{Catalog, Date, LogicalType, Oid, TableBuilder, Value};
+use rcy_server::protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    QueryResult, Request, Response,
+};
+use rcy_server::{Client, ClientError, Server, ServerConfig};
+use recycling::{Database, DatabaseBuilder, RecyclerConfig};
+use rmal::{Program, ProgramBuilder, P};
+
+// ----- test fixtures --------------------------------------------------------
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    let mut tb = TableBuilder::new("t")
+        .column("x", LogicalType::Int)
+        .column("y", LogicalType::Int);
+    for i in 0..2000i64 {
+        tb.push_row(&[Value::Int((i * 37) % 2000), Value::Int(i % 97)]);
+    }
+    cat.add_table(tb.finish());
+    cat
+}
+
+fn count_template() -> Program {
+    let mut b = ProgramBuilder::new("count_range", 2);
+    let col = b.bind("t", "x");
+    let sel = b.select_closed(col, P(0), P(1));
+    let n = b.count(sel);
+    b.export("n", n);
+    b.finish()
+}
+
+fn serving_db() -> Database {
+    DatabaseBuilder::new(catalog())
+        .template("count_range", count_template())
+        .build()
+}
+
+// ----- frame round-trip property test ---------------------------------------
+
+/// Map a generated `(kind, payload)` pair onto one wire-encodable value.
+fn arb_value(kind: u8, n: i64) -> Value {
+    match kind % 7 {
+        0 => Value::Nil,
+        1 => Value::Bool(n % 2 == 0),
+        2 => Value::Int(n),
+        3 => Value::Float(n as f64 / 3.0),
+        4 => Value::Date(Date(n as i32)),
+        5 => Value::str(&format!("s{n}\u{00e9}")), // non-ASCII on purpose
+        _ => Value::Oid(Oid(n.unsigned_abs())),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any request survives encode → frame → unframe → decode exactly,
+    /// including through a byte stream carrying several frames
+    /// back-to-back.
+    #[test]
+    fn frames_roundtrip(
+        name_tag in 0u64..1000,
+        params in prop::collection::vec((0u8..7, -100_000i64..100_000), 0..12),
+        rows in prop::collection::vec(
+            prop::collection::vec((0u8..7, -1000i64..1000), 1..4), 0..4),
+        deletes in prop::collection::vec(0u64..10_000, 0..6),
+    ) {
+        let reqs = vec![
+            Request::Query {
+                template: format!("q{name_tag}"),
+                params: params.iter().map(|&(k, n)| arb_value(k, n)).collect(),
+            },
+            Request::Commit {
+                table: format!("t{name_tag}"),
+                inserts: rows
+                    .iter()
+                    .map(|r| r.iter().map(|&(k, n)| arb_value(k, n)).collect())
+                    .collect(),
+                deletes: deletes.clone(),
+            },
+            Request::Stats,
+            Request::Close,
+        ];
+        // several frames through one buffer, like a real connection
+        let mut stream: Vec<u8> = Vec::new();
+        for req in &reqs {
+            let payload = encode_request(req).map_err(|e| {
+                TestCaseError::fail(format!("encode: {e}"))
+            })?;
+            write_frame(&mut stream, &payload).map_err(|e| {
+                TestCaseError::fail(format!("frame: {e}"))
+            })?;
+        }
+        let mut cursor: &[u8] = &stream;
+        for req in &reqs {
+            let payload = read_frame(&mut cursor)
+                .map_err(|e| TestCaseError::fail(format!("unframe: {e}")))?
+                .expect("frame present");
+            let decoded = decode_request(&payload)
+                .map_err(|e| TestCaseError::fail(format!("decode: {e}")))?;
+            prop_assert_eq!(&decoded, req);
+        }
+        prop_assert!(read_frame(&mut cursor).unwrap().is_none());
+
+        // responses too
+        let resp = Response::Query(QueryResult {
+            exports: params
+                .iter()
+                .enumerate()
+                .map(|(i, &(k, n))| (format!("e{i}"), arb_value(k, n)))
+                .collect(),
+            marked: name_tag,
+            reused: name_tag / 2,
+            subsumed: 1,
+            admitted: 2,
+            elapsed_us: 3,
+        });
+        let bytes = encode_response(&resp).map_err(|e| {
+            TestCaseError::fail(format!("encode resp: {e}"))
+        })?;
+        prop_assert_eq!(decode_response(&bytes).unwrap(), resp);
+    }
+
+    /// Decoding never panics and never succeeds on a *prefix* of a valid
+    /// payload (truncation is always surfaced as an error).
+    #[test]
+    fn truncated_payloads_always_rejected(
+        params in prop::collection::vec((0u8..7, -1000i64..1000), 1..6),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let payload = encode_request(&Request::Query {
+            template: "q".into(),
+            params: params.iter().map(|&(k, n)| arb_value(k, n)).collect(),
+        }).unwrap();
+        let cut = 1 + ((payload.len() - 2) as f64 * cut_frac) as usize;
+        prop_assert!(decode_request(&payload[..cut]).is_err());
+    }
+}
+
+// ----- malformed frames against a live server -------------------------------
+
+#[test]
+fn oversized_length_prefix_is_rejected_with_an_error_frame() {
+    let server = Server::start(serving_db(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    // a hostile 4 GiB length prefix (no body bytes: the server closes the
+    // socket after replying, and unread input would turn that close into
+    // a RST that could discard the in-flight error frame)
+    raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    let resp = read_frame(&mut raw).unwrap().expect("error frame");
+    match decode_response(&resp).unwrap() {
+        Response::Error { message } => assert!(message.contains("exceeds limit"), "{message}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // and the server hung up: the next read is EOF
+    let mut buf = [0u8; 1];
+    assert_eq!(raw.read(&mut buf).unwrap(), 0, "connection must be closed");
+    server.shutdown();
+}
+
+#[test]
+fn truncated_frame_is_rejected() {
+    let server = Server::start(serving_db(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    // announce 100 bytes, send 3, hang up
+    raw.write_all(&100u32.to_le_bytes()).unwrap();
+    raw.write_all(&[1, 2, 3]).unwrap();
+    raw.shutdown(std::net::Shutdown::Write).unwrap();
+    let resp = read_frame(&mut raw).unwrap().expect("error frame");
+    match decode_response(&resp).unwrap() {
+        Response::Error { message } => assert!(message.contains("truncated"), "{message}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn garbage_payload_is_rejected() {
+    let server = Server::start(serving_db(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    write_frame(&mut raw, &[0xee, 0xff, 0x00]).unwrap();
+    let resp = read_frame(&mut raw).unwrap().expect("error frame");
+    assert!(
+        matches!(decode_response(&resp).unwrap(), Response::Error { .. }),
+        "unknown tag must produce an Error response"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn unknown_template_is_an_error_not_a_hangup() {
+    let server = Server::start(serving_db(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let err = client.query("no_such_template", &[]).unwrap_err();
+    assert!(
+        matches!(&err, ClientError::Remote(m) if m.contains("unknown template")),
+        "{err:?}"
+    );
+    // the session survives a request-level error
+    let reply = client
+        .query("count_range", &[Value::Int(0), Value::Int(100)])
+        .unwrap();
+    assert_eq!(reply.exports.len(), 1);
+    client.close().unwrap();
+    server.shutdown();
+}
+
+// ----- connection-level admission control -----------------------------------
+
+#[test]
+fn connections_beyond_capacity_are_rejected_busy() {
+    let server = Server::start(
+        serving_db(),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: 1,
+            backlog: 1,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // A occupies the single worker (a query forces the pop)
+    let mut a = Client::connect(addr).unwrap();
+    a.query("count_range", &[Value::Int(0), Value::Int(10)])
+        .unwrap();
+    // B fills the backlog seat and waits
+    let b = Client::connect(addr).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    // C is over capacity: admission control turns it away
+    let mut c = Client::connect(addr).unwrap();
+    let err = c
+        .query("count_range", &[Value::Int(0), Value::Int(10)])
+        .unwrap_err();
+    assert!(matches!(err, ClientError::Busy(_)), "{err:?}");
+    assert!(server.rejected_connections() >= 1);
+
+    // hang up B before shutdown — the worker that picks it up after A
+    // closes would otherwise sit in read_frame forever while shutdown
+    // joins it
+    drop(b);
+    a.close().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_returns_while_an_idle_connection_is_still_open() {
+    // Regression: a worker blocked reading an idle-but-open connection
+    // must be woken by shutdown (socket sever), not joined forever.
+    let server = Server::start(serving_db(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut idle = Client::connect(server.local_addr()).unwrap();
+    // make sure the connection is actually in service before shutting down
+    idle.query("count_range", &[Value::Int(0), Value::Int(10)])
+        .unwrap();
+    server.shutdown(); // must return, not hang, with `idle` still open
+    assert!(
+        idle.query("count_range", &[Value::Int(0), Value::Int(10)])
+            .is_err(),
+        "the severed connection must be dead after shutdown"
+    );
+}
+
+// ----- concurrent-connections stress ----------------------------------------
+
+/// N TCP clients replay overlapping query streams; every wire answer must
+/// equal the in-process answer for the same parameters, the clients must
+/// reuse each other's intermediates through the shared pool, and the
+/// server-wide stats identity (every marked instruction hits or resolves
+/// as exactly one admission outcome) must hold — the same identity the
+/// in-process 16-thread stress pins down.
+#[test]
+fn concurrent_clients_match_in_process_sessions() {
+    let clients = 6usize;
+    let per_client = 20usize;
+    let ranges: Vec<(i64, i64)> = (0..8).map(|i| (i * 40, i * 40 + 500)).collect();
+
+    // ground truth: the same queries through an in-process session on an
+    // identically built database
+    let local = serving_db();
+    let lt = local.template("count_range").unwrap();
+    let mut local_session = local.session();
+    let expected: Vec<Vec<(String, Value)>> = ranges
+        .iter()
+        .map(|&(lo, hi)| {
+            local_session
+                .query(&lt, &[Value::Int(lo), Value::Int(hi)])
+                .unwrap()
+                .exports
+        })
+        .collect();
+
+    let server = Server::start(
+        serving_db(),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: clients,
+            backlog: clients,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let ranges = &ranges;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for i in 0..per_client {
+                    let k = (c + i) % ranges.len();
+                    let (lo, hi) = ranges[k];
+                    let reply = client
+                        .query("count_range", &[Value::Int(lo), Value::Int(hi)])
+                        .unwrap();
+                    assert_eq!(
+                        reply.exports, expected[k],
+                        "client {c} query {i} diverged from in-process"
+                    );
+                }
+                client.close().unwrap();
+            });
+        }
+    });
+
+    let mut c = Client::connect(addr).unwrap();
+    let stats = c.stats().unwrap();
+    c.close().unwrap();
+    server.shutdown();
+    let stat = |name: &str| {
+        stats
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert_eq!(
+        stat("monitored"),
+        stat("hits")
+            + stat("admissions")
+            + stat("duplicate_admissions")
+            + stat("admission_rejects"),
+        "server stats identity must hold under concurrent wire traffic: {stats:?}"
+    );
+    assert!(
+        stat("cross_session_hits") > 0,
+        "overlapping client streams must reuse across connections: {stats:?}"
+    );
+    assert_eq!(
+        stat("sessions"),
+        clients as u64 + 1, // one per served connection + the stats probe
+        "{stats:?}"
+    );
+}
+
+// ----- wire-level starvation regression --------------------------------------
+
+/// The credit-slice guarantee holds over TCP: a flooding connection
+/// saturating its slice cannot stop another connection's admissions.
+#[test]
+fn flooding_client_cannot_starve_another_clients_admissions() {
+    let mut cat = catalog();
+    let mut tb = TableBuilder::new("v").column("x", LogicalType::Int);
+    for i in 0..2000i64 {
+        tb.push_row(&[Value::Int((i * 13) % 2000)]);
+    }
+    cat.add_table(tb.finish());
+    let mut vb = ProgramBuilder::new("victim_range", 2);
+    let col = vb.bind("v", "x");
+    let sel = vb.select_closed(col, P(0), P(1));
+    let n = vb.count(sel);
+    vb.export("n", n);
+
+    let db = DatabaseBuilder::new(cat)
+        .recycler(
+            RecyclerConfig::default()
+                .subsumption(false)
+                .session_credits(40),
+        )
+        .template("count_range", count_template())
+        .template("victim_range", vb.finish())
+        .build();
+    let server = Server::start(
+        db,
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: 2,
+            backlog: 2,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut flooder = Client::connect(addr).unwrap();
+    let mut victim = Client::connect(addr).unwrap();
+    // the victim's connection must be *open* (active session) while the
+    // flooder floods, so the slice divisor counts both
+    victim.stats().unwrap();
+    for i in 0..100i64 {
+        flooder
+            .query("count_range", &[Value::Int(i * 7), Value::Int(i * 7 + 3)])
+            .unwrap();
+    }
+    // flooder has saturated its slice + overflow...
+    let stats = flooder.stats().unwrap();
+    let budget_rejects = stats
+        .iter()
+        .find(|(n, _)| n == "session_budget_rejects")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    assert!(budget_rejects > 0, "flooder must hit its slice: {stats:?}");
+    // ...but the victim still admits every entry of its modest workload
+    for i in 0..5i64 {
+        let reply = victim
+            .query(
+                "victim_range",
+                &[Value::Int(i * 100), Value::Int(i * 100 + 50)],
+            )
+            .unwrap();
+        assert!(
+            reply.admitted > 0,
+            "victim query {i} admitted nothing over the wire — starved"
+        );
+    }
+    flooder.close().unwrap();
+    victim.close().unwrap();
+    server.shutdown();
+}

@@ -1,8 +1,8 @@
 //! SkyServer workload integration: the sampled log replays correctly and
-//! profitably through the recycler.
+//! profitably through the recycler, driven through the facade.
 
-use recycler::{RecycleMark, Recycler, RecyclerConfig};
-use rmal::{Engine, Program};
+use recycling::DatabaseBuilder;
+use rmal::Program;
 use skyserver::{generate, sample_log, SkyScale};
 
 #[test]
@@ -10,21 +10,20 @@ fn log_replay_equals_naive() {
     let cat = generate(SkyScale::new(6000));
     let (templates, log) = sample_log(60, 17);
 
-    let mut naive = Engine::new(cat.clone());
-    let mut nts: Vec<Program> = templates.clone();
-    for t in nts.iter_mut() {
-        naive.optimize(t);
-    }
-    let mut rec = Engine::with_hook(cat, Recycler::new(RecyclerConfig::default()));
-    rec.add_pass(Box::new(RecycleMark));
-    let mut rts: Vec<Program> = templates;
-    for t in rts.iter_mut() {
-        rec.optimize(t);
-    }
+    let naive_db = DatabaseBuilder::new(cat.clone()).naive().build();
+    let nts: Vec<Program> = templates
+        .iter()
+        .map(|t| naive_db.prepare(t.clone()))
+        .collect();
+    let mut naive = naive_db.session();
+
+    let db = DatabaseBuilder::new(cat).build();
+    let rts: Vec<Program> = templates.iter().map(|t| db.prepare(t.clone())).collect();
+    let mut rec = db.session();
 
     for (i, item) in log.iter().enumerate() {
-        let expect = naive.run(&nts[item.query_idx], &item.params).unwrap();
-        let got = rec.run(&rts[item.query_idx], &item.params).unwrap();
+        let expect = naive.query(&nts[item.query_idx], &item.params).unwrap();
+        let got = rec.query(&rts[item.query_idx], &item.params).unwrap();
         assert_eq!(
             expect.exports, got.exports,
             "log item {i} ({:?})",
@@ -33,29 +32,26 @@ fn log_replay_equals_naive() {
     }
 
     // the dominant template must recycle heavily (the paper reports 95.6%)
-    let stats = rec.hook.stats();
+    let stats = db.stats();
     let rate = stats.hits as f64 / stats.monitored.max(1) as f64;
     assert!(
         rate > 0.5,
         "reuse rate {rate:.2} too low for a template-heavy log"
     );
-    rec.hook.pool().check_invariants().expect("coherent");
+    db.pool().check_invariants().expect("coherent");
 }
 
 #[test]
 fn pool_breakdown_has_expected_families() {
     let cat = generate(SkyScale::new(4000));
     let (templates, log) = sample_log(40, 23);
-    let mut rec = Engine::with_hook(cat, Recycler::new(RecyclerConfig::default()));
-    rec.add_pass(Box::new(RecycleMark));
-    let mut rts: Vec<Program> = templates;
-    for t in rts.iter_mut() {
-        rec.optimize(t);
-    }
+    let db = DatabaseBuilder::new(cat).build();
+    let rts: Vec<Program> = templates.iter().map(|t| db.prepare(t.clone())).collect();
+    let mut rec = db.session();
     for item in &log {
-        rec.run(&rts[item.query_idx], &item.params).unwrap();
+        rec.query(&rts[item.query_idx], &item.params).unwrap();
     }
-    let snap = rec.hook.snapshot();
+    let snap = db.snapshot();
     for family in ["bind", "select", "join"] {
         assert!(
             snap.by_family.contains_key(family),

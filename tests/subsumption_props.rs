@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use rbat::{Catalog, LogicalType, TableBuilder, Value};
-use recycler::{RecycleMark, Recycler, RecyclerConfig};
-use rmal::{Engine, Program, ProgramBuilder, P};
+use recycling::{DatabaseBuilder, RecyclerConfig};
+use rmal::{Program, ProgramBuilder, P};
 
 fn catalog(n: i64) -> Catalog {
     let mut cat = Catalog::new();
@@ -43,22 +43,21 @@ proptest! {
     fn random_ranges_equal_naive(ranges in prop::collection::vec((0i64..2000, 0i64..2000), 1..12)) {
         let cat = catalog(2000);
         let template = range_template();
-        let mut naive = Engine::new(cat.clone());
-        let mut nt = template.clone();
-        naive.optimize(&mut nt);
-        let mut rec = Engine::with_hook(cat, Recycler::new(RecyclerConfig::default()));
-        rec.add_pass(Box::new(RecycleMark));
-        let mut rt = template.clone();
-        rec.optimize(&mut rt);
+        let naive_db = DatabaseBuilder::new(cat.clone()).naive().build();
+        let nt = naive_db.prepare(template.clone());
+        let mut naive = naive_db.session();
+        let db = DatabaseBuilder::new(cat).recycler(RecyclerConfig::default()).build();
+        let rt = db.prepare(template.clone());
+        let mut rec = db.session();
         for (a, b) in ranges {
             let (lo, hi) = (a.min(b), a.max(b));
             let params = [Value::Int(lo), Value::Int(hi)];
-            let expect = naive.run(&nt, &params).unwrap();
-            let got = rec.run(&rt, &params).unwrap();
+            let expect = naive.query(&nt, &params).unwrap();
+            let got = rec.query(&rt, &params).unwrap();
             prop_assert_eq!(expect.export("n"), got.export("n"));
             prop_assert_eq!(expect.export("sum"), got.export("sum"));
         }
-        rec.hook.pool().check_invariants().map_err(|e| {
+        db.pool().check_invariants().map_err(|e| {
             TestCaseError::fail(format!("pool invariant: {e}"))
         })?;
     }
@@ -72,24 +71,23 @@ proptest! {
     ) {
         let cat = catalog(2000);
         let template = range_template();
-        let mut naive = Engine::new(cat.clone());
-        let mut nt = template.clone();
-        naive.optimize(&mut nt);
-        let mut rec = Engine::with_hook(cat, Recycler::new(RecyclerConfig::default()));
-        rec.add_pass(Box::new(RecycleMark));
-        let mut rt = template.clone();
-        rec.optimize(&mut rt);
+        let naive_db = DatabaseBuilder::new(cat.clone()).naive().build();
+        let nt = naive_db.prepare(template.clone());
+        let mut naive = naive_db.session();
+        let db = DatabaseBuilder::new(cat).recycler(RecyclerConfig::default()).build();
+        let rt = db.prepare(template.clone());
+        let mut rec = db.session();
 
         let outer = [Value::Int(lo), Value::Int(lo + width)];
         let inner = [Value::Int(lo + shrink), Value::Int(lo + width - shrink)];
-        let _ = rec.run(&rt, &outer).unwrap();
-        let got = rec.run(&rt, &inner).unwrap();
-        let expect = naive.run(&nt, &inner).unwrap();
+        let _ = rec.query(&rt, &outer).unwrap();
+        let got = rec.query(&rt, &inner).unwrap();
+        let expect = naive.query(&nt, &inner).unwrap();
         prop_assert_eq!(expect.export("n"), got.export("n"));
         prop_assert_eq!(expect.export("sum"), got.export("sum"));
         // the inner selection must have been answered in subsumed form
         // (strictly smaller range over the same operand)
-        prop_assert!(got.stats.subsumed >= 1 || shrink * 2 >= width);
+        prop_assert!(got.subsumed >= 1 || shrink * 2 >= width);
     }
 }
 
@@ -97,17 +95,18 @@ proptest! {
 fn combined_subsumption_microbench_is_exact() {
     let cat = skyserver::generate(skyserver::SkyScale::new(5000));
     let (template, items) = skyserver::microbench(6, 3, 0.05, 11);
-    let mut naive = Engine::new(cat.clone());
-    let mut nt = template.clone();
-    naive.optimize(&mut nt);
-    let mut rec = Engine::with_hook(cat, Recycler::new(RecyclerConfig::default()));
-    rec.add_pass(Box::new(RecycleMark));
-    let mut rt = template.clone();
-    rec.optimize(&mut rt);
+    let naive_db = DatabaseBuilder::new(cat.clone()).naive().build();
+    let nt = naive_db.prepare(template.clone());
+    let mut naive = naive_db.session();
+    let db = DatabaseBuilder::new(cat)
+        .recycler(RecyclerConfig::default())
+        .build();
+    let rt = db.prepare(template.clone());
+    let mut rec = db.session();
     let mut seeds_subsumed = 0;
     for item in &items {
-        let expect = naive.run(&nt, &item.params).unwrap();
-        let got = rec.run(&rt, &item.params).unwrap();
+        let expect = naive.query(&nt, &item.params).unwrap();
+        let got = rec.query(&rt, &item.params).unwrap();
         // tuple counts are exact
         assert_eq!(expect.export("objects"), got.export("objects"));
         // float sums may differ in the last ulp: pieced execution adds the
@@ -118,7 +117,7 @@ fn combined_subsumption_microbench_is_exact() {
             (e - g).abs() <= 1e-9 * e.abs().max(1.0),
             "dec_sum diverged: {e} vs {g}"
         );
-        if item.is_seed && got.stats.subsumed > 0 {
+        if item.is_seed && got.subsumed > 0 {
             seeds_subsumed += 1;
         }
     }

@@ -10,10 +10,9 @@ use std::collections::BTreeSet;
 use std::thread;
 use std::time::Duration;
 
-use rbat::catalog::CatalogCell;
 use rbat::{Catalog, LogicalType, TableBuilder, Value};
-use recycler::{RecycleMark, RecyclerConfig, SharedRecycler};
-use rmal::{Engine, ExecHook, HookAction, Program, ProgramBuilder, P};
+use recycling::{Database, DatabaseBuilder, RecyclerConfig, Update};
+use rmal::{ExecHook, HookAction, Program, ProgramBuilder, P};
 
 /// Two independent tables: `hot` receives the writer's commits, `cold`
 /// serves the reader sessions.
@@ -40,10 +39,15 @@ fn range_template(name: &str, table: &str, column: &str) -> Program {
     b.finish()
 }
 
+/// A naive database over the given snapshot — the ground truth engine.
+fn naive_over(cat: Catalog) -> Database {
+    DatabaseBuilder::new(cat).naive().build()
+}
+
 /// The shards holding entries derived from `table`, by base-column
 /// lineage — the only shards a commit to `table` may write-lock.
-fn shards_of_table(shared: &SharedRecycler, table: &str) -> BTreeSet<usize> {
-    let pool = shared.pool();
+fn shards_of_table(db: &Database, table: &str) -> BTreeSet<usize> {
+    let pool = db.pool();
     pool.snapshot_entries()
         .iter()
         .filter(|e| e.base_columns.iter().any(|(t, _)| t == table))
@@ -53,32 +57,34 @@ fn shards_of_table(shared: &SharedRecycler, table: &str) -> BTreeSet<usize> {
 
 #[test]
 fn commit_write_locks_only_dependent_shards() {
-    let shared = SharedRecycler::new(RecyclerConfig::default().shards(16));
-    let mut e = Engine::with_hook(catalog(), shared.session());
-    e.add_pass(Box::new(RecycleMark));
-    let mut th = range_template("hot_q", "hot", "x");
-    let mut tc = range_template("cold_q", "cold", "x");
-    e.optimize(&mut th);
-    e.optimize(&mut tc);
+    let db = DatabaseBuilder::new(catalog())
+        .recycler(RecyclerConfig::default().shards(16))
+        .build();
+    let th = db.prepare(range_template("hot_q", "hot", "x"));
+    let tc = db.prepare(range_template("cold_q", "cold", "x"));
+    let mut session = db.session();
     for i in 0..6i64 {
-        e.run(&th, &[Value::Int(i * 100), Value::Int(i * 100 + 400)])
+        session
+            .query(&th, &[Value::Int(i * 100), Value::Int(i * 100 + 400)])
             .unwrap();
-        e.run(&tc, &[Value::Int(i * 120), Value::Int(i * 120 + 300)])
+        session
+            .query(&tc, &[Value::Int(i * 120), Value::Int(i * 120 + 300)])
             .unwrap();
     }
-    let hot_shards = shards_of_table(&shared, "hot");
+    let hot_shards = shards_of_table(&db, "hot");
     assert!(!hot_shards.is_empty(), "hot entries must be resident");
     assert!(
-        hot_shards.len() < shared.pool().shard_count(),
+        hot_shards.len() < db.pool().shard_count(),
         "the hot closure must not cover every shard, or the test is vacuous"
     );
-    let cold_entries: usize = shards_of_table(&shared, "cold").len();
+    let cold_entries: usize = shards_of_table(&db, "cold").len();
     assert!(cold_entries > 0);
 
-    let w0 = shared.pool().write_lock_acquisitions_by_shard();
-    e.update("hot", vec![vec![Value::Int(1), Value::Int(1)]], vec![])
+    let w0 = db.pool().write_lock_acquisitions_by_shard();
+    session
+        .commit(Update::to("hot").insert(vec![vec![Value::Int(1), Value::Int(1)]]))
         .unwrap();
-    let w1 = shared.pool().write_lock_acquisitions_by_shard();
+    let w1 = db.pool().write_lock_acquisitions_by_shard();
 
     let mut touched = 0usize;
     for (i, (before, after)) in w0.iter().zip(&w1).enumerate() {
@@ -93,9 +99,9 @@ fn commit_write_locks_only_dependent_shards() {
     }
     assert!(touched > 0, "the commit must write-lock the hot closure");
     // the invalidation took out exactly the hot lineage
-    assert_eq!(shards_of_table(&shared, "hot").len(), 0);
-    assert!(!shards_of_table(&shared, "cold").is_empty());
-    shared.pool().check_invariants().unwrap();
+    assert_eq!(shards_of_table(&db, "hot").len(), 0);
+    assert!(!shards_of_table(&db, "cold").is_empty());
+    db.pool().check_invariants().unwrap();
 }
 
 /// 1 writer committing deltas to `hot` while 8 reader sessions replay a
@@ -109,69 +115,65 @@ fn update_vs_query_stress_readers_never_blocked_or_stale() {
     let rounds = 30usize;
     let commits = 4usize;
 
-    let cell = CatalogCell::new(catalog());
-    let shared = SharedRecycler::new(RecyclerConfig::default().shards(16));
-    let mut proto = Engine::with_shared_catalog(&cell, shared.session());
-    proto.add_pass(Box::new(RecycleMark));
-    let mut th = range_template("hot_q", "hot", "x");
-    let mut tc = range_template("cold_q", "cold", "x");
-    proto.optimize(&mut th);
-    proto.optimize(&mut tc);
+    let db = DatabaseBuilder::new(catalog())
+        .recycler(RecyclerConfig::default().shards(16))
+        .build();
+    let th = db.prepare(range_template("hot_q", "hot", "x"));
+    let tc = db.prepare(range_template("cold_q", "cold", "x"));
 
     let params: Vec<Vec<Value>> = (0..6i64)
         .map(|i| vec![Value::Int(i * 90), Value::Int(i * 90 + 500)])
         .collect();
 
-    // expected cold answers from a naive engine (cold never changes)
-    let mut naive = Engine::new((*cell.snapshot()).clone());
-    let mut nc = range_template("cold_q", "cold", "x");
-    naive.optimize(&mut nc);
+    // expected cold answers from a naive database (cold never changes)
+    let naive_db = naive_over((*db.catalog()).clone());
+    let nc = naive_db.prepare(range_template("cold_q", "cold", "x"));
+    let mut naive = naive_db.session();
     let expected: Vec<_> = params
         .iter()
-        .map(|p| naive.run(&nc, p).unwrap().exports)
+        .map(|p| naive.query(&nc, p).unwrap().exports)
         .collect();
 
     // warm every (template, params) pair the readers will replay, plus the
     // hot chain the writer will invalidate
     {
-        let mut warmer = proto.session();
+        let mut warmer = db.session();
         for p in &params {
-            warmer.run(&tc, p).unwrap();
-            warmer.run(&th, p).unwrap();
+            warmer.query(&tc, p).unwrap();
+            warmer.query(&th, p).unwrap();
         }
     }
-    let hot_shards = shards_of_table(&shared, "hot");
+    let hot_shards = shards_of_table(&db, "hot");
     assert!(!hot_shards.is_empty());
-    let w0 = shared.pool().write_lock_acquisitions_by_shard();
+    let w0 = db.pool().write_lock_acquisitions_by_shard();
 
-    let (proto, th, tc, params, expected) = (&proto, &th, &tc, &params, &expected);
+    let (db_ref, th, tc, params, expected) = (&db, &th, &tc, &params, &expected);
     thread::scope(|scope| {
         for r in 0..readers {
-            let mut engine = proto.session();
+            let mut session = db_ref.session();
             scope.spawn(move || {
                 for i in 0..rounds {
                     let p = &params[(r + i) % params.len()];
-                    let out = engine.run(tc, p).unwrap();
+                    let reply = session.query(tc, p).unwrap();
                     assert_eq!(
-                        out.stats.reused, out.stats.marked,
+                        reply.reused, reply.marked,
                         "warm cold streams must stay pure-hit across commits"
                     );
                     assert_eq!(
-                        &out.exports,
+                        &reply.exports,
                         &expected[(r + i) % params.len()],
                         "reader {r} diverged on round {i}"
                     );
                 }
             });
         }
-        let mut writer = proto.session();
+        let mut writer = db_ref.session();
         scope.spawn(move || {
             for c in 0..commits {
                 writer
-                    .update(
-                        "hot",
-                        vec![vec![Value::Int(c as i64), Value::Int(c as i64)]],
-                        vec![],
+                    .commit(
+                        Update::to("hot")
+                            .insert(vec![vec![Value::Int(c as i64), Value::Int(c as i64)]]),
                     )
                     .unwrap();
             }
@@ -180,7 +182,7 @@ fn update_vs_query_stress_readers_never_blocked_or_stale() {
 
     // the commits write-locked nothing outside the hot closure: every
     // reader shard saw zero write-lock acquisitions for the whole stress
-    let w1 = shared.pool().write_lock_acquisitions_by_shard();
+    let w1 = db.pool().write_lock_acquisitions_by_shard();
     for (i, (before, after)) in w0.iter().zip(&w1).enumerate() {
         if !hot_shards.contains(&i) {
             assert_eq!(
@@ -189,47 +191,48 @@ fn update_vs_query_stress_readers_never_blocked_or_stale() {
             );
         }
     }
-    shared.pool().check_invariants().unwrap();
+    db.pool().check_invariants().unwrap();
 
     // no stale reuse: a post-commit probe of hot recomputes from the
-    // current snapshot and agrees with a naive engine on it
-    let mut post = proto.session();
+    // current snapshot and agrees with a naive database on it
+    let mut post = db.session();
     let p = vec![Value::Int(0), Value::Int(700)];
-    let got = post.run(th, &p).unwrap();
+    let got = post.query(th, &p).unwrap();
     assert_eq!(
-        got.stats.reused, 0,
+        got.reused, 0,
         "post-commit hot probes must not reuse pre-commit intermediates"
     );
-    let mut naive_post = Engine::new((*cell.snapshot()).clone());
-    let mut nh = range_template("hot_q", "hot", "x");
-    naive_post.optimize(&mut nh);
-    assert_eq!(got.exports, naive_post.run(&nh, &p).unwrap().exports);
+    let naive_post = naive_over((*db.catalog()).clone());
+    let nh = naive_post.prepare(range_template("hot_q", "hot", "x"));
+    assert_eq!(
+        got.exports,
+        naive_post.session().query(&nh, &p).unwrap().exports
+    );
 }
 
 /// An old-epoch straggler admitting a bind *after* the commit's
 /// invalidation pass must never be able to serve a post-commit probe:
 /// bind signatures carry the table's commit version, so the stale entry
-/// is unreachable (and merely awaits eviction).
+/// is unreachable (and merely awaits eviction). The straggler is driven
+/// at the hook level through the database's white-box recycler handle —
+/// the race window cannot be scripted through the session API.
 #[test]
 fn stale_bind_from_old_epoch_never_serves_post_commit_probes() {
-    let cell = CatalogCell::new(catalog());
-    let shared = SharedRecycler::new(RecyclerConfig::default());
-    let mut w = Engine::with_shared_catalog(&cell, shared.session());
-    w.add_pass(Box::new(RecycleMark));
-    let mut th = range_template("hot_q", "hot", "x");
-    w.optimize(&mut th);
+    let db = DatabaseBuilder::new(catalog()).build();
+    let th = db.prepare(range_template("hot_q", "hot", "x"));
+    let mut w = db.session();
 
     // a reader pinned the pre-commit epoch...
-    let old_cat = (*cell.snapshot()).clone();
+    let old_cat = (*db.catalog()).clone();
     // ...then the writer commits (pool holds nothing yet, so the
     // invalidation pass has nothing to remove — the race window is the
     // straggler's admission landing after it)
-    w.update("hot", vec![vec![Value::Int(5), Value::Int(5)]], vec![])
+    w.commit(Update::to("hot").insert(vec![vec![Value::Int(5), Value::Int(5)]]))
         .unwrap();
 
     // the straggler executes and admits the hot bind against its
     // pre-commit snapshot
-    let mut straggler = shared.session();
+    let mut straggler = db.recycler().session();
     let bind = th.instrs[0].clone();
     assert_eq!(bind.op, rmal::Opcode::Bind);
     let bind_args = vec![Value::str("hot"), Value::str("x")];
@@ -249,18 +252,20 @@ fn stale_bind_from_old_epoch_never_serves_post_commit_probes() {
         false,
     );
     straggler.query_end(&th);
-    assert_eq!(shared.pool().len(), 1, "the stale bind is resident");
+    assert_eq!(db.pool().len(), 1, "the stale bind is resident");
 
     // a post-commit query must MISS the stale entry and recompute
     let p = vec![Value::Int(0), Value::Int(800)];
-    let got = w.run(&th, &p).unwrap();
+    let got = w.query(&th, &p).unwrap();
     assert_eq!(
-        got.stats.reused, 0,
+        got.reused, 0,
         "a post-commit probe reused a pre-commit bind — stale reuse"
     );
-    let mut naive = Engine::new((*cell.snapshot()).clone());
-    let mut nt = range_template("hot_q", "hot", "x");
-    naive.optimize(&mut nt);
-    assert_eq!(got.exports, naive.run(&nt, &p).unwrap().exports);
-    shared.pool().check_invariants().unwrap();
+    let naive_db = naive_over((*db.catalog()).clone());
+    let nt = naive_db.prepare(range_template("hot_q", "hot", "x"));
+    assert_eq!(
+        got.exports,
+        naive_db.session().query(&nt, &p).unwrap().exports
+    );
+    db.pool().check_invariants().unwrap();
 }

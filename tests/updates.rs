@@ -1,57 +1,59 @@
 //! Update synchronisation: invalidation and delta propagation must both
-//! keep recycled answers identical to a naive engine's across commits.
+//! keep recycled answers identical to a naive database's across commits.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rbat::Value;
-use recycler::{RecycleMark, Recycler, RecyclerConfig, UpdateMode};
-use rmal::Engine;
+use recycling::{Database, DatabaseBuilder, RecyclerConfig, Session, Update, UpdateMode};
+use rmal::Program;
 
-fn engines(mode: UpdateMode) -> (Engine, Engine<Recycler>, rmal::Program, rmal::Program) {
+#[allow(clippy::type_complexity)]
+fn databases(mode: UpdateMode) -> (Database, Database, Program, Program) {
     let cat = tpch::generate(tpch::TpchScale::new(0.003));
     let q = tpch::query(4); // date window + late-lineitem thread
-    let naive = Engine::new(cat.clone());
-    let mut nt = q.template.clone();
-    naive.optimize(&mut nt);
-    let mut rec = Engine::with_hook(
-        cat,
-        Recycler::new(RecyclerConfig::default().update_mode(mode)),
-    );
-    rec.add_pass(Box::new(RecycleMark));
-    let mut rt = q.template.clone();
-    rec.optimize(&mut rt);
+    let naive = DatabaseBuilder::new(cat.clone()).naive().build();
+    let nt = naive.prepare(q.template.clone());
+    let rec = DatabaseBuilder::new(cat)
+        .recycler(RecyclerConfig::default().update_mode(mode))
+        .build();
+    let rt = rec.prepare(q.template.clone());
     (naive, rec, nt, rt)
 }
 
-fn apply_same_update(
-    naive: &mut Engine,
-    rec: &mut Engine<Recycler>,
-    seed: u64,
-    with_deletes: bool,
-) {
+fn apply_same_update(naive: &mut Session, rec: &mut Session, seed: u64, with_deletes: bool) {
     let mut rng_a = SmallRng::seed_from_u64(seed);
     let mut rng_b = SmallRng::seed_from_u64(seed);
-    let block_a = tpch::insert_block(&naive.catalog, &mut rng_a, 6);
-    let block_b = tpch::insert_block(&rec.catalog, &mut rng_b, 6);
-    naive.update("orders", block_a.order_rows, vec![]).unwrap();
+    let cat_a = naive.database().catalog();
+    let cat_b = rec.database().catalog();
+    let block_a = tpch::insert_block(&cat_a, &mut rng_a, 6);
+    let block_b = tpch::insert_block(&cat_b, &mut rng_b, 6);
     naive
-        .update("lineitem", block_a.lineitem_rows, vec![])
+        .commit(Update::to("orders").insert(block_a.order_rows))
         .unwrap();
-    rec.update("orders", block_b.order_rows, vec![]).unwrap();
-    rec.update("lineitem", block_b.lineitem_rows, vec![])
+    naive
+        .commit(Update::to("lineitem").insert(block_a.lineitem_rows))
+        .unwrap();
+    rec.commit(Update::to("orders").insert(block_b.order_rows))
+        .unwrap();
+    rec.commit(Update::to("lineitem").insert(block_b.lineitem_rows))
         .unwrap();
     if with_deletes {
         let mut rng_a = SmallRng::seed_from_u64(seed ^ 1);
         let mut rng_b = SmallRng::seed_from_u64(seed ^ 1);
-        let del_a = tpch::delete_block(&naive.catalog, &mut rng_a, 3);
-        let del_b = tpch::delete_block(&rec.catalog, &mut rng_b, 3);
+        let cat_a = naive.database().catalog();
+        let cat_b = rec.database().catalog();
+        let del_a = tpch::delete_block(&cat_a, &mut rng_a, 3);
+        let del_b = tpch::delete_block(&cat_b, &mut rng_b, 3);
         naive
-            .update("lineitem", vec![], del_a.delete_lineitems)
+            .commit(Update::to("lineitem").delete(del_a.delete_lineitems))
             .unwrap();
-        naive.update("orders", vec![], del_a.delete_orders).unwrap();
-        rec.update("lineitem", vec![], del_b.delete_lineitems)
+        naive
+            .commit(Update::to("orders").delete(del_a.delete_orders))
             .unwrap();
-        rec.update("orders", vec![], del_b.delete_orders).unwrap();
+        rec.commit(Update::to("lineitem").delete(del_b.delete_lineitems))
+            .unwrap();
+        rec.commit(Update::to("orders").delete(del_b.delete_orders))
+            .unwrap();
     }
 }
 
@@ -61,45 +63,51 @@ fn q4_params() -> Vec<Value> {
 
 #[test]
 fn invalidation_keeps_answers_fresh() {
-    let (mut naive, mut rec, nt, rt) = engines(UpdateMode::Invalidate);
+    let (naive_db, rec_db, nt, rt) = databases(UpdateMode::Invalidate);
+    let mut naive = naive_db.session();
+    let mut rec = rec_db.session();
     let p = q4_params();
     for round in 0..4 {
-        let expect = naive.run(&nt, &p).unwrap().exports;
-        let got = rec.run(&rt, &p).unwrap().exports;
+        let expect = naive.query(&nt, &p).unwrap().exports;
+        let got = rec.query(&rt, &p).unwrap().exports;
         assert_eq!(expect, got, "round {round}");
         apply_same_update(&mut naive, &mut rec, 100 + round, round % 2 == 1);
     }
-    assert!(rec.hook.stats().invalidated > 0, "updates must invalidate");
+    assert!(rec_db.stats().invalidated > 0, "updates must invalidate");
 }
 
 #[test]
 fn propagation_keeps_answers_fresh_on_inserts() {
-    let (mut naive, mut rec, nt, rt) = engines(UpdateMode::Propagate);
+    let (naive_db, rec_db, nt, rt) = databases(UpdateMode::Propagate);
+    let mut naive = naive_db.session();
+    let mut rec = rec_db.session();
     let p = q4_params();
     for round in 0..4 {
-        let expect = naive.run(&nt, &p).unwrap().exports;
-        let got = rec.run(&rt, &p).unwrap().exports;
+        let expect = naive.query(&nt, &p).unwrap().exports;
+        let got = rec.query(&rt, &p).unwrap().exports;
         assert_eq!(expect, got, "round {round}");
         apply_same_update(&mut naive, &mut rec, 200 + round, false);
     }
     assert!(
-        rec.hook.stats().propagated > 0,
+        rec_db.stats().propagated > 0,
         "insert-only commits must propagate"
     );
-    rec.hook.pool().check_invariants().expect("coherent");
+    rec_db.pool().check_invariants().expect("coherent");
 }
 
 #[test]
 fn propagation_falls_back_to_invalidation_on_deletes() {
-    let (mut naive, mut rec, nt, rt) = engines(UpdateMode::Propagate);
+    let (naive_db, rec_db, nt, rt) = databases(UpdateMode::Propagate);
+    let mut naive = naive_db.session();
+    let mut rec = rec_db.session();
     let p = q4_params();
-    let before = naive.run(&nt, &p).unwrap().exports;
-    assert_eq!(before, rec.run(&rt, &p).unwrap().exports);
+    let before = naive.query(&nt, &p).unwrap().exports;
+    assert_eq!(before, rec.query(&rt, &p).unwrap().exports);
     apply_same_update(&mut naive, &mut rec, 300, true);
-    let after = naive.run(&nt, &p).unwrap().exports;
-    assert_eq!(after, rec.run(&rt, &p).unwrap().exports);
+    let after = naive.query(&nt, &p).unwrap().exports;
+    assert_eq!(after, rec.query(&rt, &p).unwrap().exports);
     assert!(
-        rec.hook.stats().invalidated > 0,
+        rec_db.stats().invalidated > 0,
         "deleting commits must invalidate"
     );
 }
@@ -108,48 +116,42 @@ fn propagation_falls_back_to_invalidation_on_deletes() {
 fn propagated_entries_keep_matching() {
     // after an insert-only commit the refreshed pool must keep serving
     // hits for the parameter-independent thread
-    let (mut naive, mut rec, _nt, rt) = engines(UpdateMode::Propagate);
+    let (naive_db, rec_db, _nt, rt) = databases(UpdateMode::Propagate);
+    let mut naive = naive_db.session();
+    let mut rec = rec_db.session();
     let p = q4_params();
-    rec.run(&rt, &p).unwrap();
-    let hits_before = rec.hook.stats().hits;
+    rec.query(&rt, &p).unwrap();
+    let hits_before = rec_db.stats().hits;
     apply_same_update(&mut naive, &mut rec, 400, false);
-    let out = rec.run(&rt, &p).unwrap();
-    let hits_after = rec.hook.stats().hits;
+    let reply = rec.query(&rt, &p).unwrap();
+    let hits_after = rec_db.stats().hits;
     assert!(
         hits_after > hits_before,
         "refreshed entries must be rediscoverable (got {} hits in re-run, stats {:?})",
-        out.stats.reused,
-        rec.hook.stats()
+        reply.reused,
+        rec_db.stats()
     );
 }
 
 #[test]
 fn unrelated_table_updates_do_not_disturb_pool() {
-    let (mut naive, mut rec, _nt, rt) = engines(UpdateMode::Invalidate);
+    let (naive_db, rec_db, _nt, rt) = databases(UpdateMode::Invalidate);
+    let mut naive = naive_db.session();
+    let mut rec = rec_db.session();
     let p = q4_params();
-    rec.run(&rt, &p).unwrap();
-    let entries = rec.hook.pool().len();
+    rec.query(&rt, &p).unwrap();
+    let entries = rec_db.pool().len();
     // region is untouched by Q4
-    naive
-        .update(
-            "region",
-            vec![vec![
-                Value::Int(5),
-                Value::str("ATLANTIS"),
-                Value::str("sunken"),
-            ]],
-            vec![],
-        )
-        .unwrap();
-    rec.update(
-        "region",
+    let atlantis = || {
         vec![vec![
             Value::Int(5),
             Value::str("ATLANTIS"),
             Value::str("sunken"),
-        ]],
-        vec![],
-    )
-    .unwrap();
-    assert_eq!(rec.hook.pool().len(), entries);
+        ]]
+    };
+    naive
+        .commit(Update::to("region").insert(atlantis()))
+        .unwrap();
+    rec.commit(Update::to("region").insert(atlantis())).unwrap();
+    assert_eq!(rec_db.pool().len(), entries);
 }
