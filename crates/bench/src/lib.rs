@@ -14,6 +14,7 @@
 pub mod concurrent;
 pub mod driver;
 pub mod experiments;
+pub mod pressure;
 pub mod report;
 pub mod tables;
 
@@ -23,4 +24,5 @@ pub use concurrent::{
     UpdateMixedOutcome,
 };
 pub use driver::{run_batch, BatchOutcome, BenchItem, QueryRun};
+pub use pressure::{eviction_pressure, EvictionPressureOutcome, PressurePoint};
 pub use tables::TextTable;

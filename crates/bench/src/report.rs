@@ -141,10 +141,56 @@ fn compare(
         ("subsumed", Json::Int(stats.subsumed)),
         ("admissions", Json::Int(stats.admissions)),
         ("evictions", Json::Int(stats.evictions)),
+        ("evict_gather_rounds", Json::Int(stats.evict_gather_rounds)),
+        (
+            "evict_gather_visited",
+            Json::Int(stats.evict_gather_visited),
+        ),
+        ("leaf_index_size", Json::Int(stats.leaf_index_size)),
         ("pool_entries", Json::Int(pool_entries)),
         ("pool_bytes", Json::Int(pool_bytes)),
         ("time_saved_ms", ms(stats.time_saved)),
         ("overhead_ms", ms(stats.overhead)),
+    ])
+}
+
+/// The `eviction_pressure` scenario: eviction gather cost at a fixed leaf
+/// population across growing pool sizes — visited-per-round must stay
+/// flat (O(leaves), not O(pool)) now that eviction gathers from the
+/// incremental leaf index.
+fn eviction_pressure_experiment() -> Json {
+    let out = crate::pressure::eviction_pressure(64, &[1, 4, 16, 64], 32);
+    Json::obj(vec![
+        ("name", Json::Str("eviction_pressure".to_string())),
+        ("chains", Json::Int(out.chains as u64)),
+        ("evict_per_point", Json::Int(out.evict_per_point as u64)),
+        (
+            "gather_size_independent",
+            Json::Bool(out.gather_is_size_independent(1.0)),
+        ),
+        (
+            "points",
+            Json::Arr(
+                out.points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("depth", Json::Int(p.depth as u64)),
+                            ("pool_entries", Json::Int(p.pool_entries as u64)),
+                            ("leaves", Json::Int(p.leaves as u64)),
+                            ("evicted", Json::Int(p.evicted as u64)),
+                            ("gather_rounds", Json::Int(p.gather_rounds)),
+                            ("gather_visited", Json::Int(p.gather_visited)),
+                            (
+                                "visited_per_round",
+                                Json::Num((p.visited_per_round * 100.0).round() / 100.0),
+                            ),
+                            ("elapsed_ms", ms(p.elapsed)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -426,6 +472,9 @@ pub fn bench_report(env: &ExpEnv) -> Json {
     // N TCP clients over the SkyServer mix through the serving front-end.
     experiments.push(server_mixed_experiment(env));
 
+    // Eviction gather cost vs pool size (the leaf-index O(leaves) bound).
+    experiments.push(eviction_pressure_experiment());
+
     Json::obj(vec![
         ("schema", Json::Str("recycler-bench/v1".to_string())),
         (
@@ -476,9 +525,16 @@ mod tests {
             "commit_locked_shards",
             "server_mixed",
             "rejected_connections",
+            "eviction_pressure",
+            "gather_size_independent",
+            "evict_gather_visited",
         ] {
             assert!(text.contains(name), "missing {name} in {text}");
         }
+        assert!(
+            text.contains("\"gather_size_independent\":true"),
+            "gather cost must be flat across pool sizes: {text}"
+        );
         // the low-memory run must actually exercise eviction
         let lowmem = text
             .split("\"name\":\"tpch_mixed_lowmem\"")

@@ -83,7 +83,11 @@ pub struct PoolEntry {
     /// pinned entry is never evicted; invalidation may still remove it —
     /// correctness beats retention. Bumped under the owning shard's read
     /// lock, checked under its write lock: the shard `RwLock` makes
-    /// pin-vs-evict races impossible.
+    /// pin-vs-evict races impossible. Pin state is deliberately NOT part
+    /// of the pool's evictable-leaf index (it flips here, on the
+    /// read-lock-only hit path, far too often to maintain an index on):
+    /// a pinned leaf stays listed, is filtered at eviction gather and
+    /// revalidated at removal.
     pub pins: AtomicU32,
     /// Has the admission credit already been returned to the creator
     /// (first local reuse returns it immediately; a globally reused entry
@@ -190,6 +194,40 @@ impl PoolEntry {
     /// Was this entry ever reused (locally or globally)?
     pub fn reused(&self) -> bool {
         self.local_reuses() + self.global_reuses() > 0
+    }
+
+    /// Test/bench support: a minimal select-family entry — signature and
+    /// scalar result keyed by `tag`, `last_used` stamped with it, every
+    /// statistic zeroed. Not part of the engine's admission path (which
+    /// builds entries from executed instructions); it exists so test
+    /// fixtures across the workspace don't each hand-roll the full field
+    /// list. Override individual fields after construction when a test
+    /// needs more.
+    #[doc(hidden)]
+    pub fn test_stub(id: EntryId, tag: i64, parents: Vec<EntryId>, bytes: usize) -> PoolEntry {
+        PoolEntry {
+            id,
+            sig: Sig::of(rmal::Opcode::Select, &[Value::Int(tag)]),
+            args: vec![Value::Int(tag)],
+            result: Value::Int(tag),
+            result_id: None,
+            bytes,
+            cpu: Duration::from_millis(1),
+            family: "select",
+            parents,
+            base_columns: BTreeSet::new(),
+            admitted_tick: 0,
+            admitted_invocation: 0,
+            admitted_session: 0,
+            creator: (0, 0),
+            last_used: AtomicU64::new(tag as u64),
+            local_reuses: AtomicU64::new(0),
+            global_reuses: AtomicU64::new(0),
+            subsumption_uses: AtomicU64::new(0),
+            time_saved_ns: AtomicU64::new(0),
+            pins: AtomicU32::new(0),
+            credit_returned: AtomicBool::new(false),
+        }
     }
 }
 

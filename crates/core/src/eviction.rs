@@ -7,14 +7,21 @@
 //! complementary binary-knapsack problem with the classic greedy
 //! 2-approximation [Martello & Toth 1990].
 //!
-//! Concurrency (sharded pool): [`evict`] *gathers* candidates under shard
-//! **read** locks (one shard at a time, plus the lineage index for the
-//! leaf test), chooses victims from the snapshot, and then write-locks
-//! only the shards it actually evicts from, one victim at a time via
-//! [`RecyclePool::remove_if_evictable`] — which revalidates the pin count
-//! and the leaf property inside the shard's critical section, so a
-//! concurrent hit or a freshly wired child edge always wins over the
-//! stale snapshot. Callers serialise evictors through the
+//! Concurrency and cost (sharded pool): [`evict`] *gathers* its
+//! candidates from the pool's **incremental evictable-leaf index**
+//! ([`RecyclePool::for_each_leaf_entry`]) — the set of childless entries,
+//! maintained at the pool's insert/remove funnels — so a gather round
+//! costs O(leaves), independent of total pool size; no eviction path
+//! scans the whole pool any more (the pool's gather-cost counters pin
+//! this down in tests). Victims are chosen from the snapshot and consumed
+//! in **batches**: each round feeds every victim it selected to
+//! [`RecyclePool::remove_batch_if_evictable`], which groups them by shard
+//! and takes each shard's write lock once per round — not once per victim
+//! — revalidating the pin count and the leaf property inside the shard's
+//! critical section, so a concurrent hit or a freshly wired child edge
+//! always wins over the stale snapshot. Only when victims are rejected or
+//! a removal exposes new leaves (a dependency layer peeled off) does the
+//! loop re-gather. Callers serialise evictors through the
 //! [`SharedRecycler`](crate::SharedRecycler)'s eviction mutex (tier 1 of
 //! the lock order) so concurrent memory pressure never over-evicts.
 
@@ -49,13 +56,14 @@ fn policy_key(policy: EvictionPolicy, e: &PoolEntry, now_tick: u64) -> f64 {
     }
 }
 
-/// Snapshot the evictable leaves: unpinned entries without dependents.
-/// One shard read lock at a time; the lineage leaf test nests under it
-/// (the documented order).
+/// Snapshot the evictable leaves from the incremental leaf index:
+/// O(leaves) work, no full-pool scan. Pin state is not part of the index
+/// (pins flip on the read-lock-only hit path), so pinned leaves are
+/// filtered here — and revalidated again at removal, where it counts.
 fn gather(pool: &RecyclePool, policy: EvictionPolicy, now_tick: u64) -> Vec<Candidate> {
     let mut out = Vec::new();
-    pool.for_each_entry(|e| {
-        if e.pin_count() == 0 && !pool.has_children(e.id) {
+    pool.for_each_leaf_entry(|e| {
+        if e.pin_count() == 0 {
             out.push(Candidate {
                 id: e.id,
                 bytes: e.bytes,
@@ -82,8 +90,11 @@ pub fn evict(
     }
 }
 
-/// Per-entry variant (BPent / HPent / plain LRU): repeatedly pick the leaf
-/// with the smallest policy key.
+/// Per-entry variant (BPent / HPent / plain LRU): take the leaves with the
+/// smallest policy keys, as many per gathered snapshot as the trigger
+/// still needs, and remove them in one batched round (one shard write
+/// lock per touched shard). Re-gathers only when victims were rejected by
+/// revalidation or when peeling a layer exposed new leaves.
 fn evict_entries(
     pool: &RecyclePool,
     policy: EvictionPolicy,
@@ -93,39 +104,38 @@ fn evict_entries(
     let mut evicted = Vec::new();
     let mut stalled = 0u32;
     while evicted.len() < need {
-        let leaves = gather(pool, policy, now_tick);
-        let victim = leaves
-            .iter()
-            .min_by(|a, b| {
-                a.key
-                    .partial_cmp(&b.key)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .map(|c| c.id);
-        match victim {
-            Some(id) => match pool.remove_if_evictable(id) {
-                Some(e) => {
-                    stalled = 0;
-                    evicted.push(e);
-                }
-                None => {
-                    // the snapshot went stale (a concurrent hit pinned the
-                    // victim, or it gained a child); re-gather, but give up
-                    // if no round makes progress
-                    stalled += 1;
-                    if stalled > 3 {
-                        break;
-                    }
-                }
-            },
-            None => break,
+        let mut leaves = gather(pool, policy, now_tick);
+        if leaves.is_empty() {
+            break;
+        }
+        leaves.sort_unstable_by(|a, b| {
+            a.key
+                .partial_cmp(&b.key)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        let want = need - evicted.len();
+        let victims: Vec<EntryId> = leaves.iter().take(want).map(|c| c.id).collect();
+        let removed = pool.remove_batch_if_evictable(&victims);
+        if removed.is_empty() {
+            // the whole snapshot went stale (concurrent hits pinned the
+            // victims, or they gained children); re-gather, but give up
+            // if no round makes progress
+            stalled += 1;
+            if stalled > 3 {
+                break;
+            }
+        } else {
+            stalled = 0;
+            evicted.extend(removed);
         }
     }
     evicted
 }
 
 /// Memory variant. For LRU: evict oldest leaves until enough bytes are
-/// free. For BP/HP: greedy knapsack over the leaves — keep the maximal
+/// free (ties on the last-use stamp evict the largest entries first, so
+/// the fewest victims pay for the bytes). For BP/HP: greedy knapsack over the leaves — keep the maximal
 /// total benefit that fits within `total_leaf_bytes − need`, evict the
 /// rest; the greedy order is profit density `B(I)/M(I)` and the solution
 /// is compared against the single item of maximum profit (worst case at
@@ -153,14 +163,18 @@ fn evict_memory(
         } else {
             match policy {
                 EvictionPolicy::Lru => {
-                    let mut ordered: Vec<(u64, usize, EntryId)> = leaves
+                    // ties on `last_used` break largest-bytes-first: the
+                    // bytes freed then cost the fewest victims (smallest-
+                    // first would maximise the entries destroyed for the
+                    // same relief)
+                    let mut ordered: Vec<(u64, std::cmp::Reverse<usize>, EntryId)> = leaves
                         .iter()
-                        .map(|c| (c.last_used, c.bytes, c.id))
+                        .map(|c| (c.last_used, std::cmp::Reverse(c.bytes), c.id))
                         .collect();
                     ordered.sort_unstable();
                     let mut take = Vec::new();
                     let mut sum = 0usize;
-                    for (_, bytes, id) in ordered {
+                    for (_, std::cmp::Reverse(bytes), id) in ordered {
                         if sum >= remaining_need {
                             break;
                         }
@@ -177,13 +191,12 @@ fn evict_memory(
         if victims.is_empty() {
             break;
         }
-        let mut progressed = false;
-        for id in victims {
-            if let Some(e) = pool.remove_if_evictable(id) {
-                freed += e.bytes;
-                evicted.push(e);
-                progressed = true;
-            }
+        // one batched removal round: each victim shard write-locked once
+        let removed = pool.remove_batch_if_evictable(&victims);
+        let progressed = !removed.is_empty();
+        for e in removed {
+            freed += e.bytes;
+            evicted.push(e);
         }
         if !progressed {
             stalled += 1;
@@ -344,6 +357,96 @@ mod tests {
         let ev = evict(&pool, EvictionPolicy::Lru, EvictTrigger::Entries(2), 10);
         assert!(ev.is_empty(), "pinned entries must never be evicted");
         assert_eq!(pool.len(), 4);
+    }
+
+    #[test]
+    fn lru_ties_evict_largest_first() {
+        // three leaves share one last_used stamp; freeing 900 bytes must
+        // cost ONE victim (the 1000-byte entry), not the two smallest —
+        // the old (last_used, bytes, id) ascending sort took 100+400 first
+        // and still needed the big one: three victims for 900 bytes
+        let pool = RecyclePool::new();
+        let small = put(&pool, 1, 100, 10, 0, 5);
+        let mid = put(&pool, 2, 400, 10, 0, 5);
+        let big = put(&pool, 3, 1000, 10, 0, 5);
+        let ev = evict(&pool, EvictionPolicy::Lru, EvictTrigger::Memory(900), 10);
+        assert_eq!(ev.len(), 1, "largest-first ties need one victim");
+        assert_eq!(ev[0].id, big);
+        assert!(pool.entry(small, |_| ()).is_some());
+        assert!(pool.entry(mid, |_| ()).is_some());
+        pool.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn lru_older_entry_still_beats_larger_newer() {
+        // the tie-break must not override the LRU order itself
+        let pool = RecyclePool::new();
+        let old_small = put(&pool, 1, 100, 10, 0, 1);
+        let new_big = put(&pool, 2, 1000, 10, 0, 9);
+        let ev = evict(&pool, EvictionPolicy::Lru, EvictTrigger::Memory(50), 10);
+        assert_eq!(ev[0].id, old_small);
+        assert!(pool.entry(new_big, |_| ()).is_some());
+    }
+
+    #[test]
+    fn gather_cost_tracks_leaves_not_pool_size() {
+        // two pools with the SAME leaf count but 8x different total size:
+        // one eviction round must visit the same number of entries in both
+        let build = |depth: usize| {
+            let pool = RecyclePool::new();
+            let mut tag = 0i64;
+            for _ in 0..6 {
+                let mut parent: Option<EntryId> = None;
+                for _ in 0..depth {
+                    tag += 1;
+                    let parents = parent.map(|p| vec![p]).unwrap_or_default();
+                    let e = PoolEntry::test_stub(pool.alloc_id(), tag, parents, 100);
+                    parent = Some(pool.insert(e, None).id());
+                }
+            }
+            pool
+        };
+        let small = build(2); // 12 entries, 6 leaves
+        let large = build(16); // 96 entries, 6 leaves
+        assert_eq!(large.len(), 8 * small.len());
+        let visits = |pool: &RecyclePool| {
+            let v0 = pool.eviction_gather_visited();
+            let r0 = pool.eviction_gather_rounds();
+            let ev = evict(pool, EvictionPolicy::Lru, EvictTrigger::Entries(2), 100);
+            assert_eq!(ev.len(), 2);
+            let rounds = pool.eviction_gather_rounds() - r0;
+            assert_eq!(rounds, 1, "2 victims from 6 leaves need one round");
+            pool.eviction_gather_visited() - v0
+        };
+        let small_visits = visits(&small);
+        let large_visits = visits(&large);
+        assert_eq!(
+            small_visits, large_visits,
+            "gather work must depend on the leaf count, not the pool size"
+        );
+        assert_eq!(small_visits, 6, "one round visits exactly the leaves");
+        small.check_invariants().unwrap();
+        large.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn eviction_round_write_locks_each_shard_at_most_once() {
+        let pool = RecyclePool::new();
+        for i in 0..24 {
+            put(&pool, i, 100, 10, 0, i as u64);
+        }
+        let before = pool.write_lock_acquisitions_by_shard();
+        let ev = evict(&pool, EvictionPolicy::Lru, EvictTrigger::Entries(24), 100);
+        assert_eq!(ev.len(), 24);
+        let after = pool.write_lock_acquisitions_by_shard();
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            assert!(
+                a - b <= 1,
+                "shard {i} write-locked {} times in a single batched round",
+                a - b
+            );
+        }
+        pool.check_invariants().unwrap();
     }
 
     #[test]

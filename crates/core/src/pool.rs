@@ -66,7 +66,15 @@ fn fx_hash<K: Hash>(k: &K) -> u64 {
 /// Lock discipline: sub-map locks are **leaf locks** in the shard tier's
 /// shadow — they may be taken while holding a shard lock (that is the
 /// documented order), and a holder must never acquire a shard lock or a
-/// second sub-map lock.
+/// second sub-map lock. One exception is carved out: the child-edge index
+/// (`children`) may acquire an *evictable-leaf index* (`leaves`) sub-map
+/// lock — and read the `owner` index — inside its critical section: the
+/// 0↔1 child-count transition, the residency probe of the re-leafed
+/// parent and the matching leaf-set update must be atomic, or racing
+/// edge wirings and removals could leave the leaf index permanently
+/// wrong. The order is fixed (`children` → `owner`/`leaves`, never the
+/// reverse) and `owner`/`leaves` sub-map locks remain true leaves, so
+/// the hierarchy stays acyclic.
 pub(crate) struct ShardedIndex<K, V> {
     maps: Box<[RwLock<FxHashMap<K, V>>]>,
 }
@@ -177,6 +185,13 @@ fn default_shard_count() -> usize {
 ///   coherence), plus per-entry duplicate-admission aliases,
 /// * `children`: dependents per entry, so eviction restricts itself to
 ///   *leaf* instructions (paper §4.3),
+/// * `leaves`: the **incremental evictable-leaf index** — the set of
+///   childless entries, maintained at the insert/remove funnels so an
+///   eviction round gathers its candidates in O(leaves) instead of
+///   re-scanning the whole pool ([`Self::for_each_leaf_entry`]). Pin
+///   state deliberately stays *out* of the index (pins flip on the
+///   read-lock-only hit path); pinned leaves are listed and skipped at
+///   gather, and revalidated again at removal,
 /// * `supersets`: a subset relation over result BATs (`result ⊆ operand`)
 ///   supporting semijoin subsumption (§5.1).
 ///
@@ -204,6 +219,20 @@ pub struct RecyclePool {
     by_result: ShardedIndex<BatId, EntryId>,
     result_aliases: ShardedIndex<EntryId, Vec<BatId>>,
     children: ShardedIndex<EntryId, FxHashSet<EntryId>>,
+    /// Incremental evictable-leaf index: exactly the resident entries with
+    /// no dependents. A new entry enters at [`Self::insert`] (it cannot
+    /// have children yet); a parent leaves when its first child edge is
+    /// wired and returns when `remove_locked` severs its last one — both
+    /// transitions happen inside the `children` sub-map critical section
+    /// (the one sanctioned `children` → `leaves` nesting), so the index
+    /// can never drift from the child-edge index. Eviction gathers from
+    /// here in O(leaves); [`Self::check_invariants`] verifies the index
+    /// against the brute-force childless set.
+    leaves: ShardedIndex<EntryId, ()>,
+    /// Live size of `leaves`, bumped exactly where the index changes (the
+    /// insert/remove return values gate the counter), so stats probes are
+    /// O(1) instead of iterating every sub-map per wire Stats frame.
+    leaf_count: AtomicUsize,
     supersets: ShardedIndex<BatId, Vec<BatId>>,
     /// Subsumption candidate index `(opcode, first-argument signature) →
     /// entries`, kept as a cross-shard side-map (entries with the same
@@ -224,6 +253,13 @@ pub struct RecyclePool {
     /// invariant: a commit write-locks only the shards holding entries in
     /// its lineage closure.
     shard_write_acquisitions: Box<[AtomicU64]>,
+    /// Entries visited by eviction gathers since construction — the probe
+    /// for the "gather cost is O(leaves), independent of pool size"
+    /// invariant the leaf index buys.
+    gather_visited: AtomicU64,
+    /// Eviction gather rounds since construction (the divisor for
+    /// per-round gather cost).
+    gather_rounds: AtomicU64,
     /// Serialises structural multi-shard writers (scoped views, the
     /// all-shard view, `clear`, `check_invariants`). With at most one such
     /// writer alive, a view may acquire an extra shard lock *out of
@@ -270,12 +306,16 @@ impl RecyclePool {
             by_result: ShardedIndex::new(n),
             result_aliases: ShardedIndex::new(n),
             children: ShardedIndex::new(n),
+            leaves: ShardedIndex::new(n),
+            leaf_count: AtomicUsize::new(0),
             supersets: ShardedIndex::new(n),
             by_op_arg0: ShardedIndex::new(n),
             by_session: ShardedIndex::new(n),
             next_id: AtomicU64::new(0),
             write_acquisitions: AtomicU64::new(0),
             shard_write_acquisitions: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            gather_visited: AtomicU64::new(0),
+            gather_rounds: AtomicU64::new(0),
             update_lock: Mutex::new(()),
         }
     }
@@ -377,6 +417,8 @@ impl RecyclePool {
         self.by_result.clear();
         self.result_aliases.clear();
         self.children.clear();
+        self.leaves.clear();
+        self.leaf_count.store(0, Ordering::Relaxed);
         self.supersets.clear();
         self.by_op_arg0.clear();
         self.by_session.clear();
@@ -533,6 +575,11 @@ impl RecyclePool {
                 m.entry(key.clone()).or_default().push(id);
             });
         }
+        // A fresh entry has no dependents: it enters the evictable-leaf
+        // index. Published BEFORE the owner mapping — no other session can
+        // wire a child edge onto this entry until its parents resolve via
+        // `owner`, so the leaf bit is always in place first.
+        self.leaf_insert(id);
         self.owner.insert(id, si);
         if let Some(rb) = entry.result_id {
             self.by_result.insert(rb, id);
@@ -542,7 +589,16 @@ impl RecyclePool {
         }
         for p in &entry.parents {
             self.children.alter(p, |m| {
-                m.entry(*p).or_default().insert(id);
+                let set = m.entry(*p).or_default();
+                let was_leaf = set.is_empty();
+                set.insert(id);
+                if was_leaf {
+                    // first child edge: the parent stops being a leaf —
+                    // inside the `children` critical section (the
+                    // sanctioned children → leaves nesting), so a racing
+                    // removal of this edge observes a consistent pair
+                    self.leaf_remove(p);
+                }
             });
         }
         let session = entry.admitted_session;
@@ -631,11 +687,31 @@ impl RecyclePool {
                     c.remove(&id);
                     if c.is_empty() {
                         m.remove(p);
+                        // Last child edge severed: the parent is a leaf
+                        // again — but only if it is still resident. A
+                        // parent invalidated while this child's admission
+                        // was in flight can leave a resurrected child-edge
+                        // key behind (the admission wires the edge after
+                        // the parent's `remove_locked` cleared it); blindly
+                        // re-leafing here would then list a dead id in the
+                        // leaf index forever. The owner probe is ordered:
+                        // a dying parent leaves `owner` before it clears
+                        // its `children` key and `leaves` bit, and both of
+                        // those serialise with this critical section, so
+                        // a stale true here is always erased by the
+                        // parent's own trailing `leaves.remove`.
+                        if self.owner.contains(p) {
+                            self.leaf_insert(*p);
+                        }
                     }
                 }
             });
         }
         self.children.remove(&id);
+        // after the child-set removal: a concurrent child removal that
+        // re-inserted this entry into the leaf index serialised on the
+        // `children` sub-map above, so this erase always lands last
+        self.leaf_remove(&id);
         let session = entry.admitted_session;
         self.by_session.alter(&session, |m| {
             if let Some(n) = m.get_mut(&session) {
@@ -663,17 +739,124 @@ impl RecyclePool {
     /// shard's write lock: a hit pinning the entry runs under the same
     /// shard's read lock, so pin-vs-evict races cannot happen.
     pub fn remove_if_evictable(&self, id: EntryId) -> Option<PoolEntry> {
-        let si = self.owner.get_clone(&id)?;
-        let mut sh = self.write_shard(si);
-        let evictable = sh
-            .entries
-            .get(&id)
-            .map(|e| e.pin_count() == 0 && !self.has_children(id))
-            .unwrap_or(false);
-        if !evictable {
-            return None;
+        self.remove_batch_if_evictable(std::slice::from_ref(&id))
+            .pop()
+    }
+
+    /// Remove every victim in `ids` that is still an unpinned leaf — the
+    /// batched eviction removal step. Victims are grouped by owning shard
+    /// and each shard's write lock is taken **once** for its whole group
+    /// (pinned by `write_lock_acquisitions_by_shard` in tests), instead of
+    /// one acquisition per victim. Every victim is revalidated inside its
+    /// shard's critical section exactly as [`Self::remove_if_evictable`]
+    /// does — a concurrent hit (pin) or a freshly wired child edge always
+    /// wins over the caller's stale snapshot; such victims are skipped.
+    /// Returns the removed entries (any shard order).
+    pub fn remove_batch_if_evictable(&self, ids: &[EntryId]) -> Vec<PoolEntry> {
+        let mut by_shard: FxHashMap<usize, Vec<EntryId>> = FxHashMap::default();
+        for &id in ids {
+            if let Some(si) = self.owner.get_clone(&id) {
+                by_shard.entry(si).or_default().push(id);
+            }
         }
-        self.remove_locked(&mut sh, si, id)
+        let mut removed = Vec::new();
+        for (si, group) in by_shard {
+            let mut sh = self.write_shard(si);
+            for id in group {
+                let evictable = sh
+                    .entries
+                    .get(&id)
+                    .map(|e| e.pin_count() == 0 && !self.has_children(id))
+                    .unwrap_or(false);
+                if evictable {
+                    if let Some(e) = self.remove_locked(&mut sh, si, id) {
+                        removed.push(e);
+                    }
+                }
+            }
+        }
+        removed
+    }
+
+    /// Add `id` to the evictable-leaf index, keeping the O(1) size
+    /// counter exact: the bump happens inside the sub-map critical
+    /// section, gated by the map's return value, so a racing
+    /// insert/remove pair for one id always nets to zero and the counter
+    /// can never dip below the true size (a bare post-lock decrement
+    /// could wrap past zero when the remove's counter update outran the
+    /// insert's).
+    fn leaf_insert(&self, id: EntryId) {
+        self.leaves.alter(&id, |m| {
+            if m.insert(id, ()).is_none() {
+                self.leaf_count.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    }
+
+    /// Drop `id` from the evictable-leaf index (see [`Self::leaf_insert`]).
+    fn leaf_remove(&self, id: &EntryId) {
+        self.leaves.alter(id, |m| {
+            if m.remove(id).is_some() {
+                self.leaf_count.fetch_sub(1, Ordering::Relaxed);
+            }
+        });
+    }
+
+    /// Snapshot of the evictable-leaf index: the ids of every childless
+    /// resident entry, in index order. A point-in-time copy — callers
+    /// revalidate residency/pins per id, eviction does so at removal.
+    pub fn leaf_ids(&self) -> Vec<EntryId> {
+        let mut out = Vec::with_capacity(self.leaf_index_size());
+        self.leaves.for_each(|id, _| out.push(*id));
+        out
+    }
+
+    /// Number of entries currently in the evictable-leaf index — an O(1)
+    /// counter maintained at the index mutation sites (stats probes and
+    /// wire Stats frames read this on every call).
+    pub fn leaf_index_size(&self) -> usize {
+        self.leaf_count.load(Ordering::Relaxed)
+    }
+
+    /// Visit every entry in the evictable-leaf index — the eviction gather
+    /// path. Cost is O(leaves), **independent of total pool size**: the
+    /// leaf ids are snapshot from the index, grouped by owning shard, and
+    /// each touched shard is read-locked once. Ids whose entry vanished
+    /// since the snapshot are silently skipped (`f` sees residents only).
+    /// Advances the gather-cost counters
+    /// ([`Self::eviction_gather_visited`] by the snapshot size,
+    /// [`Self::eviction_gather_rounds`] by one).
+    pub fn for_each_leaf_entry(&self, mut f: impl FnMut(&PoolEntry)) {
+        let ids = self.leaf_ids();
+        self.gather_visited
+            .fetch_add(ids.len() as u64, Ordering::Relaxed);
+        self.gather_rounds.fetch_add(1, Ordering::Relaxed);
+        let mut by_shard: FxHashMap<usize, Vec<EntryId>> = FxHashMap::default();
+        for id in ids {
+            if let Some(si) = self.owner.get_clone(&id) {
+                by_shard.entry(si).or_default().push(id);
+            }
+        }
+        for (si, group) in by_shard {
+            let sh = self.read_shard(si);
+            for id in group {
+                if let Some(e) = sh.entries.get(&id) {
+                    f(e);
+                }
+            }
+        }
+    }
+
+    /// Entries visited by eviction gathers since construction. With the
+    /// incremental leaf index this grows by O(leaves) per round — a test
+    /// pins that it is independent of total pool size.
+    pub fn eviction_gather_visited(&self) -> u64 {
+        self.gather_visited.load(Ordering::Relaxed)
+    }
+
+    /// Eviction gather rounds since construction.
+    pub fn eviction_gather_rounds(&self) -> u64 {
+        self.gather_rounds.load(Ordering::Relaxed)
     }
 
     /// Does this entry have dependents in the pool?
@@ -918,6 +1101,34 @@ impl RecyclePool {
         });
         if let Some(e) = err.take() {
             return Err(e);
+        }
+        // evictable-leaf index exactness: it must equal the brute-force
+        // childless set — every resident entry without dependents listed,
+        // nothing else (pin state is deliberately not part of the index)
+        let mut leaf_listed: FxHashSet<EntryId> = FxHashSet::default();
+        self.leaves.for_each(|id, _| {
+            leaf_listed.insert(*id);
+        });
+        if let Some(id) = leaf_listed.iter().find(|id| !all_ids.contains(id)) {
+            return Err(format!("leaf index lists dead entry {id}"));
+        }
+        if leaf_listed.len() != self.leaf_index_size() {
+            return Err(format!(
+                "leaf counter {} != indexed leaves {}",
+                self.leaf_index_size(),
+                leaf_listed.len()
+            ));
+        }
+        for id in &all_ids {
+            let childless = !self.children.with(id, |c| c.is_some_and(|c| !c.is_empty()));
+            if childless && !leaf_listed.contains(id) {
+                return Err(format!("childless entry {id} missing from leaf index"));
+            }
+            if !childless && leaf_listed.contains(id) {
+                return Err(format!(
+                    "entry {id} has children but sits in the leaf index"
+                ));
+            }
         }
         // candidate side-map exactness: every listed id alive under the
         // right key, every indexable entry listed exactly once
@@ -1356,6 +1567,106 @@ mod tests {
         assert!(pool.remove_if_evictable(b_id).is_some());
         // with the child gone, a became a leaf
         assert!(pool.remove_if_evictable(a_id).is_some());
+        pool.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn leaf_index_tracks_child_wiring() {
+        let pool = RecyclePool::new();
+        let a = pool.insert(mk_entry(&pool, vec![], 1), None).id();
+        assert_eq!(pool.leaf_ids(), vec![a], "fresh entry starts as a leaf");
+        let b = pool.insert(mk_entry(&pool, vec![a], 2), None).id();
+        let mut leaves = pool.leaf_ids();
+        leaves.sort_unstable();
+        assert_eq!(leaves, vec![b], "first child edge unleafs the parent");
+        pool.check_invariants().unwrap();
+        // severing the last child edge returns the parent to the index
+        pool.remove(b);
+        assert_eq!(pool.leaf_ids(), vec![a]);
+        pool.check_invariants().unwrap();
+        pool.remove(a);
+        assert!(pool.leaf_ids().is_empty());
+        assert_eq!(pool.leaf_index_size(), 0);
+        pool.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn leaf_index_survives_clear_and_multi_parent() {
+        let pool = RecyclePool::new();
+        let a = pool.insert(mk_entry(&pool, vec![], 1), None).id();
+        let b = pool.insert(mk_entry(&pool, vec![], 2), None).id();
+        // one child hanging off both parents (and the same parent twice —
+        // duplicate parent links must not corrupt the 0↔1 transitions)
+        let c = pool.insert(mk_entry(&pool, vec![a, a, b], 3), None).id();
+        let mut leaves = pool.leaf_ids();
+        leaves.sort_unstable();
+        assert_eq!(leaves, vec![c]);
+        pool.check_invariants().unwrap();
+        pool.remove(c);
+        let mut leaves = pool.leaf_ids();
+        leaves.sort_unstable();
+        assert_eq!(leaves, vec![a, b], "both parents become leaves again");
+        pool.check_invariants().unwrap();
+        pool.clear();
+        assert_eq!(pool.leaf_index_size(), 0, "clear wipes the leaf index");
+        pool.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_batch_takes_one_write_lock_per_shard() {
+        let pool = RecyclePool::with_shards(8);
+        let ids: Vec<EntryId> = (0..32)
+            .map(|i| pool.insert(mk_entry(&pool, vec![], i), None).id())
+            .collect();
+        let before = pool.write_lock_acquisitions_by_shard();
+        let removed = pool.remove_batch_if_evictable(&ids);
+        let after = pool.write_lock_acquisitions_by_shard();
+        assert_eq!(removed.len(), 32, "every unpinned leaf must go");
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            assert!(
+                a - b <= 1,
+                "shard {i} write-locked {} times for one batch",
+                a - b
+            );
+        }
+        assert!(pool.is_empty());
+        pool.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_batch_revalidates_pins_and_children() {
+        let pool = RecyclePool::new();
+        let parent = pool.insert(mk_entry(&pool, vec![], 1), None).id();
+        let pinned = pool.insert(mk_entry(&pool, vec![], 2), None).id();
+        let free = pool.insert(mk_entry(&pool, vec![parent], 3), None).id();
+        pool.entry(pinned, |e| e.pins.store(1, Ordering::Relaxed));
+        let removed = pool.remove_batch_if_evictable(&[parent, pinned, free, 999]);
+        let ids: Vec<EntryId> = removed.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![free], "parented, pinned and dead ids skipped");
+        assert_eq!(pool.len(), 2);
+        pool.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn leaf_gather_visits_leaves_only() {
+        // 4 chains of depth 3: 12 entries, 4 leaves — one gather visits 4
+        let pool = RecyclePool::new();
+        let mut tag = 0i64;
+        for _ in 0..4 {
+            let mut parent = None;
+            for _ in 0..3 {
+                tag += 1;
+                let parents = parent.map(|p| vec![p]).unwrap_or_default();
+                parent = Some(pool.insert(mk_entry(&pool, parents, tag), None).id());
+            }
+        }
+        let v0 = pool.eviction_gather_visited();
+        let r0 = pool.eviction_gather_rounds();
+        let mut seen = 0usize;
+        pool.for_each_leaf_entry(|_| seen += 1);
+        assert_eq!(seen, 4);
+        assert_eq!(pool.eviction_gather_visited() - v0, 4);
+        assert_eq!(pool.eviction_gather_rounds() - r0, 1);
         pool.check_invariants().unwrap();
     }
 

@@ -35,7 +35,14 @@
 //!    the single live scoped view may *extend* itself with further shard
 //!    locks out of ascending order (rekey migration, dependents admitted
 //!    after its closure was computed) without deadlock. Lineage sub-map
-//!    locks are leaves: while holding one, no other lock is acquired.
+//!    locks are leaves: while holding one, no other lock is acquired —
+//!    with one sanctioned exception: the child-edge index may take an
+//!    *evictable-leaf index* sub-map lock, and read the owner index,
+//!    inside its critical section (fixed order `children` →
+//!    `owner`/`leaves`, never the reverse), because the 0↔1 child-count
+//!    transition, the re-leafed parent's residency probe and the
+//!    matching leaf-set update must be one atomic step. Owner and
+//!    leaf-index sub-map locks are true leaves.
 //! 2. **The exact-match hit path takes no write lock.** A hit is served
 //!    entirely under the signature shard's *read* lock: the reuse
 //!    counters, last-use stamp, saved-time tally, pin count and
@@ -66,7 +73,16 @@
 //!    session is never evicted. When nothing evictable remains, admission
 //!    fails instead (`admission_rejects`). Updates override pins —
 //!    correctness beats retention. Evictors serialise on the eviction
-//!    mutex so concurrent memory pressure does not over-evict.
+//!    mutex so concurrent memory pressure does not over-evict — and the
+//!    eviction *trigger* is sized from resident demand plus the evicting
+//!    admission alone, never from other sessions' in-flight reservations
+//!    (phantom demand must not cost resident entries; the strict gate
+//!    over-rejects instead). Eviction rounds gather from the pool's
+//!    incremental evictable-leaf index (O(leaves), no full-pool scan;
+//!    pins are not part of the index — they are filtered at gather and
+//!    revalidated at removal) and consume their victims in per-shard
+//!    batches: one shard write-lock acquisition per shard per round
+//!    ([`RecyclePool::remove_batch_if_evictable`]).
 //! 8. **Update synchronisation is scoped, not stop-the-world:**
 //!    invalidation and delta propagation run under a
 //!    [`RecyclePool::scoped_view`] holding write locks on *only the
@@ -481,12 +497,14 @@ impl SharedRecycler {
         self.pending_entries.fetch_add(1, Ordering::Relaxed);
         let ok = self.cap_holds(config.mem_limit, need_bytes, |s| {
             (
-                s.pool.bytes() + s.pending_bytes.load(Ordering::Relaxed),
+                s.pool.bytes(),
+                s.pending_bytes.load(Ordering::Relaxed),
                 EvictTrigger::Memory,
             )
         }) && self.cap_holds(config.entry_limit, 1, |s| {
             (
-                s.pool.len() + s.pending_entries.load(Ordering::Relaxed),
+                s.pool.len(),
+                s.pending_entries.load(Ordering::Relaxed),
                 EvictTrigger::Entries,
             )
         });
@@ -496,15 +514,26 @@ impl SharedRecycler {
         ok
     }
 
-    /// One cap's check-evict-recheck cycle: `demand` reads resident +
-    /// pending units (bytes or entries) and names the eviction trigger for
-    /// that unit. Used for both configured limits so the two caps cannot
-    /// drift apart behaviourally.
+    /// One cap's check-evict-recheck cycle: `measure` reads the resident
+    /// and pending units (bytes or entries) and names the eviction trigger
+    /// for that unit. Used for both configured limits so the two caps
+    /// cannot drift apart behaviourally.
+    ///
+    /// The admission *gate* stays strict — resident plus every in-flight
+    /// reservation must fit under the cap, so concurrent admissions can
+    /// only over-reject, never overshoot. The eviction *trigger*, however,
+    /// is computed from resident plus **this** admission alone: other
+    /// sessions' pending reservations may never land (dropped on
+    /// rejection, lost to a duplicate race, orphaned by an update), and
+    /// evicting resident entries to cover such phantom demand destroys
+    /// cached work for nothing — the over-eviction bug this method once
+    /// had. When this admission already fits in resident space, nothing
+    /// is evicted at all; the strict gate alone arbitrates.
     fn cap_holds(
         &self,
         limit: Option<usize>,
         this_admission: usize,
-        demand: impl Fn(&Self) -> (usize, fn(usize) -> EvictTrigger),
+        measure: impl Fn(&Self) -> (usize, usize, fn(usize) -> EvictTrigger),
     ) -> bool {
         let Some(limit) = limit else {
             return true;
@@ -512,24 +541,40 @@ impl SharedRecycler {
         if this_admission > limit {
             return false;
         }
-        if demand(self).0 > limit {
-            let _g = self.lock_evict();
-            // another evictor may have freed enough already
-            if demand(self).0 > limit {
-                let (over, trigger) = demand(self);
-                let evicted = evict(
-                    &self.pool,
-                    self.config.eviction,
-                    trigger(over - limit),
-                    self.current_tick(),
-                );
-                self.settle_evictions(&evicted);
-                if demand(self).0 > limit {
-                    return false;
-                }
-            }
+        let gate = |s: &Self| {
+            let (resident, pending, _) = measure(s);
+            resident + pending <= limit
+        };
+        if gate(self) {
+            return true;
         }
-        true
+        let _g = self.lock_evict();
+        // another evictor may have freed enough already
+        if gate(self) {
+            return true;
+        }
+        let (resident, pending, trigger) = measure(self);
+        // What the gate needs freed vs what this admission justifies
+        // freeing. `pending` includes this admission's own reservation,
+        // so needed ≥ allowed always; they are equal exactly when no
+        // OTHER reservation is in flight. When needed exceeds allowed,
+        // even the full permitted eviction could not satisfy the gate —
+        // evicting would destroy resident entries only to reject anyway
+        // (phantom demand again, through the back door), so reject
+        // without touching the pool.
+        let needed = (resident + pending).saturating_sub(limit);
+        let allowed = (resident + this_admission).saturating_sub(limit);
+        if needed > allowed || allowed == 0 {
+            return false;
+        }
+        let evicted = evict(
+            &self.pool,
+            self.config.eviction,
+            trigger(allowed),
+            self.current_tick(),
+        );
+        self.settle_evictions(&evicted);
+        gate(self)
     }
 
     /// Release an admission reservation taken by
@@ -572,6 +617,9 @@ impl SharedRecycler {
             session_budget_rejects: ld(&s.session_budget_rejects),
             duplicate_admissions: ld(&s.duplicate_admissions),
             evictions: ld(&s.evictions),
+            leaf_index_size: self.pool.leaf_index_size() as u64,
+            evict_gather_visited: self.pool.eviction_gather_visited(),
+            evict_gather_rounds: self.pool.eviction_gather_rounds(),
             invalidated: ld(&s.invalidated),
             propagated: ld(&s.propagated),
             sessions: self.session_count(),
@@ -780,5 +828,113 @@ impl std::fmt::Debug for SharedRecycler {
             .field("bytes", &self.pool.bytes())
             .field("sessions", &self.session_count())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::PoolEntry;
+
+    fn put_resident(shared: &SharedRecycler, tag: i64, bytes: usize) {
+        let pool = shared.pool_inner();
+        let e = PoolEntry::test_stub(pool.alloc_id(), tag, vec![], bytes);
+        assert!(pool.insert(e, None).inserted());
+    }
+
+    /// Regression: another session's in-flight reservation that never
+    /// lands (dropped, duplicate-raced or orphaned) must not get resident
+    /// entries evicted on its behalf. `cap_holds` used to target
+    /// `resident + ALL pending − limit`, so session B's small admission
+    /// evicted cached work to make room for session A's phantom demand.
+    #[test]
+    fn phantom_reservation_does_not_evict_residents() {
+        let shared = SharedRecycler::new(RecyclerConfig::default().mem_limit(1000));
+        for t in 0..3 {
+            put_resident(&shared, t, 100);
+        }
+        // session A reserves 650 bytes and never completes the admission
+        assert!(shared.reserve_admission(650), "room for A: 300 + 650");
+        // session B's own demand fits resident space (300 + 100 ≤ 1000):
+        // nothing may be evicted, whatever A's reservation says
+        let ok_b = shared.reserve_admission(100);
+        assert_eq!(shared.pool().len(), 3, "no resident entry evicted");
+        assert_eq!(
+            shared.stats().evictions,
+            0,
+            "no eviction for phantom demand"
+        );
+        // the strict gate still holds: B is over-rejected while A's
+        // reservation is outstanding (over-rejection is the benign
+        // direction — the caps can never overshoot) ...
+        assert!(!ok_b, "B defers to the strict gate, keeping the cap exact");
+        // ... and admits cleanly once A's reservation is gone
+        shared.release_reservation(650);
+        assert!(shared.reserve_admission(100));
+        assert_eq!(shared.pool().len(), 3);
+        shared.release_reservation(100);
+    }
+
+    /// Even when this admission's own demand WOULD justify eviction, no
+    /// resident entry goes if the strict gate is unsatisfiable because of
+    /// someone else's in-flight reservation: evicting and then rejecting
+    /// anyway would be the phantom-demand bug through the back door.
+    #[test]
+    fn no_evict_then_reject_under_phantom_pressure() {
+        let shared = SharedRecycler::new(RecyclerConfig::default().mem_limit(1000));
+        for t in 0..3 {
+            put_resident(&shared, t, 100);
+        }
+        assert!(shared.reserve_admission(650), "A reserves and never lands");
+        // B's 800 would need eviction on its own (300 + 800 > 1000), but
+        // with A's phantom 650 outstanding the gate can never pass —
+        // B must be rejected with the pool untouched
+        let ok_b = shared.reserve_admission(800);
+        assert!(!ok_b);
+        assert_eq!(shared.pool().len(), 3, "no resident entry evicted");
+        assert_eq!(shared.stats().evictions, 0);
+        // once A's reservation drops, the same admission evicts and lands
+        shared.release_reservation(650);
+        assert!(shared.reserve_admission(800));
+        assert!(
+            shared.stats().evictions > 0,
+            "now the eviction is for B itself"
+        );
+        shared.release_reservation(800);
+    }
+
+    /// An admission whose own demand exceeds the cap still evicts —
+    /// exactly enough for itself.
+    #[test]
+    fn own_demand_still_evicts_exactly_enough() {
+        let shared = SharedRecycler::new(RecyclerConfig::default().mem_limit(1000));
+        for t in 0..3 {
+            put_resident(&shared, t, 100);
+        }
+        assert!(shared.reserve_admission(800), "evicts 100 to fit 800");
+        assert_eq!(
+            shared.stats().evictions,
+            1,
+            "one victim covers 300+800−1000"
+        );
+        assert_eq!(shared.pool().len(), 2);
+        shared.release_reservation(800);
+    }
+
+    /// The entry-count cap takes the same phantom-proof path.
+    #[test]
+    fn phantom_reservation_does_not_evict_under_entry_cap() {
+        let shared = SharedRecycler::new(RecyclerConfig::default().entry_limit(4));
+        for t in 0..3 {
+            put_resident(&shared, t, 10);
+        }
+        assert!(shared.reserve_admission(10)); // A: 3 resident + 1 pending = 4
+        let ok_b = shared.reserve_admission(10); // B: would be the 5th slot
+        assert_eq!(shared.pool().len(), 3, "no resident entry evicted");
+        assert_eq!(shared.stats().evictions, 0);
+        assert!(!ok_b);
+        shared.release_reservation(10);
+        assert!(shared.reserve_admission(10));
+        shared.release_reservation(10);
     }
 }

@@ -43,6 +43,16 @@ pub struct RecyclerStats {
     pub active_sessions: u64,
     /// Entries evicted under resource pressure.
     pub evictions: u64,
+    /// Current size of the pool's incremental evictable-leaf index (the
+    /// childless entries an eviction round gathers from).
+    pub leaf_index_size: u64,
+    /// Entries visited by eviction gathers, lifetime. With the leaf index
+    /// this grows by O(leaves) per round, independent of pool size — the
+    /// eviction gather-cost trajectory benchmarks track.
+    pub evict_gather_visited: u64,
+    /// Eviction gather rounds, lifetime (the divisor for per-round gather
+    /// cost).
+    pub evict_gather_rounds: u64,
     /// Entries invalidated by updates.
     pub invalidated: u64,
     /// Entries refreshed in place by delta propagation.

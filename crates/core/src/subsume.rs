@@ -272,6 +272,11 @@ pub fn subsume_combined(
             let len = result_len(pool, id);
             (id, b, len)
         })
+        // a candidate evicted between the index snapshot and the length
+        // probe (or one with a non-BAT result) reports the usize::MAX
+        // sentinel: it can never be pieced, and letting it into the DP
+        // would overflow the subset cost sums under eviction churn
+        .filter(|(_, _, len)| *len != usize::MAX)
         .collect();
     if r.is_empty() {
         return None;

@@ -129,6 +129,7 @@ impl Server {
             // at least one waiter, or an empty instantaneous queue (a
             // popped-but-in-service connection) would reject everyone
             let backlog = config.backlog.max(1);
+            let reject_writers: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
             std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if !running.load(Ordering::Relaxed) {
@@ -139,7 +140,7 @@ impl Server {
                     if q.len() >= backlog {
                         drop(q);
                         rejected.fetch_add(1, Ordering::Relaxed);
-                        reject_busy(stream, backlog);
+                        reject_busy(stream, backlog, &reject_writers);
                     } else {
                         q.push_back(stream);
                         drop(q);
@@ -194,13 +195,54 @@ impl Server {
     }
 }
 
-fn reject_busy(stream: TcpStream, backlog: usize) {
-    let resp = Response::Busy {
-        reason: format!("server at capacity (backlog {backlog})"),
-    };
-    if let Ok(payload) = encode_response(&resp) {
-        let mut w = BufWriter::new(stream);
-        let _ = write_frame(&mut w, &payload);
+/// How long a Busy rejection may spend in any one write to the turned-
+/// away client before the socket is abandoned. Rejected peers are by
+/// definition the ones we owe the least; a slow or hostile one must
+/// never cost more than a few of these bounds (the frame is one small
+/// write plus a flush).
+const REJECT_WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(250);
+
+/// Cap on concurrently live rejection-writer threads. Beyond it a flood
+/// of turned-away connections is simply dropped without the courtesy
+/// Busy frame (the peer sees the close) — unbounded spawning would let a
+/// connection flood exhaust threads, and a failed spawn must never take
+/// down the accept loop.
+const MAX_REJECT_WRITERS: usize = 64;
+
+/// Turn a connection away with a [`Response::Busy`] frame — **off** the
+/// accept thread. The write used to run inline in the accept loop with no
+/// timeout, so a single client that stopped reading (or a peer with a
+/// zero receive window) could stall every new connection behind it.
+/// Rejections now run on short-lived detached threads with a write
+/// timeout: the accept loop goes straight back to `accept()` whatever
+/// the peer does. The writer population is bounded by
+/// `MAX_REJECT_WRITERS` and spawn failure degrades to dropping the
+/// connection (never a panic on the accept thread).
+fn reject_busy(stream: TcpStream, backlog: usize, writers: &Arc<AtomicU64>) {
+    if writers.fetch_add(1, Ordering::Relaxed) >= MAX_REJECT_WRITERS as u64 {
+        // flood: close without the courtesy frame rather than hoard
+        // threads on peers we are turning away anyway
+        writers.fetch_sub(1, Ordering::Relaxed);
+        return;
+    }
+    let in_thread = Arc::clone(writers);
+    let spawned = std::thread::Builder::new()
+        .name("rcy-reject".into())
+        .spawn(move || {
+            let _ = stream.set_write_timeout(Some(REJECT_WRITE_TIMEOUT));
+            let resp = Response::Busy {
+                reason: format!("server at capacity (backlog {backlog})"),
+            };
+            if let Ok(payload) = encode_response(&resp) {
+                let mut w = BufWriter::new(stream);
+                let _ = write_frame(&mut w, &payload);
+            }
+            in_thread.fetch_sub(1, Ordering::Relaxed);
+        });
+    if spawned.is_err() {
+        // the closure (and its stream) was dropped unrun: the peer sees
+        // a close, the accept loop keeps running
+        writers.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -312,6 +354,9 @@ fn stats_pairs(db: &Database) -> Vec<(String, u64)> {
         ("session_budget_rejects", s.session_budget_rejects),
         ("duplicate_admissions", s.duplicate_admissions),
         ("evictions", s.evictions),
+        ("leaf_index_size", s.leaf_index_size),
+        ("evict_gather_visited", s.evict_gather_visited),
+        ("evict_gather_rounds", s.evict_gather_rounds),
         ("invalidated", s.invalidated),
         ("propagated", s.propagated),
         ("sessions", s.sessions),

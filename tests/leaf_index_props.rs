@@ -1,0 +1,176 @@
+//! Property tests for the incremental evictable-leaf index: after ANY
+//! sequence of inserts (with arbitrary parent wiring), removals, eviction
+//! attempts, subtree invalidations and scoped-view rekeys, the index must
+//! equal the brute-force childless set — the eviction gather path trusts
+//! it completely (no per-candidate child probe), so drift would silently
+//! evict non-leaves or strand evictable entries forever.
+
+use proptest::prelude::*;
+use rbat::Value;
+use recycler::signature::Sig;
+use recycler::{Admitted, EntryId, PoolEntry, RecyclePool};
+use rmal::Opcode;
+
+fn mk(pool: &RecyclePool, tag: i64, parents: Vec<EntryId>) -> PoolEntry {
+    PoolEntry::test_stub(pool.alloc_id(), tag, parents, 64)
+}
+
+/// The ground truth the index must match: every resident entry without
+/// dependents, recomputed from scratch.
+fn brute_force_leaves(pool: &RecyclePool) -> Vec<EntryId> {
+    let mut out: Vec<EntryId> = pool
+        .snapshot_entries()
+        .iter()
+        .filter(|e| !pool.has_children(e.id))
+        .map(|e| e.id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn leaf_index_exact(pool: &RecyclePool, step: &str) -> Result<(), TestCaseError> {
+    let mut indexed = pool.leaf_ids();
+    indexed.sort_unstable();
+    let brute = brute_force_leaves(pool);
+    if indexed != brute {
+        return Err(TestCaseError::fail(format!(
+            "leaf index diverged from childless set after {step}: \
+             indexed {indexed:?} vs brute-force {brute:?}"
+        )));
+    }
+    if let Err(e) = pool.check_invariants() {
+        return Err(TestCaseError::fail(format!("after {step}: {e}")));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random op sequences over a live pool: the index equals the
+    /// brute-force childless set after EVERY step, not just at the end.
+    #[test]
+    fn leaf_index_equals_childless_set(
+        ops in prop::collection::vec((0u8..7, 0usize..64, 0usize..64), 1..32),
+    ) {
+        let pool = RecyclePool::with_shards(8);
+        let mut live: Vec<EntryId> = Vec::new();
+        let mut tag = 0i64;
+        for (op, sel_a, sel_b) in ops {
+            match op {
+                // insert a root (no parents)
+                0 => {
+                    tag += 1;
+                    if let Admitted::Inserted(id) = pool.insert(mk(&pool, tag, vec![]), None) {
+                        live.push(id);
+                    }
+                    leaf_index_exact(&pool, "insert root")?;
+                }
+                // insert a child of one or two live parents
+                1 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    tag += 1;
+                    let mut parents = vec![live[sel_a % live.len()]];
+                    if sel_b % 2 == 0 {
+                        parents.push(live[sel_b % live.len()]);
+                    }
+                    if let Admitted::Inserted(id) = pool.insert(mk(&pool, tag, parents), None) {
+                        live.push(id);
+                    }
+                    leaf_index_exact(&pool, "insert child")?;
+                }
+                // unconditional removal of a childless entry — unlike
+                // eviction this ignores pins (invalidation overrides
+                // retention); entries with dependents go through the
+                // subtree op below, since a bare `remove` would leave
+                // dangling parent links
+                2 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live[sel_a % live.len()];
+                    if !pool.has_children(id) {
+                        pool.remove(id);
+                        live.retain(|&x| x != id);
+                        leaf_index_exact(&pool, "remove")?;
+                    }
+                }
+                // eviction attempt: succeeds only on unpinned leaves
+                3 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live[sel_a % live.len()];
+                    if pool.remove_if_evictable(id).is_some() {
+                        live.retain(|&x| x != id);
+                    }
+                    leaf_index_exact(&pool, "evict leaf")?;
+                }
+                // subtree invalidation: the root and every dependent go
+                4 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let root = live[sel_a % live.len()];
+                    let removed = pool.remove_subtree(root);
+                    let gone: Vec<EntryId> = removed.iter().map(|e| e.id).collect();
+                    live.retain(|x| !gone.contains(x));
+                    leaf_index_exact(&pool, "remove subtree")?;
+                }
+                // pin toggle: pins are deliberately NOT part of the leaf
+                // index (they flip on the read-lock-only hit path), so a
+                // pinned leaf stays listed and is merely skipped at
+                // gather/removal — the brute-force comparison must agree
+                5 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live[sel_a % live.len()];
+                    pool.entry(id, |e| {
+                        e.pins
+                            .store((sel_b % 2) as u32, std::sync::atomic::Ordering::Relaxed)
+                    });
+                    leaf_index_exact(&pool, "pin toggle")?;
+                }
+                // delta-propagation rekey under a scoped view (possibly a
+                // cross-shard migration) — must not perturb the index
+                _ => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live[sel_a % live.len()];
+                    tag += 1;
+                    let old_sig = pool.entry(id, |e| e.sig.clone()).expect("live");
+                    let shard = pool.shard_of(&old_sig);
+                    let mut view = pool.scoped_view(&[shard]);
+                    if let Some(e) = view.get_mut(id) {
+                        e.sig = Sig::of(Opcode::Select, &[Value::Int(tag)]);
+                    }
+                    view.rekey(id, &old_sig, None);
+                    drop(view);
+                    leaf_index_exact(&pool, "rekey")?;
+                }
+            }
+        }
+        // drain through the eviction path: layer by layer, every entry is
+        // eventually a leaf and the index must steer the whole teardown
+        // (unpin everything first — eviction never removes pinned entries)
+        for &id in &live {
+            pool.entry(id, |e| {
+                e.pins.store(0, std::sync::atomic::Ordering::Relaxed)
+            });
+        }
+        let mut guard = 0usize;
+        while !pool.is_empty() {
+            let leaves = pool.leaf_ids();
+            prop_assert!(!leaves.is_empty(), "non-empty pool must expose leaves");
+            pool.remove_batch_if_evictable(&leaves);
+            leaf_index_exact(&pool, "drain layer")?;
+            guard += 1;
+            prop_assert!(guard <= 64, "drain did not terminate");
+        }
+        prop_assert_eq!(pool.leaf_index_size(), 0);
+    }
+}

@@ -253,6 +253,85 @@ fn connections_beyond_capacity_are_rejected_busy() {
     server.shutdown();
 }
 
+/// Regression for the accept-loop stall: Busy rejections used to write
+/// their frame on the accept thread with no write timeout, so one slow or
+/// hostile client (never reading, zero receive window) could wedge the
+/// write and stall every connection behind it. Rejections now run on a
+/// detached thread with a short write timeout — the accept loop goes
+/// straight back to `accept()`. This test pins the structural property: a
+/// swarm of connections that never read their Busy frames must not slow
+/// the accept loop down, later clients still get their verdict promptly,
+/// and every turned-away socket still receives its Busy frame.
+#[test]
+fn busy_rejections_of_non_reading_clients_do_not_stall_accepts() {
+    use std::time::{Duration, Instant};
+    let server = Server::start(
+        serving_db(),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: 1,
+            backlog: 1,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // A occupies the single worker, B fills the backlog seat
+    let mut a = Client::connect(addr).unwrap();
+    a.query("count_range", &[Value::Int(0), Value::Int(10)])
+        .unwrap();
+    let b = Client::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    // a swarm over capacity, none of which ever reads its Busy frame
+    let hostile = 16usize;
+    let mut swarm: Vec<TcpStream> = (0..hostile)
+        .map(|_| TcpStream::connect(addr).unwrap())
+        .collect();
+
+    // the accept loop must keep turning connections away at full speed —
+    // if a single unread Busy write could block it, the rejected counter
+    // would freeze here
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.rejected_connections() < hostile as u64 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        server.rejected_connections() >= hostile as u64,
+        "accept loop stalled behind non-reading clients: only {} of {hostile} rejected",
+        server.rejected_connections()
+    );
+
+    // a late polite client still gets its verdict promptly
+    let t0 = Instant::now();
+    let mut late = Client::connect(addr).unwrap();
+    let err = late
+        .query("count_range", &[Value::Int(0), Value::Int(10)])
+        .unwrap_err();
+    assert!(matches!(err, ClientError::Busy(_)), "{err:?}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "late client waited {:?} behind the hostile swarm",
+        t0.elapsed()
+    );
+
+    // and the hostile sockets did each receive their Busy frame — the
+    // rejection threads completed despite the peers never polling
+    for raw in &mut swarm {
+        raw.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let payload = read_frame(raw).unwrap().expect("busy frame delivered");
+        assert!(
+            matches!(decode_response(&payload).unwrap(), Response::Busy { .. }),
+            "hostile socket must still be sent Busy"
+        );
+    }
+
+    drop(swarm);
+    drop(b);
+    a.close().unwrap();
+    server.shutdown();
+}
+
 #[test]
 fn shutdown_returns_while_an_idle_connection_is_still_open() {
     // Regression: a worker blocked reading an idle-but-open connection
