@@ -194,6 +194,52 @@ fn eviction_pressure_experiment() -> Json {
     ])
 }
 
+/// Serialize one side of the `background_eviction` comparison.
+fn background_run_json(r: &crate::pressure::BackgroundRun) -> Json {
+    Json::obj(vec![
+        ("collector", Json::Bool(r.collector)),
+        ("queries", Json::Int(r.queries as u64)),
+        ("p50_ms", ms(r.p50)),
+        ("p99_ms", ms(r.p99)),
+        (
+            "steady_inline_evictions",
+            Json::Int(r.steady_inline_evictions),
+        ),
+        ("inline_evictions", Json::Int(r.inline_evictions)),
+        ("background_evictions", Json::Int(r.background_evictions)),
+        ("minor_rounds", Json::Int(r.minor_rounds)),
+        ("major_rounds", Json::Int(r.major_rounds)),
+        (
+            "avg_minor_ms",
+            Json::Num((r.avg_minor_ms * 1000.0).round() / 1000.0),
+        ),
+        (
+            "avg_major_ms",
+            Json::Num((r.avg_major_ms * 1000.0).round() / 1000.0),
+        ),
+        ("headroom_bytes", Json::Int(r.headroom_bytes)),
+    ])
+}
+
+/// The `background_eviction` scenario: steady-phase admission latency at
+/// the lowmem 1 MiB cap with the background collector off vs on. The
+/// steady phase with the collector must be free of inline evictions —
+/// that is the whole point of the collector — and the JSON records the
+/// p50/p99 tail on both sides so the trajectory shows what that buys.
+fn background_eviction_experiment(env: &ExpEnv) -> Json {
+    let out = crate::pressure::background_eviction(env.sf, 60, 15, 1 << 20);
+    Json::obj(vec![
+        ("name", Json::Str("background_eviction".to_string())),
+        ("cap_bytes", Json::Int(out.cap_bytes as u64)),
+        ("warmup", Json::Int(out.warmup as u64)),
+        (
+            "without_collector",
+            background_run_json(&out.without_collector),
+        ),
+        ("with_collector", background_run_json(&out.with_collector)),
+    ])
+}
+
 /// The concurrent-sessions experiment: the same SkyServer log replayed by
 /// one session and by `n` sessions over one shared pool.
 fn concurrent_experiment(env: &ExpEnv, n: usize) -> Json {
@@ -475,6 +521,9 @@ pub fn bench_report(env: &ExpEnv) -> Json {
     // Eviction gather cost vs pool size (the leaf-index O(leaves) bound).
     experiments.push(eviction_pressure_experiment());
 
+    // Admission latency at the lowmem cap, collector off vs on.
+    experiments.push(background_eviction_experiment(env));
+
     Json::obj(vec![
         ("schema", Json::Str("recycler-bench/v1".to_string())),
         (
@@ -528,9 +577,26 @@ mod tests {
             "eviction_pressure",
             "gather_size_independent",
             "evict_gather_visited",
+            "background_eviction",
+            "steady_inline_evictions",
+            "background_evictions",
         ] {
             assert!(text.contains(name), "missing {name} in {text}");
         }
+        // the collector side of background_eviction must keep the steady
+        // phase free of inline evictions
+        let bg = text
+            .split("\"name\":\"background_eviction\"")
+            .nth(1)
+            .expect("background_eviction experiment present");
+        let with = bg
+            .split("\"with_collector\":")
+            .nth(1)
+            .expect("with_collector side present");
+        assert!(
+            with.contains("\"steady_inline_evictions\":0"),
+            "steady-state admissions evicted inline: {with}"
+        );
         assert!(
             text.contains("\"gather_size_independent\":true"),
             "gather cost must be flat across pool sizes: {text}"

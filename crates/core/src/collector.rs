@@ -1,0 +1,465 @@
+//! The background collector: a GC-style maintenance thread that keeps
+//! admissions off the eviction path.
+//!
+//! With only inline eviction, an admission that hits the configured cap
+//! pays the whole gather-sort-remove cycle on the query path — the
+//! `tpch_mixed_lowmem` bench measured 233 gather rounds / 889 evictions
+//! charged to admitting queries under a 1 MiB cap. The collector converts
+//! that latency into amortised background work: admissions that fit under
+//! the cap proceed immediately and merely *signal* the collector when
+//! resident + in-flight demand crosses the **high-water mark**; the
+//! collector then drains the pool down to the **low-water mark**. Only
+//! when the pool is genuinely full (the strict gate at the cap fails)
+//! does an admission fall back to the inline path — tracked separately as
+//! `inline_evictions` vs `background_evictions` in
+//! [`RecyclerStats`](crate::RecyclerStats).
+//!
+//! The round structure mirrors a generational garbage collector:
+//!
+//! * **Minor rounds** are cheap sweeps over the *nursery* — a small ring
+//!   of recently-leafed entry ids fed by the evictable-leaf index's 0↔1
+//!   transitions ([`RecyclePool`]'s insert/re-leaf funnels). Fresh leaves
+//!   are the entries most likely to be evictable (just admitted, or just
+//!   stripped of their last dependent), so a minor round usually finds
+//!   its victims without touching the full index.
+//! * **Major rounds** — one per [`RecyclerConfig::minor_per_major`]
+//!   minors, or immediately when a minor round comes up empty — run the
+//!   full [`evict`] pass over the evictable-leaf index (O(leaves)).
+//!
+//! Each activation is bounded by the
+//! [`RecyclerConfig::collector_timeslice_ms`] budget: once a burst of
+//! rounds exceeds it, the collector re-signals itself and yields, so it
+//! can never monopolise the eviction mutex against inline admitters (or
+//! starve maintenance, which quiesces it via the round lock).
+//!
+//! # Lifecycle and locking
+//!
+//! The thread holds a [`Weak`] reference to its [`SharedRecycler`] —
+//! upgraded per activation — so the service's refcount cycle is broken
+//! and the recycler can drop while the thread sleeps. Shutdown is
+//! explicit and idempotent ([`SharedRecycler::shutdown_collector`],
+//! called from the facade's `Database` drop and from the recycler's own
+//! `Drop` as a backstop): set the stop flag, notify, join. Every round
+//! runs under the **round lock**, which sits between the maintenance
+//! lock and the eviction mutex in the documented lock order (see
+//! [`crate::shared`]); `MaintenanceGuard` holds it for its whole
+//! lifetime, so maintenance surgery and collector rounds can never
+//! interleave.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::config::RecyclerConfig;
+use crate::entry::{EntryId, PoolEntry};
+use crate::eviction::{evict, policy_key, EvictTrigger};
+use crate::pool::RecyclePool;
+use crate::shared::SharedRecycler;
+
+/// Sleep between wake-ups when no admission signals the collector — a
+/// safety net against lost notifications; pressure is normally
+/// condvar-driven.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+
+/// Nursery ids consumed per minor round.
+const MINOR_BATCH: usize = 64;
+
+/// Capacity of the nursery ring (oldest ids fall off on overflow — major
+/// rounds cover whatever the nursery forgot).
+pub(crate) const NURSERY_CAP: usize = 256;
+
+/// A bounded ring of recently-leafed entry ids — the generational
+/// "nursery" minor rounds sweep. Fed by the pool's leaf-index 0↔1
+/// transitions. The mutex is a true leaf lock: push and drain touch
+/// nothing else while holding it (it may be taken inside the `children` /
+/// `leaves` sub-map critical sections, never the reverse).
+pub(crate) struct Nursery {
+    ring: Mutex<VecDeque<EntryId>>,
+}
+
+impl Nursery {
+    pub(crate) fn new() -> Nursery {
+        Nursery {
+            ring: Mutex::new(VecDeque::with_capacity(NURSERY_CAP)),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, VecDeque<EntryId>> {
+        self.ring.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Record a fresh 0↔1 leaf transition, dropping the oldest id when
+    /// the ring is full.
+    pub(crate) fn push(&self, id: EntryId) {
+        let mut ring = self.lock();
+        if ring.len() == NURSERY_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(id);
+    }
+
+    /// Take up to `max` of the oldest recorded ids.
+    pub(crate) fn drain(&self, max: usize) -> Vec<EntryId> {
+        let mut ring = self.lock();
+        let n = ring.len().min(max);
+        ring.drain(..n).collect()
+    }
+
+    /// Ids currently recorded.
+    pub(crate) fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub(crate) fn clear(&self) {
+        self.lock().clear();
+    }
+}
+
+struct Flags {
+    signalled: bool,
+    stop: bool,
+}
+
+/// The collector's control block, owned by [`SharedRecycler`] and shared
+/// (via `Arc`) with the collector thread so the thread can outlive its
+/// last activation without keeping the recycler alive.
+pub(crate) struct CollectorControl {
+    state: Mutex<Flags>,
+    cv: Condvar,
+    /// Every collector round runs under this lock; `MaintenanceGuard`
+    /// holds it for its lifetime to quiesce the collector. Tier: after
+    /// the maintenance lock, before the eviction mutex.
+    round_lock: Mutex<()>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+    /// Absolute water marks, resolved from the config's ratios once.
+    low_bytes: Option<usize>,
+    high_bytes: Option<usize>,
+    low_entries: Option<usize>,
+    high_entries: Option<usize>,
+    minor_per_major: u64,
+    timeslice: Duration,
+    minors_since_major: AtomicU64,
+    minor_rounds: AtomicU64,
+    major_rounds: AtomicU64,
+    minor_ns: AtomicU64,
+    major_ns: AtomicU64,
+}
+
+/// Round-count / mean-duration snapshot for [`crate::RecyclerStats`].
+pub(crate) struct CollectorStats {
+    pub(crate) minor_rounds: u64,
+    pub(crate) major_rounds: u64,
+    pub(crate) avg_minor_ms: f64,
+    pub(crate) avg_major_ms: f64,
+}
+
+impl CollectorControl {
+    pub(crate) fn new(config: &RecyclerConfig) -> CollectorControl {
+        let mark = |limit: Option<usize>, ratio: f64| {
+            limit.map(|l| (((l as f64) * ratio) as usize).min(l))
+        };
+        CollectorControl {
+            state: Mutex::new(Flags {
+                signalled: false,
+                stop: false,
+            }),
+            cv: Condvar::new(),
+            round_lock: Mutex::new(()),
+            handle: Mutex::new(None),
+            low_bytes: mark(config.mem_limit, config.low_water_ratio),
+            high_bytes: mark(config.mem_limit, config.high_water_ratio),
+            low_entries: mark(config.entry_limit, config.low_water_ratio),
+            high_entries: mark(config.entry_limit, config.high_water_ratio),
+            minor_per_major: config.minor_per_major.max(1) as u64,
+            timeslice: Duration::from_millis(config.collector_timeslice_ms.max(1)),
+            minors_since_major: AtomicU64::new(0),
+            minor_rounds: AtomicU64::new(0),
+            major_rounds: AtomicU64::new(0),
+            minor_ns: AtomicU64::new(0),
+            major_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, Flags> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Wake the collector if resident + in-flight demand sits at or above
+    /// a high-water mark. Two atomic loads and (rarely) one short mutex —
+    /// the admission hot path below high water pays almost nothing.
+    pub(crate) fn maybe_signal(&self, bytes: usize, entries: usize) {
+        let pressed = self.high_bytes.map(|h| bytes >= h).unwrap_or(false)
+            || self.high_entries.map(|h| entries >= h).unwrap_or(false);
+        if !pressed {
+            return;
+        }
+        let mut st = self.lock_state();
+        if !st.signalled {
+            st.signalled = true;
+            self.cv.notify_one();
+        }
+    }
+
+    /// Re-arm the signal (timeslice expired with pressure left over).
+    fn resignal(&self) {
+        let mut st = self.lock_state();
+        st.signalled = true;
+        self.cv.notify_one();
+    }
+
+    /// Block until signalled or stopped; `false` means stop. A timeout
+    /// counts as a signal so pressure missed by a lost notification is
+    /// still drained.
+    fn wait_for_signal(&self) -> bool {
+        let mut st = self.lock_state();
+        loop {
+            if st.stop {
+                return false;
+            }
+            if st.signalled {
+                st.signalled = false;
+                return true;
+            }
+            let (guard, timeout) = self
+                .cv
+                .wait_timeout(st, IDLE_POLL)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+            if timeout.timed_out() {
+                if st.stop {
+                    return false;
+                }
+                st.signalled = false;
+                return true;
+            }
+        }
+    }
+
+    fn stopping(&self) -> bool {
+        self.lock_state().stop
+    }
+
+    pub(crate) fn request_stop(&self) {
+        let mut st = self.lock_state();
+        st.stop = true;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn take_handle(&self) -> Option<JoinHandle<()>> {
+        self.handle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+    }
+
+    pub(crate) fn has_handle(&self) -> bool {
+        self.handle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
+    }
+
+    /// Hold off collector rounds for the guard's lifetime (maintenance
+    /// quiescence). Blocks until the in-flight round, if any, completes.
+    pub(crate) fn quiesce(&self) -> MutexGuard<'_, ()> {
+        self.round_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn stats(&self) -> CollectorStats {
+        let minor = self.minor_rounds.load(Ordering::Relaxed);
+        let major = self.major_rounds.load(Ordering::Relaxed);
+        let avg = |total_ns: &AtomicU64, rounds: u64| {
+            if rounds == 0 {
+                0.0
+            } else {
+                total_ns.load(Ordering::Relaxed) as f64 / rounds as f64 / 1e6
+            }
+        };
+        CollectorStats {
+            minor_rounds: minor,
+            major_rounds: major,
+            avg_minor_ms: avg(&self.minor_ns, minor),
+            avg_major_ms: avg(&self.major_ns, major),
+        }
+    }
+
+    pub(crate) fn reset_stats(&self) {
+        for c in [
+            &self.minors_since_major,
+            &self.minor_rounds,
+            &self.major_rounds,
+            &self.minor_ns,
+            &self.major_ns,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Units above the low-water marks — what a round should free.
+    fn over_low(&self, pool: &RecyclePool) -> (usize, usize) {
+        let bytes = self
+            .low_bytes
+            .map(|lw| pool.bytes().saturating_sub(lw))
+            .unwrap_or(0);
+        let entries = self
+            .low_entries
+            .map(|lw| pool.len().saturating_sub(lw))
+            .unwrap_or(0);
+        (bytes, entries)
+    }
+}
+
+/// Spawn the collector thread for `shared` and park its join handle in
+/// the control block. Called once from [`SharedRecycler::new`] when the
+/// config enables the collector and has a limit to drain toward.
+pub(crate) fn spawn(shared: &Arc<SharedRecycler>) {
+    let weak: Weak<SharedRecycler> = Arc::downgrade(shared);
+    let ctl = Arc::clone(shared.collector_control());
+    let thread_ctl = Arc::clone(&ctl);
+    let handle = std::thread::Builder::new()
+        .name("recycler-collector".to_string())
+        .spawn(move || loop {
+            if !thread_ctl.wait_for_signal() {
+                return;
+            }
+            let Some(shared) = weak.upgrade() else {
+                return;
+            };
+            run_rounds(&shared);
+            // the Arc drops here: if the last external handle went away
+            // mid-activation, SharedRecycler::drop runs on THIS thread —
+            // shutdown_collector detects the self-join and detaches
+        })
+        .expect("spawn recycler collector thread");
+    *ctl.handle.lock().unwrap_or_else(PoisonError::into_inner) = Some(handle);
+}
+
+/// One collector activation: rounds until the pool sits at or below the
+/// low-water marks, nothing evictable remains, the timeslice budget is
+/// spent, or a stop is requested. Each round runs under the round lock,
+/// released between rounds so maintenance can cut in.
+pub(crate) fn run_rounds(shared: &SharedRecycler) {
+    let ctl = shared.collector_control();
+    let activation = Instant::now();
+    loop {
+        let _round = ctl.quiesce();
+        if ctl.stopping() {
+            return;
+        }
+        let pool = shared.pool_inner();
+        let (need_bytes, need_entries) = ctl.over_low(pool);
+        if need_bytes == 0 && need_entries == 0 {
+            return;
+        }
+        let major_due = ctl.minors_since_major.load(Ordering::Relaxed) >= ctl.minor_per_major;
+        let started = Instant::now();
+        let evicted = if major_due {
+            major_round(shared, need_bytes, need_entries)
+        } else {
+            minor_round(shared, need_bytes, need_entries)
+        };
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
+        if major_due {
+            ctl.major_rounds.fetch_add(1, Ordering::Relaxed);
+            ctl.major_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+            ctl.minors_since_major.store(0, Ordering::Relaxed);
+        } else {
+            ctl.minor_rounds.fetch_add(1, Ordering::Relaxed);
+            ctl.minor_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+            ctl.minors_since_major.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.settle_evictions(&evicted, true);
+        if evicted.is_empty() {
+            if major_due {
+                // even the full leaf-index pass found nothing evictable
+                // (all pinned, or non-leaves): sleep until the next signal
+                return;
+            }
+            // dry nursery: escalate — the next round is a major
+            ctl.minors_since_major
+                .store(ctl.minor_per_major, Ordering::Relaxed);
+            continue;
+        }
+        if activation.elapsed() >= ctl.timeslice {
+            // budget spent with pressure possibly left: yield the round
+            // lock and re-arm so the next activation resumes promptly
+            ctl.resignal();
+            return;
+        }
+    }
+}
+
+/// A minor round: sweep up to [`MINOR_BATCH`] recently-leafed ids from
+/// the nursery, keep the resident unpinned leaves, order them by the
+/// configured eviction policy and evict enough to cover the need.
+/// Revalidation (pins, leaf-ness, residency) happens inside
+/// [`RecyclePool::remove_batch_if_evictable`]'s shard critical sections,
+/// exactly as inline eviction does.
+fn minor_round(shared: &SharedRecycler, need_bytes: usize, need_entries: usize) -> Vec<PoolEntry> {
+    let pool = shared.pool_inner();
+    let ids = pool.drain_nursery(MINOR_BATCH);
+    if ids.is_empty() {
+        return Vec::new();
+    }
+    let policy = shared.config().eviction;
+    let tick = shared.current_tick();
+    let mut candidates: Vec<(f64, usize, EntryId)> = Vec::new();
+    for id in ids {
+        pool.entry(id, |e| {
+            if e.pin_count() == 0 && !pool.has_children(id) {
+                candidates.push((policy_key(policy, e, tick), e.bytes, id));
+            }
+        });
+    }
+    candidates.sort_unstable_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.2.cmp(&b.2))
+    });
+    let mut victims: Vec<EntryId> = Vec::new();
+    let (mut freed_bytes, mut freed_entries) = (0usize, 0usize);
+    for (_, bytes, id) in candidates {
+        if freed_bytes >= need_bytes && freed_entries >= need_entries {
+            break;
+        }
+        victims.push(id);
+        freed_bytes += bytes;
+        freed_entries += 1;
+    }
+    if victims.is_empty() {
+        return Vec::new();
+    }
+    let _evict = shared.lock_evict();
+    pool.remove_batch_if_evictable(&victims)
+}
+
+/// A major round: the full eviction pass over the evictable-leaf index
+/// (O(leaves)), draining first the byte pressure, then whatever entry
+/// pressure remains. Serialised with inline evictors on the eviction
+/// mutex like every other eviction.
+fn major_round(shared: &SharedRecycler, need_bytes: usize, need_entries: usize) -> Vec<PoolEntry> {
+    let ctl = shared.collector_control();
+    let pool = shared.pool_inner();
+    let policy = shared.config().eviction;
+    let tick = shared.current_tick();
+    let _evict = shared.lock_evict();
+    let mut out = Vec::new();
+    if need_bytes > 0 {
+        out.extend(evict(pool, policy, EvictTrigger::Memory(need_bytes), tick));
+    }
+    let still_over = if need_entries > 0 {
+        ctl.low_entries
+            .map(|lw| pool.len().saturating_sub(lw))
+            .unwrap_or(0)
+    } else {
+        0
+    };
+    if still_over > 0 {
+        out.extend(evict(pool, policy, EvictTrigger::Entries(still_over), tick));
+    }
+    out
+}

@@ -47,7 +47,10 @@ struct Candidate {
     last_used: u64,
 }
 
-fn policy_key(policy: EvictionPolicy, e: &PoolEntry, now_tick: u64) -> f64 {
+/// The policy's victim-ordering key (smaller = evicted first) — shared
+/// with the background collector's minor rounds, which order their
+/// nursery candidates exactly as a full gather would.
+pub(crate) fn policy_key(policy: EvictionPolicy, e: &PoolEntry, now_tick: u64) -> f64 {
     match policy {
         // smaller = evicted first
         EvictionPolicy::Lru => e.last_used() as f64,

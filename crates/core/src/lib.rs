@@ -83,6 +83,7 @@
 
 #![deny(missing_docs)]
 
+pub mod collector;
 pub mod config;
 pub mod entry;
 pub mod eviction;

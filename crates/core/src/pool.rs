@@ -267,6 +267,15 @@ pub struct RecyclePool {
     /// deadlock: every other thread holds at most one shard lock at a time
     /// and never blocks on a second while holding it.
     update_lock: Mutex<()>,
+    /// The background collector's nursery: a bounded ring of recently-
+    /// leafed entry ids, fed at the leaf index's 0↔1 transition sites
+    /// (fresh inserts and re-leafed parents) so minor collector rounds
+    /// can sweep the youngest generation without touching the full leaf
+    /// index. Its mutex is a true leaf lock — pushes happen after the
+    /// `leaves` sub-map lock is released (possibly still inside a
+    /// `children` critical section; order `children` → nursery, never the
+    /// reverse), and nothing is acquired while holding it.
+    nursery: crate::collector::Nursery,
 }
 
 impl std::fmt::Debug for RecyclePool {
@@ -317,6 +326,7 @@ impl RecyclePool {
             gather_visited: AtomicU64::new(0),
             gather_rounds: AtomicU64::new(0),
             update_lock: Mutex::new(()),
+            nursery: crate::collector::Nursery::new(),
         }
     }
 
@@ -419,6 +429,7 @@ impl RecyclePool {
         self.children.clear();
         self.leaves.clear();
         self.leaf_count.store(0, Ordering::Relaxed);
+        self.nursery.clear();
         self.supersets.clear();
         self.by_op_arg0.clear();
         self.by_session.clear();
@@ -785,12 +796,22 @@ impl RecyclePool {
     /// can never dip below the true size (a bare post-lock decrement
     /// could wrap past zero when the remove's counter update outran the
     /// insert's).
+    /// Every genuine 0↔1 transition additionally feeds the id into the
+    /// collector's nursery ring (after the `leaves` sub-map lock is
+    /// released) — minor collector rounds sweep exactly these
+    /// recently-leafed entries.
     fn leaf_insert(&self, id: EntryId) {
-        self.leaves.alter(&id, |m| {
+        let fresh = self.leaves.alter(&id, |m| {
             if m.insert(id, ()).is_none() {
                 self.leaf_count.fetch_add(1, Ordering::Relaxed);
+                true
+            } else {
+                false
             }
         });
+        if fresh {
+            self.nursery.push(id);
+        }
     }
 
     /// Drop `id` from the evictable-leaf index (see [`Self::leaf_insert`]).
@@ -800,6 +821,20 @@ impl RecyclePool {
                 self.leaf_count.fetch_sub(1, Ordering::Relaxed);
             }
         });
+    }
+
+    /// Take up to `max` of the oldest recently-leafed ids from the
+    /// collector's nursery ring. Drained ids may be stale (evicted,
+    /// re-parented or invalidated since they leafed) — consumers
+    /// revalidate per id; eviction does so at removal.
+    pub(crate) fn drain_nursery(&self, max: usize) -> Vec<EntryId> {
+        self.nursery.drain(max)
+    }
+
+    /// Ids currently recorded in the collector's nursery ring
+    /// (diagnostics).
+    pub fn nursery_len(&self) -> usize {
+        self.nursery.len()
     }
 
     /// Snapshot of the evictable-leaf index: the ids of every childless

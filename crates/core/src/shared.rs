@@ -21,10 +21,23 @@
 //!
 //! # Locking invariants
 //!
-//! 1. **Order:** locks are tiered — *eviction mutex* → *pool update
-//!    (scoped-view) mutex* → *shard locks in ascending shard index* →
-//!    *lineage/persistent sub-map locks* → *accounts mutex*. A thread may
-//!    skip tiers but never goes back up. Within the shard tier a thread
+//! 1. **Order:** locks are tiered — *maintenance mutex* → *collector
+//!    round lock* → *eviction mutex* → *pool update (scoped-view) mutex*
+//!    → *shard locks in ascending shard index* → *lineage/persistent
+//!    sub-map locks* → *accounts mutex*. A thread may skip tiers but
+//!    never goes back up. The collector round lock is the background
+//!    collector's quiescence point: every collector round runs under it,
+//!    and [`MaintenanceGuard`] acquires it (after the maintenance mutex,
+//!    **before** any pool update mutex its operations take) and holds it
+//!    for its whole lifetime — maintenance surgery and background
+//!    eviction rounds can therefore never interleave, and the guard's
+//!    acquisition blocks until the in-flight round, if any, completes.
+//!    The collector thread never takes the maintenance mutex, so the
+//!    hierarchy stays acyclic. The collector's *nursery ring* mutex is an
+//!    extra true-leaf lock below the sub-map tier: it may be taken inside
+//!    a `children` sub-map critical section (the re-leaf transition
+//!    pushes into the ring), and nothing is ever acquired while holding
+//!    it. Within the shard tier a thread
 //!    holds at most one shard lock, except for structural writers —
 //!    [`RecyclePool::scoped_view`] for update synchronisation,
 //!    [`RecyclePool::write_view`]/`clear` for maintenance,
@@ -109,6 +122,7 @@ use rbat::hash::FxHashSet;
 use rbat::{BatId, Catalog};
 use rmal::{Instr, Opcode};
 
+use crate::collector::{self, CollectorControl};
 use crate::config::{AdmissionPolicy, RecyclerConfig};
 use crate::entry::InstrKey;
 use crate::eviction::{evict, EvictTrigger};
@@ -168,6 +182,8 @@ pub(crate) struct SharedStats {
     session_budget_rejects: AtomicU64,
     duplicate_admissions: AtomicU64,
     evictions: AtomicU64,
+    inline_evictions: AtomicU64,
+    background_evictions: AtomicU64,
     invalidated: AtomicU64,
     propagated: AtomicU64,
     time_saved_ns: AtomicU64,
@@ -214,9 +230,19 @@ pub struct SharedRecycler {
     /// update mutex via the all-shard write view, so it is atomic with
     /// respect to every concurrent session.
     maintenance_lock: Mutex<()>,
-    /// Serialises evictors (tier 1 of the lock order): concurrent memory
-    /// pressure from many sessions must not over-evict the pool.
+    /// Serialises evictors (the eviction tier of the lock order):
+    /// concurrent memory pressure from many sessions must not over-evict
+    /// the pool. Shared by the inline admission path and the background
+    /// collector's rounds.
     evict_lock: Mutex<()>,
+    /// The background collector's control block (condvar, round lock,
+    /// water marks, round statistics) — `Arc`-shared with the collector
+    /// thread so the thread can hold only a [`std::sync::Weak`] to the
+    /// recycler itself. Present even when the collector is disabled (it
+    /// is a handful of words); the thread is spawned only when
+    /// [`RecyclerConfig::background_collector`] is set and a limit
+    /// exists.
+    collector: Arc<CollectorControl>,
     /// Bytes reserved by in-flight admissions (capacity checked, entry
     /// not yet inserted). Makes the configured limits *strict* under
     /// concurrency: the capacity check and the insert run under
@@ -245,13 +271,16 @@ impl Deref for PoolRef<'_> {
 
 impl SharedRecycler {
     /// Create a shared recycler service with the given configuration.
+    /// When the config enables the background collector (and has a limit
+    /// to drain toward), the collector thread is spawned here and joined
+    /// on [`Self::shutdown_collector`] / drop.
     pub fn new(config: RecyclerConfig) -> Arc<SharedRecycler> {
         let pool = match config.pool_shards {
             Some(n) => RecyclePool::with_shards(n),
             None => RecyclePool::new(),
         };
         let submaps = pool.shard_count();
-        Arc::new(SharedRecycler {
+        let shared = Arc::new(SharedRecycler {
             config,
             pool,
             persistent: ShardedIndex::new(submaps),
@@ -263,9 +292,16 @@ impl SharedRecycler {
             active_sessions: std::sync::atomic::AtomicUsize::new(0),
             maintenance_lock: Mutex::new(()),
             evict_lock: Mutex::new(()),
+            collector: Arc::new(CollectorControl::new(&config)),
             pending_bytes: std::sync::atomic::AtomicUsize::new(0),
             pending_entries: std::sync::atomic::AtomicUsize::new(0),
-        })
+        });
+        if config.background_collector
+            && (config.mem_limit.is_some() || config.entry_limit.is_some())
+        {
+            collector::spawn(&shared);
+        }
+        shared
     }
 
     /// Attach a new session. Sessions are cheap: a handle plus per-query
@@ -334,13 +370,54 @@ impl SharedRecycler {
     /// `Recycler::clear_pool`/`reset` methods, whose `&mut self` receivers
     /// wrongly suggested a session-local effect while they mutated the
     /// shared pool under every other session's feet.
+    ///
+    /// The guard also **quiesces the background collector**: it acquires
+    /// the collector's round lock (after the maintenance mutex, before
+    /// any pool update mutex — see the lock order above) and holds it
+    /// until dropped, waiting out the in-flight round first, so
+    /// maintenance surgery and background eviction rounds can never
+    /// interleave. The collector resumes automatically when the guard
+    /// drops.
     pub fn maintenance(&self) -> MaintenanceGuard<'_> {
+        let serial = self
+            .maintenance_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         MaintenanceGuard {
             shared: self,
-            _serial: self
-                .maintenance_lock
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner),
+            _serial: serial,
+            _quiesce: self.collector.quiesce(),
+        }
+    }
+
+    // ----- background collector ---------------------------------------------
+
+    pub(crate) fn collector_control(&self) -> &Arc<CollectorControl> {
+        &self.collector
+    }
+
+    /// Is the collector thread spawned and not yet joined?
+    pub fn collector_running(&self) -> bool {
+        self.collector.has_handle()
+    }
+
+    /// Stop and join the background collector thread (idempotent; a no-op
+    /// when the collector was never spawned). Called by the facade when
+    /// the `Database` drops — asserting a clean join, no detached-thread
+    /// leak — and again from this type's own `Drop` as a backstop for
+    /// embedders driving [`SharedRecycler`] directly.
+    pub fn shutdown_collector(&self) {
+        self.collector.request_stop();
+        if let Some(handle) = self.collector.take_handle() {
+            if handle.thread().id() == std::thread::current().id() {
+                // The last strong reference was dropped ON the collector
+                // thread (it had upgraded its Weak mid-activation):
+                // joining ourselves would deadlock. The loop is already
+                // exiting on the stop flag; dropping the handle detaches
+                // a thread with nothing left to run.
+                return;
+            }
+            let _ = handle.join();
         }
     }
 
@@ -403,6 +480,8 @@ impl SharedRecycler {
             &s.session_budget_rejects,
             &s.duplicate_admissions,
             &s.evictions,
+            &s.inline_evictions,
+            &s.background_evictions,
             &s.invalidated,
             &s.propagated,
             &s.time_saved_ns,
@@ -411,6 +490,7 @@ impl SharedRecycler {
         ] {
             cell.store(0, Ordering::Relaxed);
         }
+        self.collector.reset_stats();
     }
 
     // ----- admission support ------------------------------------------------
@@ -511,6 +591,16 @@ impl SharedRecycler {
         if !ok {
             self.drop_reservation(need_bytes);
         }
+        if config.background_collector {
+            // resident + in-flight demand at or above a high-water mark
+            // wakes the collector, which drains toward the low-water mark
+            // off the query path; below high water this costs two atomic
+            // loads
+            self.collector.maybe_signal(
+                self.pool.bytes() + self.pending_bytes.load(Ordering::Relaxed),
+                self.pool.len() + self.pending_entries.load(Ordering::Relaxed),
+            );
+        }
         ok
     }
 
@@ -573,7 +663,12 @@ impl SharedRecycler {
             trigger(allowed),
             self.current_tick(),
         );
-        self.settle_evictions(&evicted);
+        // this is the INLINE path — eviction latency charged to the
+        // admitting query because the pool was genuinely full; with the
+        // background collector keeping residency near the low-water mark
+        // it should be the rare exception (`inline_evictions` vs
+        // `background_evictions` in the stats)
+        self.settle_evictions(&evicted, false);
         gate(self)
     }
 
@@ -593,7 +688,7 @@ impl SharedRecycler {
         self.accounts.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn lock_evict(&self) -> MutexGuard<'_, ()> {
+    pub(crate) fn lock_evict(&self) -> MutexGuard<'_, ()> {
         self.evict_lock
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -605,7 +700,19 @@ impl SharedRecycler {
     pub fn stats(&self) -> RecyclerStats {
         let s = &self.stats;
         let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let col = self.collector.stats();
         RecyclerStats {
+            inline_evictions: ld(&s.inline_evictions),
+            background_evictions: ld(&s.background_evictions),
+            minor_rounds: col.minor_rounds,
+            major_rounds: col.major_rounds,
+            avg_minor_ms: col.avg_minor_ms,
+            avg_major_ms: col.avg_major_ms,
+            headroom_bytes: self
+                .config
+                .mem_limit
+                .map(|l| l.saturating_sub(self.pool.bytes()) as u64)
+                .unwrap_or(0),
             monitored: ld(&s.monitored),
             hits: ld(&s.hits),
             local_hits: ld(&s.local_hits),
@@ -776,9 +883,17 @@ impl SharedRecycler {
     }
 
     /// Settle evicted entries: statistics plus the deferred credit return
-    /// of globally reused instances (paper §4.2).
-    pub(crate) fn settle_evictions(&self, evicted: &[crate::entry::PoolEntry]) {
+    /// of globally reused instances (paper §4.2). `background` attributes
+    /// the batch to the collector thread rather than an admitting
+    /// session's inline path (two disjoint sub-counters of `evictions`).
+    pub(crate) fn settle_evictions(&self, evicted: &[crate::entry::PoolEntry], background: bool) {
         self.count_evictions(evicted.len() as u64);
+        let attributed = if background {
+            &self.stats.background_evictions
+        } else {
+            &self.stats.inline_evictions
+        };
+        attributed.fetch_add(evicted.len() as u64, Ordering::Relaxed);
         let mut acc = self.lock_accounts();
         for e in evicted {
             if e.global_reuses() > 0 && !e.credit_returned() {
@@ -801,9 +916,16 @@ impl SharedRecycler {
 /// afterwards: their pins are gone, which is safe — pins only guard
 /// eviction policy, and entry ids stay monotone so a stale pin can never
 /// alias a post-clear entry.
+///
+/// While the guard is alive the **background collector is quiesced**: the
+/// guard holds the collector's round lock (acquired after the maintenance
+/// mutex, before any pool update mutex — the documented lock order), so
+/// no background eviction round can start, and acquisition waited out the
+/// round that was in flight. Dropping the guard resumes the collector.
 pub struct MaintenanceGuard<'a> {
     shared: &'a SharedRecycler,
     _serial: MutexGuard<'a, ()>,
+    _quiesce: MutexGuard<'a, ()>,
 }
 
 impl MaintenanceGuard<'_> {
@@ -816,6 +938,16 @@ impl MaintenanceGuard<'_> {
     /// Reset pool, credit/ADAPT accounts and lifetime statistics.
     pub fn reset(&self) {
         self.shared.reset();
+    }
+}
+
+impl Drop for SharedRecycler {
+    /// Backstop shutdown for embedders driving the service directly: the
+    /// facade joins the collector on `Database` drop, but a bare
+    /// [`SharedRecycler`] must not leak its thread either. Idempotent —
+    /// the handle is taken exactly once.
+    fn drop(&mut self) {
+        self.shutdown_collector();
     }
 }
 

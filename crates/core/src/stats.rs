@@ -41,8 +41,31 @@ pub struct RecyclerStats {
     /// Sessions currently open (attached and not yet dropped) — the
     /// divisor of the per-session credit slices.
     pub active_sessions: u64,
-    /// Entries evicted under resource pressure.
+    /// Entries evicted under resource pressure (inline + background).
     pub evictions: u64,
+    /// ... of which evicted *inline* on an admitting session's query path
+    /// (the pool was genuinely full: the strict gate at the cap failed).
+    /// With the background collector enabled this should stay flat in
+    /// steady state — the `background_eviction` bench asserts it.
+    pub inline_evictions: u64,
+    /// ... of which evicted by the background collector thread draining
+    /// toward the low-water mark (a subset of `evictions`, disjoint from
+    /// `inline_evictions`).
+    pub background_evictions: u64,
+    /// Minor collector rounds run (cheap sweeps over the nursery of
+    /// recently-leafed entries).
+    pub minor_rounds: u64,
+    /// Major collector rounds run (full passes over the evictable-leaf
+    /// index).
+    pub major_rounds: u64,
+    /// Mean wall time of a minor round, in milliseconds (0 when none ran).
+    pub avg_minor_ms: f64,
+    /// Mean wall time of a major round, in milliseconds (0 when none ran).
+    pub avg_major_ms: f64,
+    /// Bytes of headroom under the configured memory cap (`mem_limit −
+    /// resident bytes`; 0 when no memory cap is configured). The gauge the
+    /// collector's draining keeps positive.
+    pub headroom_bytes: u64,
     /// Current size of the pool's incremental evictable-leaf index (the
     /// childless entries an eviction round gathers from).
     pub leaf_index_size: u64,

@@ -354,6 +354,15 @@ fn stats_pairs(db: &Database) -> Vec<(String, u64)> {
         ("session_budget_rejects", s.session_budget_rejects),
         ("duplicate_admissions", s.duplicate_admissions),
         ("evictions", s.evictions),
+        ("inline_evictions", s.inline_evictions),
+        ("background_evictions", s.background_evictions),
+        ("collector_minor_rounds", s.minor_rounds),
+        ("collector_major_rounds", s.major_rounds),
+        // round durations travel as integer microseconds — the wire
+        // protocol's counters are u64
+        ("collector_avg_minor_us", (s.avg_minor_ms * 1000.0) as u64),
+        ("collector_avg_major_us", (s.avg_major_ms * 1000.0) as u64),
+        ("collector_headroom_bytes", s.headroom_bytes),
         ("leaf_index_size", s.leaf_index_size),
         ("evict_gather_visited", s.evict_gather_visited),
         ("evict_gather_rounds", s.evict_gather_rounds),
