@@ -477,6 +477,7 @@ pub fn server_mixed(
         rcy_server::ServerConfig {
             max_sessions: clients.max(1),
             backlog: clients.max(1),
+            ..Default::default()
         },
     )
     .expect("bind server");

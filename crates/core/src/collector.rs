@@ -145,6 +145,9 @@ pub(crate) struct CollectorControl {
     major_rounds: AtomicU64,
     minor_ns: AtomicU64,
     major_ns: AtomicU64,
+    /// Activations that panicked and were restarted by the thread's
+    /// supervisor loop instead of silently killing the collector.
+    restarts: AtomicU64,
 }
 
 /// Round-count / mean-duration snapshot for [`crate::RecyclerStats`].
@@ -153,6 +156,7 @@ pub(crate) struct CollectorStats {
     pub(crate) major_rounds: u64,
     pub(crate) avg_minor_ms: f64,
     pub(crate) avg_major_ms: f64,
+    pub(crate) restarts: u64,
 }
 
 impl CollectorControl {
@@ -179,6 +183,7 @@ impl CollectorControl {
             major_rounds: AtomicU64::new(0),
             minor_ns: AtomicU64::new(0),
             major_ns: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
         }
     }
 
@@ -284,6 +289,7 @@ impl CollectorControl {
             major_rounds: major,
             avg_minor_ms: avg(&self.minor_ns, minor),
             avg_major_ms: avg(&self.major_ns, major),
+            restarts: self.restarts.load(Ordering::Relaxed),
         }
     }
 
@@ -316,23 +322,53 @@ impl CollectorControl {
 /// Spawn the collector thread for `shared` and park its join handle in
 /// the control block. Called once from [`SharedRecycler::new`] when the
 /// config enables the collector and has a limit to drain toward.
+///
+/// The thread body is a **supervisor loop**: each activation's
+/// `run_rounds` runs under `catch_unwind`, so a panicking round (torn
+/// pool state, an injected failpoint) is logged, counted in
+/// `collector_restarts`, backed off with a capped exponential delay and
+/// then *resumed* — the collector never dies silently, and the shards
+/// the panic may have poisoned are quarantined by the pool itself.
 pub(crate) fn spawn(shared: &Arc<SharedRecycler>) {
     let weak: Weak<SharedRecycler> = Arc::downgrade(shared);
     let ctl = Arc::clone(shared.collector_control());
     let thread_ctl = Arc::clone(&ctl);
+    const BACKOFF_START: Duration = Duration::from_millis(10);
+    const BACKOFF_CAP: Duration = Duration::from_millis(500);
     let handle = std::thread::Builder::new()
         .name("recycler-collector".to_string())
-        .spawn(move || loop {
-            if !thread_ctl.wait_for_signal() {
-                return;
+        .spawn(move || {
+            let mut backoff = BACKOFF_START;
+            loop {
+                if !thread_ctl.wait_for_signal() {
+                    return;
+                }
+                let Some(shared) = weak.upgrade() else {
+                    return;
+                };
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_rounds(&shared)));
+                drop(shared);
+                // the Arc drops above: if the last external handle went
+                // away mid-activation, SharedRecycler::drop runs on THIS
+                // thread — shutdown_collector detects the self-join and
+                // detaches
+                match outcome {
+                    Ok(()) => backoff = BACKOFF_START,
+                    Err(_) => {
+                        let n = thread_ctl.restarts.fetch_add(1, Ordering::Relaxed) + 1;
+                        eprintln!(
+                            "recycler-collector: activation #{n} panicked; \
+                             restarting after {backoff:?}"
+                        );
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(BACKOFF_CAP);
+                        // pressure that woke this activation may remain:
+                        // re-arm instead of waiting for the next signal
+                        thread_ctl.resignal();
+                    }
+                }
             }
-            let Some(shared) = weak.upgrade() else {
-                return;
-            };
-            run_rounds(&shared);
-            // the Arc drops here: if the last external handle went away
-            // mid-activation, SharedRecycler::drop runs on THIS thread —
-            // shutdown_collector detects the self-join and detaches
         })
         .expect("spawn recycler collector thread");
     *ctl.handle.lock().unwrap_or_else(PoisonError::into_inner) = Some(handle);
@@ -350,6 +386,8 @@ pub(crate) fn run_rounds(shared: &SharedRecycler) {
         if ctl.stopping() {
             return;
         }
+        #[cfg(feature = "failpoints")]
+        let _ = crate::fault::fire("collector.round");
         let pool = shared.pool_inner();
         let (need_bytes, need_entries) = ctl.over_low(pool);
         if need_bytes == 0 && need_entries == 0 {

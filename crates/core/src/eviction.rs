@@ -64,6 +64,8 @@ pub(crate) fn policy_key(policy: EvictionPolicy, e: &PoolEntry, now_tick: u64) -
 /// (pins flip on the read-lock-only hit path), so pinned leaves are
 /// filtered here — and revalidated again at removal, where it counts.
 fn gather(pool: &RecyclePool, policy: EvictionPolicy, now_tick: u64) -> Vec<Candidate> {
+    #[cfg(feature = "failpoints")]
+    let _ = crate::fault::fire("evict.gather");
     let mut out = Vec::new();
     pool.for_each_leaf_entry(|e| {
         if e.pin_count() == 0 {

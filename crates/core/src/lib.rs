@@ -87,6 +87,8 @@ pub mod collector;
 pub mod config;
 pub mod entry;
 pub mod eviction;
+#[cfg(feature = "failpoints")]
+pub mod fault;
 pub mod mark;
 pub mod pool;
 pub mod propagate;
@@ -99,7 +101,7 @@ pub mod subsume;
 pub use config::{AdmissionPolicy, EvictionPolicy, RecyclerConfig, UpdateMode};
 pub use entry::{EntryId, PoolEntry};
 pub use mark::RecycleMark;
-pub use pool::{Admitted, PoolScopedView, PoolWriteView, RecyclePool};
+pub use pool::{Admitted, PoolScopedView, PoolWriteView, RecyclePool, RepairReport};
 pub use runtime::Recycler;
 pub use shared::{MaintenanceGuard, PoolRef, SharedRecycler};
 pub use stats::{FamilyRow, PoolSnapshot, QueryRecord, RecyclerStats};

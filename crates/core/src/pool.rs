@@ -8,7 +8,7 @@
 //! for the full locking model; this module holds the mechanics.
 
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use rbat::hash::{FxHashMap, FxHashSet, FxHasher};
@@ -32,17 +32,24 @@ pub enum Admitted {
     /// update invalidated it); the candidate was dropped — admitting it
     /// would leave a dangling lineage link.
     Orphaned,
+    /// The target shard is quarantined after a poisoning panic (see
+    /// [`RecyclePool::repair`]); the candidate was rejected without
+    /// touching the shard. The caller refunds its admission charge —
+    /// degraded mode costs a cache miss, never a wrong answer.
+    Quarantined,
 }
 
 impl Admitted {
     /// The resident entry id, whoever admitted it.
     ///
     /// # Panics
-    /// Panics on [`Admitted::Orphaned`], which leaves nothing resident.
+    /// Panics on [`Admitted::Orphaned`] and [`Admitted::Quarantined`],
+    /// which leave nothing resident.
     pub fn id(self) -> EntryId {
         match self {
             Admitted::Inserted(id) | Admitted::Duplicate(id) => id,
             Admitted::Orphaned => panic!("orphaned admission has no resident entry"),
+            Admitted::Quarantined => panic!("quarantined admission has no resident entry"),
         }
     }
 
@@ -276,6 +283,38 @@ pub struct RecyclePool {
     /// `children` critical section; order `children` → nursery, never the
     /// reverse), and nothing is acquired while holding it.
     nursery: crate::collector::Nursery,
+    /// Per-shard quarantine bits — the degraded-mode source of truth. A
+    /// bit is raised the first time a shard's `RwLock` is observed
+    /// poisoned (a panic unwound through a writer holding it, so its
+    /// slab/index wiring may be torn). While raised: probes against the
+    /// shard degrade to misses, admissions targeting it come back as
+    /// [`Admitted::Quarantined`], and eviction skips it — a miss is
+    /// always correct, torn state is never served or extended. Only
+    /// [`Self::repair`] (under the maintenance guard) or [`Self::clear`]
+    /// lower a bit.
+    quarantined: Box<[AtomicBool]>,
+    /// Shards currently quarantined (O(1) `has_quarantined` probe on the
+    /// commit path).
+    quarantined_count: AtomicUsize,
+    /// Cumulative shards ever quarantined (stats).
+    quarantined_total: AtomicU64,
+    /// Cumulative shards repaired and returned to service (stats).
+    repaired_total: AtomicU64,
+}
+
+/// What [`RecyclePool::repair`] did — counts for the stats layer and
+/// for byte-book assertions in tests.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Shards that were quarantined and have been returned to service.
+    pub shards_repaired: Vec<usize>,
+    /// Entries dropped: torn (half-wired) residents of repaired shards
+    /// plus any entry whose lineage chain died with them.
+    pub entries_dropped: usize,
+    /// Bytes of the dropped entries, refunded exactly from the byte
+    /// books (which are additionally recomputed from the surviving
+    /// slabs, healing any counter drift a mid-flight panic left).
+    pub bytes_dropped: usize,
 }
 
 impl std::fmt::Debug for RecyclePool {
@@ -327,6 +366,10 @@ impl RecyclePool {
             gather_rounds: AtomicU64::new(0),
             update_lock: Mutex::new(()),
             nursery: crate::collector::Nursery::new(),
+            quarantined: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            quarantined_count: AtomicUsize::new(0),
+            quarantined_total: AtomicU64::new(0),
+            repaired_total: AtomicU64::new(0),
         }
     }
 
@@ -364,17 +407,84 @@ impl RecyclePool {
     }
 
     fn read_shard(&self, i: usize) -> RwLockReadGuard<'_, Shard> {
-        self.shards[i]
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
+        match self.shards[i].read() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.note_poison(i);
+                poisoned.into_inner()
+            }
+        }
     }
 
     fn write_shard(&self, i: usize) -> RwLockWriteGuard<'_, Shard> {
         self.write_acquisitions.fetch_add(1, Ordering::Relaxed);
         self.shard_write_acquisitions[i].fetch_add(1, Ordering::Relaxed);
-        self.shards[i]
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
+        match self.shards[i].write() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.note_poison(i);
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Raise shard `i`'s quarantine bit (idempotent). Called the moment
+    /// poison is observed — at a lock acquisition or a lock-free
+    /// `is_poisoned` probe on the hit path.
+    fn note_poison(&self, i: usize) {
+        if !self.quarantined[i].swap(true, Ordering::AcqRel) {
+            self.quarantined_count.fetch_add(1, Ordering::Relaxed);
+            self.quarantined_total.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// May shard `i` serve probes and admissions? False once the shard
+    /// is quarantined — including the very first probe after the
+    /// poisoning panic, via the lock's own poison flag (two relaxed-ish
+    /// atomic loads; the exact-match hit path pays exactly this).
+    fn shard_serviceable(&self, i: usize) -> bool {
+        if self.quarantined[i].load(Ordering::Acquire) {
+            return false;
+        }
+        if self.shards[i].is_poisoned() {
+            self.note_poison(i);
+            return false;
+        }
+        true
+    }
+
+    /// Is shard `i` currently quarantined?
+    pub fn is_quarantined(&self, i: usize) -> bool {
+        !self.shard_serviceable(i)
+    }
+
+    /// Does any shard currently sit in quarantine? O(1); the commit path
+    /// consults this to refuse updates through torn state.
+    pub fn has_quarantined(&self) -> bool {
+        if self.quarantined_count.load(Ordering::Acquire) > 0 {
+            return true;
+        }
+        // A poisoned shard nobody has touched since the panic hasn't
+        // raised its bit yet; sweep the cheap lock flags.
+        (0..self.shards.len()).any(|i| !self.shard_serviceable(i))
+    }
+
+    /// Indexes of the shards currently quarantined.
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        (0..self.shards.len())
+            .filter(|&i| !self.shard_serviceable(i))
+            .collect()
+    }
+
+    /// Cumulative shards ever quarantined (monotone; stats).
+    pub fn shards_quarantined_total(&self) -> u64 {
+        self.quarantined_total.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative shards repaired and returned to service (monotone;
+    /// stats).
+    pub fn shards_repaired_total(&self) -> u64 {
+        self.repaired_total.load(Ordering::Relaxed)
     }
 
     fn lock_update(&self) -> MutexGuard<'_, ()> {
@@ -435,6 +545,192 @@ impl RecyclePool {
         self.by_session.clear();
         self.total_bytes.store(0, Ordering::Relaxed);
         self.total_entries.store(0, Ordering::Relaxed);
+        // A full wipe trivially restores every invariant: lift any
+        // quarantine and un-poison the locks — while the write guards
+        // are still held, so no probe can observe a poisoned lock with
+        // its quarantine bit already lowered.
+        for (i, q) in self.quarantined.iter().enumerate() {
+            self.shards[i].clear_poison();
+            if q.swap(false, Ordering::AcqRel) {
+                self.quarantined_count.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        drop(guards);
+    }
+
+    /// Repair every quarantined shard and return it to service.
+    ///
+    /// A panic that unwound through a shard write lock can leave *torn*
+    /// state: an exact-match key without its slab entry, a leaf/owner
+    /// listing for an id that never became resident, byte counters that
+    /// drifted from the slab. Quarantine froze all of it (probes miss,
+    /// admissions bounce, eviction skips); this pass — meant to run
+    /// under the maintenance guard, see
+    /// [`crate::shared::MaintenanceGuard::repair_quarantined`] — makes
+    /// the frozen state consistent again:
+    ///
+    /// 1. every shard write lock is taken at once (ascending, under the
+    ///    update mutex), so the pass owns all pool state;
+    /// 2. quarantined slabs drop misfiled or duplicate-signature
+    ///    residents and rebuild their exact-match index from the slab;
+    /// 3. entries whose lineage chain died (a dropped ancestor anywhere)
+    ///    are cascaded out — a child may never outlive its parents;
+    /// 4. the derived indexes (owner, children, evictable leaves,
+    ///    session books, subsumption candidates) are rebuilt from the
+    ///    surviving slabs, and the result/alias/subset maps pruned to
+    ///    surviving ids;
+    /// 5. byte books are recomputed exactly from the survivors (healing
+    ///    drift in either direction), lock poison is cleared and the
+    ///    quarantine bits lowered while the write guards are still held.
+    ///
+    /// Afterwards [`Self::check_invariants`] holds again (tests assert
+    /// it). Dropped entries cost misses, never wrong answers: their
+    /// results were only reachable through indexes this pass prunes,
+    /// and pins held on them by in-flight queries unpin as no-ops.
+    pub fn repair(&self) -> RepairReport {
+        let _writer = self.lock_update();
+        let mut guards: Vec<RwLockWriteGuard<'_, Shard>> = (0..self.shards.len())
+            .map(|i| self.write_shard(i))
+            .collect();
+        // With every lock held, each poisoned shard has been observed by
+        // `write_shard` and carries its quarantine bit.
+        let broken: Vec<usize> = (0..self.shards.len())
+            .filter(|&i| self.quarantined[i].load(Ordering::Acquire))
+            .collect();
+        if broken.is_empty() {
+            return RepairReport::default();
+        }
+        let mut dropped: Vec<PoolEntry> = Vec::new();
+        // 2. Slab-local coherence for the broken shards.
+        for &si in &broken {
+            let sh = &mut *guards[si];
+            let misfiled: Vec<EntryId> = sh
+                .entries
+                .iter()
+                .filter(|(k, e)| **k != e.id || self.shard_of(&e.sig) != si)
+                .map(|(k, _)| *k)
+                .collect();
+            for id in misfiled {
+                if let Some(e) = sh.entries.remove(&id) {
+                    dropped.push(e);
+                }
+            }
+            sh.by_sig.clear();
+            let mut losers: Vec<EntryId> = Vec::new();
+            for (id, e) in sh.entries.iter() {
+                match sh.by_sig.get(&e.sig) {
+                    // Two residents with one signature cannot both stay;
+                    // keep the older id (first-writer-wins, as insert
+                    // would have resolved it).
+                    Some(&prev) if prev <= *id => losers.push(*id),
+                    Some(&prev) => {
+                        losers.push(prev);
+                        sh.by_sig.insert(e.sig.clone(), *id);
+                    }
+                    None => {
+                        sh.by_sig.insert(e.sig.clone(), *id);
+                    }
+                }
+            }
+            for id in losers {
+                if let Some(e) = sh.entries.remove(&id) {
+                    dropped.push(e);
+                }
+            }
+        }
+        // 3. Cascade: no resident may reference a dead parent.
+        let mut resident: FxHashSet<EntryId> = FxHashSet::default();
+        for g in guards.iter() {
+            resident.extend(g.entries.keys().copied());
+        }
+        loop {
+            let mut doomed: Vec<(usize, EntryId)> = Vec::new();
+            for (si, g) in guards.iter().enumerate() {
+                for (id, e) in g.entries.iter() {
+                    if e.parents.iter().any(|p| !resident.contains(p)) {
+                        doomed.push((si, *id));
+                    }
+                }
+            }
+            if doomed.is_empty() {
+                break;
+            }
+            for (si, id) in doomed {
+                resident.remove(&id);
+                if let Some(e) = guards[si].entries.remove(&id) {
+                    guards[si].by_sig.remove(&e.sig);
+                    dropped.push(e);
+                }
+            }
+        }
+        // 4. Rebuild the derived indexes from the surviving slabs.
+        self.owner.clear();
+        self.children.clear();
+        self.leaves.clear();
+        self.leaf_count.store(0, Ordering::Relaxed);
+        self.nursery.clear();
+        self.by_session.clear();
+        self.by_op_arg0.clear();
+        let mut leaf_total = 0usize;
+        for (si, g) in guards.iter().enumerate() {
+            for (id, e) in g.entries.iter() {
+                self.owner.insert(*id, si);
+                for p in &e.parents {
+                    self.children.alter(p, |m| {
+                        m.entry(*p).or_default().insert(*id);
+                    });
+                }
+                self.by_session.alter(&e.admitted_session, |m| {
+                    *m.entry(e.admitted_session).or_insert(0) += 1;
+                });
+                if let Some(arg0) = e.sig.first_arg() {
+                    let key = (e.sig.op, arg0.clone());
+                    self.by_op_arg0.alter(&key, |m| {
+                        m.entry(key.clone()).or_default().push(*id);
+                    });
+                }
+            }
+        }
+        for g in guards.iter() {
+            for id in g.entries.keys() {
+                if !self.children.contains(id) {
+                    self.leaves.insert(*id, ());
+                    leaf_total += 1;
+                }
+            }
+        }
+        self.leaf_count.store(leaf_total, Ordering::Relaxed);
+        self.by_result.retain(|_, id| resident.contains(id));
+        self.result_aliases.retain(|id, _| resident.contains(id));
+        let mut live_results: FxHashSet<BatId> = FxHashSet::default();
+        self.by_result.for_each(|b, _| {
+            live_results.insert(*b);
+        });
+        self.supersets.retain(|b, _| live_results.contains(b));
+        // 5. Exact byte books from the survivors; un-poison; unquarantine.
+        let mut total_bytes = 0usize;
+        let mut total_entries = 0usize;
+        for (si, g) in guards.iter().enumerate() {
+            let bytes: usize = g.entries.values().map(|e| e.bytes).sum();
+            self.shard_bytes[si].store(bytes, Ordering::Relaxed);
+            total_bytes += bytes;
+            total_entries += g.entries.len();
+        }
+        self.total_bytes.store(total_bytes, Ordering::Relaxed);
+        self.total_entries.store(total_entries, Ordering::Relaxed);
+        for &si in &broken {
+            self.shards[si].clear_poison();
+            if self.quarantined[si].swap(false, Ordering::AcqRel) {
+                self.quarantined_count.fetch_sub(1, Ordering::Relaxed);
+            }
+            self.repaired_total.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(guards);
+        RepairReport {
+            shards_repaired: broken,
+            entries_dropped: dropped.len(),
+            bytes_dropped: dropped.iter().map(|e| e.bytes).sum(),
+        }
     }
 
     /// Resident entries admitted by `session` (and not yet removed) — the
@@ -443,9 +739,14 @@ impl RecyclePool {
         self.by_session.with(&session, |n| n.copied().unwrap_or(0))
     }
 
-    /// Exact-match lookup (shard read lock only).
+    /// Exact-match lookup (shard read lock only). A quarantined shard
+    /// reports a miss — torn index state is never served.
     pub fn lookup(&self, sig: &Sig) -> Option<EntryId> {
-        let sh = self.read_shard(self.shard_of(sig));
+        let si = self.shard_of(sig);
+        if !self.shard_serviceable(si) {
+            return None;
+        }
+        let sh = self.read_shard(si);
         sh.by_sig.get(sig).copied()
     }
 
@@ -454,16 +755,25 @@ impl RecyclePool {
     /// updates, pinning, result cloning) happens inside `f` without ever
     /// taking a write lock. `f` must not call back into shard-locking
     /// pool methods.
+    /// A quarantined shard reports a miss (degraded mode).
     pub fn probe<R>(&self, sig: &Sig, f: impl FnOnce(&PoolEntry) -> R) -> Option<R> {
-        let sh = self.read_shard(self.shard_of(sig));
+        let si = self.shard_of(sig);
+        if !self.shard_serviceable(si) {
+            return None;
+        }
+        let sh = self.read_shard(si);
         let id = sh.by_sig.get(sig)?;
         sh.entries.get(id).map(f)
     }
 
     /// Run `f` over the entry `id`, under its shard's read lock. `f` must
     /// not call back into shard-locking pool methods.
+    /// A quarantined shard reports `None` (degraded mode).
     pub fn entry<R>(&self, id: EntryId, f: impl FnOnce(&PoolEntry) -> R) -> Option<R> {
         let shard = self.owner.get_clone(&id)?;
+        if !self.shard_serviceable(shard) {
+            return None;
+        }
         let sh = self.read_shard(shard);
         sh.entries.get(&id).map(f)
     }
@@ -562,7 +872,12 @@ impl RecyclePool {
     /// `result ⊆ subset_of` for the subsumption machinery (§5.1).
     pub fn insert(&self, entry: PoolEntry, subset_of: Option<BatId>) -> Admitted {
         let si = self.shard_of(&entry.sig);
+        if !self.shard_serviceable(si) {
+            return Admitted::Quarantined;
+        }
         let mut sh = self.write_shard(si);
+        #[cfg(feature = "failpoints")]
+        let _ = crate::fault::fire("pool.insert");
         if let Some(&existing) = sh.by_sig.get(&entry.sig) {
             if let Some(win) = sh.entries.get(&existing) {
                 win.pins.fetch_add(1, Ordering::Relaxed);
@@ -613,6 +928,10 @@ impl RecyclePool {
             });
         }
         let session = entry.admitted_session;
+        // Failpoint: every index above is wired but the slab entry is
+        // not yet resident — the most torn state an unwind can leave.
+        #[cfg(feature = "failpoints")]
+        let _ = crate::fault::fire("pool.insert.wired");
         sh.entries.insert(id, entry);
         self.by_session.alter(&session, |m| {
             *m.entry(session).or_insert(0) += 1;
@@ -772,7 +1091,14 @@ impl RecyclePool {
         }
         let mut removed = Vec::new();
         for (si, group) in by_shard {
+            // Quarantined shards sit out eviction: their books may be
+            // torn, so removals there wait for `repair`.
+            if !self.shard_serviceable(si) {
+                continue;
+            }
             let mut sh = self.write_shard(si);
+            #[cfg(feature = "failpoints")]
+            let _ = crate::fault::fire("evict.remove");
             for id in group {
                 let evictable = sh
                     .entries
@@ -873,6 +1199,11 @@ impl RecyclePool {
             }
         }
         for (si, group) in by_shard {
+            // Gather skips quarantined shards — their residents are
+            // frozen until `repair` returns them to service.
+            if !self.shard_serviceable(si) {
+                continue;
+            }
             let sh = self.read_shard(si);
             for id in group {
                 if let Some(e) = sh.entries.get(&id) {

@@ -79,6 +79,13 @@ pub struct Recycler {
     pinned: FxHashSet<EntryId>,
     query_log: Vec<QueryRecord>,
     current: QueryRecord,
+    /// Soft deadline for the currently running query (set by the facade's
+    /// `query_with_deadline`). Past it the hook sheds optional work:
+    /// admissions (and therefore any inline eviction they could trigger)
+    /// and subsumption searches are skipped — hits still serve, results
+    /// stay correct, the query just stops paying cache-maintenance costs
+    /// it can no longer amortise.
+    deadline: Option<Instant>,
 }
 
 impl Recycler {
@@ -101,6 +108,7 @@ impl Recycler {
             pinned: FxHashSet::default(),
             query_log: Vec::new(),
             current: QueryRecord::default(),
+            deadline: None,
         }
     }
 
@@ -139,6 +147,24 @@ impl Recycler {
     /// Snapshot of the pool content (Table III material).
     pub fn snapshot(&self) -> PoolSnapshot {
         self.shared.snapshot()
+    }
+
+    /// Set (or clear) the soft deadline enforced at the recycler's
+    /// admission and eviction-wait points for queries run through this
+    /// session. Past the deadline, admissions are shed *before* the
+    /// capacity reservation — the one place a query can block behind
+    /// inline eviction — and subsumption searches are skipped; exact
+    /// hits still serve (they are the cheap path). The engine's operator
+    /// execution itself is not interrupted: the facade checks the clock
+    /// again after the run and reports a deadline error without caching
+    /// costs having been paid.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Has the current query's soft deadline passed?
+    pub fn past_deadline(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     // ----- internal helpers -------------------------------------------------
@@ -289,6 +315,16 @@ impl Recycler {
         let shared = Arc::clone(&self.shared);
         let pool = shared.pool_inner();
         let key: InstrKey = (self.current_template, pc);
+        // Deadline shedding: past the soft deadline this query must not
+        // pay for cache maintenance — in particular it must not enter
+        // `reserve_admission`, whose cap gate is the one place an
+        // admission can block behind inline eviction. Skipping the whole
+        // exit (including a bind's persistent registration) only costs
+        // admissibility of downstream results, i.e. misses.
+        if self.past_deadline() {
+            shared.count_deadline_skip();
+            return;
+        }
         // register persistent identities first: they anchor coherence
         let is_bind = matches!(instr.op, Opcode::Bind | Opcode::BindIdx);
         let mut base_columns: BTreeSet<(String, String)> = if is_bind {
@@ -347,12 +383,28 @@ impl Recycler {
         }
         let bytes = Self::charge_bytes(instr.op, result);
         // reserve capacity (strict limits under concurrency); released
-        // right after the insert settles, whatever its outcome
+        // when the insert settles, whatever its outcome — via an RAII
+        // guard, so a panic unwinding out of `insert` (which poisons and
+        // quarantines the shard) cannot leak the pending reservation and
+        // choke future admissions against the cap
         if !shared.reserve_admission(bytes) {
             shared.count_admission_reject();
             shared.undo_admission_charge(key, grant);
             return;
         }
+        struct Reservation<'a> {
+            shared: &'a SharedRecycler,
+            bytes: usize,
+        }
+        impl Drop for Reservation<'_> {
+            fn drop(&mut self) {
+                self.shared.release_reservation(self.bytes);
+            }
+        }
+        let reservation = Reservation {
+            shared: &shared,
+            bytes,
+        };
         let sig = Sig::versioned(catalog, instr.op, args);
         let tick = shared.next_tick();
         let result_id = result.as_bat().map(|b| b.id());
@@ -402,7 +454,7 @@ impl Recycler {
             credit_returned: AtomicBool::new(false),
         };
         let admitted = pool.insert(entry, subset_of);
-        shared.release_reservation(bytes);
+        drop(reservation);
         match admitted {
             Admitted::Inserted(id) => {
                 self.pinned.insert(id);
@@ -432,6 +484,14 @@ impl Recycler {
                 // so no bytes were counted; the admission credit (when one
                 // was charged) goes back to the account so repeated
                 // orphaning cannot drain it.
+                shared.count_admission_reject();
+                shared.undo_admission_charge(key, grant);
+            }
+            Admitted::Quarantined => {
+                // The target shard is quarantined after a poisoning
+                // panic: the pool refused the candidate without touching
+                // torn state. Same refund discipline as a reject —
+                // degraded mode costs this session a miss, nothing more.
                 shared.count_admission_reject();
                 shared.undo_admission_charge(key, grant);
             }
@@ -550,7 +610,10 @@ impl ExecHook for Recycler {
         // across the shards under read locks; argument values are cloned
         // out, so a concurrent eviction of the source cannot invalidate
         // the rewrite (`Arc`-shared BATs).
-        if config.subsumption {
+        // Past the soft deadline the subsumption fan-out (a cross-shard
+        // candidate search plus piecing) is optional work the query can
+        // no longer amortise; exact hits above still served.
+        if config.subsumption && !self.past_deadline() {
             let attempt = {
                 let pool = self.shared.pool_inner();
                 match instr.op {

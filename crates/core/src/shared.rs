@@ -110,6 +110,19 @@
 //!    post-commit probe — stale reuse is structurally impossible, the
 //!    worst case is an unreachable entry awaiting eviction. Invalidation
 //!    still overrides pins — correctness beats retention.
+//! 9. **Poison means quarantine, not propagation.** A panic unwinding
+//!    through a shard write lock may leave that shard's slab/index
+//!    wiring torn. The pool notices the poisoned lock at the next
+//!    acquisition (or via a lock-free `is_poisoned` probe on the hit
+//!    path), raises the shard's quarantine bit and degrades: probes
+//!    against the shard miss, admissions come back
+//!    [`crate::pool::Admitted::Quarantined`] and are refunded, eviction
+//!    skips the shard. Healthy shards are unaffected — the recycler is
+//!    advisory, so the worst legal outcome is a cache miss.
+//!    [`MaintenanceGuard::repair_quarantined`] (update mutex + all shard
+//!    write locks, collector quiesced) rebuilds consistent state from
+//!    the surviving slabs, refunds the byte books exactly, clears the
+//!    lock poison and lifts the quarantine.
 
 use std::collections::BTreeSet;
 use std::ops::Deref;
@@ -186,6 +199,7 @@ pub(crate) struct SharedStats {
     background_evictions: AtomicU64,
     invalidated: AtomicU64,
     propagated: AtomicU64,
+    deadline_skips: AtomicU64,
     time_saved_ns: AtomicU64,
     overhead_ns: AtomicU64,
     subsume_search_ns: AtomicU64,
@@ -569,6 +583,11 @@ impl SharedRecycler {
     /// evicted: when only pinned leaves remain, admission fails instead —
     /// see the locking invariants above.
     pub(crate) fn reserve_admission(&self, need_bytes: usize) -> bool {
+        #[cfg(feature = "failpoints")]
+        if let Some(crate::fault::FaultAction::Deny) = crate::fault::fire("admission.reserve") {
+            self.count_admission_reject();
+            return false;
+        }
         let config = self.config;
         if !self.limits_configured() {
             return true; // unlimited: no accounting, no contention
@@ -729,6 +748,11 @@ impl SharedRecycler {
             evict_gather_rounds: self.pool.eviction_gather_rounds(),
             invalidated: ld(&s.invalidated),
             propagated: ld(&s.propagated),
+            deadline_skips: ld(&s.deadline_skips),
+            collector_restarts: col.restarts,
+            shards_quarantined: self.pool.shards_quarantined_total(),
+            shards_repaired: self.pool.shards_repaired_total(),
+            quarantined_now: self.pool.quarantined_shards().len() as u64,
             sessions: self.session_count(),
             active_sessions: self.active_session_count() as u64,
             time_saved: Duration::from_nanos(ld(&s.time_saved_ns)),
@@ -780,6 +804,10 @@ impl SharedRecycler {
 
     pub(crate) fn count_duplicate_admission(&self) {
         bump(&self.stats.duplicate_admissions);
+    }
+
+    pub(crate) fn count_deadline_skip(&self) {
+        bump(&self.stats.deadline_skips);
     }
 
     pub(crate) fn count_evictions(&self, n: u64) {
@@ -938,6 +966,18 @@ impl MaintenanceGuard<'_> {
     /// Reset pool, credit/ADAPT accounts and lifetime statistics.
     pub fn reset(&self) {
         self.shared.reset();
+    }
+
+    /// Repair every quarantined shard and return it to service —
+    /// [`RecyclePool::repair`] run at the sanctioned point: the guard
+    /// quiesces the background collector and serialises against other
+    /// maintenance, and the repair pass itself takes the update mutex
+    /// plus every shard write lock (the same serialisation `clear_pool`
+    /// uses). Returns what was dropped; after it,
+    /// [`RecyclePool::check_invariants`] holds again and probes against
+    /// the repaired shards serve hits instead of degraded misses.
+    pub fn repair_quarantined(&self) -> crate::pool::RepairReport {
+        self.shared.pool_inner().repair()
     }
 }
 

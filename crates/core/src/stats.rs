@@ -80,6 +80,22 @@ pub struct RecyclerStats {
     pub invalidated: u64,
     /// Entries refreshed in place by delta propagation.
     pub propagated: u64,
+    /// Admission attempts shed because the session's query deadline had
+    /// already passed (the entry is simply not cached — deadline shedding
+    /// costs misses, never wrong answers).
+    pub deadline_skips: u64,
+    /// Background-collector activations that panicked and were restarted
+    /// by the collector thread's supervisor loop.
+    pub collector_restarts: u64,
+    /// Shards ever quarantined after a poisoning panic (cumulative; see
+    /// [`crate::pool::RecyclePool::repair`] for the degraded-mode
+    /// semantics).
+    pub shards_quarantined: u64,
+    /// Shards repaired and returned to service (cumulative).
+    pub shards_repaired: u64,
+    /// Shards sitting in quarantine right now (probes there degrade to
+    /// misses until a maintenance repair runs).
+    pub quarantined_now: u64,
     /// Execution time avoided through exact-match reuse (sum of the stored
     /// CPU costs of hit entries).
     pub time_saved: Duration,

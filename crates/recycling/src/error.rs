@@ -27,6 +27,19 @@ pub enum Error {
     /// build time (e.g. inverted water marks, a collector enabled without
     /// any resource limit). The message says which constraint failed.
     Config(String),
+    /// The query's deadline expired before a result was produced
+    /// ([`crate::Session::query_with_deadline`]). The query may have
+    /// partially run; no partial result is returned and nothing past the
+    /// deadline was admitted to the recycle pool.
+    Deadline,
+    /// The request was refused because the service is running degraded —
+    /// e.g. a commit while pool shards sit in quarantine after a
+    /// poisoning panic (invalidating through torn state could leave
+    /// stale intermediates reachable). Queries keep working (quarantined
+    /// shards degrade to cache misses); run
+    /// [`crate::Database::maintenance`]'s `repair_quarantined` to
+    /// restore full service. The message names the degraded component.
+    Degraded(String),
 }
 
 impl fmt::Display for Error {
@@ -36,6 +49,8 @@ impl fmt::Display for Error {
             Error::Mal(e) => write!(f, "{e}"),
             Error::UnknownTemplate(name) => write!(f, "unknown template: {name}"),
             Error::Config(msg) => write!(f, "invalid recycler configuration: {msg}"),
+            Error::Deadline => write!(f, "query deadline exceeded"),
+            Error::Degraded(msg) => write!(f, "service degraded: {msg}"),
         }
     }
 }
@@ -45,7 +60,9 @@ impl std::error::Error for Error {
         match self {
             Error::Bat(e) => Some(e),
             Error::Mal(e) => Some(e),
-            Error::UnknownTemplate(_) | Error::Config(_) => None,
+            Error::UnknownTemplate(_) | Error::Config(_) | Error::Deadline | Error::Degraded(_) => {
+                None
+            }
         }
     }
 }
@@ -88,6 +105,16 @@ mod tests {
         let e = Error::Config("low_water_ratio (0.9) must be < high_water_ratio (0.8)".into());
         assert!(e.to_string().starts_with("invalid recycler configuration:"));
         assert!(e.to_string().contains("low_water_ratio"));
+        use std::error::Error as _;
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn robustness_errors_display_their_taxonomy() {
+        assert_eq!(Error::Deadline.to_string(), "query deadline exceeded");
+        let e = Error::Degraded("2 pool shards quarantined".into());
+        assert!(e.to_string().starts_with("service degraded:"));
+        assert!(e.to_string().contains("quarantined"));
         use std::error::Error as _;
         assert!(e.source().is_none());
     }

@@ -73,3 +73,9 @@ pub use recycler::{
     AdmissionPolicy, EvictionPolicy, MaintenanceGuard, PoolSnapshot, QueryRecord, RecyclerConfig,
     RecyclerStats, UpdateMode,
 };
+
+/// Deterministic fault injection (`--features failpoints` builds only):
+/// re-export of [`recycler::fault`] so the TCP front-end and test
+/// harnesses can script failures at every layer through one registry.
+#[cfg(feature = "failpoints")]
+pub use recycler::fault;

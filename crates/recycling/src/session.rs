@@ -1,6 +1,6 @@
 //! The per-client [`Session`] handle and its typed request/reply types.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rbat::catalog::CommitReport;
 use rbat::delta::Row;
@@ -85,7 +85,9 @@ impl QueryReply {
 /// experiment harness compares against. Hidden behind `Session` so the
 /// generic hook parameter never leaks into the public API.
 enum EngineKind {
-    Recycled(Engine<Recycler>),
+    // Boxed: the recycler hook carries per-session admission state, so
+    // this variant dwarfs the naive one and would bloat every Session.
+    Recycled(Box<Engine<Recycler>>),
     Naive(Engine<NoHook>),
 }
 
@@ -112,7 +114,7 @@ impl Session {
     pub(crate) fn recycled(db: Database, engine: Engine<Recycler>) -> Session {
         Session {
             db,
-            engine: EngineKind::Recycled(engine),
+            engine: EngineKind::Recycled(Box::new(engine)),
         }
     }
 
@@ -168,6 +170,61 @@ impl Session {
         }
     }
 
+    /// Execute a prepared template under a soft deadline of `budget`
+    /// from now.
+    ///
+    /// The deadline is enforced at the recycler's **admission and
+    /// eviction-wait points**: past it, the query stops admitting
+    /// intermediates (and therefore can no longer block behind inline
+    /// eviction at the capacity gate) and skips subsumption searches;
+    /// exact-match hits still serve. Operator execution itself is not
+    /// interrupted mid-instruction — when the clock has run out by the
+    /// time the run returns, the reply is discarded and
+    /// [`Error::Deadline`] is reported (nothing admitted past the
+    /// deadline is left in the pool, so a timed-out query cannot have
+    /// polluted the cache with work nobody waited for). A zero `budget`
+    /// fails fast without running at all.
+    pub fn query_with_deadline(
+        &mut self,
+        template: &Program,
+        params: &[Value],
+        budget: Duration,
+    ) -> Result<QueryReply> {
+        if budget.is_zero() {
+            return Err(Error::Deadline);
+        }
+        let deadline = Instant::now()
+            .checked_add(budget)
+            .unwrap_or_else(|| Instant::now() + Duration::from_secs(u32::MAX as u64));
+        if let EngineKind::Recycled(e) = &mut self.engine {
+            e.hook.set_deadline(Some(deadline));
+        }
+        let reply = self.query(template, params);
+        if let EngineKind::Recycled(e) = &mut self.engine {
+            e.hook.set_deadline(None);
+        }
+        if Instant::now() >= deadline {
+            return Err(Error::Deadline);
+        }
+        reply
+    }
+
+    /// [`Self::query_with_deadline`] for a template registered under
+    /// `name` — the request shape the TCP front-end's wire deadline field
+    /// maps onto.
+    pub fn query_named_with_deadline(
+        &mut self,
+        name: &str,
+        params: &[Value],
+        budget: Duration,
+    ) -> Result<QueryReply> {
+        let template = self
+            .db
+            .template(name)
+            .ok_or_else(|| Error::UnknownTemplate(name.to_string()))?;
+        self.query_with_deadline(&template, params, budget)
+    }
+
     /// Execute a prepared template and return the abstract machine's full
     /// [`rmal::QueryOutput`] — exports plus the per-instruction execution
     /// profile. The experiment harness uses this to attribute time to
@@ -199,7 +256,23 @@ impl Session {
     /// the recycle pool (invalidation or delta propagation per the
     /// configured update mode). Other sessions observe the commit at
     /// their next query.
+    ///
+    /// Refused with [`Error::Degraded`] while any pool shard sits in
+    /// quarantine after a poisoning panic: invalidation / delta
+    /// propagation cannot reach into a torn shard, and committing around
+    /// it could leave stale intermediates reachable once the shard is
+    /// repaired. Queries keep working in the meantime (quarantined shards
+    /// degrade to misses); run
+    /// [`MaintenanceGuard::repair_quarantined`](recycler::MaintenanceGuard::repair_quarantined)
+    /// via [`Database::maintenance`] to restore commit service.
     pub fn commit(&mut self, update: Update) -> Result<CommitReport> {
+        let quarantined = self.db.pool().quarantined_shards();
+        if !quarantined.is_empty() {
+            return Err(Error::Degraded(format!(
+                "{} pool shard(s) quarantined; repair via Database::maintenance()",
+                quarantined.len()
+            )));
+        }
         let Update {
             table,
             inserts,

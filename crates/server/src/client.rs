@@ -4,6 +4,7 @@
 use std::fmt;
 use std::io::BufWriter;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use rbat::Value;
 
@@ -50,6 +51,35 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Retry discipline for [`Client::connect_with_retry`]: up to `attempts`
+/// connection attempts, sleeping an exponentially growing, jittered
+/// backoff between them. The jitter is a deterministic xorshift stream
+/// seeded by `seed`, so a fleet of clients started from distinct seeds
+/// de-synchronises (no thundering herd on a recovering server) while any
+/// single run stays exactly reproducible.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum connection attempts (≥ 1; 0 behaves as 1).
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base: Duration,
+    /// Ceiling on any one backoff sleep (pre-jitter).
+    pub cap: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            seed: 1,
+        }
+    }
+}
+
 /// One connection to a [`crate::Server`]; the server serves it with one
 /// dedicated database session, so consecutive requests see each other's
 /// effects (and the session's credit slice is this connection's).
@@ -70,6 +100,42 @@ impl Client {
         })
     }
 
+    /// Connect, retrying [`ClientError::Busy`] rejections and transport
+    /// failures with jittered exponential backoff per `policy`. Each
+    /// attempt is probed with a `Stats` request — a `Busy` frame arrives
+    /// only in response to traffic, so a bare `connect()` cannot see it.
+    /// The probe also warms the connection's dedicated session. Returns
+    /// the last error when every attempt is turned away.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        policy: RetryPolicy,
+    ) -> Result<Client, ClientError> {
+        let mut jitter = policy.seed | 1; // xorshift state must be nonzero
+        let mut backoff = policy.base;
+        let mut last = ClientError::Busy("no attempts made".into());
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                // jitter in [50%, 100%] of the nominal backoff
+                jitter ^= jitter << 13;
+                jitter ^= jitter >> 7;
+                jitter ^= jitter << 17;
+                let half = backoff.min(policy.cap).as_nanos() as u64 / 2;
+                let extra = if half == 0 { 0 } else { jitter % (half + 1) };
+                std::thread::sleep(Duration::from_nanos(half + extra));
+                backoff = backoff.saturating_mul(2);
+            }
+            match Client::connect(addr.clone()) {
+                Ok(mut client) => match client.stats() {
+                    Ok(_) => return Ok(client),
+                    Err(e @ (ClientError::Busy(_) | ClientError::Proto(_))) => last = e,
+                    Err(e) => return Err(e),
+                },
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
     fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
         write_frame(&mut self.writer, &encode_request(req)?)?;
         let payload = read_frame(&mut self.reader)?.ok_or(ProtoError::Truncated)?;
@@ -86,6 +152,27 @@ impl Client {
         match self.roundtrip(&Request::Query {
             template: template.to_string(),
             params: params.to_vec(),
+            deadline_ms: 0,
+        })? {
+            Response::Query(q) => Ok(q),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// [`Self::query`] with a server-enforced soft deadline: past
+    /// `budget` the server stops admitting/waiting on the recycler and
+    /// answers with a deadline error instead of a partial result (which
+    /// surfaces here as [`ClientError::Remote`]).
+    pub fn query_with_deadline(
+        &mut self,
+        template: &str,
+        params: &[Value],
+        budget: Duration,
+    ) -> Result<QueryResult, ClientError> {
+        match self.roundtrip(&Request::Query {
+            template: template.to_string(),
+            params: params.to_vec(),
+            deadline_ms: (budget.as_millis() as u64).max(1),
         })? {
             Response::Query(q) => Ok(q),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),

@@ -56,6 +56,6 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use protocol::{ProtoError, QueryResult, Request, Response, MAX_FRAME};
-pub use server::{Server, ServerConfig};
+pub use server::{ServeCounters, Server, ServerConfig};

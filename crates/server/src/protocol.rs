@@ -31,6 +31,11 @@ pub enum ProtoError {
     /// Structurally invalid payload (unknown tag, bad UTF-8, trailing
     /// bytes, unencodable value).
     Malformed(String),
+    /// The socket's read deadline expired mid-frame (slow-loris guard:
+    /// see `ServerConfig::read_timeout`). Distinguished from [`Self::Io`]
+    /// so the serving loop can close the connection with a typed error
+    /// frame instead of treating it as a transport fault.
+    Timeout,
     /// Transport error.
     Io(String),
 }
@@ -41,6 +46,7 @@ impl fmt::Display for ProtoError {
             ProtoError::Truncated => write!(f, "truncated frame"),
             ProtoError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
             ProtoError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            ProtoError::Timeout => write!(f, "read timed out"),
             ProtoError::Io(m) => write!(f, "io error: {m}"),
         }
     }
@@ -52,6 +58,9 @@ impl From<io::Error> for ProtoError {
     fn from(e: io::Error) -> ProtoError {
         match e.kind() {
             io::ErrorKind::UnexpectedEof => ProtoError::Truncated,
+            // Both kinds occur for an expired SO_RCVTIMEO depending on
+            // platform; fold them into one typed timeout.
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ProtoError::Timeout,
             _ => ProtoError::Io(e.to_string()),
         }
     }
@@ -66,6 +75,11 @@ pub enum Request {
         template: String,
         /// Parameter values.
         params: Vec<Value>,
+        /// Soft deadline budget in milliseconds; `0` means none. Enforced
+        /// at the recycler's admission/eviction wait points server-side —
+        /// past it the reply is an `Error` frame reporting the deadline,
+        /// never a partial result.
+        deadline_ms: u64,
     },
     /// Commit inserts/deletes against one table.
     Commit {
@@ -315,10 +329,15 @@ fn put_values(out: &mut Vec<u8>, values: &[Value]) -> Result<(), ProtoError> {
 pub fn encode_request(req: &Request) -> Result<Vec<u8>, ProtoError> {
     let mut out = Vec::new();
     match req {
-        Request::Query { template, params } => {
+        Request::Query {
+            template,
+            params,
+            deadline_ms,
+        } => {
             out.push(1);
             put_str(&mut out, template);
             put_values(&mut out, params)?;
+            out.extend_from_slice(&deadline_ms.to_le_bytes());
         }
         Request::Commit {
             table,
@@ -350,7 +369,12 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
             let template = c.str()?;
             let n = c.len()?;
             let params = (0..n).map(|_| c.value()).collect::<Result<_, _>>()?;
-            Request::Query { template, params }
+            let deadline_ms = c.u64()?;
+            Request::Query {
+                template,
+                params,
+                deadline_ms,
+            }
         }
         2 => {
             let table = c.str()?;
@@ -480,6 +504,7 @@ mod tests {
                     Value::Date(Date(7000)),
                     Value::Oid(Oid(42)),
                 ],
+                deadline_ms: 1500,
             },
             Request::Commit {
                 table: "t".into(),
@@ -541,6 +566,7 @@ mod tests {
         let bytes = encode_request(&Request::Query {
             template: "q".into(),
             params: vec![Value::Int(1)],
+            deadline_ms: 0,
         })
         .unwrap();
         for cut in 1..bytes.len() {

@@ -4,9 +4,11 @@
 use std::collections::VecDeque;
 use std::io::BufWriter;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use recycling::{Database, Session, Update};
 
@@ -27,6 +29,13 @@ pub struct ServerConfig {
     pub max_sessions: usize,
     /// Accepted connections allowed to wait for a free worker.
     pub backlog: usize,
+    /// Per-connection socket read timeout — the slow-loris guard. A peer
+    /// that opens a connection and then trickles (or stops sending)
+    /// occupies a worker until this expires, at which point the worker
+    /// sends a typed `Error` frame and hangs up. `None` disables the
+    /// guard (workers then block indefinitely on idle connections, as
+    /// before).
+    pub read_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -34,7 +43,40 @@ impl Default for ServerConfig {
         ServerConfig {
             max_sessions: 8,
             backlog: 16,
+            read_timeout: Some(Duration::from_secs(30)),
         }
+    }
+}
+
+/// Degraded-mode observability: counters for the faults the server
+/// absorbs instead of dying. Exposed via [`Server::counters`] and over
+/// the wire in the `Stats` response (`server_*` keys).
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    worker_panics: AtomicU64,
+    accept_errors: AtomicU64,
+    read_timeouts: AtomicU64,
+}
+
+impl ServeCounters {
+    /// Requests whose handler panicked; each produced an `Error` frame on
+    /// a connection that kept serving (the panic was contained, the
+    /// worker survived).
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// Transient `accept()` failures absorbed by the accept loop's
+    /// backoff (fd exhaustion, aborted handshakes) — the loop slept and
+    /// retried instead of exiting.
+    pub fn accept_errors(&self) -> u64 {
+        self.accept_errors.load(Ordering::Relaxed)
+    }
+
+    /// Connections closed because the socket read deadline expired
+    /// (slow-loris guard, `ServerConfig::read_timeout`).
+    pub fn read_timeouts(&self) -> u64 {
+        self.read_timeouts.load(Ordering::Relaxed)
     }
 }
 
@@ -74,6 +116,11 @@ pub struct Server {
     /// and exits instead of deadlocking the join.
     live: Arc<Vec<Mutex<Option<TcpStream>>>>,
     rejected: Arc<AtomicU64>,
+    counters: Arc<ServeCounters>,
+    /// Raised by [`Self::shutdown_graceful`]: workers finish the request
+    /// in flight, answer it, then close their connection instead of
+    /// reading the next frame.
+    draining: Arc<AtomicBool>,
 }
 
 impl Server {
@@ -91,6 +138,8 @@ impl Server {
             ready: Condvar::new(),
         });
         let rejected = Arc::new(AtomicU64::new(0));
+        let counters = Arc::new(ServeCounters::default());
+        let draining = Arc::new(AtomicBool::new(false));
 
         let live: Arc<Vec<Mutex<Option<TcpStream>>>> = Arc::new(
             (0..config.max_sessions.max(1))
@@ -103,6 +152,9 @@ impl Server {
                 let running = Arc::clone(&running);
                 let conns = Arc::clone(&conns);
                 let live = Arc::clone(&live);
+                let counters = Arc::clone(&counters);
+                let draining = Arc::clone(&draining);
+                let read_timeout = config.read_timeout;
                 std::thread::spawn(move || {
                     while let Some(conn) = conns.pop(&running) {
                         *live[slot].lock().unwrap_or_else(PoisonError::into_inner) =
@@ -114,7 +166,17 @@ impl Server {
                         // flag — a queued connection popped mid-shutdown
                         // can never strand the worker in a blocking read.
                         if running.load(Ordering::Relaxed) {
-                            serve_connection(&db, conn);
+                            // Belt-and-braces: per-request panics are
+                            // already contained inside serve_connection;
+                            // this outer guard means even a panic in the
+                            // framing/session layer costs one connection,
+                            // never the worker thread.
+                            let r = catch_unwind(AssertUnwindSafe(|| {
+                                serve_connection(&db, conn, read_timeout, &counters, &draining);
+                            }));
+                            if r.is_err() {
+                                counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                         *live[slot].lock().unwrap_or_else(PoisonError::into_inner) = None;
                     }
@@ -126,16 +188,32 @@ impl Server {
             let running = Arc::clone(&running);
             let conns = Arc::clone(&conns);
             let rejected = Arc::clone(&rejected);
+            let counters = Arc::clone(&counters);
             // at least one waiter, or an empty instantaneous queue (a
             // popped-but-in-service connection) would reject everyone
             let backlog = config.backlog.max(1);
             let reject_writers: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
             std::thread::spawn(move || {
+                let mut backoff = ACCEPT_BACKOFF_START;
                 for stream in listener.incoming() {
                     if !running.load(Ordering::Relaxed) {
                         break;
                     }
-                    let Ok(stream) = stream else { continue };
+                    let stream = match stream {
+                        Ok(s) => {
+                            backoff = ACCEPT_BACKOFF_START;
+                            s
+                        }
+                        Err(_) => {
+                            // Transient accept failures (EMFILE, aborted
+                            // handshakes) must not spin the loop hot or
+                            // kill it: count, back off, try again.
+                            counters.accept_errors.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(ACCEPT_BACKOFF_CAP);
+                            continue;
+                        }
+                    };
                     let mut q = conns.queue.lock().unwrap_or_else(PoisonError::into_inner);
                     if q.len() >= backlog {
                         drop(q);
@@ -158,6 +236,8 @@ impl Server {
             workers,
             live,
             rejected,
+            counters,
+            draining,
         })
     }
 
@@ -169,6 +249,12 @@ impl Server {
     /// Connections turned away by admission control so far.
     pub fn rejected_connections(&self) -> u64 {
         self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// The server's degraded-mode counters (panics contained, accept
+    /// errors absorbed, read timeouts enforced).
+    pub fn counters(&self) -> &ServeCounters {
+        &self.counters
     }
 
     /// Stop accepting, sever every in-service connection, wake every
@@ -193,7 +279,44 @@ impl Server {
             let _ = h.join();
         }
     }
+
+    /// Graceful variant of [`Self::shutdown`]: stop accepting, let every
+    /// in-flight request finish and be answered, then close. Workers see
+    /// the draining flag after writing each response and hang up instead
+    /// of reading the next frame; connections idle in a blocking read
+    /// are given up to `grace` to come around (their next request still
+    /// gets served), after which the remaining sockets are severed as in
+    /// `shutdown`. Queued-but-unserved connections are dropped — they
+    /// were never answered, so the client sees a clean close, not a torn
+    /// reply.
+    pub fn shutdown_graceful(self, grace: Duration) {
+        self.draining.store(true, Ordering::Relaxed);
+        // Stop accepting immediately (the connect() unblocks the accept
+        // loop's blocking `incoming()`).
+        self.running.store(false, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        self.conns.ready.notify_all();
+        let deadline = Instant::now() + grace;
+        while Instant::now() < deadline {
+            let any_live = self.live.iter().any(|slot| {
+                slot.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .is_some()
+            });
+            if !any_live {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.shutdown();
+    }
 }
+
+/// First sleep after a failed `accept()`; doubles per consecutive
+/// failure up to [`ACCEPT_BACKOFF_CAP`], resets on success.
+const ACCEPT_BACKOFF_START: Duration = Duration::from_millis(5);
+/// Ceiling for the accept-loop error backoff.
+const ACCEPT_BACKOFF_CAP: Duration = Duration::from_millis(250);
 
 /// How long a Busy rejection may spend in any one write to the turned-
 /// away client before the socket is abandoned. Rejected peers are by
@@ -246,18 +369,51 @@ fn reject_busy(stream: TcpStream, backlog: usize, writers: &Arc<AtomicU64>) {
     }
 }
 
-/// Serve one connection until `Close`, EOF or a protocol error: a frame
-/// loop over one dedicated [`Session`].
-fn serve_connection(db: &Database, stream: TcpStream) {
+/// Serve one connection until `Close`, EOF, a protocol error or a read
+/// timeout: a frame loop over one dedicated [`Session`]. A request whose
+/// handler panics is answered with a typed `Error` frame and the
+/// connection keeps serving — one bad request costs one reply, not a
+/// worker.
+fn serve_connection(
+    db: &Database,
+    stream: TcpStream,
+    read_timeout: Option<Duration>,
+    counters: &ServeCounters,
+    draining: &AtomicBool,
+) {
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(read_timeout);
     let mut session = db.session();
     let reader = stream.try_clone();
     let Ok(mut reader) = reader else { return };
     let mut writer = BufWriter::new(stream);
     loop {
+        #[cfg(feature = "failpoints")]
+        if recycling::fault::fire("wire.read").is_some() {
+            // a scripted Io (or Deny) fault models the transport dying
+            // mid-read: report and hang up, exactly like a real one
+            respond(
+                &mut writer,
+                &protocol_error(&ProtoError::Io("injected fault".into())),
+            );
+            return;
+        }
         let payload = match read_frame(&mut reader) {
             Ok(Some(p)) => p,
             Ok(None) => return, // clean EOF between frames
+            Err(ProtoError::Timeout) => {
+                // slow-loris guard: the peer sat silent (or trickled)
+                // past the read deadline — free the worker with a typed
+                // goodbye
+                counters.read_timeouts.fetch_add(1, Ordering::Relaxed);
+                respond(
+                    &mut writer,
+                    &Response::Error {
+                        message: "read timeout: no complete frame within the deadline".into(),
+                    },
+                );
+                return;
+            }
             Err(e) => {
                 // malformed/truncated frame: report and hang up — framing
                 // is lost, recovery is a reconnect
@@ -273,9 +429,32 @@ fn serve_connection(db: &Database, stream: TcpStream) {
             }
         };
         let closing = matches!(request, Request::Close);
-        let response = handle(db, &mut session, request);
+        let response = match catch_unwind(AssertUnwindSafe(|| {
+            handle(db, &mut session, request, counters)
+        })) {
+            Ok(r) => r,
+            Err(_) => {
+                // Panic containment: the recycler's shard quarantine (see
+                // `recycler::RecyclePool::repair`) guarantees a panicked
+                // probe or admission degrades to misses rather than
+                // corrupting shared state, so continuing to serve this
+                // session is sound.
+                counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+                Response::Error {
+                    message: "internal error: request panicked; connection still serviceable"
+                        .into(),
+                }
+            }
+        };
+        #[cfg(feature = "failpoints")]
+        if recycling::fault::fire("wire.write").is_some() {
+            return; // injected write failure: the peer sees a close
+        }
         if !respond(&mut writer, &response) || closing {
             return;
+        }
+        if draining.load(Ordering::Relaxed) {
+            return; // graceful shutdown: answered the in-flight request
         }
     }
 }
@@ -294,25 +473,45 @@ fn respond(w: &mut impl std::io::Write, resp: &Response) -> bool {
 }
 
 /// Execute one request against the connection's session.
-fn handle(db: &Database, session: &mut Session, request: Request) -> Response {
+fn handle(
+    db: &Database,
+    session: &mut Session,
+    request: Request,
+    counters: &ServeCounters,
+) -> Response {
     match request {
-        Request::Query { template, params } => match session.query_named(&template, &params) {
-            Ok(reply) => Response::Query(QueryResult {
-                exports: reply
-                    .exports
-                    .iter()
-                    .map(|(n, v)| (n.clone(), displayable(v)))
-                    .collect(),
-                marked: reply.marked,
-                reused: reply.reused,
-                subsumed: reply.subsumed,
-                admitted: reply.admitted,
-                elapsed_us: reply.elapsed.as_micros() as u64,
-            }),
-            Err(e) => Response::Error {
-                message: e.to_string(),
-            },
-        },
+        Request::Query {
+            template,
+            params,
+            deadline_ms,
+        } => {
+            let result = if deadline_ms > 0 {
+                session.query_named_with_deadline(
+                    &template,
+                    &params,
+                    Duration::from_millis(deadline_ms),
+                )
+            } else {
+                session.query_named(&template, &params)
+            };
+            match result {
+                Ok(reply) => Response::Query(QueryResult {
+                    exports: reply
+                        .exports
+                        .iter()
+                        .map(|(n, v)| (n.clone(), displayable(v)))
+                        .collect(),
+                    marked: reply.marked,
+                    reused: reply.reused,
+                    subsumed: reply.subsumed,
+                    admitted: reply.admitted,
+                    elapsed_us: reply.elapsed.as_micros() as u64,
+                }),
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
         Request::Commit {
             table,
             inserts,
@@ -334,12 +533,12 @@ fn handle(db: &Database, session: &mut Session, request: Request) -> Response {
                 },
             }
         }
-        Request::Stats => Response::Stats(stats_pairs(db)),
+        Request::Stats => Response::Stats(stats_pairs(db, counters)),
         Request::Close => Response::Closed,
     }
 }
 
-fn stats_pairs(db: &Database) -> Vec<(String, u64)> {
+fn stats_pairs(db: &Database, counters: &ServeCounters) -> Vec<(String, u64)> {
     let s = db.stats();
     let pool = db.pool();
     let pairs: Vec<(&str, u64)> = vec![
@@ -370,6 +569,16 @@ fn stats_pairs(db: &Database) -> Vec<(String, u64)> {
         ("propagated", s.propagated),
         ("sessions", s.sessions),
         ("active_sessions", s.active_sessions),
+        // degraded-mode observability: recycler-side ...
+        ("deadline_skips", s.deadline_skips),
+        ("collector_restarts", s.collector_restarts),
+        ("shards_quarantined", s.shards_quarantined),
+        ("shards_repaired", s.shards_repaired),
+        ("quarantined_now", s.quarantined_now),
+        // ... and server-side
+        ("server_worker_panics", counters.worker_panics()),
+        ("server_accept_errors", counters.accept_errors()),
+        ("server_read_timeouts", counters.read_timeouts()),
         ("pool_entries", pool.len() as u64),
         ("pool_bytes", pool.bytes() as u64),
         ("epoch", db.epoch()),

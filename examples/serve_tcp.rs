@@ -35,6 +35,7 @@ fn main() {
         ServerConfig {
             max_sessions: clients,
             backlog: clients * 2,
+            ..Default::default()
         },
     )
     .expect("bind");

@@ -79,6 +79,7 @@ proptest! {
             Request::Query {
                 template: format!("q{name_tag}"),
                 params: params.iter().map(|&(k, n)| arb_value(k, n)).collect(),
+                deadline_ms: name_tag,
             },
             Request::Commit {
                 table: format!("t{name_tag}"),
@@ -141,6 +142,7 @@ proptest! {
         let payload = encode_request(&Request::Query {
             template: "q".into(),
             params: params.iter().map(|&(k, n)| arb_value(k, n)).collect(),
+            deadline_ms: 0,
         }).unwrap();
         let cut = 1 + ((payload.len() - 2) as f64 * cut_frac) as usize;
         prop_assert!(decode_request(&payload[..cut]).is_err());
@@ -225,6 +227,7 @@ fn connections_beyond_capacity_are_rejected_busy() {
         ServerConfig {
             max_sessions: 1,
             backlog: 1,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -271,6 +274,7 @@ fn busy_rejections_of_non_reading_clients_do_not_stall_accepts() {
         ServerConfig {
             max_sessions: 1,
             backlog: 1,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -384,6 +388,7 @@ fn concurrent_clients_match_in_process_sessions() {
         ServerConfig {
             max_sessions: clients,
             backlog: clients,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -474,6 +479,7 @@ fn flooding_client_cannot_starve_another_clients_admissions() {
         ServerConfig {
             max_sessions: 2,
             backlog: 2,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -513,4 +519,108 @@ fn flooding_client_cannot_starve_another_clients_admissions() {
     flooder.close().unwrap();
     victim.close().unwrap();
     server.shutdown();
+}
+
+// ----- robustness: slow-loris timeout, deadlines, graceful shutdown ---------
+
+/// A peer that sends half a length prefix and then goes silent must not
+/// hold a worker hostage: past `read_timeout` the server answers with a
+/// typed `Error` frame, hangs up and counts the timeout.
+#[test]
+fn slow_loris_connections_are_timed_out_with_a_typed_error() {
+    use std::time::Duration;
+    let server = Server::start(
+        serving_db(),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: 1,
+            backlog: 1,
+            read_timeout: Some(Duration::from_millis(100)),
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&[8, 0]).unwrap(); // half a length prefix, then silence
+
+    let payload = read_frame(&mut stream)
+        .unwrap()
+        .expect("a typed goodbye, not a silent close");
+    match decode_response(&payload).unwrap() {
+        Response::Error { message } => {
+            assert!(message.contains("read timeout"), "{message}");
+        }
+        other => panic!("expected the timeout Error frame, got {other:?}"),
+    }
+    // ... after which the server hangs up,
+    assert_eq!(read_frame(&mut stream).unwrap(), None);
+    // the timeout is counted,
+    assert!(server.counters().read_timeouts() >= 1);
+    // and the freed worker serves the next client normally.
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .query("count_range", &[Value::Int(0), Value::Int(10)])
+        .unwrap();
+    client.close().unwrap();
+    server.shutdown();
+}
+
+/// Deadline taxonomy: a zero budget fails fast with the typed
+/// [`recycling::Error::Deadline`] in process, and the wire deadline field
+/// round-trips — a generous budget serves normally.
+#[test]
+fn query_deadlines_are_typed_in_process_and_honoured_over_the_wire() {
+    use std::time::Duration;
+    let db = serving_db();
+    let template = db.template("count_range").unwrap();
+    let mut session = db.session();
+    let err = session
+        .query_with_deadline(&template, &[Value::Int(0), Value::Int(10)], Duration::ZERO)
+        .unwrap_err();
+    assert!(matches!(err, recycling::Error::Deadline), "{err:?}");
+    assert_eq!(err.to_string(), "query deadline exceeded");
+
+    let server = Server::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let reply = client
+        .query_with_deadline(
+            "count_range",
+            &[Value::Int(0), Value::Int(10)],
+            Duration::from_secs(60),
+        )
+        .expect("a generous budget serves normally");
+    assert_eq!(reply.exports[0].1, Value::Int(11));
+    client.close().unwrap();
+    server.shutdown();
+}
+
+/// `shutdown_graceful` answers what is in flight, then stops: it joins
+/// every thread within the grace window even with a client connection
+/// sitting idle in a blocking read, and the address stops serving.
+#[test]
+fn graceful_shutdown_drains_and_stops_serving() {
+    use std::time::{Duration, Instant};
+    let server = Server::start(serving_db(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .query("count_range", &[Value::Int(0), Value::Int(10)])
+        .unwrap();
+
+    // The connection is idle in the worker's blocking read: the grace
+    // window bounds how long the drain waits for it.
+    let started = Instant::now();
+    server.shutdown_graceful(Duration::from_millis(200));
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "graceful shutdown must join promptly"
+    );
+    // The drained server no longer answers.
+    let gone = match Client::connect(addr) {
+        Err(_) => true,
+        Ok(mut c) => c.stats().is_err(),
+    };
+    assert!(gone, "address still serving after graceful shutdown");
+    drop(client);
 }
