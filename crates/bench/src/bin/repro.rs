@@ -8,7 +8,9 @@
 //!
 //! Environment: `REPRO_SF` (TPC-H scale factor, default 0.01),
 //! `REPRO_SKY` (sky objects, default 40000), `REPRO_SEED`,
-//! `BENCH_OUT` (path of the JSON report, default `BENCH_recycler.json`).
+//! `BENCH_OUT` (path of the JSON report, default `BENCH_recycler.json`),
+//! `REPRO_C10K_IDLE` / `REPRO_C10K_HOT` (the `c10k` / `server_c10k`
+//! idle-swarm and hot-client counts).
 
 use rcy_bench::experiments::{self, ExpEnv};
 use rcy_bench::report;
@@ -44,6 +46,50 @@ fn main() {
             "fig14" => experiments::fig14(&env),
             "fig15" => experiments::fig15(&env),
             "ablation" => experiments::ablation(&env),
+            "c10k" => {
+                // the reactor smoke: ≥1k idle connections must be flat.
+                // Scaled by REPRO_C10K_IDLE / REPRO_C10K_HOT.
+                let idle: usize = std::env::var("REPRO_C10K_IDLE")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(1200);
+                let hot: usize = std::env::var("REPRO_C10K_HOT")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(4);
+                let out = rcy_bench::server_c10k(idle, hot, 150);
+                assert!(
+                    out.live_connections >= idle as u64,
+                    "idle swarm not fully connected: {out:?}"
+                );
+                assert!(
+                    out.idle_memory_is_flat(64.0 * 1024.0),
+                    "idle connections are not flat: {:.0} bytes each ({out:?})",
+                    out.per_idle_conn_bytes
+                );
+                format!(
+                    "idle={} hot={} queries={} nofile={}\n\
+                     rss: {:.1} MiB -> {:.1} MiB ({:.0} bytes per idle conn)\n\
+                     qps: reactor={:.0} baseline={:.0} (ratio {:.2}); \
+                     one conn: sequential={:.0} pipelined={:.0}",
+                    out.idle_connections,
+                    out.hot_clients,
+                    out.hot_queries,
+                    out.nofile_limit,
+                    out.rss_before_idle as f64 / (1 << 20) as f64,
+                    out.rss_with_idle as f64 / (1 << 20) as f64,
+                    out.per_idle_conn_bytes,
+                    out.reactor_qps,
+                    out.baseline_qps,
+                    if out.baseline_qps > 0.0 {
+                        out.reactor_qps / out.baseline_qps
+                    } else {
+                        0.0
+                    },
+                    out.sequential_qps,
+                    out.pipelined_qps,
+                )
+            }
             "bench" => {
                 let path =
                     std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_recycler.json".into());

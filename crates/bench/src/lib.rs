@@ -11,6 +11,7 @@
 //! cargo run -p rcy-bench --release --bin repro -- table2 fig4 fig15
 //! ```
 
+pub mod c10k;
 pub mod concurrent;
 pub mod driver;
 pub mod experiments;
@@ -18,6 +19,7 @@ pub mod pressure;
 pub mod report;
 pub mod tables;
 
+pub use c10k::{server_c10k, C10kOutcome};
 pub use concurrent::{
     partition_streams, pool_scaling, run_concurrent, run_concurrent_shared, server_mixed,
     update_mixed, ConcurrentOutcome, ScalePoint, ServerMixedOutcome, SessionOutcome,

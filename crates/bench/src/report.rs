@@ -427,6 +427,66 @@ fn server_mixed_experiment(env: &ExpEnv) -> Json {
     ])
 }
 
+/// The `server_c10k` scenario: an idle swarm plus hot clients against
+/// the epoll reactor, with the retired thread-per-connection
+/// architecture rebuilt as the throughput baseline. The two headline
+/// numbers are `per_idle_conn_bytes` (must stay flat — buffers, not
+/// thread stacks) and `reactor_qps` vs `baseline_qps` (must not lose).
+/// Scaled by `REPRO_C10K_IDLE` / `REPRO_C10K_HOT` for the CI smoke leg.
+fn server_c10k_experiment() -> Json {
+    let idle: usize = std::env::var("REPRO_C10K_IDLE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    let hot: usize = std::env::var("REPRO_C10K_HOT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let out = crate::c10k::server_c10k(idle, hot, 150);
+    Json::obj(vec![
+        ("name", Json::Str("server_c10k".to_string())),
+        ("idle_connections", Json::Int(out.idle_connections as u64)),
+        ("hot_clients", Json::Int(out.hot_clients as u64)),
+        ("hot_queries", Json::Int(out.hot_queries as u64)),
+        ("live_connections", Json::Int(out.live_connections)),
+        ("nofile_limit", Json::Int(out.nofile_limit)),
+        ("rss_before_idle", Json::Int(out.rss_before_idle)),
+        ("rss_with_idle", Json::Int(out.rss_with_idle)),
+        (
+            "per_idle_conn_bytes",
+            Json::Num((out.per_idle_conn_bytes * 10.0).round() / 10.0),
+        ),
+        (
+            "idle_memory_flat",
+            Json::Bool(out.idle_memory_is_flat(64.0 * 1024.0)),
+        ),
+        (
+            "reactor_qps",
+            Json::Num((out.reactor_qps * 10.0).round() / 10.0),
+        ),
+        (
+            "baseline_qps",
+            Json::Num((out.baseline_qps * 10.0).round() / 10.0),
+        ),
+        (
+            "sequential_qps",
+            Json::Num((out.sequential_qps * 10.0).round() / 10.0),
+        ),
+        (
+            "pipelined_qps",
+            Json::Num((out.pipelined_qps * 10.0).round() / 10.0),
+        ),
+        (
+            "reactor_vs_baseline",
+            Json::Num(if out.baseline_qps > 0.0 {
+                ((out.reactor_qps / out.baseline_qps) * 1000.0).round() / 1000.0
+            } else {
+                0.0
+            }),
+        ),
+    ])
+}
+
 /// Build the whole report document.
 pub fn bench_report(env: &ExpEnv) -> Json {
     let mut experiments: Vec<Json> = Vec::new();
@@ -518,6 +578,10 @@ pub fn bench_report(env: &ExpEnv) -> Json {
     // N TCP clients over the SkyServer mix through the serving front-end.
     experiments.push(server_mixed_experiment(env));
 
+    // Thousands of idle connections + hot clients vs the retired
+    // thread-per-connection baseline.
+    experiments.push(server_c10k_experiment());
+
     // Eviction gather cost vs pool size (the leaf-index O(leaves) bound).
     experiments.push(eviction_pressure_experiment());
 
@@ -574,6 +638,9 @@ mod tests {
             "commit_locked_shards",
             "server_mixed",
             "rejected_connections",
+            "server_c10k",
+            "per_idle_conn_bytes",
+            "reactor_vs_baseline",
             "eviction_pressure",
             "gather_size_independent",
             "evict_gather_visited",

@@ -3,18 +3,22 @@
 //! The paper's §8 evaluation replays the SkyServer web log against one
 //! MonetDB server instance: many remote clients, one shared recycler.
 //! This crate is that serving shape for the [`recycling::Database`]
-//! facade, built fully offline (std `TcpListener`, hand-rolled framing —
-//! no tokio, no serde):
+//! facade, built fully offline (std sockets + a hand-rolled epoll shim —
+//! no tokio, no serde, no libc crate):
 //!
-//! * [`protocol`] — a length-prefixed wire protocol with four requests
-//!   (query / commit / stats / close), hardened against oversized,
-//!   truncated and malformed frames;
-//! * [`Server`] — an accept loop feeding a **bounded worker pool**: each
-//!   served connection gets a dedicated [`recycling::Session`] for its
-//!   lifetime, connections beyond `max_sessions + backlog` are rejected
-//!   with a `Busy` frame (connection-level admission control);
-//! * [`Client`] — a minimal blocking client for tests, benches and
-//!   command-line poking.
+//! * [`protocol`] — a length-prefixed wire protocol (v2: handshake +
+//!   request ids, so one connection holds many in-flight requests),
+//!   hardened against oversized, truncated and malformed frames, with an
+//!   incremental [`protocol::FrameDecoder`] for nonblocking sockets;
+//! * [`Server`] — an **epoll reactor**: one thread owns every socket,
+//!   and a small worker pool (`max_sessions`) executes only *runnable*
+//!   sessions pulled from a ready queue, so thousands of idle
+//!   connections cost buffers, not threads. Connections beyond
+//!   `max_connections` are turned away with a `Busy` frame queued on a
+//!   nonblocking write buffer;
+//! * [`Client`] — a blocking client with a pipelined API
+//!   (`send_*`/`recv_*` split plus batched `query_many`) — see
+//!   [`client`] for the worked example.
 //!
 //! Queries reference **named templates** registered on the database
 //! ([`recycling::DatabaseBuilder::template`] /
@@ -42,10 +46,18 @@
 //! let db = DatabaseBuilder::new(cat).template("count_range", b.finish()).build();
 //! let server = Server::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
 //!
+//! // Blocking call-and-wait ...
 //! let mut client = Client::connect(server.local_addr()).unwrap();
 //! let reply = client.query("count_range", &[Value::Int(10), Value::Int(500)]).unwrap();
 //! println!("n = {:?} ({} of {} instructions recycled)",
 //!          reply.exports[0].1, reply.reused, reply.marked);
+//!
+//! // ... or pipelined: both in flight at once, collected by request id.
+//! let a = client.send_query("count_range", &[Value::Int(0), Value::Int(99)]).unwrap();
+//! let b = client.send_query("count_range", &[Value::Int(100), Value::Int(199)]).unwrap();
+//! let rb = client.recv_query(b).unwrap();
+//! let ra = client.recv_query(a).unwrap();
+//! println!("{:?} then {:?}", ra.exports, rb.exports);
 //! client.close().unwrap();
 //! server.shutdown();
 //! ```
@@ -53,9 +65,14 @@
 #![deny(missing_docs)]
 
 pub mod client;
+mod conn;
 pub mod protocol;
 pub mod server;
+mod sys;
 
 pub use client::{Client, ClientError, RetryPolicy};
-pub use protocol::{ProtoError, QueryResult, Request, Response, MAX_FRAME};
+pub use protocol::{
+    FrameDecoder, ProtoError, QueryResult, Request, Response, MAX_FRAME, PROTOCOL_VERSION,
+};
 pub use server::{ServeCounters, Server, ServerConfig};
+pub use sys::raise_nofile_limit;

@@ -1,41 +1,74 @@
-//! The TCP server: a bounded worker pool mapping connections onto
-//! [`Database::session`] handles.
+//! The TCP front-end: an **epoll reactor** plus a small worker pool.
+//!
+//! One reactor thread owns every socket: it accepts, reads nonblocking
+//! sockets into per-connection incremental frame decoders, flushes
+//! per-connection write buffers, and is the only caller of `epoll_ctl`.
+//! Decoded `Query`/`Commit`/`Close` requests queue on their connection;
+//! a connection with queued work is pushed onto a **ready queue** from
+//! which `max_sessions` workers pull — so threads are spent only on
+//! *runnable* sessions, and ten thousand idle connections cost ten
+//! thousand small buffers, not ten thousand parked threads.
+//!
+//! `Hello` (the v2 handshake) and `Stats` are answered inline on the
+//! reactor — `Stats` needs no session, which is also what makes it the
+//! protocol's demonstrably out-of-order response: it overtakes earlier
+//! pipelined queries still waiting on a worker.
+//!
+//! Connection admission is a **live-connection limit**
+//! (`max_connections`, defaulting to `max_sessions + backlog` for
+//! continuity with the thread-per-connection ancestor): a connection
+//! beyond it gets a `Busy` frame queued on a nonblocking write buffer
+//! and a short linger to flush it — no dedicated rejection writer
+//! threads, and a rejected peer that never reads cannot stall anyone.
+//!
+//! Read timeouts are **mid-frame only**: the deadline arms when a
+//! connection stands inside a frame (or inside the handshake) and
+//! disarms at every frame boundary, so a slow-loris trickler is killed
+//! with a typed error while an idle keep-alive connection between
+//! requests costs nothing, forever.
 
-use std::collections::VecDeque;
-use std::io::BufWriter;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use recycling::{Database, Session, Update};
 
+use crate::conn::{Conn, ConnState, Phase, Work};
 use crate::protocol::{
-    displayable, encode_response, read_frame, write_frame, ProtoError, QueryResult, Request,
-    Response,
+    decode_request, displayable, ProtoError, QueryResult, Request, Response, PROTOCOL_VERSION,
 };
+use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 
-/// Serving limits: `max_sessions` concurrently served connections (the
-/// worker pool size — each holds one database session) and a `backlog` of
-/// accepted-but-waiting connections. A connection arriving beyond
-/// `max_sessions + backlog` is turned away with a [`Response::Busy`]
-/// frame — connection-level admission control: queue up to the backlog,
-/// reject beyond it.
+/// Serving limits.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Worker threads = concurrently served connections = open sessions.
+    /// Worker threads — the number of sessions that *execute*
+    /// concurrently. Connections beyond this merely wait their turn on
+    /// the ready queue; they are not rejected.
     pub max_sessions: usize,
-    /// Accepted connections allowed to wait for a free worker.
+    /// Admission headroom over `max_sessions`: when `max_connections` is
+    /// `None`, the live-connection limit is `max_sessions + backlog`
+    /// (the same envelope the thread-per-connection ancestor enforced
+    /// with its worker pool + wait queue).
     pub backlog: usize,
-    /// Per-connection socket read timeout — the slow-loris guard. A peer
-    /// that opens a connection and then trickles (or stops sending)
-    /// occupies a worker until this expires, at which point the worker
-    /// sends a typed `Error` frame and hangs up. `None` disables the
-    /// guard (workers then block indefinitely on idle connections, as
-    /// before).
+    /// The slow-loris guard: a connection stalled **mid-frame** (or
+    /// mid-handshake) longer than this is closed with a typed `Error`
+    /// frame. An idle connection *between* frames is never timed out —
+    /// idle costs nothing under the reactor. `None` disables the guard.
     pub read_timeout: Option<Duration>,
+    /// Hard cap on live connections; beyond it new connections are
+    /// turned away with a `Busy` frame. `None` derives the cap from
+    /// `max_sessions + backlog`.
+    pub max_connections: Option<usize>,
+    /// Per-connection cap on decoded-but-unexecuted pipelined requests.
+    /// At the cap the reactor simply stops reading that socket until a
+    /// worker drains it — backpressure by readiness, not by buffering.
+    pub max_pipeline: usize,
 }
 
 impl Default for ServerConfig {
@@ -44,7 +77,17 @@ impl Default for ServerConfig {
             max_sessions: 8,
             backlog: 16,
             read_timeout: Some(Duration::from_secs(30)),
+            max_connections: None,
+            max_pipeline: 64,
         }
+    }
+}
+
+impl ServerConfig {
+    fn connection_limit(&self) -> usize {
+        self.max_connections
+            .unwrap_or(self.max_sessions.max(1) + self.backlog)
+            .max(1)
     }
 }
 
@@ -59,185 +102,143 @@ pub struct ServeCounters {
 }
 
 impl ServeCounters {
-    /// Requests whose handler panicked; each produced an `Error` frame on
-    /// a connection that kept serving (the panic was contained, the
-    /// worker survived).
+    /// Panics the server contained: a request handler that panicked in a
+    /// worker (answered with a typed `Error` frame, connection kept
+    /// serving) or a connection whose reactor-side event handling
+    /// panicked (that one connection severed, the reactor kept running).
     pub fn worker_panics(&self) -> u64 {
         self.worker_panics.load(Ordering::Relaxed)
     }
 
-    /// Transient `accept()` failures absorbed by the accept loop's
-    /// backoff (fd exhaustion, aborted handshakes) — the loop slept and
-    /// retried instead of exiting.
+    /// Transient `accept()` failures absorbed by backoff (fd exhaustion,
+    /// aborted handshakes) — the reactor slept and retried instead of
+    /// exiting.
     pub fn accept_errors(&self) -> u64 {
         self.accept_errors.load(Ordering::Relaxed)
     }
 
-    /// Connections closed because the socket read deadline expired
-    /// (slow-loris guard, `ServerConfig::read_timeout`).
+    /// Connections closed because they stalled mid-frame past the read
+    /// deadline (slow-loris guard, `ServerConfig::read_timeout`).
     pub fn read_timeouts(&self) -> u64 {
         self.read_timeouts.load(Ordering::Relaxed)
     }
 }
 
-struct ConnQueue {
-    queue: Mutex<VecDeque<TcpStream>>,
-    ready: Condvar,
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-impl ConnQueue {
-    fn pop(&self, running: &AtomicBool) -> Option<TcpStream> {
-        let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
-        loop {
-            if let Some(conn) = q.pop_front() {
-                return Some(conn);
-            }
-            if !running.load(Ordering::Relaxed) {
-                return None;
-            }
-            q = self.ready.wait(q).unwrap_or_else(PoisonError::into_inner);
+/// State shared between the reactor, the workers and the [`Server`]
+/// handle.
+struct Shared {
+    db: Database,
+    config: ServerConfig,
+    running: AtomicBool,
+    draining: AtomicBool,
+    /// Every live connection by token. The reactor inserts/removes;
+    /// workers only look up (and never hold this lock while holding a
+    /// connection lock).
+    conns: Mutex<HashMap<u64, Arc<Conn>>>,
+    /// Tokens of connections with queued work and no worker on them.
+    ready: Mutex<VecDeque<u64>>,
+    ready_cv: Condvar,
+    /// Tokens workers finished touching: the reactor flushes their
+    /// responses and recomputes their epoll interest on the next turn.
+    dirty: Mutex<Vec<u64>>,
+    /// Kicks the reactor out of `epoll_wait` (worker notifications,
+    /// shutdown, drain).
+    wake: EventFd,
+    counters: ServeCounters,
+    rejected: AtomicU64,
+    live: AtomicUsize,
+}
+
+impl Shared {
+    fn schedule_locked(&self, st: &mut ConnState, token: u64) {
+        if !st.dead && !st.running && !st.pending.is_empty() {
+            st.running = true;
+            lock(&self.ready).push_back(token);
+            self.ready_cv.notify_one();
         }
     }
 }
 
 /// A running TCP front-end over one [`Database`]. Start with
-/// [`Server::start`], stop with [`Server::shutdown`] (drop leaks the
-/// threads until process exit — fine for a real server, call `shutdown`
-/// in tests).
+/// [`Server::start`], stop with [`Server::shutdown`] /
+/// [`Server::shutdown_graceful`] (drop leaks the threads until process
+/// exit — fine for a real server, call `shutdown` in tests).
 pub struct Server {
     addr: SocketAddr,
-    running: Arc<AtomicBool>,
-    conns: Arc<ConnQueue>,
-    accept: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    /// One slot per worker holding a clone of the connection it is
-    /// currently serving. `shutdown` severs these sockets so a worker
-    /// blocked in `read_frame` on an idle-but-open connection wakes up
-    /// and exits instead of deadlocking the join.
-    live: Arc<Vec<Mutex<Option<TcpStream>>>>,
-    rejected: Arc<AtomicU64>,
-    counters: Arc<ServeCounters>,
-    /// Raised by [`Self::shutdown_graceful`]: workers finish the request
-    /// in flight, answer it, then close their connection instead of
-    /// reading the next frame.
-    draining: Arc<AtomicBool>,
 }
 
 impl Server {
-    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
-    /// the accept loop plus `config.max_sessions` worker threads. Each
-    /// served connection gets its own [`Database::session`] for its whole
-    /// lifetime, so the per-session credit slices see one session per
-    /// client connection.
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start the reactor thread plus `config.max_sessions` workers. Each
+    /// connection gets its own [`Database::session`], created lazily at
+    /// its first `Query`/`Commit` — an idle or stats-only connection
+    /// never instantiates an engine.
     pub fn start(db: Database, addr: &str, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let running = Arc::new(AtomicBool::new(true));
-        let conns = Arc::new(ConnQueue {
-            queue: Mutex::new(VecDeque::new()),
-            ready: Condvar::new(),
-        });
-        let rejected = Arc::new(AtomicU64::new(0));
-        let counters = Arc::new(ServeCounters::default());
-        let draining = Arc::new(AtomicBool::new(false));
+        let epoll = Epoll::new()?;
+        let wake = EventFd::new()?;
+        epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        epoll.add(wake.fd(), EPOLLIN, TOKEN_WAKE)?;
 
-        let live: Arc<Vec<Mutex<Option<TcpStream>>>> = Arc::new(
-            (0..config.max_sessions.max(1))
-                .map(|_| Mutex::new(None))
-                .collect(),
-        );
+        let shared = Arc::new(Shared {
+            db,
+            config,
+            running: AtomicBool::new(true),
+            draining: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            ready: Mutex::new(VecDeque::new()),
+            ready_cv: Condvar::new(),
+            dirty: Mutex::new(Vec::new()),
+            wake,
+            counters: ServeCounters::default(),
+            rejected: AtomicU64::new(0),
+            live: AtomicUsize::new(0),
+        });
+
         let workers: Vec<JoinHandle<()>> = (0..config.max_sessions.max(1))
-            .map(|slot| {
-                let db = db.clone();
-                let running = Arc::clone(&running);
-                let conns = Arc::clone(&conns);
-                let live = Arc::clone(&live);
-                let counters = Arc::clone(&counters);
-                let draining = Arc::clone(&draining);
-                let read_timeout = config.read_timeout;
-                std::thread::spawn(move || {
-                    while let Some(conn) = conns.pop(&running) {
-                        *live[slot].lock().unwrap_or_else(PoisonError::into_inner) =
-                            conn.try_clone().ok();
-                        // Re-check after registering: shutdown stores the
-                        // flag and then severs registered slots under the
-                        // same mutex, so either it sees this registration
-                        // (and severs the socket) or this load sees the
-                        // flag — a queued connection popped mid-shutdown
-                        // can never strand the worker in a blocking read.
-                        if running.load(Ordering::Relaxed) {
-                            // Belt-and-braces: per-request panics are
-                            // already contained inside serve_connection;
-                            // this outer guard means even a panic in the
-                            // framing/session layer costs one connection,
-                            // never the worker thread.
-                            let r = catch_unwind(AssertUnwindSafe(|| {
-                                serve_connection(&db, conn, read_timeout, &counters, &draining);
-                            }));
-                            if r.is_err() {
-                                counters.worker_panics.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                        *live[slot].lock().unwrap_or_else(PoisonError::into_inner) = None;
-                    }
-                })
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rcy-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
             })
             .collect();
 
-        let accept = {
-            let running = Arc::clone(&running);
-            let conns = Arc::clone(&conns);
-            let rejected = Arc::clone(&rejected);
-            let counters = Arc::clone(&counters);
-            // at least one waiter, or an empty instantaneous queue (a
-            // popped-but-in-service connection) would reject everyone
-            let backlog = config.backlog.max(1);
-            let reject_writers: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
-            std::thread::spawn(move || {
-                let mut backoff = ACCEPT_BACKOFF_START;
-                for stream in listener.incoming() {
-                    if !running.load(Ordering::Relaxed) {
-                        break;
+        let reactor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("rcy-reactor".into())
+                .spawn(move || {
+                    Reactor {
+                        shared,
+                        epoll,
+                        listener,
+                        deadlines: HashMap::new(),
+                        next_token: FIRST_CONN_TOKEN,
+                        scratch: vec![0u8; READ_SCRATCH],
+                        accept_backoff: ACCEPT_BACKOFF_START,
+                        draining_applied: false,
                     }
-                    let stream = match stream {
-                        Ok(s) => {
-                            backoff = ACCEPT_BACKOFF_START;
-                            s
-                        }
-                        Err(_) => {
-                            // Transient accept failures (EMFILE, aborted
-                            // handshakes) must not spin the loop hot or
-                            // kill it: count, back off, try again.
-                            counters.accept_errors.fetch_add(1, Ordering::Relaxed);
-                            std::thread::sleep(backoff);
-                            backoff = (backoff * 2).min(ACCEPT_BACKOFF_CAP);
-                            continue;
-                        }
-                    };
-                    let mut q = conns.queue.lock().unwrap_or_else(PoisonError::into_inner);
-                    if q.len() >= backlog {
-                        drop(q);
-                        rejected.fetch_add(1, Ordering::Relaxed);
-                        reject_busy(stream, backlog, &reject_writers);
-                    } else {
-                        q.push_back(stream);
-                        drop(q);
-                        conns.ready.notify_one();
-                    }
-                }
-            })
+                    .run()
+                })
+                .expect("spawn reactor")
         };
 
         Ok(Server {
             addr,
-            running,
-            conns,
-            accept: Some(accept),
+            shared,
+            reactor: Some(reactor),
             workers,
-            live,
-            rejected,
-            counters,
-            draining,
         })
     }
 
@@ -248,62 +249,47 @@ impl Server {
 
     /// Connections turned away by admission control so far.
     pub fn rejected_connections(&self) -> u64 {
-        self.rejected.load(Ordering::Relaxed)
+        self.shared.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently live (admitted and not yet closed).
+    pub fn live_connections(&self) -> usize {
+        self.shared.live.load(Ordering::Relaxed)
     }
 
     /// The server's degraded-mode counters (panics contained, accept
     /// errors absorbed, read timeouts enforced).
     pub fn counters(&self) -> &ServeCounters {
-        &self.counters
+        &self.shared.counters
     }
 
-    /// Stop accepting, sever every in-service connection, wake every
-    /// worker and join all threads. Clients with a request in flight see
-    /// their connection drop; a worker blocked in `read_frame` on an
-    /// idle-but-open connection is woken by the socket shutdown rather
-    /// than deadlocking the join.
+    /// Stop immediately: sever every connection, wake every thread and
+    /// join them. Clients with a request in flight see their connection
+    /// drop.
     pub fn shutdown(mut self) {
-        self.running.store(false, Ordering::Relaxed);
-        // unblock the accept loop's blocking `incoming()`
-        let _ = TcpStream::connect(self.addr);
-        self.conns.ready.notify_all();
-        for slot in self.live.iter() {
-            if let Some(conn) = slot.lock().unwrap_or_else(PoisonError::into_inner).as_ref() {
-                let _ = conn.shutdown(std::net::Shutdown::Both);
-            }
-        }
-        if let Some(h) = self.accept.take() {
+        self.shared.running.store(false, Ordering::Relaxed);
+        self.shared.wake.notify();
+        self.shared.ready_cv.notify_all();
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
+        self.shared.ready_cv.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
 
-    /// Graceful variant of [`Self::shutdown`]: stop accepting, let every
-    /// in-flight request finish and be answered, then close. Workers see
-    /// the draining flag after writing each response and hang up instead
-    /// of reading the next frame; connections idle in a blocking read
-    /// are given up to `grace` to come around (their next request still
-    /// gets served), after which the remaining sockets are severed as in
-    /// `shutdown`. Queued-but-unserved connections are dropped — they
-    /// were never answered, so the client sees a clean close, not a torn
-    /// reply.
+    /// Graceful variant of [`Self::shutdown`]: stop reading new
+    /// requests, answer everything already decoded, flush, close. New
+    /// connections during the drain are dropped immediately (a clean
+    /// close, never a torn reply). Connections still mid-request after
+    /// `grace` are severed as in `shutdown`.
     pub fn shutdown_graceful(self, grace: Duration) {
-        self.draining.store(true, Ordering::Relaxed);
-        // Stop accepting immediately (the connect() unblocks the accept
-        // loop's blocking `incoming()`).
-        self.running.store(false, Ordering::Relaxed);
-        let _ = TcpStream::connect(self.addr);
-        self.conns.ready.notify_all();
+        self.shared.draining.store(true, Ordering::Relaxed);
+        self.shared.wake.notify();
         let deadline = Instant::now() + grace;
         while Instant::now() < deadline {
-            let any_live = self.live.iter().any(|slot| {
-                slot.lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .is_some()
-            });
-            if !any_live {
+            if lock(&self.shared.conns).is_empty() {
                 break;
             }
             std::thread::sleep(Duration::from_millis(2));
@@ -312,207 +298,645 @@ impl Server {
     }
 }
 
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Per-connection read scratch, shared across all connections (one
+/// allocation per reactor, zero per connection).
+const READ_SCRATCH: usize = 64 * 1024;
+/// Socket reads per connection per event turn — bounds how long one hot
+/// connection can hold the reactor (level-triggered epoll refires for
+/// the rest).
+const READ_ROUNDS: usize = 4;
+/// Requests one worker executes on one connection before re-queueing it
+/// behind other runnable connections — pipelining fairness.
+const WORKER_BATCH: usize = 16;
+/// How long a closing connection may take to drain its goodbye bytes
+/// (Busy frames, fatal errors) before being severed — a turned-away
+/// peer that never reads is bounded by this.
+const CLOSE_LINGER: Duration = Duration::from_secs(2);
 /// First sleep after a failed `accept()`; doubles per consecutive
 /// failure up to [`ACCEPT_BACKOFF_CAP`], resets on success.
 const ACCEPT_BACKOFF_START: Duration = Duration::from_millis(5);
-/// Ceiling for the accept-loop error backoff.
+/// Ceiling for the accept error backoff.
 const ACCEPT_BACKOFF_CAP: Duration = Duration::from_millis(250);
 
-/// How long a Busy rejection may spend in any one write to the turned-
-/// away client before the socket is abandoned. Rejected peers are by
-/// definition the ones we owe the least; a slow or hostile one must
-/// never cost more than a few of these bounds (the frame is one small
-/// write plus a flush).
-const REJECT_WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(250);
+// ----- the reactor ----------------------------------------------------------
 
-/// Cap on concurrently live rejection-writer threads. Beyond it a flood
-/// of turned-away connections is simply dropped without the courtesy
-/// Busy frame (the peer sees the close) — unbounded spawning would let a
-/// connection flood exhaust threads, and a failed spawn must never take
-/// down the accept loop.
-const MAX_REJECT_WRITERS: usize = 64;
-
-/// Turn a connection away with a [`Response::Busy`] frame — **off** the
-/// accept thread. The write used to run inline in the accept loop with no
-/// timeout, so a single client that stopped reading (or a peer with a
-/// zero receive window) could stall every new connection behind it.
-/// Rejections now run on short-lived detached threads with a write
-/// timeout: the accept loop goes straight back to `accept()` whatever
-/// the peer does. The writer population is bounded by
-/// `MAX_REJECT_WRITERS` and spawn failure degrades to dropping the
-/// connection (never a panic on the accept thread).
-fn reject_busy(stream: TcpStream, backlog: usize, writers: &Arc<AtomicU64>) {
-    if writers.fetch_add(1, Ordering::Relaxed) >= MAX_REJECT_WRITERS as u64 {
-        // flood: close without the courtesy frame rather than hoard
-        // threads on peers we are turning away anyway
-        writers.fetch_sub(1, Ordering::Relaxed);
-        return;
-    }
-    let in_thread = Arc::clone(writers);
-    let spawned = std::thread::Builder::new()
-        .name("rcy-reject".into())
-        .spawn(move || {
-            let _ = stream.set_write_timeout(Some(REJECT_WRITE_TIMEOUT));
-            let resp = Response::Busy {
-                reason: format!("server at capacity (backlog {backlog})"),
-            };
-            if let Ok(payload) = encode_response(&resp) {
-                let mut w = BufWriter::new(stream);
-                let _ = write_frame(&mut w, &payload);
-            }
-            in_thread.fetch_sub(1, Ordering::Relaxed);
-        });
-    if spawned.is_err() {
-        // the closure (and its stream) was dropped unrun: the peer sees
-        // a close, the accept loop keeps running
-        writers.fetch_sub(1, Ordering::Relaxed);
-    }
+struct Reactor {
+    shared: Arc<Shared>,
+    epoll: Epoll,
+    listener: TcpListener,
+    /// Armed deadlines by token: mid-frame read deadlines (Serving),
+    /// handshake deadlines (Handshake) and goodbye-flush lingers
+    /// (Closing). Disarmed at every frame boundary — an idle connection
+    /// has no entry here.
+    deadlines: HashMap<u64, Instant>,
+    next_token: u64,
+    scratch: Vec<u8>,
+    accept_backoff: Duration,
+    draining_applied: bool,
 }
 
-/// Serve one connection until `Close`, EOF, a protocol error or a read
-/// timeout: a frame loop over one dedicated [`Session`]. A request whose
-/// handler panics is answered with a typed `Error` frame and the
-/// connection keeps serving — one bad request costs one reply, not a
-/// worker.
-fn serve_connection(
-    db: &Database,
-    stream: TcpStream,
-    read_timeout: Option<Duration>,
-    counters: &ServeCounters,
-    draining: &AtomicBool,
-) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(read_timeout);
-    let mut session = db.session();
-    let reader = stream.try_clone();
-    let Ok(mut reader) = reader else { return };
-    let mut writer = BufWriter::new(stream);
-    loop {
-        #[cfg(feature = "failpoints")]
-        if recycling::fault::fire("wire.read").is_some() {
-            // a scripted Io (or Deny) fault models the transport dying
-            // mid-read: report and hang up, exactly like a real one
-            respond(
-                &mut writer,
-                &protocol_error(&ProtoError::Io("injected fault".into())),
-            );
-            return;
-        }
-        let payload = match read_frame(&mut reader) {
-            Ok(Some(p)) => p,
-            Ok(None) => return, // clean EOF between frames
-            Err(ProtoError::Timeout) => {
-                // slow-loris guard: the peer sat silent (or trickled)
-                // past the read deadline — free the worker with a typed
-                // goodbye
-                counters.read_timeouts.fetch_add(1, Ordering::Relaxed);
-                respond(
-                    &mut writer,
-                    &Response::Error {
-                        message: "read timeout: no complete frame within the deadline".into(),
-                    },
-                );
-                return;
+impl Reactor {
+    fn run(&mut self) {
+        let mut events = vec![EpollEvent { events: 0, data: 0 }; 256];
+        loop {
+            let timeout = self.next_timeout();
+            let turn: Vec<(u64, u32)> = match self.epoll.wait(&mut events, timeout) {
+                Ok(evs) => evs.iter().map(|e| (e.data, e.events)).collect(),
+                Err(_) => Vec::new(),
+            };
+            if !self.shared.running.load(Ordering::Relaxed) {
+                break;
             }
-            Err(e) => {
-                // malformed/truncated frame: report and hang up — framing
-                // is lost, recovery is a reconnect
-                respond(&mut writer, &protocol_error(&e));
-                return;
+            if self.shared.draining.load(Ordering::Relaxed) && !self.draining_applied {
+                self.apply_drain();
             }
-        };
-        let request = match crate::protocol::decode_request(&payload) {
-            Ok(r) => r,
-            Err(e) => {
-                respond(&mut writer, &protocol_error(&e));
-                return;
-            }
-        };
-        let closing = matches!(request, Request::Close);
-        let response = match catch_unwind(AssertUnwindSafe(|| {
-            handle(db, &mut session, request, counters)
-        })) {
-            Ok(r) => r,
-            Err(_) => {
-                // Panic containment: the recycler's shard quarantine (see
-                // `recycler::RecyclePool::repair`) guarantees a panicked
-                // probe or admission degrades to misses rather than
-                // corrupting shared state, so continuing to serve this
-                // session is sound.
-                counters.worker_panics.fetch_add(1, Ordering::Relaxed);
-                Response::Error {
-                    message: "internal error: request panicked; connection still serviceable"
-                        .into(),
+            for (token, bits) in turn {
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => self.shared.wake.drain(),
+                    t => self.conn_event(t, bits),
                 }
             }
-        };
-        #[cfg(feature = "failpoints")]
-        if recycling::fault::fire("wire.write").is_some() {
-            return; // injected write failure: the peer sees a close
+            self.process_dirty();
+            self.check_deadlines();
         }
-        if !respond(&mut writer, &response) || closing {
+        self.close_all();
+    }
+
+    fn next_timeout(&self) -> Option<Duration> {
+        let next = self.deadlines.values().min()?;
+        Some(next.saturating_duration_since(Instant::now()))
+    }
+
+    fn lookup(&self, token: u64) -> Option<Arc<Conn>> {
+        lock(&self.shared.conns).get(&token).cloned()
+    }
+
+    // --- accepting ---
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.accept_backoff = ACCEPT_BACKOFF_START;
+                    if self.shared.draining.load(Ordering::Relaxed)
+                        || !self.shared.running.load(Ordering::Relaxed)
+                    {
+                        continue; // drop: clean close, never a torn reply
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    self.admit(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Transient accept failures (EMFILE, aborted
+                    // handshakes) must neither spin the reactor hot (the
+                    // listener stays level-triggered ready) nor kill it:
+                    // count, back off, try again.
+                    self.shared
+                        .counters
+                        .accept_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.accept_backoff);
+                    self.accept_backoff = (self.accept_backoff * 2).min(ACCEPT_BACKOFF_CAP);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        let token = self.next_token;
+        self.next_token += 1;
+        let limit = self.shared.config.connection_limit();
+        if self.shared.live.load(Ordering::Relaxed) >= limit {
+            // Admission rejection under the reactor: the Busy frame is
+            // just bytes on a nonblocking write buffer with a short
+            // linger — no writer threads, no way for a non-reading peer
+            // to stall anything (the PR 5 stopgap of detached rejection
+            // writers is gone).
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            let conn = Arc::new(Conn::new(token, stream));
+            {
+                let mut st = lock(&conn.state);
+                st.phase = Phase::Closing;
+                st.queue_response(&Response::Busy {
+                    reason: format!("server at capacity ({limit} connections)"),
+                });
+                if !st.flush() || st.unwritten() == 0 {
+                    return; // fully sent (or died): drop closes the fd
+                }
+                st.interest = EPOLLOUT;
+                if self
+                    .epoll
+                    .add(st.stream.as_raw_fd(), EPOLLOUT, token)
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            self.deadlines.insert(token, Instant::now() + CLOSE_LINGER);
+            lock(&self.shared.conns).insert(token, conn);
             return;
         }
-        if draining.load(Ordering::Relaxed) {
-            return; // graceful shutdown: answered the in-flight request
+        self.shared.live.fetch_add(1, Ordering::Relaxed);
+        let conn = Arc::new(Conn::new(token, stream));
+        {
+            let mut st = lock(&conn.state);
+            st.counted = true;
+            st.interest = EPOLLIN | EPOLLRDHUP;
+            if self
+                .epoll
+                .add(st.stream.as_raw_fd(), st.interest, token)
+                .is_err()
+            {
+                self.shared.live.fetch_sub(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        // the handshake must arrive within the read deadline — a
+        // connection that never says Hello is not "idle", it is a slot
+        // squatter
+        if let Some(rt) = self.shared.config.read_timeout {
+            self.deadlines.insert(token, Instant::now() + rt);
+        }
+        lock(&self.shared.conns).insert(token, conn);
+    }
+
+    // --- per-connection events ---
+
+    /// One connection's readiness event, with per-connection panic
+    /// containment: a panic anywhere in this connection's handling
+    /// (including an injected `wire.*` Panic fault) severs that one
+    /// connection, never the reactor.
+    fn conn_event(&mut self, token: u64, bits: u32) {
+        let Some(conn) = self.lookup(token) else {
+            return;
+        };
+        let drove = catch_unwind(AssertUnwindSafe(|| self.drive(&conn, bits)));
+        if drove.is_err() {
+            self.shared
+                .counters
+                .worker_panics
+                .fetch_add(1, Ordering::Relaxed);
+            lock(&conn.state).dead = true;
+            self.finish(&conn);
+        }
+    }
+
+    fn drive(&mut self, conn: &Arc<Conn>, bits: u32) {
+        let now = Instant::now();
+        {
+            let mut st = lock(&conn.state);
+            if bits & (EPOLLERR | EPOLLHUP) != 0 {
+                st.dead = true;
+            }
+            if !st.dead && bits & EPOLLOUT != 0 {
+                self.try_flush(&mut st);
+            }
+            if !st.dead && bits & (EPOLLIN | EPOLLRDHUP) != 0 && st.phase != Phase::Closing {
+                self.read_turn(&mut st, now);
+            }
+            self.shared.schedule_locked(&mut st, conn.token);
+            if !st.dead && st.unwritten() > 0 {
+                // answer inline responses (Hello, Stats, fatal errors)
+                // now rather than on the next EPOLLOUT turn
+                self.try_flush(&mut st);
+            }
+        }
+        self.sync(conn, now);
+    }
+
+    /// Read whatever the socket has and dispatch every decoded frame.
+    fn read_turn(&mut self, st: &mut ConnState, now: Instant) {
+        #[cfg(feature = "failpoints")]
+        if recycling::fault::fire("wire.read").is_some() {
+            // a scripted Io/Deny fault models the transport dying
+            // mid-read: report and hang up, exactly like a real one
+            fatal(st, &ProtoError::Io("injected fault".into()));
+            return;
+        }
+        match st.fill(&mut self.scratch, READ_ROUNDS) {
+            Ok(eof) => {
+                self.dispatch_frames(st, now);
+                if eof {
+                    if st.decoder.mid_frame() {
+                        // the peer hung up inside a frame: report the
+                        // truncation (its read side may still be open)
+                        // and close
+                        fatal(st, &ProtoError::Truncated);
+                    } else if st.phase != Phase::Closing {
+                        // clean half-close at a frame boundary: answer
+                        // everything queued, then close
+                        st.phase = Phase::Closing;
+                    }
+                }
+            }
+            Err(e) => fatal(st, &e),
+        }
+    }
+
+    fn dispatch_frames(&self, st: &mut ConnState, now: Instant) {
+        while st.phase != Phase::Closing {
+            let Some(payload) = st.decoder.next_frame() else {
+                return;
+            };
+            let req = match decode_request(&payload) {
+                Ok(r) => r,
+                Err(e) => {
+                    fatal(st, &e);
+                    break;
+                }
+            };
+            if req.id() == Some(0) {
+                fatal_msg(st, "request id 0 is reserved for fatal errors".into());
+                break;
+            }
+            match (st.phase, req) {
+                (Phase::Handshake, Request::Hello { version }) => {
+                    if version == PROTOCOL_VERSION {
+                        st.queue_response(&Response::Hello {
+                            version: PROTOCOL_VERSION,
+                        });
+                        st.phase = Phase::Serving;
+                    } else {
+                        fatal_msg(
+                            st,
+                            format!(
+                                "protocol version mismatch: client v{version}, \
+                                 server v{PROTOCOL_VERSION}"
+                            ),
+                        );
+                    }
+                }
+                (Phase::Handshake, _) => {
+                    fatal_msg(st, "handshake required: first frame must be Hello".into());
+                }
+                (_, Request::Hello { .. }) => {
+                    fatal_msg(st, "unexpected Hello after handshake".into());
+                }
+                (_, Request::Stats { id }) => {
+                    // the out-of-order fast path: answered here on the
+                    // reactor, overtaking queued queries — no session,
+                    // no worker, no queueing
+                    st.queue_response(&Response::Stats {
+                        id,
+                        pairs: stats_pairs(&self.shared),
+                    });
+                }
+                (_, req) => st.pending.push_back(Work { req, at: now }),
+            }
+        }
+        // fatal mid-stream: drop frames decoded after the poison one
+        while st.decoder.next_frame().is_some() {}
+    }
+
+    /// Flush, with the outbound failpoint: an injected `wire.write`
+    /// fault models the transport dying mid-write (the peer sees a
+    /// close).
+    fn try_flush(&self, st: &mut ConnState) {
+        if st.unwritten() == 0 {
+            return;
+        }
+        #[cfg(feature = "failpoints")]
+        if recycling::fault::fire("wire.write").is_some() {
+            st.dead = true;
+            return;
+        }
+        if !st.flush() {
+            st.dead = true;
+        }
+    }
+
+    // --- bookkeeping ---
+
+    /// Recompute one connection's epoll interest, (dis)arm its deadline
+    /// and reap it when finished. The single funnel every path ends in.
+    fn sync(&mut self, conn: &Arc<Conn>, now: Instant) {
+        let mut st = lock(&conn.state);
+        if st.finished() {
+            drop(st);
+            self.finish(conn);
+            return;
+        }
+        let want = st.wanted_interest(self.shared.config.max_pipeline.max(1));
+        if want != st.interest {
+            let _ = self.epoll.modify(st.stream.as_raw_fd(), want, conn.token);
+            st.interest = want;
+        }
+        let token = conn.token;
+        match st.phase {
+            Phase::Closing => {
+                if st.unwritten() > 0 {
+                    self.deadlines.entry(token).or_insert(now + CLOSE_LINGER);
+                } else {
+                    self.deadlines.remove(&token);
+                }
+            }
+            Phase::Handshake => {
+                if let Some(rt) = self.shared.config.read_timeout {
+                    self.deadlines.entry(token).or_insert(now + rt);
+                }
+            }
+            Phase::Serving => {
+                // mid-frame only: the deadline re-arms while the decoder
+                // stands inside a frame and clears at every boundary, so
+                // idle keep-alive connections are free
+                match (self.shared.config.read_timeout, st.decoder.mid_frame()) {
+                    (Some(rt), true) => {
+                        self.deadlines.insert(token, now + rt);
+                    }
+                    _ => {
+                        self.deadlines.remove(&token);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sever and forget one connection. Idempotent (keyed on the map
+    /// removal); safe while a worker is mid-request on it — the worker
+    /// sees `dead` when it relocks and walks away.
+    fn finish(&mut self, conn: &Arc<Conn>) {
+        if lock(&self.shared.conns).remove(&conn.token).is_none() {
+            return;
+        }
+        self.deadlines.remove(&conn.token);
+        let mut st = lock(&conn.state);
+        st.dead = true;
+        let _ = self.epoll.delete(st.stream.as_raw_fd());
+        let _ = st.stream.shutdown(std::net::Shutdown::Both);
+        if st.counted {
+            st.counted = false;
+            self.shared.live.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Flush + resync every connection a worker touched since the last
+    /// turn, with the same per-connection panic containment as
+    /// [`Self::conn_event`].
+    fn process_dirty(&mut self) {
+        let tokens = std::mem::take(&mut *lock(&self.shared.dirty));
+        let now = Instant::now();
+        for token in tokens {
+            let Some(conn) = self.lookup(token) else {
+                continue;
+            };
+            let drove = catch_unwind(AssertUnwindSafe(|| {
+                {
+                    let mut st = lock(&conn.state);
+                    self.try_flush(&mut st);
+                    self.shared.schedule_locked(&mut st, token);
+                }
+                self.sync(&conn, now);
+            }));
+            if drove.is_err() {
+                self.shared
+                    .counters
+                    .worker_panics
+                    .fetch_add(1, Ordering::Relaxed);
+                lock(&conn.state).dead = true;
+                self.finish(&conn);
+            }
+        }
+    }
+
+    fn check_deadlines(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .deadlines
+            .iter()
+            .filter(|(_, t)| **t <= now)
+            .map(|(k, _)| *k)
+            .collect();
+        for token in expired {
+            self.deadlines.remove(&token);
+            let Some(conn) = self.lookup(token) else {
+                continue;
+            };
+            {
+                let mut st = lock(&conn.state);
+                if st.phase == Phase::Closing {
+                    // goodbye-flush linger expired: the peer never read
+                    // its Busy/Error — sever
+                    st.dead = true;
+                } else {
+                    // slow-loris guard: stalled mid-frame (or never
+                    // finished the handshake) past the deadline
+                    self.shared
+                        .counters
+                        .read_timeouts
+                        .fetch_add(1, Ordering::Relaxed);
+                    fatal_msg(
+                        &mut st,
+                        "read timeout: no complete frame within the deadline".into(),
+                    );
+                    self.try_flush(&mut st);
+                }
+            }
+            self.sync(&conn, now);
+        }
+    }
+
+    /// Graceful drain: no more reads anywhere; everything already
+    /// decoded is answered, flushed, then closed.
+    fn apply_drain(&mut self) {
+        self.draining_applied = true;
+        let conns: Vec<Arc<Conn>> = lock(&self.shared.conns).values().cloned().collect();
+        let now = Instant::now();
+        for conn in conns {
+            {
+                let mut st = lock(&conn.state);
+                st.phase = Phase::Closing;
+                self.try_flush(&mut st);
+            }
+            self.sync(&conn, now);
+        }
+    }
+
+    fn close_all(&mut self) {
+        let conns: Vec<Arc<Conn>> = lock(&self.shared.conns).drain().map(|(_, c)| c).collect();
+        for conn in conns {
+            let mut st = lock(&conn.state);
+            st.dead = true;
+            let _ = st.stream.shutdown(std::net::Shutdown::Both);
+        }
+        self.deadlines.clear();
+    }
+}
+
+fn fatal(st: &mut ConnState, e: &ProtoError) {
+    fatal_msg(st, format!("protocol error: {e}"));
+}
+
+/// Queue a connection-fatal `Error` frame (request id 0) and stop
+/// reading. Requests already decoded stay queued — they are answered
+/// before the close, in order, exactly as a drain would.
+fn fatal_msg(st: &mut ConnState, message: String) {
+    st.queue_response(&Response::Error { id: 0, message });
+    st.phase = Phase::Closing;
+}
+
+// ----- the workers ----------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let token = {
+            let mut q = lock(&shared.ready);
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                if !shared.running.load(Ordering::Relaxed) {
+                    return;
+                }
+                q = shared
+                    .ready_cv
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let conn = lock(&shared.conns).get(&token).cloned();
+        let Some(conn) = conn else { continue }; // severed while queued
+        run_conn(shared, &conn);
+        // hand the connection back to the reactor: flush what we queued,
+        // recompute interest (and re-arm reads if we drained it below
+        // the pipeline cap)
+        lock(&shared.dirty).push(token);
+        shared.wake.notify();
+    }
+}
+
+/// Execute queued requests for one connection — at most [`WORKER_BATCH`]
+/// before re-queueing it behind other runnable connections. Exactly one
+/// worker runs a given connection at a time (`running`), so its session
+/// sees requests strictly in arrival order even though the socket and
+/// other connections' requests race freely.
+fn run_conn(shared: &Shared, conn: &Arc<Conn>) {
+    let mut executed = 0;
+    loop {
+        let mut st = lock(&conn.state);
+        if st.dead || !shared.running.load(Ordering::Relaxed) {
+            st.running = false;
+            return;
+        }
+        let Some(work) = st.pending.pop_front() else {
+            // nothing left: release the run slot. Rechecking under the
+            // same lock acquisition closes the race with the reactor
+            // appending new work — it only schedules when `running` is
+            // already false.
+            st.running = false;
+            return;
+        };
+        if matches!(work.req, Request::Close) {
+            st.queue_response(&Response::Closed);
+            st.phase = Phase::Closing;
+            st.pending.clear(); // frames pipelined past Close are void
+            st.running = false;
+            return;
+        }
+        // Lazy session: first Query/Commit pays for the engine; idle and
+        // stats-only connections never do. The session leaves the state
+        // for the duration of the run so the reactor keeps reading and
+        // flushing this very connection while its request executes.
+        let mut session = st.session.take();
+        drop(st);
+        if session.is_none() {
+            session = Some(shared.db.session());
+        }
+        let response = execute_contained(shared, session.as_mut().expect("just filled"), work);
+        let mut st = lock(&conn.state);
+        st.session = session;
+        if !st.dead {
+            st.queue_response(&response);
+        }
+        executed += 1;
+        if executed >= WORKER_BATCH {
+            if st.pending.is_empty() {
+                st.running = false;
+            } else {
+                // fairness: yield to other runnable connections but keep
+                // the run slot — nobody else may execute this session
+                drop(st);
+                lock(&shared.ready).push_back(conn.token);
+                shared.ready_cv.notify_one();
+            }
+            return;
         }
     }
 }
 
-fn protocol_error(e: &ProtoError) -> Response {
-    Response::Error {
-        message: format!("protocol error: {e}"),
+/// Run one request under panic containment: a handler that panics costs
+/// one typed `Error` reply, never the worker (the recycler's shard
+/// quarantine guarantees a panicked probe/admission degrades to misses
+/// rather than corrupting shared state, so the session stays usable).
+fn execute_contained(shared: &Shared, session: &mut Session, work: Work) -> Response {
+    let id = work.req.id().unwrap_or(0);
+    match catch_unwind(AssertUnwindSafe(|| execute(&shared.db, session, work))) {
+        Ok(resp) => resp,
+        Err(_) => {
+            shared
+                .counters
+                .worker_panics
+                .fetch_add(1, Ordering::Relaxed);
+            Response::Error {
+                id,
+                message: "internal error: request panicked; connection still serviceable".into(),
+            }
+        }
     }
 }
 
-fn respond(w: &mut impl std::io::Write, resp: &Response) -> bool {
-    match encode_response(resp) {
-        Ok(payload) => write_frame(w, &payload).is_ok(),
-        Err(_) => false,
-    }
-}
-
-/// Execute one request against the connection's session.
-fn handle(
-    db: &Database,
-    session: &mut Session,
-    request: Request,
-    counters: &ServeCounters,
-) -> Response {
-    match request {
+/// Execute one request against the connection's session. Wire deadlines
+/// (`deadline_ms`) are measured from the frame's decode time, so time
+/// spent queued behind earlier pipelined requests counts against the
+/// budget.
+fn execute(db: &Database, session: &mut Session, work: Work) -> Response {
+    match work.req {
         Request::Query {
+            id,
             template,
             params,
             deadline_ms,
         } => {
             let result = if deadline_ms > 0 {
-                session.query_named_with_deadline(
-                    &template,
-                    &params,
-                    Duration::from_millis(deadline_ms),
-                )
+                let budget = Duration::from_millis(deadline_ms).saturating_sub(work.at.elapsed());
+                session.query_named_with_deadline(&template, &params, budget)
             } else {
                 session.query_named(&template, &params)
             };
             match result {
-                Ok(reply) => Response::Query(QueryResult {
-                    exports: reply
-                        .exports
-                        .iter()
-                        .map(|(n, v)| (n.clone(), displayable(v)))
-                        .collect(),
-                    marked: reply.marked,
-                    reused: reply.reused,
-                    subsumed: reply.subsumed,
-                    admitted: reply.admitted,
-                    elapsed_us: reply.elapsed.as_micros() as u64,
-                }),
+                Ok(reply) => Response::Query {
+                    id,
+                    result: QueryResult {
+                        exports: reply
+                            .exports
+                            .iter()
+                            .map(|(n, v)| (n.clone(), displayable(v)))
+                            .collect(),
+                        marked: reply.marked,
+                        reused: reply.reused,
+                        subsumed: reply.subsumed,
+                        admitted: reply.admitted,
+                        elapsed_us: reply.elapsed.as_micros() as u64,
+                    },
+                },
                 Err(e) => Response::Error {
+                    id,
                     message: e.to_string(),
                 },
             }
         }
         Request::Commit {
+            id,
             table,
             inserts,
             deletes,
@@ -520,6 +944,7 @@ fn handle(
             let update = Update::to(&table).insert(inserts).delete(deletes);
             match session.commit(update) {
                 Ok(report) => Response::Commit {
+                    id,
                     inserted: report
                         .inserted
                         .first()
@@ -529,16 +954,22 @@ fn handle(
                     epoch: db.epoch(),
                 },
                 Err(e) => Response::Error {
+                    id,
                     message: e.to_string(),
                 },
             }
         }
-        Request::Stats => Response::Stats(stats_pairs(db, counters)),
-        Request::Close => Response::Closed,
+        // Hello/Stats/Close never reach a worker (reactor handles them)
+        other => Response::Error {
+            id: other.id().unwrap_or(0),
+            message: "internal error: request routed to a worker unexpectedly".into(),
+        },
     }
 }
 
-fn stats_pairs(db: &Database, counters: &ServeCounters) -> Vec<(String, u64)> {
+fn stats_pairs(shared: &Shared) -> Vec<(String, u64)> {
+    let db = &shared.db;
+    let counters = &shared.counters;
     let s = db.stats();
     let pool = db.pool();
     let pairs: Vec<(&str, u64)> = vec![
@@ -579,6 +1010,14 @@ fn stats_pairs(db: &Database, counters: &ServeCounters) -> Vec<(String, u64)> {
         ("server_worker_panics", counters.worker_panics()),
         ("server_accept_errors", counters.accept_errors()),
         ("server_read_timeouts", counters.read_timeouts()),
+        (
+            "server_live_connections",
+            shared.live.load(Ordering::Relaxed) as u64,
+        ),
+        (
+            "server_rejected_connections",
+            shared.rejected.load(Ordering::Relaxed),
+        ),
         ("pool_entries", pool.len() as u64),
         ("pool_bytes", pool.bytes() as u64),
         ("epoch", db.epoch()),

@@ -1,0 +1,231 @@
+//! A thin `libc`-style shim over the Linux readiness syscalls the
+//! reactor needs: `epoll`, `eventfd` and the fd rlimit. Hand-rolled
+//! `extern "C"` declarations keep the build fully offline (no `libc`
+//! crate); everything unsafe is wrapped here behind small safe types so
+//! the reactor itself contains no `unsafe`.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+// ----- raw ABI --------------------------------------------------------------
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0x80000;
+
+const EFD_NONBLOCK: i32 = 0x800;
+const EFD_CLOEXEC: i32 = 0x80000;
+
+const RLIMIT_NOFILE: i32 = 7;
+
+/// `struct epoll_event`. On x86-64 the kernel ABI packs it (no padding
+/// between `events` and `data`); on other architectures it is naturally
+/// aligned. Fields are only ever accessed by copy, never by reference,
+/// so the packed layout is safe to use.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bit set (`EPOLL*`).
+    pub events: u32,
+    /// Caller-chosen token carried back on every event.
+    pub data: u64,
+}
+
+#[repr(C)]
+struct Rlimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+// ----- safe wrappers --------------------------------------------------------
+
+/// An epoll instance (closed on drop).
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// `epoll_create1(EPOLL_CLOEXEC)`.
+    pub fn new() -> io::Result<Epoll> {
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll { fd })
+    }
+
+    /// Register `fd` with the given interest mask and token.
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Change `fd`'s interest mask.
+    pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Deregister `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Wait for readiness events, filling `events`; `timeout` of `None`
+    /// blocks indefinitely. Returns the filled prefix. `EINTR` is
+    /// surfaced as an empty slice (the reactor simply loops).
+    pub fn wait<'a>(
+        &self,
+        events: &'a mut [EpollEvent],
+        timeout: Option<std::time::Duration>,
+    ) -> io::Result<&'a [EpollEvent]> {
+        let timeout_ms = match timeout {
+            // round up so a 0.5ms deadline does not busy-spin at 0
+            Some(t) => i32::try_from(t.as_millis().max(1)).unwrap_or(i32::MAX),
+            None => -1,
+        };
+        let n = unsafe {
+            epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                events.len() as i32,
+                timeout_ms,
+            )
+        };
+        match cvt(n) {
+            Ok(n) => Ok(&events[..n as usize]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(&events[..0]),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// A nonblocking `eventfd` used to kick the reactor out of `epoll_wait`
+/// from worker threads (closed on drop).
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// `eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)`.
+    pub fn new() -> io::Result<EventFd> {
+        let fd = cvt(unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) })?;
+        Ok(EventFd { fd })
+    }
+
+    /// The fd to register with [`Epoll::add`].
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Wake the reactor (adds 1 to the counter; idempotent for this
+    /// purpose — coalesced wakes are fine).
+    pub fn notify(&self) {
+        let one = 1u64.to_ne_bytes();
+        unsafe { write(self.fd, one.as_ptr(), one.len()) };
+    }
+
+    /// Consume all pending wakes (nonblocking read of the counter).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        unsafe { read(self.fd, buf.as_mut_ptr(), buf.len()) };
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// Raise the soft `RLIMIT_NOFILE` toward the hard limit (the most an
+/// unprivileged process may grant itself) and return the resulting soft
+/// limit. The c10k bench and smoke tests call this so thousands of
+/// sockets don't trip the default 1024-fd soft cap.
+pub fn raise_nofile_limit() -> io::Result<u64> {
+    let mut lim = Rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+    if lim.rlim_cur < lim.rlim_max {
+        let raised = Rlimit {
+            rlim_cur: lim.rlim_max,
+            rlim_max: lim.rlim_max,
+        };
+        cvt(unsafe { setrlimit(RLIMIT_NOFILE, &raised) })?;
+        return Ok(raised.rlim_cur);
+    }
+    Ok(lim.rlim_cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn eventfd_wakes_epoll() {
+        let ep = Epoll::new().unwrap();
+        let ev = EventFd::new().unwrap();
+        ep.add(ev.fd(), EPOLLIN, 7).unwrap();
+        let mut buf = [EpollEvent { events: 0, data: 0 }; 4];
+        // nothing pending: times out empty
+        let got = ep.wait(&mut buf, Some(Duration::from_millis(5))).unwrap();
+        assert!(got.is_empty());
+        ev.notify();
+        let got = ep.wait(&mut buf, Some(Duration::from_millis(100))).unwrap();
+        assert_eq!(got.len(), 1);
+        let (events, data) = (got[0].events, got[0].data);
+        assert_ne!(events & EPOLLIN, 0);
+        assert_eq!(data, 7);
+        ev.drain();
+        // drained: back to empty
+        let got = ep.wait(&mut buf, Some(Duration::from_millis(5))).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable() {
+        let n = raise_nofile_limit().unwrap();
+        assert!(n >= 1024, "soft nofile limit unexpectedly tiny: {n}");
+    }
+}

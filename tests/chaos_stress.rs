@@ -80,6 +80,7 @@ fn seeded_chaos_storm_ends_clean_and_still_serving() {
             max_sessions: 4,
             backlog: 8,
             read_timeout: Some(Duration::from_secs(5)),
+            ..Default::default()
         },
     )
     .unwrap();

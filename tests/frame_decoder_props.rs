@@ -1,0 +1,135 @@
+//! Property tests for the incremental frame decoder behind the reactor's
+//! read path: however a byte stream is sliced — byte-at-a-time, random
+//! split points, everything at once — the decoder must produce exactly
+//! the frames the blocking [`read_frame`] reader produces, and hostile
+//! length prefixes must be rejected the moment the prefix completes,
+//! before any body allocation.
+
+use proptest::prelude::*;
+use rcy_server::protocol::{read_frame, write_frame, FrameDecoder, ProtoError};
+use rcy_server::MAX_FRAME;
+
+/// Build one wire stream carrying `frames` back-to-back.
+fn stream_of(frames: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for f in frames {
+        write_frame(&mut out, f).unwrap();
+    }
+    out
+}
+
+/// Feed `stream` to a fresh decoder in chunks cut at `splits` (sorted,
+/// deduped offsets), collecting every completed frame.
+fn decode_in_chunks(stream: &[u8], splits: &[usize]) -> Result<Vec<Vec<u8>>, ProtoError> {
+    let mut dec = FrameDecoder::new();
+    let mut frames = Vec::new();
+    let mut at = 0usize;
+    for &cut in splits {
+        let cut = cut.min(stream.len());
+        if cut > at {
+            dec.push(&stream[at..cut])?;
+            at = cut;
+        }
+        while let Some(f) = dec.next_frame() {
+            frames.push(f);
+        }
+    }
+    if at < stream.len() {
+        dec.push(&stream[at..])?;
+    }
+    while let Some(f) = dec.next_frame() {
+        frames.push(f);
+    }
+    assert!(
+        !dec.mid_frame(),
+        "a fully-consumed whole-frame stream must end at a boundary"
+    );
+    Ok(frames)
+}
+
+/// The blocking reference path.
+fn decode_blocking(stream: &[u8]) -> Vec<Vec<u8>> {
+    let mut cursor = stream;
+    let mut frames = Vec::new();
+    while let Some(f) = read_frame(&mut cursor).unwrap() {
+        frames.push(f);
+    }
+    frames
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Byte-at-a-time decoding is identical to the whole-buffer path and
+    /// to the blocking reader, for any frame contents including empty
+    /// payloads.
+    #[test]
+    fn byte_at_a_time_matches_whole_buffer(
+        frames in prop::collection::vec(
+            prop::collection::vec(0u8..=255, 0..200), 0..8),
+    ) {
+        let stream = stream_of(&frames);
+        let every_byte: Vec<usize> = (1..stream.len()).collect();
+        let trickled = decode_in_chunks(&stream, &every_byte).unwrap();
+        let whole = decode_in_chunks(&stream, &[]).unwrap();
+        let blocking = decode_blocking(&stream);
+        prop_assert_eq!(&trickled, &frames);
+        prop_assert_eq!(&whole, &frames);
+        prop_assert_eq!(&blocking, &frames);
+    }
+
+    /// Any set of random split points decodes identically — frame
+    /// boundaries and chunk boundaries are fully independent.
+    #[test]
+    fn random_split_points_match_whole_buffer(
+        frames in prop::collection::vec(
+            prop::collection::vec(0u8..=255, 0..300), 1..6),
+        mut splits in prop::collection::vec(0usize..2048, 0..24),
+    ) {
+        let stream = stream_of(&frames);
+        splits.sort_unstable();
+        splits.dedup();
+        let chunked = decode_in_chunks(&stream, &splits).unwrap();
+        prop_assert_eq!(&chunked, &frames);
+    }
+
+    /// A length prefix past [`MAX_FRAME`] is rejected the moment the
+    /// 4-byte prefix completes — even trickled in byte by byte — with
+    /// zero body bytes buffered, so a hostile prefix can never cause an
+    /// allocation.
+    #[test]
+    fn oversized_prefix_rejected_before_any_body_arrives(
+        excess in 1u64..u32::MAX as u64 - MAX_FRAME as u64,
+    ) {
+        let len = (MAX_FRAME as u64 + excess) as u32;
+        let prefix = len.to_le_bytes();
+        let mut dec = FrameDecoder::new();
+        // the first three bytes are not yet a verdict...
+        for &b in &prefix[..3] {
+            dec.push(&[b]).unwrap();
+        }
+        prop_assert_eq!(dec.buffered(), 3);
+        // ...the fourth completes the prefix and must reject instantly,
+        // before any body byte exists to allocate for
+        let err = dec.push(&prefix[3..]).unwrap_err();
+        prop_assert!(
+            matches!(err, ProtoError::TooLarge(n) if n == len as u64),
+            "expected TooLarge({len}), got {err:?}"
+        );
+    }
+
+    /// Exactly `MAX_FRAME` is the largest accepted announcement: the
+    /// boundary is inclusive, one past it is hostile.
+    #[test]
+    fn limit_boundary_is_exact(offset in 0usize..2) {
+        let len = (MAX_FRAME + offset) as u32;
+        let mut dec = FrameDecoder::new();
+        let r = dec.push(&len.to_le_bytes());
+        if offset == 0 {
+            prop_assert!(r.is_ok());
+            prop_assert!(dec.mid_frame(), "a legal giant frame is now awaited");
+        } else {
+            prop_assert!(matches!(r.unwrap_err(), ProtoError::TooLarge(_)));
+        }
+    }
+}

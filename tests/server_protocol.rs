@@ -1,6 +1,7 @@
 //! Wire-protocol coverage for the TCP front-end: frame round-trip
 //! property test, malformed/truncated-frame rejection against a live
-//! server, connection-level admission control, and a
+//! server, connection-level admission control, pipelined-vs-sequential
+//! identity, idle-vs-slow-loris timeout semantics, and a
 //! concurrent-connections stress whose results and stats identities must
 //! match in-process sessions.
 
@@ -11,7 +12,7 @@ use proptest::prelude::*;
 use rbat::{Catalog, Date, LogicalType, Oid, TableBuilder, Value};
 use rcy_server::protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    QueryResult, Request, Response,
+    QueryResult, Request, Response, PROTOCOL_VERSION,
 };
 use rcy_server::{Client, ClientError, Server, ServerConfig};
 use recycling::{Database, DatabaseBuilder, RecyclerConfig};
@@ -66,22 +67,26 @@ proptest! {
 
     /// Any request survives encode → frame → unframe → decode exactly,
     /// including through a byte stream carrying several frames
-    /// back-to-back.
+    /// back-to-back, with its v2 request id intact.
     #[test]
     fn frames_roundtrip(
         name_tag in 0u64..1000,
+        id in 1u64..u64::MAX,
         params in prop::collection::vec((0u8..7, -100_000i64..100_000), 0..12),
         rows in prop::collection::vec(
             prop::collection::vec((0u8..7, -1000i64..1000), 1..4), 0..4),
         deletes in prop::collection::vec(0u64..10_000, 0..6),
     ) {
         let reqs = vec![
+            Request::Hello { version: PROTOCOL_VERSION },
             Request::Query {
+                id,
                 template: format!("q{name_tag}"),
                 params: params.iter().map(|&(k, n)| arb_value(k, n)).collect(),
                 deadline_ms: name_tag,
             },
             Request::Commit {
+                id: id ^ 1,
                 table: format!("t{name_tag}"),
                 inserts: rows
                     .iter()
@@ -89,7 +94,7 @@ proptest! {
                     .collect(),
                 deletes: deletes.clone(),
             },
-            Request::Stats,
+            Request::Stats { id },
             Request::Close,
         ];
         // several frames through one buffer, like a real connection
@@ -113,23 +118,28 @@ proptest! {
         }
         prop_assert!(read_frame(&mut cursor).unwrap().is_none());
 
-        // responses too
-        let resp = Response::Query(QueryResult {
-            exports: params
-                .iter()
-                .enumerate()
-                .map(|(i, &(k, n))| (format!("e{i}"), arb_value(k, n)))
-                .collect(),
-            marked: name_tag,
-            reused: name_tag / 2,
-            subsumed: 1,
-            admitted: 2,
-            elapsed_us: 3,
-        });
+        // responses too, id echoed
+        let resp = Response::Query {
+            id,
+            result: QueryResult {
+                exports: params
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(k, n))| (format!("e{i}"), arb_value(k, n)))
+                    .collect(),
+                marked: name_tag,
+                reused: name_tag / 2,
+                subsumed: 1,
+                admitted: 2,
+                elapsed_us: 3,
+            },
+        };
         let bytes = encode_response(&resp).map_err(|e| {
             TestCaseError::fail(format!("encode resp: {e}"))
         })?;
-        prop_assert_eq!(decode_response(&bytes).unwrap(), resp);
+        let decoded = decode_response(&bytes).unwrap();
+        prop_assert_eq!(decoded.id(), Some(id));
+        prop_assert_eq!(decoded, resp);
     }
 
     /// Decoding never panics and never succeeds on a *prefix* of a valid
@@ -140,6 +150,7 @@ proptest! {
         cut_frac in 0.0f64..1.0,
     ) {
         let payload = encode_request(&Request::Query {
+            id: 1,
             template: "q".into(),
             params: params.iter().map(|&(k, n)| arb_value(k, n)).collect(),
             deadline_ms: 0,
@@ -161,7 +172,10 @@ fn oversized_length_prefix_is_rejected_with_an_error_frame() {
     raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
     let resp = read_frame(&mut raw).unwrap().expect("error frame");
     match decode_response(&resp).unwrap() {
-        Response::Error { message } => assert!(message.contains("exceeds limit"), "{message}"),
+        Response::Error { id, message } => {
+            assert_eq!(id, 0, "framing errors are connection-fatal (id 0)");
+            assert!(message.contains("exceeds limit"), "{message}");
+        }
         other => panic!("expected Error, got {other:?}"),
     }
     // and the server hung up: the next read is EOF
@@ -180,7 +194,7 @@ fn truncated_frame_is_rejected() {
     raw.shutdown(std::net::Shutdown::Write).unwrap();
     let resp = read_frame(&mut raw).unwrap().expect("error frame");
     match decode_response(&resp).unwrap() {
-        Response::Error { message } => assert!(message.contains("truncated"), "{message}"),
+        Response::Error { message, .. } => assert!(message.contains("truncated"), "{message}"),
         other => panic!("expected Error, got {other:?}"),
     }
     server.shutdown();
@@ -196,6 +210,36 @@ fn garbage_payload_is_rejected() {
         matches!(decode_response(&resp).unwrap(), Response::Error { .. }),
         "unknown tag must produce an Error response"
     );
+    server.shutdown();
+}
+
+/// The v2 handshake gate: a client that skips `Hello` (a v1 client, say)
+/// gets a typed fatal error naming the handshake, not silence.
+#[test]
+fn missing_handshake_is_a_typed_fatal_error() {
+    let server = Server::start(serving_db(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    let stats = encode_request(&Request::Stats { id: 1 }).unwrap();
+    write_frame(&mut raw, &stats).unwrap();
+    let resp = read_frame(&mut raw).unwrap().expect("error frame");
+    match decode_response(&resp).unwrap() {
+        Response::Error { id, message } => {
+            assert_eq!(id, 0);
+            assert!(message.contains("handshake"), "{message}");
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // a version mismatch is equally typed
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    let old = encode_request(&Request::Hello { version: 1 }).unwrap();
+    write_frame(&mut raw, &old).unwrap();
+    let resp = read_frame(&mut raw).unwrap().expect("error frame");
+    match decode_response(&resp).unwrap() {
+        Response::Error { message, .. } => {
+            assert!(message.contains("version mismatch"), "{message}");
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
     server.shutdown();
 }
 
@@ -233,38 +277,33 @@ fn connections_beyond_capacity_are_rejected_busy() {
     .unwrap();
     let addr = server.local_addr();
 
-    // A occupies the single worker (a query forces the pop)
+    // A and B fill the live-connection envelope (max_sessions + backlog
+    // = 2); under the reactor both are served concurrently by the one
+    // worker rather than one queueing behind the other
     let mut a = Client::connect(addr).unwrap();
     a.query("count_range", &[Value::Int(0), Value::Int(10)])
         .unwrap();
-    // B fills the backlog seat and waits
-    let b = Client::connect(addr).unwrap();
-    std::thread::sleep(std::time::Duration::from_millis(50));
-    // C is over capacity: admission control turns it away
-    let mut c = Client::connect(addr).unwrap();
-    let err = c
-        .query("count_range", &[Value::Int(0), Value::Int(10)])
-        .unwrap_err();
+    let mut b = Client::connect(addr).unwrap();
+    b.query("count_range", &[Value::Int(0), Value::Int(10)])
+        .unwrap();
+    // C is over capacity: the Busy rejection arrives in place of the
+    // handshake ack, so the connect itself reports it
+    let err = Client::connect(addr).err().expect("over-capacity connect");
     assert!(matches!(err, ClientError::Busy(_)), "{err:?}");
     assert!(server.rejected_connections() >= 1);
 
-    // hang up B before shutdown — the worker that picks it up after A
-    // closes would otherwise sit in read_frame forever while shutdown
-    // joins it
-    drop(b);
+    b.close().unwrap();
     a.close().unwrap();
     server.shutdown();
 }
 
-/// Regression for the accept-loop stall: Busy rejections used to write
-/// their frame on the accept thread with no write timeout, so one slow or
-/// hostile client (never reading, zero receive window) could wedge the
-/// write and stall every connection behind it. Rejections now run on a
-/// detached thread with a short write timeout — the accept loop goes
-/// straight back to `accept()`. This test pins the structural property: a
-/// swarm of connections that never read their Busy frames must not slow
-/// the accept loop down, later clients still get their verdict promptly,
-/// and every turned-away socket still receives its Busy frame.
+/// Regression for the accept stall: Busy rejections once blocked the
+/// accept thread (later a capped pool of detached writer threads —
+/// the PR 5 stopgap). Under the reactor a rejection is just bytes on a
+/// nonblocking write buffer with a linger deadline, so a swarm of
+/// connections that never read their Busy frames must not slow accepts,
+/// later clients still get their verdict promptly, and every turned-away
+/// socket still receives its Busy frame.
 #[test]
 fn busy_rejections_of_non_reading_clients_do_not_stall_accepts() {
     use std::time::{Duration, Instant};
@@ -280,12 +319,11 @@ fn busy_rejections_of_non_reading_clients_do_not_stall_accepts() {
     .unwrap();
     let addr = server.local_addr();
 
-    // A occupies the single worker, B fills the backlog seat
+    // A and B occupy the two connection slots
     let mut a = Client::connect(addr).unwrap();
     a.query("count_range", &[Value::Int(0), Value::Int(10)])
         .unwrap();
     let b = Client::connect(addr).unwrap();
-    std::thread::sleep(Duration::from_millis(50));
 
     // a swarm over capacity, none of which ever reads its Busy frame
     let hostile = 16usize;
@@ -293,8 +331,8 @@ fn busy_rejections_of_non_reading_clients_do_not_stall_accepts() {
         .map(|_| TcpStream::connect(addr).unwrap())
         .collect();
 
-    // the accept loop must keep turning connections away at full speed —
-    // if a single unread Busy write could block it, the rejected counter
+    // the reactor must keep turning connections away at full speed — if
+    // an unread Busy write could block anything, the rejected counter
     // would freeze here
     let deadline = Instant::now() + Duration::from_secs(5);
     while server.rejected_connections() < hostile as u64 && Instant::now() < deadline {
@@ -302,16 +340,13 @@ fn busy_rejections_of_non_reading_clients_do_not_stall_accepts() {
     }
     assert!(
         server.rejected_connections() >= hostile as u64,
-        "accept loop stalled behind non-reading clients: only {} of {hostile} rejected",
+        "accepts stalled behind non-reading clients: only {} of {hostile} rejected",
         server.rejected_connections()
     );
 
     // a late polite client still gets its verdict promptly
     let t0 = Instant::now();
-    let mut late = Client::connect(addr).unwrap();
-    let err = late
-        .query("count_range", &[Value::Int(0), Value::Int(10)])
-        .unwrap_err();
+    let err = Client::connect(addr).err().expect("over-capacity connect");
     assert!(matches!(err, ClientError::Busy(_)), "{err:?}");
     assert!(
         t0.elapsed() < Duration::from_secs(2),
@@ -319,8 +354,9 @@ fn busy_rejections_of_non_reading_clients_do_not_stall_accepts() {
         t0.elapsed()
     );
 
-    // and the hostile sockets did each receive their Busy frame — the
-    // rejection threads completed despite the peers never polling
+    // and the hostile sockets did each receive their Busy frame — it was
+    // queued on the nonblocking write buffer despite the peers never
+    // polling
     for raw in &mut swarm {
         raw.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
         let payload = read_frame(raw).unwrap().expect("busy frame delivered");
@@ -338,8 +374,9 @@ fn busy_rejections_of_non_reading_clients_do_not_stall_accepts() {
 
 #[test]
 fn shutdown_returns_while_an_idle_connection_is_still_open() {
-    // Regression: a worker blocked reading an idle-but-open connection
-    // must be woken by shutdown (socket sever), not joined forever.
+    // Regression: an idle-but-open connection must not block shutdown's
+    // join (under the reactor nothing blocks on it anyway; the reactor
+    // severs every socket on the way out).
     let server = Server::start(serving_db(), "127.0.0.1:0", ServerConfig::default()).unwrap();
     let mut idle = Client::connect(server.local_addr()).unwrap();
     // make sure the connection is actually in service before shutting down
@@ -351,6 +388,87 @@ fn shutdown_returns_while_an_idle_connection_is_still_open() {
             .is_err(),
         "the severed connection must be dead after shutdown"
     );
+}
+
+// ----- pipelining ------------------------------------------------------------
+
+/// The acceptance identity for wire pipelining: a connection holding many
+/// requests in flight, collected out of submission order, must produce
+/// byte-identical results to a sequential client — request ids, not
+/// arrival order, match answers to questions.
+#[test]
+fn pipelined_responses_match_sequential_by_request_id() {
+    let server = Server::start(serving_db(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let ranges: Vec<(i64, i64)> = (0..24)
+        .map(|i| ((i * 67) % 800, (i * 67) % 800 + 300))
+        .collect();
+
+    // sequential ground truth over the same server
+    let mut seq = Client::connect(addr).unwrap();
+    let expected: Vec<Vec<(String, Value)>> = ranges
+        .iter()
+        .map(|&(lo, hi)| {
+            seq.query("count_range", &[Value::Int(lo), Value::Int(hi)])
+                .unwrap()
+                .exports
+        })
+        .collect();
+    seq.close().unwrap();
+
+    // pipelined: everything in flight at once, collected in reverse
+    let mut pip = Client::connect(addr).unwrap();
+    let ids: Vec<u64> = ranges
+        .iter()
+        .map(|&(lo, hi)| {
+            pip.send_query("count_range", &[Value::Int(lo), Value::Int(hi)])
+                .unwrap()
+        })
+        .collect();
+    for (k, id) in ids.iter().enumerate().rev() {
+        let result = pip.recv_query(*id).unwrap();
+        assert_eq!(
+            result.exports, expected[k],
+            "pipelined response {k} diverged from sequential"
+        );
+    }
+
+    // and batched, with a stats request riding in the middle of the
+    // stream (the server answers it out of band on the reactor; the id
+    // match keeps everyone honest whatever the arrival order)
+    let params: Vec<Vec<Value>> = ranges
+        .iter()
+        .map(|&(lo, hi)| vec![Value::Int(lo), Value::Int(hi)])
+        .collect();
+    let batch: Vec<(&str, &[Value])> = params
+        .iter()
+        .map(|p| ("count_range", p.as_slice()))
+        .collect();
+    let half: Vec<u64> = batch[..12]
+        .iter()
+        .map(|(t, p)| pip.send_query(t, p).unwrap())
+        .collect();
+    let sid = pip.send_stats().unwrap();
+    let rest: Vec<u64> = batch[12..]
+        .iter()
+        .map(|(t, p)| pip.send_query(t, p).unwrap())
+        .collect();
+    let pairs = pip.recv_stats(sid).unwrap();
+    assert!(
+        pairs.iter().any(|(n, _)| n == "server_live_connections"),
+        "stats must include the reactor's connection gauge: {pairs:?}"
+    );
+    for (k, id) in half.iter().chain(rest.iter()).enumerate() {
+        assert_eq!(pip.recv_query(*id).unwrap().exports, expected[k]);
+    }
+
+    // query_many: one flush, batch order out, whatever order back
+    let results = pip.query_many(&batch).unwrap();
+    for (k, r) in results.iter().enumerate() {
+        assert_eq!(r.exports, expected[k], "query_many item {k} diverged");
+    }
+    pip.close().unwrap();
+    server.shutdown();
 }
 
 // ----- concurrent-connections stress ----------------------------------------
@@ -441,7 +559,8 @@ fn concurrent_clients_match_in_process_sessions() {
     );
     assert_eq!(
         stat("sessions"),
-        clients as u64 + 1, // one per served connection + the stats probe
+        clients as u64, // sessions are lazy: one per *querying* connection;
+        // the stats probe connection never instantiates one
         "{stats:?}"
     );
 }
@@ -487,9 +606,12 @@ fn flooding_client_cannot_starve_another_clients_admissions() {
 
     let mut flooder = Client::connect(addr).unwrap();
     let mut victim = Client::connect(addr).unwrap();
-    // the victim's connection must be *open* (active session) while the
-    // flooder floods, so the slice divisor counts both
-    victim.stats().unwrap();
+    // the victim's *session* must exist while the flooder floods, so the
+    // slice divisor counts both; sessions are lazy under the reactor, so
+    // a small warm-up query (not stats) instantiates it
+    victim
+        .query("victim_range", &[Value::Int(1900), Value::Int(1901)])
+        .unwrap();
     for i in 0..100i64 {
         flooder
             .query("count_range", &[Value::Int(i * 7), Value::Int(i * 7 + 3)])
@@ -523,9 +645,11 @@ fn flooding_client_cannot_starve_another_clients_admissions() {
 
 // ----- robustness: slow-loris timeout, deadlines, graceful shutdown ---------
 
-/// A peer that sends half a length prefix and then goes silent must not
-/// hold a worker hostage: past `read_timeout` the server answers with a
-/// typed `Error` frame, hangs up and counts the timeout.
+/// Mid-frame stalls are killed; idle keep-alive is free. A peer that
+/// sends half a length prefix and then goes silent gets a typed `Error`
+/// frame past `read_timeout`, while a connection sitting quietly *between*
+/// frames for many multiples of the same timeout stays fully serviceable —
+/// the deadline arms only inside a frame.
 #[test]
 fn slow_loris_connections_are_timed_out_with_a_typed_error() {
     use std::time::Duration;
@@ -534,30 +658,57 @@ fn slow_loris_connections_are_timed_out_with_a_typed_error() {
         "127.0.0.1:0",
         ServerConfig {
             max_sessions: 1,
-            backlog: 1,
+            backlog: 4,
             read_timeout: Some(Duration::from_millis(100)),
+            ..Default::default()
         },
     )
     .unwrap();
     let addr = server.local_addr();
 
-    let mut stream = TcpStream::connect(addr).unwrap();
-    stream.write_all(&[8, 0]).unwrap(); // half a length prefix, then silence
+    // an idle keep-alive connection, opened before the loris...
+    let mut idle = Client::connect(addr).unwrap();
+    idle.query("count_range", &[Value::Int(0), Value::Int(10)])
+        .unwrap();
 
-    let payload = read_frame(&mut stream)
+    // ...and a handshaken slow loris: half a length prefix, then silence
+    let mut loris = TcpStream::connect(addr).unwrap();
+    let hello = encode_request(&Request::Hello {
+        version: PROTOCOL_VERSION,
+    })
+    .unwrap();
+    write_frame(&mut loris, &hello).unwrap();
+    let ack = read_frame(&mut loris).unwrap().expect("handshake ack");
+    assert!(matches!(
+        decode_response(&ack).unwrap(),
+        Response::Hello { .. }
+    ));
+    loris.write_all(&[8, 0]).unwrap();
+
+    let payload = read_frame(&mut loris)
         .unwrap()
         .expect("a typed goodbye, not a silent close");
     match decode_response(&payload).unwrap() {
-        Response::Error { message } => {
+        Response::Error { id, message } => {
+            assert_eq!(id, 0, "timeouts are connection-fatal");
             assert!(message.contains("read timeout"), "{message}");
         }
         other => panic!("expected the timeout Error frame, got {other:?}"),
     }
     // ... after which the server hangs up,
-    assert_eq!(read_frame(&mut stream).unwrap(), None);
+    assert_eq!(read_frame(&mut loris).unwrap(), None);
     // the timeout is counted,
     assert!(server.counters().read_timeouts() >= 1);
-    // and the freed worker serves the next client normally.
+
+    // meanwhile the idle connection sat at a frame boundary for several
+    // timeouts' worth of wall clock — and is still fully serviceable,
+    // because idle between frames costs nothing
+    std::thread::sleep(Duration::from_millis(300));
+    idle.query("count_range", &[Value::Int(0), Value::Int(10)])
+        .unwrap();
+    idle.close().unwrap();
+
+    // and a fresh client is served normally
     let mut client = Client::connect(addr).unwrap();
     client
         .query("count_range", &[Value::Int(0), Value::Int(10)])
@@ -597,7 +748,7 @@ fn query_deadlines_are_typed_in_process_and_honoured_over_the_wire() {
 
 /// `shutdown_graceful` answers what is in flight, then stops: it joins
 /// every thread within the grace window even with a client connection
-/// sitting idle in a blocking read, and the address stops serving.
+/// sitting idle, and the address stops serving.
 #[test]
 fn graceful_shutdown_drains_and_stops_serving() {
     use std::time::{Duration, Instant};
@@ -608,8 +759,8 @@ fn graceful_shutdown_drains_and_stops_serving() {
         .query("count_range", &[Value::Int(0), Value::Int(10)])
         .unwrap();
 
-    // The connection is idle in the worker's blocking read: the grace
-    // window bounds how long the drain waits for it.
+    // The connection is idle at a frame boundary: the drain closes it
+    // immediately, and the grace window bounds the join either way.
     let started = Instant::now();
     server.shutdown_graceful(Duration::from_millis(200));
     assert!(
