@@ -240,6 +240,52 @@ fn background_eviction_experiment(env: &ExpEnv) -> Json {
     ])
 }
 
+/// Serialize one side of the `tiered_lowmem` comparison.
+fn tiered_run_json(r: &crate::tiered::TieredRun) -> Json {
+    Json::obj(vec![
+        ("tiered", Json::Bool(r.tiered)),
+        ("queries", Json::Int(r.queries as u64)),
+        ("elapsed_ms", ms(r.elapsed)),
+        ("hits", Json::Int(r.hits)),
+        ("monitored", Json::Int(r.monitored)),
+        (
+            "hit_ratio",
+            Json::Num((r.hit_ratio * 1000.0).round() / 1000.0),
+        ),
+        ("evictions", Json::Int(r.evictions)),
+        ("inline_evictions", Json::Int(r.inline_evictions)),
+        ("demotions_compressed", Json::Int(r.demotions_compressed)),
+        ("demotions_spilled", Json::Int(r.demotions_spilled)),
+        ("tier_promotions", Json::Int(r.tier_promotions)),
+        ("raw_bytes", Json::Int(r.raw_bytes)),
+        ("compressed_bytes", Json::Int(r.compressed_bytes)),
+        ("spilled_bytes", Json::Int(r.spilled_bytes)),
+        ("decompress_ms", ms(r.decompress_cost)),
+        ("rehydrate_ms", ms(r.rehydrate_cost)),
+    ])
+}
+
+/// The `tiered_lowmem` scenario: hit retention at the same 1 MiB cap with
+/// the residency ladder off vs on. The tiered side must hold a hit ratio
+/// at least as high as the raw side — that is the acceptance gate the
+/// trajectory keeps re-proving — and the per-tier counters show *how*:
+/// cold entries demote (compress, then spill off-cap) instead of dying.
+fn tiered_lowmem_experiment(env: &ExpEnv) -> Json {
+    let out = crate::tiered::tiered_lowmem(env.sf, 16, 3, 1 << 20);
+    Json::obj(vec![
+        ("name", Json::Str("tiered_lowmem".to_string())),
+        ("cap_bytes", Json::Int(out.cap_bytes as u64)),
+        ("distinct", Json::Int(out.distinct as u64)),
+        ("cycles", Json::Int(out.cycles as u64)),
+        (
+            "tiering_retains_hits",
+            Json::Bool(out.tiering_retains_hits()),
+        ),
+        ("without_tiering", tiered_run_json(&out.without_tiering)),
+        ("with_tiering", tiered_run_json(&out.with_tiering)),
+    ])
+}
+
 /// The concurrent-sessions experiment: the same SkyServer log replayed by
 /// one session and by `n` sessions over one shared pool.
 fn concurrent_experiment(env: &ExpEnv, n: usize) -> Json {
@@ -588,6 +634,9 @@ pub fn bench_report(env: &ExpEnv) -> Json {
     // Admission latency at the lowmem cap, collector off vs on.
     experiments.push(background_eviction_experiment(env));
 
+    // Hit retention at the lowmem cap, residency ladder off vs on.
+    experiments.push(tiered_lowmem_experiment(env));
+
     Json::obj(vec![
         ("schema", Json::Str("recycler-bench/v1".to_string())),
         (
@@ -647,6 +696,10 @@ mod tests {
             "background_eviction",
             "steady_inline_evictions",
             "background_evictions",
+            "tiered_lowmem",
+            "tiering_retains_hits",
+            "demotions_compressed",
+            "tier_promotions",
         ] {
             assert!(text.contains(name), "missing {name} in {text}");
         }
@@ -667,6 +720,10 @@ mod tests {
         assert!(
             text.contains("\"gather_size_independent\":true"),
             "gather cost must be flat across pool sizes: {text}"
+        );
+        assert!(
+            text.contains("\"tiering_retains_hits\":true"),
+            "the residency ladder lost hits vs the raw pool: {text}"
         );
         // the low-memory run must actually exercise eviction
         let lowmem = text

@@ -26,6 +26,13 @@
 //!   minors, or immediately when a minor round comes up empty — run the
 //!   full [`evict`] pass over the evictable-leaf index (O(leaves)).
 //!
+//! With the compression tier on ([`RecyclerConfig::compression`]), every
+//! round is preceded by a **demotion rung**: cold leaves are compressed
+//! in place (and, when a spill file is configured, the coldest compressed
+//! leaves are written out to disk) *before* any eviction victim is
+//! selected. Eviction proper becomes the last rung of the residency
+//! ladder — hot raw → compressed → spilled → gone.
+//!
 //! Each activation is bounded by the
 //! [`RecyclerConfig::collector_timeslice_ms`] budget: once a burst of
 //! rounds exceeds it, the collector re-signals itself and yields, so it
@@ -52,11 +59,15 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use rbat::hash::FxHashSet;
+use rbat::{Bat, Value};
+
 use crate::config::RecyclerConfig;
 use crate::entry::{EntryId, PoolEntry};
 use crate::eviction::{evict, policy_key, EvictTrigger};
 use crate::pool::RecyclePool;
 use crate::shared::SharedRecycler;
+use crate::tier::{CompressedBat, TierState};
 
 /// Sleep between wake-ups when no admission signals the collector — a
 /// safety net against lost notifications; pressure is normally
@@ -65,6 +76,14 @@ const IDLE_POLL: Duration = Duration::from_millis(25);
 
 /// Nursery ids consumed per minor round.
 const MINOR_BATCH: usize = 64;
+
+/// Entries demoted per rung per demote round (mirrors [`MINOR_BATCH`]:
+/// each round does a bounded slice of work and yields the round lock).
+const DEMOTE_BATCH: usize = 64;
+
+/// Cap on the remembered-incompressible id set; crossing it clears the
+/// set wholesale (bounded memory at the price of a rare re-proof).
+const INCOMPRESSIBLE_CAP: usize = 4096;
 
 /// Capacity of the nursery ring (oldest ids fall off on overflow — major
 /// rounds cover whatever the nursery forgot).
@@ -148,6 +167,11 @@ pub(crate) struct CollectorControl {
     /// Activations that panicked and were restarted by the thread's
     /// supervisor loop instead of silently killing the collector.
     restarts: AtomicU64,
+    /// Entry ids whose payloads the codec sampler could not shrink —
+    /// skipped by later demote rounds so the collector doesn't burn CPU
+    /// re-proving the same bytes incompressible. Cleared wholesale past
+    /// [`INCOMPRESSIBLE_CAP`].
+    incompressible: Mutex<FxHashSet<EntryId>>,
 }
 
 /// Round-count / mean-duration snapshot for [`crate::RecyclerStats`].
@@ -184,7 +208,26 @@ impl CollectorControl {
             minor_ns: AtomicU64::new(0),
             major_ns: AtomicU64::new(0),
             restarts: AtomicU64::new(0),
+            incompressible: Mutex::new(FxHashSet::default()),
         }
+    }
+
+    fn is_incompressible(&self, id: EntryId) -> bool {
+        self.incompressible
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains(&id)
+    }
+
+    fn note_incompressible(&self, id: EntryId) {
+        let mut set = self
+            .incompressible
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if set.len() >= INCOMPRESSIBLE_CAP {
+            set.clear();
+        }
+        set.insert(id);
     }
 
     fn lock_state(&self) -> MutexGuard<'_, Flags> {
@@ -395,7 +438,24 @@ pub(crate) fn run_rounds(shared: &SharedRecycler) {
         }
         let major_due = ctl.minors_since_major.load(Ordering::Relaxed) >= ctl.minor_per_major;
         let started = Instant::now();
-        let evicted = if major_due {
+        // Demotion rung first: with the compression tier on, cold leaves
+        // step down the residency ladder (raw → compressed → spilled)
+        // *before* any victim is selected, so eviction proper becomes the
+        // ladder's last rung. Demotion time is charged to whichever round
+        // type this iteration records.
+        let demoted = if shared.config().compression && need_bytes > 0 {
+            demote_round(shared, need_bytes)
+        } else {
+            0
+        };
+        let (need_bytes, need_entries) = if demoted > 0 {
+            ctl.over_low(pool)
+        } else {
+            (need_bytes, need_entries)
+        };
+        let evicted = if need_bytes == 0 && need_entries == 0 {
+            Vec::new()
+        } else if major_due {
             major_round(shared, need_bytes, need_entries)
         } else {
             minor_round(shared, need_bytes, need_entries)
@@ -411,7 +471,7 @@ pub(crate) fn run_rounds(shared: &SharedRecycler) {
             ctl.minors_since_major.fetch_add(1, Ordering::Relaxed);
         }
         shared.settle_evictions(&evicted, true);
-        if evicted.is_empty() {
+        if evicted.is_empty() && demoted == 0 {
             if major_due {
                 // even the full leaf-index pass found nothing evictable
                 // (all pinned, or non-leaves): sleep until the next signal
@@ -449,6 +509,12 @@ fn minor_round(shared: &SharedRecycler, need_bytes: usize, need_entries: usize) 
     for id in ids {
         pool.entry(id, |e| {
             if e.pin_count() == 0 && !pool.has_children(id) {
+                // spilled entries charge nothing against the cap: under
+                // pure byte pressure they are not minor-round victims
+                // (their last rung is the major round's layer peel)
+                if e.bytes == 0 && need_entries == 0 {
+                    return;
+                }
                 candidates.push((policy_key(policy, e, tick), e.bytes, id));
             }
         });
@@ -500,4 +566,126 @@ fn major_round(shared: &SharedRecycler, need_bytes: usize, need_entries: usize) 
         out.extend(evict(pool, policy, EvictTrigger::Entries(still_over), tick));
     }
     out
+}
+
+/// The demotion rung: before eviction selects a single victim, walk the
+/// pool and push its coldest unpinned entries one rung down the
+/// residency ladder — raw → compressed in place, then (when a spill file
+/// is configured) compressed → spilled off the cap. Bytes freed here come
+/// off the memory cap *without losing the entries*, so a later hit pays a
+/// decompress or a record read instead of a recomputation.
+///
+/// All CPU (codec work) and IO (spill appends) run outside shard locks;
+/// [`RecyclePool::demote_compress`] / [`RecyclePool::demote_spill`]
+/// revalidate under the shard write lock and refuse entries that got
+/// pinned, re-parented or re-tiered meanwhile. Returns the resident bytes
+/// freed — the progress signal [`run_rounds`]'s escalation logic folds in
+/// next to eviction's.
+fn demote_round(shared: &SharedRecycler, need_bytes: usize) -> usize {
+    let ctl = shared.collector_control();
+    let pool = shared.pool_inner();
+    let min_bytes = shared.config().compress_min_bytes;
+    let spill_on = pool.spill().is_some();
+
+    // Gather under shard read locks only: raw entries to compress,
+    // already-compressed entries to spill. Unlike eviction, demotion is
+    // *not* restricted to childless leaves — a demoted interior node keeps
+    // its `result_id` and indexes, so descendants stay matchable; in
+    // chain-shaped plans the big early intermediates are interior nodes
+    // and a leaves-only rung would free almost nothing.
+    let mut raw: Vec<(u64, EntryId, Arc<Bat>, usize)> = Vec::new();
+    let mut cold: Vec<(u64, EntryId, Arc<CompressedBat>)> = Vec::new();
+    pool.for_each_entry(|e| {
+        if e.pin_count() != 0 {
+            return;
+        }
+        match &e.tier {
+            TierState::Raw => {
+                // `bind` results are Arc-shared with the catalog:
+                // demoting one frees no real memory, and rehydration
+                // would forge a second live copy of a base column.
+                if e.bytes < min_bytes || e.family == "bind" || ctl.is_incompressible(e.id) {
+                    return;
+                }
+                if let Value::Bat(b) = &e.result {
+                    // views alias another BAT's buffers — nothing to free
+                    if !b.head().is_view() && !b.tail().is_view() {
+                        raw.push((e.last_used(), e.id, Arc::clone(b), e.bytes));
+                    }
+                }
+            }
+            TierState::Compressed(blob) if spill_on => {
+                cold.push((e.last_used(), e.id, Arc::clone(blob)));
+            }
+            _ => {}
+        }
+    });
+
+    let mut freed = 0usize;
+
+    // Rung 1: compress the coldest raw leaves in place.
+    raw.sort_unstable_by_key(|&(tick, id, _, _)| (tick, id));
+    raw.truncate(DEMOTE_BATCH);
+    let mut compressed_n = 0u64;
+    for (tick, id, bat, bytes) in raw {
+        if freed >= need_bytes {
+            break;
+        }
+        #[cfg(feature = "failpoints")]
+        if crate::fault::fire("tier.compress").is_some() {
+            // injected Deny/Io: skip this entry, keep the round alive
+            continue;
+        }
+        let blob = Arc::new(CompressedBat::compress(&bat));
+        drop(bat);
+        if blob.byte_size() >= bytes {
+            // even the best codec choice doesn't shrink this payload;
+            // remember that instead of re-sampling it every round
+            ctl.note_incompressible(id);
+            continue;
+        }
+        let got = pool.demote_compress(id, Arc::clone(&blob));
+        if got > 0 {
+            freed += got;
+            compressed_n += 1;
+            // freshly compressed entries are the coldest on the ladder:
+            // make them spill candidates *this* round, or continued
+            // pressure evicts them before the next round can
+            cold.push((tick, id, blob));
+        }
+    }
+    if compressed_n > 0 {
+        shared.count_demotions_compressed(compressed_n);
+    }
+
+    // Rung 2: spill the coldest compressed leaves off the cap entirely.
+    if spill_on && freed < need_bytes {
+        let spill = Arc::clone(pool.spill().expect("spill checked above"));
+        cold.sort_unstable_by_key(|&(tick, id, _)| (tick, id));
+        cold.truncate(DEMOTE_BATCH);
+        let mut spilled_n = 0u64;
+        for (_, id, blob) in cold {
+            if freed >= need_bytes {
+                break;
+            }
+            #[cfg(feature = "failpoints")]
+            if crate::fault::fire("tier.spill").is_some() {
+                continue;
+            }
+            let Ok(ticket) = spill.append(blob.as_bytes()) else {
+                // spill budget exhausted (or a real IO error): stop
+                // appending this round; eviction covers what remains
+                break;
+            };
+            let got = pool.demote_spill(id, &blob, ticket);
+            if got > 0 {
+                freed += got;
+                spilled_n += 1;
+            }
+        }
+        if spilled_n > 0 {
+            shared.count_demotions_spilled(spilled_n);
+        }
+    }
+    freed
 }

@@ -110,6 +110,26 @@ pub struct RecyclerConfig {
     /// and reschedules itself, so it can never monopolise the eviction
     /// mutex against inline admitters. Minimum 1.
     pub collector_timeslice_ms: u64,
+    /// Enable the compression tier: collector rounds demote cold raw
+    /// entries to lightweight-compressed blobs *in place* before the
+    /// evict path ever fires, so eviction becomes the last rung of the
+    /// demotion ladder (raw → compressed → [spilled →] gone). A hit on
+    /// a compressed entry decompresses and re-promotes to raw, recording
+    /// the decompress cost. Requires the background collector (demotion
+    /// is a background activity) — validated at facade build time. Off
+    /// by default: without it the pool behaves exactly as before.
+    pub compression: bool,
+    /// Entries below this raw byte size are never demoted to the
+    /// compression tier: tiny intermediates cost more per-entry codec
+    /// overhead than their bytes are worth. Only meaningful with
+    /// [`Self::compression`].
+    pub compress_min_bytes: usize,
+    /// Admission floor: executed results smaller than this many bytes
+    /// are *monitored but not admitted* — for workloads of tiny BATs
+    /// (SkyServer's 44 KB pool) the admission + bookkeeping overhead
+    /// exceeds the time ever saved by reusing them. `0` (the default)
+    /// admits everything, preserving the paper's baseline semantics.
+    pub min_admit_bytes: usize,
 }
 
 impl Default for RecyclerConfig {
@@ -133,6 +153,9 @@ impl Default for RecyclerConfig {
             high_water_ratio: 0.8,
             minor_per_major: 8,
             collector_timeslice_ms: 4,
+            compression: false,
+            compress_min_bytes: 256,
+            min_admit_bytes: 0,
         }
     }
 }
@@ -229,6 +252,29 @@ impl RecyclerConfig {
         self
     }
 
+    /// Builder-style: enable the compression tier (see
+    /// [`Self::compression`]). Pair with the background collector and a
+    /// resource cap — demotion is driven by collector rounds under
+    /// pressure.
+    pub fn compression(mut self, on: bool) -> Self {
+        self.compression = on;
+        self
+    }
+
+    /// Builder-style: the smallest raw entry worth compressing (see
+    /// [`Self::compress_min_bytes`]).
+    pub fn compress_min_bytes(mut self, bytes: usize) -> Self {
+        self.compress_min_bytes = bytes;
+        self
+    }
+
+    /// Builder-style: the admission floor in bytes (see
+    /// [`Self::min_admit_bytes`]). `0` admits everything.
+    pub fn min_admit_bytes(mut self, bytes: usize) -> Self {
+        self.min_admit_bytes = bytes;
+        self
+    }
+
     /// Validate the configuration, returning a human-readable description
     /// of the first violation. Checked by the facade at build time
     /// (`DatabaseBuilder::try_build` maps this into a typed
@@ -267,6 +313,22 @@ impl RecyclerConfig {
             }
             if self.collector_timeslice_ms == 0 {
                 return Err("collector_timeslice_ms must be at least 1".to_string());
+            }
+        }
+        if self.compression {
+            if !self.background_collector {
+                return Err(
+                    "the compression tier requires the background collector (demotion \
+                     is a background activity)"
+                        .to_string(),
+                );
+            }
+            if self.mem_limit.is_none() && self.entry_limit.is_none() {
+                return Err(
+                    "the compression tier requires a mem_limit or entry_limit — without \
+                     pressure there is nothing to demote for"
+                        .to_string(),
+                );
             }
         }
         Ok(())
@@ -347,6 +409,33 @@ mod tests {
         );
         assert!(base.minor_per_major(0).validate().is_err());
         assert!(base.collector_timeslice_ms(0).validate().is_err());
+    }
+
+    #[test]
+    fn tiering_knobs_default_off_and_validate() {
+        let c = RecyclerConfig::default();
+        assert!(!c.compression);
+        assert_eq!(c.compress_min_bytes, 256);
+        assert_eq!(c.min_admit_bytes, 0);
+        // compression without a collector (or without a cap) is an error
+        assert!(RecyclerConfig::default()
+            .compression(true)
+            .validate()
+            .is_err());
+        assert!(RecyclerConfig::default()
+            .mem_limit(1 << 20)
+            .compression(true)
+            .validate()
+            .is_err());
+        let ok = RecyclerConfig::default()
+            .mem_limit(1 << 20)
+            .collector(true)
+            .compression(true)
+            .compress_min_bytes(128)
+            .min_admit_bytes(64);
+        assert!(ok.validate().is_ok());
+        assert_eq!(ok.compress_min_bytes, 128);
+        assert_eq!(ok.min_admit_bytes, 64);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::time::Duration;
 use rbat::{BatId, Value};
 
 use crate::signature::Sig;
+use crate::tier::TierState;
 
 /// Identifier of a pool entry.
 pub type EntryId = u64;
@@ -44,7 +45,15 @@ pub struct PoolEntry {
     pub result: Value,
     /// Identity of the result BAT, when the result is one.
     pub result_id: Option<BatId>,
-    /// Resident bytes charged against the pool's memory budget.
+    /// Residency tier. Demoting an entry swaps `result` for `Value::Nil`
+    /// and parks the payload here (compressed blob or spill ticket);
+    /// promotion restores `result` under the shard write lock. `bytes`
+    /// always reflects the *current* tier's charge.
+    pub tier: TierState,
+    /// Resident bytes charged against the pool's memory budget — the raw
+    /// result's bytes while [`TierState::Raw`], the blob size while
+    /// compressed, zero while spilled (spilled bytes count against the
+    /// spill budget instead).
     pub bytes: usize,
     /// Measured CPU cost of computing the result — `Cost(I)` in eq. (1).
     pub cpu: Duration,
@@ -106,6 +115,7 @@ impl Clone for PoolEntry {
             args: self.args.clone(),
             result: self.result.clone(),
             result_id: self.result_id,
+            tier: self.tier.clone(),
             bytes: self.bytes,
             cpu: self.cpu,
             family: self.family,
@@ -211,6 +221,7 @@ impl PoolEntry {
             args: vec![Value::Int(tag)],
             result: Value::Int(tag),
             result_id: None,
+            tier: TierState::Raw,
             bytes,
             cpu: Duration::from_millis(1),
             family: "select",
@@ -243,6 +254,7 @@ mod tests {
             args: vec![Value::Int(1)],
             result: Value::Int(7),
             result_id: None,
+            tier: TierState::Raw,
             bytes: 64,
             cpu: Duration::from_millis(100),
             family: "select",

@@ -163,17 +163,36 @@ fn evict_memory(
         let leaf_bytes: usize = leaves.iter().map(|c| c.bytes).sum();
         let remaining_need = need - freed;
         let victims: Vec<EntryId> = if leaf_bytes <= remaining_need {
-            // Not enough in this layer: evict all leaves, iterate.
-            leaves.iter().map(|c| c.id).collect()
+            // Not enough in this layer: evict the whole charged layer and
+            // iterate. Spilled (zero-charge) leaves are spared as long as
+            // any leaf still charges bytes — evicting them frees nothing,
+            // and they are exactly the entries the ladder paid to keep.
+            // Once *every* leaf is spilled the layer goes wholesale: that
+            // frees no cap bytes either, but exposes the charged layer
+            // beneath for the next iteration, which keeps byte pressure
+            // resolvable. It is the ladder's true last rung: spilled → gone.
+            if leaves.iter().any(|c| c.bytes > 0) {
+                leaves
+                    .iter()
+                    .filter(|c| c.bytes > 0)
+                    .map(|c| c.id)
+                    .collect()
+            } else {
+                leaves.iter().map(|c| c.id).collect()
+            }
         } else {
             match policy {
                 EvictionPolicy::Lru => {
                     // ties on `last_used` break largest-bytes-first: the
                     // bytes freed then cost the fewest victims (smallest-
                     // first would maximise the entries destroyed for the
-                    // same relief)
+                    // same relief). Spilled leaves charge nothing against
+                    // the cap, so evicting them here buys no relief —
+                    // they are filtered out and survive until the
+                    // evict-all branch above has nothing else left.
                     let mut ordered: Vec<(u64, std::cmp::Reverse<usize>, EntryId)> = leaves
                         .iter()
+                        .filter(|c| c.bytes > 0)
                         .map(|c| (c.last_used, std::cmp::Reverse(c.bytes), c.id))
                         .collect();
                     ordered.sort_unstable();
@@ -189,6 +208,9 @@ fn evict_memory(
                     take
                 }
                 EvictionPolicy::Benefit | EvictionPolicy::History => {
+                    // spilled (zero-byte) leaves fit any capacity for
+                    // free, so the knapsack always keeps them — the same
+                    // last-rung protection the LRU filter gives
                     knapsack_victims(&leaves, leaf_bytes - remaining_need)
                 }
             }
@@ -281,6 +303,7 @@ mod tests {
             args: vec![Value::Int(tag)],
             result: Value::Int(tag),
             result_id: None,
+            tier: crate::tier::TierState::Raw,
             bytes,
             cpu: Duration::from_millis(cpu_ms),
             family: "select",
@@ -465,6 +488,7 @@ mod tests {
             args: vec![],
             result: Value::Int(0),
             result_id: None,
+            tier: crate::tier::TierState::Raw,
             bytes: 1000,
             cpu: Duration::from_millis(1),
             family: "view",

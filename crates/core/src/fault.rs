@@ -24,11 +24,19 @@
 //! | `admission.reserve` | byte-budget reservation  | Deny, Panic      |
 //! | `pool.insert`       | shard insert, lock held  | Panic            |
 //! | `pool.insert.wired` | insert, indexes half-wired | Panic          |
+//! | `pool.demote.wired` | demotion, entry re-tiered, books stale | Panic |
 //! | `evict.gather`      | eviction victim gather   | Panic            |
 //! | `evict.remove`      | batched removal, lock held | Panic          |
 //! | `collector.round`   | background collector round | Panic          |
+//! | `tier.compress`     | demote rung, before codec work | Deny, Io, Panic |
+//! | `tier.spill`        | demote rung, before spill append | Deny, Io, Panic |
+//! | `tier.rehydrate`    | hit path, before decompress/read-back | Deny, Io, Panic |
 //! | `wire.read`         | server frame read        | Io, Panic        |
 //! | `wire.write`        | server frame write       | Io, Panic        |
+//!
+//! The three `tier.*` sites treat Deny and Io identically: the entry is
+//! skipped (demotion) or the probe degrades to a miss (rehydrate) — the
+//! residency ladder never turns an injected fault into a wrong answer.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -97,6 +97,7 @@ pub mod shared;
 pub mod signature;
 pub mod stats;
 pub mod subsume;
+pub mod tier;
 
 pub use config::{AdmissionPolicy, EvictionPolicy, RecyclerConfig, UpdateMode};
 pub use entry::{EntryId, PoolEntry};

@@ -9,7 +9,7 @@
 
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use rbat::hash::{FxHashMap, FxHashSet, FxHasher};
 use rbat::BatId;
@@ -220,6 +220,17 @@ pub struct RecyclePool {
     /// Resident bytes per shard (diagnostics + eviction targeting without
     /// locks).
     shard_bytes: Box<[AtomicUsize]>,
+    /// Per-shard byte books split by residency tier. Invariant (verified
+    /// by [`Self::check_invariants`]): `raw + compressed == shard_bytes`
+    /// per shard — spilled bytes live off-cap and are tracked for
+    /// observability and the spill budget only. Adjusted at the same
+    /// funnels as `shard_bytes` (insert/remove) plus the tier
+    /// transitions ([`Self::demote_compress`], [`Self::demote_spill`],
+    /// [`Self::promote`]), always under the owning shard's write lock.
+    tier_books: Box<[crate::tier::TierBook]>,
+    /// The spill block file backing [`crate::tier::TierState::Spilled`]
+    /// entries, when the database opted in via `spill_dir`.
+    spill: Option<Arc<crate::tier::SpillFile>>,
     total_bytes: AtomicUsize,
     total_entries: AtomicUsize,
     owner: ShardedIndex<EntryId, usize>,
@@ -348,6 +359,8 @@ impl RecyclePool {
         RecyclePool {
             shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
             shard_bytes: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            tier_books: (0..n).map(|_| crate::tier::TierBook::default()).collect(),
+            spill: None,
             total_bytes: AtomicUsize::new(0),
             total_entries: AtomicUsize::new(0),
             owner: ShardedIndex::new(n),
@@ -532,6 +545,12 @@ impl RecyclePool {
             sh.entries.clear();
             sh.by_sig.clear();
             self.shard_bytes[i].store(0, Ordering::Relaxed);
+            self.tier_books[i].raw.store(0, Ordering::Relaxed);
+            self.tier_books[i].compressed.store(0, Ordering::Relaxed);
+            self.tier_books[i].spilled.store(0, Ordering::Relaxed);
+        }
+        if let Some(spill) = &self.spill {
+            spill.clear();
         }
         self.owner.clear();
         self.by_result.clear();
@@ -711,13 +730,41 @@ impl RecyclePool {
         let mut total_bytes = 0usize;
         let mut total_entries = 0usize;
         for (si, g) in guards.iter().enumerate() {
-            let bytes: usize = g.entries.values().map(|e| e.bytes).sum();
+            let mut raw = 0usize;
+            let mut compressed = 0usize;
+            let mut spilled = 0usize;
+            for e in g.entries.values() {
+                match &e.tier {
+                    crate::tier::TierState::Raw => raw += e.bytes,
+                    crate::tier::TierState::Compressed(_) => compressed += e.bytes,
+                    crate::tier::TierState::Spilled(t) => spilled += t.len as usize,
+                }
+            }
+            let bytes = raw + compressed;
             self.shard_bytes[si].store(bytes, Ordering::Relaxed);
+            self.tier_books[si].raw.store(raw, Ordering::Relaxed);
+            self.tier_books[si]
+                .compressed
+                .store(compressed, Ordering::Relaxed);
+            self.tier_books[si]
+                .spilled
+                .store(spilled, Ordering::Relaxed);
             total_bytes += bytes;
             total_entries += g.entries.len();
         }
         self.total_bytes.store(total_bytes, Ordering::Relaxed);
         self.total_entries.store(total_entries, Ordering::Relaxed);
+        // A torn demotion may have been dropped between appending the
+        // spill record and wiring the ticket: retire every dropped
+        // entry's ticket so the spill file's live-byte book matches the
+        // surviving index.
+        if let Some(spill) = &self.spill {
+            for e in &dropped {
+                if let crate::tier::TierState::Spilled(t) = &e.tier {
+                    spill.mark_dead(*t);
+                }
+            }
+        }
         for &si in &broken {
             self.shards[si].clear_poison();
             if self.quarantined[si].swap(false, Ordering::AcqRel) {
@@ -937,6 +984,8 @@ impl RecyclePool {
             *m.entry(session).or_insert(0) += 1;
         });
         self.shard_bytes[si].fetch_add(bytes, Ordering::Relaxed);
+        // admissions always enter raw (demotion happens in place later)
+        self.tier_books[si].raw.fetch_add(bytes, Ordering::Relaxed);
         self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.total_entries.fetch_add(1, Ordering::Relaxed);
         Admitted::Inserted(id)
@@ -1052,6 +1101,29 @@ impl RecyclePool {
             }
         });
         self.shard_bytes[si].fetch_sub(entry.bytes, Ordering::Relaxed);
+        match &entry.tier {
+            crate::tier::TierState::Raw => {
+                self.tier_books[si]
+                    .raw
+                    .fetch_sub(entry.bytes, Ordering::Relaxed);
+            }
+            crate::tier::TierState::Compressed(_) => {
+                self.tier_books[si]
+                    .compressed
+                    .fetch_sub(entry.bytes, Ordering::Relaxed);
+            }
+            crate::tier::TierState::Spilled(t) => {
+                self.tier_books[si]
+                    .spilled
+                    .fetch_sub(t.len as usize, Ordering::Relaxed);
+                // retire the on-disk record: a dead ticket frees spill
+                // budget immediately (and the block file truncates once
+                // no live records remain)
+                if let Some(spill) = &self.spill {
+                    spill.mark_dead(*t);
+                }
+            }
+        }
         self.total_bytes.fetch_sub(entry.bytes, Ordering::Relaxed);
         self.total_entries.fetch_sub(1, Ordering::Relaxed);
         Some(entry)
@@ -1211,6 +1283,193 @@ impl RecyclePool {
                 }
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // residency tiers (demotion ladder: raw → compressed → spilled)
+    // ------------------------------------------------------------------
+
+    /// Attach the spill block file backing the coldest tier. Called once
+    /// during construction (before the pool is shared); entries can only
+    /// reach [`crate::tier::TierState::Spilled`] when a file is attached.
+    pub fn set_spill(&mut self, spill: Option<Arc<crate::tier::SpillFile>>) {
+        self.spill = spill;
+    }
+
+    /// The attached spill file, when the database opted into the disk
+    /// tier.
+    pub fn spill(&self) -> Option<&Arc<crate::tier::SpillFile>> {
+        self.spill.as_ref()
+    }
+
+    /// Pool-wide per-tier byte totals `(raw, compressed, spilled)`.
+    /// `raw + compressed == bytes()` at any quiescent instant; spilled
+    /// bytes are off-cap (they count against the spill budget instead).
+    pub fn tier_bytes(&self) -> (usize, usize, usize) {
+        let mut raw = 0usize;
+        let mut compressed = 0usize;
+        let mut spilled = 0usize;
+        for b in self.tier_books.iter() {
+            raw += b.raw.load(Ordering::Relaxed);
+            compressed += b.compressed.load(Ordering::Relaxed);
+            spilled += b.spilled.load(Ordering::Relaxed);
+        }
+        (raw, compressed, spilled)
+    }
+
+    /// Demote a raw entry to the in-memory compressed tier, swapping its
+    /// raw result for the pre-built blob *in place*. The caller (the
+    /// collector) compresses **outside** any lock and revalidation
+    /// happens here, inside the shard's write critical section: the
+    /// entry must still be resident, raw and unpinned — any concurrent
+    /// hit (pin) or removal since the candidate was gathered wins and the
+    /// demotion is dropped. Also refuses when the blob would not actually
+    /// shrink the charge. Entries with children are fair game: demotion
+    /// (unlike eviction) keeps the entry, its `result_id` and every index
+    /// alive, so descendants stay matchable and nothing is orphaned — in
+    /// chain-shaped plans the big early intermediates are precisely the
+    /// interior nodes. Returns the bytes freed (0 when skipped).
+    pub fn demote_compress(&self, id: EntryId, blob: Arc<crate::tier::CompressedBat>) -> usize {
+        let Some(si) = self.owner.get_clone(&id) else {
+            return 0;
+        };
+        if !self.shard_serviceable(si) {
+            return 0;
+        }
+        let new_bytes = blob.byte_size();
+        let mut sh = self.write_shard(si);
+        let Some(e) = sh.entries.get_mut(&id) else {
+            return 0;
+        };
+        if !e.tier.is_raw() || e.pin_count() != 0 || new_bytes >= e.bytes {
+            return 0;
+        }
+        let old_bytes = e.bytes;
+        e.result = rbat::Value::Nil;
+        e.tier = crate::tier::TierState::Compressed(blob);
+        e.bytes = new_bytes;
+        // Failpoint: the entry is re-tiered but no book has moved — the
+        // most torn state a mid-demotion unwind can leave this shard in.
+        #[cfg(feature = "failpoints")]
+        let _ = crate::fault::fire("pool.demote.wired");
+        let freed = old_bytes - new_bytes;
+        self.tier_books[si]
+            .raw
+            .fetch_sub(old_bytes, Ordering::Relaxed);
+        self.tier_books[si]
+            .compressed
+            .fetch_add(new_bytes, Ordering::Relaxed);
+        self.shard_bytes[si].fetch_sub(freed, Ordering::Relaxed);
+        self.total_bytes.fetch_sub(freed, Ordering::Relaxed);
+        freed
+    }
+
+    /// Demote a compressed entry to the spill tier: the caller already
+    /// appended the blob to the spill file (outside any lock) and passes
+    /// the claim ticket plus the blob it spilled. Revalidated under the
+    /// shard write lock — the entry must still hold *that exact blob*
+    /// (`Arc::ptr_eq`) and be unpinned; otherwise the ticket is
+    /// immediately retired (the record is garbage) and 0 is returned.
+    /// On success the entry stops charging resident bytes entirely.
+    /// Returns the resident bytes freed.
+    pub fn demote_spill(
+        &self,
+        id: EntryId,
+        expected: &Arc<crate::tier::CompressedBat>,
+        ticket: crate::tier::SpillTicket,
+    ) -> usize {
+        let retire = |t: crate::tier::SpillTicket| {
+            if let Some(spill) = &self.spill {
+                spill.mark_dead(t);
+            }
+        };
+        let Some(si) = self.owner.get_clone(&id) else {
+            retire(ticket);
+            return 0;
+        };
+        if !self.shard_serviceable(si) {
+            retire(ticket);
+            return 0;
+        }
+        let mut sh = self.write_shard(si);
+        let Some(e) = sh.entries.get_mut(&id) else {
+            drop(sh);
+            retire(ticket);
+            return 0;
+        };
+        let holds_expected = matches!(&e.tier,
+            crate::tier::TierState::Compressed(b) if Arc::ptr_eq(b, expected));
+        if !holds_expected || e.pin_count() != 0 {
+            drop(sh);
+            retire(ticket);
+            return 0;
+        }
+        let old_bytes = e.bytes;
+        e.tier = crate::tier::TierState::Spilled(ticket);
+        e.bytes = 0;
+        self.tier_books[si]
+            .compressed
+            .fetch_sub(old_bytes, Ordering::Relaxed);
+        self.tier_books[si]
+            .spilled
+            .fetch_add(ticket.len as usize, Ordering::Relaxed);
+        self.shard_bytes[si].fetch_sub(old_bytes, Ordering::Relaxed);
+        self.total_bytes.fetch_sub(old_bytes, Ordering::Relaxed);
+        old_bytes
+    }
+
+    /// Promote a demoted entry back to raw after a hit decompressed or
+    /// rehydrated its payload (outside any lock). The entry may be
+    /// pinned — the hitting session pinned it at probe time, which is
+    /// exactly what keeps eviction away while the payload is rebuilt.
+    /// Fails (returns false) when the entry vanished (invalidation wins
+    /// over retention) or was concurrently promoted by another session —
+    /// the caller treats either as a miss or uses the resident raw
+    /// result instead.
+    pub fn promote(&self, id: EntryId, value: rbat::Value, raw_bytes: usize) -> bool {
+        let Some(si) = self.owner.get_clone(&id) else {
+            return false;
+        };
+        if !self.shard_serviceable(si) {
+            return false;
+        }
+        let mut sh = self.write_shard(si);
+        let Some(e) = sh.entries.get_mut(&id) else {
+            return false;
+        };
+        let old_bytes = e.bytes;
+        match &e.tier {
+            crate::tier::TierState::Raw => return false,
+            crate::tier::TierState::Compressed(_) => {
+                self.tier_books[si]
+                    .compressed
+                    .fetch_sub(old_bytes, Ordering::Relaxed);
+            }
+            crate::tier::TierState::Spilled(t) => {
+                self.tier_books[si]
+                    .spilled
+                    .fetch_sub(t.len as usize, Ordering::Relaxed);
+                if let Some(spill) = &self.spill {
+                    spill.mark_dead(*t);
+                }
+            }
+        }
+        e.result = value;
+        e.tier = crate::tier::TierState::Raw;
+        e.bytes = raw_bytes;
+        self.tier_books[si]
+            .raw
+            .fetch_add(raw_bytes, Ordering::Relaxed);
+        self.shard_bytes[si].fetch_add(raw_bytes, Ordering::Relaxed);
+        self.shard_bytes[si].fetch_sub(old_bytes, Ordering::Relaxed);
+        if raw_bytes >= old_bytes {
+            self.total_bytes
+                .fetch_add(raw_bytes - old_bytes, Ordering::Relaxed);
+        } else {
+            self.total_bytes
+                .fetch_sub(old_bytes - raw_bytes, Ordering::Relaxed);
+        }
+        true
     }
 
     /// Entries visited by eviction gathers since construction. With the
@@ -1396,6 +1655,9 @@ impl RecyclePool {
         let mut total_entries = 0usize;
         for (i, g) in guards.iter().enumerate() {
             let mut shard_sum = 0usize;
+            let mut raw_sum = 0usize;
+            let mut compressed_sum = 0usize;
+            let mut spilled_sum = 0usize;
             for (id, e) in &g.entries {
                 if e.id != *id {
                     return Err(format!("entry {id} stored under wrong key {}", e.id));
@@ -1418,6 +1680,28 @@ impl RecyclePool {
                     }
                 }
                 shard_sum += e.bytes;
+                match &e.tier {
+                    crate::tier::TierState::Raw => raw_sum += e.bytes,
+                    crate::tier::TierState::Compressed(b) => {
+                        if e.bytes != b.byte_size() {
+                            return Err(format!(
+                                "compressed entry {id} charges {} bytes, blob is {}",
+                                e.bytes,
+                                b.byte_size()
+                            ));
+                        }
+                        compressed_sum += e.bytes;
+                    }
+                    crate::tier::TierState::Spilled(t) => {
+                        if e.bytes != 0 {
+                            return Err(format!(
+                                "spilled entry {id} still charges {} resident bytes",
+                                e.bytes
+                            ));
+                        }
+                        spilled_sum += t.len as usize;
+                    }
+                }
             }
             if g.by_sig.len() != g.entries.len() {
                 return Err(format!(
@@ -1430,6 +1714,25 @@ impl RecyclePool {
                 return Err(format!(
                     "shard {i} byte counter {} != actual {shard_sum}",
                     self.shard_bytes[i].load(Ordering::Relaxed)
+                ));
+            }
+            // per-tier books: raw + compressed must re-derive the shard
+            // total exactly (spilled is off-cap, tracked on its own book)
+            let book = &self.tier_books[i];
+            let (br, bc, bs) = (
+                book.raw.load(Ordering::Relaxed),
+                book.compressed.load(Ordering::Relaxed),
+                book.spilled.load(Ordering::Relaxed),
+            );
+            if br != raw_sum || bc != compressed_sum || bs != spilled_sum {
+                return Err(format!(
+                    "shard {i} tier books raw={br}/compressed={bc}/spilled={bs} \
+                     != actual raw={raw_sum}/compressed={compressed_sum}/spilled={spilled_sum}"
+                ));
+            }
+            if br + bc != shard_sum {
+                return Err(format!(
+                    "shard {i} tier books raw {br} + compressed {bc} != shard bytes {shard_sum}"
                 ));
             }
             total_bytes += shard_sum;
@@ -1686,15 +1989,30 @@ impl PoolScopedView<'_> {
         let Some(e) = self.guards[i].as_mut().and_then(|g| g.entries.get_mut(&id)) else {
             return;
         };
+        // the tier book matching the entry's residency moves in lockstep
+        // with the shard total; spilled entries charge nothing resident
+        // (their book tracks the on-disk record length), so a resize is
+        // meaningless for them — propagation promotes or drops demoted
+        // entries before rewriting results
+        let book = match &e.tier {
+            crate::tier::TierState::Raw => &pool.tier_books[i].raw,
+            crate::tier::TierState::Compressed(_) => &pool.tier_books[i].compressed,
+            crate::tier::TierState::Spilled(_) => {
+                debug_assert!(false, "set_bytes on a spilled entry");
+                return;
+            }
+        };
         let old = e.bytes;
         e.bytes = new_bytes;
         if new_bytes >= old {
             let d = new_bytes - old;
             pool.shard_bytes[i].fetch_add(d, Ordering::Relaxed);
+            book.fetch_add(d, Ordering::Relaxed);
             pool.total_bytes.fetch_add(d, Ordering::Relaxed);
         } else {
             let d = old - new_bytes;
             pool.shard_bytes[i].fetch_sub(d, Ordering::Relaxed);
+            book.fetch_sub(d, Ordering::Relaxed);
             pool.total_bytes.fetch_sub(d, Ordering::Relaxed);
         }
     }
@@ -1751,6 +2069,34 @@ impl PoolScopedView<'_> {
                 if let Some(e) = moved {
                     pool.shard_bytes[old_idx].fetch_sub(e.bytes, Ordering::Relaxed);
                     pool.shard_bytes[new_idx].fetch_add(e.bytes, Ordering::Relaxed);
+                    // the entry's tier book (and spilled record length)
+                    // migrate with it
+                    match &e.tier {
+                        crate::tier::TierState::Raw => {
+                            pool.tier_books[old_idx]
+                                .raw
+                                .fetch_sub(e.bytes, Ordering::Relaxed);
+                            pool.tier_books[new_idx]
+                                .raw
+                                .fetch_add(e.bytes, Ordering::Relaxed);
+                        }
+                        crate::tier::TierState::Compressed(_) => {
+                            pool.tier_books[old_idx]
+                                .compressed
+                                .fetch_sub(e.bytes, Ordering::Relaxed);
+                            pool.tier_books[new_idx]
+                                .compressed
+                                .fetch_add(e.bytes, Ordering::Relaxed);
+                        }
+                        crate::tier::TierState::Spilled(t) => {
+                            pool.tier_books[old_idx]
+                                .spilled
+                                .fetch_sub(t.len as usize, Ordering::Relaxed);
+                            pool.tier_books[new_idx]
+                                .spilled
+                                .fetch_add(t.len as usize, Ordering::Relaxed);
+                        }
+                    }
                     if let Some(g) = self.guards[new_idx].as_mut() {
                         g.entries.insert(id, e);
                     }
@@ -1820,6 +2166,7 @@ mod tests {
             args: vec![Value::Int(tag)],
             result: Value::Bat(Arc::clone(&bat)),
             result_id: Some(bat.id()),
+            tier: crate::tier::TierState::Raw,
             bytes: 100,
             cpu: Duration::from_millis(1),
             family: "select",

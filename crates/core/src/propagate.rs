@@ -279,6 +279,14 @@ fn propagate_entry(
     deltas: &mut FxHashMap<EntryId, Arc<Bat>>,
 ) -> bool {
     let entry = pool.get(id).expect("caller checked");
+    if !entry.tier.is_raw() {
+        // A demoted entry's `result` slot is `Value::Nil` — there is no
+        // materialised BAT to merge the delta into, and refreshing it in
+        // place would desync the per-tier byte books. Invalidate the
+        // subtree; correctness beats retention, exactly as for any other
+        // unpropagatable shape.
+        return false;
+    }
     let op = entry.sig.op;
     let old_result = entry.result.clone();
     let old_sig = entry.sig.clone();

@@ -40,6 +40,7 @@ use crate::shared::{PoolRef, SharedRecycler};
 use crate::signature::Sig;
 use crate::stats::{PoolSnapshot, QueryRecord, RecyclerStats};
 use crate::subsume::{self, Subsumption};
+use crate::tier::{CompressedBat, SpillTicket, TierState};
 
 #[cfg(doc)]
 use crate::pool::RecyclePool;
@@ -48,12 +49,24 @@ use crate::pool::RecyclePool;
 /// lock, consumed after it is released).
 struct HitOutcome {
     id: EntryId,
-    result: Value,
+    payload: HitPayload,
     saved: Duration,
     creator: InstrKey,
     local: bool,
     cross_session: bool,
     return_credit: bool,
+    /// Did this probe take the pin (vs. the session already holding one)?
+    /// Needed to release it when a demoted payload fails to rehydrate.
+    newly_pinned: bool,
+}
+
+/// The hit's payload as found under the shard read lock: raw entries
+/// clone their `result` Arc; demoted entries hand out the tier payload
+/// (blob Arc or spill ticket) for rehydration *outside* the lock.
+enum HitPayload {
+    Raw(Value),
+    Compressed(Arc<CompressedBat>),
+    Spilled(SpillTicket),
 }
 
 /// Most recent per-query records a session retains (the log is trimmed
@@ -218,20 +231,44 @@ impl Recycler {
                     && e.credit_returned
                         .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
                         .is_ok();
-                if !pinned.contains(&e.id) {
+                let newly_pinned = !pinned.contains(&e.id);
+                if newly_pinned {
                     e.pins.fetch_add(1, Ordering::Relaxed);
                 }
+                let payload = match &e.tier {
+                    TierState::Raw => HitPayload::Raw(e.result.clone()),
+                    TierState::Compressed(blob) => HitPayload::Compressed(Arc::clone(blob)),
+                    TierState::Spilled(t) => HitPayload::Spilled(*t),
+                };
                 HitOutcome {
                     id: e.id,
-                    result: e.result.clone(),
+                    payload,
                     saved: e.cpu,
                     creator: e.creator,
                     local,
                     cross_session: e.admitted_session != session_id,
                     return_credit,
+                    newly_pinned,
                 }
             })
         }?;
+        let result = match outcome.payload {
+            HitPayload::Raw(v) => v,
+            payload => match self.rehydrate_hit(outcome.id, payload) {
+                Some(v) => v,
+                None => {
+                    // torn record or injected fault: degrade this probe to
+                    // a miss — the instruction recomputes, correctness is
+                    // untouched. Release the pin this probe took.
+                    if outcome.newly_pinned {
+                        self.shared.pool_inner().entry(outcome.id, |e| {
+                            e.pins.fetch_sub(1, Ordering::Relaxed);
+                        });
+                    }
+                    return None;
+                }
+            },
+        };
         self.pinned.insert(outcome.id);
         self.shared
             .note_reuse(outcome.creator, outcome.return_credit);
@@ -244,7 +281,46 @@ impl Recycler {
         } else {
             self.current.global_hits += 1;
         }
-        Some(outcome.result)
+        Some(result)
+    }
+
+    /// Rehydrate a demoted entry's payload on the hit path: decompress the
+    /// blob (for spilled entries, first read the record back from the
+    /// spill file), then promote the entry to raw so subsequent hits are
+    /// cheap again. All of it runs *outside* shard locks —
+    /// [`RecyclePool::promote`] revalidates under the shard write lock.
+    /// Returns `None` when rehydration fails (torn record, injected
+    /// `tier.rehydrate` fault); the caller degrades the probe to a miss.
+    fn rehydrate_hit(&self, id: EntryId, payload: HitPayload) -> Option<Value> {
+        #[cfg(feature = "failpoints")]
+        if crate::fault::fire("tier.rehydrate").is_some() {
+            return None;
+        }
+        let pool = self.shared.pool_inner();
+        let (value, raw_bytes, decompress, rehydrate) = match payload {
+            HitPayload::Raw(v) => return Some(v),
+            HitPayload::Compressed(blob) => {
+                let t0 = Instant::now();
+                let bat = blob.decompress().ok()?;
+                let cost = t0.elapsed();
+                let bytes = bat.resident_bytes();
+                (Value::Bat(Arc::new(bat)), bytes, cost, Duration::ZERO)
+            }
+            HitPayload::Spilled(ticket) => {
+                let t0 = Instant::now();
+                let record = pool.spill()?.read(ticket).ok()?;
+                let bat = CompressedBat::from_bytes(record).decompress().ok()?;
+                let cost = t0.elapsed();
+                let bytes = bat.resident_bytes();
+                (Value::Bat(Arc::new(bat)), bytes, Duration::ZERO, cost)
+            }
+        };
+        // A concurrent hit may have promoted first — our value is equally
+        // correct either way; only the winner records the promotion.
+        if pool.promote(id, value.clone(), raw_bytes) {
+            self.shared.count_tier_promotion(decompress, rehydrate);
+        }
+        Some(value)
     }
 
     /// Pin `id` for the remainder of this query if it is still resident,
@@ -327,6 +403,23 @@ impl Recycler {
         }
         // register persistent identities first: they anchor coherence
         let is_bind = matches!(instr.op, Opcode::Bind | Opcode::BindIdx);
+        // Floor gate (`RecyclerConfig::min_admit_bytes`): results smaller
+        // than the floor are monitored but never admitted — on workloads
+        // dominated by tiny intermediates the probe/bookkeeping overhead
+        // exceeds what reusing them could save. Checked before any
+        // parent pinning so a shed admission costs two comparisons. Bind
+        // and zero-cost viewpoint stubs are exempt: they are 64-byte
+        // lineage anchors whose absence would break whole-thread
+        // coherence for every result downstream of them.
+        let min_admit = shared.config().min_admit_bytes;
+        if min_admit > 0
+            && !is_bind
+            && !instr.op.zero_cost()
+            && Self::charge_bytes(instr.op, result) < min_admit
+        {
+            shared.count_admission_reject();
+            return;
+        }
         let mut base_columns: BTreeSet<(String, String)> = if is_bind {
             let cols = shared.base_columns_of(catalog, instr, args);
             if let Value::Bat(b) = result {
@@ -435,6 +528,7 @@ impl Recycler {
             args: args.to_vec(),
             result: result.clone(),
             result_id,
+            tier: crate::tier::TierState::Raw,
             bytes,
             cpu,
             family: instr.op.family(),
@@ -904,6 +998,53 @@ mod tests {
     }
 
     #[test]
+    fn min_admit_bytes_skips_tiny_results_without_changing_hit_semantics() {
+        // Two engines, same workload: the knob must only remove the
+        // sub-threshold admissions (the scalar `count` result), not
+        // change what the surviving entries answer.
+        let mut plain = engine(RecyclerConfig::default());
+        let mut gated = engine(RecyclerConfig::default().min_admit_bytes(1024));
+        let mut t = range_template();
+        plain.optimize(&mut t);
+        let p = [Value::Int(100), Value::Int(600)];
+        let (a1, a2) = (plain.run(&t, &p).unwrap(), plain.run(&t, &p).unwrap());
+        let (b1, b2) = (gated.run(&t, &p).unwrap(), gated.run(&t, &p).unwrap());
+
+        // identical answers, and the big entries (bind, select) still hit
+        assert_eq!(a1.export("n"), b1.export("n"));
+        assert_eq!(a2.export("n"), b2.export("n"));
+        assert_eq!(
+            a2.stats.reused, a2.stats.marked,
+            "baseline: everything hits"
+        );
+        assert_eq!(
+            b2.stats.reused,
+            b2.stats.marked - 1,
+            "gated: only the sub-threshold count recomputes"
+        );
+
+        // the gate monitors the tiny result but never admits it
+        assert_eq!(plain.hook.stats().monitored, gated.hook.stats().monitored);
+        assert!(gated.hook.stats().admission_rejects > 0);
+        let families = |e: &Engine<Recycler>| {
+            e.hook
+                .pool()
+                .snapshot_entries()
+                .iter()
+                .map(|en| en.family)
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        assert!(families(&plain).contains("aggr"));
+        assert!(!families(&gated).contains("aggr"));
+        assert!(families(&gated).contains("select"));
+        assert!(
+            gated.hook.pool().len() < plain.hook.pool().len(),
+            "the knob must remove entries, i.e. overhead"
+        );
+        gated.hook.pool().check_invariants().unwrap();
+    }
+
+    #[test]
     fn orphaned_admissions_never_drain_credits_or_bytes() {
         // Regression: an admission whose parents were invalidated
         // mid-flight resolves as `Admitted::Orphaned`. The sequence the
@@ -931,6 +1072,7 @@ mod tests {
                 args: vec![Value::Int(round as i64)],
                 result: Value::Int(round as i64),
                 result_id: None,
+                tier: crate::tier::TierState::Raw,
                 bytes: 100,
                 cpu: Duration::from_micros(1),
                 family: "select",

@@ -203,6 +203,11 @@ pub(crate) struct SharedStats {
     time_saved_ns: AtomicU64,
     overhead_ns: AtomicU64,
     subsume_search_ns: AtomicU64,
+    demotions_compressed: AtomicU64,
+    demotions_spilled: AtomicU64,
+    tier_promotions: AtomicU64,
+    decompress_ns: AtomicU64,
+    rehydrate_ns: AtomicU64,
 }
 
 #[inline]
@@ -289,10 +294,23 @@ impl SharedRecycler {
     /// to drain toward), the collector thread is spawned here and joined
     /// on [`Self::shutdown_collector`] / drop.
     pub fn new(config: RecyclerConfig) -> Arc<SharedRecycler> {
-        let pool = match config.pool_shards {
+        SharedRecycler::with_spill(config, None)
+    }
+
+    /// Create a shared recycler service with the disk tier attached:
+    /// `spill` is the append-only block file the coldest compressed
+    /// entries demote to (`DatabaseBuilder::spill_dir` builds one and
+    /// routes it here). The pool takes ownership before it is shared, so
+    /// no synchronisation is needed for the attachment itself.
+    pub fn with_spill(
+        config: RecyclerConfig,
+        spill: Option<Arc<crate::tier::SpillFile>>,
+    ) -> Arc<SharedRecycler> {
+        let mut pool = match config.pool_shards {
             Some(n) => RecyclePool::with_shards(n),
             None => RecyclePool::new(),
         };
+        pool.set_spill(spill);
         let submaps = pool.shard_count();
         let shared = Arc::new(SharedRecycler {
             config,
@@ -501,6 +519,11 @@ impl SharedRecycler {
             &s.time_saved_ns,
             &s.overhead_ns,
             &s.subsume_search_ns,
+            &s.demotions_compressed,
+            &s.demotions_spilled,
+            &s.tier_promotions,
+            &s.decompress_ns,
+            &s.rehydrate_ns,
         ] {
             cell.store(0, Ordering::Relaxed);
         }
@@ -720,6 +743,7 @@ impl SharedRecycler {
         let s = &self.stats;
         let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
         let col = self.collector.stats();
+        let tier_bytes = self.pool.tier_bytes();
         RecyclerStats {
             inline_evictions: ld(&s.inline_evictions),
             background_evictions: ld(&s.background_evictions),
@@ -758,6 +782,14 @@ impl SharedRecycler {
             time_saved: Duration::from_nanos(ld(&s.time_saved_ns)),
             overhead: Duration::from_nanos(ld(&s.overhead_ns)),
             subsume_search: Duration::from_nanos(ld(&s.subsume_search_ns)),
+            raw_bytes: tier_bytes.0 as u64,
+            compressed_bytes: tier_bytes.1 as u64,
+            spilled_bytes: tier_bytes.2 as u64,
+            demotions_compressed: ld(&s.demotions_compressed),
+            demotions_spilled: ld(&s.demotions_spilled),
+            tier_promotions: ld(&s.tier_promotions),
+            decompress_cost: Duration::from_nanos(ld(&s.decompress_ns)),
+            rehydrate_cost: Duration::from_nanos(ld(&s.rehydrate_ns)),
         }
     }
 
@@ -828,6 +860,25 @@ impl SharedRecycler {
 
     pub(crate) fn add_subsume_search(&self, d: Duration) {
         add_ns(&self.stats.subsume_search_ns, d);
+    }
+
+    pub(crate) fn count_demotions_compressed(&self, n: u64) {
+        self.stats
+            .demotions_compressed
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_demotions_spilled(&self, n: u64) {
+        self.stats.demotions_spilled.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Note a hit-side promotion back to raw and the cost paid for it:
+    /// decompressing the blob (and, for spilled entries, reading the
+    /// record back first — `rehydrate` covers the I/O + decode path).
+    pub(crate) fn count_tier_promotion(&self, decompress: Duration, rehydrate: Duration) {
+        bump(&self.stats.tier_promotions);
+        add_ns(&self.stats.decompress_ns, decompress);
+        add_ns(&self.stats.rehydrate_ns, rehydrate);
     }
 
     // ----- credit / ADAPT accounts ----------------------------------------

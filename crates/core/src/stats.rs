@@ -105,6 +105,27 @@ pub struct RecyclerStats {
     pub overhead: Duration,
     /// Time spent inside the combined-subsumption search (Algorithm 2).
     pub subsume_search: Duration,
+    /// Bytes currently charged by raw (hot-tier) entries.
+    pub raw_bytes: u64,
+    /// Bytes currently charged by in-memory compressed blobs. With the
+    /// compression tier on, `raw_bytes + compressed_bytes` equals the
+    /// pool's resident total.
+    pub compressed_bytes: u64,
+    /// Bytes of live spilled records on disk — off-cap: they count
+    /// against the spill budget, not the memory limit.
+    pub spilled_bytes: u64,
+    /// Entries demoted raw → compressed by collector rounds (lifetime).
+    pub demotions_compressed: u64,
+    /// Entries demoted compressed → spilled (lifetime).
+    pub demotions_spilled: u64,
+    /// Demoted entries promoted back to raw by hits (lifetime).
+    pub tier_promotions: u64,
+    /// Cumulative time hits spent decompressing demoted payloads.
+    pub decompress_cost: Duration,
+    /// Cumulative time hits spent rehydrating *spilled* payloads (record
+    /// read-back + decode; disjoint from `decompress_cost`, which covers
+    /// the in-memory compressed tier).
+    pub rehydrate_cost: Duration,
 }
 
 /// Per-query record appended at every `query_end` — the unit the

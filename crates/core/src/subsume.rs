@@ -54,6 +54,11 @@ fn bounds_from_args(args: &[Value]) -> Option<SelectBounds> {
 
 fn bounds_from_sig(pool: &RecyclePool, id: EntryId) -> Option<(EntryId, SelectBounds)> {
     pool.entry(id, |e| {
+        // demoted entries hold no materialised result to rewrite over;
+        // the hit path re-promotes them, subsumption just skips them
+        if !e.tier.is_raw() {
+            return None;
+        }
         let scalar = |i: usize| -> Option<Value> {
             match e.sig.args.get(i)? {
                 ArgSig::Scalar(v) => Some(v.clone()),
@@ -77,7 +82,10 @@ fn result_len(pool: &RecyclePool, id: EntryId) -> usize {
 }
 
 fn result_of(pool: &RecyclePool, id: EntryId) -> Option<Value> {
-    pool.entry(id, |e| e.result.clone())
+    // tier guard, not just a convenience: a demoted entry's `result` slot
+    // is `Value::Nil` — rewriting an operand to it would corrupt the plan
+    pool.entry(id, |e| e.tier.is_raw().then(|| e.result.clone()))
+        .flatten()
 }
 
 /// Singleton subsumption for `algebra.select`: find the smallest pool
@@ -509,6 +517,7 @@ mod tests {
             sig: Sig::of(op, &args),
             args,
             result_id: Some(result.id()),
+            tier: crate::tier::TierState::Raw,
             bytes: result.resident_bytes(),
             result: Value::Bat(result),
             cpu: Duration::from_millis(5),

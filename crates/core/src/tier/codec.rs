@@ -1,0 +1,939 @@
+//! Lightweight columnar codecs for the compression tier.
+//!
+//! A demoted intermediate keeps its logical content but trades the raw
+//! column buffers for a compact, self-describing byte blob. The codec
+//! family is the classic lightweight trio — run-length, dictionary and
+//! frame-of-reference — plus a verbatim fallback; a cheap sampler
+//! shortlists the candidates per column and the smallest actual encoding
+//! wins, so **no chosen codec ever inflates beyond verbatim** (the
+//! proptest suite in `tests/codec_props.rs` pins this).
+//!
+//! The blob layout doubles as the spill-file record format: an entry
+//! demoted to disk is exactly its in-memory compressed form appended to
+//! the block file, so rehydration and decompression share one decode
+//! path.
+//!
+//! ## Blob layout (all integers little-endian)
+//!
+//! ```text
+//! u8   version (1)
+//! u64  bat id
+//! u8   props bitfield (head_dense, head_sorted, head_key, tail_sorted,
+//!      tail_nonil)
+//! u64  tuple count
+//! column block (head)
+//! column block (tail)
+//! ```
+//!
+//! Column block:
+//!
+//! ```text
+//! u8   type tag (0 dense, 1 oid, 2 int, 3 float, 4 date, 5 str, 6 bool)
+//! u64  value count
+//! u8   validity flag; if 1: ceil(len/64) u64 words, window-aligned
+//! u8   codec tag (0 verbatim, 1 rle, 2 dict, 3 for, 4 dense-range)
+//! ...  codec payload
+//! ```
+
+use rbat::{Bat, BatId, Bitmap, Column, Props, StrBuffer, TypedSlice};
+
+/// Decode failure: a truncated or corrupt blob (torn spill, injected
+/// fault). The tier layer treats any decode error as a cache miss —
+/// degraded mode costs a recomputation, never a wrong answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// The codec chosen for one column (blob tag values). Exposed so tests
+/// can assert the sampler's choice never inflates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// Values stored at their natural width, uncompressed.
+    Verbatim,
+    /// Run-length encoding: `(value, u32 run length)` pairs.
+    Rle,
+    /// Dictionary encoding: ≤ 256 distinct values, one code byte per row.
+    Dict,
+    /// Frame of reference: a base value plus fixed-width deltas.
+    For,
+    /// A dense OID range: just the start value.
+    DenseRange,
+}
+
+impl Codec {
+    fn tag(self) -> u8 {
+        match self {
+            Codec::Verbatim => 0,
+            Codec::Rle => 1,
+            Codec::Dict => 2,
+            Codec::For => 3,
+            Codec::DenseRange => 4,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Codec, CodecError> {
+        Ok(match t {
+            0 => Codec::Verbatim,
+            1 => Codec::Rle,
+            2 => Codec::Dict,
+            3 => Codec::For,
+            4 => Codec::DenseRange,
+            _ => return Err(CodecError(format!("unknown codec tag {t}"))),
+        })
+    }
+}
+
+/// Current blob format version.
+const VERSION: u8 = 1;
+
+/// Values the sampler inspects before shortlisting codecs.
+const SAMPLE_CAP: usize = 256;
+
+/// Dictionary codecs carry at most this many distinct values (codes are
+/// one byte).
+const DICT_CAP: usize = 256;
+
+// ---------------------------------------------------------------------
+// byte-level helpers
+// ---------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked little-endian reader over a blob.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|e| *e <= self.buf.len())
+            .ok_or_else(|| CodecError("truncated blob".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// fixed-width integer codecs (oid / int / date share one engine)
+// ---------------------------------------------------------------------
+
+/// Sampler verdict: which codecs are worth encoding in full. Verbatim is
+/// always implicitly a candidate.
+struct Shortlist {
+    try_rle: bool,
+    try_dict: bool,
+    try_for: bool,
+}
+
+/// Inspect at most [`SAMPLE_CAP`] evenly spaced values and shortlist the
+/// codecs that could plausibly win. One cheap pass; the exact sizes of
+/// shortlisted codecs are computed afterwards, so a wrong guess here only
+/// costs a missed opportunity, never an inflated pick.
+fn sample_shortlist(vals: &[i64]) -> Shortlist {
+    if vals.is_empty() {
+        return Shortlist {
+            try_rle: false,
+            try_dict: false,
+            try_for: false,
+        };
+    }
+    let step = vals.len().div_ceil(SAMPLE_CAP).max(1);
+    let mut distinct: rbat::hash::FxHashSet<i64> = rbat::hash::FxHashSet::default();
+    let mut runs = 1usize;
+    let mut sampled = 0usize;
+    let mut prev: Option<i64> = None;
+    let mut i = 0usize;
+    while i < vals.len() {
+        let v = vals[i];
+        if distinct.len() <= DICT_CAP {
+            distinct.insert(v);
+        }
+        if let Some(p) = prev {
+            if p != v {
+                runs += 1;
+            }
+        }
+        prev = Some(v);
+        sampled += 1;
+        i += step;
+    }
+    Shortlist {
+        // mostly-constant stretches: runs per sampled value well under 1
+        try_rle: runs * 2 <= sampled,
+        try_dict: distinct.len() <= DICT_CAP.min(sampled),
+        // FOR's exact size is a min/max pass — always cheap to evaluate
+        try_for: true,
+    }
+}
+
+/// Bytes per delta needed to span `range` (0 when all values are equal).
+fn delta_width(range: u64) -> usize {
+    if range == 0 {
+        0
+    } else {
+        ((64 - range.leading_zeros()) as usize).div_ceil(8)
+    }
+}
+
+/// Exact run count of `vals` (1 for non-empty constant columns).
+fn run_count(vals: &[i64]) -> usize {
+    if vals.is_empty() {
+        return 0;
+    }
+    1 + vals.windows(2).filter(|w| w[0] != w[1]).count()
+}
+
+/// Distinct values in first-seen order, or `None` once the dictionary cap
+/// is exceeded.
+fn dict_values(vals: &[i64]) -> Option<Vec<i64>> {
+    let mut seen: rbat::hash::FxHashMap<i64, u8> = rbat::hash::FxHashMap::default();
+    let mut dict = Vec::new();
+    for &v in vals {
+        if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(v) {
+            if dict.len() == DICT_CAP {
+                return None;
+            }
+            e.insert(dict.len() as u8);
+            dict.push(v);
+        }
+    }
+    Some(dict)
+}
+
+/// Encode one integer-family column body (values already widened to
+/// `i64`; `width` is the natural byte width of the column type). Appends
+/// the codec tag and payload to `out` and returns the chosen codec.
+fn encode_ints(vals: &[i64], width: usize, out: &mut Vec<u8>) -> Codec {
+    let put_val = |out: &mut Vec<u8>, v: i64| {
+        out.extend_from_slice(&v.to_le_bytes()[..width]);
+    };
+    let verbatim_size = vals.len() * width;
+    let shortlist = sample_shortlist(vals);
+    let mut best = (Codec::Verbatim, verbatim_size);
+    let runs = if shortlist.try_rle {
+        run_count(vals)
+    } else {
+        0
+    };
+    if shortlist.try_rle {
+        let size = 4 + runs * (width + 4);
+        if size < best.1 {
+            best = (Codec::Rle, size);
+        }
+    }
+    let dict = if shortlist.try_dict {
+        dict_values(vals)
+    } else {
+        None
+    };
+    if let Some(d) = &dict {
+        let size = 2 + d.len() * width + vals.len();
+        if size < best.1 {
+            best = (Codec::Dict, size);
+        }
+    }
+    let minmax = if shortlist.try_for && !vals.is_empty() {
+        let mn = *vals.iter().min().unwrap();
+        let mx = *vals.iter().max().unwrap();
+        Some((mn, mx))
+    } else {
+        None
+    };
+    if let Some((mn, mx)) = minmax {
+        let dw = delta_width(mx.wrapping_sub(mn) as u64);
+        let size = width + 1 + vals.len() * dw;
+        if size < best.1 {
+            best = (Codec::For, size);
+        }
+    }
+    out.push(best.0.tag());
+    match best.0 {
+        Codec::Verbatim => {
+            for &v in vals {
+                put_val(out, v);
+            }
+        }
+        Codec::Rle => {
+            put_u32(out, runs as u32);
+            let mut i = 0usize;
+            while i < vals.len() {
+                let v = vals[i];
+                let mut j = i + 1;
+                while j < vals.len() && vals[j] == v {
+                    j += 1;
+                }
+                put_val(out, v);
+                put_u32(out, (j - i) as u32);
+                i = j;
+            }
+        }
+        Codec::Dict => {
+            let d = dict.expect("dict codec chosen without a dictionary");
+            let mut codes: rbat::hash::FxHashMap<i64, u8> = rbat::hash::FxHashMap::default();
+            put_u16(out, d.len() as u16);
+            for (i, &v) in d.iter().enumerate() {
+                codes.insert(v, i as u8);
+                put_val(out, v);
+            }
+            for v in vals {
+                out.push(codes[v]);
+            }
+        }
+        Codec::For => {
+            let (mn, mx) = minmax.expect("FOR codec chosen without bounds");
+            let dw = delta_width(mx.wrapping_sub(mn) as u64);
+            put_val(out, mn);
+            out.push(dw as u8);
+            for &v in vals {
+                let d = v.wrapping_sub(mn) as u64;
+                out.extend_from_slice(&d.to_le_bytes()[..dw]);
+            }
+        }
+        Codec::DenseRange => unreachable!("dense codec is not an integer codec"),
+    }
+    best.0
+}
+
+/// Decode an integer-family column body back into widened `i64` values.
+fn decode_ints(r: &mut Reader<'_>, len: usize, width: usize) -> Result<Vec<i64>, CodecError> {
+    let read_val = |bytes: &[u8]| -> i64 {
+        // sign-extend the natural-width value
+        let mut buf = if !bytes.is_empty() && bytes[bytes.len() - 1] & 0x80 != 0 {
+            [0xffu8; 8]
+        } else {
+            [0u8; 8]
+        };
+        buf[..bytes.len()].copy_from_slice(bytes);
+        i64::from_le_bytes(buf)
+    };
+    let codec = Codec::from_tag(r.u8()?)?;
+    let mut vals = Vec::with_capacity(len);
+    match codec {
+        Codec::Verbatim => {
+            for _ in 0..len {
+                vals.push(read_val(r.take(width)?));
+            }
+        }
+        Codec::Rle => {
+            let runs = r.u32()? as usize;
+            for _ in 0..runs {
+                let v = read_val(r.take(width)?);
+                let n = r.u32()? as usize;
+                if vals.len() + n > len {
+                    return Err(CodecError("RLE runs exceed column length".into()));
+                }
+                vals.extend(std::iter::repeat_n(v, n));
+            }
+        }
+        Codec::Dict => {
+            let n = r.u16()? as usize;
+            let mut dict = Vec::with_capacity(n);
+            for _ in 0..n {
+                dict.push(read_val(r.take(width)?));
+            }
+            for _ in 0..len {
+                let c = r.u8()? as usize;
+                let v = *dict
+                    .get(c)
+                    .ok_or_else(|| CodecError(format!("dict code {c} out of range {n}")))?;
+                vals.push(v);
+            }
+        }
+        Codec::For => {
+            let base = read_val(r.take(width)?);
+            let dw = r.u8()? as usize;
+            if dw > 8 {
+                return Err(CodecError(format!("FOR delta width {dw} > 8")));
+            }
+            for _ in 0..len {
+                let mut buf = [0u8; 8];
+                buf[..dw].copy_from_slice(r.take(dw)?);
+                vals.push(base.wrapping_add(u64::from_le_bytes(buf) as i64));
+            }
+        }
+        Codec::DenseRange => {
+            return Err(CodecError("dense codec on an integer column".into()));
+        }
+    }
+    if vals.len() != len {
+        return Err(CodecError(format!(
+            "decoded {} values, expected {len}",
+            vals.len()
+        )));
+    }
+    Ok(vals)
+}
+
+// ---------------------------------------------------------------------
+// column encode / decode
+// ---------------------------------------------------------------------
+
+fn type_tag(slice: &TypedSlice<'_>) -> u8 {
+    match slice {
+        TypedSlice::Dense { .. } => 0,
+        TypedSlice::Oid(_) => 1,
+        TypedSlice::Int(_) => 2,
+        TypedSlice::Float(_) => 3,
+        TypedSlice::Date(_) => 4,
+        TypedSlice::Str { .. } => 5,
+        TypedSlice::Bool(_) => 6,
+    }
+}
+
+/// Encode one column into `out` (window-relative: views and offsets are
+/// normalised away — the decoded column is always owned).
+pub fn encode_column(col: &Column, out: &mut Vec<u8>) -> Codec {
+    let len = col.len();
+    let slice = col.typed();
+    out.push(type_tag(&slice));
+    put_u64(out, len as u64);
+    if col.has_nulls() {
+        out.push(1);
+        let words = len.div_ceil(64);
+        for w in 0..words {
+            let mut word = 0u64;
+            for b in 0..64 {
+                let i = w * 64 + b;
+                if i < len && col.is_valid(i) {
+                    word |= 1 << b;
+                }
+            }
+            put_u64(out, word);
+        }
+    } else {
+        out.push(0);
+    }
+    match slice {
+        TypedSlice::Dense { start, .. } => {
+            out.push(Codec::DenseRange.tag());
+            put_u64(out, start);
+            Codec::DenseRange
+        }
+        TypedSlice::Oid(v) => {
+            let widened: Vec<i64> = v.iter().map(|&x| x as i64).collect();
+            encode_ints(&widened, 8, out)
+        }
+        TypedSlice::Int(v) => encode_ints(v, 8, out),
+        TypedSlice::Date(v) => {
+            let widened: Vec<i64> = v.iter().map(|&x| x as i64).collect();
+            encode_ints(&widened, 4, out)
+        }
+        TypedSlice::Float(v) => {
+            // floats reuse the integer engine over their bit patterns —
+            // RLE catches constant columns, verbatim covers the rest
+            // (dict/FOR on bit patterns rarely pay; the sampler's exact
+            // size comparison keeps them honest when they do)
+            let widened: Vec<i64> = v.iter().map(|&x| x.to_bits() as i64).collect();
+            encode_ints(&widened, 8, out)
+        }
+        TypedSlice::Bool(v) => encode_bools(v, out),
+        TypedSlice::Str { buf, offset, len } => encode_strs(buf, offset, len, out),
+    }
+}
+
+fn encode_bools(vals: &[bool], out: &mut Vec<u8>) -> Codec {
+    // verbatim is bit-packed, so it never exceeds the 1-byte-per-value
+    // raw form; RLE wins on long constant stretches
+    let verbatim_size = vals.len().div_ceil(8);
+    let runs = if vals.is_empty() {
+        0
+    } else {
+        1 + vals.windows(2).filter(|w| w[0] != w[1]).count()
+    };
+    let rle_size = 4 + runs * 5;
+    if !vals.is_empty() && rle_size < verbatim_size {
+        out.push(Codec::Rle.tag());
+        put_u32(out, runs as u32);
+        let mut i = 0usize;
+        while i < vals.len() {
+            let v = vals[i];
+            let mut j = i + 1;
+            while j < vals.len() && vals[j] == v {
+                j += 1;
+            }
+            out.push(v as u8);
+            put_u32(out, (j - i) as u32);
+            i = j;
+        }
+        Codec::Rle
+    } else {
+        out.push(Codec::Verbatim.tag());
+        for chunk in vals.chunks(8) {
+            let mut b = 0u8;
+            for (i, &v) in chunk.iter().enumerate() {
+                if v {
+                    b |= 1 << i;
+                }
+            }
+            out.push(b);
+        }
+        Codec::Verbatim
+    }
+}
+
+fn encode_strs(buf: &StrBuffer, offset: usize, len: usize, out: &mut Vec<u8>) -> Codec {
+    let strings: Vec<&str> = (0..len).map(|i| buf.get(offset + i)).collect();
+    let verbatim_size: usize = strings.iter().map(|s| 4 + s.len()).sum();
+    // dictionary: first-seen order, one code byte per row
+    let mut dict: Vec<&str> = Vec::new();
+    let mut codes: rbat::hash::FxHashMap<&str, u8> = rbat::hash::FxHashMap::default();
+    let mut fits = true;
+    for &s in &strings {
+        if !codes.contains_key(s) {
+            if dict.len() == DICT_CAP {
+                fits = false;
+                break;
+            }
+            codes.insert(s, dict.len() as u8);
+            dict.push(s);
+        }
+    }
+    let dict_size = 2 + dict.iter().map(|s| 4 + s.len()).sum::<usize>() + strings.len();
+    if fits && !strings.is_empty() && dict_size < verbatim_size {
+        out.push(Codec::Dict.tag());
+        put_u16(out, dict.len() as u16);
+        for s in &dict {
+            put_u32(out, s.len() as u32);
+            out.extend_from_slice(s.as_bytes());
+        }
+        for s in &strings {
+            out.push(codes[s]);
+        }
+        Codec::Dict
+    } else {
+        out.push(Codec::Verbatim.tag());
+        for s in &strings {
+            put_u32(out, s.len() as u32);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Codec::Verbatim
+    }
+}
+
+/// Decode one column block, returning the reconstructed (owned) column.
+fn decode_column(r: &mut Reader<'_>) -> Result<Column, CodecError> {
+    let ty = r.u8()?;
+    let len = r.u64()? as usize;
+    let validity = if r.u8()? == 1 {
+        let words = len.div_ceil(64);
+        let mut bm = Bitmap::new(len, false);
+        for w in 0..words {
+            let word = r.u64()?;
+            for b in 0..64 {
+                let i = w * 64 + b;
+                if i < len && word & (1 << b) != 0 {
+                    bm.set(i, true);
+                }
+            }
+        }
+        Some(bm)
+    } else {
+        None
+    };
+    let col = match ty {
+        0 => {
+            let codec = Codec::from_tag(r.u8()?)?;
+            if codec != Codec::DenseRange {
+                return Err(CodecError("dense column with non-dense codec".into()));
+            }
+            let start = r.u64()?;
+            Column::dense(start, len)
+        }
+        1 => {
+            let vals = decode_ints(r, len, 8)?;
+            Column::from_oids(vals.into_iter().map(|v| v as u64).collect())
+        }
+        2 => Column::from_ints(decode_ints(r, len, 8)?),
+        3 => {
+            let vals = decode_ints(r, len, 8)?;
+            Column::from_floats(vals.into_iter().map(|v| f64::from_bits(v as u64)).collect())
+        }
+        4 => {
+            let vals = decode_ints(r, len, 4)?;
+            Column::from_dates(vals.into_iter().map(|v| v as i32).collect())
+        }
+        5 => decode_strs(r, len)?,
+        6 => decode_bools(r, len)?,
+        t => return Err(CodecError(format!("unknown column type tag {t}"))),
+    };
+    match validity {
+        Some(bm) => Ok(col.with_validity(bm)),
+        None => Ok(col),
+    }
+}
+
+fn decode_bools(r: &mut Reader<'_>, len: usize) -> Result<Column, CodecError> {
+    let codec = Codec::from_tag(r.u8()?)?;
+    let mut vals = Vec::with_capacity(len);
+    match codec {
+        Codec::Verbatim => {
+            let bytes = r.take(len.div_ceil(8))?;
+            for i in 0..len {
+                vals.push(bytes[i / 8] & (1 << (i % 8)) != 0);
+            }
+        }
+        Codec::Rle => {
+            let runs = r.u32()? as usize;
+            for _ in 0..runs {
+                let v = r.u8()? != 0;
+                let n = r.u32()? as usize;
+                if vals.len() + n > len {
+                    return Err(CodecError("bool RLE runs exceed column length".into()));
+                }
+                vals.extend(std::iter::repeat_n(v, n));
+            }
+            if vals.len() != len {
+                return Err(CodecError("bool RLE short of column length".into()));
+            }
+        }
+        c => return Err(CodecError(format!("codec {c:?} invalid for bool"))),
+    }
+    Ok(Column::from_bools(vals))
+}
+
+fn decode_strs(r: &mut Reader<'_>, len: usize) -> Result<Column, CodecError> {
+    let codec = Codec::from_tag(r.u8()?)?;
+    let mut buf = StrBuffer::new();
+    match codec {
+        Codec::Verbatim => {
+            for _ in 0..len {
+                let n = r.u32()? as usize;
+                let bytes = r.take(n)?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| CodecError("invalid UTF-8 in string payload".into()))?;
+                buf.push(s);
+            }
+        }
+        Codec::Dict => {
+            let n = r.u16()? as usize;
+            let mut dict: Vec<String> = Vec::with_capacity(n);
+            for _ in 0..n {
+                let sl = r.u32()? as usize;
+                let bytes = r.take(sl)?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| CodecError("invalid UTF-8 in string dict".into()))?;
+                dict.push(s.to_string());
+            }
+            for _ in 0..len {
+                let c = r.u8()? as usize;
+                let s = dict
+                    .get(c)
+                    .ok_or_else(|| CodecError(format!("string dict code {c} out of range")))?;
+                buf.push(s);
+            }
+        }
+        c => return Err(CodecError(format!("codec {c:?} invalid for strings"))),
+    }
+    Ok(Column::from_buffer(rbat::Buffer::Str(std::sync::Arc::new(
+        buf,
+    ))))
+}
+
+/// Convenience wrapper for tests: encode a single column to a standalone
+/// buffer and report the chosen codec.
+pub fn encode_column_standalone(col: &Column) -> (Vec<u8>, Codec) {
+    let mut out = Vec::new();
+    let codec = encode_column(col, &mut out);
+    (out, codec)
+}
+
+/// Convenience wrapper for tests: decode a standalone single-column
+/// buffer produced by [`encode_column_standalone`].
+pub fn decode_column_standalone(bytes: &[u8]) -> Result<Column, CodecError> {
+    let mut r = Reader::new(bytes);
+    let col = decode_column(&mut r)?;
+    if !r.done() {
+        return Err(CodecError("trailing bytes after column".into()));
+    }
+    Ok(col)
+}
+
+// ---------------------------------------------------------------------
+// whole-BAT blobs
+// ---------------------------------------------------------------------
+
+/// A compressed intermediate: the full serialized form of one BAT,
+/// identity included. The same bytes are held in memory by the
+/// compression tier and appended verbatim to the spill file by the disk
+/// tier, so both rungs decode through [`CompressedBat::decompress`].
+#[derive(Debug, Clone)]
+pub struct CompressedBat {
+    bytes: Vec<u8>,
+}
+
+impl CompressedBat {
+    /// Compress a BAT into a self-describing blob. The per-column codecs
+    /// are chosen by the sampler; the result is whatever the winning
+    /// codecs produce — callers compare [`CompressedBat::byte_size`]
+    /// against the raw resident bytes and keep the entry raw when
+    /// compression would not pay.
+    pub fn compress(bat: &Bat) -> CompressedBat {
+        let mut bytes = Vec::with_capacity(64 + bat.len());
+        bytes.push(VERSION);
+        put_u64(&mut bytes, bat.id().0);
+        let p = bat.props();
+        let props_byte = (p.head_dense as u8)
+            | (p.head_sorted as u8) << 1
+            | (p.head_key as u8) << 2
+            | (p.tail_sorted as u8) << 3
+            | (p.tail_nonil as u8) << 4;
+        bytes.push(props_byte);
+        put_u64(&mut bytes, bat.len() as u64);
+        encode_column(bat.head(), &mut bytes);
+        encode_column(bat.tail(), &mut bytes);
+        CompressedBat { bytes }
+    }
+
+    /// Rebuild the BAT under its original identity.
+    pub fn decompress(&self) -> Result<Bat, CodecError> {
+        let mut r = Reader::new(&self.bytes);
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(CodecError(format!("unsupported blob version {version}")));
+        }
+        let id = BatId(r.u64()?);
+        let pb = r.u8()?;
+        let props = Props {
+            head_dense: pb & 1 != 0,
+            head_sorted: pb & 2 != 0,
+            head_key: pb & 4 != 0,
+            tail_sorted: pb & 8 != 0,
+            tail_nonil: pb & 16 != 0,
+        };
+        let len = r.u64()? as usize;
+        let head = decode_column(&mut r)?;
+        let tail = decode_column(&mut r)?;
+        if head.len() != len || tail.len() != len {
+            return Err(CodecError(format!(
+                "column lengths {}/{} disagree with tuple count {len}",
+                head.len(),
+                tail.len()
+            )));
+        }
+        if !r.done() {
+            return Err(CodecError("trailing bytes after BAT blob".into()));
+        }
+        Ok(Bat::rehydrate(id, head, tail, props))
+    }
+
+    /// The identity of the compressed BAT (readable without decoding).
+    pub fn bat_id(&self) -> Option<BatId> {
+        if self.bytes.len() >= 9 && self.bytes[0] == VERSION {
+            Some(BatId(u64::from_le_bytes(
+                self.bytes[1..9].try_into().unwrap(),
+            )))
+        } else {
+            None
+        }
+    }
+
+    /// Size of the blob — the bytes the compression tier charges against
+    /// the memory cap in place of the raw column buffers.
+    pub fn byte_size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The raw blob (the spill record payload).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Adopt a blob read back from the spill file. Contents are validated
+    /// lazily by [`CompressedBat::decompress`].
+    pub fn from_bytes(bytes: Vec<u8>) -> CompressedBat {
+        CompressedBat { bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbat::Value;
+
+    fn roundtrip(col: Column) -> Column {
+        let (bytes, _) = encode_column_standalone(&col);
+        decode_column_standalone(&bytes).expect("decode")
+    }
+
+    fn assert_same(a: &Column, b: &Column) {
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.value(i), b.value(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn int_codecs_roundtrip_and_choose_sensibly() {
+        // constant column → RLE (or FOR at width 0) beats verbatim
+        let constant = Column::from_ints(vec![42; 1000]);
+        let (bytes, codec) = encode_column_standalone(&constant);
+        assert!(bytes.len() < 1000 * 8 / 4, "constant column must shrink");
+        assert_ne!(codec, Codec::Verbatim);
+        assert_same(&constant, &decode_column_standalone(&bytes).unwrap());
+
+        // small range → frame of reference
+        let narrow = Column::from_ints((0..1000).map(|i| 1_000_000 + (i % 100)).collect());
+        let (bytes, _) = encode_column_standalone(&narrow);
+        assert!(bytes.len() < 1000 * 2, "narrow range must pack tightly");
+        assert_same(&narrow, &decode_column_standalone(&bytes).unwrap());
+
+        // few distinct scattered values → dictionary
+        let dicty = Column::from_ints((0..1000).map(|i| [7, -9, 1 << 40][i % 3]).collect());
+        let (bytes, _) = encode_column_standalone(&dicty);
+        assert!(bytes.len() < 1000 * 2);
+        assert_same(&dicty, &decode_column_standalone(&bytes).unwrap());
+    }
+
+    #[test]
+    fn incompressible_ints_fall_back_to_verbatim() {
+        // pseudo-random full-range values: nothing beats verbatim
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let vals: Vec<i64> = (0..500)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as i64
+            })
+            .collect();
+        let col = Column::from_ints(vals);
+        let (bytes, codec) = encode_column_standalone(&col);
+        assert_eq!(codec, Codec::Verbatim);
+        // never inflate beyond verbatim + fixed header
+        assert!(bytes.len() <= 500 * 8 + 16);
+        assert_same(&col, &roundtrip(col.clone()));
+    }
+
+    #[test]
+    fn dense_str_bool_float_date_roundtrip() {
+        let dense = Column::dense(123, 77);
+        assert_same(&dense, &roundtrip(dense.clone()));
+
+        let strs = Column::from_strs(["low", "low", "high", "", "low"]);
+        assert_same(&strs, &roundtrip(strs.clone()));
+
+        let bools = Column::from_bools(vec![true; 300]);
+        let (bytes, _) = encode_column_standalone(&bools);
+        assert!(bytes.len() < 50, "constant bools must collapse");
+        assert_same(&bools, &decode_column_standalone(&bytes).unwrap());
+
+        let floats = Column::from_floats(vec![1.5, -0.0, f64::NAN, 2.5e300]);
+        let rt = roundtrip(floats.clone());
+        assert_eq!(floats.len(), rt.len());
+        for i in 0..floats.len() {
+            match (floats.value(i), rt.value(i)) {
+                (Value::Float(a), Value::Float(b)) => {
+                    assert_eq!(a.to_bits(), b.to_bits(), "row {i}")
+                }
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+
+        let dates = Column::from_dates(vec![18000, 18001, 18001, 17990]);
+        assert_same(&dates, &roundtrip(dates.clone()));
+    }
+
+    #[test]
+    fn validity_survives_roundtrip() {
+        let mut bm = Bitmap::new(5, true);
+        bm.set(1, false);
+        bm.set(3, false);
+        let col = Column::from_ints(vec![1, 2, 3, 4, 5]).with_validity(bm);
+        let rt = roundtrip(col.clone());
+        assert_eq!(rt.value(1), Value::Nil);
+        assert_eq!(rt.value(3), Value::Nil);
+        assert_same(&col, &rt);
+    }
+
+    #[test]
+    fn empty_columns_roundtrip() {
+        for col in [
+            Column::from_ints(vec![]),
+            Column::from_oids(vec![]),
+            Column::from_strs([] as [&str; 0]),
+            Column::from_bools(vec![]),
+            Column::dense(9, 0),
+        ] {
+            assert_same(&col, &roundtrip(col.clone()));
+        }
+    }
+
+    #[test]
+    fn views_are_normalised_on_roundtrip() {
+        let base = Column::from_ints((0..100).collect());
+        let view = base.slice(10, 20);
+        assert!(view.is_view());
+        let rt = roundtrip(view.clone());
+        assert!(!rt.is_view());
+        assert_same(&view, &rt);
+    }
+
+    #[test]
+    fn whole_bat_roundtrip_keeps_identity_and_props() {
+        let bat = Bat::from_tail(Column::from_ints(vec![5, 5, 5, 9, 9]));
+        let blob = CompressedBat::compress(&bat);
+        assert_eq!(blob.bat_id(), Some(bat.id()));
+        let back = blob.decompress().expect("decompress");
+        assert_eq!(back.id(), bat.id());
+        assert_eq!(back.len(), bat.len());
+        assert_eq!(back.props().head_dense, bat.props().head_dense);
+        assert_eq!(back.props().tail_nonil, bat.props().tail_nonil);
+        assert_eq!(back.canonical_tuples(), bat.canonical_tuples());
+    }
+
+    #[test]
+    fn truncated_blob_is_an_error_not_a_panic() {
+        let bat = Bat::from_tail(Column::from_ints((0..50).collect()));
+        let blob = CompressedBat::compress(&bat);
+        for cut in [0, 1, 5, blob.byte_size() / 2, blob.byte_size() - 1] {
+            let torn = CompressedBat::from_bytes(blob.as_bytes()[..cut].to_vec());
+            assert!(torn.decompress().is_err(), "cut at {cut} must error");
+        }
+    }
+}

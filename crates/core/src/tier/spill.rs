@@ -1,0 +1,274 @@
+//! Append-only spill file for the coldest tier.
+//!
+//! The spill tier is deliberately minimal, following the columnar-block
+//! layouts used by LSM engines: one append-only block file plus an
+//! in-memory ticket index. Records are the exact byte blobs produced by
+//! [`crate::tier::codec::CompressedBat`] — a spilled entry is its
+//! compressed form, relocated to disk. There is no on-disk index and no
+//! recovery: the spill file is a cache extension, so on restart it is
+//! simply truncated and the pool warms up again.
+//!
+//! Dead space from promoted or evicted entries accumulates
+//! (`dead_bytes`); when the file holds no live records at all it is
+//! truncated back to zero, which bounds garbage without a compactor.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rbat::hash::FxHashMap;
+
+/// Claim ticket for one spilled record. `Copy` so a `PoolEntry` can hold
+/// it without reference counting; the ticket id is process-unique and
+/// never reused, so a stale ticket reads as "not found" rather than as
+/// someone else's record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpillTicket {
+    /// Unique record id (index key).
+    pub id: u64,
+    /// Record length in bytes — the quantity the spilled byte book
+    /// tracks.
+    pub len: u32,
+}
+
+struct Writer {
+    file: File,
+    next_offset: u64,
+}
+
+/// The append-only spill block file plus its in-memory record index.
+///
+/// Thread safety: appends serialise on the writer mutex; reads use
+/// positioned I/O (`pread`) and run concurrently with appends and with
+/// each other. Index mutations take their own mutex, so a reader never
+/// blocks an appender for longer than one map probe.
+pub struct SpillFile {
+    path: PathBuf,
+    writer: Mutex<Writer>,
+    index: Mutex<FxHashMap<u64, (u64, u32)>>,
+    next_ticket: AtomicU64,
+    budget: usize,
+    live_bytes: AtomicUsize,
+    dead_bytes: AtomicUsize,
+}
+
+impl std::fmt::Debug for SpillFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillFile")
+            .field("path", &self.path)
+            .field("budget", &self.budget)
+            .field("live_bytes", &self.live_bytes.load(Ordering::Relaxed))
+            .field("dead_bytes", &self.dead_bytes.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl SpillFile {
+    /// Create (or truncate) the spill block file under `dir`. The
+    /// directory is created if missing; any previous spill content is
+    /// discarded — spilled intermediates are cache state, not durable
+    /// state.
+    pub fn create(dir: &Path, budget: usize) -> io::Result<SpillFile> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("recycler.spill");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(SpillFile {
+            path,
+            writer: Mutex::new(Writer {
+                file,
+                next_offset: 0,
+            }),
+            index: Mutex::new(FxHashMap::default()),
+            next_ticket: AtomicU64::new(1),
+            budget,
+            live_bytes: AtomicUsize::new(0),
+            dead_bytes: AtomicUsize::new(0),
+        })
+    }
+
+    /// Append one record, returning its claim ticket. Refuses with
+    /// [`io::ErrorKind::QuotaExceeded`]-style `Other` once live bytes
+    /// would exceed the configured budget — the caller keeps the entry
+    /// in the compression tier instead.
+    pub fn append(&self, record: &[u8]) -> io::Result<SpillTicket> {
+        let len = u32::try_from(record.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "spill record > 4 GiB"))?;
+        if self
+            .live_bytes
+            .load(Ordering::Relaxed)
+            .saturating_add(record.len())
+            > self.budget
+        {
+            return Err(io::Error::other("spill budget exhausted"));
+        }
+        let offset;
+        {
+            let mut w = self.writer.lock().unwrap();
+            offset = w.next_offset;
+            w.file.write_all_at(record, offset)?;
+            w.next_offset += record.len() as u64;
+        }
+        let id = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        self.index.lock().unwrap().insert(id, (offset, len));
+        self.live_bytes.fetch_add(record.len(), Ordering::Relaxed);
+        Ok(SpillTicket { id, len })
+    }
+
+    /// Read a record back. A ticket that was marked dead (or never
+    /// issued) returns `NotFound`; a short read on a torn file surfaces
+    /// as the underlying I/O error. Reads take no writer lock.
+    pub fn read(&self, ticket: SpillTicket) -> io::Result<Vec<u8>> {
+        let (offset, len) = {
+            let idx = self.index.lock().unwrap();
+            *idx.get(&ticket.id)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "spill ticket not found"))?
+        };
+        let mut buf = vec![0u8; len as usize];
+        let w = self.writer.lock().unwrap();
+        w.file.read_exact_at(&mut buf, offset)?;
+        drop(w);
+        Ok(buf)
+    }
+
+    /// Retire a record (entry promoted back to memory, evicted, or lost
+    /// to a torn demotion). Idempotent. When the last live record dies
+    /// the file is truncated, reclaiming all dead space at once.
+    pub fn mark_dead(&self, ticket: SpillTicket) {
+        let removed = self.index.lock().unwrap().remove(&ticket.id);
+        if let Some((_, len)) = removed {
+            self.live_bytes.fetch_sub(len as usize, Ordering::Relaxed);
+            let dead = self.dead_bytes.fetch_add(len as usize, Ordering::Relaxed) + len as usize;
+            if self.live_bytes.load(Ordering::Relaxed) == 0 && dead > 0 {
+                self.truncate_if_empty();
+            }
+        }
+    }
+
+    fn truncate_if_empty(&self) {
+        let idx = self.index.lock().unwrap();
+        if !idx.is_empty() {
+            return;
+        }
+        let mut w = self.writer.lock().unwrap();
+        if w.file.set_len(0).is_ok() {
+            w.next_offset = 0;
+            self.dead_bytes.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop every record and truncate the file (pool `clear`).
+    pub fn clear(&self) {
+        self.index.lock().unwrap().clear();
+        self.live_bytes.store(0, Ordering::Relaxed);
+        self.truncate_if_empty();
+    }
+
+    /// Bytes of live (indexed) records.
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of dead records awaiting the empty-file truncation.
+    pub fn dead_bytes(&self) -> usize {
+        self.dead_bytes.load(Ordering::Relaxed)
+    }
+
+    /// The configured budget for live spilled bytes.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of live records.
+    pub fn live_records(&self) -> usize {
+        self.index.lock().unwrap().len()
+    }
+
+    /// Path of the block file (diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        // best-effort cleanup: the spill file is cache state, never
+        // durable, so leaving it behind only wastes disk
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("repro-spill-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let dir = tmpdir("rt");
+        let sf = SpillFile::create(&dir, 1 << 20).unwrap();
+        let a = sf.append(b"hello").unwrap();
+        let b = sf.append(b"columnar block").unwrap();
+        assert_eq!(sf.read(a).unwrap(), b"hello");
+        assert_eq!(sf.read(b).unwrap(), b"columnar block");
+        assert_eq!(sf.live_bytes(), 5 + 14);
+        assert_eq!(sf.live_records(), 2);
+        drop(sf);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_tickets_miss_and_empty_file_truncates() {
+        let dir = tmpdir("dead");
+        let sf = SpillFile::create(&dir, 1 << 20).unwrap();
+        let a = sf.append(b"aaaa").unwrap();
+        let b = sf.append(b"bbbb").unwrap();
+        sf.mark_dead(a);
+        assert_eq!(sf.read(a).unwrap_err().kind(), io::ErrorKind::NotFound);
+        assert_eq!(sf.read(b).unwrap(), b"bbbb");
+        assert_eq!(sf.dead_bytes(), 4);
+        sf.mark_dead(b);
+        sf.mark_dead(b); // idempotent
+        assert_eq!(sf.live_bytes(), 0);
+        assert_eq!(sf.dead_bytes(), 0, "empty file must truncate");
+        assert_eq!(std::fs::metadata(sf.path()).unwrap().len(), 0);
+        drop(sf);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let dir = tmpdir("budget");
+        let sf = SpillFile::create(&dir, 10).unwrap();
+        let t = sf.append(b"123456").unwrap();
+        assert!(sf.append(b"123456").is_err(), "over budget must refuse");
+        sf.mark_dead(t);
+        assert!(sf.append(b"123456").is_ok(), "freed budget must readmit");
+        drop(sf);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_removed_on_drop() {
+        let dir = tmpdir("drop");
+        let sf = SpillFile::create(&dir, 1 << 20).unwrap();
+        let p = sf.path().to_path_buf();
+        sf.append(b"x").unwrap();
+        assert!(p.exists());
+        drop(sf);
+        assert!(!p.exists(), "spill file must be cleaned up on drop");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,218 @@
+//! Property tests for the tier codecs: `decode ∘ encode` must be the
+//! identity for every codec the sampler can choose, over every column
+//! type the engine stores — and the chosen encoding must never inflate
+//! meaningfully past verbatim, because the demotion rung trusts
+//! `byte_size()` when it decides whether compressing an entry is worth
+//! anything at all.
+
+use proptest::prelude::*;
+use rbat::{Bat, Bitmap, Column, Value};
+use recycler::tier::codec::{decode_column_standalone, encode_column_standalone};
+use recycler::tier::CompressedBat;
+
+/// Per-column encoding overhead the "never inflates" bound tolerates:
+/// blob version + type tag + codec tag + row count + length words.
+const HEADER_SLACK: usize = 32;
+
+fn assert_roundtrip(col: &Column) {
+    let (bytes, codec) = encode_column_standalone(col);
+    let rt = decode_column_standalone(&bytes)
+        .unwrap_or_else(|e| panic!("decode failed for {codec:?}: {e}"));
+    assert_eq!(col.len(), rt.len(), "length changed under {codec:?}");
+    for i in 0..col.len() {
+        match (col.value(i), rt.value(i)) {
+            // NaN-safe: floats must survive bit-exactly, not just ==
+            (Value::Float(a), Value::Float(b)) => {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i} under {codec:?}")
+            }
+            (a, b) => assert_eq!(a, b, "row {i} under {codec:?}"),
+        }
+    }
+}
+
+/// The natural (verbatim) payload width of a column, in bytes — what
+/// storing it uncompressed costs, excluding headers.
+fn verbatim_payload(col: &Column) -> usize {
+    (0..col.len())
+        .map(|i| match col.value(i) {
+            Value::Str(s) => 4 + s.len(),
+            Value::Bool(_) => 1,
+            Value::Date(_) => 4,
+            _ => 8,
+        })
+        .sum::<usize>()
+        + if col.has_nulls() {
+            col.len() / 8 + 8
+        } else {
+            0
+        }
+}
+
+fn assert_never_inflates(col: &Column) {
+    let (bytes, codec) = encode_column_standalone(col);
+    let bound = verbatim_payload(col) + HEADER_SLACK;
+    assert!(
+        bytes.len() <= bound,
+        "{codec:?} inflated {} rows to {} bytes (verbatim bound {})",
+        col.len(),
+        bytes.len(),
+        bound
+    );
+}
+
+/// Reshape raw random ints into the distributions that trigger each
+/// codec: 0 = as-drawn (wide, verbatim territory), 1 = all-equal (RLE),
+/// 2 = tiny alphabet (dictionary), 3 = narrow range over a huge base
+/// (frame of reference), 4 = runs (RLE with multiple values).
+fn shape_ints(mode: usize, raw: &[i64]) -> Vec<i64> {
+    match mode {
+        1 => raw
+            .iter()
+            .map(|_| raw.first().copied().unwrap_or(7))
+            .collect(),
+        2 => raw
+            .iter()
+            .map(|v| [7, -9, 1 << 40][(v.unsigned_abs() % 3) as usize])
+            .collect(),
+        3 => raw
+            .iter()
+            .map(|v| 1_000_000_000 + (v.rem_euclid(100)))
+            .collect(),
+        4 => raw
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (i / 16) as i64)
+            .collect(),
+        _ => raw.to_vec(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn int_columns_roundtrip(mode in 0usize..5, raw in prop::collection::vec(i64::MIN..i64::MAX, 0..300)) {
+        let col = Column::from_ints(shape_ints(mode, &raw));
+        assert_roundtrip(&col);
+        assert_never_inflates(&col);
+    }
+
+    #[test]
+    fn oid_columns_roundtrip(mode in 0usize..3, start in 0u64..1_000_000, raw in prop::collection::vec(0u64..u64::MAX, 0..300)) {
+        let col = match mode {
+            // dense ranges are the BAT head's natural shape
+            0 => Column::dense(start, raw.len()),
+            1 => Column::from_oids(raw.iter().map(|v| start + v % 64).collect()),
+            _ => Column::from_oids(raw.clone()),
+        };
+        assert_roundtrip(&col);
+        assert_never_inflates(&col);
+    }
+
+    #[test]
+    fn date_columns_roundtrip(mode in 0usize..3, raw in prop::collection::vec(-100_000i32..100_000, 0..300)) {
+        let shaped: Vec<i32> = match mode {
+            1 => raw.iter().map(|_| raw.first().copied().unwrap_or(18262)).collect(),
+            2 => raw.iter().map(|v| 18000 + v.rem_euclid(365)).collect(),
+            _ => raw.clone(),
+        };
+        let col = Column::from_dates(shaped);
+        assert_roundtrip(&col);
+        assert_never_inflates(&col);
+    }
+
+    #[test]
+    fn float_columns_roundtrip(mode in 0usize..3, raw in prop::collection::vec(-1.0e300f64..1.0e300, 0..300)) {
+        let shaped: Vec<f64> = match mode {
+            1 => raw.iter().map(|_| raw.first().copied().unwrap_or(0.25)).collect(),
+            // NaN, signed zero and subnormals must survive bit-exactly
+            2 => raw.iter().enumerate()
+                .map(|(i, v)| [f64::NAN, -0.0, f64::MIN_POSITIVE / 2.0, *v][i % 4])
+                .collect(),
+            _ => raw.clone(),
+        };
+        let col = Column::from_floats(shaped);
+        assert_roundtrip(&col);
+        assert_never_inflates(&col);
+    }
+
+    #[test]
+    fn bool_columns_roundtrip(mode in 0usize..3, raw in prop::collection::vec(0u8..2, 0..300)) {
+        let shaped: Vec<bool> = match mode {
+            1 => raw.iter().map(|_| true).collect(),
+            _ => raw.iter().map(|v| *v == 1).collect(),
+        };
+        let col = Column::from_bools(shaped);
+        assert_roundtrip(&col);
+        assert_never_inflates(&col);
+    }
+
+    #[test]
+    fn str_columns_roundtrip(mode in 0usize..3, raw in prop::collection::vec(0usize..6, 0..200)) {
+        const WORDS: [&str; 6] = ["", "low", "high", "medium", "N", "the same long-ish payload"];
+        let shaped: Vec<&str> = match mode {
+            1 => raw.iter().map(|_| "constant").collect(),
+            2 => raw.iter().map(|v| WORDS[v % 2]).collect(),
+            _ => raw.iter().map(|v| WORDS[*v]).collect(),
+        };
+        let col = Column::from_strs(shaped);
+        assert_roundtrip(&col);
+        assert_never_inflates(&col);
+    }
+
+    #[test]
+    fn validity_masks_roundtrip(raw in prop::collection::vec((i64::MIN..i64::MAX, 0u8..4), 1..200)) {
+        // every 4th-ish row Nil: codecs must carry the mask, and Nil rows
+        // must come back Nil regardless of the stored payload
+        let vals: Vec<i64> = raw.iter().map(|(v, _)| *v).collect();
+        let mask: Vec<bool> = raw.iter().map(|(_, m)| *m != 0).collect();
+        let col = Column::from_ints(vals).with_validity(Bitmap::from_bools(&mask));
+        assert_roundtrip(&col);
+        assert_never_inflates(&col);
+    }
+
+    #[test]
+    fn whole_bats_roundtrip_through_the_blob(mode in 0usize..5, raw in prop::collection::vec(i64::MIN..i64::MAX, 0..300)) {
+        // the demotion path works on whole BATs: identity must hold
+        // through CompressedBat and its wire form (the spill record)
+        let bat = Bat::from_tail(Column::from_ints(shape_ints(mode, &raw)));
+        let blob = CompressedBat::compress(&bat);
+        let back = CompressedBat::from_bytes(blob.as_bytes().to_vec())
+            .decompress()
+            .expect("wire-form blob decodes");
+        assert_eq!(bat.id(), back.id(), "BatId must survive demotion");
+        assert_eq!(bat.len(), back.len());
+        for i in 0..bat.len() {
+            assert_eq!(bat.head().value(i), back.head().value(i), "head row {i}");
+            assert_eq!(bat.tail().value(i), back.tail().value(i), "tail row {i}");
+        }
+    }
+}
+
+/// The boundary shapes the random draws only hit probabilistically,
+/// pinned explicitly: empty and single-value columns of every type.
+#[test]
+fn empty_and_single_value_columns_roundtrip() {
+    let empties = [
+        Column::from_ints(vec![]),
+        Column::from_oids(vec![]),
+        Column::from_dates(vec![]),
+        Column::from_floats(vec![]),
+        Column::from_bools(vec![]),
+        Column::from_strs([] as [&str; 0]),
+        Column::dense(42, 0),
+    ];
+    let singles = [
+        Column::from_ints(vec![i64::MIN]),
+        Column::from_oids(vec![u64::MAX]),
+        Column::from_dates(vec![0]),
+        Column::from_floats(vec![f64::NAN]),
+        Column::from_bools(vec![false]),
+        Column::from_strs([""]),
+        Column::dense(u64::MAX - 1, 1),
+    ];
+    for col in empties.iter().chain(singles.iter()) {
+        assert_roundtrip(col);
+        assert_never_inflates(col);
+    }
+}

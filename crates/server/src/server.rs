@@ -998,6 +998,16 @@ fn stats_pairs(shared: &Shared) -> Vec<(String, u64)> {
         ("evict_gather_rounds", s.evict_gather_rounds),
         ("invalidated", s.invalidated),
         ("propagated", s.propagated),
+        // residency-tier gauges and counters (the tiering subsystem)
+        ("tier_raw_bytes", s.raw_bytes),
+        ("tier_compressed_bytes", s.compressed_bytes),
+        ("tier_spilled_bytes", s.spilled_bytes),
+        ("tier_demotions_compressed", s.demotions_compressed),
+        ("tier_demotions_spilled", s.demotions_spilled),
+        ("tier_promotions", s.tier_promotions),
+        // tier costs travel as integer microseconds, like round durations
+        ("tier_decompress_us", s.decompress_cost.as_micros() as u64),
+        ("tier_rehydrate_us", s.rehydrate_cost.as_micros() as u64),
         ("sessions", s.sessions),
         ("active_sessions", s.active_sessions),
         // degraded-mode observability: recycler-side ...
