@@ -286,6 +286,41 @@ fn tiered_lowmem_experiment(env: &ExpEnv) -> Json {
     ])
 }
 
+/// Serialize one side of the `operator_reuse` comparison.
+fn opstate_run_json(r: &crate::opstate::OpStateRun) -> Json {
+    Json::obj(vec![
+        ("operator_state", Json::Bool(r.operator_state)),
+        ("elapsed_ms", ms(r.elapsed)),
+        ("result_hits", Json::Int(r.result_hits)),
+        ("artifact_hits", Json::Int(r.artifact_hits)),
+        ("artifact_admissions", Json::Int(r.artifact_admissions)),
+        ("artifact_bytes", Json::Int(r.artifact_bytes)),
+        ("artifact_saved_ms", ms(r.artifact_saved)),
+    ])
+}
+
+/// The `operator_reuse` scenario: a workload whose *answers* never repeat
+/// but whose operator state (one join hash table, one sorted run shared
+/// by a top-N family) always does, run with `recycle_operator_state` off
+/// vs on. The gate `operator_reuse_wins` requires the on-side to both
+/// reuse artifacts and finish faster — artifact recycling must pay for
+/// itself where result recycling is starved.
+fn operator_reuse_experiment() -> Json {
+    let out = crate::opstate::operator_reuse(20_000, 36);
+    Json::obj(vec![
+        ("name", Json::Str("operator_reuse".to_string())),
+        ("rows", Json::Int(out.rows as u64)),
+        ("queries", Json::Int(out.queries as u64)),
+        (
+            "artifact_hit_ratio",
+            Json::Num((out.artifact_hit_ratio() * 1000.0).round() / 1000.0),
+        ),
+        ("operator_reuse_wins", Json::Bool(out.reuse_wins())),
+        ("without_state", opstate_run_json(&out.without_state)),
+        ("with_state", opstate_run_json(&out.with_state)),
+    ])
+}
+
 /// The concurrent-sessions experiment: the same SkyServer log replayed by
 /// one session and by `n` sessions over one shared pool.
 fn concurrent_experiment(env: &ExpEnv, n: usize) -> Json {
@@ -637,6 +672,10 @@ pub fn bench_report(env: &ExpEnv) -> Json {
     // Hit retention at the lowmem cap, residency ladder off vs on.
     experiments.push(tiered_lowmem_experiment(env));
 
+    // Operator-state recycling (typed artifacts) off vs on, on a
+    // workload where result recycling is starved.
+    experiments.push(operator_reuse_experiment());
+
     Json::obj(vec![
         ("schema", Json::Str("recycler-bench/v1".to_string())),
         (
@@ -700,6 +739,9 @@ mod tests {
             "tiering_retains_hits",
             "demotions_compressed",
             "tier_promotions",
+            "operator_reuse",
+            "artifact_hit_ratio",
+            "artifact_saved_ms",
         ] {
             assert!(text.contains(name), "missing {name} in {text}");
         }
@@ -725,6 +767,27 @@ mod tests {
             text.contains("\"tiering_retains_hits\":true"),
             "the residency ladder lost hits vs the raw pool: {text}"
         );
+        // operator-state recycling must reuse artifacts AND beat the
+        // artifact-free recycler on the starved-result workload
+        assert!(
+            text.contains("\"operator_reuse_wins\":true"),
+            "operator-state recycling did not pay for itself: {text}"
+        );
+        let op = text
+            .split("\"name\":\"operator_reuse\"")
+            .nth(1)
+            .expect("operator_reuse experiment present");
+        let with = op
+            .split("\"with_state\":")
+            .nth(1)
+            .expect("with_state side present");
+        let artifact_hits: u64 = with
+            .split("\"artifact_hits\":")
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .and_then(|s| s.parse().ok())
+            .expect("artifact_hits field");
+        assert!(artifact_hits > 0, "no artifact reuse in the report: {op}");
         // the low-memory run must actually exercise eviction
         let lowmem = text
             .split("\"name\":\"tpch_mixed_lowmem\"")

@@ -601,6 +601,13 @@ fn demote_round(shared: &SharedRecycler, need_bytes: usize) -> usize {
         }
         match &e.tier {
             TierState::Raw => {
+                // Operator-state artifacts are evict-only: their payload
+                // is a build structure, not a columnar BAT, so the codec
+                // rungs skip them entirely (their `result` is `Nil` too,
+                // but the gate is explicit — don't rely on that).
+                if e.artifact.is_some() {
+                    return;
+                }
                 // `bind` results are Arc-shared with the catalog:
                 // demoting one frees no real memory, and rehydration
                 // would forge a second live copy of a base column.

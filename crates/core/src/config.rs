@@ -130,6 +130,14 @@ pub struct RecyclerConfig {
     /// exceeds the time ever saved by reusing them. `0` (the default)
     /// admits everything, preserving the paper's baseline semantics.
     pub min_admit_bytes: usize,
+    /// Recycle operator *state*, not just result BATs: split join, group
+    /// and sort into build/probe halves, cache the build structures (hash
+    /// tables, group maps, sorted runs) as typed artifacts keyed by their
+    /// build-side lineage, and let the reuse-aware optimiser pass steer
+    /// commutative chains toward pool-resident prefixes. Off by default:
+    /// plans and pool behaviour are bit-identical to the result-only
+    /// recycler then.
+    pub recycle_operator_state: bool,
 }
 
 impl Default for RecyclerConfig {
@@ -156,6 +164,7 @@ impl Default for RecyclerConfig {
             compression: false,
             compress_min_bytes: 256,
             min_admit_bytes: 0,
+            recycle_operator_state: false,
         }
     }
 }
@@ -265,6 +274,13 @@ impl RecyclerConfig {
     /// [`Self::compress_min_bytes`]).
     pub fn compress_min_bytes(mut self, bytes: usize) -> Self {
         self.compress_min_bytes = bytes;
+        self
+    }
+
+    /// Builder-style: toggle operator-state recycling (see
+    /// [`Self::recycle_operator_state`]).
+    pub fn recycle_operator_state(mut self, on: bool) -> Self {
+        self.recycle_operator_state = on;
         self
     }
 

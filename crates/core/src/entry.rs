@@ -14,15 +14,68 @@
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
+use rbat::ops::{GroupMap, JoinBuild, SortedRun};
 use rbat::{BatId, Value};
 
-use crate::signature::Sig;
+use crate::signature::{ArtifactKind, Sig};
 use crate::tier::TierState;
 
 /// Identifier of a pool entry.
 pub type EntryId = u64;
+
+/// An operator's exported internal structure, cached for reuse by a later
+/// probe over the same build side. `Arc`-wrapped so the hit path can hand
+/// out a payload clone under nothing stronger than a shard read lock.
+///
+/// The `Result` kind of the artifact model is the entry's existing
+/// [`PoolEntry::result`] field (a whole result BAT); entries carrying one
+/// of these variants instead hold `Value::Nil` there. Artifacts are
+/// **evict-only** on the residency ladder: the compress/spill rungs target
+/// columnar BATs and skip entries whose `artifact` is set.
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    /// A join's build side: the hash table over the build BAT's head.
+    JoinBuild(Arc<JoinBuild>),
+    /// A grouping's first-appearance group-id assignment.
+    GroupMap(Arc<GroupMap>),
+    /// A sort's stable permutation (shared by `Sort` and `TopN`).
+    SortedRun(Arc<SortedRun>),
+}
+
+impl Artifact {
+    /// The signature-kind discriminant this artifact files under.
+    pub fn kind(&self) -> ArtifactKind {
+        match self {
+            Artifact::JoinBuild(_) => ArtifactKind::JoinBuild,
+            Artifact::GroupMap(_) => ArtifactKind::GroupMap,
+            Artifact::SortedRun(_) => ArtifactKind::SortedRun,
+        }
+    }
+
+    /// Approximate heap footprint — charged against the pool cap and the
+    /// admitting session's credit slice exactly like result bytes.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Artifact::JoinBuild(b) => b.byte_size(),
+            Artifact::GroupMap(m) => m.byte_size(),
+            Artifact::SortedRun(r) => r.byte_size(),
+        }
+    }
+
+    /// Instruction-family label for the pool-content breakdown (Table III
+    /// rows) — artifacts get their own rows instead of polluting the
+    /// result families.
+    pub fn family(&self) -> &'static str {
+        match self {
+            Artifact::JoinBuild(_) => "join.build",
+            Artifact::GroupMap(_) => "group.map",
+            Artifact::SortedRun(_) => "sort.run",
+        }
+    }
+}
 
 /// Identity of the *source instruction* in its query template:
 /// `(template id, program counter)`. Stable across invocations — the unit
@@ -45,6 +98,10 @@ pub struct PoolEntry {
     pub result: Value,
     /// Identity of the result BAT, when the result is one.
     pub result_id: Option<BatId>,
+    /// Cached operator state, when this entry holds a typed artifact
+    /// instead of a result BAT (`result` is `Value::Nil` then). `None` for
+    /// classic result entries.
+    pub artifact: Option<Artifact>,
     /// Residency tier. Demoting an entry swaps `result` for `Value::Nil`
     /// and parks the payload here (compressed blob or spill ticket);
     /// promotion restores `result` under the shard write lock. `bytes`
@@ -115,6 +172,7 @@ impl Clone for PoolEntry {
             args: self.args.clone(),
             result: self.result.clone(),
             result_id: self.result_id,
+            artifact: self.artifact.clone(),
             tier: self.tier.clone(),
             bytes: self.bytes,
             cpu: self.cpu,
@@ -221,6 +279,7 @@ impl PoolEntry {
             args: vec![Value::Int(tag)],
             result: Value::Int(tag),
             result_id: None,
+            artifact: None,
             tier: TierState::Raw,
             bytes,
             cpu: Duration::from_millis(1),
@@ -254,6 +313,7 @@ mod tests {
             args: vec![Value::Int(1)],
             result: Value::Int(7),
             result_id: None,
+            artifact: None,
             tier: TierState::Raw,
             bytes: 64,
             cpu: Duration::from_millis(100),

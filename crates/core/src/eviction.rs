@@ -303,6 +303,7 @@ mod tests {
             args: vec![Value::Int(tag)],
             result: Value::Int(tag),
             result_id: None,
+            artifact: None,
             tier: crate::tier::TierState::Raw,
             bytes,
             cpu: Duration::from_millis(cpu_ms),
@@ -488,6 +489,7 @@ mod tests {
             args: vec![],
             result: Value::Int(0),
             result_id: None,
+            artifact: None,
             tier: crate::tier::TierState::Raw,
             bytes: 1000,
             cpu: Duration::from_millis(1),

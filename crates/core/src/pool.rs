@@ -16,7 +16,7 @@ use rbat::BatId;
 use rmal::Opcode;
 
 use crate::entry::{EntryId, PoolEntry};
-use crate::signature::{ArgSig, Sig};
+use crate::signature::{ArgSig, ArtifactKind, Sig};
 
 /// Outcome of [`RecyclePool::insert`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -548,6 +548,7 @@ impl RecyclePool {
             self.tier_books[i].raw.store(0, Ordering::Relaxed);
             self.tier_books[i].compressed.store(0, Ordering::Relaxed);
             self.tier_books[i].spilled.store(0, Ordering::Relaxed);
+            self.tier_books[i].artifact.store(0, Ordering::Relaxed);
         }
         if let Some(spill) = &self.spill {
             spill.clear();
@@ -702,11 +703,13 @@ impl RecyclePool {
                 self.by_session.alter(&e.admitted_session, |m| {
                     *m.entry(e.admitted_session).or_insert(0) += 1;
                 });
-                if let Some(arg0) = e.sig.first_arg() {
-                    let key = (e.sig.op, arg0.clone());
-                    self.by_op_arg0.alter(&key, |m| {
-                        m.entry(key.clone()).or_default().push(*id);
-                    });
+                if e.sig.kind == ArtifactKind::Result {
+                    if let Some(arg0) = e.sig.first_arg() {
+                        let key = (e.sig.op, arg0.clone());
+                        self.by_op_arg0.alter(&key, |m| {
+                            m.entry(key.clone()).or_default().push(*id);
+                        });
+                    }
                 }
             }
         }
@@ -733,9 +736,15 @@ impl RecyclePool {
             let mut raw = 0usize;
             let mut compressed = 0usize;
             let mut spilled = 0usize;
+            let mut artifact = 0usize;
             for e in g.entries.values() {
                 match &e.tier {
-                    crate::tier::TierState::Raw => raw += e.bytes,
+                    crate::tier::TierState::Raw => {
+                        raw += e.bytes;
+                        if e.artifact.is_some() {
+                            artifact += e.bytes;
+                        }
+                    }
                     crate::tier::TierState::Compressed(_) => compressed += e.bytes,
                     crate::tier::TierState::Spilled(t) => spilled += t.len as usize,
                 }
@@ -749,6 +758,9 @@ impl RecyclePool {
             self.tier_books[si]
                 .spilled
                 .store(spilled, Ordering::Relaxed);
+            self.tier_books[si]
+                .artifact
+                .store(artifact, Ordering::Relaxed);
             total_bytes += bytes;
             total_entries += g.entries.len();
         }
@@ -941,12 +953,18 @@ impl RecyclePool {
         }
         let id = entry.id;
         let bytes = entry.bytes;
+        let is_artifact = entry.artifact.is_some();
         sh.by_sig.insert(entry.sig.clone(), id);
-        if let Some(arg0) = entry.sig.first_arg() {
-            let key = (entry.sig.op, arg0.clone());
-            self.by_op_arg0.alter(&key, |m| {
-                m.entry(key.clone()).or_default().push(id);
-            });
+        // Subsumption candidates are result entries only: an operator-state
+        // artifact is not a tuple superset of anything, so artifact-kind
+        // sigs stay out of the candidate side-map entirely.
+        if entry.sig.kind == ArtifactKind::Result {
+            if let Some(arg0) = entry.sig.first_arg() {
+                let key = (entry.sig.op, arg0.clone());
+                self.by_op_arg0.alter(&key, |m| {
+                    m.entry(key.clone()).or_default().push(id);
+                });
+            }
         }
         // A fresh entry has no dependents: it enters the evictable-leaf
         // index. Published BEFORE the owner mapping — no other session can
@@ -986,6 +1004,11 @@ impl RecyclePool {
         self.shard_bytes[si].fetch_add(bytes, Ordering::Relaxed);
         // admissions always enter raw (demotion happens in place later)
         self.tier_books[si].raw.fetch_add(bytes, Ordering::Relaxed);
+        if is_artifact {
+            self.tier_books[si]
+                .artifact
+                .fetch_add(bytes, Ordering::Relaxed);
+        }
         self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.total_entries.fetch_add(1, Ordering::Relaxed);
         Admitted::Inserted(id)
@@ -1023,7 +1046,11 @@ impl RecyclePool {
     }
 
     /// Unwire `id` from the candidate side-map (caller holds a shard lock).
+    /// Artifact-kind sigs were never wired in (see [`Self::insert`]).
     fn unwire_candidate(&self, sig: &Sig, id: EntryId) {
+        if sig.kind != ArtifactKind::Result {
+            return;
+        }
         if let Some(arg0) = sig.first_arg() {
             let key = (sig.op, arg0.clone());
             self.by_op_arg0.alter(&key, |m| {
@@ -1106,6 +1133,11 @@ impl RecyclePool {
                 self.tier_books[si]
                     .raw
                     .fetch_sub(entry.bytes, Ordering::Relaxed);
+                if entry.artifact.is_some() {
+                    self.tier_books[si]
+                        .artifact
+                        .fetch_sub(entry.bytes, Ordering::Relaxed);
+                }
             }
             crate::tier::TierState::Compressed(_) => {
                 self.tier_books[si]
@@ -1317,6 +1349,15 @@ impl RecyclePool {
         (raw, compressed, spilled)
     }
 
+    /// Bytes currently charged by operator-state artifact entries (summed
+    /// across shards — a subset of the raw book; artifacts never demote).
+    pub fn artifact_bytes(&self) -> usize {
+        self.tier_books
+            .iter()
+            .map(|b| b.artifact.load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Demote a raw entry to the in-memory compressed tier, swapping its
     /// raw result for the pre-built blob *in place*. The caller (the
     /// collector) compresses **outside** any lock and revalidation
@@ -1342,6 +1383,12 @@ impl RecyclePool {
             return 0;
         };
         if !e.tier.is_raw() || e.pin_count() != 0 || new_bytes >= e.bytes {
+            return 0;
+        }
+        // Operator-state artifacts are evict-only: the codecs target
+        // columnar BATs and the build structure is not a `Value::Bat`, so
+        // an artifact entry never leaves the raw rung.
+        if e.artifact.is_some() {
             return 0;
         }
         let old_bytes = e.bytes;
@@ -1658,6 +1705,7 @@ impl RecyclePool {
             let mut raw_sum = 0usize;
             let mut compressed_sum = 0usize;
             let mut spilled_sum = 0usize;
+            let mut artifact_sum = 0usize;
             for (id, e) in &g.entries {
                 if e.id != *id {
                     return Err(format!("entry {id} stored under wrong key {}", e.id));
@@ -1680,6 +1728,27 @@ impl RecyclePool {
                     }
                 }
                 shard_sum += e.bytes;
+                if let Some(a) = &e.artifact {
+                    if !e.tier.is_raw() {
+                        return Err(format!(
+                            "artifact entry {id} left the raw tier ({})",
+                            e.tier.label()
+                        ));
+                    }
+                    if e.sig.kind != a.kind() {
+                        return Err(format!(
+                            "artifact entry {id} filed under sig kind {:?}, holds {:?}",
+                            e.sig.kind,
+                            a.kind()
+                        ));
+                    }
+                    artifact_sum += e.bytes;
+                } else if e.sig.kind != ArtifactKind::Result {
+                    return Err(format!(
+                        "entry {id} keyed as {:?} artifact but carries none",
+                        e.sig.kind
+                    ));
+                }
                 match &e.tier {
                     crate::tier::TierState::Raw => raw_sum += e.bytes,
                     crate::tier::TierState::Compressed(b) => {
@@ -1719,15 +1788,26 @@ impl RecyclePool {
             // per-tier books: raw + compressed must re-derive the shard
             // total exactly (spilled is off-cap, tracked on its own book)
             let book = &self.tier_books[i];
-            let (br, bc, bs) = (
+            let (br, bc, bs, ba) = (
                 book.raw.load(Ordering::Relaxed),
                 book.compressed.load(Ordering::Relaxed),
                 book.spilled.load(Ordering::Relaxed),
+                book.artifact.load(Ordering::Relaxed),
             );
             if br != raw_sum || bc != compressed_sum || bs != spilled_sum {
                 return Err(format!(
                     "shard {i} tier books raw={br}/compressed={bc}/spilled={bs} \
                      != actual raw={raw_sum}/compressed={compressed_sum}/spilled={spilled_sum}"
+                ));
+            }
+            if ba != artifact_sum {
+                return Err(format!(
+                    "shard {i} artifact book {ba} != actual {artifact_sum}"
+                ));
+            }
+            if ba > br {
+                return Err(format!(
+                    "shard {i} artifact book {ba} exceeds raw book {br}"
                 ));
             }
             if br + bc != shard_sum {
@@ -1804,6 +1884,9 @@ impl RecyclePool {
         let mut expect_keys: FxHashMap<EntryId, (Opcode, ArgSig)> = FxHashMap::default();
         for g in &guards {
             for (id, e) in &g.entries {
+                if e.sig.kind != ArtifactKind::Result {
+                    continue; // artifact sigs are never candidate-indexed
+                }
                 if let Some(arg0) = e.sig.first_arg() {
                     expect_keys.insert(*id, (e.sig.op, arg0.clone()));
                 }
@@ -2079,6 +2162,14 @@ impl PoolScopedView<'_> {
                             pool.tier_books[new_idx]
                                 .raw
                                 .fetch_add(e.bytes, Ordering::Relaxed);
+                            if e.artifact.is_some() {
+                                pool.tier_books[old_idx]
+                                    .artifact
+                                    .fetch_sub(e.bytes, Ordering::Relaxed);
+                                pool.tier_books[new_idx]
+                                    .artifact
+                                    .fetch_add(e.bytes, Ordering::Relaxed);
+                            }
                         }
                         crate::tier::TierState::Compressed(_) => {
                             pool.tier_books[old_idx]
@@ -2106,11 +2197,13 @@ impl PoolScopedView<'_> {
             if let Some(sh) = self.guards[new_idx].as_mut() {
                 sh.by_sig.insert(new_sig.clone(), id);
             }
-            if let Some(arg0) = new_sig.first_arg() {
-                let key = (new_sig.op, arg0.clone());
-                pool.by_op_arg0.alter(&key, |m| {
-                    m.entry(key.clone()).or_default().push(id);
-                });
+            if new_sig.kind == ArtifactKind::Result {
+                if let Some(arg0) = new_sig.first_arg() {
+                    let key = (new_sig.op, arg0.clone());
+                    pool.by_op_arg0.alter(&key, |m| {
+                        m.entry(key.clone()).or_default().push(id);
+                    });
+                }
             }
         }
         if old_result != new_result {
@@ -2166,6 +2259,7 @@ mod tests {
             args: vec![Value::Int(tag)],
             result: Value::Bat(Arc::clone(&bat)),
             result_id: Some(bat.id()),
+            artifact: None,
             tier: crate::tier::TierState::Raw,
             bytes: 100,
             cpu: Duration::from_millis(1),

@@ -287,6 +287,15 @@ fn propagate_entry(
         // unpropagatable shape.
         return false;
     }
+    if entry.artifact.is_some() {
+        // Operator-state artifacts hold an operator's internal structure,
+        // not a result BAT — there is no delta to merge and rebuilding the
+        // structure is exactly the cost recycling avoided. Invalidate:
+        // even if the build-side parent refreshes in place, its result BAT
+        // is re-minted, so this artifact's identity key can never match a
+        // post-commit probe again.
+        return false;
+    }
     let op = entry.sig.op;
     let old_result = entry.result.clone();
     let old_sig = entry.sig.clone();

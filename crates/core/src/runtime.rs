@@ -34,10 +34,10 @@ use rbat::{Catalog, Value};
 use rmal::{ExecHook, HookAction, Instr, Opcode, Program};
 
 use crate::config::{RecyclerConfig, UpdateMode};
-use crate::entry::{EntryId, InstrKey, PoolEntry};
+use crate::entry::{Artifact, EntryId, InstrKey, PoolEntry};
 use crate::pool::Admitted;
 use crate::shared::{PoolRef, SharedRecycler};
-use crate::signature::Sig;
+use crate::signature::{ArgSig, ArtifactKind, Sig};
 use crate::stats::{PoolSnapshot, QueryRecord, RecyclerStats};
 use crate::subsume::{self, Subsumption};
 use crate::tier::{CompressedBat, SpillTicket, TierState};
@@ -378,6 +378,333 @@ impl Recycler {
         }
     }
 
+    /// The artifact-match probe: like [`Self::try_exact_hit`] but keyed by
+    /// an artifact signature and returning the typed operator state (plus
+    /// its stored build cost) instead of a result value. Artifacts are
+    /// evict-only raw entries, so there is no rehydration path: the probe
+    /// is one shard read lock, atomics only.
+    fn try_artifact_hit(&mut self, sig: &Sig) -> Option<(Artifact, Duration)> {
+        struct ArtifactHit {
+            id: EntryId,
+            artifact: Option<Artifact>,
+            saved: Duration,
+            creator: InstrKey,
+            return_credit: bool,
+        }
+        let outcome = {
+            let pinned = &self.pinned;
+            let shared = &self.shared;
+            let invocation = self.invocation;
+            shared.pool_inner().probe(sig, |e| {
+                e.last_used.store(shared.next_tick(), Ordering::Relaxed);
+                let local = e.admitted_invocation == invocation;
+                if local {
+                    e.local_reuses.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    e.global_reuses.fetch_add(1, Ordering::Relaxed);
+                }
+                e.time_saved_ns
+                    .fetch_add(e.cpu.as_nanos() as u64, Ordering::Relaxed);
+                let return_credit = local
+                    && e.credit_returned
+                        .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok();
+                if !pinned.contains(&e.id) {
+                    e.pins.fetch_add(1, Ordering::Relaxed);
+                }
+                ArtifactHit {
+                    id: e.id,
+                    artifact: e.artifact.clone(),
+                    saved: e.cpu,
+                    creator: e.creator,
+                    return_credit,
+                }
+            })
+        }?;
+        self.pinned.insert(outcome.id);
+        let artifact = outcome.artifact?;
+        self.shared
+            .note_reuse(outcome.creator, outcome.return_credit);
+        self.shared.count_artifact_hit(outcome.saved);
+        self.current.saved += outcome.saved;
+        Some((artifact, outcome.saved))
+    }
+
+    /// Admit an operator-state artifact under its build-side signature:
+    /// the same admission funnel as [`Self::admit`] — deadline shedding,
+    /// build-side lineage pinning, credit grant, per-session slice,
+    /// capacity reservation, four-way refund discipline — with the
+    /// artifact's heap footprint charged against the cap and the session's
+    /// credit slice exactly like result bytes. The entry carries
+    /// `result: Value::Nil` and no result id: artifacts never serve result
+    /// probes or subsumption and never demote — eviction and invalidation
+    /// are their only exits.
+    fn admit_artifact(
+        &mut self,
+        pc: usize,
+        sig: Sig,
+        build: &Value,
+        artifact: Artifact,
+        cpu: Duration,
+    ) {
+        let shared = Arc::clone(&self.shared);
+        let pool = shared.pool_inner();
+        let key: InstrKey = (self.current_template, pc);
+        if self.past_deadline() {
+            shared.count_deadline_skip();
+            return;
+        }
+        let Value::Bat(b) = build else { return };
+        let min_admit = shared.config().min_admit_bytes;
+        if min_admit > 0 && artifact.byte_size() < min_admit {
+            shared.count_admission_reject();
+            return;
+        }
+        // Lineage: the artifact depends on exactly its build-side BAT. If
+        // that BAT is neither a live pool result (pinnable) nor a
+        // registered persistent column, coherence cannot be anchored —
+        // skip the admission (a future miss, never a wrong answer).
+        let mut base_columns: BTreeSet<(String, String)> = BTreeSet::new();
+        let mut parents: Vec<EntryId> = Vec::new();
+        if let Some(eid) = pool.entry_of_result(b.id()) {
+            if self.pin_live(eid, &mut base_columns) {
+                parents.push(eid);
+            }
+        }
+        if parents.is_empty() {
+            let known = shared.persistent().with(&b.id(), |cols| match cols {
+                Some(cols) => {
+                    base_columns.extend(cols.iter().cloned());
+                    true
+                }
+                None => false,
+            });
+            if !known {
+                shared.count_admission_reject();
+                return;
+            }
+        }
+        let grant = shared.admission_grant(key);
+        if !grant.allowed {
+            shared.count_admission_reject();
+            return;
+        }
+        if !shared.session_admission_allowed(self.session_id) {
+            shared.count_session_budget_reject();
+            shared.count_admission_reject();
+            shared.undo_admission_charge(key, grant);
+            return;
+        }
+        let bytes = artifact.byte_size();
+        if !shared.reserve_admission(bytes) {
+            shared.count_admission_reject();
+            shared.undo_admission_charge(key, grant);
+            return;
+        }
+        struct Reservation<'a> {
+            shared: &'a SharedRecycler,
+            bytes: usize,
+        }
+        impl Drop for Reservation<'_> {
+            fn drop(&mut self) {
+                self.shared.release_reservation(self.bytes);
+            }
+        }
+        let reservation = Reservation {
+            shared: &shared,
+            bytes,
+        };
+        let tick = shared.next_tick();
+        let family = artifact.family();
+        let entry = PoolEntry {
+            id: pool.alloc_id(),
+            sig,
+            args: vec![build.clone()],
+            result: Value::Nil,
+            result_id: None,
+            artifact: Some(artifact),
+            tier: crate::tier::TierState::Raw,
+            bytes,
+            cpu,
+            family,
+            parents,
+            base_columns,
+            admitted_tick: tick,
+            admitted_invocation: self.invocation,
+            admitted_session: self.session_id,
+            creator: key,
+            last_used: AtomicU64::new(tick),
+            local_reuses: AtomicU64::new(0),
+            global_reuses: AtomicU64::new(0),
+            subsumption_uses: AtomicU64::new(0),
+            time_saved_ns: AtomicU64::new(0),
+            // born pinned by the admitting session
+            pins: AtomicU32::new(1),
+            credit_returned: AtomicBool::new(false),
+        };
+        let admitted = pool.insert(entry, None);
+        drop(reservation);
+        match admitted {
+            Admitted::Inserted(id) => {
+                self.pinned.insert(id);
+                shared.count_artifact_admission();
+                self.current.admitted += 1;
+                self.current.bytes_admitted += bytes as u64;
+            }
+            Admitted::Duplicate(existing) => {
+                // First writer wins, as for results; with no result BAT to
+                // alias the resolution is just the pin the pool took for us.
+                shared.count_duplicate_admission();
+                shared.undo_admission_charge(key, grant);
+                if !self.pinned.insert(existing) {
+                    pool.entry(existing, |e| {
+                        e.pins.fetch_sub(1, Ordering::Relaxed);
+                    });
+                }
+            }
+            Admitted::Orphaned | Admitted::Quarantined => {
+                shared.count_admission_reject();
+                shared.undo_admission_charge(key, grant);
+            }
+        }
+    }
+
+    /// Operator-state recycling (`recycle_operator_state`): execute a
+    /// join/group/sort/topN *here*, reusing the pooled build side (hash
+    /// table, group map, sorted run) when one matches — even though the
+    /// final result differs from anything cached. On a build-side miss the
+    /// freshly built structure is admitted under its artifact signature
+    /// before the probe half runs; the final result is admitted under the
+    /// ORIGINAL signature exactly as `recycleExit` would, so the next
+    /// identical call is a plain exact hit.
+    ///
+    /// Returns the result value plus the wall time actually spent building
+    /// and probing (so the caller can keep it out of the overhead gauge).
+    /// Any build or probe error returns `None`: the interpreter proceeds
+    /// down its normal execution path and surfaces the identical error.
+    fn try_operator_state(
+        &mut self,
+        catalog: &Catalog,
+        pc: usize,
+        instr: &Instr,
+        args: &[Value],
+    ) -> Option<(Value, Duration)> {
+        // `cold_cpu` is what a cold recompute would pay (on a hit the
+        // artifact's stored build cost stands in for the build half);
+        // `spent` is the wall time this call actually paid.
+        let (result, cold_cpu, spent) = match instr.op {
+            Opcode::Join => {
+                let l = args.first()?.as_bat()?;
+                let r = args.get(1)?.as_bat()?;
+                let asig = Sig::artifact(
+                    ArtifactKind::JoinBuild,
+                    Opcode::Join,
+                    vec![ArgSig::Bat(r.id())],
+                );
+                let (build, build_cost, built) = match self.try_artifact_hit(&asig) {
+                    Some((Artifact::JoinBuild(b), saved)) => (b, saved, Duration::ZERO),
+                    Some(_) => return None,
+                    None => {
+                        let t = Instant::now();
+                        let b = Arc::new(rbat::ops::join_build(r).ok()?);
+                        let cpu = t.elapsed();
+                        self.admit_artifact(
+                            pc,
+                            asig,
+                            args.get(1)?,
+                            Artifact::JoinBuild(Arc::clone(&b)),
+                            cpu,
+                        );
+                        (b, cpu, cpu)
+                    }
+                };
+                let t = Instant::now();
+                let bat = rbat::ops::join_probe(l, r, &build).ok()?;
+                let probe = t.elapsed();
+                (Value::Bat(Arc::new(bat)), build_cost + probe, built + probe)
+            }
+            Opcode::Group => {
+                let b = args.first()?.as_bat()?;
+                let asig = Sig::artifact(
+                    ArtifactKind::GroupMap,
+                    Opcode::Group,
+                    vec![ArgSig::Bat(b.id())],
+                );
+                let (map, build_cost, built) = match self.try_artifact_hit(&asig) {
+                    Some((Artifact::GroupMap(m), saved)) => (m, saved, Duration::ZERO),
+                    Some(_) => return None,
+                    None => {
+                        let t = Instant::now();
+                        let m = Arc::new(rbat::ops::group_build(b).ok()?);
+                        let cpu = t.elapsed();
+                        self.admit_artifact(
+                            pc,
+                            asig,
+                            args.first()?,
+                            Artifact::GroupMap(Arc::clone(&m)),
+                            cpu,
+                        );
+                        (m, cpu, cpu)
+                    }
+                };
+                let t = Instant::now();
+                let bat = rbat::ops::group_probe(b, &map).ok()?;
+                let probe = t.elapsed();
+                (Value::Bat(Arc::new(bat)), build_cost + probe, built + probe)
+            }
+            Opcode::Sort | Opcode::TopN => {
+                // Sort and topN share the sorted-run artifact: both file
+                // under `Opcode::Sort` with the direction as the trailing
+                // scalar, so a topN can reuse a sort's run and vice versa.
+                let b = args.first()?.as_bat()?;
+                let (n, asc) = if instr.op == Opcode::TopN {
+                    (
+                        Some(args.get(1)?.as_int()?.max(0) as usize),
+                        args.get(2)?.as_bool()?,
+                    )
+                } else {
+                    (None, args.get(1)?.as_bool()?)
+                };
+                let asig = Sig::artifact(
+                    ArtifactKind::SortedRun,
+                    Opcode::Sort,
+                    vec![ArgSig::Bat(b.id()), ArgSig::Scalar(Value::Bool(asc))],
+                );
+                let (run, build_cost, built) = match self.try_artifact_hit(&asig) {
+                    Some((Artifact::SortedRun(r), saved)) => (r, saved, Duration::ZERO),
+                    Some(_) => return None,
+                    None => {
+                        let t = Instant::now();
+                        let r = Arc::new(rbat::ops::sort_build(b, asc).ok()?);
+                        let cpu = t.elapsed();
+                        self.admit_artifact(
+                            pc,
+                            asig,
+                            args.first()?,
+                            Artifact::SortedRun(Arc::clone(&r)),
+                            cpu,
+                        );
+                        (r, cpu, cpu)
+                    }
+                };
+                let t = Instant::now();
+                let sorted = rbat::ops::sort_probe(b, &run).ok()?;
+                let bat = match n {
+                    Some(n) => sorted.slice(0, n.min(sorted.len())),
+                    None => sorted,
+                };
+                let probe = t.elapsed();
+                (Value::Bat(Arc::new(bat)), build_cost + probe, built + probe)
+            }
+            _ => return None,
+        };
+        // recycleExit for the assisted result, under the ORIGINAL
+        // signature; its cpu is the cold recompute cost (build + probe),
+        // so future exact hits account the full time they save.
+        self.admit(catalog, pc, instr, args, &result, cold_cpu);
+        Some((result, spent))
+    }
+
     /// Admit an executed instruction's result (the body of `recycleExit`).
     fn admit(
         &mut self,
@@ -528,6 +855,7 @@ impl Recycler {
             args: args.to_vec(),
             result: result.clone(),
             result_id,
+            artifact: None,
             tier: crate::tier::TierState::Raw,
             bytes,
             cpu,
@@ -758,6 +1086,26 @@ impl ExecHook for Recycler {
                     self.shared.add_overhead(t0.elapsed());
                     return HookAction::Computed(result);
                 }
+            }
+        }
+        // Phase 3: operator-state recycling — the instruction's *build
+        // side* (join hash table, group map, sorted run) may be pooled
+        // even though no cached final result matches. Probe under the
+        // build-side artifact signature; on a hit skip the build, on a
+        // miss build-and-admit, then finish with the probe half and hand
+        // the computed result back as `Assisted`. The executed work is
+        // subtracted from the overhead gauge — it is query execution,
+        // not cache maintenance.
+        if config.recycle_operator_state
+            && !self.past_deadline()
+            && matches!(
+                instr.op,
+                Opcode::Join | Opcode::Group | Opcode::Sort | Opcode::TopN
+            )
+        {
+            if let Some((result, spent)) = self.try_operator_state(catalog, pc, instr, args) {
+                self.shared.add_overhead(t0.elapsed().saturating_sub(spent));
+                return HookAction::Assisted(result);
             }
         }
         self.shared.add_overhead(t0.elapsed());
@@ -1072,6 +1420,7 @@ mod tests {
                 args: vec![Value::Int(round as i64)],
                 result: Value::Int(round as i64),
                 result_id: None,
+                artifact: None,
                 tier: crate::tier::TierState::Raw,
                 bytes: 100,
                 cpu: Duration::from_micros(1),
@@ -1437,5 +1786,76 @@ mod tests {
         );
         holder.query_end(&t);
         shared.pool().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn operator_state_reuses_join_build() {
+        let config = RecyclerConfig::default().recycle_operator_state(true);
+        let mut e = engine(config);
+        // join probe side varies with the select range, build side (the
+        // bound y column) repeats — classic operator-state reuse.
+        let mut t = {
+            let mut b = ProgramBuilder::new("join_probe", 2);
+            let x = b.bind("t", "x");
+            let y = b.bind("t", "y");
+            let sel = b.select_closed(x, P(0), P(1));
+            let j = b.join(sel, y);
+            let n = b.count(j);
+            b.export("n", n);
+            b.finish()
+        };
+        e.optimize(&mut t);
+        let first = e.run(&t, &[Value::Int(0), Value::Int(400)]).unwrap();
+        let stats = e.hook.stats();
+        assert!(
+            stats.artifact_admissions >= 1,
+            "build side must be admitted"
+        );
+        assert!(stats.artifact_bytes > 0);
+        // different params: no exact hit on the join, but the build side
+        // (keyed by the bound column's BAT identity) must be reused.
+        let second = e.run(&t, &[Value::Int(100), Value::Int(700)]).unwrap();
+        let stats = e.hook.stats();
+        assert!(stats.artifact_hits >= 1, "build side must be reused");
+        assert!(second.stats.assisted >= 1, "join must run assisted");
+
+        // identity: the assisted result equals a cold engine's answer
+        let mut cold = engine(RecyclerConfig::default());
+        let mut tc = {
+            let mut b = ProgramBuilder::new("join_probe", 2);
+            let x = b.bind("t", "x");
+            let y = b.bind("t", "y");
+            let sel = b.select_closed(x, P(0), P(1));
+            let j = b.join(sel, y);
+            let n = b.count(j);
+            b.export("n", n);
+            b.finish()
+        };
+        cold.optimize(&mut tc);
+        let base1 = cold.run(&tc, &[Value::Int(0), Value::Int(400)]).unwrap();
+        let base2 = cold.run(&tc, &[Value::Int(100), Value::Int(700)]).unwrap();
+        assert_eq!(first.export("n"), base1.export("n"));
+        assert_eq!(second.export("n"), base2.export("n"));
+        e.hook.pool().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn operator_state_off_by_default() {
+        let mut e = engine(RecyclerConfig::default());
+        let mut t = {
+            let mut b = ProgramBuilder::new("sorted", 1);
+            let x = b.bind("t", "x");
+            let sel = b.select_closed(x, P(0), Value::Int(500));
+            let s = b.sort(sel, true);
+            b.export("s", s);
+            b.finish()
+        };
+        e.optimize(&mut t);
+        e.run(&t, &[Value::Int(0)]).unwrap();
+        e.run(&t, &[Value::Int(10)]).unwrap();
+        let stats = e.hook.stats();
+        assert_eq!(stats.artifact_admissions, 0);
+        assert_eq!(stats.artifact_hits, 0);
+        assert_eq!(e.hook.pool().artifact_bytes(), 0);
     }
 }

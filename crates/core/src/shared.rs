@@ -208,6 +208,9 @@ pub(crate) struct SharedStats {
     tier_promotions: AtomicU64,
     decompress_ns: AtomicU64,
     rehydrate_ns: AtomicU64,
+    artifact_hits: AtomicU64,
+    artifact_admissions: AtomicU64,
+    artifact_saved_ns: AtomicU64,
 }
 
 #[inline]
@@ -482,6 +485,40 @@ impl SharedRecycler {
         PoolSnapshot::capture(&self.pool)
     }
 
+    /// Capture the warmth map the reuse-aware optimiser pass
+    /// ([`rmal::ReuseAware`]) orders commutative filter chains by: for
+    /// every pooled *result* entry of a chain op, its reuse-weighted
+    /// presence keyed by `(op, base table, base column)`. One pass over
+    /// the pool under shard read locks — the same cost profile as
+    /// [`Self::snapshot`] — and nothing is locked afterwards: the
+    /// optimiser probes the returned snapshot for free.
+    pub fn reuse_hints(&self) -> rmal::ReuseHintSnapshot {
+        let mut hints = rmal::ReuseHintSnapshot::default();
+        self.pool.for_each_entry(|e| {
+            if e.sig.kind != crate::signature::ArtifactKind::Result {
+                return;
+            }
+            if !matches!(
+                e.sig.op,
+                rmal::Opcode::Select
+                    | rmal::Opcode::Uselect
+                    | rmal::Opcode::Like
+                    | rmal::Opcode::SelectNotNil
+                    | rmal::Opcode::Semijoin
+                    | rmal::Opcode::Diff
+            ) {
+                return;
+            }
+            // an entry that has already paid for itself counts more than
+            // one that merely sits in the pool
+            let weight = 1 + e.local_reuses() + e.global_reuses();
+            for (t, c) in &e.base_columns {
+                hints.add(e.sig.op, t, c, weight);
+            }
+        });
+        hints
+    }
+
     /// Empty the recycle pool (the experiments' "emptied recycle pool"
     /// preparation step) without resetting credit accounts or statistics.
     /// The entry-id counter stays monotone so stale per-session pin sets
@@ -524,6 +561,9 @@ impl SharedRecycler {
             &s.tier_promotions,
             &s.decompress_ns,
             &s.rehydrate_ns,
+            &s.artifact_hits,
+            &s.artifact_admissions,
+            &s.artifact_saved_ns,
         ] {
             cell.store(0, Ordering::Relaxed);
         }
@@ -790,6 +830,10 @@ impl SharedRecycler {
             tier_promotions: ld(&s.tier_promotions),
             decompress_cost: Duration::from_nanos(ld(&s.decompress_ns)),
             rehydrate_cost: Duration::from_nanos(ld(&s.rehydrate_ns)),
+            artifact_hits: ld(&s.artifact_hits),
+            artifact_admissions: ld(&s.artifact_admissions),
+            artifact_bytes: self.pool.artifact_bytes() as u64,
+            artifact_saved: Duration::from_nanos(ld(&s.artifact_saved_ns)),
         }
     }
 
@@ -820,6 +864,19 @@ impl SharedRecycler {
 
     pub(crate) fn count_subsumed(&self) {
         bump(&self.stats.subsumed);
+    }
+
+    /// An operator-state artifact served a build side: the probe half ran
+    /// against a cached structure instead of rebuilding it. `saved` is the
+    /// build cost avoided (the entry's recorded build CPU).
+    pub(crate) fn count_artifact_hit(&self, saved: Duration) {
+        bump(&self.stats.artifact_hits);
+        add_ns(&self.stats.artifact_saved_ns, saved);
+        add_ns(&self.stats.time_saved_ns, saved);
+    }
+
+    pub(crate) fn count_artifact_admission(&self) {
+        bump(&self.stats.artifact_admissions);
     }
 
     pub(crate) fn count_admission(&self) {
@@ -1029,6 +1086,14 @@ impl MaintenanceGuard<'_> {
     /// the repaired shards serve hits instead of degraded misses.
     pub fn repair_quarantined(&self) -> crate::pool::RepairReport {
         self.shared.pool_inner().repair()
+    }
+}
+
+impl rmal::ReuseHintProvider for SharedRecycler {
+    /// The shared service is its own hint source: the reuse-aware pass
+    /// captures a fresh warmth map at every optimisation run.
+    fn reuse_hints(&self) -> rmal::ReuseHintSnapshot {
+        SharedRecycler::reuse_hints(self)
     }
 }
 

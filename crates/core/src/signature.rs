@@ -29,13 +29,35 @@ impl ArgSig {
     }
 }
 
-/// Full instruction signature: opcode plus argument signatures.
+/// What kind of artifact a signature keys. Result signatures key whole
+/// result BATs (the paper's original model); the operator-state kinds key
+/// an operator's *internal* build structure by its build-side lineage.
+/// The discriminant participates in `Hash`/`Eq`, so exact-match and
+/// subsumption probes can never confuse a cached hash table with a cached
+/// result BAT even when opcode and arguments coincide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ArtifactKind {
+    /// A materialised result BAT (the default, classic recycling).
+    #[default]
+    Result,
+    /// A join build side: the hash table over the build BAT's head.
+    JoinBuild,
+    /// A grouping's first-appearance group-id assignment.
+    GroupMap,
+    /// A sort's stable permutation (shared by `Sort` and `TopN`).
+    SortedRun,
+}
+
+/// Full instruction signature: opcode plus argument signatures, tagged with
+/// the [`ArtifactKind`] the entry under this key holds.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Sig {
     /// The opcode (aggregate/arithmetic selector included).
     pub op: Opcode,
     /// Argument signatures in call order.
     pub args: Vec<ArgSig>,
+    /// Which artifact family this signature keys.
+    pub kind: ArtifactKind,
 }
 
 impl Sig {
@@ -44,7 +66,18 @@ impl Sig {
         Sig {
             op,
             args: args.iter().map(ArgSig::of).collect(),
+            kind: ArtifactKind::Result,
         }
+    }
+
+    /// Build the signature keying an operator-state artifact: `kind` is the
+    /// structure's family and `args` its *build-side* lineage (the build
+    /// BAT by identity, plus any shape scalars such as a sort direction).
+    /// Commits re-mint BAT identities, so a build-side signature can never
+    /// match across a `Sig::versioned` epoch boundary.
+    pub fn artifact(kind: ArtifactKind, op: Opcode, args: Vec<ArgSig>) -> Sig {
+        debug_assert!(kind != ArtifactKind::Result, "result sigs use Sig::of");
+        Sig { op, args, kind }
     }
 
     /// The probe/admission signature of a marked instruction: like
@@ -110,6 +143,7 @@ impl Hash for Sig {
     fn hash<H: Hasher>(&self, state: &mut H) {
         self.op.hash(state);
         self.args.hash(state);
+        self.kind.hash(state);
     }
 }
 
@@ -140,6 +174,20 @@ mod tests {
         let other = Arc::new(Bat::from_tail(Column::from_ints(vec![1, 2])));
         let c = Sig::of(Opcode::Reverse, &[Value::Bat(other)]);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn artifact_kind_distinguishes() {
+        let bat = Arc::new(Bat::from_tail(Column::from_ints(vec![1])));
+        let v = Value::Bat(Arc::clone(&bat));
+        let result = Sig::of(Opcode::Join, std::slice::from_ref(&v));
+        let build = Sig::artifact(ArtifactKind::JoinBuild, Opcode::Join, vec![ArgSig::of(&v)]);
+        // same op, same args — but the kind keeps the keys apart
+        assert_ne!(result, build);
+        assert_ne!(result.fingerprint(), build.fingerprint());
+        let build2 = Sig::artifact(ArtifactKind::JoinBuild, Opcode::Join, vec![ArgSig::of(&v)]);
+        assert_eq!(build, build2);
+        assert_eq!(build.fingerprint(), build2.fingerprint());
     }
 
     #[test]

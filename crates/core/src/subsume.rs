@@ -517,6 +517,7 @@ mod tests {
             sig: Sig::of(op, &args),
             args,
             result_id: Some(result.id()),
+            artifact: None,
             tier: crate::tier::TierState::Raw,
             bytes: result.resident_bytes(),
             result: Value::Bat(result),

@@ -95,4 +95,9 @@ pub struct TierBook {
     pub compressed: std::sync::atomic::AtomicUsize,
     /// Bytes of spilled records owned by entries in this shard (off-cap).
     pub spilled: std::sync::atomic::AtomicUsize,
+    /// Bytes charged by operator-state artifact entries in this shard —
+    /// a *subset* of `raw` (artifacts are evict-only, never demoted), kept
+    /// so `check_invariants` and quarantine repair can prove a torn
+    /// build-side admission never leaks budget.
+    pub artifact: std::sync::atomic::AtomicUsize,
 }

@@ -1,0 +1,221 @@
+//! Property tests for operator-state artifacts (the PR-10 tentpole):
+//!
+//! 1. **Probe identity** — reusing a recycled build structure (join hash
+//!    table, group map, sorted run) must produce *bit-identical* results
+//!    to building it fresh, over random typed columns including NaN
+//!    floats and validity (NULL) masks. The recycler is allowed to skip
+//!    work, never to change an answer.
+//! 2. **Invalidation** — a commit against the build side's base table
+//!    must drop every dependent artifact: no stale build structure may
+//!    serve across `Sig::versioned` epochs.
+
+use proptest::prelude::*;
+use rbat::ops::{
+    group, group_build, group_probe, join, join_build, join_probe, sort, sort_build, sort_probe,
+    topn,
+};
+use rbat::{Bat, Bitmap, Catalog, Column, LogicalType, Props, TableBuilder, Value};
+use recycler::{Recycler, RecyclerConfig};
+use rmal::{Engine, ProgramBuilder, P};
+
+/// Bit-exact BAT equality: lengths, heads, tails — floats compared by
+/// bit pattern so NaN payloads count, and validity masks must agree.
+fn assert_bats_identical(a: &Bat, b: &Bat, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for i in 0..a.len() {
+        let (ha, hb) = (a.head().value(i), b.head().value(i));
+        assert_eq!(ha, hb, "{what}: head row {i}");
+        match (a.tail().value(i), b.tail().value(i)) {
+            (Value::Float(x), Value::Float(y)) => {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{what}: tail row {i} (float bits)"
+                )
+            }
+            (x, y) => assert_eq!(x, y, "{what}: tail row {i}"),
+        }
+    }
+}
+
+/// An int column with a validity mask punched by `null_every`.
+fn int_col(raw: &[i64], null_every: usize) -> Column {
+    let col = Column::from_ints(raw.to_vec());
+    if null_every == 0 {
+        return col;
+    }
+    let mut bm = Bitmap::new(raw.len(), true);
+    for i in (0..raw.len()).step_by(null_every) {
+        bm.set(i, false);
+    }
+    col.with_validity(bm)
+}
+
+/// A float column where `mode` selects plain, NaN-studded, or nulled
+/// shapes — the payloads the identity property must not normalise away.
+fn float_col(raw: &[f64], mode: usize) -> Column {
+    match mode {
+        1 => Column::from_floats(
+            raw.iter()
+                .enumerate()
+                .map(|(i, &v)| if i % 5 == 0 { f64::NAN } else { v })
+                .collect(),
+        ),
+        2 => {
+            let mut bm = Bitmap::new(raw.len(), true);
+            for i in (0..raw.len()).step_by(4) {
+                bm.set(i, false);
+            }
+            Column::from_floats(raw.to_vec()).with_validity(bm)
+        }
+        _ => Column::from_floats(raw.to_vec()),
+    }
+}
+
+fn oid_bat(tail: Column) -> Bat {
+    let n = tail.len();
+    Bat::new(Column::dense(0, n), tail, Props::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Joining through a recycled hash table ≡ joining cold, for int key
+    /// columns with NULL punches on either side.
+    #[test]
+    fn recycled_join_build_probe_identity(
+        lraw in prop::collection::vec(-50i64..50, 1..120),
+        rraw in prop::collection::vec(-50i64..50, 1..120),
+        lnulls in 0usize..4,
+        rnulls in 0usize..4,
+    ) {
+        // l: head oids, tail join keys; r: head join keys, tail payload
+        let l = oid_bat(int_col(&lraw, lnulls * 3));
+        let r = Bat::new(
+            int_col(&rraw, rnulls * 3),
+            Column::from_ints((0..rraw.len() as i64).collect()),
+            Props::default(),
+        );
+        let cold = join(&l, &r).unwrap();
+        let build = join_build(&r).unwrap();
+        let first = join_probe(&l, &r, &build).unwrap();
+        let again = join_probe(&l, &r, &build).unwrap();
+        assert_bats_identical(&cold, &first, "join fresh-vs-probe");
+        assert_bats_identical(&cold, &again, "join fresh-vs-reprobe");
+    }
+
+    /// Grouping through a recycled group map ≡ grouping cold, for float
+    /// tails carrying NaNs and validity masks.
+    #[test]
+    fn recycled_group_map_identity(
+        raw in prop::collection::vec(-8f64..8.0, 1..150),
+        mode in 0usize..3,
+    ) {
+        let b = oid_bat(float_col(&raw, mode));
+        let cold = group(&b).unwrap();
+        let map = group_build(&b).unwrap();
+        let first = group_probe(&b, &map).unwrap();
+        let again = group_probe(&b, &map).unwrap();
+        assert_bats_identical(&cold, &first, "group fresh-vs-probe");
+        assert_bats_identical(&cold, &again, "group fresh-vs-reprobe");
+    }
+
+    /// Sorting through a recycled run ≡ sorting cold — and a topN served
+    /// from the same run ≡ a cold topN (the run is shared between the
+    /// two ops), in both directions, under NaN/NULL shapes.
+    #[test]
+    fn recycled_sorted_run_identity(
+        raw in prop::collection::vec(-1000f64..1000.0, 1..150),
+        mode in 0usize..3,
+        ascv in 0usize..2,
+        n in 0usize..40,
+    ) {
+        let asc = ascv == 1;
+        let b = oid_bat(float_col(&raw, mode));
+        let cold = sort(&b, asc).unwrap();
+        let run = sort_build(&b, asc).unwrap();
+        let first = sort_probe(&b, &run).unwrap();
+        assert_bats_identical(&cold, &first, "sort fresh-vs-probe");
+        let cold_top = topn(&b, n, asc).unwrap();
+        let reused = sort_probe(&b, &run).unwrap();
+        let reused_top = reused.slice(0, n.min(reused.len()));
+        assert_bats_identical(&cold_top, &reused_top, "topn from recycled run");
+    }
+}
+
+// ----- engine-level: artifacts die with their epoch ---------------------
+
+fn catalog(rows: &[(i64, i64)]) -> Catalog {
+    let mut cat = Catalog::new();
+    let mut tb = TableBuilder::new("t")
+        .column("x", LogicalType::Int)
+        .column("y", LogicalType::Int);
+    for (x, y) in rows {
+        tb.push_row(&[Value::Int(*x), Value::Int(*y)]);
+    }
+    cat.add_table(tb.finish());
+    cat
+}
+
+fn join_template() -> rmal::Program {
+    let mut b = ProgramBuilder::new("probe", 2);
+    let x = b.bind("t", "x");
+    let y = b.bind("t", "y");
+    let sel = b.select_closed(x, P(0), P(1));
+    let j = b.join(sel, y);
+    let g = b.group(j);
+    let n = b.count(g);
+    b.export("n", n);
+    b.finish()
+}
+
+fn engine(cat: Catalog, operator_state: bool) -> Engine<Recycler> {
+    let config = RecyclerConfig::default().recycle_operator_state(operator_state);
+    let mut e = Engine::with_hook(cat, Recycler::new(config));
+    e.add_pass(Box::new(recycler::RecycleMark));
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A commit against the build side's table drops every dependent
+    /// artifact, and the post-commit answer matches a cold engine over
+    /// the updated data — no stale reuse across `Sig::versioned` epochs.
+    #[test]
+    fn commit_drops_dependent_artifacts(
+        rows in prop::collection::vec((0i64..40, 0i64..40), 8..60),
+        extra in prop::collection::vec((0i64..40, 0i64..40), 1..12),
+        lo in 0i64..20,
+        span in 1i64..20,
+    ) {
+        let params = [Value::Int(lo), Value::Int(lo + span)];
+        let mut e = engine(catalog(&rows), true);
+        let mut t = join_template();
+        e.optimize(&mut t);
+        e.run(&t, &params).unwrap();
+        prop_assert!(e.hook.stats().artifact_admissions > 0, "storm setup must admit artifacts");
+        prop_assert!(e.hook.pool().artifact_bytes() > 0);
+
+        // commit DML against t: every artifact descends from t's columns
+        let inserts: Vec<rbat::delta::Row> = extra
+            .iter()
+            .map(|(x, y)| vec![Value::Int(*x), Value::Int(*y)])
+            .collect();
+        e.update("t", inserts, vec![]).unwrap();
+        // commit must drop every dependent artifact
+        prop_assert_eq!(e.hook.pool().artifact_bytes(), 0);
+        e.hook.pool().check_invariants().unwrap();
+
+        // the post-commit run must agree with a cold engine on the
+        // updated catalog — a stale hash table would disagree
+        let warm = e.run(&t, &params).unwrap();
+        let mut all = rows.clone();
+        all.extend(extra.iter().copied());
+        let mut c = engine(catalog(&all), false);
+        let mut tc = join_template();
+        c.optimize(&mut tc);
+        let cold = c.run(&tc, &params).unwrap();
+        prop_assert_eq!(warm.export("n"), cold.export("n"));
+    }
+}

@@ -8,38 +8,116 @@ use crate::hash::{FxHashMap, FxHashSet};
 use crate::ops::u64_keys;
 use crate::props::Props;
 
-/// `algebra.join(l, r)`: for every pair `i, j` with `l.tail[i] == r.head[j]`
-/// emit `(l.head[i], r.tail[j])` — the canonical MonetDB binary join.
-///
-/// Implementation selection:
-/// * `r.head` dense → positional *fetch join*, O(|l|);
-/// * otherwise → hash join, build side `r`.
-pub fn join(l: &Bat, r: &Bat) -> Result<Bat> {
-    // Fetch-join fast path: positional lookup into a dense head.
-    if let TypedSlice::Dense { start, len } = r.head().typed() {
-        let lkeys = u64_keys(l.tail())
-            .ok_or_else(|| BatError::type_mismatch("join", "string fetch-join keys unsupported"))?;
-        let mut li: Vec<u32> = Vec::new();
-        let mut ri: Vec<u32> = Vec::new();
-        for (i, key) in lkeys.iter().enumerate() {
-            if let Some(k) = key {
-                if *k >= start && *k < start + len as u64 {
-                    li.push(i as u32);
-                    ri.push((*k - start) as u32);
-                }
-            }
-        }
-        return Ok(assemble(l, r, &li, &ri));
-    }
+/// Exported build side of a hash join: the lookup structure over `r.head`,
+/// detached from the borrow of `r` so it can be cached and re-imported by a
+/// later probe (operator-state recycling). Keys are owned — string tables
+/// copy their keys out of the build BAT's string buffer.
+#[derive(Debug)]
+pub enum JoinBuild {
+    /// `r.head` is dense: a fetch join needs no table, only the range.
+    Dense {
+        /// First OID of the dense head.
+        start: u64,
+        /// Number of tuples under the dense head.
+        len: usize,
+    },
+    /// Fixed-width keys hashed as `u64` words (NULL build rows excluded).
+    Num(FxHashMap<u64, Vec<u32>>),
+    /// String keys, owned (NULL build rows excluded).
+    Str(FxHashMap<String, Vec<u32>>),
+}
 
-    match (u64_keys(l.tail()), u64_keys(r.head())) {
-        (Some(lk), Some(rk)) => {
+impl JoinBuild {
+    /// Approximate heap footprint, for pool byte accounting.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            JoinBuild::Dense { .. } => 16,
+            JoinBuild::Num(t) => t
+                .values()
+                .map(|v| 8 + std::mem::size_of::<Vec<u32>>() + v.len() * 4)
+                .sum::<usize>(),
+            JoinBuild::Str(t) => t
+                .iter()
+                .map(|(k, v)| k.len() + std::mem::size_of::<(String, Vec<u32>)>() + v.len() * 4)
+                .sum::<usize>(),
+        }
+    }
+}
+
+/// Build half of [`join`]: construct the hash table (or dense descriptor)
+/// over `r.head`, the canonical build side.
+pub fn join_build(r: &Bat) -> Result<JoinBuild> {
+    if let TypedSlice::Dense { start, len } = r.head().typed() {
+        return Ok(JoinBuild::Dense { start, len });
+    }
+    match u64_keys(r.head()) {
+        Some(rk) => {
             let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
             for (j, key) in rk.iter().enumerate() {
                 if let Some(k) = key {
                     table.entry(*k).or_default().push(j as u32);
                 }
             }
+            Ok(JoinBuild::Num(table))
+        }
+        None => {
+            let TypedSlice::Str {
+                buf: rb,
+                offset: ro,
+                len: rl,
+            } = r.head().typed()
+            else {
+                return Err(BatError::type_mismatch(
+                    "join",
+                    "unsupported build key type",
+                ));
+            };
+            let mut table: FxHashMap<String, Vec<u32>> = FxHashMap::default();
+            for j in 0..rl {
+                if r.head().is_valid(j) {
+                    table
+                        .entry(rb.get(ro + j).to_owned())
+                        .or_default()
+                        .push(j as u32);
+                }
+            }
+            Ok(JoinBuild::Str(table))
+        }
+    }
+}
+
+/// Probe half of [`join`]: stream `l.tail` through a prebuilt table over
+/// `r.head`. `build` must have been produced by [`join_build`] on the same
+/// `r` (enforced upstream by keying cached builds on the BAT's identity).
+pub fn join_probe(l: &Bat, r: &Bat, build: &JoinBuild) -> Result<Bat> {
+    match build {
+        JoinBuild::Dense { start, len } => {
+            let lkeys = u64_keys(l.tail()).ok_or_else(|| {
+                BatError::type_mismatch("join", "string fetch-join keys unsupported")
+            })?;
+            let mut li: Vec<u32> = Vec::new();
+            let mut ri: Vec<u32> = Vec::new();
+            for (i, key) in lkeys.iter().enumerate() {
+                if let Some(k) = key {
+                    if *k >= *start && *k < *start + *len as u64 {
+                        li.push(i as u32);
+                        ri.push((*k - *start) as u32);
+                    }
+                }
+            }
+            Ok(assemble(l, r, &li, &ri))
+        }
+        JoinBuild::Num(table) => {
+            let lk = u64_keys(l.tail()).ok_or_else(|| {
+                BatError::type_mismatch(
+                    "join",
+                    format!(
+                        "join key types differ: {} vs {}",
+                        l.tail_type(),
+                        r.head_type()
+                    ),
+                )
+            })?;
             let mut li = Vec::new();
             let mut ri = Vec::new();
             for (i, key) in lk.iter().enumerate() {
@@ -54,29 +132,22 @@ pub fn join(l: &Bat, r: &Bat) -> Result<Bat> {
             }
             Ok(assemble(l, r, &li, &ri))
         }
-        (None, None) => {
-            // String join.
-            let (
-                TypedSlice::Str {
-                    buf: lb,
-                    offset: lo,
-                    len: ll,
-                },
-                TypedSlice::Str {
-                    buf: rb,
-                    offset: ro,
-                    len: rl,
-                },
-            ) = (l.tail().typed(), r.head().typed())
+        JoinBuild::Str(table) => {
+            let TypedSlice::Str {
+                buf: lb,
+                offset: lo,
+                len: ll,
+            } = l.tail().typed()
             else {
-                return Err(BatError::type_mismatch("join", "mixed join key types"));
+                return Err(BatError::type_mismatch(
+                    "join",
+                    format!(
+                        "join key types differ: {} vs {}",
+                        l.tail_type(),
+                        r.head_type()
+                    ),
+                ));
             };
-            let mut table: FxHashMap<&str, Vec<u32>> = FxHashMap::default();
-            for j in 0..rl {
-                if r.head().is_valid(j) {
-                    table.entry(rb.get(ro + j)).or_default().push(j as u32);
-                }
-            }
             let mut li = Vec::new();
             let mut ri = Vec::new();
             for i in 0..ll {
@@ -92,15 +163,21 @@ pub fn join(l: &Bat, r: &Bat) -> Result<Bat> {
             }
             Ok(assemble(l, r, &li, &ri))
         }
-        _ => Err(BatError::type_mismatch(
-            "join",
-            format!(
-                "join key types differ: {} vs {}",
-                l.tail_type(),
-                r.head_type()
-            ),
-        )),
     }
+}
+
+/// `algebra.join(l, r)`: for every pair `i, j` with `l.tail[i] == r.head[j]`
+/// emit `(l.head[i], r.tail[j])` — the canonical MonetDB binary join.
+///
+/// Implementation selection:
+/// * `r.head` dense → positional *fetch join*, O(|l|);
+/// * otherwise → hash join, build side `r`.
+///
+/// Composed from [`join_build`] + [`join_probe`], so a cached build side
+/// produces bit-identical results to a cold join.
+pub fn join(l: &Bat, r: &Bat) -> Result<Bat> {
+    let build = join_build(r)?;
+    join_probe(l, r, &build)
 }
 
 fn assemble(l: &Bat, r: &Bat, li: &[u32], ri: &[u32]) -> Bat {

@@ -3,7 +3,7 @@
 use std::cmp::Ordering;
 
 use crate::bat::Bat;
-use crate::error::Result;
+use crate::error::{BatError, Result};
 use crate::props::Props;
 
 fn cmp_at(b: &Bat, i: usize, j: usize) -> Ordering {
@@ -13,12 +13,51 @@ fn cmp_at(b: &Bat, i: usize, j: usize) -> Ordering {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Less, // NULLs first
         (false, true) => Ordering::Greater,
-        (false, false) => vi.cmp_same(&vj).unwrap_or(Ordering::Equal),
+        // Floats compare by total order (NaN sorts after every number):
+        // `sort_by` requires totality, and a NaN collapsing to `Equal`
+        // against everything is not total — std's stable sort panics on
+        // such comparators.
+        (false, false) => match (&vi, &vj) {
+            (crate::types::Value::Float(a), crate::types::Value::Float(b)) => a.total_cmp(b),
+            _ => vi.cmp_same(&vj).unwrap_or(Ordering::Equal),
+        },
     }
 }
 
-/// Stable sort of the tuples by tail value (`algebra.sortTail`).
-pub fn sort(b: &Bat, ascending: bool) -> Result<Bat> {
+/// Exported internal state of [`sort`]: the stable sort permutation over the
+/// input's tuples, detached from the input BAT so it can be cached and
+/// re-imported by [`sort_probe`] (and sliced by a later [`topn`]).
+#[derive(Debug)]
+pub struct SortedRun {
+    idx: Vec<u32>,
+    ascending: bool,
+}
+
+impl SortedRun {
+    /// Number of input tuples this permutation covers.
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// True when the run covers zero tuples.
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// Sort direction this run was built for.
+    pub fn ascending(&self) -> bool {
+        self.ascending
+    }
+
+    /// Approximate heap footprint, for pool byte accounting.
+    pub fn byte_size(&self) -> usize {
+        self.idx.len() * 4 + 1
+    }
+}
+
+/// Build half of [`sort`]: compute the stable sort permutation as a
+/// detached, cacheable [`SortedRun`].
+pub fn sort_build(b: &Bat, ascending: bool) -> Result<SortedRun> {
     let mut idx: Vec<u32> = (0..b.len() as u32).collect();
     idx.sort_by(|&i, &j| {
         let ord = cmp_at(b, i as usize, j as usize);
@@ -28,18 +67,42 @@ pub fn sort(b: &Bat, ascending: bool) -> Result<Bat> {
             ord.reverse()
         }
     });
-    let head = b.head().gather(&idx);
-    let tail = b.tail().gather(&idx);
+    Ok(SortedRun { idx, ascending })
+}
+
+/// Probe half of [`sort`]: gather the tuples through a prebuilt permutation.
+/// `run` must come from [`sort_build`] on the same `b` with the same
+/// direction (enforced upstream by keying cached runs on the BAT's identity
+/// and the direction flag).
+pub fn sort_probe(b: &Bat, run: &SortedRun) -> Result<Bat> {
+    if run.len() != b.len() {
+        return Err(BatError::LengthMismatch {
+            op: "sort_probe",
+            left: run.len(),
+            right: b.len(),
+        });
+    }
+    let head = b.head().gather(&run.idx);
+    let tail = b.tail().gather(&run.idx);
     Ok(Bat::new(
         head,
         tail,
         Props {
-            tail_sorted: ascending,
+            tail_sorted: run.ascending,
             tail_nonil: b.props().tail_nonil,
             head_key: b.props().head_key,
             ..Props::default()
         },
     ))
+}
+
+/// Stable sort of the tuples by tail value (`algebra.sortTail`).
+///
+/// Composed from [`sort_build`] + [`sort_probe`], so a cached sorted run
+/// produces bit-identical results to a cold sort.
+pub fn sort(b: &Bat, ascending: bool) -> Result<Bat> {
+    let run = sort_build(b, ascending)?;
+    sort_probe(b, &run)
 }
 
 /// First `n` tuples by tail order (`algebra.slice` after sort in MAL plans).

@@ -1,0 +1,88 @@
+//! Inertness contract for the operator-state knob: with
+//! `recycle_operator_state(false)` (the default) the reuse-aware pass is
+//! not even constructed, so prepared plans are bitwise-identical to a
+//! build that never heard of it, and no artifact is ever admitted. The
+//! CI default-features leg runs this file to pin the contract.
+
+use rbat::{Catalog, LogicalType, TableBuilder, Value};
+use recycling::{DatabaseBuilder, RecyclerConfig};
+use rmal::{Program, ProgramBuilder, P};
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    let mut tb = TableBuilder::new("t")
+        .column("x", LogicalType::Int)
+        .column("y", LogicalType::Int);
+    for i in 0..500i64 {
+        tb.push_row(&[Value::Int(i % 83), Value::Int((i * 31) % 101)]);
+    }
+    cat.add_table(tb.finish());
+    cat
+}
+
+/// A filter chain the reuse-aware pass would love to reorder, plus a
+/// join/group/sort spine the artifact hook would love to assist — the
+/// most tempting possible program for the feature under test.
+fn template() -> Program {
+    let mut b = ProgramBuilder::new("inert", 2);
+    let x = b.bind("t", "x");
+    let y = b.bind("t", "y");
+    let s1 = b.select_closed(x, P(0), P(1));
+    let s2 = b.select_not_nil(s1);
+    let s3 = b.uselect(s2, Value::Int(7));
+    let j = b.join(s3, y);
+    let g = b.group(j);
+    let s = b.sort(g, true);
+    let n = b.count(s);
+    b.export("n", n);
+    b.finish()
+}
+
+#[test]
+fn knob_off_plans_are_bitwise_identical() {
+    // One build never mentions the knob; the other turns it off
+    // explicitly. Prepared listings must match byte for byte.
+    let silent = DatabaseBuilder::new(catalog()).build();
+    let explicit = DatabaseBuilder::new(catalog())
+        .recycle_operator_state(false)
+        .build();
+    let a = silent.prepare(template());
+    let b = explicit.prepare(template());
+    assert_eq!(a.listing(), b.listing(), "knob-off plans must be identical");
+}
+
+#[test]
+fn knob_on_with_empty_pool_is_still_inert() {
+    // With the knob on but no reuse history, the pass sees an empty hint
+    // snapshot and must leave the plan untouched.
+    let off = DatabaseBuilder::new(catalog()).build();
+    let on = DatabaseBuilder::new(catalog())
+        .recycle_operator_state(true)
+        .build();
+    let a = off.prepare(template());
+    let b = on.prepare(template());
+    assert_eq!(
+        a.listing(),
+        b.listing(),
+        "empty hints must leave plans untouched"
+    );
+}
+
+#[test]
+fn knob_off_never_touches_artifacts() {
+    let db = DatabaseBuilder::new(catalog())
+        .recycler(RecyclerConfig::default())
+        .template("inert", template())
+        .build();
+    let t = db.template("inert").unwrap();
+    let mut s = db.session();
+    for lo in [0i64, 0, 10, 10, 20, 0] {
+        s.query(&t, &[Value::Int(lo), Value::Int(lo + 40)]).unwrap();
+    }
+    let stats = db.stats();
+    assert!(stats.hits > 0, "plain result recycling still works");
+    assert_eq!(stats.artifact_admissions, 0, "no artifact admitted");
+    assert_eq!(stats.artifact_hits, 0, "no artifact served");
+    assert_eq!(db.pool().artifact_bytes(), 0, "no artifact bytes booked");
+    db.pool().check_invariants().unwrap();
+}

@@ -125,6 +125,7 @@ mod bytes_conservation {
             args: vec![Value::Int(tag)],
             result: Value::Int(tag),
             result_id: None,
+            artifact: None,
             tier: recycler::tier::TierState::Raw,
             bytes,
             cpu: Duration::from_micros(1),
@@ -250,6 +251,7 @@ fn inserted_corpus_lands_on_its_shards() {
             args: vec![],
             result: Value::Int(i as i64),
             result_id: None,
+            artifact: None,
             tier: recycler::tier::TierState::Raw,
             bytes: 10,
             cpu: Duration::from_micros(1),
